@@ -1,0 +1,29 @@
+//! # plasticine-arch
+//!
+//! Parametric architecture specification for the Plasticine Reconfigurable
+//! Dataflow Accelerator (Prabhakar et al., ISCA 2017), as targeted by the
+//! SARA compiler (Zhang et al., ISCA 2021).
+//!
+//! Plasticine is a checkerboard grid of **pattern compute units** (PCUs:
+//! a multi-stage SIMD pipeline with chained counters), **pattern memory
+//! units** (PMUs: banked scratchpads with address datapaths), and edge
+//! **address generators** (AGs) attached to DRAM channels, connected by a
+//! statically configured network-on-chip.
+//!
+//! This crate only describes *capabilities and costs*; the compiler
+//! (`sara-core`) consumes [`PartitionConstraints`] during partitioning and
+//! merging, the placer (`sara-pnr`) consumes the [`ChipSpec`] grid, and the
+//! simulator (`plasticine-sim`) consumes latencies and bandwidths.
+//!
+//! ```
+//! use plasticine_arch::ChipSpec;
+//! let chip = ChipSpec::sara_20x20();
+//! assert_eq!(chip.total_pus(), 420);
+//! assert!(chip.pcu.lanes >= 16);
+//! ```
+
+pub mod chip;
+pub mod units;
+
+pub use chip::{ChipSpec, DramKind, GridSlot};
+pub use units::{AgSpec, PartitionConstraints, PcuSpec, PmuSpec, PuType};

@@ -1,0 +1,19 @@
+//! # sara-baselines
+//!
+//! The two comparison baselines of the SARA evaluation:
+//!
+//! * [`pc`] — the **vanilla Plasticine compiler** (paper §IV-C): the
+//!   original Plasticine toolchain with (1) hierarchical enable/done
+//!   control (pipeline bubbles proportional to network latency on every
+//!   controller hand-off), (2) at most one writer and one reader per
+//!   on-chip memory and **no memory partitioner** (so tile sizes are
+//!   capped at one PMU and loops cannot be independently unrolled), and
+//!   (3) sequential credits (no cross-stage overlap relaxation).
+//! * [`gpu`] — an **analytical Tesla V100 model** (paper §IV-D): a
+//!   roofline over the kernel's dynamic FLOP and DRAM-byte counts with
+//!   per-workload-class efficiency factors and per-kernel launch
+//!   overheads. See DESIGN.md for why this substitution preserves the
+//!   comparison's shape.
+
+pub mod gpu;
+pub mod pc;

@@ -1,0 +1,171 @@
+//! The vanilla Plasticine compiler (PC) baseline.
+//!
+//! PC is modeled as a restricted configuration of the same tool-flow
+//! (paper §IV-C lists exactly four SARA improvements over PC, which we
+//! invert here):
+//!
+//! 1. **No memory partitioner**: banking/privatization disabled; any
+//!    on-chip memory larger than one PMU fails to compile, and
+//!    parallelization factors are capped at the SIMD width (PC cannot
+//!    spatially unroll loops independently because that would need
+//!    banked memories).
+//! 2. **Hierarchical control** (Fig 2d) instead of CMMC's peer-to-peer
+//!    tokens: every controller hand-off pays an enable/done round trip
+//!    through the network. We model this by tripling the latency of every
+//!    synchronization stream after place-and-route.
+//! 3. **Sequential credits**: no multibuffer overlap relaxation.
+//! 4. Data-dependent control flow (outer branches) is unsupported and
+//!    rejected.
+
+use plasticine_arch::ChipSpec;
+use sara_core::compile::{compile, Compiled, CompilerOptions};
+use sara_core::error::CompileError;
+use sara_core::vudfg::StreamKind;
+use sara_ir::{CtrlKind, Program};
+
+/// Restriction violations PC reports instead of compiling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PcError {
+    /// Outer data-dependent control flow (branch) in the program.
+    UnsupportedBranch,
+    /// Compilation failed (typically a memory exceeding one PMU).
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for PcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcError::UnsupportedBranch => {
+                write!(f, "the vanilla Plasticine compiler does not support outer branches")
+            }
+            PcError::Compile(e) => write!(f, "PC compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcError {}
+
+/// Rewrite a program into its PC-feasible variant: parallelization factors
+/// capped at the SIMD width (vectorization only, no spatial unrolling).
+pub fn cap_parallelism(p: &Program, lanes: u32) -> Program {
+    let mut q = p.clone();
+    for c in &mut q.ctrls {
+        if let CtrlKind::Loop(spec) = &mut c.kind {
+            spec.par = spec.par.min(lanes);
+        }
+    }
+    q.name = format!("{}-pc", p.name);
+    q
+}
+
+/// Compile with the PC restrictions and apply the hierarchical-control
+/// latency model. The caller then runs place-and-route and simulation as
+/// usual; [`apply_hierarchical_control`] must run *after* PnR so the
+/// penalty scales with routed distances.
+pub fn compile_pc(p: &Program, chip: &ChipSpec) -> Result<Compiled, PcError> {
+    if p.ctrls.iter().any(|c| matches!(c.kind, CtrlKind::Branch { .. })) {
+        return Err(PcError::UnsupportedBranch);
+    }
+    let capped = cap_parallelism(p, chip.pcu.lanes);
+    let mut opts = CompilerOptions::default();
+    opts.lower.banking = false;
+    opts.lower.cmmc.relax_credits = false;
+    compile(&capped, chip, &opts).map_err(PcError::Compile)
+}
+
+/// Multiply every synchronization-stream latency by the hierarchical
+/// enable/done round-trip factor. Run after place-and-route.
+pub fn apply_hierarchical_control(c: &mut Compiled) {
+    for s in &mut c.vudfg.streams {
+        if matches!(s.kind, StreamKind::Token { .. }) {
+            s.latency *= 3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_sim::{simulate, SimConfig};
+
+    #[test]
+    fn caps_par_factors() {
+        use sara_ir::{DType, LoopSpec, MemInit};
+        let mut p = Program::new("t");
+        let root = p.root();
+        let m = p.dram("m", &[64], DType::F64, MemInit::Zero);
+        let l = p.add_loop(root, "i", LoopSpec::new(0, 64, 1).par(64)).unwrap();
+        let hb = p.add_leaf(l, "b").unwrap();
+        let i = p.idx(hb, l).unwrap();
+        let v = p.c_f64(hb, 1.0).unwrap();
+        p.store(hb, m, &[i], v).unwrap();
+        let q = cap_parallelism(&p, 16);
+        let spec = q.ctrl(l).loop_spec().unwrap();
+        assert_eq!(spec.par, 16);
+        let _ = m;
+    }
+
+    #[test]
+    fn rejects_branches() {
+        use sara_ir::DType;
+        let mut p = Program::new("t");
+        let root = p.root();
+        let c = p.reg("c", DType::I64);
+        let br = p.add_branch(root, "br", c).unwrap();
+        p.add_leaf(br, "t").unwrap();
+        let chip = ChipSpec::tiny_4x4();
+        assert!(matches!(compile_pc(&p, &chip), Err(PcError::UnsupportedBranch)));
+    }
+
+    #[test]
+    fn pc_is_slower_than_sara_on_pipelined_chain() {
+        // A producer/consumer chain through scratchpads: SARA overlaps the
+        // stages with relaxed credits and P2P tokens; PC serializes them
+        // with hierarchical handshakes.
+        use sara_ir::{BinOp, DType, LoopSpec, MemInit};
+        let build = || {
+            let mut p = Program::new("chain");
+            let root = p.root();
+            let src = p.dram("src", &[128], DType::F64, MemInit::LinSpace { start: 0.0, step: 1.0 });
+            let dst = p.dram("dst", &[128], DType::F64, MemInit::Zero);
+            let m1 = p.sram("m1", &[16], DType::F64);
+            let la = p.add_loop(root, "A", LoopSpec::new(0, 8, 1)).unwrap();
+            let lc = p.add_loop(la, "C", LoopSpec::new(0, 16, 1)).unwrap();
+            let hc = p.add_leaf(lc, "c").unwrap();
+            let ia = p.idx(hc, la).unwrap();
+            let ic = p.idx(hc, lc).unwrap();
+            let s = p.c_i64(hc, 16).unwrap();
+            let b = p.bin(hc, BinOp::Mul, ia, s).unwrap();
+            let a = p.bin(hc, BinOp::Add, b, ic).unwrap();
+            let v = p.load(hc, src, &[a]).unwrap();
+            p.store(hc, m1, &[ic], v).unwrap();
+            let ld = p.add_loop(la, "D", LoopSpec::new(0, 16, 1)).unwrap();
+            let hd = p.add_leaf(ld, "d").unwrap();
+            let id = p.idx(hd, ld).unwrap();
+            let x = p.load(hd, m1, &[id]).unwrap();
+            let two = p.c_f64(hd, 2.0).unwrap();
+            let y = p.bin(hd, BinOp::Mul, x, two).unwrap();
+            let ia2 = p.idx(hd, la).unwrap();
+            let s2 = p.c_i64(hd, 16).unwrap();
+            let b2 = p.bin(hd, BinOp::Mul, ia2, s2).unwrap();
+            let a2 = p.bin(hd, BinOp::Add, b2, id).unwrap();
+            p.store(hd, dst, &[a2], y).unwrap();
+            p
+        };
+        let chip = ChipSpec::tiny_4x4();
+        let p = build();
+        // SARA
+        let mut sara = compile(&p, &chip, &CompilerOptions::default()).unwrap();
+        sara_pnr::place_and_route(&mut sara.vudfg, &sara.assignment, &chip, 1).unwrap();
+        let t_sara = simulate(&sara.vudfg, &chip, &SimConfig::default()).unwrap().cycles;
+        // PC
+        let mut pc = compile_pc(&p, &chip).unwrap();
+        sara_pnr::place_and_route(&mut pc.vudfg, &pc.assignment, &chip, 1).unwrap();
+        apply_hierarchical_control(&mut pc);
+        let t_pc = simulate(&pc.vudfg, &chip, &SimConfig::default()).unwrap().cycles;
+        assert!(
+            t_pc > t_sara,
+            "PC {t_pc} cycles should exceed SARA {t_sara} cycles"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benches of the compiler passes themselves: CMMC synthesis
+//! (Fig 5 machinery), traversal vs solver partitioning (Fig 11's compile
+//! time axis), full compilation, and the cycle-level simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use plasticine_arch::{ChipSpec, PartitionConstraints, PcuSpec};
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::cmmc::{synthesize, CmmcOptions};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_core::partition::{partition, Algo, Problem, SolverCfg, TraversalOrder};
+
+fn bench_cmmc(c: &mut Criterion) {
+    let w = sara_workloads::by_name("lstm").unwrap();
+    c.bench_function("cmmc/synthesize/lstm", |b| {
+        b.iter(|| synthesize(&w.program, &CmmcOptions::default()))
+    });
+    let mut naive = CmmcOptions::default();
+    naive.reduce = false;
+    c.bench_function("cmmc/synthesize-noreduce/lstm", |b| {
+        b.iter(|| synthesize(&w.program, &naive))
+    });
+}
+
+/// Layered random DAG partitioning instance (Fig 11 compile-time axis).
+fn layered_dag(layers: usize, width: usize) -> Problem {
+    let n = layers * width;
+    let mut edges = Vec::new();
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            for d in 0..2 {
+                let src = l * width + i;
+                let dst = (l + 1) * width + (i + d) % width;
+                edges.push((src, dst));
+            }
+        }
+    }
+    Problem::new(vec![1; n], edges, PartitionConstraints::of_pcu(&PcuSpec::default()))
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let p = layered_dag(8, 8);
+    c.bench_function("partition/traversal/64n", |b| {
+        b.iter(|| partition(&p, Algo::Traversal(TraversalOrder::BfsFwd)).unwrap())
+    });
+    c.bench_function("partition/solver/64n", |b| {
+        b.iter(|| {
+            partition(&p, Algo::Solver(SolverCfg { gap: 0.15, budget_ms: 200 })).unwrap()
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let chip = ChipSpec::small_8x8();
+    for name in ["mlp", "kmeans", "pr"] {
+        let w = sara_workloads::by_name(name).unwrap();
+        c.bench_function(&format!("compile/{name}"), |b| {
+            b.iter(|| compile(&w.program, &chip, &CompilerOptions::default()).unwrap())
+        });
+    }
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let chip = ChipSpec::small_8x8();
+    let w = sara_workloads::by_name("gemm").unwrap();
+    let mut compiled = compile(&w.program, &chip, &CompilerOptions::default()).unwrap();
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 1).unwrap();
+    c.bench_function("simulate/gemm", |b| {
+        b.iter(|| simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_cmmc, bench_partition, bench_compile, bench_simulate
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Fig 10: effectiveness of individual compiler optimizations — the
+//! speedup (and resource delta) of enabling each optimization relative to
+//! a baseline with it disabled, per application.
+//!
+//! Ablation axes implemented in this reproduction:
+//! * `reduce`  — CMMC dependency-graph reduction (§III-A3)
+//! * `relax`   — credit relaxation / multibuffered overlap (retime's
+//!               performance component in the paper's taxonomy)
+//! * `retime`  — retiming-buffer insertion on imbalanced joins
+//! * `retime-m`— scratchpads (PMUs) as retiming buffers (resource shift)
+
+use plasticine_arch::ChipSpec;
+use sara_bench::run;
+use sara_core::compile::CompilerOptions;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    app: String,
+    opt: String,
+    speedup: f64,
+    pus_with: usize,
+    pus_without: usize,
+    token_streams_with: usize,
+    token_streams_without: usize,
+}
+
+fn variants() -> Vec<(&'static str, Box<dyn Fn(&mut CompilerOptions)>)> {
+    vec![
+        ("reduce", Box::new(|o: &mut CompilerOptions| o.lower.cmmc.reduce = false)),
+        ("relax", Box::new(|o: &mut CompilerOptions| o.lower.cmmc.relax_credits = false)),
+        ("retime", Box::new(|o: &mut CompilerOptions| o.opt.retime = false)),
+        ("retime-m", Box::new(|o: &mut CompilerOptions| o.opt.retime_m = false)),
+    ]
+}
+
+fn apps() -> Vec<(&'static str, sara_ir::Program)> {
+    use sara_workloads::{linalg, ml, streamk};
+    vec![
+        (
+            "mlp",
+            linalg::mlp(&linalg::MlpParams {
+                d_in: 64,
+                d_hidden: 64,
+                d_out: 16,
+                par_inner: 16,
+                par_neuron: 2,
+            }),
+        ),
+        ("lstm", ml::lstm(&ml::LstmParams { t: 6, h: 16, par_h: 8 })),
+        ("bs", streamk::bs(&streamk::BsParams { n: 512, par: 16 })),
+        ("gda", ml::gda(&ml::GdaParams { n: 16, d: 12, par_d: 4 })),
+    ]
+}
+
+fn main() {
+    let chip = ChipSpec::sara_20x20();
+    let mut rows = Vec::new();
+    for (app, p) in apps() {
+        let with = match run(&p, &chip, &CompilerOptions::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{app} baseline: {e}");
+                continue;
+            }
+        };
+        for (oname, disable) in variants() {
+            let mut opts = CompilerOptions::default();
+            disable(&mut opts);
+            match run(&p, &chip, &opts) {
+                Ok(without) => {
+                    rows.push(Row {
+                        app: app.into(),
+                        opt: oname.into(),
+                        speedup: without.cycles() as f64 / with.cycles() as f64,
+                        pus_with: with.pus(),
+                        pus_without: without.pus(),
+                        token_streams_with: with.compiled.report.token_streams,
+                        token_streams_without: without.compiled.report.token_streams,
+                    });
+                    eprintln!("{app}/{oname}: with {} vs without {}", with.cycles(), without.cycles());
+                }
+                Err(e) => eprintln!("{app}/{oname}: {e}"),
+            }
+        }
+    }
+    println!(
+        "{:<6} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "app", "opt", "speedup", "PUs+", "PUs-", "tok+", "tok-"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:<10} {:>8.2} {:>8} {:>8} {:>8} {:>8}",
+            r.app, r.opt, r.speedup, r.pus_with, r.pus_without, r.token_streams_with,
+            r.token_streams_without
+        );
+    }
+    let path = sara_bench::save_json("fig10", &rows);
+    println!("\nsaved {}", path.display());
+}

@@ -1,0 +1,95 @@
+//! Fig 11: traversal-based vs solver-based partitioning/merging.
+//!
+//! (a) normalized physical compute units after partition+merge: the
+//!     solver tracks the best solution; traversal orders can be worse;
+//! (b/c) compile time: traversal runs orders of magnitude faster than the
+//!     branch-and-bound solver (the paper's minutes-vs-hours gap, scaled
+//!     down with instance size).
+
+use plasticine_arch::ChipSpec;
+use sara_core::compile::{compile, CompilerOptions};
+use sara_core::partition::{Algo, SolverCfg, TraversalOrder};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    app: String,
+    algo: String,
+    pcus: usize,
+    normalized: f64,
+    compile_ms: f64,
+}
+
+fn algos() -> Vec<(String, Algo)> {
+    let mut v: Vec<(String, Algo)> = TraversalOrder::ALL
+        .iter()
+        .map(|o| (format!("{o:?}"), Algo::Traversal(*o)))
+        .collect();
+    v.push((
+        "Solver".to_string(),
+        Algo::Solver(SolverCfg { gap: 0.15, budget_ms: 5_000 }),
+    ));
+    v
+}
+
+fn apps() -> Vec<(&'static str, sara_ir::Program)> {
+    use sara_workloads::{cnn, linalg, ml, streamk};
+    vec![
+        (
+            "mlp",
+            linalg::mlp(&linalg::MlpParams {
+                d_in: 64,
+                d_hidden: 64,
+                d_out: 16,
+                par_inner: 16,
+                par_neuron: 2,
+            }),
+        ),
+        ("lstm", ml::lstm(&ml::LstmParams { t: 4, h: 16, par_h: 8 })),
+        ("bs", streamk::bs(&streamk::BsParams { n: 256, par: 16 })),
+        ("snet", cnn::snet(&cnn::SnetParams { img: 8, c_in: 3, c_out: 8, par_oc: 2, par_k: 9 })),
+        ("gemm", linalg::gemm(&linalg::GemmParams { m: 16, n: 16, k: 32, par_m: 2, par_k: 16 })),
+    ]
+}
+
+fn main() {
+    let chip = ChipSpec::sara_20x20();
+    let mut rows: Vec<Row> = Vec::new();
+    for (app, p) in apps() {
+        let mut app_rows = Vec::new();
+        for (name, algo) in algos() {
+            let mut opts = CompilerOptions::default();
+            opts.partition_algo = algo;
+            opts.merge_algo = algo;
+            let t0 = Instant::now();
+            match compile(&p, &chip, &opts) {
+                Ok(c) => {
+                    let dt = t0.elapsed().as_secs_f64() * 1e3;
+                    app_rows.push(Row {
+                        app: app.into(),
+                        algo: name,
+                        pcus: c.report.pcus,
+                        normalized: 0.0,
+                        compile_ms: dt,
+                    });
+                }
+                Err(e) => eprintln!("{app}/{name}: {e}"),
+            }
+        }
+        let best = app_rows.iter().map(|r| r.pcus).min().unwrap_or(1).max(1);
+        for mut r in app_rows {
+            r.normalized = r.pcus as f64 / best as f64;
+            rows.push(r);
+        }
+    }
+    println!("{:<6} {:<9} {:>6} {:>10} {:>12}", "app", "algo", "PCUs", "normalized", "compile(ms)");
+    for r in &rows {
+        println!(
+            "{:<6} {:<9} {:>6} {:>10.2} {:>12.2}",
+            r.app, r.algo, r.pcus, r.normalized, r.compile_ms
+        );
+    }
+    let path = sara_bench::save_json("fig11", &rows);
+    println!("\nsaved {}", path.display());
+}

@@ -1,0 +1,147 @@
+//! Fig 9a: performance and resource scaling with parallelization.
+//!
+//! Starting from a fully pipelined design, the parallelization factor of
+//! the dominant loops is swept; the paper reports near-linear performance
+//! scaling until on-chip resources (compute-bound `mlp`) or DRAM
+//! bandwidth (memory-bound `rf`) saturate.
+
+use plasticine_arch::ChipSpec;
+use sara_bench::run;
+use sara_core::compile::CompilerOptions;
+use sara_workloads::{graph, linalg};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    app: String,
+    par: u32,
+    cycles: u64,
+    flops_per_cycle: f64,
+    speedup_vs_par1: f64,
+    pus: usize,
+    pcus: usize,
+    pmus: usize,
+    dram_bw_bytes_per_cycle: f64,
+}
+
+fn main() {
+    let chip = ChipSpec::sara_20x20();
+    let mut points: Vec<Point> = Vec::new();
+
+    // mlp: compute-bound, no batch parallelism; sweep the intra-layer
+    // factors (vectorize the reduction, then spatially unroll neurons).
+    let mlp_sweep: Vec<(u32, u32)> =
+        vec![(1, 1), (2, 1), (4, 1), (8, 1), (16, 1), (16, 2), (16, 4), (16, 8), (16, 16)];
+    let mut base_cycles = None;
+    for (pi, pn) in mlp_sweep {
+        let par = pi * pn;
+        let p = linalg::mlp(&linalg::MlpParams {
+            d_in: 256,
+            d_hidden: 256,
+            d_out: 64,
+            par_inner: pi,
+            par_neuron: pn,
+        });
+        match run(&p, &chip, &CompilerOptions::default()) {
+            Ok(r) => {
+                let base = *base_cycles.get_or_insert(r.cycles());
+                points.push(Point {
+                    app: "mlp".into(),
+                    par,
+                    cycles: r.cycles(),
+                    flops_per_cycle: r.flops_per_cycle(),
+                    speedup_vs_par1: base as f64 / r.cycles() as f64,
+                    pus: r.pus(),
+                    pcus: r.compiled.report.pcus,
+                    pmus: r.compiled.report.pmus,
+                    dram_bw_bytes_per_cycle: r.outcome.stats.dram.achieved_bw(r.cycles()),
+                });
+                eprintln!("mlp par {par}: {} cycles, {} PUs", r.cycles(), r.pus());
+            }
+            Err(e) => eprintln!("mlp par {par}: {e}"),
+        }
+    }
+
+    // rf: gather-heavy, saturates DRAM bandwidth before compute.
+    let mut base_cycles = None;
+    for pn in [1u32, 2, 4, 8, 16, 32] {
+        let p = graph::rf(&graph::RfParams {
+            n: 64,
+            d: 16,
+            trees: 8,
+            depth: 4,
+            seed: 9,
+            par_n: pn,
+        });
+        match run(&p, &chip, &CompilerOptions::default()) {
+            Ok(r) => {
+                let base = *base_cycles.get_or_insert(r.cycles());
+                points.push(Point {
+                    app: "rf".into(),
+                    par: pn,
+                    cycles: r.cycles(),
+                    flops_per_cycle: r.flops_per_cycle(),
+                    speedup_vs_par1: base as f64 / r.cycles() as f64,
+                    pus: r.pus(),
+                    pcus: r.compiled.report.pcus,
+                    pmus: r.compiled.report.pmus,
+                    dram_bw_bytes_per_cycle: r.outcome.stats.dram.achieved_bw(r.cycles()),
+                });
+                eprintln!("rf par {pn}: {} cycles, {} PUs", r.cycles(), r.pus());
+            }
+            Err(e) => eprintln!("rf par {pn}: {e}"),
+        }
+    }
+
+    // tpchq6 on the DDR3 chip: a streaming aggregation that hits the
+    // off-chip bandwidth wall — performance saturates once achieved DRAM
+    // bandwidth approaches the 49 B/cycle DDR3 peak (the paper's
+    // memory-bound half of Fig 9a).
+    let ddr_chip = ChipSpec::vanilla_16x8();
+    let mut base_cycles = None;
+    for par in [1u32, 4, 16, 32, 64, 128] {
+        let p = sara_workloads::streamk::tpchq6(&sara_workloads::streamk::Q6Params {
+            n: 16384,
+            par,
+        });
+        match run(&p, &ddr_chip, &CompilerOptions::default()) {
+            Ok(r) => {
+                let base = *base_cycles.get_or_insert(r.cycles());
+                points.push(Point {
+                    app: "tpchq6-ddr3".into(),
+                    par,
+                    cycles: r.cycles(),
+                    flops_per_cycle: r.flops_per_cycle(),
+                    speedup_vs_par1: base as f64 / r.cycles() as f64,
+                    pus: r.pus(),
+                    pcus: r.compiled.report.pcus,
+                    pmus: r.compiled.report.pmus,
+                    dram_bw_bytes_per_cycle: r.outcome.stats.dram.achieved_bw(r.cycles()),
+                });
+                eprintln!("tpchq6 par {par}: {} cycles, {} PUs", r.cycles(), r.pus());
+            }
+            Err(e) => eprintln!("tpchq6 par {par}: {e}"),
+        }
+    }
+
+    println!(
+        "{:<12} {:>5} {:>10} {:>8} {:>9} {:>5} {:>5} {:>5} {:>8}",
+        "app", "par", "cycles", "flop/cy", "speedup", "PUs", "PCUs", "PMUs", "dramB/cy"
+    );
+    for p in &points {
+        println!(
+            "{:<12} {:>5} {:>10} {:>8.2} {:>9.2} {:>5} {:>5} {:>5} {:>8.2}",
+            p.app,
+            p.par,
+            p.cycles,
+            p.flops_per_cycle,
+            p.speedup_vs_par1,
+            p.pus,
+            p.pcus,
+            p.pmus,
+            p.dram_bw_bytes_per_cycle
+        );
+    }
+    let path = sara_bench::save_json("fig9a", &points);
+    println!("\nsaved {}", path.display());
+}

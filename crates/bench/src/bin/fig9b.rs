@@ -1,0 +1,101 @@
+//! Fig 9b: the performance/resource trade-off space. Each point is one
+//! (parallelization, optimization-set) configuration; the Pareto frontier
+//! is marked. Optimizations push points up (faster) and left (cheaper),
+//! expanding the frontier.
+
+use plasticine_arch::ChipSpec;
+use sara_bench::run;
+use sara_core::compile::CompilerOptions;
+use sara_core::opt::OptConfig;
+use sara_workloads::{linalg, ml};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    app: String,
+    par: u32,
+    opts: String,
+    pus: usize,
+    perf: f64,
+    pareto: bool,
+}
+
+fn opt_sets() -> Vec<(&'static str, CompilerOptions)> {
+    let all = CompilerOptions::default();
+    let mut none = CompilerOptions::default();
+    none.opt = OptConfig::none();
+    none.lower.cmmc.relax_credits = false;
+    let mut noretime = CompilerOptions::default();
+    noretime.opt.retime = false;
+    vec![("all", all), ("none", none), ("no-retime", noretime)]
+}
+
+fn main() {
+    let chip = ChipSpec::sara_20x20();
+    let mut points: Vec<Point> = Vec::new();
+    let record = |points: &mut Vec<Point>, app: &str, par: u32, oname: &str, p: &sara_ir::Program, opts: &CompilerOptions| {
+        match run(p, &chip, opts) {
+            Ok(r) => {
+                points.push(Point {
+                    app: app.into(),
+                    par,
+                    opts: oname.into(),
+                    pus: r.pus(),
+                    perf: 1.0e6 / r.cycles() as f64,
+                    pareto: false,
+                });
+                eprintln!("{app} par {par} {oname}: {} cycles {} PUs", r.cycles(), r.pus());
+            }
+            Err(e) => eprintln!("{app} par {par} {oname}: {e}"),
+        }
+    };
+    for (pi, pn) in [(1u32, 1u32), (4, 1), (16, 1), (16, 2), (16, 4)] {
+        for (oname, opts) in opt_sets() {
+            let p = linalg::mlp(&linalg::MlpParams {
+                d_in: 64,
+                d_hidden: 64,
+                d_out: 16,
+                par_inner: pi,
+                par_neuron: pn,
+            });
+            record(&mut points, "mlp", pi * pn, oname, &p, &opts);
+        }
+    }
+    for par in [1u32, 4, 16, 32] {
+        for (oname, opts) in opt_sets() {
+            let p = ml::gda(&ml::GdaParams { n: 24, d: 16, par_d: par });
+            record(&mut points, "gda", par, oname, &p, &opts);
+        }
+    }
+    for par in [1u32, 8, 16] {
+        for (oname, opts) in opt_sets() {
+            let p = ml::lstm(&ml::LstmParams { t: 6, h: 16, par_h: par });
+            record(&mut points, "lstm", par, oname, &p, &opts);
+        }
+    }
+    // Per-app Pareto frontier: no other point of the same app is both
+    // cheaper and faster.
+    let snapshot: Vec<(String, usize, f64)> =
+        points.iter().map(|p| (p.app.clone(), p.pus, p.perf)).collect();
+    for (i, p) in points.iter_mut().enumerate() {
+        p.pareto = !snapshot.iter().enumerate().any(|(j, (app, pu, pf))| {
+            j != i
+                && *app == p.app
+                && *pu <= p.pus
+                && *pf >= p.perf
+                && (*pu, *pf) != (p.pus, p.perf)
+        });
+    }
+    println!(
+        "{:<6} {:>5} {:<10} {:>5} {:>10} {:>7}",
+        "app", "par", "opts", "PUs", "perf(1/Mcy)", "pareto"
+    );
+    for p in &points {
+        println!(
+            "{:<6} {:>5} {:<10} {:>5} {:>10.3} {:>7}",
+            p.app, p.par, p.opts, p.pus, p.perf, p.pareto
+        );
+    }
+    let path = sara_bench::save_json("fig9b", &points);
+    println!("\nsaved {}", path.display());
+}

@@ -1,0 +1,147 @@
+//! `sarac` — the SARA compiler driver: compile a named workload, print
+//! the pass-by-pass report, optionally simulate and dump the VUDFG as
+//! Graphviz.
+//!
+//! ```text
+//! sarac <workload> [--chip 20x20|16x8|8x8] [--par N] [--simulate] [--dot FILE]
+//! ```
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
+use std::fmt::Write as _;
+
+fn dot_of(g: &Vudfg) -> String {
+    let mut out = String::from("digraph vudfg {\n  rankdir=LR;\n  node [fontsize=9];\n");
+    for (i, u) in g.units.iter().enumerate() {
+        let (shape, color) = match &u.kind {
+            UnitKind::Vcu(_) => ("box", "lightblue"),
+            UnitKind::Vmu(_) => ("cylinder", "lightyellow"),
+            UnitKind::Ag(_) => ("house", "lightsalmon"),
+            UnitKind::Sync(_) => ("diamond", "lightgray"),
+            UnitKind::XbarDist(_) | UnitKind::XbarColl(_) => ("trapezium", "lightgreen"),
+        };
+        let _ = writeln!(
+            out,
+            "  u{i} [label=\"{}\" shape={shape} style=filled fillcolor={color}];",
+            u.label.replace('"', "'")
+        );
+    }
+    for s in &g.streams {
+        let style = match s.kind {
+            StreamKind::Token { .. } => "dashed",
+            _ => "solid",
+        };
+        let label = match s.kind {
+            StreamKind::Token { init } if init > 0 => format!("{init}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  u{} -> u{} [style={style} label=\"{label}\" fontsize=8];",
+            s.src.0, s.dst.0
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE]");
+        eprintln!(
+            "workloads: {}",
+            sara_workloads::all_small()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+    let name = &args[0];
+    let mut chip = ChipSpec::small_8x8();
+    let mut do_sim = false;
+    let mut dot_file: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chip" => {
+                i += 1;
+                chip = match args[i].as_str() {
+                    "20x20" => ChipSpec::sara_20x20(),
+                    "16x8" => ChipSpec::vanilla_16x8(),
+                    "8x8" => ChipSpec::small_8x8(),
+                    other => {
+                        eprintln!("unknown chip {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--simulate" => do_sim = true,
+            "--dot" => {
+                i += 1;
+                dot_file = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(w) = sara_workloads::by_name(name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    println!("== {} ({}) ==", w.name, w.domain);
+    println!("{}", w.program.pretty());
+    let mut compiled = match compile(&w.program, &chip, &CompilerOptions::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("vudfg: {}", compiled.vudfg.summary());
+    println!(
+        "cmmc:  {} -> {} sync edges after reduction",
+        compiled.cmmc_stats.before(),
+        compiled.cmmc_stats.after()
+    );
+    println!(
+        "chip:  {} PCUs, {} PMUs, {} AGs, {} retime units ({} streams, {} tokens)",
+        compiled.report.pcus,
+        compiled.report.pmus,
+        compiled.report.ags,
+        compiled.report.retime_units,
+        compiled.report.streams,
+        compiled.report.token_streams
+    );
+    let pnr = sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 42)
+        .unwrap_or_else(|e| {
+            eprintln!("pnr error: {e}");
+            std::process::exit(1);
+        });
+    println!("pnr:   wirelength {}, max link use {}", pnr.wirelength, pnr.max_link_use);
+    if let Some(f) = dot_file {
+        std::fs::write(&f, dot_of(&compiled.vudfg)).expect("write dot file");
+        println!("dot:   wrote {f}");
+    }
+    if do_sim {
+        match simulate(&compiled.vudfg, &chip, &SimConfig::default()) {
+            Ok(o) => println!(
+                "sim:   {} cycles, {:.2} flop/cycle, dram {:.1} B/cycle",
+                o.cycles,
+                o.stats.firings as f64 / o.cycles as f64,
+                o.stats.dram.achieved_bw(o.cycles)
+            ),
+            Err(e) => {
+                eprintln!("sim error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

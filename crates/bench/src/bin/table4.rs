@@ -1,0 +1,87 @@
+//! Table IV: benchmark characteristics — domain, control depth, memory
+//! counts, access counts, dynamic op/traffic counts and data-dependent
+//! control flow.
+
+use sara_ir::interp::Interp;
+use sara_ir::MemKind;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    name: String,
+    domain: String,
+    ctrl_depth: usize,
+    loops: usize,
+    hyperblocks: usize,
+    drams: usize,
+    srams: usize,
+    regs: usize,
+    accesses: usize,
+    exprs: usize,
+    data_dependent: bool,
+    flops: u64,
+    dram_bytes: u64,
+    arithmetic_intensity: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for w in sara_workloads::all_small() {
+        let p = &w.program;
+        let stats = Interp::new(p).run().expect("runs").stats;
+        let loops = p
+            .ctrls
+            .iter()
+            .filter(|c| matches!(c.kind, sara_ir::CtrlKind::Loop(_)))
+            .count();
+        let dyn_ctrl = p.ctrls.iter().any(|c| {
+            matches!(c.kind, sara_ir::CtrlKind::Branch { .. } | sara_ir::CtrlKind::DoWhile { .. })
+        }) || p.ctrls.iter().any(|c| {
+            matches!(&c.kind, sara_ir::CtrlKind::Loop(s)
+                if s.min.as_const().is_none() || s.max.as_const().is_none())
+        });
+        let count_kind = |k: MemKind| p.mems.iter().filter(|m| m.kind == k).count();
+        rows.push(Row {
+            name: w.name.to_string(),
+            domain: w.domain.to_string(),
+            ctrl_depth: p.control_depth(),
+            loops,
+            hyperblocks: p.leaves().len(),
+            drams: count_kind(MemKind::Dram),
+            srams: count_kind(MemKind::Sram),
+            regs: count_kind(MemKind::Reg),
+            accesses: p.accesses().len(),
+            exprs: p.total_exprs(),
+            data_dependent: dyn_ctrl,
+            flops: stats.flops,
+            dram_bytes: stats.dram_bytes(),
+            arithmetic_intensity: stats.flops as f64 / stats.dram_bytes().max(1) as f64,
+        });
+    }
+    println!(
+        "{:<10} {:<14} {:>5} {:>6} {:>4} {:>5} {:>5} {:>5} {:>5} {:>6} {:>7} {:>10} {:>10} {:>6}",
+        "name", "domain", "depth", "loops", "hbs", "dram", "sram", "reg", "accs", "exprs",
+        "dynctl", "flops", "drambytes", "AI"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<14} {:>5} {:>6} {:>4} {:>5} {:>5} {:>5} {:>5} {:>6} {:>7} {:>10} {:>10} {:>6.2}",
+            r.name,
+            r.domain,
+            r.ctrl_depth,
+            r.loops,
+            r.hyperblocks,
+            r.drams,
+            r.srams,
+            r.regs,
+            r.accesses,
+            r.exprs,
+            r.data_dependent,
+            r.flops,
+            r.dram_bytes,
+            r.arithmetic_intensity
+        );
+    }
+    let path = sara_bench::save_json("table4", &rows);
+    println!("\nsaved {}", path.display());
+}

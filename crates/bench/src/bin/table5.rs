@@ -1,0 +1,85 @@
+//! Table V: SARA vs the vanilla Plasticine compiler (PC) on the original
+//! 16×8 Plasticine configuration with DDR3 DRAM. The paper reports large
+//! speedups for compute-bound kernels (kmeans, gda: bigger par factors +
+//! control-overhead elimination) and smaller ones for bandwidth-bound
+//! kernels (logreg, sgd saturate DDR3 either way); 4.9× geo-mean.
+
+use plasticine_arch::ChipSpec;
+use sara_bench::{geomean, run, run_pc};
+use sara_core::compile::CompilerOptions;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    app: String,
+    sara_cycles: u64,
+    pc_cycles: u64,
+    speedup: f64,
+    sara_pus: usize,
+    pc_pus: usize,
+    dram_bw_sara: f64,
+    dram_bw_pc: f64,
+}
+
+fn apps() -> Vec<(&'static str, sara_ir::Program)> {
+    use sara_workloads::{linalg, ml, streamk};
+    vec![
+        // compute-bound: SARA's extra parallelism + P2P control pay off
+        ("kmeans", ml::kmeans(&ml::KmeansParams { n: 64, d: 32, k: 4, par_d: 16 })),
+        ("gda", ml::gda(&ml::GdaParams { n: 32, d: 16, par_d: 16 })),
+        ("gemm", linalg::gemm(&linalg::GemmParams { m: 32, n: 16, k: 64, par_m: 4, par_k: 16 })),
+        ("dotprod", linalg::dotprod(&linalg::DotParams { n: 16384, par: 128 })),
+        // bandwidth-bound: both saturate DDR3
+        ("logreg", ml::logreg(&ml::RegressionParams { n: 64, d: 128, par_d: 32 })),
+        ("sgd", ml::sgd(&ml::RegressionParams { n: 64, d: 128, par_d: 32 })),
+        ("tpchq6", streamk::tpchq6(&streamk::Q6Params { n: 8192, par: 64 })),
+        ("outerprod", linalg::outerprod(&linalg::OuterParams { n: 64, m: 128, par: 64 })),
+    ]
+}
+
+fn main() {
+    let chip = ChipSpec::vanilla_16x8();
+    let mut rows = Vec::new();
+    for (app, p) in apps() {
+        let sara = match run(&p, &chip, &CompilerOptions::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{app} sara: {e}");
+                continue;
+            }
+        };
+        let pc = match run_pc(&p, &chip) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{app} pc: {e}");
+                continue;
+            }
+        };
+        rows.push(Row {
+            app: app.into(),
+            sara_cycles: sara.cycles(),
+            pc_cycles: pc.cycles(),
+            speedup: pc.cycles() as f64 / sara.cycles() as f64,
+            sara_pus: sara.pus(),
+            pc_pus: pc.pus(),
+            dram_bw_sara: sara.outcome.stats.dram.achieved_bw(sara.cycles()),
+            dram_bw_pc: pc.outcome.stats.dram.achieved_bw(pc.cycles()),
+        });
+        eprintln!("{app}: done");
+    }
+    println!(
+        "{:<10} {:>11} {:>11} {:>8} {:>7} {:>7} {:>8} {:>8}",
+        "app", "sara(cyc)", "pc(cyc)", "speedup", "saraPU", "pcPU", "saraBW", "pcBW"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>11} {:>11} {:>8.2} {:>7} {:>7} {:>8.2} {:>8.2}",
+            r.app, r.sara_cycles, r.pc_cycles, r.speedup, r.sara_pus, r.pc_pus, r.dram_bw_sara,
+            r.dram_bw_pc
+        );
+    }
+    let gm = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    println!("\ngeo-mean speedup over PC: {gm:.2}x (paper: 4.9x)");
+    let path = sara_bench::save_json("table5", &rows);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! Table VI: SARA on the 20×20 Plasticine (HBM2, 1 TB/s) vs a Tesla V100.
+//!
+//! The GPU side is the calibrated analytical model (see DESIGN.md
+//! substitution #3). The paper reports a 1.9× geo-mean for SARA with 12%
+//! of the GPU's silicon; dense `snet` loses in absolute terms (the chip
+//! is 8.3× smaller) but wins area-normalized, while gather-heavy `rf`,
+//! dataflow-friendly `ms` and sparse `pr` win outright.
+
+use plasticine_arch::ChipSpec;
+use sara_baselines::gpu::{estimate, launches_of, GpuClass, V100};
+use sara_bench::{geomean, run};
+use sara_core::compile::CompilerOptions;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    app: String,
+    sara_cycles: u64,
+    sara_us: f64,
+    gpu_us: f64,
+    speedup: f64,
+    area_norm_speedup: f64,
+    gpu_compute_bound: bool,
+    sara_pus: usize,
+}
+
+fn apps() -> Vec<(&'static str, sara_ir::Program)> {
+    use sara_workloads::{cnn, graph, ml, sort, streamk};
+    vec![
+        ("snet", cnn::snet(&cnn::SnetParams { img: 10, c_in: 4, c_out: 8, par_oc: 4, par_k: 16 })),
+        ("lstm", ml::lstm(&ml::LstmParams { t: 8, h: 16, par_h: 16 })),
+        ("pr", graph::pr(&graph::PrParams { v: 64, avg_deg: 4, seed: 7, par_v: 2 })),
+        ("bs", streamk::bs(&streamk::BsParams { n: 2048, par: 16 })),
+        ("sort", sort::sort(&sort::SortParams { n: 64 })),
+        ("rf", graph::rf(&graph::RfParams { n: 64, d: 16, trees: 8, depth: 4, seed: 9, par_n: 4 })),
+        ("ms", streamk::ms(&streamk::MsParams { n: 256 })),
+    ]
+}
+
+fn main() {
+    let chip = ChipSpec::sara_20x20();
+    let v100 = V100::default();
+    let mut rows = Vec::new();
+    for (app, p) in apps() {
+        let sara = match run(&p, &chip, &CompilerOptions::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{app} sara: {e}");
+                continue;
+            }
+        };
+        let class = GpuClass::of_workload(app);
+        let launches = launches_of(app, &sara.interp);
+        let gpu = estimate(&v100, class, &sara.interp, launches);
+        let sara_s = sara.seconds(&chip);
+        let speedup = gpu.seconds / sara_s;
+        rows.push(Row {
+            app: app.into(),
+            sara_cycles: sara.cycles(),
+            sara_us: sara_s * 1e6,
+            gpu_us: gpu.seconds * 1e6,
+            speedup,
+            area_norm_speedup: speedup * (v100.area_mm2 / chip.area_mm2),
+            gpu_compute_bound: gpu.compute_bound,
+            sara_pus: sara.pus(),
+        });
+        eprintln!("{app}: done ({} cycles)", sara.cycles());
+    }
+    println!(
+        "{:<6} {:>11} {:>9} {:>9} {:>8} {:>9} {:>6} {:>5}",
+        "app", "sara(cyc)", "sara(us)", "gpu(us)", "speedup", "area-norm", "gpuCB", "PUs"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:>11} {:>9.2} {:>9.2} {:>8.2} {:>9.2} {:>6} {:>5}",
+            r.app,
+            r.sara_cycles,
+            r.sara_us,
+            r.gpu_us,
+            r.speedup,
+            r.area_norm_speedup,
+            r.gpu_compute_bound,
+            r.sara_pus
+        );
+    }
+    let gm = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    println!("\ngeo-mean speedup over V100: {gm:.2}x (paper: 1.9x)");
+    let path = sara_bench::save_json("table6", &rows);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,109 @@
+//! Shared experiment-harness plumbing: compile+PnR+simulate runners and
+//! result records serialized into `results/`.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig, SimOutcome};
+use sara_core::compile::{compile, Compiled, CompilerOptions};
+use sara_ir::interp::{Interp, InterpStats};
+use sara_ir::Program;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// One full run of a program through the SARA stack.
+#[derive(Debug)]
+pub struct Run {
+    pub compiled: Compiled,
+    pub outcome: SimOutcome,
+    /// Reference interpreter statistics (dynamic op/byte counts).
+    pub interp: InterpStats,
+}
+
+impl Run {
+    /// Cycles to completion.
+    pub fn cycles(&self) -> u64 {
+        self.outcome.cycles
+    }
+
+    /// Throughput in FLOP/cycle.
+    pub fn flops_per_cycle(&self) -> f64 {
+        self.interp.total_ops() as f64 / self.outcome.cycles as f64
+    }
+
+    /// Wall-clock seconds at the chip's clock.
+    pub fn seconds(&self, chip: &ChipSpec) -> f64 {
+        self.outcome.cycles as f64 / (chip.clock_ghz * 1e9)
+    }
+
+    /// Physical units used.
+    pub fn pus(&self) -> usize {
+        self.compiled.report.total_pus()
+    }
+}
+
+/// Compile, place-and-route, and simulate a program.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the failing phase.
+pub fn run(p: &Program, chip: &ChipSpec, opts: &CompilerOptions) -> Result<Run, String> {
+    let interp = Interp::new(p).run().map_err(|e| format!("interp: {e}"))?.stats;
+    let mut compiled = compile(p, chip, opts).map_err(|e| format!("compile: {e}"))?;
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, chip, 17)
+        .map_err(|e| format!("pnr: {e}"))?;
+    let outcome = simulate(&compiled.vudfg, chip, &SimConfig::default())
+        .map_err(|e| format!("sim: {e}"))?;
+    Ok(Run { compiled, outcome, interp })
+}
+
+/// Compile and simulate through the vanilla-Plasticine (PC) baseline.
+pub fn run_pc(p: &Program, chip: &ChipSpec) -> Result<Run, String> {
+    let interp = Interp::new(p).run().map_err(|e| format!("interp: {e}"))?.stats;
+    let mut compiled =
+        sara_baselines::pc::compile_pc(p, chip).map_err(|e| format!("pc: {e}"))?;
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, chip, 17)
+        .map_err(|e| format!("pnr: {e}"))?;
+    sara_baselines::pc::apply_hierarchical_control(&mut compiled);
+    let outcome = simulate(&compiled.vudfg, chip, &SimConfig::default())
+        .map_err(|e| format!("sim: {e}"))?;
+    Ok(Run { compiled, outcome, interp })
+}
+
+/// Write a serializable result set to `results/<name>.json` (repo root),
+/// returning the path.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write results");
+    path
+}
+
+/// Geometric mean of positive factors.
+pub fn geomean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn run_small_workload() {
+        let w = sara_workloads::by_name("dotprod").unwrap();
+        let chip = ChipSpec::small_8x8();
+        let r = run(&w.program, &chip, &CompilerOptions::default()).unwrap();
+        assert!(r.cycles() > 0);
+        assert!(r.pus() > 0);
+        assert!(r.flops_per_cycle() > 0.0);
+    }
+}

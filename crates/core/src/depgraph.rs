@@ -1,0 +1,270 @@
+//! Small directed-graph utilities used by CMMC (transitive reduction,
+//! reachability) and by partitioning/merging (topological order, cycle
+//! checks). Nodes are dense `usize` indices.
+
+use std::collections::VecDeque;
+
+/// A directed graph over nodes `0..n` with adjacency lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    /// Successors of each node.
+    pub succ: Vec<Vec<usize>>,
+}
+
+impl DiGraph {
+    /// Graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph { succ: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Add edge `a -> b` (duplicates ignored).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if !self.succ[a].contains(&b) {
+            self.succ[a].push(b);
+        }
+    }
+
+    /// Whether edge `a -> b` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.succ[a].contains(&b)
+    }
+
+    /// All edges as `(src, dst)` pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(a, ss)| ss.iter().map(move |b| (a, *b)))
+            .collect()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(|s| s.len()).sum()
+    }
+
+    /// Nodes reachable from `from` (not including `from` unless on a
+    /// cycle back to itself).
+    pub fn reachable_from(&self, from: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        for &s in &self.succ[from] {
+            if !seen[s] {
+                seen[s] = true;
+                q.push_back(s);
+            }
+        }
+        while let Some(x) = q.pop_front() {
+            for &s in &self.succ[x] {
+                if !seen[s] {
+                    seen[s] = true;
+                    q.push_back(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `b` is reachable from `a` by a nonempty path.
+    pub fn reaches(&self, a: usize, b: usize) -> bool {
+        self.reachable_from(a)[b]
+    }
+
+    /// Whether `b` is reachable from `a` by a path that avoids the direct
+    /// edge `a -> b`.
+    pub fn reaches_avoiding_edge(&self, a: usize, b: usize) -> bool {
+        let mut seen = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        for &s in &self.succ[a] {
+            if s == b {
+                continue; // skip the direct edge
+            }
+            if !seen[s] {
+                seen[s] = true;
+                q.push_back(s);
+            }
+        }
+        while let Some(x) = q.pop_front() {
+            if x == b {
+                return true;
+            }
+            for &s in &self.succ[x] {
+                if !seen[s] {
+                    seen[s] = true;
+                    q.push_back(s);
+                }
+            }
+        }
+        seen[b]
+    }
+
+    /// Transitive reduction of a DAG (paper §III-A3b): removes every edge
+    /// `a -> b` for which an alternative path `a ->* b` exists. The result
+    /// preserves reachability exactly (for DAGs the transitive reduction is
+    /// unique).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the graph is acyclic.
+    pub fn transitive_reduction(&self) -> DiGraph {
+        debug_assert!(self.topo_order().is_some(), "transitive reduction requires a DAG");
+        let mut out = DiGraph::new(self.len());
+        for a in 0..self.len() {
+            for &b in &self.succ[a] {
+                if !self.reaches_avoiding_edge(a, b) {
+                    out.add_edge(a, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Kahn topological order; `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let mut indeg = vec![0usize; self.len()];
+        for (_, b) in self.edges() {
+            indeg[b] += 1;
+        }
+        let mut q: VecDeque<usize> =
+            (0..self.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(x) = q.pop_front() {
+            out.push(x);
+            for &s in &self.succ[x] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    q.push_back(s);
+                }
+            }
+        }
+        if out.len() == self.len() {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Condensed graph after merging nodes into groups: nodes are group
+    /// ids, edges between distinct groups. `group[i]` assigns node `i` to
+    /// a group in `0..num_groups`.
+    pub fn quotient(&self, group: &[usize], num_groups: usize) -> DiGraph {
+        let mut out = DiGraph::new(num_groups);
+        for (a, b) in self.edges() {
+            let (ga, gb) = (group[a], group[b]);
+            if ga != gb {
+                out.add_edge(ga, gb);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, plus shortcut 0 -> 3
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(0, 3);
+        g
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(g.reaches(0, 3));
+        assert!(!g.reaches(3, 0));
+        assert!(g.reaches_avoiding_edge(0, 3));
+        assert!(!g.reaches_avoiding_edge(1, 3));
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcut() {
+        let g = diamond();
+        let tr = g.transitive_reduction();
+        assert!(!tr.has_edge(0, 3));
+        assert!(tr.has_edge(0, 1));
+        assert!(tr.has_edge(1, 3));
+        assert_eq!(tr.edge_count(), 4);
+        // Reachability preserved
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(g.reaches(a, b), tr.reaches(a, b), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_reduction() {
+        // 0->1->2 with extra 0->2: reduce to the chain
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let tr = g.transitive_reduction();
+        assert_eq!(tr.edge_count(), 2);
+    }
+
+    #[test]
+    fn topo_and_cycles() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for (a, b) in g.edges() {
+            assert!(pos[a] < pos[b]);
+        }
+        let mut c = DiGraph::new(2);
+        c.add_edge(0, 1);
+        c.add_edge(1, 0);
+        assert!(!c.is_dag());
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn quotient_collapses_groups() {
+        let g = diamond();
+        // group {0,1} and {2,3}
+        let q = g.quotient(&[0, 0, 1, 1], 2);
+        assert!(q.has_edge(0, 1));
+        assert!(!q.has_edge(1, 0));
+        // merging 1 and 2 across the diamond keeps it acyclic
+        let q2 = g.quotient(&[0, 1, 1, 2], 3);
+        assert!(q2.is_dag());
+    }
+
+    #[test]
+    fn quotient_can_create_cycle() {
+        // 0 -> 1 -> 2, grouping {0,2} creates a cycle with {1}
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let q = g.quotient(&[0, 1, 0], 2);
+        assert!(!q.is_dag());
+    }
+}

@@ -1,0 +1,69 @@
+//! Compiler error type.
+
+use sara_ir::{CtrlId, IrError, MemId};
+use std::fmt;
+
+/// Error produced by the SARA compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The input program failed validation.
+    Ir(IrError),
+    /// A scalar register used for control (bound/condition) must have
+    /// exactly one writer access site.
+    ControlRegWriters { mem: MemId, writers: usize },
+    /// Innermost-loop parallelization exceeds the PCU SIMD width.
+    VectorTooWide { ctrl: CtrlId, par: u32, lanes: u32 },
+    /// The program needs more units of a physical type than the chip has.
+    OutOfResources { what: &'static str, needed: usize, available: usize },
+    /// An on-chip memory does not fit even when banked across all PMUs.
+    MemTooLarge { mem: MemId, words: usize },
+    /// Partitioning could not satisfy the constraints (e.g. a single node
+    /// exceeds unit capacity).
+    Unpartitionable(String),
+    /// Internal invariant violation (a compiler bug, kept as an error so
+    /// fuzzing surfaces it gracefully).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Ir(e) => write!(f, "invalid input program: {e}"),
+            CompileError::ControlRegWriters { mem, writers } => {
+                write!(f, "control register {mem} has {writers} writers, expected exactly 1")
+            }
+            CompileError::VectorTooWide { ctrl, par, lanes } => {
+                write!(f, "innermost loop {ctrl} parallelized by {par} exceeds {lanes} SIMD lanes")
+            }
+            CompileError::OutOfResources { what, needed, available } => {
+                write!(f, "out of {what}: need {needed}, chip has {available}")
+            }
+            CompileError::MemTooLarge { mem, words } => {
+                write!(f, "memory {mem} ({words} words) exceeds total on-chip capacity")
+            }
+            CompileError::Unpartitionable(s) => write!(f, "partitioning failed: {s}"),
+            CompileError::Internal(s) => write!(f, "internal compiler error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<IrError> for CompileError {
+    fn from(e: IrError) -> Self {
+        CompileError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_from_ir() {
+        let e: CompileError = IrError::UnknownCtrl(CtrlId(1)).into();
+        assert!(e.to_string().contains("invalid input program"));
+        let o = CompileError::OutOfResources { what: "PCU", needed: 10, available: 4 };
+        assert!(o.to_string().contains("PCU"));
+    }
+}

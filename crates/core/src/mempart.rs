@@ -1,0 +1,568 @@
+//! Memory partitioning (paper §III-B2): sharding logical tensors across
+//! distributed virtual memory units to scale on-chip bandwidth with
+//! parallelization (and to satisfy PMU capacity).
+//!
+//! Two banking functions are supported: **cyclic** (`bank = flat % B`) and
+//! **block-cyclic** (`bank = (flat / block) % B`). For every access the
+//! planner decides whether the bank index is *statically resolvable* per
+//! unrolled lane — in which case the lowering wires the request unit
+//! point-to-point to its bank, eliminating the crossbar (the paper's
+//! `retime-m`/`xbar` optimization for statically resolved bank addresses) —
+//! or must be routed at run time through distribute/collect crossbar units
+//! (Fig 8b/c).
+
+use crate::error::CompileError;
+use plasticine_arch::ChipSpec;
+use sara_ir::affine::{access_affine, Affine};
+use sara_ir::{AccessId, Bound, CtrlId, CtrlKind, MemId, MemKind, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Spatial mapping factors of one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnrollInfo {
+    /// Spatial duplication factor (virtual units instantiated per lane).
+    pub unroll: u32,
+    /// SIMD vectorization width (innermost loops only).
+    pub vec: u32,
+}
+
+impl UnrollInfo {
+    /// No parallelization.
+    pub const ONE: UnrollInfo = UnrollInfo { unroll: 1, vec: 1 };
+}
+
+/// Compute unroll/vectorization factors for every loop: an innermost loop
+/// (no iterative descendants) with `par = P` vectorizes to
+/// `min(P, lanes)` SIMD lanes and spatially unrolls by the remainder;
+/// outer loops spatially unroll by `P` (paper §II-A(b)).
+pub fn unroll_info(p: &Program, lanes: u32) -> HashMap<CtrlId, UnrollInfo> {
+    let mut out = HashMap::new();
+    for (i, c) in p.ctrls.iter().enumerate() {
+        let id = CtrlId(i as u32);
+        let CtrlKind::Loop(spec) = &c.kind else { continue };
+        let innermost = !c
+            .children
+            .iter()
+            .any(|ch| subtree_has_iterative(p, *ch));
+        let info = if innermost {
+            let vec = spec.par.min(lanes).max(1);
+            UnrollInfo { vec, unroll: spec.par.div_ceil(vec).max(1) }
+        } else {
+            UnrollInfo { vec: 1, unroll: spec.par.max(1) }
+        };
+        out.insert(id, info);
+    }
+    out
+}
+
+fn subtree_has_iterative(p: &Program, c: CtrlId) -> bool {
+    if p.ctrl(c).is_iterative() {
+        return true;
+    }
+    p.ctrl(c).children.iter().any(|ch| subtree_has_iterative(p, *ch))
+}
+
+/// Banking function of one logical memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankFn {
+    /// Single bank (no partitioning).
+    None,
+    /// `bank = flat % banks`, `local = flat / banks`.
+    Cyclic { banks: u32 },
+    /// `bank = (flat / block) % banks`,
+    /// `local = (flat / block / banks) * block + flat % block`.
+    Blocked { banks: u32, block: u64 },
+}
+
+impl BankFn {
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        match self {
+            BankFn::None => 1,
+            BankFn::Cyclic { banks } | BankFn::Blocked { banks, .. } => *banks,
+        }
+    }
+
+    /// Bank index of a flat address.
+    pub fn bank_of(&self, flat: i64) -> u32 {
+        match self {
+            BankFn::None => 0,
+            BankFn::Cyclic { banks } => (flat.rem_euclid(*banks as i64)) as u32,
+            BankFn::Blocked { banks, block } => {
+                ((flat / *block as i64).rem_euclid(*banks as i64)) as u32
+            }
+        }
+    }
+
+    /// Bank-local address of a flat address.
+    pub fn local_of(&self, flat: i64) -> i64 {
+        match self {
+            BankFn::None => flat,
+            BankFn::Cyclic { banks } => flat / *banks as i64,
+            BankFn::Blocked { banks, block } => {
+                let b = *block as i64;
+                (flat / b / *banks as i64) * b + flat % b
+            }
+        }
+    }
+
+    /// Words one bank must hold for a memory of `words` total.
+    pub fn bank_words(&self, words: usize) -> usize {
+        match self {
+            BankFn::None => words,
+            BankFn::Cyclic { banks } => words.div_ceil(*banks as usize),
+            BankFn::Blocked { banks, block } => {
+                let groups = (words as u64).div_ceil(*block);
+                let per_bank_groups = groups.div_ceil(*banks as u64);
+                (per_bank_groups * *block) as usize
+            }
+        }
+    }
+}
+
+/// Routing decision for one access site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankRoute {
+    /// The bank is a per-lane constant; the lowering wires the request
+    /// stream point-to-point (no crossbar).
+    Static,
+    /// The bank varies at run time; requests go through distribute/collect
+    /// crossbar units.
+    Dynamic,
+}
+
+/// Partitioning plan of one memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemPlan {
+    pub mem: MemId,
+    /// Unrolled loops over which the memory is privatized (each lane
+    /// combination gets its own copy), outermost first: `(loop, factor)`.
+    pub private_loops: Vec<(CtrlId, u32)>,
+    /// Banking of the shared dimension.
+    pub bank_fn: BankFn,
+    /// Per-access routing.
+    pub routes: HashMap<AccessId, BankRoute>,
+}
+
+impl MemPlan {
+    /// Number of private copies (product of privatization factors).
+    pub fn copies(&self) -> u32 {
+        self.private_loops.iter().map(|(_, f)| *f).product::<u32>().max(1)
+    }
+}
+
+/// The whole-program banking plan.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BankingPlan {
+    pub mems: HashMap<MemId, MemPlan>,
+}
+
+impl BankingPlan {
+    /// Plan for a memory (every on-chip memory gets one).
+    pub fn of(&self, mem: MemId) -> Option<&MemPlan> {
+        self.mems.get(&mem)
+    }
+}
+
+/// Compute the banking plan. With `enable = false` (the vanilla-Plasticine
+/// baseline), no banking or privatization is performed and every memory
+/// must fit a single PMU — the planner then reports capacity errors.
+pub fn plan_banking(
+    p: &Program,
+    chip: &ChipSpec,
+    unroll: &HashMap<CtrlId, UnrollInfo>,
+    enable: bool,
+) -> Result<BankingPlan, CompileError> {
+    let mut plan = BankingPlan::default();
+    let cap_words = chip.pmu.capacity_words() as usize;
+    for (mi, decl) in p.mems.iter().enumerate() {
+        let mem = MemId(mi as u32);
+        if decl.kind == MemKind::Dram {
+            continue;
+        }
+        let accs = p.accesses_of(mem);
+        if accs.is_empty() {
+            continue;
+        }
+        if !enable {
+            if decl.size() > cap_words {
+                return Err(CompileError::MemTooLarge { mem, words: decl.size() });
+            }
+            let routes = accs.iter().map(|a| (a.id, BankRoute::Static)).collect();
+            plan.mems.insert(
+                mem,
+                MemPlan { mem, private_loops: Vec::new(), bank_fn: BankFn::None, routes },
+            );
+            continue;
+        }
+
+        // ---- privatization scope ----
+        let lca = accs
+            .iter()
+            .map(|a| a.id.hb)
+            .reduce(|a, b| p.lca(a, b))
+            .expect("nonempty");
+        let private_loops: Vec<(CtrlId, u32)> = {
+            let mut v: Vec<(CtrlId, u32)> = p
+                .ancestors(lca)
+                .into_iter()
+                .filter_map(|c| {
+                    let u = unroll.get(&c).copied().unwrap_or(UnrollInfo::ONE);
+                    (u.unroll > 1).then_some((c, u.unroll))
+                })
+                .collect();
+            v.reverse(); // outermost first
+            v
+        };
+
+        // ---- bank count ----
+        // Bandwidth-driven: the max spatial access parallelism below the
+        // memory's scope across accessors.
+        let bw_banks = accs
+            .iter()
+            .map(|a| {
+                p.ancestors(a.id.hb)
+                    .into_iter()
+                    .take_while(|c| *c != lca)
+                    .map(|c| unroll.get(&c).map(|u| u.unroll).unwrap_or(1))
+                    .product::<u32>()
+            })
+            .max()
+            .unwrap_or(1);
+        let cap_banks = decl.size().div_ceil(cap_words) as u32;
+        let banks = bw_banks.max(cap_banks).max(1);
+
+        if banks == 1 {
+            let routes = accs.iter().map(|a| (a.id, BankRoute::Static)).collect();
+            plan.mems.insert(
+                mem,
+                MemPlan { mem, private_loops, bank_fn: BankFn::None, routes },
+            );
+            continue;
+        }
+
+        // ---- banking-function selection ----
+        // Try cyclic first, then block-cyclic with candidate block sizes
+        // from the affine coefficients; pick the first under which every
+        // accessor statically resolves. Otherwise keep cyclic with
+        // dynamic (crossbar) routing for unresolved accessors.
+        let affines: Vec<Option<Affine>> = accs
+            .iter()
+            .map(|a| access_affine(p, a.id.hb, a.id.expr))
+            .collect();
+        let mut candidates: Vec<BankFn> = vec![BankFn::Cyclic { banks }];
+        let mut blocks: Vec<u64> = affines
+            .iter()
+            .flatten()
+            .flat_map(|f| f.terms.values().map(|c| c.unsigned_abs()))
+            .filter(|c| *c > 1)
+            .collect();
+        blocks.push((decl.size() as u64).div_ceil(banks as u64));
+        blocks.sort_unstable();
+        blocks.dedup();
+        for b in blocks {
+            candidates.push(BankFn::Blocked { banks, block: b });
+        }
+
+        let mut best: Option<(BankFn, HashMap<AccessId, BankRoute>, usize)> = None;
+        for cand in candidates {
+            let mut routes = HashMap::new();
+            let mut static_count = 0usize;
+            for (a, f) in accs.iter().zip(&affines) {
+                let is_static = f
+                    .as_ref()
+                    .map(|f| bank_is_static(p, unroll, a.id.hb, f, cand))
+                    .unwrap_or(false);
+                routes.insert(a.id, if is_static { BankRoute::Static } else { BankRoute::Dynamic });
+                static_count += is_static as usize;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, _, c)) => static_count > *c,
+            };
+            if better {
+                let all = static_count == accs.len();
+                best = Some((cand, routes, static_count));
+                if all {
+                    break;
+                }
+            }
+        }
+        let (bank_fn, routes, _) = best.expect("at least one candidate");
+        plan.mems.insert(mem, MemPlan { mem, private_loops, bank_fn, routes });
+    }
+    Ok(plan)
+}
+
+/// Iterations a spatially unrolled loop assigns to one lane under
+/// **blocked** distribution: `ceil(trip / unroll)`. Loops with dynamic
+/// bounds (or negative steps) fall back to cyclic distribution and return
+/// `None`.
+pub fn chunk_elems(p: &Program, unroll: &HashMap<CtrlId, UnrollInfo>, v: CtrlId) -> Option<i64> {
+    let spec = p.ctrl(v).loop_spec()?;
+    if spec.step <= 0 {
+        return None;
+    }
+    let trip = spec.trip_count()? as i64;
+    let u = unroll.get(&v).map(|x| x.unroll).unwrap_or(1) as i64;
+    Some((trip + u - 1) / u)
+}
+
+/// Exact static-bank check for an affine flat address under a banking
+/// function and **blocked** lane distribution (static-bound loops; dynamic
+/// bounds force dynamic routing).
+///
+/// The lane-0 flat-address interval is computed by interval arithmetic
+/// over each variable's per-lane local range; other lanes shift the
+/// interval by `c_v · step_v · chunk_v` per lane step. The bank is a
+/// per-lane constant iff:
+///
+/// * **block-cyclic**: every lane shift is a multiple of `block` (lanes
+///   land on block boundaries) and the per-lane interval fits inside one
+///   block;
+/// * **cyclic**: every within-lane increment (`c·step` per index step) is
+///   ≡ 0 (mod banks).
+fn bank_is_static(
+    p: &Program,
+    unroll: &HashMap<CtrlId, UnrollInfo>,
+    hb: CtrlId,
+    f: &Affine,
+    bank_fn: BankFn,
+) -> bool {
+    match bank_fn {
+        BankFn::None => true,
+        BankFn::Cyclic { banks } => {
+            let b = banks as i64;
+            f.terms.iter().all(|(v, c)| {
+                let Some((step, _, _)) = loop_static_spec(p, *v) else {
+                    return c % b == 0;
+                };
+                (c * step) % b == 0 && in_scope(p, hb, *v)
+            })
+        }
+        BankFn::Blocked { banks: _, block } => {
+            let blk = block as i64;
+            let mut extent = 0i64; // inclusive width of the lane-0 interval
+            let mut lane0_lo = f.offset;
+            for (v, c) in &f.terms {
+                let Some((step, min, _max)) = loop_static_spec(p, *v) else {
+                    return false;
+                };
+                if !in_scope(p, hb, *v) {
+                    return false;
+                }
+                let u = unroll.get(v).copied().unwrap_or(UnrollInfo::ONE);
+                let local_trip = if u.unroll > 1 {
+                    match chunk_elems(p, unroll, *v) {
+                        Some(ch) => ch,
+                        None => return false,
+                    }
+                } else {
+                    match p.ctrl(*v).loop_spec().and_then(|s| s.trip_count()) {
+                        Some(t) => t as i64,
+                        None => return false,
+                    }
+                };
+                if u.unroll > 1 {
+                    // lane shift must move whole blocks
+                    let Some(ch) = chunk_elems(p, unroll, *v) else { return false };
+                    let shift = c * step * ch;
+                    if shift % blk != 0 {
+                        return false;
+                    }
+                }
+                let span = (c * step).abs() * (local_trip - 1).max(0);
+                extent += span;
+                let v_lo = min;
+                let v_hi = min + step * (local_trip - 1).max(0);
+                lane0_lo += (c * v_lo).min(c * v_hi);
+            }
+            lane0_lo >= 0 && (lane0_lo % blk) + extent < blk
+        }
+    }
+}
+
+/// `(step, min_value, max_value_inclusive)` of a loop with constant bounds.
+fn loop_static_spec(p: &Program, c: CtrlId) -> Option<(i64, i64, i64)> {
+    let spec = p.ctrl(c).loop_spec()?;
+    let (min, max) = (spec.min, spec.max);
+    let (Bound::Const(min), Bound::Const(_max)) = (min, max) else { return None };
+    if spec.step == 0 {
+        return None;
+    }
+    let trip = spec.trip_count()?;
+    if trip == 0 {
+        return Some((spec.step, min, min));
+    }
+    let last = min + (trip as i64 - 1) * spec.step;
+    Some((spec.step, min.min(last), min.max(last)))
+}
+
+fn in_scope(p: &Program, hb: CtrlId, v: CtrlId) -> bool {
+    p.is_ancestor(v, hb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasticine_arch::ChipSpec;
+    use sara_ir::{BinOp, DType, LoopSpec};
+
+    #[test]
+    fn bank_fn_roundtrip_cyclic() {
+        let f = BankFn::Cyclic { banks: 4 };
+        for flat in 0..64 {
+            let (b, l) = (f.bank_of(flat), f.local_of(flat));
+            assert_eq!(l * 4 + b as i64, flat);
+        }
+        assert_eq!(f.bank_words(64), 16);
+        assert_eq!(f.bank_words(65), 17);
+    }
+
+    #[test]
+    fn bank_fn_roundtrip_blocked() {
+        let f = BankFn::Blocked { banks: 4, block: 8 };
+        for flat in 0..256 {
+            let b = f.bank_of(flat) as i64;
+            let l = f.local_of(flat);
+            // reconstruct: group index g = l / 8 within the bank
+            let g = l / 8 * 4 + b;
+            let rec = g * 8 + l % 8;
+            assert_eq!(rec, flat, "flat {flat}");
+        }
+        assert_eq!(f.bank_words(256), 64);
+    }
+
+    #[test]
+    fn unroll_info_vectorizes_innermost_only() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let outer = p.add_loop(root, "o", LoopSpec::new(0, 64, 1).par(4)).unwrap();
+        let inner = p.add_loop(outer, "i", LoopSpec::new(0, 64, 1).par(32)).unwrap();
+        p.add_leaf(inner, "b").unwrap();
+        let u = unroll_info(&p, 16);
+        assert_eq!(u[&outer], UnrollInfo { unroll: 4, vec: 1 });
+        // par 32 on a 16-lane machine: vectorize 16, unroll 2
+        assert_eq!(u[&inner], UnrollInfo { unroll: 2, vec: 16 });
+    }
+
+    /// tile[i][j], i-loop unrolled by 2: block-cyclic banking over the row
+    /// dimension statically resolves both accessors.
+    #[test]
+    fn blocked_banking_statically_resolves_row_sharding() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let m = p.sram("tile", &[4, 8], DType::F64);
+        // writer: for i in 0..4 par 2 { for j in 0..8 { tile[i][j] = 1 } }
+        let wi = p.add_loop(root, "wi", LoopSpec::new(0, 4, 1).par(2)).unwrap();
+        let wj = p.add_loop(wi, "wj", LoopSpec::new(0, 8, 1)).unwrap();
+        let whb = p.add_leaf(wj, "w").unwrap();
+        let i1 = p.idx(whb, wi).unwrap();
+        let j1 = p.idx(whb, wj).unwrap();
+        let v = p.c_f64(whb, 1.0).unwrap();
+        p.store(whb, m, &[i1, j1], v).unwrap();
+        // reader: same shape
+        let ri = p.add_loop(root, "ri", LoopSpec::new(0, 4, 1).par(2)).unwrap();
+        let rj = p.add_loop(ri, "rj", LoopSpec::new(0, 8, 1)).unwrap();
+        let rhb = p.add_leaf(rj, "r").unwrap();
+        let i2 = p.idx(rhb, ri).unwrap();
+        let j2 = p.idx(rhb, rj).unwrap();
+        p.load(rhb, m, &[i2, j2]).unwrap();
+        p.validate().unwrap();
+
+        let chip = ChipSpec::tiny_4x4();
+        let unroll = unroll_info(&p, chip.pcu.lanes);
+        let plan = plan_banking(&p, &chip, &unroll, true).unwrap();
+        let mp = plan.of(m).unwrap();
+        assert_eq!(mp.bank_fn.banks(), 2);
+        assert!(mp.routes.values().all(|r| *r == BankRoute::Static), "{:?}", mp.bank_fn);
+        // Blocked lane distribution: lane 0 owns rows 0-1, lane 1 owns
+        // rows 2-3; banks split accordingly.
+        assert_eq!(mp.bank_fn.bank_of(0), mp.bank_fn.bank_of(8)); // rows 0,1
+        assert_ne!(mp.bank_fn.bank_of(0), mp.bank_fn.bank_of(16)); // row 2
+    }
+
+    /// A data-dependent (gather) access cannot be statically resolved.
+    #[test]
+    fn gather_routes_dynamically() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let idxm = p.sram("idx", &[16], DType::I64);
+        let m = p.sram("data", &[16], DType::F64);
+        // writer with par to force banking
+        let wl = p.add_loop(root, "w", LoopSpec::new(0, 16, 1)).unwrap();
+        // parallelize an *outer* wrapper so data gets banked
+        let whb = p.add_leaf(wl, "wb").unwrap();
+        let i = p.idx(whb, wl).unwrap();
+        let v = p.c_f64(whb, 1.0).unwrap();
+        p.store(whb, m, &[i], v).unwrap();
+        p.store(whb, idxm, &[i], i).unwrap();
+        let rl = p.add_loop(root, "r", LoopSpec::new(0, 16, 1).par(2)).unwrap();
+        let rin = p.add_loop(rl, "ri", LoopSpec::new(0, 1, 1)).unwrap();
+        let rhb = p.add_leaf(rin, "rb").unwrap();
+        let j = p.idx(rhb, rl).unwrap();
+        let ix = p.load(rhb, idxm, &[j]).unwrap();
+        p.load(rhb, m, &[ix]).unwrap();
+        p.validate().unwrap();
+
+        let chip = ChipSpec::tiny_4x4();
+        let unroll = unroll_info(&p, chip.pcu.lanes);
+        let plan = plan_banking(&p, &chip, &unroll, true).unwrap();
+        let mp = plan.of(m).unwrap();
+        assert!(mp.bank_fn.banks() >= 2);
+        // the gather read is dynamic
+        let gather = p.accesses_of(m).into_iter().find(|a| !a.is_write && a.id.hb == rhb).unwrap();
+        assert_eq!(mp.routes[&gather.id], BankRoute::Dynamic);
+    }
+
+    #[test]
+    fn capacity_forces_banking() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let words = ChipSpec::tiny_4x4().pmu.capacity_words() as usize;
+        let m = p.sram("big", &[words * 3], DType::F64);
+        let l = p.add_loop(root, "l", LoopSpec::new(0, 64, 1)).unwrap();
+        let hb = p.add_leaf(l, "b").unwrap();
+        let i = p.idx(hb, l).unwrap();
+        let v = p.c_f64(hb, 0.5).unwrap();
+        p.store(hb, m, &[i], v).unwrap();
+        p.validate().unwrap();
+        let chip = ChipSpec::tiny_4x4();
+        let unroll = unroll_info(&p, chip.pcu.lanes);
+        let plan = plan_banking(&p, &chip, &unroll, true).unwrap();
+        assert!(plan.of(m).unwrap().bank_fn.banks() >= 3);
+        // with banking disabled (PC baseline) the memory is too large
+        assert!(matches!(
+            plan_banking(&p, &chip, &unroll, false),
+            Err(CompileError::MemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn privatization_scope_detected() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let m = p.sram("buf", &[8], DType::F64);
+        let o = p.add_loop(root, "o", LoopSpec::new(0, 8, 1).par(2)).unwrap();
+        let a = p.add_loop(o, "a", LoopSpec::new(0, 8, 1)).unwrap();
+        let ahb = p.add_leaf(a, "w").unwrap();
+        let ai = p.idx(ahb, a).unwrap();
+        let av = p.c_f64(ahb, 1.0).unwrap();
+        p.store(ahb, m, &[ai], av).unwrap();
+        let b = p.add_loop(o, "b", LoopSpec::new(0, 8, 1)).unwrap();
+        let bhb = p.add_leaf(b, "r").unwrap();
+        let bi = p.idx(bhb, b).unwrap();
+        let x = p.load(bhb, m, &[bi]).unwrap();
+        let _ = p.bin(bhb, BinOp::Add, x, x).unwrap();
+        p.validate().unwrap();
+        let chip = ChipSpec::tiny_4x4();
+        let unroll = unroll_info(&p, chip.pcu.lanes);
+        let plan = plan_banking(&p, &chip, &unroll, true).unwrap();
+        let mp = plan.of(m).unwrap();
+        // both accessors live under loop o, which is unrolled by 2
+        assert_eq!(mp.private_loops, vec![(o, 2)]);
+        assert_eq!(mp.copies(), 2);
+        assert_eq!(mp.bank_fn.banks(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Resource usage reports produced by assignment.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical resource usage of a compiled program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// Pattern compute units consumed (main/request/merge/retime VCUs
+    /// after partitioning and merging).
+    pub pcus: usize,
+    /// Pattern memory units consumed (VMU banks × multibuffering fits in
+    /// one PMU; response/sync logic rides along with its PMU).
+    pub pmus: usize,
+    /// Address generators consumed.
+    pub ags: usize,
+    /// Total streams.
+    pub streams: usize,
+    /// Token (control) streams.
+    pub token_streams: usize,
+    /// Retiming units inserted to balance pipeline paths.
+    pub retime_units: usize,
+}
+
+impl ResourceReport {
+    /// Total physical units.
+    pub fn total_pus(&self) -> usize {
+        self.pcus + self.pmus + self.ags
+    }
+
+    /// Whether the design fits a chip with the given unit counts.
+    pub fn fits(&self, pcus: usize, pmus: usize, ags: usize) -> bool {
+        self.pcus <= pcus && self.pmus <= pmus && self.ags <= ags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fits() {
+        let r = ResourceReport { pcus: 10, pmus: 5, ags: 2, ..Default::default() };
+        assert_eq!(r.total_pus(), 17);
+        assert!(r.fits(10, 5, 2));
+        assert!(!r.fits(9, 5, 2));
+    }
+}

@@ -1,0 +1,189 @@
+//! Structural validation of a lowered VUDFG: every port index in every
+//! unit refers to a real stream wired to that unit, token rules reference
+//! existing ports and levels, and memory/crossbar port descriptors are
+//! complete. Run by the compiler after lowering (and usable by tests that
+//! hand-build graphs).
+
+use crate::vudfg::{CBound, Level, NodeOp, UnitKind, Vudfg};
+
+/// Validate the graph; returns the first inconsistency found.
+pub fn validate(g: &Vudfg) -> Result<(), String> {
+    for (ui, u) in g.units.iter().enumerate() {
+        let nin = u.inputs.len();
+        let nout = u.outputs.len();
+        let err = |msg: String| Err(format!("unit {ui} ({}): {msg}", u.label));
+        for (pi, sid) in u.inputs.iter().enumerate() {
+            let s = g.streams.get(sid.index()).ok_or_else(|| format!("unit {ui}: bad stream id"))?;
+            if s.dst.index() != ui {
+                return err(format!("input port {pi} stream does not target this unit"));
+            }
+        }
+        for (pi, port) in u.outputs.iter().enumerate() {
+            for sid in &port.streams {
+                let s =
+                    g.streams.get(sid.index()).ok_or_else(|| format!("unit {ui}: bad stream id"))?;
+                if s.src.index() != ui {
+                    return err(format!("output port {pi} stream does not originate here"));
+                }
+            }
+        }
+        match &u.kind {
+            UnitKind::Vcu(v) => {
+                let nlevels = v.levels.len();
+                for (li, l) in v.levels.iter().enumerate() {
+                    match l {
+                        Level::Counter { min, max, .. } => {
+                            for b in [min, max] {
+                                if let CBound::Port(p) = b {
+                                    if *p >= nin {
+                                        return err(format!("level {li} bound port {p} out of range"));
+                                    }
+                                }
+                            }
+                        }
+                        Level::Gate { cond_in, .. } | Level::While { cond_in, .. } => {
+                            if *cond_in >= nin {
+                                return err(format!("level {li} cond port {cond_in} out of range"));
+                            }
+                        }
+                    }
+                }
+                for r in &v.token_pops {
+                    if r.port >= nin || r.level > nlevels {
+                        return err(format!("token pop rule {r:?} out of range"));
+                    }
+                }
+                for r in &v.token_pushes {
+                    if r.port >= nout || r.level > nlevels {
+                        return err(format!("token push rule {r:?} out of range"));
+                    }
+                }
+                if let Some(l) = v.epoch_emit {
+                    if l >= nlevels {
+                        return err(format!("epoch_emit level {l} out of range"));
+                    }
+                }
+                for (ni, node) in v.dfg.iter().enumerate() {
+                    for op in &node.ins {
+                        if *op >= ni {
+                            return err(format!("dfg node {ni} references later node {op}"));
+                        }
+                    }
+                    match &node.op {
+                        NodeOp::StreamIn { port } if *port >= nin => {
+                            return err(format!("dfg node {ni} reads missing port {port}"));
+                        }
+                        NodeOp::StreamOut { port, .. } if *port >= nout => {
+                            return err(format!("dfg node {ni} writes missing port {port}"));
+                        }
+                        NodeOp::CounterIdx { level }
+                        | NodeOp::IsFirst { level }
+                        | NodeOp::IsLast { level }
+                            if *level >= nlevels =>
+                        {
+                            return err(format!("dfg node {ni} references missing level {level}"));
+                        }
+                        NodeOp::Reduce { reset_level, .. } if *reset_level >= nlevels.max(1) => {
+                            return err(format!("dfg node {ni} reduce level out of range"));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            UnitKind::Vmu(v) => {
+                if v.words == 0 || v.init.len() != v.words {
+                    return err("VMU init/words mismatch".into());
+                }
+                for p in &v.write_ports {
+                    if p.addr_in >= nin || p.data_in >= nin {
+                        return err("VMU write port out of range".into());
+                    }
+                    if let Some(a) = p.ack_out {
+                        if a >= nout {
+                            return err("VMU ack port out of range".into());
+                        }
+                    }
+                }
+                for p in &v.read_ports {
+                    if p.addr_in >= nin || p.data_out >= nout {
+                        return err("VMU read port out of range".into());
+                    }
+                }
+            }
+            UnitKind::Ag(a) => {
+                if a.addr_in >= nin || a.out >= nout {
+                    return err("AG ports out of range".into());
+                }
+                if let Some(d) = a.data_in {
+                    if d >= nin {
+                        return err("AG data port out of range".into());
+                    }
+                }
+            }
+            UnitKind::XbarDist(d) => {
+                if d.bank_in >= nin || d.payload_in >= nin {
+                    return err("xbar-dist inputs out of range".into());
+                }
+                for p in d.bank_outs.iter().chain(d.ba_out.iter()) {
+                    if *p >= nout {
+                        return err("xbar-dist output out of range".into());
+                    }
+                }
+            }
+            UnitKind::XbarColl(c) => {
+                if c.ba_in >= nin || c.out >= nout {
+                    return err("xbar-coll ports out of range".into());
+                }
+                for p in &c.bank_ins {
+                    if *p >= nin {
+                        return err("xbar-coll bank input out of range".into());
+                    }
+                }
+            }
+            UnitKind::Sync(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompilerOptions};
+    use plasticine_arch::ChipSpec;
+    use sara_ir::{DType, LoopSpec, MemInit, Program};
+
+    #[test]
+    fn lowered_graphs_validate() {
+        let mut p = Program::new("v");
+        let root = p.root();
+        let a = p.dram("a", &[16], DType::F64, MemInit::Zero);
+        let l = p.add_loop(root, "i", LoopSpec::new(0, 16, 1).par(4)).unwrap();
+        let hb = p.add_leaf(l, "b").unwrap();
+        let i = p.idx(hb, l).unwrap();
+        let x = p.load(hb, a, &[i]).unwrap();
+        p.store(hb, a, &[i], x).unwrap();
+        let c = compile(&p, &ChipSpec::tiny_4x4(), &CompilerOptions::default()).unwrap();
+        validate(&c.vudfg).unwrap();
+    }
+
+    #[test]
+    fn catches_bad_port() {
+        use crate::vudfg::{DfgNode, Vcu, VcuRole, Vudfg};
+        let mut g = Vudfg::new("bad");
+        g.add_unit(
+            "u",
+            crate::vudfg::UnitKind::Vcu(Vcu {
+                levels: vec![],
+                dfg: vec![DfgNode { op: NodeOp::StreamIn { port: 3 }, ins: vec![] }],
+                width: 1,
+                role: VcuRole::Retime,
+                token_pops: vec![],
+                token_pushes: vec![],
+                producer_gate_mask: vec![],
+                epoch_emit: None,
+            }),
+        );
+        assert!(validate(&g).is_err());
+    }
+}

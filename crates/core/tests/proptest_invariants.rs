@@ -1,0 +1,134 @@
+//! Property tests of the compiler's graph algorithms: transitive
+//! reduction preserves reachability; both partitioning algorithm families
+//! produce valid solutions (capacity, arity, acyclicity, class
+//! feasibility) on random layered DAGs; the solver never allocates more
+//! partitions than the best traversal.
+
+use plasticine_arch::PartitionConstraints;
+use proptest::prelude::*;
+use sara_core::depgraph::DiGraph;
+use sara_core::partition::{partition, Algo, Problem, SolverCfg, TraversalOrder};
+
+fn random_dag(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for (a, b) in edges {
+        // orient edges forward to guarantee a DAG
+        let (x, y) = (a % n, b % n);
+        if x < y {
+            g.add_edge(x, y);
+        } else if y < x {
+            g.add_edge(y, x);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn transitive_reduction_preserves_reachability(
+        n in 2usize..14,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..40),
+    ) {
+        let g = random_dag(n, &edges);
+        let tr = g.transitive_reduction();
+        prop_assert!(tr.edge_count() <= g.edge_count());
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(g.reaches(a, b), tr.reaches(a, b), "({},{})", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_produces_valid_solutions(
+        n in 2usize..24,
+        edges in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+        costs in proptest::collection::vec(0u32..4, 24),
+        max_ops in 2u32..8,
+    ) {
+        let g = random_dag(n, &edges);
+        let cons = PartitionConstraints {
+            max_ops,
+            max_in: 6,
+            max_out: 4,
+            buffer_depth: 16,
+            max_counters: 8,
+        };
+        let costs: Vec<u32> = costs[..n].iter().map(|c| (*c).min(max_ops)).collect();
+        let p = Problem::new(costs, g.edges(), cons);
+        // Instances with a node whose intrinsic fan-in exceeds the input
+        // ports are infeasible by definition and must be *reported*.
+        let max_indeg = (0..n)
+            .map(|i| {
+                g.edges()
+                    .iter()
+                    .filter(|(_, b)| *b == i)
+                    .map(|(a, _)| *a)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len()
+            })
+            .max()
+            .unwrap_or(0);
+        for algo in [
+            Algo::Traversal(TraversalOrder::DfsFwd),
+            Algo::Traversal(TraversalOrder::BfsBwd),
+            Algo::BestTraversal,
+            Algo::Solver(SolverCfg { gap: 0.25, budget_ms: 50 }),
+        ] {
+            match partition(&p, algo) {
+                Ok(sol) => {
+                    let groups = p.check(&sol.group).expect("valid solution");
+                    prop_assert_eq!(groups, sol.num_groups);
+                    prop_assert!(sol.num_groups >= p.lower_bound());
+                }
+                Err(_) => prop_assert!(max_indeg > 6, "feasible instance rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn solver_not_worse_than_best_traversal(
+        n in 2usize..16,
+        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
+    ) {
+        let g = random_dag(n, &edges);
+        let cons = PartitionConstraints {
+            max_ops: 4,
+            max_in: 6,
+            max_out: 4,
+            buffer_depth: 16,
+            max_counters: 8,
+        };
+        let p = Problem::new(vec![1; n], g.edges(), cons);
+        let t = partition(&p, Algo::BestTraversal);
+        let s = partition(&p, Algo::Solver(SolverCfg { gap: 0.0, budget_ms: 200 }));
+        match (t, s) {
+            (Ok(t), Ok(s)) => {
+                prop_assert!(s.num_groups <= t.num_groups, "solver {} vs traversal {}", s.num_groups, t.num_groups);
+            }
+            // infeasible instances (a node's fan-in exceeds the ports)
+            // must be rejected by both algorithms
+            (Err(_), Err(_)) => {}
+            (t, s) => prop_assert!(false, "feasibility disagreement: {t:?} vs {s:?}"),
+        }
+    }
+
+    #[test]
+    fn class_feasibility_respected(
+        n in 2usize..16,
+        classes in proptest::collection::vec(0u32..3, 16),
+    ) {
+        let cons = PartitionConstraints {
+            max_ops: 8,
+            max_in: 6,
+            max_out: 4,
+            buffer_depth: 16,
+            max_counters: 8,
+        };
+        let p = Problem::new(vec![1; n], vec![], cons).with_classes(classes[..n].to_vec());
+        let sol = partition(&p, Algo::BestTraversal).unwrap();
+        p.check(&sol.group).expect("classes respected");
+    }
+}

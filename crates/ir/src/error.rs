@@ -1,0 +1,119 @@
+//! Error type shared by IR construction, validation and interpretation.
+
+use crate::expr::ExprId;
+use crate::mem::MemId;
+use crate::program::CtrlId;
+use std::fmt;
+
+/// Error produced while building, validating or interpreting a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A control id referenced a node that does not exist.
+    UnknownCtrl(CtrlId),
+    /// A memory id referenced a declaration that does not exist.
+    UnknownMem(MemId),
+    /// An expression id referenced a slot that does not exist (or a later
+    /// slot, violating DAG order) within the given hyperblock.
+    UnknownExpr(CtrlId, ExprId),
+    /// Children were added to a hyperblock leaf.
+    LeafHasChildren(CtrlId),
+    /// Expressions were added to a non-leaf controller.
+    NotALeaf(CtrlId),
+    /// A branch controller must have one or two arms.
+    BadBranchArity(CtrlId, usize),
+    /// `Idx`, `IsFirst`, `IsLast` or `Reduce::over` referenced a controller
+    /// that is not a loop ancestor of the hyperblock.
+    NotAnAncestorLoop { hb: CtrlId, ctrl: CtrlId },
+    /// The memory used as a dynamic bound / branch / do-while condition must
+    /// be a scalar register.
+    CondNotScalarReg(MemId),
+    /// Address arity does not match the memory's declared dimensions.
+    AddrArity { mem: MemId, expected: usize, got: usize },
+    /// Loop parallelization factor must be at least 1.
+    BadPar(CtrlId),
+    /// A loop with min >= max and positive step never executes; treated as
+    /// an error to catch builder mistakes early (dynamic bounds may still
+    /// evaluate to empty at run time, which is fine).
+    EmptyStaticLoop(CtrlId),
+    /// Loop step must be nonzero.
+    ZeroStep(CtrlId),
+    /// Declared init data length does not match the memory size.
+    InitLenMismatch { mem: MemId, expected: usize, got: usize },
+    /// Out-of-bounds access detected by the interpreter.
+    Oob { mem: MemId, addr: i64, size: usize },
+    /// A do-while loop exceeded its configured iteration bound.
+    DoWhileDiverged(CtrlId),
+    /// Attempt to attach a child to a controller that cannot have children
+    /// of the given kind (e.g. a second arm on a 2-arm branch).
+    BadChild { parent: CtrlId, reason: &'static str },
+    /// Generic validation failure with a human-readable reason.
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownCtrl(c) => write!(f, "unknown controller {c:?}"),
+            IrError::UnknownMem(m) => write!(f, "unknown memory {m:?}"),
+            IrError::UnknownExpr(c, e) => {
+                write!(f, "unknown or forward expression {e:?} in hyperblock {c:?}")
+            }
+            IrError::LeafHasChildren(c) => write!(f, "hyperblock {c:?} has children"),
+            IrError::NotALeaf(c) => write!(f, "controller {c:?} is not a hyperblock"),
+            IrError::BadBranchArity(c, n) => {
+                write!(f, "branch {c:?} has {n} arms, expected 1 or 2")
+            }
+            IrError::NotAnAncestorLoop { hb, ctrl } => {
+                write!(f, "controller {ctrl:?} is not a loop ancestor of hyperblock {hb:?}")
+            }
+            IrError::CondNotScalarReg(m) => {
+                write!(f, "memory {m:?} used as condition or dynamic bound is not a scalar register")
+            }
+            IrError::AddrArity { mem, expected, got } => {
+                write!(f, "address for {mem:?} has {got} dimensions, expected {expected}")
+            }
+            IrError::BadPar(c) => write!(f, "loop {c:?} has parallelization factor 0"),
+            IrError::EmptyStaticLoop(c) => write!(f, "loop {c:?} has statically empty range"),
+            IrError::ZeroStep(c) => write!(f, "loop {c:?} has zero step"),
+            IrError::InitLenMismatch { mem, expected, got } => {
+                write!(f, "init data for {mem:?} has {got} elements, expected {expected}")
+            }
+            IrError::Oob { mem, addr, size } => {
+                write!(f, "out-of-bounds access to {mem:?}: address {addr}, size {size}")
+            }
+            IrError::DoWhileDiverged(c) => {
+                write!(f, "do-while {c:?} exceeded its iteration bound")
+            }
+            IrError::BadChild { parent, reason } => {
+                write!(f, "cannot add child to {parent:?}: {reason}")
+            }
+            IrError::Invalid(s) => write!(f, "invalid program: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::CtrlId;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<IrError> = vec![
+            IrError::UnknownCtrl(CtrlId(3)),
+            IrError::BadPar(CtrlId(0)),
+            IrError::Invalid("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,355 @@
+//! Hyperblock expressions: straight-line SSA-ordered DAGs evaluated once per
+//! innermost-loop iteration.
+
+use crate::mem::MemId;
+use crate::program::CtrlId;
+use crate::value::Elem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an expression slot within one hyperblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExprId(pub u32);
+
+impl ExprId {
+    /// Index into the hyperblock's expression table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Binary operators.
+///
+/// Comparison operators produce boolean elements (`I64` 0/1). Integer
+/// division and modulo follow Rust semantics (truncating, panics on zero are
+/// mapped to 0 in the interpreter to keep differential tests total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// Whether the operator is a comparison yielding a boolean.
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// Whether the operator is associative, and thus legal as a reduction
+    /// operator (floating-point associativity is assumed, as accelerators
+    /// and the paper's tree reductions do).
+    pub fn is_associative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+
+    /// Evaluate on two elements.
+    pub fn eval(self, a: Elem, b: Elem) -> Elem {
+        use BinOp::*;
+        // Integer path when both operands are integers; float otherwise.
+        match (a, b) {
+            (Elem::I64(x), Elem::I64(y)) => match self {
+                Add => Elem::I64(x.wrapping_add(y)),
+                Sub => Elem::I64(x.wrapping_sub(y)),
+                Mul => Elem::I64(x.wrapping_mul(y)),
+                Div => Elem::I64(if y == 0 { 0 } else { x.wrapping_div(y) }),
+                Mod => Elem::I64(if y == 0 { 0 } else { x.wrapping_rem(y) }),
+                Min => Elem::I64(x.min(y)),
+                Max => Elem::I64(x.max(y)),
+                And => Elem::I64(x & y),
+                Or => Elem::I64(x | y),
+                Xor => Elem::I64(x ^ y),
+                Shl => Elem::I64(x.wrapping_shl(y as u32)),
+                Shr => Elem::I64(x.wrapping_shr(y as u32)),
+                Lt => Elem::from_bool(x < y),
+                Le => Elem::from_bool(x <= y),
+                Gt => Elem::from_bool(x > y),
+                Ge => Elem::from_bool(x >= y),
+                Eq => Elem::from_bool(x == y),
+                Ne => Elem::from_bool(x != y),
+            },
+            _ => {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                match self {
+                    Add => Elem::F64(x + y),
+                    Sub => Elem::F64(x - y),
+                    Mul => Elem::F64(x * y),
+                    Div => Elem::F64(x / y),
+                    Mod => Elem::F64(x % y),
+                    Min => Elem::F64(x.min(y)),
+                    Max => Elem::F64(x.max(y)),
+                    And => Elem::from_bool(x != 0.0 && y != 0.0),
+                    Or => Elem::from_bool(x != 0.0 || y != 0.0),
+                    Xor => Elem::from_bool((x != 0.0) ^ (y != 0.0)),
+                    Shl => Elem::I64((x as i64).wrapping_shl(y as u32)),
+                    Shr => Elem::I64((x as i64).wrapping_shr(y as u32)),
+                    Lt => Elem::from_bool(x < y),
+                    Le => Elem::from_bool(x <= y),
+                    Gt => Elem::from_bool(x > y),
+                    Ge => Elem::from_bool(x >= y),
+                    Eq => Elem::from_bool(x == y),
+                    Ne => Elem::from_bool(x != y),
+                }
+            }
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Not,
+    Abs,
+    Exp,
+    Log,
+    Sqrt,
+    Sigmoid,
+    Tanh,
+    Relu,
+    Floor,
+    /// Convert to float.
+    ToF,
+    /// Convert to integer (truncating).
+    ToI,
+}
+
+impl UnOp {
+    /// Evaluate on one element.
+    pub fn eval(self, a: Elem) -> Elem {
+        use UnOp::*;
+        match self {
+            Neg => match a {
+                Elem::I64(v) => Elem::I64(v.wrapping_neg()),
+                Elem::F64(v) => Elem::F64(-v),
+            },
+            Not => Elem::from_bool(!a.as_bool()),
+            Abs => match a {
+                Elem::I64(v) => Elem::I64(v.wrapping_abs()),
+                Elem::F64(v) => Elem::F64(v.abs()),
+            },
+            Exp => Elem::F64(a.as_f64().exp()),
+            Log => Elem::F64(a.as_f64().ln()),
+            Sqrt => Elem::F64(a.as_f64().sqrt()),
+            Sigmoid => Elem::F64(1.0 / (1.0 + (-a.as_f64()).exp())),
+            Tanh => Elem::F64(a.as_f64().tanh()),
+            Relu => Elem::F64(a.as_f64().max(0.0)),
+            Floor => Elem::F64(a.as_f64().floor()),
+            ToF => Elem::F64(a.as_f64()),
+            ToI => Elem::I64(a.as_i64()),
+        }
+    }
+
+    /// Whether the op requires a transcendental functional unit (these cost
+    /// more pipeline stages on the Plasticine PCU).
+    pub fn is_transcendental(self) -> bool {
+        matches!(self, UnOp::Exp | UnOp::Log | UnOp::Sqrt | UnOp::Sigmoid | UnOp::Tanh)
+    }
+}
+
+/// One expression in a hyperblock.
+///
+/// Expressions form an SSA-ordered DAG: each operand [`ExprId`] must refer
+/// to an *earlier* slot. Side effects ([`Expr::Store`]) execute in slot
+/// order. The reference semantics are "evaluate every slot once per
+/// innermost iteration".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A compile-time constant.
+    Const(Elem),
+    /// Current index of an ancestor loop controller.
+    Idx(CtrlId),
+    /// True on the first iteration of the given ancestor loop (within its
+    /// current activation).
+    IsFirst(CtrlId),
+    /// True on the last iteration of the given ancestor loop.
+    IsLast(CtrlId),
+    /// Unary operation.
+    Un(UnOp, ExprId),
+    /// Binary operation.
+    Bin(BinOp, ExprId, ExprId),
+    /// Select `t` if `c` is true else `f`.
+    Mux { c: ExprId, t: ExprId, f: ExprId },
+    /// Read `mem[addr]` (multi-dimensional address, row-major).
+    Load { mem: MemId, addr: Vec<ExprId> },
+    /// Write `value` to `mem[addr]`, optionally predicated on `cond`.
+    Store { mem: MemId, addr: Vec<ExprId>, value: ExprId, cond: Option<ExprId> },
+    /// Loop-carried accumulation: the accumulator is reset to `init` at
+    /// each new activation of ancestor loop `over` and updated with
+    /// `op(acc, value)` every evaluation; the expression yields the updated
+    /// running value.
+    Reduce { op: BinOp, value: ExprId, init: Elem, over: CtrlId },
+}
+
+impl Expr {
+    /// Operand expression ids (not including addresses of stores/loads?
+    /// — addresses *are* operands and are included).
+    pub fn operands(&self) -> Vec<ExprId> {
+        match self {
+            Expr::Const(_) | Expr::Idx(_) | Expr::IsFirst(_) | Expr::IsLast(_) => vec![],
+            Expr::Un(_, a) => vec![*a],
+            Expr::Bin(_, a, b) => vec![*a, *b],
+            Expr::Mux { c, t, f } => vec![*c, *t, *f],
+            Expr::Load { addr, .. } => addr.clone(),
+            Expr::Store { addr, value, cond, .. } => {
+                let mut v = addr.clone();
+                v.push(*value);
+                if let Some(c) = cond {
+                    v.push(*c);
+                }
+                v
+            }
+            Expr::Reduce { value, .. } => vec![*value],
+        }
+    }
+
+    /// Memory touched by this expression, with `true` for writes.
+    pub fn mem_effect(&self) -> Option<(MemId, bool)> {
+        match self {
+            Expr::Load { mem, .. } => Some((*mem, false)),
+            Expr::Store { mem, .. } => Some((*mem, true)),
+            _ => None,
+        }
+    }
+
+    /// Whether this expression has a side effect (stores).
+    pub fn is_effect(&self) -> bool {
+        matches!(self, Expr::Store { .. })
+    }
+}
+
+/// A hyperblock: the straight-line body of an innermost controller.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Hyperblock {
+    /// SSA-ordered expression slots.
+    pub exprs: Vec<Expr>,
+}
+
+impl Hyperblock {
+    /// Number of expression slots.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Whether the hyperblock has no expressions.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// Expression at a slot, if in range.
+    pub fn get(&self, id: ExprId) -> Option<&Expr> {
+        self.exprs.get(id.index())
+    }
+
+    /// Iterate `(ExprId, &Expr)` in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (ExprId, &Expr)> {
+        self.exprs.iter().enumerate().map(|(i, e)| (ExprId(i as u32), e))
+    }
+}
+
+/// Globally unique identifier of one memory access site: a (hyperblock,
+/// expression-slot) pair. CMMC dependency analysis, the memory partitioner
+/// and the vanilla-PC baseline all reason in terms of `AccessId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AccessId {
+    /// Hyperblock (leaf controller) containing the access.
+    pub hb: CtrlId,
+    /// Expression slot of the `Load` or `Store`.
+    pub expr: ExprId,
+}
+
+impl fmt::Display for AccessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.hb, self.expr)
+    }
+}
+
+/// A resolved access site: which memory it touches and whether it writes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Access {
+    /// Access site.
+    pub id: AccessId,
+    /// Target memory.
+    pub mem: MemId,
+    /// True for stores.
+    pub is_write: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_int_semantics() {
+        assert_eq!(BinOp::Add.eval(Elem::I64(2), Elem::I64(3)), Elem::I64(5));
+        assert_eq!(BinOp::Div.eval(Elem::I64(7), Elem::I64(2)), Elem::I64(3));
+        assert_eq!(BinOp::Div.eval(Elem::I64(7), Elem::I64(0)), Elem::I64(0));
+        assert_eq!(BinOp::Mod.eval(Elem::I64(7), Elem::I64(4)), Elem::I64(3));
+        assert_eq!(BinOp::Lt.eval(Elem::I64(1), Elem::I64(2)), Elem::TRUE);
+    }
+
+    #[test]
+    fn binop_float_promotion() {
+        assert_eq!(BinOp::Add.eval(Elem::I64(2), Elem::F64(0.5)), Elem::F64(2.5));
+        assert_eq!(BinOp::Max.eval(Elem::F64(1.0), Elem::F64(2.0)), Elem::F64(2.0));
+    }
+
+    #[test]
+    fn unop_semantics() {
+        assert_eq!(UnOp::Relu.eval(Elem::F64(-3.0)), Elem::F64(0.0));
+        assert_eq!(UnOp::ToI.eval(Elem::F64(3.9)), Elem::I64(3));
+        assert_eq!(UnOp::Not.eval(Elem::I64(0)), Elem::TRUE);
+        let s = UnOp::Sigmoid.eval(Elem::F64(0.0)).as_f64();
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!(UnOp::Exp.is_transcendental());
+        assert!(!UnOp::Neg.is_transcendental());
+    }
+
+    #[test]
+    fn associativity_classification() {
+        assert!(BinOp::Add.is_associative());
+        assert!(BinOp::Max.is_associative());
+        assert!(!BinOp::Sub.is_associative());
+        assert!(BinOp::Lt.is_cmp());
+    }
+
+    #[test]
+    fn operands_cover_all_inputs() {
+        let store = Expr::Store {
+            mem: MemId(0),
+            addr: vec![ExprId(0), ExprId(1)],
+            value: ExprId(2),
+            cond: Some(ExprId(3)),
+        };
+        assert_eq!(store.operands(), vec![ExprId(0), ExprId(1), ExprId(2), ExprId(3)]);
+        assert_eq!(store.mem_effect(), Some((MemId(0), true)));
+        assert!(store.is_effect());
+        let load = Expr::Load { mem: MemId(1), addr: vec![ExprId(0)] };
+        assert_eq!(load.mem_effect(), Some((MemId(1), false)));
+        assert!(!load.is_effect());
+    }
+}

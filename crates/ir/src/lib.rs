@@ -1,0 +1,70 @@
+//! # sara-ir
+//!
+//! A Spatial-like, single-threaded imperative intermediate representation
+//! for nested-loop data-analytics programs, together with a sequential
+//! reference interpreter.
+//!
+//! This crate is the front-end abstraction of the SARA compiler
+//! reproduction (Zhang et al., *SARA: Scaling a Reconfigurable Dataflow
+//! Accelerator*, ISCA 2021). Programs are expressed as a **control tree**
+//! whose inner nodes are loops, branches and do-while controllers and whose
+//! leaves are **hyperblocks** — straight-line expression DAGs over loop
+//! indices and explicitly declared memories (DRAM tensors, on-chip
+//! scratchpads, scalar registers and FIFOs).
+//!
+//! The IR deliberately routes *all* cross-hyperblock dataflow through
+//! memories: dynamic loop bounds, branch conditions and do-while conditions
+//! are reads of scalar [`MemKind::Reg`] registers written by earlier
+//! hyperblocks. This uniformity is what lets the SARA back end synthesize
+//! compiler-managed memory consistency (CMMC) tokens for every
+//! inter-hyperblock dependency, including control dependencies.
+//!
+//! ## Example
+//!
+//! A dot product, built programmatically and run through the reference
+//! interpreter:
+//!
+//! ```
+//! use sara_ir::{Program, MemKind, DType, MemInit, LoopSpec, BinOp, Elem};
+//!
+//! # fn main() -> Result<(), sara_ir::IrError> {
+//! let mut p = Program::new("dot");
+//! let n = 64usize;
+//! let a = p.dram("a", &[n], DType::F64, MemInit::LinSpace { start: 0.0, step: 1.0 });
+//! let b = p.dram("b", &[n], DType::F64, MemInit::LinSpace { start: 1.0, step: 0.0 });
+//! let out = p.dram("out", &[1], DType::F64, MemInit::Zero);
+//!
+//! let root = p.root();
+//! let i = p.add_loop(root, "i", LoopSpec::new(0, n as i64, 1))?;
+//! let hb = p.add_leaf(i, "body")?;
+//! let ai = p.idx(hb, i)?;
+//! let x = p.load(hb, a, &[ai])?;
+//! let y = p.load(hb, b, &[ai])?;
+//! let xy = p.bin(hb, BinOp::Mul, x, y)?;
+//! let acc = p.reduce(hb, BinOp::Add, xy, Elem::F64(0.0), i)?;
+//! let last = p.is_last(hb, i)?;
+//! let zero = p.c_i64(hb, 0)?;
+//! p.store_if(hb, out, &[zero], acc, last)?;
+//!
+//! p.validate()?;
+//! let outcome = sara_ir::interp::Interp::new(&p).run()?;
+//! assert_eq!(outcome.mem_f64(out)[0], (0..64).map(|v| v as f64).sum::<f64>());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod affine;
+pub mod error;
+pub mod expr;
+pub mod interp;
+pub mod mem;
+pub mod pretty;
+pub mod program;
+pub mod validate;
+pub mod value;
+
+pub use error::IrError;
+pub use expr::{Access, AccessId, BinOp, Expr, ExprId, Hyperblock, UnOp};
+pub use mem::{MemDecl, MemId, MemInit, MemKind};
+pub use program::{Bound, Ctrl, CtrlId, CtrlKind, LoopSpec, Program, Schedule};
+pub use value::{DType, Elem};

@@ -1,0 +1,114 @@
+//! Human-readable rendering of programs for debugging and reports.
+
+use crate::expr::Expr;
+use crate::program::{Bound, CtrlId, CtrlKind, Program};
+use std::fmt::Write as _;
+
+impl Program {
+    /// Render the program as an indented control tree with hyperblock
+    /// bodies, e.g. for compiler-debug dumps.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "program {} ({} mems, {} ctrls)", self.name, self.mems.len(), self.ctrls.len());
+        for (i, m) in self.mems.iter().enumerate() {
+            let _ = writeln!(out, "  m{i}: {} {} {:?} {}", m.kind, m.name, m.dims, m.dtype);
+        }
+        self.pretty_ctrl(self.root(), 1, &mut out);
+        out
+    }
+
+    fn bound_str(&self, b: Bound) -> String {
+        match b {
+            Bound::Const(v) => v.to_string(),
+            Bound::Reg(m) => format!("reg({})", self.mem(m).name),
+        }
+    }
+
+    fn pretty_ctrl(&self, id: CtrlId, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let c = self.ctrl(id);
+        match &c.kind {
+            CtrlKind::Root => {
+                let _ = writeln!(out, "{pad}{id} root");
+            }
+            CtrlKind::Loop(s) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{id} for {} in {}..{} step {} par {} [{:?}]",
+                    c.name,
+                    self.bound_str(s.min),
+                    self.bound_str(s.max),
+                    s.step,
+                    s.par,
+                    c.schedule
+                );
+            }
+            CtrlKind::Branch { cond } => {
+                let _ = writeln!(out, "{pad}{id} if reg({})", self.mem(*cond).name);
+            }
+            CtrlKind::DoWhile { cond, .. } => {
+                let _ = writeln!(out, "{pad}{id} do-while reg({})", self.mem(*cond).name);
+            }
+            CtrlKind::Leaf(h) => {
+                let _ = writeln!(out, "{pad}{id} hb {} {{", c.name);
+                for (eid, e) in h.iter() {
+                    let _ = writeln!(out, "{pad}  {eid} = {}", self.pretty_expr(e));
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        for ch in &c.children {
+            self.pretty_ctrl(*ch, depth + 1, out);
+        }
+    }
+
+    fn pretty_expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Const(v) => format!("const {v}"),
+            Expr::Idx(c) => format!("idx({c})"),
+            Expr::IsFirst(c) => format!("is_first({c})"),
+            Expr::IsLast(c) => format!("is_last({c})"),
+            Expr::Un(op, a) => format!("{op:?} {a}"),
+            Expr::Bin(op, a, b) => format!("{op:?} {a} {b}"),
+            Expr::Mux { c, t, f } => format!("mux {c} ? {t} : {f}"),
+            Expr::Load { mem, addr } => {
+                format!("load {}[{}]", self.mem(*mem).name, fmt_ids(addr))
+            }
+            Expr::Store { mem, addr, value, cond } => {
+                let c = cond.map(|c| format!(" if {c}")).unwrap_or_default();
+                format!("store {}[{}] = {value}{c}", self.mem(*mem).name, fmt_ids(addr))
+            }
+            Expr::Reduce { op, value, init, over } => {
+                format!("reduce {op:?} {value} init {init} over {over}")
+            }
+        }
+    }
+}
+
+fn fmt_ids(ids: &[crate::expr::ExprId]) -> String {
+    ids.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::LoopSpec;
+    use crate::value::DType;
+
+    #[test]
+    fn pretty_contains_structure() {
+        let mut p = Program::new("demo");
+        let root = p.root();
+        let m = p.sram("buf", &[4], DType::F64);
+        let l = p.add_loop(root, "i", LoopSpec::new(0, 4, 1).par(2)).unwrap();
+        let hb = p.add_leaf(l, "body").unwrap();
+        let i = p.idx(hb, l).unwrap();
+        let v = p.c_f64(hb, 2.0).unwrap();
+        p.store(hb, m, &[i], v).unwrap();
+        let s = p.pretty();
+        assert!(s.contains("program demo"));
+        assert!(s.contains("for i in 0..4 step 1 par 2"));
+        assert!(s.contains("store buf"));
+        assert!(s.contains("sram buf"));
+    }
+}

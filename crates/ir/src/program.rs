@@ -1,0 +1,679 @@
+//! The program: a control tree over hyperblocks, plus memory declarations,
+//! and the builder API used by workloads.
+
+use crate::error::IrError;
+use crate::expr::{Access, AccessId, BinOp, Expr, ExprId, Hyperblock, UnOp};
+use crate::mem::{MemDecl, MemId, MemInit, MemKind};
+use crate::value::{DType, Elem};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a controller (node of the control tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CtrlId(pub u32);
+
+impl CtrlId {
+    /// Index into the program's controller table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CtrlId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A loop bound: either a compile-time constant or the value of a scalar
+/// register produced by an earlier hyperblock (a *dynamic bound*, paper
+/// §III-A2a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Compile-time constant bound.
+    Const(i64),
+    /// Bound read from a scalar register at loop entry.
+    Reg(MemId),
+}
+
+impl Bound {
+    /// The constant value, if static.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Bound::Const(v) => Some(v),
+            Bound::Reg(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Bound {
+    fn from(v: i64) -> Self {
+        Bound::Const(v)
+    }
+}
+
+/// Counter specification of a `for` loop: `for i in (min..max).step_by(step)`,
+/// with a spatial parallelization factor `par` (paper §II-A(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopSpec {
+    pub min: Bound,
+    pub max: Bound,
+    pub step: i64,
+    /// Parallelization factor. On an innermost loop this vectorizes across
+    /// SIMD lanes; on an outer loop it spatially unrolls the loop body
+    /// across duplicated virtual units.
+    pub par: u32,
+}
+
+impl LoopSpec {
+    /// A unit-step loop over `min..max` with `par = 1`.
+    pub fn new(min: impl Into<Bound>, max: impl Into<Bound>, step: i64) -> Self {
+        LoopSpec { min: min.into(), max: max.into(), step, par: 1 }
+    }
+
+    /// Set the parallelization factor (builder style).
+    pub fn par(mut self, par: u32) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Static trip count, if both bounds are constants.
+    pub fn trip_count(&self) -> Option<u64> {
+        let (min, max) = (self.min.as_const()?, self.max.as_const()?);
+        if self.step == 0 {
+            return None;
+        }
+        if self.step > 0 {
+            Some(((max - min).max(0) as u64).div_ceil(self.step as u64))
+        } else {
+            Some(((min - max).max(0) as u64).div_ceil((-self.step) as u64))
+        }
+    }
+}
+
+/// Scheduling directive for a controller with children (paper Fig 2:
+/// hierarchical pipelining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Children form coarse-grained pipeline stages overlapped across
+    /// iterations of this controller (credits > 1, multibuffered
+    /// intermediate memories).
+    #[default]
+    Pipelined,
+    /// Children execute strictly one activation at a time (credit = 1).
+    Sequential,
+}
+
+/// Kind of a controller node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CtrlKind {
+    /// Root of the control tree; executes its children in program order
+    /// exactly once (per accelerator invocation).
+    Root,
+    /// Counted loop with an attached counter specification.
+    Loop(LoopSpec),
+    /// Two-way (or one-way) branch. The condition is a scalar register
+    /// written by an earlier hyperblock; child 0 is the `then` arm, child 1
+    /// (if present) the `else` arm (paper §III-A2b, Fig 4).
+    Branch { cond: MemId },
+    /// Do-while loop: executes children, then repeats while the scalar
+    /// register `cond` is nonzero (paper §III-A2c). `max_iter` bounds
+    /// divergence in the interpreter and simulator.
+    DoWhile { cond: MemId, max_iter: u64 },
+    /// Leaf hyperblock: a straight-line expression DAG.
+    Leaf(Hyperblock),
+}
+
+/// A controller node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctrl {
+    /// Human-readable name.
+    pub name: String,
+    /// Parent controller (`None` only for the root).
+    pub parent: Option<CtrlId>,
+    /// Node kind.
+    pub kind: CtrlKind,
+    /// Children, in program order.
+    pub children: Vec<CtrlId>,
+    /// Schedule for the children of this controller.
+    pub schedule: Schedule,
+}
+
+impl Ctrl {
+    /// Loop specification, if this is a counted loop.
+    pub fn loop_spec(&self) -> Option<&LoopSpec> {
+        match &self.kind {
+            CtrlKind::Loop(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Hyperblock body, if this is a leaf.
+    pub fn hyperblock(&self) -> Option<&Hyperblock> {
+        match &self.kind {
+            CtrlKind::Leaf(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Whether this controller iterates (loop or do-while).
+    pub fn is_iterative(&self) -> bool {
+        matches!(self.kind, CtrlKind::Loop(_) | CtrlKind::DoWhile { .. })
+    }
+}
+
+/// A complete program: memories + control tree.
+///
+/// Construction goes through the builder methods (`dram`, `add_loop`,
+/// `load`, ...) which perform local checks; [`Program::validate`] performs
+/// the global checks and should be called before compiling or interpreting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Memory declarations.
+    pub mems: Vec<MemDecl>,
+    /// Controller table; index 0 is always the root.
+    pub ctrls: Vec<Ctrl>,
+}
+
+impl Program {
+    /// Create an empty program with a root controller.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            mems: Vec::new(),
+            ctrls: vec![Ctrl {
+                name: "root".into(),
+                parent: None,
+                kind: CtrlKind::Root,
+                children: Vec::new(),
+                schedule: Schedule::Pipelined,
+            }],
+        }
+    }
+
+    /// The root controller id.
+    pub fn root(&self) -> CtrlId {
+        CtrlId(0)
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    fn add_mem(&mut self, name: &str, kind: MemKind, dims: &[usize], dtype: DType, init: MemInit) -> MemId {
+        let id = MemId(self.mems.len() as u32);
+        self.mems.push(MemDecl { name: name.to_string(), kind, dims: dims.to_vec(), dtype, init });
+        id
+    }
+
+    /// Declare an off-chip DRAM tensor.
+    pub fn dram(&mut self, name: &str, dims: &[usize], dtype: DType, init: MemInit) -> MemId {
+        self.add_mem(name, MemKind::Dram, dims, dtype, init)
+    }
+
+    /// Declare an on-chip scratchpad.
+    pub fn sram(&mut self, name: &str, dims: &[usize], dtype: DType) -> MemId {
+        self.add_mem(name, MemKind::Sram, dims, dtype, MemInit::Zero)
+    }
+
+    /// Declare a scalar register (initialized to zero).
+    pub fn reg(&mut self, name: &str, dtype: DType) -> MemId {
+        self.add_mem(name, MemKind::Reg, &[1], dtype, MemInit::Zero)
+    }
+
+    /// Declare a scalar register with an initial value.
+    pub fn reg_init(&mut self, name: &str, init: Elem) -> MemId {
+        self.add_mem(name, MemKind::Reg, &[1], init.dtype(), MemInit::Data(vec![init]))
+    }
+
+    /// Declare a FIFO of the given capacity (capacity is a legality hint for
+    /// the hardware mapping; reference semantics treat it as unbounded).
+    pub fn fifo(&mut self, name: &str, capacity: usize, dtype: DType) -> MemId {
+        self.add_mem(name, MemKind::Fifo, &[capacity], dtype, MemInit::Zero)
+    }
+
+    /// Memory declaration lookup.
+    pub fn mem(&self, id: MemId) -> &MemDecl {
+        &self.mems[id.index()]
+    }
+
+    /// Controller lookup.
+    pub fn ctrl(&self, id: CtrlId) -> &Ctrl {
+        &self.ctrls[id.index()]
+    }
+
+    /// Mutable controller lookup.
+    pub fn ctrl_mut(&mut self, id: CtrlId) -> &mut Ctrl {
+        &mut self.ctrls[id.index()]
+    }
+
+    // ---- control-tree construction ----------------------------------------
+
+    fn add_ctrl(&mut self, parent: CtrlId, name: &str, kind: CtrlKind) -> Result<CtrlId, IrError> {
+        let p = self.ctrls.get(parent.index()).ok_or(IrError::UnknownCtrl(parent))?;
+        match &p.kind {
+            CtrlKind::Leaf(_) => return Err(IrError::LeafHasChildren(parent)),
+            CtrlKind::Branch { .. } if p.children.len() >= 2 => {
+                return Err(IrError::BadChild { parent, reason: "branch already has two arms" })
+            }
+            _ => {}
+        }
+        let id = CtrlId(self.ctrls.len() as u32);
+        self.ctrls.push(Ctrl {
+            name: name.to_string(),
+            parent: Some(parent),
+            kind,
+            children: Vec::new(),
+            schedule: Schedule::Pipelined,
+        });
+        self.ctrls[parent.index()].children.push(id);
+        Ok(id)
+    }
+
+    /// Add a counted loop under `parent`.
+    ///
+    /// # Errors
+    /// Fails if `parent` does not exist, is a leaf, or is a full branch.
+    pub fn add_loop(&mut self, parent: CtrlId, name: &str, spec: LoopSpec) -> Result<CtrlId, IrError> {
+        self.add_ctrl(parent, name, CtrlKind::Loop(spec))
+    }
+
+    /// Add a branch controller whose condition is the scalar register `cond`.
+    /// Attach arms by adding children to the returned id (first child =
+    /// `then`, second = `else`).
+    ///
+    /// # Errors
+    /// Fails if `parent` is invalid or `cond` is not a scalar register.
+    pub fn add_branch(&mut self, parent: CtrlId, name: &str, cond: MemId) -> Result<CtrlId, IrError> {
+        let decl = self.mems.get(cond.index()).ok_or(IrError::UnknownMem(cond))?;
+        if !decl.is_scalar_reg() {
+            return Err(IrError::CondNotScalarReg(cond));
+        }
+        self.add_ctrl(parent, name, CtrlKind::Branch { cond })
+    }
+
+    /// Add a do-while controller. The body (children) executes at least
+    /// once and repeats while `cond` is nonzero.
+    ///
+    /// # Errors
+    /// Fails if `parent` is invalid or `cond` is not a scalar register.
+    pub fn add_do_while(
+        &mut self,
+        parent: CtrlId,
+        name: &str,
+        cond: MemId,
+        max_iter: u64,
+    ) -> Result<CtrlId, IrError> {
+        let decl = self.mems.get(cond.index()).ok_or(IrError::UnknownMem(cond))?;
+        if !decl.is_scalar_reg() {
+            return Err(IrError::CondNotScalarReg(cond));
+        }
+        self.add_ctrl(parent, name, CtrlKind::DoWhile { cond, max_iter })
+    }
+
+    /// Add a leaf hyperblock under `parent`.
+    ///
+    /// # Errors
+    /// Fails if `parent` is invalid, a leaf, or a full branch.
+    pub fn add_leaf(&mut self, parent: CtrlId, name: &str) -> Result<CtrlId, IrError> {
+        self.add_ctrl(parent, name, CtrlKind::Leaf(Hyperblock::default()))
+    }
+
+    /// Set a controller's child schedule (builder style).
+    pub fn set_schedule(&mut self, ctrl: CtrlId, schedule: Schedule) {
+        self.ctrls[ctrl.index()].schedule = schedule;
+    }
+
+    // ---- expression construction -------------------------------------------
+
+    fn push_expr(&mut self, hb: CtrlId, e: Expr) -> Result<ExprId, IrError> {
+        // Check operand slots exist *before* borrowing mutably.
+        let n = {
+            let c = self.ctrls.get(hb.index()).ok_or(IrError::UnknownCtrl(hb))?;
+            match &c.kind {
+                CtrlKind::Leaf(h) => h.exprs.len(),
+                _ => return Err(IrError::NotALeaf(hb)),
+            }
+        };
+        for op in e.operands() {
+            if op.index() >= n {
+                return Err(IrError::UnknownExpr(hb, op));
+            }
+        }
+        match &mut self.ctrls[hb.index()].kind {
+            CtrlKind::Leaf(h) => {
+                h.exprs.push(e);
+                Ok(ExprId((h.exprs.len() - 1) as u32))
+            }
+            _ => unreachable!("checked above"),
+        }
+    }
+
+    /// Integer constant.
+    pub fn c_i64(&mut self, hb: CtrlId, v: i64) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::Const(Elem::I64(v)))
+    }
+
+    /// Float constant.
+    pub fn c_f64(&mut self, hb: CtrlId, v: f64) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::Const(Elem::F64(v)))
+    }
+
+    /// Current index of ancestor loop `ctrl`.
+    pub fn idx(&mut self, hb: CtrlId, ctrl: CtrlId) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::Idx(ctrl))
+    }
+
+    /// First-iteration predicate of ancestor loop `ctrl`.
+    pub fn is_first(&mut self, hb: CtrlId, ctrl: CtrlId) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::IsFirst(ctrl))
+    }
+
+    /// Last-iteration predicate of ancestor loop `ctrl`.
+    pub fn is_last(&mut self, hb: CtrlId, ctrl: CtrlId) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::IsLast(ctrl))
+    }
+
+    /// Unary operation.
+    pub fn un(&mut self, hb: CtrlId, op: UnOp, a: ExprId) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::Un(op, a))
+    }
+
+    /// Binary operation.
+    pub fn bin(&mut self, hb: CtrlId, op: BinOp, a: ExprId, b: ExprId) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::Bin(op, a, b))
+    }
+
+    /// Select.
+    pub fn mux(&mut self, hb: CtrlId, c: ExprId, t: ExprId, f: ExprId) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::Mux { c, t, f })
+    }
+
+    /// Load from memory.
+    pub fn load(&mut self, hb: CtrlId, mem: MemId, addr: &[ExprId]) -> Result<ExprId, IrError> {
+        let decl = self.mems.get(mem.index()).ok_or(IrError::UnknownMem(mem))?;
+        if decl.dims.len() != addr.len() {
+            return Err(IrError::AddrArity { mem, expected: decl.dims.len(), got: addr.len() });
+        }
+        self.push_expr(hb, Expr::Load { mem, addr: addr.to_vec() })
+    }
+
+    /// Unconditional store to memory.
+    pub fn store(&mut self, hb: CtrlId, mem: MemId, addr: &[ExprId], value: ExprId) -> Result<ExprId, IrError> {
+        let decl = self.mems.get(mem.index()).ok_or(IrError::UnknownMem(mem))?;
+        if decl.dims.len() != addr.len() {
+            return Err(IrError::AddrArity { mem, expected: decl.dims.len(), got: addr.len() });
+        }
+        self.push_expr(hb, Expr::Store { mem, addr: addr.to_vec(), value, cond: None })
+    }
+
+    /// Predicated store to memory.
+    pub fn store_if(
+        &mut self,
+        hb: CtrlId,
+        mem: MemId,
+        addr: &[ExprId],
+        value: ExprId,
+        cond: ExprId,
+    ) -> Result<ExprId, IrError> {
+        let decl = self.mems.get(mem.index()).ok_or(IrError::UnknownMem(mem))?;
+        if decl.dims.len() != addr.len() {
+            return Err(IrError::AddrArity { mem, expected: decl.dims.len(), got: addr.len() });
+        }
+        self.push_expr(hb, Expr::Store { mem, addr: addr.to_vec(), value, cond: Some(cond) })
+    }
+
+    /// Loop-carried reduction over ancestor loop `over`.
+    pub fn reduce(
+        &mut self,
+        hb: CtrlId,
+        op: BinOp,
+        value: ExprId,
+        init: Elem,
+        over: CtrlId,
+    ) -> Result<ExprId, IrError> {
+        self.push_expr(hb, Expr::Reduce { op, value, init, over })
+    }
+
+    // ---- queries ------------------------------------------------------------
+
+    /// Ancestors of a controller from itself up to (and including) the root.
+    pub fn ancestors(&self, mut c: CtrlId) -> Vec<CtrlId> {
+        let mut out = vec![c];
+        while let Some(p) = self.ctrls[c.index()].parent {
+            out.push(p);
+            c = p;
+        }
+        out
+    }
+
+    /// Whether `anc` is an ancestor of `c` (inclusive).
+    pub fn is_ancestor(&self, anc: CtrlId, c: CtrlId) -> bool {
+        self.ancestors(c).contains(&anc)
+    }
+
+    /// Least common ancestor of two controllers.
+    pub fn lca(&self, a: CtrlId, b: CtrlId) -> CtrlId {
+        let aa = self.ancestors(a);
+        let bb: std::collections::HashSet<_> = self.ancestors(b).into_iter().collect();
+        *aa.iter().find(|c| bb.contains(c)).expect("root is a common ancestor")
+    }
+
+    /// The child of `lca` on the path from `lca` down to `c`, or `c` itself
+    /// if `c == lca`. This is the "immediate child ancestor" of §III-A1 used
+    /// to drive token push/pop signals.
+    pub fn child_toward(&self, lca: CtrlId, c: CtrlId) -> CtrlId {
+        let path = self.ancestors(c);
+        let pos = path.iter().position(|x| *x == lca).expect("lca must be an ancestor");
+        if pos == 0 {
+            c
+        } else {
+            path[pos - 1]
+        }
+    }
+
+    /// Loop ancestors of a controller (innermost first), *excluding*
+    /// non-loop controllers, used as the counter chain of lowered units.
+    pub fn loop_ancestors(&self, c: CtrlId) -> Vec<CtrlId> {
+        self.ancestors(c)
+            .into_iter()
+            .filter(|id| self.ctrls[id.index()].is_iterative())
+            .collect()
+    }
+
+    /// All leaf hyperblocks in program order (depth-first).
+    pub fn leaves(&self) -> Vec<CtrlId> {
+        let mut out = Vec::new();
+        self.visit_preorder(self.root(), &mut |id| {
+            if matches!(self.ctrls[id.index()].kind, CtrlKind::Leaf(_)) {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    /// Depth-first pre-order traversal.
+    pub fn visit_preorder(&self, from: CtrlId, f: &mut impl FnMut(CtrlId)) {
+        f(from);
+        // Clone to avoid borrowing issues with the closure.
+        let children = self.ctrls[from.index()].children.clone();
+        for c in children {
+            self.visit_preorder(c, f);
+        }
+    }
+
+    /// All memory access sites in program order. This order defines the
+    /// sequential semantics CMMC must preserve.
+    pub fn accesses(&self) -> Vec<Access> {
+        let mut out = Vec::new();
+        for hb in self.leaves() {
+            if let CtrlKind::Leaf(h) = &self.ctrls[hb.index()].kind {
+                for (eid, e) in h.iter() {
+                    if let Some((mem, is_write)) = e.mem_effect() {
+                        out.push(Access { id: AccessId { hb, expr: eid }, mem, is_write });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Access sites touching one memory, in program order.
+    pub fn accesses_of(&self, mem: MemId) -> Vec<Access> {
+        self.accesses().into_iter().filter(|a| a.mem == mem).collect()
+    }
+
+    /// Scalar registers consumed as dynamic bounds or conditions by a
+    /// controller. The lowering turns each into a broadcast value stream.
+    pub fn control_inputs(&self, c: CtrlId) -> Vec<MemId> {
+        let mut out = Vec::new();
+        match &self.ctrls[c.index()].kind {
+            CtrlKind::Loop(spec) => {
+                if let Bound::Reg(m) = spec.min {
+                    out.push(m);
+                }
+                if let Bound::Reg(m) = spec.max {
+                    out.push(m);
+                }
+            }
+            CtrlKind::Branch { cond } => out.push(*cond),
+            CtrlKind::DoWhile { cond, .. } => out.push(*cond),
+            _ => {}
+        }
+        out
+    }
+
+    /// Total number of expression slots across all hyperblocks (a crude
+    /// program-size metric used in reports).
+    pub fn total_exprs(&self) -> usize {
+        self.ctrls
+            .iter()
+            .filter_map(|c| c.hyperblock().map(|h| h.len()))
+            .sum()
+    }
+
+    /// Maximum control-tree depth (root = 1).
+    pub fn control_depth(&self) -> usize {
+        self.ctrls
+            .iter()
+            .enumerate()
+            .map(|(i, _)| self.ancestors(CtrlId(i as u32)).len())
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Program, CtrlId, CtrlId, CtrlId, CtrlId) {
+        // root { A { B { C leaf, D leaf }, G leaf } }
+        let mut p = Program::new("t");
+        let root = p.root();
+        let a = p.add_loop(root, "A", LoopSpec::new(0, 4, 1)).unwrap();
+        let b = p.add_loop(a, "B", LoopSpec::new(0, 2, 1)).unwrap();
+        let c = p.add_leaf(b, "C").unwrap();
+        let d = p.add_leaf(b, "D").unwrap();
+        let g = p.add_leaf(a, "G").unwrap();
+        (p, a, c, d, g)
+    }
+
+    #[test]
+    fn tree_structure_queries() {
+        let (p, a, c, d, g) = sample();
+        assert!(p.is_ancestor(a, c));
+        assert!(!p.is_ancestor(c, a));
+        let b = p.ctrl(c).parent.unwrap();
+        assert_eq!(p.lca(c, d), b);
+        assert_eq!(p.lca(c, g), a);
+        assert_eq!(p.child_toward(a, c), b);
+        assert_eq!(p.child_toward(a, g), g);
+        assert_eq!(p.leaves(), vec![c, d, g]);
+    }
+
+    #[test]
+    fn loop_ancestors_innermost_first() {
+        let (p, a, c, _, _) = sample();
+        let b = p.ctrl(c).parent.unwrap();
+        assert_eq!(p.loop_ancestors(c), vec![b, a]);
+    }
+
+    #[test]
+    fn leaf_rejects_children_and_exprs_on_nonleaf() {
+        let (mut p, a, c, _, _) = sample();
+        assert!(matches!(p.add_leaf(c, "x"), Err(IrError::LeafHasChildren(_))));
+        assert!(matches!(p.c_i64(a, 0), Err(IrError::NotALeaf(_))));
+    }
+
+    #[test]
+    fn branch_arity_enforced() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let cond = p.reg("c", DType::I64);
+        let br = p.add_branch(root, "br", cond).unwrap();
+        p.add_leaf(br, "then").unwrap();
+        p.add_leaf(br, "else").unwrap();
+        assert!(matches!(p.add_leaf(br, "third"), Err(IrError::BadChild { .. })));
+    }
+
+    #[test]
+    fn branch_cond_must_be_scalar_reg() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let s = p.sram("s", &[4], DType::I64);
+        assert!(matches!(p.add_branch(root, "br", s), Err(IrError::CondNotScalarReg(_))));
+    }
+
+    #[test]
+    fn expr_operand_order_enforced() {
+        let (mut p, _, c, _, _) = sample();
+        let bad = ExprId(99);
+        assert!(matches!(p.un(c, UnOp::Neg, bad), Err(IrError::UnknownExpr(..))));
+        let x = p.c_i64(c, 1).unwrap();
+        assert!(p.un(c, UnOp::Neg, x).is_ok());
+    }
+
+    #[test]
+    fn addr_arity_checked() {
+        let (mut p, _, c, _, _) = sample();
+        let m = p.sram("m", &[2, 2], DType::F64);
+        let z = p.c_i64(c, 0).unwrap();
+        assert!(matches!(p.load(c, m, &[z]), Err(IrError::AddrArity { .. })));
+        assert!(p.load(c, m, &[z, z]).is_ok());
+    }
+
+    #[test]
+    fn accesses_in_program_order() {
+        let (mut p, _, c, d, _) = sample();
+        let m = p.sram("m", &[8], DType::F64);
+        let zc = p.c_i64(c, 0).unwrap();
+        let v = p.c_f64(c, 1.0).unwrap();
+        p.store(c, m, &[zc], v).unwrap();
+        let zd = p.c_i64(d, 0).unwrap();
+        p.load(d, m, &[zd]).unwrap();
+        let acc = p.accesses_of(m);
+        assert_eq!(acc.len(), 2);
+        assert!(acc[0].is_write && acc[0].id.hb == c);
+        assert!(!acc[1].is_write && acc[1].id.hb == d);
+    }
+
+    #[test]
+    fn trip_count() {
+        assert_eq!(LoopSpec::new(0, 10, 1).trip_count(), Some(10));
+        assert_eq!(LoopSpec::new(0, 10, 3).trip_count(), Some(4));
+        assert_eq!(LoopSpec::new(10, 0, -2).trip_count(), Some(5));
+        assert_eq!(LoopSpec::new(0, Bound::Reg(MemId(0)), 1).trip_count(), None);
+    }
+
+    #[test]
+    fn control_inputs_reported() {
+        let mut p = Program::new("t");
+        let root = p.root();
+        let r = p.reg("n", DType::I64);
+        let l = p
+            .add_loop(root, "L", LoopSpec::new(0, Bound::Reg(r), 1))
+            .unwrap();
+        assert_eq!(p.control_inputs(l), vec![r]);
+    }
+}

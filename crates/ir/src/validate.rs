@@ -1,0 +1,260 @@
+//! Whole-program structural validation.
+//!
+//! Builder methods check local properties at construction time; `validate`
+//! re-checks everything globally so that hand-constructed or deserialized
+//! programs are also safe to compile and interpret.
+
+use crate::error::IrError;
+use crate::expr::Expr;
+use crate::mem::{MemInit, MemKind};
+use crate::program::{Bound, CtrlId, CtrlKind, Program};
+
+impl Program {
+    /// Validate the whole program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found: dangling ids, malformed
+    /// branches, non-register conditions, bad loop specs, address-arity or
+    /// init-length mismatches, non-ancestor `Idx`/`Reduce` references, or
+    /// non-associative reduction operators.
+    pub fn validate(&self) -> Result<(), IrError> {
+        self.validate_tree()?;
+        self.validate_ctrls()?;
+        self.validate_mems()?;
+        self.validate_exprs()?;
+        Ok(())
+    }
+
+    fn validate_tree(&self) -> Result<(), IrError> {
+        if self.ctrls.is_empty() || !matches!(self.ctrls[0].kind, CtrlKind::Root) {
+            return Err(IrError::Invalid("controller 0 must be the root".into()));
+        }
+        for (i, c) in self.ctrls.iter().enumerate() {
+            let id = CtrlId(i as u32);
+            match c.parent {
+                None if i != 0 => {
+                    return Err(IrError::Invalid(format!("non-root {id} has no parent")))
+                }
+                Some(p) => {
+                    let pc = self.ctrls.get(p.index()).ok_or(IrError::UnknownCtrl(p))?;
+                    if !pc.children.contains(&id) {
+                        return Err(IrError::Invalid(format!(
+                            "{id} not registered as child of its parent {p}"
+                        )));
+                    }
+                }
+                None => {}
+            }
+            for ch in &c.children {
+                let cc = self.ctrls.get(ch.index()).ok_or(IrError::UnknownCtrl(*ch))?;
+                if cc.parent != Some(id) {
+                    return Err(IrError::Invalid(format!("child {ch} of {id} disagrees on parent")));
+                }
+            }
+            if matches!(c.kind, CtrlKind::Leaf(_)) && !c.children.is_empty() {
+                return Err(IrError::LeafHasChildren(id));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_ctrls(&self) -> Result<(), IrError> {
+        for (i, c) in self.ctrls.iter().enumerate() {
+            let id = CtrlId(i as u32);
+            match &c.kind {
+                CtrlKind::Loop(spec) => {
+                    if spec.par == 0 {
+                        return Err(IrError::BadPar(id));
+                    }
+                    if spec.step == 0 {
+                        return Err(IrError::ZeroStep(id));
+                    }
+                    if spec.trip_count() == Some(0) {
+                        return Err(IrError::EmptyStaticLoop(id));
+                    }
+                    for b in [spec.min, spec.max] {
+                        if let Bound::Reg(m) = b {
+                            let decl = self.mems.get(m.index()).ok_or(IrError::UnknownMem(m))?;
+                            if !decl.is_scalar_reg() {
+                                return Err(IrError::CondNotScalarReg(m));
+                            }
+                        }
+                    }
+                }
+                CtrlKind::Branch { cond } => {
+                    let n = c.children.len();
+                    if n == 0 || n > 2 {
+                        return Err(IrError::BadBranchArity(id, n));
+                    }
+                    let decl = self.mems.get(cond.index()).ok_or(IrError::UnknownMem(*cond))?;
+                    if !decl.is_scalar_reg() {
+                        return Err(IrError::CondNotScalarReg(*cond));
+                    }
+                }
+                CtrlKind::DoWhile { cond, max_iter } => {
+                    let decl = self.mems.get(cond.index()).ok_or(IrError::UnknownMem(*cond))?;
+                    if !decl.is_scalar_reg() {
+                        return Err(IrError::CondNotScalarReg(*cond));
+                    }
+                    if *max_iter == 0 {
+                        return Err(IrError::Invalid(format!("do-while {id} has max_iter 0")));
+                    }
+                }
+                CtrlKind::Root | CtrlKind::Leaf(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_mems(&self) -> Result<(), IrError> {
+        for (i, m) in self.mems.iter().enumerate() {
+            let id = crate::mem::MemId(i as u32);
+            if m.dims.is_empty() || m.size() == 0 {
+                return Err(IrError::Invalid(format!("memory {id} has empty shape")));
+            }
+            if let MemInit::Data(d) = &m.init {
+                if d.len() != m.size() {
+                    return Err(IrError::InitLenMismatch { mem: id, expected: m.size(), got: d.len() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_exprs(&self) -> Result<(), IrError> {
+        for hb in self.leaves() {
+            let h = self.ctrl(hb).hyperblock().expect("leaves() returns leaves");
+            for (eid, e) in h.iter() {
+                for op in e.operands() {
+                    if op.index() >= eid.index() {
+                        return Err(IrError::UnknownExpr(hb, op));
+                    }
+                }
+                match e {
+                    Expr::Idx(c) | Expr::IsFirst(c) => {
+                        self.check_iterative_ancestor(hb, *c)?;
+                    }
+                    Expr::IsLast(c) => {
+                        self.check_iterative_ancestor(hb, *c)?;
+                        if matches!(self.ctrl(*c).kind, CtrlKind::DoWhile { .. }) {
+                            return Err(IrError::Invalid(format!(
+                                "IsLast over do-while {c} is undecidable at iteration start"
+                            )));
+                        }
+                    }
+                    Expr::Reduce { op, over, .. } => {
+                        self.check_iterative_ancestor(hb, *over)?;
+                        if !op.is_associative() {
+                            return Err(IrError::Invalid(format!(
+                                "reduction in {hb} uses non-associative operator {op:?}"
+                            )));
+                        }
+                    }
+                    Expr::Load { mem, addr } | Expr::Store { mem, addr, .. } => {
+                        let decl = self.mems.get(mem.index()).ok_or(IrError::UnknownMem(*mem))?;
+                        let expected = if decl.kind == MemKind::Fifo { 1 } else { decl.dims.len() };
+                        if addr.len() != expected {
+                            return Err(IrError::AddrArity { mem: *mem, expected, got: addr.len() });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_iterative_ancestor(&self, hb: CtrlId, c: CtrlId) -> Result<(), IrError> {
+        if self.ctrls.get(c.index()).is_none() {
+            return Err(IrError::UnknownCtrl(c));
+        }
+        if !self.is_ancestor(c, hb) || !self.ctrl(c).is_iterative() {
+            return Err(IrError::NotAnAncestorLoop { hb, ctrl: c });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::program::LoopSpec;
+    use crate::value::{DType, Elem};
+
+    #[test]
+    fn valid_program_passes() {
+        let mut p = Program::new("ok");
+        let root = p.root();
+        let l = p.add_loop(root, "L", LoopSpec::new(0, 4, 1)).unwrap();
+        let hb = p.add_leaf(l, "body").unwrap();
+        let m = p.sram("m", &[4], DType::F64);
+        let i = p.idx(hb, l).unwrap();
+        let v = p.c_f64(hb, 1.0).unwrap();
+        p.store(hb, m, &[i], v).unwrap();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_idx_of_non_ancestor() {
+        let mut p = Program::new("bad");
+        let root = p.root();
+        let l1 = p.add_loop(root, "L1", LoopSpec::new(0, 4, 1)).unwrap();
+        let l2 = p.add_loop(root, "L2", LoopSpec::new(0, 4, 1)).unwrap();
+        let hb = p.add_leaf(l2, "body").unwrap();
+        p.idx(hb, l1).unwrap();
+        assert!(matches!(p.validate(), Err(IrError::NotAnAncestorLoop { .. })));
+    }
+
+    #[test]
+    fn rejects_non_associative_reduce() {
+        let mut p = Program::new("bad");
+        let root = p.root();
+        let l = p.add_loop(root, "L", LoopSpec::new(0, 4, 1)).unwrap();
+        let hb = p.add_leaf(l, "body").unwrap();
+        let v = p.c_f64(hb, 1.0).unwrap();
+        p.reduce(hb, BinOp::Sub, v, Elem::F64(0.0), l).unwrap();
+        assert!(matches!(p.validate(), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_empty_static_loop_and_zero_step() {
+        let mut p = Program::new("bad");
+        let root = p.root();
+        p.add_loop(root, "L", LoopSpec::new(5, 5, 1)).unwrap();
+        assert!(matches!(p.validate(), Err(IrError::EmptyStaticLoop(_))));
+
+        let mut q = Program::new("bad2");
+        let root = q.root();
+        q.add_loop(root, "L", LoopSpec::new(0, 5, 0)).unwrap();
+        assert!(matches!(q.validate(), Err(IrError::ZeroStep(_))));
+    }
+
+    #[test]
+    fn rejects_init_len_mismatch() {
+        let mut p = Program::new("bad");
+        p.dram("d", &[4], DType::F64, crate::mem::MemInit::Data(vec![Elem::F64(1.0)]));
+        assert!(matches!(p.validate(), Err(IrError::InitLenMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_branch_without_arms() {
+        let mut p = Program::new("bad");
+        let root = p.root();
+        let c = p.reg("c", DType::I64);
+        p.add_branch(root, "br", c).unwrap();
+        assert!(matches!(p.validate(), Err(IrError::BadBranchArity(_, 0))));
+    }
+
+    #[test]
+    fn rejects_is_last_over_do_while() {
+        let mut p = Program::new("bad");
+        let root = p.root();
+        let c = p.reg("c", DType::I64);
+        let dw = p.add_do_while(root, "dw", c, 8).unwrap();
+        let hb = p.add_leaf(dw, "body").unwrap();
+        p.is_last(hb, dw).unwrap();
+        assert!(matches!(p.validate(), Err(IrError::Invalid(_))));
+    }
+}

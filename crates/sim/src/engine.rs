@@ -1,0 +1,335 @@
+//! The simulation engine: builds runtime state from a compiled VUDFG and
+//! steps every unit per cycle until the program completes (or deadlocks).
+
+use crate::stream::StreamRt;
+use crate::units::{AgRt, CollRt, Ctx, DistRt, SyncRt, VcuRt, VmuRt};
+use plasticine_arch::ChipSpec;
+use ramulator_lite::{DramSim, DramStats};
+use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
+use sara_ir::{Elem, MemId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Simulation limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Hard cycle limit.
+    pub max_cycles: u64,
+    /// Cycles without any progress before declaring deadlock.
+    pub deadlock_window: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_cycles: 50_000_000, deadlock_window: 50_000 }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No unit made progress for the configured window.
+    Deadlock { cycle: u64, diagnostic: String },
+    /// The cycle limit was reached.
+    Timeout { cycle: u64 },
+    /// A unit detected an inconsistency (address out of range, stream
+    /// width mismatch, ...). Always indicates a compiler or model bug.
+    Fault { cycle: u64, unit: String, message: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, diagnostic } => {
+                write!(f, "deadlock at cycle {cycle}:\n{diagnostic}")
+            }
+            SimError::Timeout { cycle } => write!(f, "timeout at cycle {cycle}"),
+            SimError::Fault { cycle, unit, message } => {
+                write!(f, "fault at cycle {cycle} in {unit}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total VCU firings.
+    pub firings: u64,
+    /// Firings per unit label.
+    pub unit_firings: HashMap<String, u64>,
+    /// DRAM model statistics.
+    pub dram: DramStats,
+    /// Total bytes moved by AG units (useful traffic).
+    pub ag_bytes: u64,
+    /// Compute utilization proxy: firings / (cycles × compute units).
+    pub utilization: f64,
+}
+
+/// Outcome of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Total cycles to completion.
+    pub cycles: u64,
+    /// Final contents of each DRAM tensor.
+    pub dram_final: HashMap<MemId, Vec<Elem>>,
+    /// Statistics.
+    pub stats: SimStats,
+}
+
+impl SimOutcome {
+    /// Final contents of a DRAM tensor as `f64`s.
+    pub fn dram_f64(&self, mem: MemId) -> Vec<f64> {
+        self.dram_final[&mem].iter().map(|e| e.as_f64()).collect()
+    }
+
+    /// Final contents of a DRAM tensor as `i64`s.
+    pub fn dram_i64(&self, mem: MemId) -> Vec<i64> {
+        self.dram_final[&mem].iter().map(|e| e.as_i64()).collect()
+    }
+}
+
+enum URt {
+    Vcu(VcuRt),
+    Vmu(VmuRt),
+    Ag(AgRt),
+    Sync(SyncRt),
+    Dist(DistRt),
+    Coll(CollRt),
+}
+
+/// Simulate a compiled (and ideally placed-and-routed) VUDFG.
+///
+/// # Errors
+///
+/// Deadlock, timeout, or a unit fault (see [`SimError`]).
+pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcome, SimError> {
+    // ---- streams ----
+    let mut streams: Vec<StreamRt> = g
+        .streams
+        .iter()
+        .map(|s| {
+            let init = match s.kind {
+                StreamKind::Token { init } => init,
+                _ => 0,
+            };
+            StreamRt::new(s.latency, s.depth, init)
+        })
+        .collect();
+
+    // ---- DRAM image ----
+    let total_words = g
+        .drams
+        .iter()
+        .map(|d| (d.base / 4) as usize + d.words)
+        .max()
+        .unwrap_or(0);
+    let mut image: Vec<Elem> = vec![Elem::F64(0.0); total_words];
+    for d in &g.drams {
+        let b = (d.base / 4) as usize;
+        image[b..b + d.words].copy_from_slice(&d.init);
+    }
+    let mut dram = DramSim::new(chip.dram);
+
+    // ---- units ----
+    let mut units: Vec<URt> = Vec::with_capacity(g.units.len());
+    for (i, u) in g.units.iter().enumerate() {
+        let rt = match &u.kind {
+            UnitKind::Vcu(v) => URt::Vcu(VcuRt::new(
+                v.clone(),
+                u.inputs.clone(),
+                u.outputs.clone(),
+                u.label.clone(),
+            )),
+            UnitKind::Vmu(v) => URt::Vmu(VmuRt::new(
+                v.clone(),
+                u.inputs.clone(),
+                u.outputs.clone(),
+                u.label.clone(),
+            )),
+            UnitKind::Ag(a) => URt::Ag(AgRt::new(
+                a.clone(),
+                u.inputs.clone(),
+                u.outputs.clone(),
+                u.label.clone(),
+                i,
+            )),
+            UnitKind::Sync(s) => URt::Sync(SyncRt {
+                spec: s.clone(),
+                inputs: u.inputs.clone(),
+                outputs: u.outputs.clone(),
+                fired: 0,
+            }),
+            UnitKind::XbarDist(d) => URt::Dist(DistRt {
+                spec: d.clone(),
+                inputs: u.inputs.clone(),
+                outputs: u.outputs.clone(),
+                routed: 0,
+            }),
+            UnitKind::XbarColl(c) => {
+                URt::Coll(CollRt::new(c.clone(), u.inputs.clone(), u.outputs.clone()))
+            }
+        };
+        units.push(rt);
+    }
+
+    // Streams that must drain before the program can be considered
+    // finished: anything feeding a passive unit (VMU, AG, crossbar, sync).
+    // Streams into compute units may retain trailing epoch markers or
+    // unused credits after the consumer completes; token streams retain
+    // their initial credits.
+    let must_drain: Vec<bool> = g
+        .streams
+        .iter()
+        .map(|s| {
+            let token = matches!(s.kind, StreamKind::Token { .. });
+            let dst_vcu = matches!(g.unit(s.dst).kind, UnitKind::Vcu(_));
+            !token && !dst_vcu
+        })
+        .collect();
+
+    // ---- main loop ----
+    let mut now: u64 = 0;
+    let mut last_progress_cycle: u64 = 0;
+    let mut responses = Vec::new();
+    loop {
+        now += 1;
+        if now > cfg.max_cycles {
+            return Err(SimError::Timeout { cycle: now });
+        }
+        for s in streams.iter_mut() {
+            s.tick(now);
+        }
+        let mut progress: u64 = 0;
+        for u in units.iter_mut() {
+            let mut ctx = Ctx { now, streams: &mut streams, progress: &mut progress };
+            let res: Result<(), String> = match u {
+                URt::Vcu(v) => v.step(&mut ctx),
+                URt::Vmu(v) => v.step(&mut ctx),
+                URt::Sync(s) => {
+                    s.step(&mut ctx);
+                    Ok(())
+                }
+                URt::Dist(d) => d.step(&mut ctx),
+                URt::Coll(c) => c.step(&mut ctx),
+                URt::Ag(a) => a.step(&mut ctx, &mut dram, &mut image),
+            };
+            if let Err(message) = res {
+                let unit = match u {
+                    URt::Vcu(v) => v.label.clone(),
+                    URt::Vmu(v) => v.label.clone(),
+                    URt::Ag(a) => a.label.clone(),
+                    _ => "xbar".into(),
+                };
+                return Err(SimError::Fault { cycle: now, unit, message });
+            }
+        }
+        // DRAM
+        responses.clear();
+        dram.tick(now, &mut responses);
+        for r in &responses {
+            let ui = (r.id >> 32) as usize;
+            if let Some(URt::Ag(a)) = units.get_mut(ui) {
+                a.complete(r.id);
+                progress += 1;
+            }
+        }
+        if progress > 0 {
+            last_progress_cycle = now;
+        }
+
+        // termination: all compute done, all AGs drained, DRAM idle
+        let all_done = units.iter().all(|u| match u {
+            URt::Vcu(v) => v.done,
+            URt::Ag(a) => a.idle(),
+            _ => true,
+        });
+        if all_done
+            && !dram.busy()
+            && streams
+                .iter()
+                .zip(&must_drain)
+                .all(|(s, d)| !*d || s.is_drained())
+        {
+            break;
+        }
+        if now - last_progress_cycle > cfg.deadlock_window {
+            let diagnostic = diagnose(&units, &streams) + &diagnose_streams(g, &streams);
+            return Err(SimError::Deadlock { cycle: now, diagnostic });
+        }
+    }
+
+    // ---- extraction ----
+    let mut dram_final = HashMap::new();
+    for d in &g.drams {
+        let b = (d.base / 4) as usize;
+        dram_final.insert(d.mem, image[b..b + d.words].to_vec());
+    }
+    let mut stats = SimStats { dram: dram.stats(), ..SimStats::default() };
+    let mut compute_units = 0u64;
+    for u in &units {
+        match u {
+            URt::Vcu(v) => {
+                stats.firings += v.firings;
+                stats.unit_firings.insert(v.label.clone(), v.firings);
+                compute_units += 1;
+            }
+            URt::Ag(a) => {
+                stats.ag_bytes += a.bytes;
+            }
+            _ => {}
+        }
+    }
+    stats.utilization = if now > 0 && compute_units > 0 {
+        stats.firings as f64 / (now as f64 * compute_units as f64)
+    } else {
+        0.0
+    };
+    Ok(SimOutcome { cycles: now, dram_final, stats })
+}
+
+fn diagnose_streams(g: &Vudfg, streams: &[StreamRt]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, s) in streams.iter().enumerate() {
+        if !s.can_push() {
+            let spec = &g.streams[i];
+            let _ = writeln!(
+                out,
+                "  FULL s{i} {} -> {} [{}] occ {}",
+                g.unit(spec.src).label,
+                g.unit(spec.dst).label,
+                spec.label,
+                s.occupancy()
+            );
+        }
+    }
+    out
+}
+
+fn diagnose(units: &[URt], streams: &[StreamRt]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut shown = 0;
+    for u in units {
+        if let URt::Vcu(v) = u {
+            if !v.done {
+                let _ = writeln!(
+                    out,
+                    "  {} stalled on '{}' after {} firings",
+                    v.label, v.stall, v.firings
+                );
+                shown += 1;
+                if shown > 200 {
+                    let _ = writeln!(out, "  ...");
+                    break;
+                }
+            }
+        }
+    }
+    let backed: usize = streams.iter().filter(|s| !s.can_push()).count();
+    let _ = writeln!(out, "  {} streams backpressured", backed);
+    out
+}

@@ -1,0 +1,60 @@
+//! Stream payloads.
+
+use sara_ir::Elem;
+
+/// One element of a stream: a (possibly partial) vector of lane values.
+///
+/// * a **token** is an empty packet with `end == false` (only ever found
+///   on token streams);
+/// * an **epoch marker** is an empty packet with `end == true`: emitted by
+///   request units when a multibuffer epoch completes, acted on by VMUs
+///   (buffer switch) and forwarded by crossbar units, transparently
+///   skipped by compute-unit stream inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Lane values; length equals the active lane count of the producing
+    /// firing (shorter than the SIMD width on the final partial vector).
+    pub vals: Vec<Elem>,
+    /// Epoch-end marker flag.
+    pub end: bool,
+}
+
+impl Packet {
+    /// A data packet.
+    pub fn data(vals: Vec<Elem>) -> Self {
+        Packet { vals, end: false }
+    }
+
+    /// A synchronization token.
+    pub fn token() -> Self {
+        Packet { vals: Vec::new(), end: false }
+    }
+
+    /// An epoch-end marker.
+    pub fn marker() -> Self {
+        Packet { vals: Vec::new(), end: true }
+    }
+
+    /// Whether this is an epoch marker.
+    pub fn is_marker(&self) -> bool {
+        self.end && self.vals.is_empty()
+    }
+
+    /// Number of lanes carried.
+    pub fn width(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Packet::marker().is_marker());
+        assert!(!Packet::token().is_marker());
+        assert!(!Packet::data(vec![Elem::I64(1)]).is_marker());
+        assert_eq!(Packet::data(vec![Elem::I64(1), Elem::I64(2)]).width(), 2);
+    }
+}

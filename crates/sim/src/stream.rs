@@ -1,0 +1,174 @@
+//! Runtime streams: latency- and capacity-accurate point-to-point FIFOs.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// A stream at run time. Capacity models the receive FIFO; packets spend
+/// `latency` cycles in flight (wire/switch registers), which adds
+/// `latency` slots of effective buffering — a straight link therefore
+/// sustains one packet per cycle, while an undersized FIFO on a
+/// delay-imbalanced join backpressures exactly as the paper's retiming
+/// discussion predicts.
+#[derive(Debug, Clone)]
+pub struct StreamRt {
+    q: VecDeque<Packet>,
+    arriving: VecDeque<(u64, Packet)>,
+    latency: u64,
+    capacity: usize,
+    /// Total packets pushed (stats).
+    pub pushed: u64,
+    /// Total packets popped (stats).
+    pub popped: u64,
+}
+
+impl StreamRt {
+    /// New stream; `init_tokens` pre-populates the queue (CMMC credits).
+    pub fn new(latency: u32, depth: u32, init_tokens: u32) -> Self {
+        let mut q = VecDeque::new();
+        for _ in 0..init_tokens {
+            q.push_back(Packet::token());
+        }
+        StreamRt {
+            q,
+            arriving: VecDeque::new(),
+            latency: latency.max(1) as u64,
+            capacity: depth.max(1) as usize,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Whether a push is currently allowed.
+    pub fn can_push(&self) -> bool {
+        self.q.len() + self.arriving.len() < self.capacity + self.latency as usize
+    }
+
+    /// Push a packet (caller must have checked [`StreamRt::can_push`]).
+    pub fn push(&mut self, now: u64, p: Packet) {
+        debug_assert!(self.can_push());
+        self.pushed += 1;
+        self.arriving.push_back((now + self.latency, p));
+    }
+
+    /// Deliver in-flight packets that have arrived by `now`.
+    pub fn tick(&mut self, now: u64) {
+        while let Some((t, _)) = self.arriving.front() {
+            if *t <= now {
+                let (_, p) = self.arriving.pop_front().expect("nonempty");
+                self.q.push_back(p);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Head packet, if delivered.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.q.front()
+    }
+
+    /// Pop the head packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let p = self.q.pop_front();
+        if p.is_some() {
+            self.popped += 1;
+        }
+        p
+    }
+
+    /// Discard leading epoch markers, then return whether a packet is
+    /// available (compute-unit stream inputs skip markers transparently).
+    pub fn skip_markers_and_peek(&mut self) -> bool {
+        while matches!(self.q.front(), Some(p) if p.is_marker()) {
+            self.q.pop_front();
+        }
+        !self.q.is_empty()
+    }
+
+    /// Queued + in-flight packets.
+    pub fn occupancy(&self) -> usize {
+        self.q.len() + self.arriving.len()
+    }
+
+    /// Whether fully drained.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty() && self.arriving.is_empty()
+    }
+
+    /// Whether drained up to inert trailing epoch markers (end-of-program
+    /// epilogue control that no consumer is required to pop).
+    pub fn is_drained(&self) -> bool {
+        self.q.iter().all(|p| p.is_marker()) && self.arriving.iter().all(|(_, p)| p.is_marker())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_ir::Elem;
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut s = StreamRt::new(3, 4, 0);
+        s.push(10, Packet::data(vec![Elem::I64(1)]));
+        s.tick(12);
+        assert!(s.peek().is_none());
+        s.tick(13);
+        assert!(s.peek().is_some());
+        assert_eq!(s.pop().unwrap().vals[0], Elem::I64(1));
+    }
+
+    #[test]
+    fn capacity_plus_latency_bounds_occupancy() {
+        let mut s = StreamRt::new(2, 2, 0);
+        let mut pushed = 0;
+        while s.can_push() {
+            s.push(0, Packet::token());
+            pushed += 1;
+        }
+        assert_eq!(pushed, 4); // depth 2 + latency 2
+        assert!(!s.can_push());
+        s.tick(10);
+        s.pop();
+        assert!(s.can_push());
+    }
+
+    #[test]
+    fn init_tokens_available_immediately() {
+        let mut s = StreamRt::new(1, 4, 3);
+        assert!(s.peek().is_some());
+        assert_eq!(s.pop(), Some(Packet::token()));
+        assert_eq!(s.occupancy(), 2);
+    }
+
+    #[test]
+    fn marker_skipping() {
+        let mut s = StreamRt::new(1, 8, 0);
+        s.push(0, Packet::marker());
+        s.push(0, Packet::marker());
+        s.push(0, Packet::data(vec![Elem::F64(2.0)]));
+        s.tick(5);
+        assert!(s.skip_markers_and_peek());
+        assert_eq!(s.pop().unwrap().vals[0], Elem::F64(2.0));
+        assert!(!s.skip_markers_and_peek());
+    }
+
+    #[test]
+    fn full_rate_on_straight_link() {
+        // push one per cycle, pop one per cycle after warmup: never stalls
+        let mut s = StreamRt::new(5, 4, 0);
+        let mut stalls = 0;
+        for cyc in 0..100u64 {
+            s.tick(cyc);
+            if cyc >= 6 {
+                assert!(s.pop().is_some(), "pipeline bubble at {cyc}");
+            }
+            if s.can_push() {
+                s.push(cyc, Packet::token());
+            } else {
+                stalls += 1;
+            }
+        }
+        assert_eq!(stalls, 0);
+    }
+}

@@ -1,0 +1,1346 @@
+//! Runtime steppers for every virtual-unit kind.
+
+use crate::packet::Packet;
+use crate::stream::StreamRt;
+use ramulator_lite::{DramSim, Request};
+use sara_core::vudfg::{
+    AgDir, AgUnit, CBound, Level, NodeOp, OutPort, StreamId, SyncUnit, Vcu, Vmu, XbarColl,
+    XbarDist,
+};
+use sara_ir::{BinOp, Elem};
+use std::collections::{HashMap, VecDeque};
+
+/// Per-cycle stepping context shared by all units.
+pub struct Ctx<'a> {
+    pub now: u64,
+    pub streams: &'a mut [StreamRt],
+    /// Incremented on any state change (deadlock detection).
+    pub progress: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    fn s(&mut self, id: StreamId) -> &mut StreamRt {
+        &mut self.streams[id.index()]
+    }
+
+    fn push(&mut self, id: StreamId, p: Packet) {
+        let now = self.now;
+        self.streams[id.index()].push(now, p);
+    }
+}
+
+/// A lane-vector value (length 1 = scalar broadcast).
+type Val = Vec<Elem>;
+
+fn lane(v: &Val, i: usize) -> Elem {
+    v[i.min(v.len() - 1)]
+}
+
+fn zip2(a: &Val, b: &Val, f: impl Fn(Elem, Elem) -> Elem) -> Val {
+    let n = a.len().max(b.len());
+    (0..n).map(|i| f(lane(a, i), lane(b, i))).collect()
+}
+
+// ---------------------------------------------------------------- VCU
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LvlRt {
+    /// Not currently active.
+    Idle,
+    /// Active counter at the given index with resolved bounds.
+    Counter { idx: i64, init: i64, max: i64 },
+    /// Active gate (taken or skipped is handled at entry).
+    Gate,
+    /// Active do-while at iteration `iter`.
+    While { iter: i64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Resume {
+    /// Exit level `k` (push its tokens/markers), then advance `k-1`.
+    Exit(usize),
+    /// Bump level `k`'s counter / re-evaluate its while condition.
+    Advance(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sweep {
+    /// The gate level that evaluated false.
+    gate: usize,
+    /// Next inner level to process.
+    at: usize,
+    /// false = entering (pops), true = exiting (pushes).
+    exiting: bool,
+}
+
+/// Runtime state of a virtual compute unit.
+#[derive(Debug, Clone)]
+pub struct VcuRt {
+    pub spec: Vcu,
+    pub inputs: Vec<StreamId>,
+    pub outputs: Vec<OutPort>,
+    pub label: String,
+    lvl: Vec<LvlRt>,
+    serial: Vec<u64>,
+    reduce: HashMap<usize, (Vec<u64>, Val)>,
+    sweep: Option<Sweep>,
+    resume: Option<Resume>,
+    pub done: bool,
+    pub firings: u64,
+    /// Human-readable reason the unit last stalled (diagnostics).
+    pub stall: &'static str,
+}
+
+impl VcuRt {
+    pub fn new(spec: Vcu, inputs: Vec<StreamId>, outputs: Vec<OutPort>, label: String) -> Self {
+        let n = spec.levels.len();
+        VcuRt {
+            spec,
+            inputs,
+            outputs,
+            label,
+            lvl: vec![LvlRt::Idle; n],
+            serial: vec![0; n],
+            reduce: HashMap::new(),
+            sweep: None,
+            resume: None,
+            done: false,
+            firings: 0,
+            stall: "",
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.spec.width.max(1) as usize
+    }
+
+    /// Valid lane count of the current innermost counter state.
+    fn w_eff(&self) -> usize {
+        let w = self.width();
+        if w == 1 {
+            return 1;
+        }
+        match self.lvl.last() {
+            Some(LvlRt::Counter { idx, max, .. }) => {
+                if let Some(Level::Counter { lane_stride, .. }) = self.spec.levels.last() {
+                    let mut n = 0usize;
+                    let mut v = *idx;
+                    while n < w && ((*lane_stride > 0 && v < *max) || (*lane_stride < 0 && v > *max)) {
+                        n += 1;
+                        v += *lane_stride;
+                    }
+                    n.max(1)
+                } else {
+                    w
+                }
+            }
+            _ => w,
+        }
+    }
+
+    fn tokens_at(&self, level: usize, pops: bool) -> Vec<usize> {
+        let rules = if pops { &self.spec.token_pops } else { &self.spec.token_pushes };
+        rules.iter().filter(|r| r.level == level).map(|r| r.port).collect()
+    }
+
+    fn can_pop_tokens(&mut self, ctx: &mut Ctx<'_>, level: usize) -> bool {
+        for p in self.tokens_at(level, true) {
+            if ctx.s(self.inputs[p]).peek().is_none() {
+                self.stall = "token pop";
+                return false;
+            }
+        }
+        true
+    }
+
+    fn pop_tokens(&mut self, ctx: &mut Ctx<'_>, level: usize) {
+        for p in self.tokens_at(level, true) {
+            ctx.s(self.inputs[p]).pop();
+            *ctx.progress += 1;
+        }
+    }
+
+    /// Whether all token pushes and epoch markers of an exit at `level`
+    /// have space.
+    fn can_exit(&mut self, ctx: &mut Ctx<'_>, level: usize) -> bool {
+        for p in self.tokens_at(level, false) {
+            let port = &self.outputs[p];
+            for s in &port.streams {
+                if !ctx.s(*s).can_push() {
+                    self.stall = "token push space";
+                    return false;
+                }
+            }
+        }
+        if self.spec.epoch_emit == Some(level) {
+            for (pi, port) in self.outputs.iter().enumerate() {
+                if self.tokens_at(level, false).contains(&pi) {
+                    continue;
+                }
+                for s in &port.streams {
+                    if !ctx.s(*s).can_push() {
+                        self.stall = "marker space";
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Push tokens and epoch markers for the completed activation of
+    /// `level`. Caller must have checked [`VcuRt::can_exit`].
+    fn do_exit(&mut self, ctx: &mut Ctx<'_>, level: usize) {
+        let token_ports = self.tokens_at(level, false);
+        for p in &token_ports {
+            let streams = self.outputs[*p].streams.clone();
+            for s in streams {
+                ctx.push(s, Packet::token());
+                *ctx.progress += 1;
+            }
+        }
+        if self.spec.epoch_emit == Some(level) {
+            for (pi, port) in self.outputs.clone().iter().enumerate() {
+                if token_ports.contains(&pi) {
+                    continue;
+                }
+                for s in &port.streams {
+                    ctx.push(*s, Packet::marker());
+                    *ctx.progress += 1;
+                }
+            }
+        }
+        self.lvl[level] = LvlRt::Idle;
+    }
+
+    /// Resolve a counter bound; pops one value from a port bound.
+    /// Returns `None` when the value has not arrived yet.
+    fn resolve_bound(&mut self, ctx: &mut Ctx<'_>, b: &CBound) -> Option<i64> {
+        match b {
+            CBound::Const(v) => Some(*v),
+            CBound::Port(p) => {
+                let sid = self.inputs[*p];
+                let st = ctx.s(sid);
+                if !st.skip_markers_and_peek() {
+                    self.stall = "dynamic bound";
+                    return None;
+                }
+                let pk = st.pop().expect("peeked");
+                *ctx.progress += 1;
+                Some(pk.vals.first().map(|e| e.as_i64()).unwrap_or(0))
+            }
+        }
+    }
+
+    /// Try to enter level `k`. Returns false when blocked.
+    fn try_enter(&mut self, ctx: &mut Ctx<'_>, k: usize) -> bool {
+        if !self.can_pop_tokens(ctx, k) {
+            return false;
+        }
+        // Peek-ability of bounds/conds must be checked before any pop to
+        // keep entry atomic; bounds pop in order min,max, so check both.
+        let level = self.spec.levels[k].clone();
+        match &level {
+            Level::Counter { min, max, .. } => {
+                for b in [min, max] {
+                    if let CBound::Port(p) = b {
+                        if !ctx.s(self.inputs[*p]).skip_markers_and_peek() {
+                            self.stall = "dynamic bound";
+                            return false;
+                        }
+                    }
+                }
+            }
+            Level::Gate { cond_in, .. } => {
+                if !ctx.s(self.inputs[*cond_in]).skip_markers_and_peek() {
+                    self.stall = "condition value";
+                    return false;
+                }
+            }
+            // Do-while conditions are consumed *after* each iteration (in
+            // `advance`), not at entry: the body always runs once.
+            Level::While { .. } => {}
+        }
+        self.pop_tokens(ctx, k);
+        self.serial[k] += 1;
+        match level {
+            Level::Counter { min, max, lane_offset, .. } => {
+                let minv = self.resolve_bound(ctx, &min).expect("checked") + lane_offset;
+                let maxv = self.resolve_bound(ctx, &max).expect("checked");
+                self.lvl[k] = LvlRt::Counter { idx: minv, init: minv, max: maxv };
+                let step = match &self.spec.levels[k] {
+                    Level::Counter { step, .. } => *step,
+                    _ => unreachable!(),
+                };
+                let empty = !((step > 0 && minv < maxv) || (step < 0 && minv > maxv));
+                if empty {
+                    // zero-trip activation: exit immediately, then advance
+                    // the parent.
+                    self.resume = Some(Resume::Exit(k));
+                }
+            }
+            Level::Gate { cond_in, expect, .. } => {
+                let pk = ctx.s(self.inputs[cond_in]).pop().expect("checked");
+                *ctx.progress += 1;
+                let taken = pk.vals.first().map(|e| e.as_bool()).unwrap_or(false) == expect;
+                self.lvl[k] = LvlRt::Gate;
+                if !taken {
+                    self.sweep = Some(Sweep { gate: k, at: k + 1, exiting: false });
+                }
+            }
+            Level::While { .. } => {
+                // The while condition is consumed *after* each iteration.
+                self.lvl[k] = LvlRt::While { iter: 0 };
+            }
+        }
+        true
+    }
+
+    /// Continue a vacuous sweep of a skipped gate. Returns true when the
+    /// sweep completed this cycle.
+    fn continue_sweep(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let Some(mut sw) = self.sweep else { return true };
+        let n = self.spec.levels.len();
+        if !sw.exiting {
+            while sw.at < n {
+                let j = sw.at;
+                if !self.can_pop_tokens(ctx, j) {
+                    self.sweep = Some(sw);
+                    return false;
+                }
+                // Consume bounds/conds whose producers are *not* silenced
+                // by the sweeping gate.
+                let mask_ok = |m: &VcuRt, port: usize| {
+                    m.spec
+                        .producer_gate_mask
+                        .get(port)
+                        .map(|mask| mask & (1u64 << sw.gate.min(63)) == 0)
+                        .unwrap_or(true)
+                };
+                let mut ports: Vec<usize> = Vec::new();
+                match &self.spec.levels[j] {
+                    Level::Counter { min, max, .. } => {
+                        for b in [min, max] {
+                            if let CBound::Port(p) = b {
+                                if mask_ok(self, *p) {
+                                    ports.push(*p);
+                                }
+                            }
+                        }
+                    }
+                    Level::Gate { cond_in, .. } | Level::While { cond_in, .. } => {
+                        if mask_ok(self, *cond_in) {
+                            ports.push(*cond_in);
+                        }
+                    }
+                }
+                for p in &ports {
+                    if !ctx.s(self.inputs[*p]).skip_markers_and_peek() {
+                        self.stall = "sweep control value";
+                        self.sweep = Some(sw);
+                        return false;
+                    }
+                }
+                self.pop_tokens(ctx, j);
+                for p in ports {
+                    ctx.s(self.inputs[p]).pop();
+                    *ctx.progress += 1;
+                }
+                sw.at += 1;
+            }
+            sw.exiting = true;
+            sw.at = n;
+        }
+        // Exit phase: push tokens/markers for levels n-1 ..= gate+1.
+        while sw.at > sw.gate + 1 {
+            let j = sw.at - 1;
+            if !self.can_exit(ctx, j) {
+                self.sweep = Some(sw);
+                return false;
+            }
+            // do_exit resets lvl[j], which was never entered; fine.
+            self.do_exit(ctx, j);
+            sw.at -= 1;
+        }
+        // Finally exit the gate itself and advance the parent.
+        if !self.can_exit(ctx, sw.gate) {
+            self.sweep = Some(sw);
+            return false;
+        }
+        self.do_exit(ctx, sw.gate);
+        self.sweep = None;
+        self.resume = if sw.gate == 0 {
+            self.done = true;
+            None
+        } else {
+            Some(Resume::Advance(sw.gate - 1))
+        };
+        true
+    }
+
+    /// Advance after a completed inner activation: bump `k`'s counter or
+    /// re-evaluate its condition; cascade exits outward. Returns false
+    /// when blocked (state saved in `resume`).
+    fn advance(&mut self, ctx: &mut Ctx<'_>, from: Resume) -> bool {
+        let mut cur = from;
+        loop {
+            match cur {
+                Resume::Exit(k) => {
+                    if !self.can_exit(ctx, k) {
+                        self.resume = Some(cur);
+                        return false;
+                    }
+                    self.do_exit(ctx, k);
+                    if k == 0 {
+                        self.done = true;
+                        self.resume = None;
+                        return true;
+                    }
+                    cur = Resume::Advance(k - 1);
+                }
+                Resume::Advance(k) => {
+                    match (&self.spec.levels[k], self.lvl[k]) {
+                        (Level::Counter { step, .. }, LvlRt::Counter { idx, init, max }) => {
+                            let nidx = idx + *step;
+                            let in_range =
+                                (*step > 0 && nidx < max) || (*step < 0 && nidx > max);
+                            if in_range {
+                                self.lvl[k] = LvlRt::Counter { idx: nidx, init, max };
+                                self.resume = None;
+                                return true;
+                            }
+                            cur = Resume::Exit(k);
+                        }
+                        (Level::Gate { .. }, _) => {
+                            // gates do not iterate
+                            cur = Resume::Exit(k);
+                        }
+                        (Level::While { cond_in, .. }, LvlRt::While { iter }) => {
+                            let sid = self.inputs[*cond_in];
+                            if !ctx.s(sid).skip_markers_and_peek() {
+                                self.stall = "while condition";
+                                self.resume = Some(cur);
+                                return false;
+                            }
+                            let pk = ctx.s(sid).pop().expect("peeked");
+                            *ctx.progress += 1;
+                            let again = pk.vals.first().map(|e| e.as_bool()).unwrap_or(false);
+                            if again {
+                                self.lvl[k] = LvlRt::While { iter: iter + 1 };
+                                self.serial[k] += 1;
+                                self.resume = None;
+                                return true;
+                            }
+                            cur = Resume::Exit(k);
+                        }
+                        (l, s) => {
+                            unreachable!("level/state mismatch in {}: {l:?} vs {s:?}", self.label)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One simulation step: enter levels, fire at most once, advance.
+    pub fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<(), String> {
+        if self.done {
+            return Ok(());
+        }
+        if let Some(r) = self.resume {
+            self.resume = None;
+            if !self.advance(ctx, r) || self.done {
+                return Ok(());
+            }
+        }
+        if self.sweep.is_some() {
+            if !self.continue_sweep(ctx) || self.done {
+                return Ok(());
+            }
+            if let Some(r) = self.resume {
+                self.resume = None;
+                if !self.advance(ctx, r) || self.done {
+                    return Ok(());
+                }
+            }
+        }
+        // Enter pending levels outermost-first.
+        loop {
+            let Some(k) = self.lvl.iter().position(|l| *l == LvlRt::Idle) else { break };
+            // Only enter k if all outer levels are active.
+            if !self.try_enter(ctx, k) {
+                return Ok(());
+            }
+            if self.sweep.is_some() {
+                if !self.continue_sweep(ctx) || self.done {
+                    return Ok(());
+                }
+                if let Some(r) = self.resume {
+                    self.resume = None;
+                    if !self.advance(ctx, r) || self.done {
+                        return Ok(());
+                    }
+                }
+                continue;
+            }
+            if let Some(r) = self.resume {
+                // empty counter activation
+                self.resume = None;
+                if !self.advance(ctx, r) || self.done {
+                    return Ok(());
+                }
+            }
+        }
+        self.try_fire(ctx)
+    }
+
+    fn try_fire(&mut self, ctx: &mut Ctx<'_>) -> Result<(), String> {
+        let n = self.spec.levels.len();
+        // sentinel-level token pops (per firing)
+        if !self.can_pop_tokens(ctx, n) {
+            return Ok(());
+        }
+        // data inputs available?
+        for node in &self.spec.dfg {
+            if let NodeOp::StreamIn { port } = node.op {
+                if !ctx.s(self.inputs[port]).skip_markers_and_peek() {
+                    self.stall = "data input";
+                    return Ok(());
+                }
+            }
+        }
+        // output space: StreamOut ports and sentinel token pushes
+        for node in &self.spec.dfg {
+            if let NodeOp::StreamOut { port, .. } = node.op {
+                for s in &self.outputs[port].streams {
+                    if !ctx.s(*s).can_push() {
+                        self.stall = "output space";
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        for p in self.tokens_at(n, false) {
+            for s in &self.outputs[p].streams {
+                if !ctx.s(*s).can_push() {
+                    self.stall = "sentinel token space";
+                    return Ok(());
+                }
+            }
+        }
+
+        // ---- fire ----
+        self.pop_tokens(ctx, n);
+        let w_eff = self.w_eff();
+        let dfg = self.spec.dfg.clone();
+        let mut vals: Vec<Val> = Vec::with_capacity(dfg.len());
+        for (ni, node) in dfg.iter().enumerate() {
+            let v: Val = match &node.op {
+                NodeOp::Const(c) => vec![*c],
+                NodeOp::CounterIdx { level } => {
+                    let innermost = *level + 1 == n;
+                    match self.lvl[*level] {
+                        LvlRt::Counter { idx, .. } => {
+                            if innermost && self.width() > 1 {
+                                let stride = match &self.spec.levels[*level] {
+                                    Level::Counter { lane_stride, .. } => *lane_stride,
+                                    _ => 1,
+                                };
+                                (0..w_eff).map(|l| Elem::I64(idx + l as i64 * stride)).collect()
+                            } else {
+                                vec![Elem::I64(idx)]
+                            }
+                        }
+                        LvlRt::While { iter } => vec![Elem::I64(iter)],
+                        _ => vec![Elem::I64(0)],
+                    }
+                }
+                NodeOp::IsFirst { level } => {
+                    let v = match self.lvl[*level] {
+                        LvlRt::Counter { idx, init, .. } => idx == init,
+                        LvlRt::While { iter } => iter == 0,
+                        _ => true,
+                    };
+                    vec![Elem::from_bool(v)]
+                }
+                NodeOp::IsLast { level } => {
+                    let v = match (&self.spec.levels[*level], self.lvl[*level]) {
+                        (Level::Counter { step, .. }, LvlRt::Counter { idx, max, .. }) => {
+                            let nidx = idx + *step;
+                            !((*step > 0 && nidx < max) || (*step < 0 && nidx > max))
+                        }
+                        _ => true,
+                    };
+                    vec![Elem::from_bool(v)]
+                }
+                NodeOp::Un(op) => vals[node.ins[0]].iter().map(|e| op.eval(*e)).collect(),
+                NodeOp::Bin(op) => zip2(&vals[node.ins[0]], &vals[node.ins[1]], |a, b| op.eval(a, b)),
+                NodeOp::Mux => {
+                    let (c, t, f) = (&vals[node.ins[0]], &vals[node.ins[1]], &vals[node.ins[2]]);
+                    let w = c.len().max(t.len()).max(f.len());
+                    (0..w)
+                        .map(|i| if lane(c, i).as_bool() { lane(t, i) } else { lane(f, i) })
+                        .collect()
+                }
+                NodeOp::StreamIn { port } => {
+                    let pk = ctx.s(self.inputs[*port]).pop().expect("checked");
+                    *ctx.progress += 1;
+                    if pk.vals.is_empty() {
+                        // zero-length no-op packet from a disabled
+                        // predicated producer (count-preserving)
+                        vec![Elem::I64(0)]
+                    } else {
+                        pk.vals
+                    }
+                }
+                NodeOp::StreamOut { port, pred, empty_pred } => {
+                    let data = &vals[node.ins[0]];
+                    let pvals: Option<&Val> = if *pred { Some(&vals[node.ins[1]]) } else { None };
+                    // Push at the data's natural lane count (scalars stay
+                    // scalar — memory ports broadcast single-element data
+                    // across vector addresses); per-lane predicates widen.
+                    let w = data.len().max(pvals.map(|p| p.len()).unwrap_or(1));
+                    let mut out: Vec<Elem> = Vec::with_capacity(w);
+                    for i in 0..w {
+                        let en = pvals.map(|p| lane(p, i).as_bool()).unwrap_or(true);
+                        if en {
+                            out.push(lane(data, i));
+                        }
+                    }
+                    if !out.is_empty() || (*empty_pred && pvals.is_some()) {
+                        let streams = self.outputs[*port].streams.clone();
+                        for s in streams {
+                            ctx.push(s, Packet::data(out.clone()));
+                            *ctx.progress += 1;
+                        }
+                    }
+                    data.clone()
+                }
+                NodeOp::Reduce { op, init, reset_level } => {
+                    let in_v = vals[node.ins[0]].clone();
+                    let serial_now = self.serial.get(*reset_level).copied().unwrap_or(0);
+                    let width = self.width();
+                    let entry = self
+                        .reduce
+                        .entry(ni)
+                        .or_insert_with(|| (vec![u64::MAX], vec![*init; width]));
+                    if entry.0[0] != serial_now {
+                        entry.0[0] = serial_now;
+                        entry.1 = vec![*init; width];
+                    }
+                    for (i, v) in in_v.iter().enumerate() {
+                        entry.1[i] = op.eval(entry.1[i], *v);
+                    }
+                    // Expose *all* lane accumulators (untouched lanes hold
+                    // the identity): a partial final vector must not drop
+                    // the other lanes before the reduction tree combines
+                    // them.
+                    entry.1.clone()
+                }
+                NodeOp::VecReduce(op) => {
+                    let in_v = &vals[node.ins[0]];
+                    let mut acc = in_v[0];
+                    for v in &in_v[1..] {
+                        acc = op.eval(acc, *v);
+                    }
+                    vec![acc]
+                }
+            };
+            vals.push(v);
+        }
+        // sentinel pushes
+        for p in self.tokens_at(n, false) {
+            let streams = self.outputs[p].streams.clone();
+            for s in streams {
+                ctx.push(s, Packet::token());
+            }
+        }
+        self.firings += 1;
+        *ctx.progress += 1;
+        self.stall = "";
+
+        // advance the innermost level (or finish for level-less units)
+        if n == 0 {
+            self.done = true;
+            return Ok(());
+        }
+        // advance the innermost by step (vector firings advance by the
+        // combined step already encoded in Level::Counter::step)
+        let r = Resume::Advance(n - 1);
+        let _ = self.advance(ctx, r);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- Sync
+
+/// Token fan-in/fan-out barrier.
+#[derive(Debug, Clone)]
+pub struct SyncRt {
+    pub spec: SyncUnit,
+    pub inputs: Vec<StreamId>,
+    pub outputs: Vec<OutPort>,
+    pub fired: u64,
+}
+
+impl SyncRt {
+    pub fn step(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            for i in &self.inputs {
+                if ctx.s(*i).peek().is_none() {
+                    return;
+                }
+            }
+            for o in &self.outputs {
+                for s in &o.streams {
+                    if !ctx.s(*s).can_push() {
+                        return;
+                    }
+                }
+            }
+            for i in &self.inputs {
+                ctx.s(*i).pop();
+            }
+            for o in self.outputs.clone() {
+                for s in o.streams {
+                    ctx.push(s, Packet::token());
+                }
+            }
+            self.fired += 1;
+            *ctx.progress += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- VMU
+
+/// Runtime state of a memory unit: multibuffered banks with per-port
+/// epochs.
+#[derive(Debug, Clone)]
+pub struct VmuRt {
+    pub spec: Vmu,
+    pub inputs: Vec<StreamId>,
+    pub outputs: Vec<OutPort>,
+    pub label: String,
+    buffers: Vec<Vec<Elem>>,
+    wr_epoch: Vec<u64>,
+    rd_epoch: Vec<u64>,
+    rr_w: usize,
+    rr_r: usize,
+    pub writes: u64,
+    pub reads: u64,
+}
+
+impl VmuRt {
+    pub fn new(spec: Vmu, inputs: Vec<StreamId>, outputs: Vec<OutPort>, label: String) -> Self {
+        let m = spec.multibuffer.max(1) as usize;
+        let buffers = vec![spec.init.clone(); m];
+        let wr = vec![0; spec.write_ports.len()];
+        let rd = vec![0; spec.read_ports.len()];
+        VmuRt { spec, inputs, outputs, label, buffers, wr_epoch: wr, rd_epoch: rd, rr_w: 0, rr_r: 0, writes: 0, reads: 0 }
+    }
+
+    /// Final contents of buffer 0 joined with the most recently written
+    /// epoch (for result extraction, the last write epoch wins).
+    pub fn image(&self) -> &[Elem] {
+        let e = self.wr_epoch.iter().copied().max().unwrap_or(0);
+        let m = self.buffers.len() as u64;
+        // Last *written* buffer is (e-1) % m when e > 0, else buffer 0.
+        let idx = if e == 0 { 0 } else { ((e - 1) % m) as usize };
+        &self.buffers[idx]
+    }
+
+    pub fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<(), String> {
+        let m = self.buffers.len() as u64;
+        // one write port per cycle, round robin
+        let nw = self.spec.write_ports.len();
+        for off in 0..nw {
+            let i = (self.rr_w + off) % nw;
+            let port = self.spec.write_ports[i];
+            let addr_sid = self.inputs[port.addr_in];
+            let Some(head) = ctx.s(addr_sid).peek().cloned() else { continue };
+            // ack space if needed
+            let ack_ok = match port.ack_out {
+                Some(p) => {
+                    let mut ok = true;
+                    for s in &self.outputs[p].streams {
+                        ok &= ctx.s(*s).can_push();
+                    }
+                    ok
+                }
+                None => true,
+            };
+            if !ack_ok {
+                continue;
+            }
+            if head.is_marker() {
+                ctx.s(addr_sid).pop();
+                self.wr_epoch[i] += 1;
+                if let Some(p) = port.ack_out {
+                    for s in self.outputs[p].streams.clone() {
+                        ctx.push(s, Packet::marker());
+                    }
+                }
+                *ctx.progress += 1;
+                self.rr_w = (i + 1) % nw;
+                break;
+            }
+            let data_sid = self.inputs[port.data_in];
+            if !ctx.s(data_sid).skip_markers_and_peek() {
+                continue;
+            }
+            let addr = ctx.s(addr_sid).pop().expect("peeked");
+            let mut data = ctx.s(data_sid).pop().expect("peeked");
+            if data.vals.len() == 1 && addr.vals.len() > 1 {
+                data.vals = vec![data.vals[0]; addr.vals.len()];
+            }
+            if addr.vals.len() != data.vals.len() {
+                return Err(format!(
+                    "{}: write addr/data length mismatch {} vs {}",
+                    self.label,
+                    addr.vals.len(),
+                    data.vals.len()
+                ));
+            }
+            let buf = ((self.wr_epoch[i]) % m) as usize;
+            for (a, v) in addr.vals.iter().zip(&data.vals) {
+                let w = a.as_i64();
+                if w < 0 || w as usize >= self.buffers[buf].len() {
+                    return Err(format!("{}: write address {w} out of bank range", self.label));
+                }
+                self.buffers[buf][w as usize] = *v;
+            }
+            self.writes += addr.vals.len() as u64;
+            if let Some(p) = port.ack_out {
+                for s in self.outputs[p].streams.clone() {
+                    ctx.push(s, Packet::data(vec![Elem::I64(1); addr.vals.len()]));
+                }
+            }
+            *ctx.progress += 1;
+            self.rr_w = (i + 1) % nw;
+            break;
+        }
+        // one read port per cycle, round robin
+        let nr = self.spec.read_ports.len();
+        for off in 0..nr {
+            let i = (self.rr_r + off) % nr;
+            let port = self.spec.read_ports[i];
+            let addr_sid = self.inputs[port.addr_in];
+            let Some(head) = ctx.s(addr_sid).peek().cloned() else { continue };
+            let mut ok = true;
+            for s in &self.outputs[port.data_out].streams {
+                ok &= ctx.s(*s).can_push();
+            }
+            if !ok {
+                continue;
+            }
+            if head.is_marker() {
+                ctx.s(addr_sid).pop();
+                self.rd_epoch[i] += 1;
+                for s in self.outputs[port.data_out].streams.clone() {
+                    ctx.push(s, Packet::marker());
+                }
+                *ctx.progress += 1;
+                self.rr_r = (i + 1) % nr;
+                break;
+            }
+            let addr = ctx.s(addr_sid).pop().expect("peeked");
+            let buf = ((self.rd_epoch[i]) % m) as usize;
+            let mut out = Vec::with_capacity(addr.vals.len());
+            for a in &addr.vals {
+                let w = a.as_i64();
+                if w < 0 || w as usize >= self.buffers[buf].len() {
+                    return Err(format!("{}: read address {w} out of bank range", self.label));
+                }
+                out.push(self.buffers[buf][w as usize]);
+            }
+            self.reads += addr.vals.len() as u64;
+            for s in self.outputs[port.data_out].streams.clone() {
+                ctx.push(s, Packet::data(out.clone()));
+            }
+            *ctx.progress += 1;
+            self.rr_r = (i + 1) % nr;
+            break;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- Xbar
+
+/// Distributor: routes payload lanes to per-bank outputs by bank id.
+#[derive(Debug, Clone)]
+pub struct DistRt {
+    pub spec: XbarDist,
+    pub inputs: Vec<StreamId>,
+    pub outputs: Vec<OutPort>,
+    pub routed: u64,
+}
+
+impl DistRt {
+    pub fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<(), String> {
+        loop {
+            let bank_sid = self.inputs[self.spec.bank_in];
+            let Some(bank_pk) = ctx.s(bank_sid).peek().cloned() else { return Ok(()) };
+            let pay_sid = self.inputs[self.spec.payload_in];
+            // markers travel on both input streams; forward once
+            if bank_pk.is_marker() {
+                let Some(pp) = ctx.s(pay_sid).peek().cloned() else { return Ok(()) };
+                if !pp.is_marker() {
+                    return Err("xbar-dist: marker misalignment".into());
+                }
+                let mut ok = true;
+                for p in self.spec.bank_outs.iter().chain(self.spec.ba_out.iter()) {
+                    for s in &self.outputs[*p].streams {
+                        ok &= ctx.s(*s).can_push();
+                    }
+                }
+                if !ok {
+                    return Ok(());
+                }
+                ctx.s(bank_sid).pop();
+                ctx.s(pay_sid).pop();
+                for p in self.spec.bank_outs.clone().iter().chain(self.spec.ba_out.iter()) {
+                    for s in self.outputs[*p].streams.clone() {
+                        ctx.push(s, Packet::marker());
+                    }
+                }
+                *ctx.progress += 1;
+                continue;
+            }
+            if ctx.s(pay_sid).peek().map(|p| p.is_marker()).unwrap_or(true) {
+                return Ok(());
+            }
+            let pay_pk = ctx.s(pay_sid).peek().cloned().expect("checked");
+            if pay_pk.vals.len() != bank_pk.vals.len() {
+                return Err(format!(
+                    "xbar-dist: bank/payload width mismatch {} vs {}",
+                    bank_pk.vals.len(),
+                    pay_pk.vals.len()
+                ));
+            }
+            // group lanes by bank
+            let nbanks = self.spec.bank_outs.len();
+            let mut groups: Vec<Vec<Elem>> = vec![Vec::new(); nbanks];
+            for (b, v) in bank_pk.vals.iter().zip(&pay_pk.vals) {
+                let bi = b.as_i64();
+                if bi < 0 || bi as usize >= nbanks {
+                    return Err(format!("xbar-dist: bank {bi} out of range"));
+                }
+                groups[bi as usize].push(*v);
+            }
+            let mut ok = true;
+            for (bi, g) in groups.iter().enumerate() {
+                if !g.is_empty() {
+                    for s in &self.outputs[self.spec.bank_outs[bi]].streams {
+                        ok &= ctx.s(*s).can_push();
+                    }
+                }
+            }
+            if let Some(p) = self.spec.ba_out {
+                for s in &self.outputs[p].streams {
+                    ok &= ctx.s(*s).can_push();
+                }
+            }
+            if !ok {
+                return Ok(());
+            }
+            ctx.s(bank_sid).pop();
+            ctx.s(pay_sid).pop();
+            for (bi, g) in groups.into_iter().enumerate() {
+                if g.is_empty() {
+                    continue;
+                }
+                for s in self.outputs[self.spec.bank_outs[bi]].streams.clone() {
+                    ctx.push(s, Packet::data(g.clone()));
+                }
+            }
+            if let Some(p) = self.spec.ba_out {
+                for s in self.outputs[p].streams.clone() {
+                    ctx.push(s, bank_pk.clone());
+                }
+            }
+            self.routed += 1;
+            *ctx.progress += 1;
+        }
+    }
+}
+
+/// Collector: reassembles per-bank responses into firing order using the
+/// forwarded bank-address stream.
+#[derive(Debug, Clone)]
+pub struct CollRt {
+    pub spec: XbarColl,
+    pub inputs: Vec<StreamId>,
+    pub outputs: Vec<OutPort>,
+    /// Element buffers per bank input (flattened packets).
+    elems: Vec<VecDeque<Elem>>,
+    /// Marker counts per bank input, interleaved positionally: markers are
+    /// rare (epoch ends), so we require element buffers to be empty when
+    /// consuming one.
+    markers: Vec<u64>,
+    pub assembled: u64,
+}
+
+impl CollRt {
+    pub fn new(spec: XbarColl, inputs: Vec<StreamId>, outputs: Vec<OutPort>) -> Self {
+        let n = spec.bank_ins.len();
+        CollRt { spec, inputs, outputs, elems: vec![VecDeque::new(); n], markers: vec![0; n], assembled: 0 }
+    }
+
+    fn drain_banks(&mut self, ctx: &mut Ctx<'_>) {
+        for (bi, port) in self.spec.bank_ins.clone().into_iter().enumerate() {
+            let sid = self.inputs[port];
+            while let Some(pk) = ctx.s(sid).peek() {
+                if pk.is_marker() {
+                    if self.elems[bi].is_empty() {
+                        ctx.s(sid).pop();
+                        self.markers[bi] += 1;
+                        continue;
+                    }
+                    break;
+                }
+                let pk = ctx.s(sid).pop().expect("peeked");
+                self.elems[bi].extend(pk.vals);
+            }
+        }
+    }
+
+    pub fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<(), String> {
+        loop {
+            self.drain_banks(ctx);
+            let ba_sid = self.inputs[self.spec.ba_in];
+            let Some(ba) = ctx.s(ba_sid).peek().cloned() else { return Ok(()) };
+            let mut ok = true;
+            for s in &self.outputs[self.spec.out].streams {
+                ok &= ctx.s(*s).can_push();
+            }
+            if !ok {
+                return Ok(());
+            }
+            if ba.is_marker() {
+                // consume one marker from every bank
+                if self.markers.contains(&0) {
+                    return Ok(());
+                }
+                ctx.s(ba_sid).pop();
+                for m in &mut self.markers {
+                    *m -= 1;
+                }
+                for s in self.outputs[self.spec.out].streams.clone() {
+                    ctx.push(s, Packet::marker());
+                }
+                *ctx.progress += 1;
+                continue;
+            }
+            // need per-bank element counts
+            let nbanks = self.spec.bank_ins.len();
+            let mut need = vec![0usize; nbanks];
+            for b in &ba.vals {
+                let bi = b.as_i64() as usize;
+                if bi >= nbanks {
+                    return Err(format!("xbar-coll: bank {bi} out of range"));
+                }
+                need[bi] += 1;
+            }
+            if need.iter().enumerate().any(|(bi, n)| self.elems[bi].len() < *n) {
+                return Ok(());
+            }
+            ctx.s(ba_sid).pop();
+            let mut out = Vec::with_capacity(ba.vals.len());
+            for b in &ba.vals {
+                let bi = b.as_i64() as usize;
+                out.push(self.elems[bi].pop_front().expect("counted"));
+            }
+            for s in self.outputs[self.spec.out].streams.clone() {
+                ctx.push(s, Packet::data(out.clone()));
+            }
+            self.assembled += 1;
+            *ctx.progress += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- AG
+
+#[derive(Debug, Clone)]
+enum JobKind {
+    Read { words: Vec<u64> },
+    Write { count: usize },
+    Marker,
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    seq: u64,
+    kind: JobKind,
+    /// Elements whose DRAM transfer has not completed yet.
+    pending: usize,
+}
+
+/// A contiguous run being coalesced across packets into one DRAM burst.
+#[derive(Debug, Clone)]
+struct RunAcc {
+    start: u64,
+    len: u64,
+    /// `(job seq, element count)` covered by this run.
+    jobs: Vec<(u64, u64)>,
+    /// Cycle of the last append (staleness flush).
+    touched: u64,
+}
+
+/// Runtime state of an address-generator unit.
+///
+/// Requests are **coalesced across packets**: consecutive word addresses
+/// from back-to-back firings merge into bursts of up to 64 words (256 B),
+/// flushed on discontinuity, on reaching the burst cap, or after a short
+/// staleness window — this is what lets streaming kernels saturate DRAM
+/// bandwidth instead of paying full latency per element.
+#[derive(Debug, Clone)]
+pub struct AgRt {
+    pub spec: AgUnit,
+    pub inputs: Vec<StreamId>,
+    pub outputs: Vec<OutPort>,
+    pub label: String,
+    pub unit_index: usize,
+    jobs: VecDeque<Job>,
+    run: Option<RunAcc>,
+    /// Flushed requests not yet accepted by the DRAM model.
+    to_issue: VecDeque<Request>,
+    /// In-flight runs by run id.
+    inflight: HashMap<u64, Vec<(u64, u64)>>,
+    next_seq: u64,
+    next_run: u64,
+    /// Maximum outstanding jobs (from the AG spec).
+    max_jobs: usize,
+    pub packets: u64,
+    pub bytes: u64,
+}
+
+/// Burst coalescing cap in words (256 bytes).
+const RUN_CAP_WORDS: u64 = 64;
+/// Cycles a run may sit un-appended before it is flushed.
+const RUN_STALE_CYCLES: u64 = 8;
+
+impl AgRt {
+    pub fn new(
+        spec: AgUnit,
+        inputs: Vec<StreamId>,
+        outputs: Vec<OutPort>,
+        label: String,
+        unit_index: usize,
+    ) -> Self {
+        AgRt {
+            spec,
+            inputs,
+            outputs,
+            label,
+            unit_index,
+            jobs: VecDeque::new(),
+            run: None,
+            to_issue: VecDeque::new(),
+            inflight: HashMap::new(),
+            next_seq: 0,
+            next_run: 0,
+            max_jobs: 64,
+            packets: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Whether all work is drained.
+    pub fn idle(&self) -> bool {
+        self.jobs.is_empty() && self.run.is_none() && self.to_issue.is_empty()
+    }
+
+    fn flush_run(&mut self) {
+        let Some(run) = self.run.take() else { return };
+        let is_write = self.spec.dir == AgDir::Write;
+        let run_id = self.next_run;
+        self.next_run += 1;
+        let tag = ((self.unit_index as u64) << 32) | (run_id & 0xFFFF_FFFF);
+        self.to_issue.push_back(Request {
+            id: tag,
+            addr: self.spec.base_addr + run.start * 4,
+            bytes: (run.len * 4) as u32,
+            is_write,
+        });
+        self.inflight.insert(run_id, run.jobs);
+    }
+
+    /// Append one word address of job `seq` to the coalescing run.
+    fn append_word(&mut self, now: u64, seq: u64, w: u64) {
+        match &mut self.run {
+            Some(run) if run.start + run.len == w && run.len < RUN_CAP_WORDS => {
+                run.len += 1;
+                run.touched = now;
+                match run.jobs.last_mut() {
+                    Some((s, c)) if *s == seq => *c += 1,
+                    _ => run.jobs.push((seq, 1)),
+                }
+            }
+            Some(_) => {
+                self.flush_run();
+                self.run =
+                    Some(RunAcc { start: w, len: 1, jobs: vec![(seq, 1)], touched: now });
+            }
+            None => {
+                self.run =
+                    Some(RunAcc { start: w, len: 1, jobs: vec![(seq, 1)], touched: now });
+            }
+        }
+    }
+
+    /// Intake + issue + retire. `image` is the global DRAM word image.
+    pub fn step(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dram: &mut DramSim,
+        image: &mut [Elem],
+    ) -> Result<(), String> {
+        // ---- intake ----
+        while self.jobs.len() < self.max_jobs {
+            let addr_sid = self.inputs[self.spec.addr_in];
+            let Some(head) = ctx.s(addr_sid).peek().cloned() else { break };
+            if head.is_marker() {
+                ctx.s(addr_sid).pop();
+                self.jobs.push_back(Job { seq: self.next_seq, kind: JobKind::Marker, pending: 0 });
+                self.next_seq += 1;
+                *ctx.progress += 1;
+                continue;
+            }
+            let is_write = self.spec.dir == AgDir::Write;
+            let words: Vec<u64> = head.vals.iter().map(|e| e.as_i64().max(0) as u64).collect();
+            if is_write {
+                let data_sid = self.inputs[self.spec.data_in.expect("write AG has data")];
+                if !ctx.s(data_sid).skip_markers_and_peek() {
+                    break;
+                }
+                let mut data = ctx.s(data_sid).peek().cloned().expect("checked");
+                if data.vals.len() == 1 && words.len() > 1 {
+                    data.vals = vec![data.vals[0]; words.len()];
+                }
+                if data.vals.len() != words.len() {
+                    return Err(format!(
+                        "{}: DRAM write addr/data mismatch {} vs {}",
+                        self.label,
+                        words.len(),
+                        data.vals.len()
+                    ));
+                }
+                ctx.s(addr_sid).pop();
+                ctx.s(data_sid).pop();
+                // commit at issue; acks gate any dependent reader
+                for (w, v) in words.iter().zip(&data.vals) {
+                    let gw = (self.spec.base_addr / 4 + w) as usize;
+                    if gw >= image.len() {
+                        return Err(format!("{}: DRAM write beyond image ({gw})", self.label));
+                    }
+                    image[gw] = *v;
+                }
+                let seq = self.next_seq;
+                for w in &words {
+                    self.append_word(ctx.now, seq, *w);
+                }
+                self.bytes += words.len() as u64 * 4;
+                self.jobs.push_back(Job {
+                    seq,
+                    kind: JobKind::Write { count: words.len() },
+                    pending: words.len(),
+                });
+            } else {
+                ctx.s(addr_sid).pop();
+                let seq = self.next_seq;
+                for w in &words {
+                    self.append_word(ctx.now, seq, *w);
+                }
+                self.bytes += words.len() as u64 * 4;
+                self.jobs.push_back(Job {
+                    seq,
+                    kind: JobKind::Read { words },
+                    pending: 0, // set below
+                });
+                let n = self.jobs.back().map(|j| match &j.kind {
+                    JobKind::Read { words } => words.len(),
+                    _ => 0,
+                });
+                self.jobs.back_mut().expect("just pushed").pending = n.unwrap_or(0);
+            }
+            self.next_seq += 1;
+            self.packets += 1;
+            *ctx.progress += 1;
+        }
+        // staleness / cap flush
+        let stale = self
+            .run
+            .as_ref()
+            .map(|r| r.len >= RUN_CAP_WORDS || ctx.now.saturating_sub(r.touched) >= RUN_STALE_CYCLES)
+            .unwrap_or(false);
+        if stale {
+            self.flush_run();
+        }
+        // ---- issue ----
+        while let Some(req) = self.to_issue.front() {
+            if dram.push(ctx.now, *req) {
+                self.to_issue.pop_front();
+                *ctx.progress += 1;
+            } else {
+                break;
+            }
+        }
+        // ---- retire (in order) ----
+        while let Some(front) = self.jobs.front() {
+            if front.pending > 0 {
+                break;
+            }
+            let mut ok = true;
+            for s in &self.outputs[self.spec.out].streams {
+                ok &= ctx.s(*s).can_push();
+            }
+            if !ok {
+                break;
+            }
+            let job = self.jobs.pop_front().expect("nonempty");
+            let pk = match job.kind {
+                JobKind::Marker => Packet::marker(),
+                JobKind::Write { count } => Packet::data(vec![Elem::I64(1); count]),
+                JobKind::Read { words } => {
+                    let mut vals = Vec::with_capacity(words.len());
+                    for w in words {
+                        let gw = (self.spec.base_addr / 4 + w) as usize;
+                        if gw >= image.len() {
+                            return Err(format!("{}: DRAM read beyond image ({gw})", self.label));
+                        }
+                        vals.push(image[gw]);
+                    }
+                    Packet::data(vals)
+                }
+            };
+            for s in self.outputs[self.spec.out].streams.clone() {
+                ctx.push(s, pk.clone());
+            }
+            *ctx.progress += 1;
+        }
+        Ok(())
+    }
+
+    /// Record a DRAM completion for a tagged request.
+    pub fn complete(&mut self, tag: u64) {
+        let run_id = tag & 0xFFFF_FFFF;
+        let Some(covered) = self.inflight.remove(&run_id) else { return };
+        for (seq, count) in covered {
+            if let Some(job) = self.jobs.iter_mut().find(|j| j.seq == seq) {
+                job.pending = job.pending.saturating_sub(count as usize);
+            }
+        }
+    }
+}
+
+/// Convenience: evaluate a BinOp lane tree (used by tests).
+pub fn fold_lanes(op: BinOp, v: &[Elem]) -> Elem {
+    let mut acc = v[0];
+    for x in &v[1..] {
+        acc = op.eval(acc, *x);
+    }
+    acc
+}

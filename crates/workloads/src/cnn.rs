@@ -1,0 +1,160 @@
+//! `snet`: a small squeeze-style convolutional network — the paper's
+//! compute-bound CNN representative.
+
+use sara_ir::{BinOp, DType, Elem, LoopSpec, MemInit, Program, UnOp};
+
+/// Parameters of the conv net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnetParams {
+    /// Input feature-map width/height (square).
+    pub img: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels of the 3×3 conv.
+    pub c_out: usize,
+    /// Parallelization of the output-channel loop (spatial unrolling).
+    pub par_oc: u32,
+    /// Parallelization of the kernel-reduction loop (vectorization).
+    pub par_k: u32,
+}
+
+impl Default for SnetParams {
+    fn default() -> Self {
+        SnetParams { img: 6, c_in: 2, c_out: 4, par_oc: 1, par_k: 1 }
+    }
+}
+
+/// One 3×3 same-channel conv + ReLU + 2×2 max-pool stage.
+///
+/// Layout: input `[c_in][img][img]`, weights `[c_out][c_in][3][3]`,
+/// conv output `[c_out][img-2][img-2]`, pooled `[c_out][h/2][w/2]`.
+pub fn snet(p: &SnetParams) -> Program {
+    let img = p.img;
+    let oh = img - 2;
+    let ph = oh / 2;
+    let mut g = Program::new("snet");
+    let root = g.root();
+    let input = g.dram("input", &[p.c_in * img * img], DType::F64, MemInit::RandomF { seed: 101 });
+    let w = g.dram(
+        "w",
+        &[p.c_out * p.c_in * 9],
+        DType::F64,
+        MemInit::RandomF { seed: 102 },
+    );
+    let pooled = g.dram("pooled", &[p.c_out * ph * ph], DType::F64, MemInit::Zero);
+    let in_s = g.sram("in_s", &[p.c_in * img * img], DType::F64);
+    let conv_s = g.sram("conv_s", &[p.c_out * oh * oh], DType::F64);
+
+    // stage the input
+    let ls = g.add_loop(root, "stage", LoopSpec::new(0, (p.c_in * img * img) as i64, 1)).unwrap();
+    let hs = g.add_leaf(ls, "si").unwrap();
+    let si = g.idx(hs, ls).unwrap();
+    let sv = g.load(hs, input, &[si]).unwrap();
+    g.store(hs, in_s, &[si], sv).unwrap();
+
+    // conv: for oc, oy, ox: acc over (ic, ky, kx)
+    let loc = g.add_loop(root, "oc", LoopSpec::new(0, p.c_out as i64, 1).par(p.par_oc)).unwrap();
+    let loy = g.add_loop(loc, "oy", LoopSpec::new(0, oh as i64, 1)).unwrap();
+    let lox = g.add_loop(loy, "ox", LoopSpec::new(0, oh as i64, 1)).unwrap();
+    // fuse (ic, ky, kx) into a single reduction loop of length c_in*9 so
+    // the whole MAC is one vectorizable innermost loop
+    let klen = p.c_in * 9;
+    let lk = g.add_loop(lox, "k", LoopSpec::new(0, klen as i64, 1).par(p.par_k)).unwrap();
+    let hb = g.add_leaf(lk, "mac").unwrap();
+    let oc = g.idx(hb, loc).unwrap();
+    let oy = g.idx(hb, loy).unwrap();
+    let ox = g.idx(hb, lox).unwrap();
+    let k = g.idx(hb, lk).unwrap();
+    let nine = g.c_i64(hb, 9).unwrap();
+    let ic = g.bin(hb, BinOp::Div, k, nine).unwrap();
+    let krem = g.bin(hb, BinOp::Mod, k, nine).unwrap();
+    let three = g.c_i64(hb, 3).unwrap();
+    let ky = g.bin(hb, BinOp::Div, krem, three).unwrap();
+    let kx = g.bin(hb, BinOp::Mod, krem, three).unwrap();
+    // weight address: ((oc*c_in + ic)*9 + krem)
+    let cin = g.c_i64(hb, p.c_in as i64).unwrap();
+    let wb0 = g.bin(hb, BinOp::Mul, oc, cin).unwrap();
+    let wb1 = g.bin(hb, BinOp::Add, wb0, ic).unwrap();
+    let wb2 = g.bin(hb, BinOp::Mul, wb1, nine).unwrap();
+    let wa = g.bin(hb, BinOp::Add, wb2, krem).unwrap();
+    let wv = g.load(hb, w, &[wa]).unwrap();
+    // input address: (ic*img + oy+ky)*img + ox+kx
+    let imgc = g.c_i64(hb, img as i64).unwrap();
+    let iy = g.bin(hb, BinOp::Add, oy, ky).unwrap();
+    let ix = g.bin(hb, BinOp::Add, ox, kx).unwrap();
+    let ib0 = g.bin(hb, BinOp::Mul, ic, imgc).unwrap();
+    let ib1 = g.bin(hb, BinOp::Add, ib0, iy).unwrap();
+    let ib2 = g.bin(hb, BinOp::Mul, ib1, imgc).unwrap();
+    let ia = g.bin(hb, BinOp::Add, ib2, ix).unwrap();
+    let iv = g.load(hb, in_s, &[ia]).unwrap();
+    let prod = g.bin(hb, BinOp::Mul, wv, iv).unwrap();
+    let acc = g.reduce(hb, BinOp::Add, prod, Elem::F64(0.0), lk).unwrap();
+    let relu = g.un(hb, UnOp::Relu, acc).unwrap();
+    let last = g.is_last(hb, lk).unwrap();
+    // conv_s address: (oc*oh + oy)*oh + ox
+    let ohc = g.c_i64(hb, oh as i64).unwrap();
+    let cb0 = g.bin(hb, BinOp::Mul, oc, ohc).unwrap();
+    let cb1 = g.bin(hb, BinOp::Add, cb0, oy).unwrap();
+    let cb2 = g.bin(hb, BinOp::Mul, cb1, ohc).unwrap();
+    let ca = g.bin(hb, BinOp::Add, cb2, ox).unwrap();
+    g.store_if(hb, conv_s, &[ca], relu, last).unwrap();
+
+    // 2x2 max pool: for oc, py, px: max over the 4-window
+    let lpc = g.add_loop(root, "poc", LoopSpec::new(0, p.c_out as i64, 1).par(p.par_oc)).unwrap();
+    let lpy = g.add_loop(lpc, "py", LoopSpec::new(0, ph as i64, 1)).unwrap();
+    let lpx = g.add_loop(lpy, "px", LoopSpec::new(0, ph as i64, 1)).unwrap();
+    let lw = g.add_loop(lpx, "win", LoopSpec::new(0, 4, 1)).unwrap();
+    let hp = g.add_leaf(lw, "pool").unwrap();
+    let pc = g.idx(hp, lpc).unwrap();
+    let py = g.idx(hp, lpy).unwrap();
+    let px = g.idx(hp, lpx).unwrap();
+    let wi = g.idx(hp, lw).unwrap();
+    let two = g.c_i64(hp, 2).unwrap();
+    let dy = g.bin(hp, BinOp::Div, wi, two).unwrap();
+    let dx = g.bin(hp, BinOp::Mod, wi, two).unwrap();
+    let sy0 = g.bin(hp, BinOp::Mul, py, two).unwrap();
+    let sy = g.bin(hp, BinOp::Add, sy0, dy).unwrap();
+    let sx0 = g.bin(hp, BinOp::Mul, px, two).unwrap();
+    let sx = g.bin(hp, BinOp::Add, sx0, dx).unwrap();
+    let ohc2 = g.c_i64(hp, oh as i64).unwrap();
+    let pb0 = g.bin(hp, BinOp::Mul, pc, ohc2).unwrap();
+    let pb1 = g.bin(hp, BinOp::Add, pb0, sy).unwrap();
+    let pb2 = g.bin(hp, BinOp::Mul, pb1, ohc2).unwrap();
+    let pa = g.bin(hp, BinOp::Add, pb2, sx).unwrap();
+    let cv = g.load(hp, conv_s, &[pa]).unwrap();
+    let mx = g.reduce(hp, BinOp::Max, cv, Elem::F64(f64::NEG_INFINITY), lw).unwrap();
+    let lastw = g.is_last(hp, lw).unwrap();
+    let phc = g.c_i64(hp, ph as i64).unwrap();
+    let ob0 = g.bin(hp, BinOp::Mul, pc, phc).unwrap();
+    let ob1 = g.bin(hp, BinOp::Add, ob0, py).unwrap();
+    let ob2 = g.bin(hp, BinOp::Mul, ob1, phc).unwrap();
+    let oa = g.bin(hp, BinOp::Add, ob2, px).unwrap();
+    g.store_if(hp, pooled, &[oa], mx, lastw).unwrap();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_ir::interp::Interp;
+
+    #[test]
+    fn snet_runs_and_pooled_nonnegative() {
+        let p = snet(&SnetParams::default());
+        p.validate().unwrap();
+        let o = Interp::new(&p).run().unwrap();
+        let pooled = o.mem_f64(sara_ir::MemId(2));
+        // relu then max-pool: everything >= 0, and something > 0
+        assert!(pooled.iter().all(|v| *v >= 0.0));
+        assert!(pooled.iter().any(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn snet_flop_count_scales_with_channels() {
+        let small = snet(&SnetParams::default());
+        let big = snet(&SnetParams { c_out: 8, ..SnetParams::default() });
+        let fs = Interp::new(&small).run().unwrap().stats.flops;
+        let fb = Interp::new(&big).run().unwrap().stats.flops;
+        assert!(fb > fs * 3 / 2);
+    }
+}

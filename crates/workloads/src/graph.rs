@@ -1,0 +1,265 @@
+//! Graph and tree workloads: PageRank over CSR (dynamic inner bounds) and
+//! random-forest inference (gather-heavy tree traversal).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sara_ir::{BinOp, Bound, DType, Elem, LoopSpec, MemInit, Program};
+
+/// Parameters of PageRank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrParams {
+    /// Vertices.
+    pub v: usize,
+    /// Average out-degree of the random graph.
+    pub avg_deg: usize,
+    /// RNG seed for the graph.
+    pub seed: u64,
+    /// Parallelization of the vertex loop (spatial unrolling of both the
+    /// bound generator and the edge gather).
+    pub par_v: u32,
+}
+
+impl Default for PrParams {
+    fn default() -> Self {
+        PrParams { v: 12, avg_deg: 3, seed: 7, par_v: 1 }
+    }
+}
+
+/// Deterministic random CSR graph: returns `(row_ptr, col_idx, out_deg)`.
+pub fn random_csr(v: usize, avg_deg: usize, seed: u64) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(v + 1);
+    let mut col = Vec::new();
+    row_ptr.push(0i64);
+    for _ in 0..v {
+        let deg = rng.gen_range(0..=(2 * avg_deg));
+        for _ in 0..deg {
+            col.push(rng.gen_range(0..v) as i64);
+        }
+        row_ptr.push(col.len() as i64);
+    }
+    // out-degree of each vertex as a *source* (for the rank contribution)
+    let mut out_deg = vec![0i64; v];
+    for c in &col {
+        out_deg[*c as usize] += 1;
+    }
+    // avoid division by zero: sinks get degree 1
+    for d in &mut out_deg {
+        if *d == 0 {
+            *d = 1;
+        }
+    }
+    (row_ptr, col, out_deg)
+}
+
+/// One PageRank iteration: `rank'[v] = 0.15/V + 0.85 Σ_{u→v} rank[u]/deg[u]`
+/// over a CSR in-edge list, with **dynamic inner loop bounds** read from
+/// `row_ptr` (paper §III-A2a).
+pub fn pr(p: &PrParams) -> Program {
+    let (row_ptr, col, out_deg) = random_csr(p.v, p.avg_deg, p.seed);
+    let e = col.len().max(1);
+    let mut g = Program::new("pr");
+    let root = g.root();
+    let rp = g.dram(
+        "row_ptr",
+        &[p.v + 1],
+        DType::I64,
+        MemInit::Data(row_ptr.iter().map(|x| Elem::I64(*x)).collect()),
+    );
+    let ci = g.dram(
+        "col_idx",
+        &[e],
+        DType::I64,
+        MemInit::Data(
+            col.iter()
+                .map(|x| Elem::I64(*x))
+                .chain(std::iter::once(Elem::I64(0)))
+                .take(e)
+                .collect(),
+        ),
+    );
+    let deg = g.dram(
+        "deg",
+        &[p.v],
+        DType::I64,
+        MemInit::Data(out_deg.iter().map(|x| Elem::I64(*x)).collect()),
+    );
+    let rank = g.dram("rank", &[p.v], DType::F64, MemInit::LinSpace { start: 1.0, step: 0.0 });
+    let rank_new = g.dram("rank_new", &[p.v], DType::F64, MemInit::Zero);
+    let lo_r = g.reg("lo", DType::I64);
+    let hi_r = g.reg("hi", DType::I64);
+
+    let lv = g.add_loop(root, "v", LoopSpec::new(0, p.v as i64, 1).par(p.par_v)).unwrap();
+    // bounds generator
+    let hb0 = g.add_leaf(lv, "bounds").unwrap();
+    let v0 = g.idx(hb0, lv).unwrap();
+    let one = g.c_i64(hb0, 1).unwrap();
+    let v1 = g.bin(hb0, BinOp::Add, v0, one).unwrap();
+    let lov = g.load(hb0, rp, &[v0]).unwrap();
+    let hiv = g.load(hb0, rp, &[v1]).unwrap();
+    let z = g.c_i64(hb0, 0).unwrap();
+    g.store(hb0, lo_r, &[z], lov).unwrap();
+    g.store(hb0, hi_r, &[z], hiv).unwrap();
+    // base rank (written unconditionally, covers zero-edge vertices)
+    let vb = g.idx(hb0, lv).unwrap();
+    let base = g.c_f64(hb0, 0.15 / p.v as f64).unwrap();
+    g.store(hb0, rank_new, &[vb], base).unwrap();
+    // edge gather with dynamic bounds
+    let le = g
+        .add_loop(lv, "e", LoopSpec { min: Bound::Reg(lo_r), max: Bound::Reg(hi_r), step: 1, par: 1 })
+        .unwrap();
+    let hb1 = g.add_leaf(le, "gather").unwrap();
+    let ei = g.idx(hb1, le).unwrap();
+    let src = g.load(hb1, ci, &[ei]).unwrap();
+    let rv = g.load(hb1, rank, &[src]).unwrap();
+    let dv = g.load(hb1, deg, &[src]).unwrap();
+    let contrib = g.bin(hb1, BinOp::Div, rv, dv).unwrap();
+    let acc = g.reduce(hb1, BinOp::Add, contrib, Elem::F64(0.0), le).unwrap();
+    let last = g.is_last(hb1, le).unwrap();
+    let damp = g.c_f64(hb1, 0.85).unwrap();
+    let scaled = g.bin(hb1, BinOp::Mul, acc, damp).unwrap();
+    let basec = g.c_f64(hb1, 0.15 / p.v as f64).unwrap();
+    let total = g.bin(hb1, BinOp::Add, scaled, basec).unwrap();
+    let v2 = g.idx(hb1, lv).unwrap();
+    g.store_if(hb1, rank_new, &[v2], total, last).unwrap();
+    g
+}
+
+/// Parameters of random-forest inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RfParams {
+    /// Samples.
+    pub n: usize,
+    /// Features per sample.
+    pub d: usize,
+    /// Trees.
+    pub trees: usize,
+    /// Tree depth (complete binary trees).
+    pub depth: usize,
+    /// RNG seed for the forest.
+    pub seed: u64,
+    /// Parallelization of the sample loop.
+    pub par_n: u32,
+}
+
+impl Default for RfParams {
+    fn default() -> Self {
+        RfParams { n: 6, d: 8, trees: 3, depth: 3, seed: 9, par_n: 1 }
+    }
+}
+
+/// Random-forest inference as a **dataflow pipeline**: the forest (feature
+/// ids, thresholds, leaf values) is staged into scratchpads once, and the
+/// tree traversal is *depth-unrolled inside one hyperblock* — a chain of
+/// data-dependent scratchpad gathers (`node = 2·node + 1 + (x[feat] >
+/// thr)`), each request unit consuming the previous gather's response.
+/// Throughput is one (sample, tree) per cycle regardless of depth; this is
+/// exactly the dataflow execution a GPU cannot exploit (paper §IV-D: the
+/// tree structures cause sparse memory accesses on GPUs).
+pub fn rf(p: &RfParams) -> Program {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let nodes = (1usize << (p.depth + 1)) - 1;
+    let feat: Vec<Elem> = (0..p.trees * nodes)
+        .map(|_| Elem::I64(rng.gen_range(0..p.d) as i64))
+        .collect();
+    let thr: Vec<Elem> = (0..p.trees * nodes).map(|_| Elem::F64(rng.gen::<f64>())).collect();
+    let leaf: Vec<Elem> = (0..p.trees * nodes).map(|_| Elem::F64(rng.gen::<f64>())).collect();
+
+    let mut g = Program::new("rf");
+    let root = g.root();
+    let x = g.dram("x", &[p.n * p.d], DType::F64, MemInit::RandomF { seed: p.seed + 1 });
+    let featm = g.dram("feat", &[p.trees * nodes], DType::I64, MemInit::Data(feat));
+    let thrm = g.dram("thr", &[p.trees * nodes], DType::F64, MemInit::Data(thr));
+    let leafm = g.dram("leaf", &[p.trees * nodes], DType::F64, MemInit::Data(leaf));
+    let votes = g.dram("votes", &[p.n], DType::F64, MemInit::Zero);
+    // On-chip copies of the forest and the samples.
+    let feat_s = g.sram("feat_s", &[p.trees * nodes], DType::I64);
+    let thr_s = g.sram("thr_s", &[p.trees * nodes], DType::F64);
+    let leaf_s = g.sram("leaf_s", &[p.trees * nodes], DType::F64);
+    let x_s = g.sram("x_s", &[p.n * p.d], DType::F64);
+
+    // stage the forest and samples
+    let ls = g.add_loop(root, "stage_f", LoopSpec::new(0, (p.trees * nodes) as i64, 1)).unwrap();
+    let hs = g.add_leaf(ls, "sf").unwrap();
+    let si = g.idx(hs, ls).unwrap();
+    let fv = g.load(hs, featm, &[si]).unwrap();
+    g.store(hs, feat_s, &[si], fv).unwrap();
+    let tv = g.load(hs, thrm, &[si]).unwrap();
+    g.store(hs, thr_s, &[si], tv).unwrap();
+    let lv = g.load(hs, leafm, &[si]).unwrap();
+    g.store(hs, leaf_s, &[si], lv).unwrap();
+    let lsx = g.add_loop(root, "stage_x", LoopSpec::new(0, (p.n * p.d) as i64, 1)).unwrap();
+    let hx = g.add_leaf(lsx, "sx").unwrap();
+    let xi = g.idx(hx, lsx).unwrap();
+    let xv = g.load(hx, x, &[xi]).unwrap();
+    g.store(hx, x_s, &[xi], xv).unwrap();
+
+    // fully pipelined traversal: one (sample, tree) per firing
+    let ln = g.add_loop(root, "n", LoopSpec::new(0, p.n as i64, 1).par(p.par_n)).unwrap();
+    let lt = g.add_loop(ln, "t", LoopSpec::new(0, p.trees as i64, 1)).unwrap();
+    let hb = g.add_leaf(lt, "walk").unwrap();
+    let n1 = g.idx(hb, ln).unwrap();
+    let t1 = g.idx(hb, lt).unwrap();
+    let nn = g.c_i64(hb, nodes as i64).unwrap();
+    let tb = g.bin(hb, BinOp::Mul, t1, nn).unwrap();
+    let dd = g.c_i64(hb, p.d as i64).unwrap();
+    let xb = g.bin(hb, BinOp::Mul, n1, dd).unwrap();
+    let two = g.c_i64(hb, 2).unwrap();
+    let one = g.c_i64(hb, 1).unwrap();
+    let mut cur = g.c_i64(hb, 0).unwrap();
+    for _lvl in 0..p.depth {
+        let na = g.bin(hb, BinOp::Add, tb, cur).unwrap();
+        let fv = g.load(hb, feat_s, &[na]).unwrap();
+        let tv = g.load(hb, thr_s, &[na]).unwrap();
+        let xa = g.bin(hb, BinOp::Add, xb, fv).unwrap();
+        let xv = g.load(hb, x_s, &[xa]).unwrap();
+        let right = g.bin(hb, BinOp::Gt, xv, tv).unwrap();
+        let nxt0 = g.bin(hb, BinOp::Mul, cur, two).unwrap();
+        let nxt1 = g.bin(hb, BinOp::Add, nxt0, one).unwrap();
+        let ri = g.un(hb, sara_ir::UnOp::ToI, right).unwrap();
+        cur = g.bin(hb, BinOp::Add, nxt1, ri).unwrap();
+    }
+    let la = g.bin(hb, BinOp::Add, tb, cur).unwrap();
+    let leafv = g.load(hb, leaf_s, &[la]).unwrap();
+    let acc = g.reduce(hb, BinOp::Add, leafv, Elem::F64(0.0), lt).unwrap();
+    let lastt = g.is_last(hb, lt).unwrap();
+    g.store_if(hb, votes, &[n1], acc, lastt).unwrap();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_ir::interp::Interp;
+
+    #[test]
+    fn csr_is_well_formed() {
+        let (rp, col, deg) = random_csr(10, 3, 1);
+        assert_eq!(rp.len(), 11);
+        assert_eq!(*rp.last().unwrap() as usize, col.len());
+        assert!(col.iter().all(|c| (0..10).contains(&(*c as usize))));
+        assert!(deg.iter().all(|d| *d >= 1));
+    }
+
+    #[test]
+    fn pr_ranks_form_distribution() {
+        let params = PrParams::default();
+        let p = pr(&params);
+        p.validate().unwrap();
+        let o = Interp::new(&p).run().unwrap();
+        let r = o.mem_f64(sara_ir::MemId(4));
+        assert!(r.iter().all(|v| *v >= 0.15 / params.v as f64 - 1e-12));
+        assert!(r.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rf_votes_bounded_by_tree_count() {
+        let params = RfParams::default();
+        let p = rf(&params);
+        p.validate().unwrap();
+        let o = Interp::new(&p).run().unwrap();
+        let v = o.mem_f64(sara_ir::MemId(4));
+        assert!(v.iter().all(|x| *x >= 0.0 && *x <= params.trees as f64));
+        assert!(v.iter().any(|x| *x > 0.0));
+    }
+}

@@ -1,0 +1,429 @@
+//! Machine-learning training/analytics kernels: logistic regression, SGD
+//! linear regression, k-means, GDA and an LSTM cell — the Table V
+//! comparison set plus the paper's recurrent workload.
+
+use sara_ir::{BinOp, DType, Elem, LoopSpec, MemInit, Program, UnOp};
+
+/// Parameters shared by logreg/sgd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegressionParams {
+    /// Samples.
+    pub n: usize,
+    /// Features.
+    pub d: usize,
+    /// Parallelization of the feature loops.
+    pub par_d: u32,
+}
+
+impl Default for RegressionParams {
+    fn default() -> Self {
+        RegressionParams { n: 8, d: 16, par_d: 1 }
+    }
+}
+
+fn regression(p: &RegressionParams, logistic: bool) -> Program {
+    let name = if logistic { "logreg" } else { "sgd" };
+    let mut g = Program::new(name);
+    let root = g.root();
+    let x = g.dram("x", &[p.n * p.d], DType::F64, MemInit::RandomF { seed: 51 });
+    let y = g.dram("y", &[p.n], DType::F64, MemInit::RandomF { seed: 52 });
+    let wout = g.dram("wout", &[p.d], DType::F64, MemInit::Zero);
+    let w = g.sram("w", &[p.d], DType::F64);
+    let err = g.reg("err", DType::F64);
+
+    let ln = g.add_loop(root, "n", LoopSpec::new(0, p.n as i64, 1)).unwrap();
+    // dot: acc = w · x[n]
+    let ld = g.add_loop(ln, "dot_d", LoopSpec::new(0, p.d as i64, 1).par(p.par_d)).unwrap();
+    let h1 = g.add_leaf(ld, "dot").unwrap();
+    let n1 = g.idx(h1, ln).unwrap();
+    let d1 = g.idx(h1, ld).unwrap();
+    let dd = g.c_i64(h1, p.d as i64).unwrap();
+    let base = g.bin(h1, BinOp::Mul, n1, dd).unwrap();
+    let xaddr = g.bin(h1, BinOp::Add, base, d1).unwrap();
+    let xv = g.load(h1, x, &[xaddr]).unwrap();
+    let wv = g.load(h1, w, &[d1]).unwrap();
+    let prod = g.bin(h1, BinOp::Mul, xv, wv).unwrap();
+    let acc = g.reduce(h1, BinOp::Add, prod, Elem::F64(0.0), ld).unwrap();
+    // err = y[n] - act(acc), once per sample
+    let he = g.add_leaf(ln, "err").unwrap();
+    let ne = g.idx(he, ln).unwrap();
+    let yv = g.load(he, y, &[ne]).unwrap();
+    // read back the dot product via a register carrying the reduce result
+    let dotr = g.reg("dot", DType::F64);
+    // store the reduce into dotr at the end of the dot loop
+    {
+        let last = g.is_last(h1, ld).unwrap();
+        let z = g.c_i64(h1, 0).unwrap();
+        g.store_if(h1, dotr, &[z], acc, last).unwrap();
+    }
+    let z2 = g.c_i64(he, 0).unwrap();
+    let dv = g.load(he, dotr, &[z2]).unwrap();
+    let pred = if logistic { g.un(he, UnOp::Sigmoid, dv).unwrap() } else { dv };
+    let e = g.bin(he, BinOp::Sub, yv, pred).unwrap();
+    g.store(he, err, &[z2], e).unwrap();
+    // update: w[d] += lr * err * x[n,d]
+    let lu = g.add_loop(ln, "upd_d", LoopSpec::new(0, p.d as i64, 1).par(p.par_d)).unwrap();
+    let h2 = g.add_leaf(lu, "upd").unwrap();
+    let n2 = g.idx(h2, ln).unwrap();
+    let d2 = g.idx(h2, lu).unwrap();
+    let dd2 = g.c_i64(h2, p.d as i64).unwrap();
+    let b2 = g.bin(h2, BinOp::Mul, n2, dd2).unwrap();
+    let xaddr2 = g.bin(h2, BinOp::Add, b2, d2).unwrap();
+    let xv2 = g.load(h2, x, &[xaddr2]).unwrap();
+    let z3 = g.c_i64(h2, 0).unwrap();
+    let ev = g.load(h2, err, &[z3]).unwrap();
+    let lr = g.c_f64(h2, 0.1).unwrap();
+    let step1 = g.bin(h2, BinOp::Mul, ev, lr).unwrap();
+    let step = g.bin(h2, BinOp::Mul, step1, xv2).unwrap();
+    let wv2 = g.load(h2, w, &[d2]).unwrap();
+    let wn = g.bin(h2, BinOp::Add, wv2, step).unwrap();
+    g.store(h2, w, &[d2], wn).unwrap();
+    // publish weights
+    let lo = g.add_loop(root, "out_d", LoopSpec::new(0, p.d as i64, 1)).unwrap();
+    let h3 = g.add_leaf(lo, "pub").unwrap();
+    let d3 = g.idx(h3, lo).unwrap();
+    let wv3 = g.load(h3, w, &[d3]).unwrap();
+    g.store(h3, wout, &[d3], wv3).unwrap();
+    g
+}
+
+/// One epoch of logistic regression with in-fabric weight updates.
+pub fn logreg(p: &RegressionParams) -> Program {
+    regression(p, true)
+}
+
+/// One epoch of linear-regression SGD.
+pub fn sgd(p: &RegressionParams) -> Program {
+    regression(p, false)
+}
+
+/// Parameters of k-means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmeansParams {
+    pub n: usize,
+    pub d: usize,
+    pub k: usize,
+    /// Parallelization of the per-dimension loops.
+    pub par_d: u32,
+}
+
+impl Default for KmeansParams {
+    fn default() -> Self {
+        KmeansParams { n: 8, d: 8, k: 3, par_d: 1 }
+    }
+}
+
+/// One k-means iteration: assign each point to the nearest centroid and
+/// emit per-cluster sums and counts (the host would finish the division).
+pub fn kmeans(p: &KmeansParams) -> Program {
+    let mut g = Program::new("kmeans");
+    let root = g.root();
+    let x = g.dram("x", &[p.n * p.d], DType::F64, MemInit::RandomF { seed: 61 });
+    let cent = g.dram("cent", &[p.k * p.d], DType::F64, MemInit::RandomF { seed: 62 });
+    let sums_out = g.dram("sums", &[p.k * p.d], DType::F64, MemInit::Zero);
+    let counts_out = g.dram("counts", &[p.k], DType::F64, MemInit::Zero);
+    let c_s = g.sram("c_s", &[p.k * p.d], DType::F64);
+    let acc_s = g.sram("acc_s", &[p.k * p.d], DType::F64);
+    let cnt_s = g.sram("cnt_s", &[p.k], DType::F64);
+    let best_d = g.reg("best_d", DType::F64);
+    let best_k = g.reg("best_k", DType::I64);
+    let dist_r = g.reg("dist", DType::F64);
+
+    // stage centroids
+    let ls = g.add_loop(root, "stage", LoopSpec::new(0, (p.k * p.d) as i64, 1)).unwrap();
+    let hs = g.add_leaf(ls, "sc").unwrap();
+    let si = g.idx(hs, ls).unwrap();
+    let sv = g.load(hs, cent, &[si]).unwrap();
+    g.store(hs, c_s, &[si], sv).unwrap();
+
+    let ln = g.add_loop(root, "n", LoopSpec::new(0, p.n as i64, 1)).unwrap();
+    let lk = g.add_loop(ln, "k", LoopSpec::new(0, p.k as i64, 1)).unwrap();
+    // dist(n,k) = Σ_d (x - c)^2
+    let ldd = g.add_loop(lk, "dist_d", LoopSpec::new(0, p.d as i64, 1).par(p.par_d)).unwrap();
+    let h1 = g.add_leaf(ldd, "dist").unwrap();
+    let n1 = g.idx(h1, ln).unwrap();
+    let k1 = g.idx(h1, lk).unwrap();
+    let d1 = g.idx(h1, ldd).unwrap();
+    let dd = g.c_i64(h1, p.d as i64).unwrap();
+    let xb = g.bin(h1, BinOp::Mul, n1, dd).unwrap();
+    let xa = g.bin(h1, BinOp::Add, xb, d1).unwrap();
+    let xv = g.load(h1, x, &[xa]).unwrap();
+    let cb = g.bin(h1, BinOp::Mul, k1, dd).unwrap();
+    let ca = g.bin(h1, BinOp::Add, cb, d1).unwrap();
+    let cv = g.load(h1, c_s, &[ca]).unwrap();
+    let diff = g.bin(h1, BinOp::Sub, xv, cv).unwrap();
+    let sq = g.bin(h1, BinOp::Mul, diff, diff).unwrap();
+    let acc = g.reduce(h1, BinOp::Add, sq, Elem::F64(0.0), ldd).unwrap();
+    let last = g.is_last(h1, ldd).unwrap();
+    let z = g.c_i64(h1, 0).unwrap();
+    g.store_if(h1, dist_r, &[z], acc, last).unwrap();
+    // best update, once per (n,k)
+    let hb = g.add_leaf(lk, "best").unwrap();
+    let k2 = g.idx(hb, lk).unwrap();
+    let zf = g.c_i64(hb, 0).unwrap();
+    let dv = g.load(hb, dist_r, &[zf]).unwrap();
+    let bv = g.load(hb, best_d, &[zf]).unwrap();
+    let first = g.is_first(hb, lk).unwrap();
+    let less = g.bin(hb, BinOp::Lt, dv, bv).unwrap();
+    let take = g.bin(hb, BinOp::Or, less, first).unwrap();
+    let nd = g.mux(hb, take, dv, bv).unwrap();
+    g.store(hb, best_d, &[zf], nd).unwrap();
+    let bk = g.load(hb, best_k, &[zf]).unwrap();
+    let nk = g.mux(hb, take, k2, bk).unwrap();
+    g.store(hb, best_k, &[zf], nk).unwrap();
+    // accumulate, once per n (after the k loop)
+    let la = g.add_loop(ln, "acc_d", LoopSpec::new(0, p.d as i64, 1)).unwrap();
+    let h2 = g.add_leaf(la, "accum").unwrap();
+    let n2 = g.idx(h2, ln).unwrap();
+    let d2 = g.idx(h2, la).unwrap();
+    let z4 = g.c_i64(h2, 0).unwrap();
+    let bk2 = g.load(h2, best_k, &[z4]).unwrap();
+    let dd2 = g.c_i64(h2, p.d as i64).unwrap();
+    let ab = g.bin(h2, BinOp::Mul, bk2, dd2).unwrap();
+    let aa = g.bin(h2, BinOp::Add, ab, d2).unwrap();
+    let xb2 = g.bin(h2, BinOp::Mul, n2, dd2).unwrap();
+    let xa2 = g.bin(h2, BinOp::Add, xb2, d2).unwrap();
+    let xv2 = g.load(h2, x, &[xa2]).unwrap();
+    let cur = g.load(h2, acc_s, &[aa]).unwrap();
+    let nv = g.bin(h2, BinOp::Add, cur, xv2).unwrap();
+    g.store(h2, acc_s, &[aa], nv).unwrap();
+    // count, once per n (d == 0 position reuses the same loop)
+    let zero2 = g.c_i64(h2, 0).unwrap();
+    let isd0 = g.bin(h2, BinOp::Eq, d2, zero2).unwrap();
+    let cc = g.load(h2, cnt_s, &[bk2]).unwrap();
+    let one = g.c_f64(h2, 1.0).unwrap();
+    let cc1 = g.bin(h2, BinOp::Add, cc, one).unwrap();
+    g.store_if(h2, cnt_s, &[bk2], cc1, isd0).unwrap();
+    // publish
+    let lp = g.add_loop(root, "pub", LoopSpec::new(0, (p.k * p.d) as i64, 1)).unwrap();
+    let h3 = g.add_leaf(lp, "pubs").unwrap();
+    let i3 = g.idx(h3, lp).unwrap();
+    let v3 = g.load(h3, acc_s, &[i3]).unwrap();
+    g.store(h3, sums_out, &[i3], v3).unwrap();
+    let lp2 = g.add_loop(root, "pub2", LoopSpec::new(0, p.k as i64, 1)).unwrap();
+    let h4 = g.add_leaf(lp2, "pubc").unwrap();
+    let i4 = g.idx(h4, lp2).unwrap();
+    let v4 = g.load(h4, cnt_s, &[i4]).unwrap();
+    g.store(h4, counts_out, &[i4], v4).unwrap();
+    g
+}
+
+/// Parameters of GDA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GdaParams {
+    pub n: usize,
+    pub d: usize,
+    /// Parallelization of the covariance column loop.
+    pub par_d: u32,
+}
+
+impl Default for GdaParams {
+    fn default() -> Self {
+        GdaParams { n: 8, d: 6, par_d: 1 }
+    }
+}
+
+/// Gaussian discriminant analysis core: `sigma += (x_n - mu)(x_n - mu)^T`.
+pub fn gda(p: &GdaParams) -> Program {
+    let mut g = Program::new("gda");
+    let root = g.root();
+    let x = g.dram("x", &[p.n * p.d], DType::F64, MemInit::RandomF { seed: 71 });
+    let mu = g.dram("mu", &[p.d], DType::F64, MemInit::RandomF { seed: 72 });
+    let sigma_out = g.dram("sigma", &[p.d * p.d], DType::F64, MemInit::Zero);
+    let mu_s = g.sram("mu_s", &[p.d], DType::F64);
+    let sig_s = g.sram("sig_s", &[p.d * p.d], DType::F64);
+    // stage mu
+    let ls = g.add_loop(root, "stage", LoopSpec::new(0, p.d as i64, 1)).unwrap();
+    let hs = g.add_leaf(ls, "sm").unwrap();
+    let si = g.idx(hs, ls).unwrap();
+    let sv = g.load(hs, mu, &[si]).unwrap();
+    g.store(hs, mu_s, &[si], sv).unwrap();
+    // accumulate outer products
+    let ln = g.add_loop(root, "n", LoopSpec::new(0, p.n as i64, 1)).unwrap();
+    let la = g.add_loop(ln, "a", LoopSpec::new(0, p.d as i64, 1)).unwrap();
+    let lb = g.add_loop(la, "b", LoopSpec::new(0, p.d as i64, 1).par(p.par_d)).unwrap();
+    let hb = g.add_leaf(lb, "op").unwrap();
+    let n1 = g.idx(hb, ln).unwrap();
+    let a1 = g.idx(hb, la).unwrap();
+    let b1 = g.idx(hb, lb).unwrap();
+    let dd = g.c_i64(hb, p.d as i64).unwrap();
+    let xb = g.bin(hb, BinOp::Mul, n1, dd).unwrap();
+    let xaa = g.bin(hb, BinOp::Add, xb, a1).unwrap();
+    let xab = g.bin(hb, BinOp::Add, xb, b1).unwrap();
+    let xa = g.load(hb, x, &[xaa]).unwrap();
+    let xbv = g.load(hb, x, &[xab]).unwrap();
+    let mua = g.load(hb, mu_s, &[a1]).unwrap();
+    let mub = g.load(hb, mu_s, &[b1]).unwrap();
+    let da = g.bin(hb, BinOp::Sub, xa, mua).unwrap();
+    let db = g.bin(hb, BinOp::Sub, xbv, mub).unwrap();
+    let prod = g.bin(hb, BinOp::Mul, da, db).unwrap();
+    let sb = g.bin(hb, BinOp::Mul, a1, dd).unwrap();
+    let sa = g.bin(hb, BinOp::Add, sb, b1).unwrap();
+    let cur = g.load(hb, sig_s, &[sa]).unwrap();
+    let nv = g.bin(hb, BinOp::Add, cur, prod).unwrap();
+    g.store(hb, sig_s, &[sa], nv).unwrap();
+    // publish
+    let lp = g.add_loop(root, "pub", LoopSpec::new(0, (p.d * p.d) as i64, 1)).unwrap();
+    let hp = g.add_leaf(lp, "pubs").unwrap();
+    let ip = g.idx(hp, lp).unwrap();
+    let vp = g.load(hp, sig_s, &[ip]).unwrap();
+    g.store(hp, sigma_out, &[ip], vp).unwrap();
+    g
+}
+
+/// Parameters of the LSTM cell sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmParams {
+    /// Timesteps.
+    pub t: usize,
+    /// Hidden size (= input size for simplicity).
+    pub h: usize,
+    /// Parallelization of the per-gate reduction loops.
+    pub par_h: u32,
+}
+
+impl Default for LstmParams {
+    fn default() -> Self {
+        LstmParams { t: 3, h: 8, par_h: 1 }
+    }
+}
+
+/// An LSTM layer over `t` timesteps with recurrent state in scratchpads.
+pub fn lstm(p: &LstmParams) -> Program {
+    let mut g = Program::new("lstm");
+    let root = g.root();
+    let h = p.h;
+    let x = g.dram("x", &[p.t * h], DType::F64, MemInit::RandomF { seed: 81 });
+    // one fused weight tensor per gate: [W | U] of shape h x 2h
+    let seeds = [82u64, 83, 84, 85];
+    let gates = ["gi", "gf", "go", "gg"];
+    let w: Vec<_> = gates
+        .iter()
+        .zip(seeds)
+        .map(|(n, s)| g.dram(&format!("w_{n}"), &[h * 2 * h], DType::F64, MemInit::RandomF { seed: s }))
+        .collect();
+    let hout = g.dram("hout", &[h], DType::F64, MemInit::Zero);
+    let h_s = g.sram("h_s", &[h], DType::F64);
+    let c_s = g.sram("c_s", &[h], DType::F64);
+    let gate_s: Vec<_> = gates.iter().map(|n| g.sram(&format!("{n}_s"), &[h], DType::F64)).collect();
+
+    let lt = g.add_loop(root, "t", LoopSpec::new(0, p.t as i64, 1)).unwrap();
+    for (gi, (gname, gmem)) in gates.iter().zip(&w).enumerate() {
+        let li = g.add_loop(lt, &format!("{gname}_i"), LoopSpec::new(0, h as i64, 1)).unwrap();
+        let lj = g
+            .add_loop(li, &format!("{gname}_j"), LoopSpec::new(0, 2 * h as i64, 1).par(p.par_h))
+            .unwrap();
+        let hb = g.add_leaf(lj, &format!("{gname}_mac")).unwrap();
+        let t1 = g.idx(hb, lt).unwrap();
+        let i1 = g.idx(hb, li).unwrap();
+        let j1 = g.idx(hb, lj).unwrap();
+        let two_h = g.c_i64(hb, 2 * h as i64).unwrap();
+        let wb = g.bin(hb, BinOp::Mul, i1, two_h).unwrap();
+        let wa = g.bin(hb, BinOp::Add, wb, j1).unwrap();
+        let wv = g.load(hb, *gmem, &[wa]).unwrap();
+        // operand: x[t, j] for j < h else h_s[j - h]
+        let hh = g.c_i64(hb, h as i64).unwrap();
+        let in_x = g.bin(hb, BinOp::Lt, j1, hh).unwrap();
+        let xb = g.bin(hb, BinOp::Mul, t1, hh).unwrap();
+        let jx = g.bin(hb, BinOp::Mod, j1, hh).unwrap();
+        let xaddr = g.bin(hb, BinOp::Add, xb, jx).unwrap();
+        let xv = g.load(hb, x, &[xaddr]).unwrap();
+        let hv = g.load(hb, h_s, &[jx]).unwrap();
+        let op = g.mux(hb, in_x, xv, hv).unwrap();
+        let prod = g.bin(hb, BinOp::Mul, wv, op).unwrap();
+        let acc = g.reduce(hb, BinOp::Add, prod, Elem::F64(0.0), lj).unwrap();
+        let act = if gi == 3 {
+            g.un(hb, UnOp::Tanh, acc).unwrap()
+        } else {
+            g.un(hb, UnOp::Sigmoid, acc).unwrap()
+        };
+        let last = g.is_last(hb, lj).unwrap();
+        g.store_if(hb, gate_s[gi], &[i1], act, last).unwrap();
+    }
+    // state update: c = f*c + i*g; h = o*tanh(c)
+    let lu = g.add_loop(lt, "upd", LoopSpec::new(0, h as i64, 1)).unwrap();
+    let hu = g.add_leaf(lu, "update").unwrap();
+    let iu = g.idx(hu, lu).unwrap();
+    let gi_v = g.load(hu, gate_s[0], &[iu]).unwrap();
+    let gf_v = g.load(hu, gate_s[1], &[iu]).unwrap();
+    let go_v = g.load(hu, gate_s[2], &[iu]).unwrap();
+    let gg_v = g.load(hu, gate_s[3], &[iu]).unwrap();
+    let cv = g.load(hu, c_s, &[iu]).unwrap();
+    let fc = g.bin(hu, BinOp::Mul, gf_v, cv).unwrap();
+    let ig = g.bin(hu, BinOp::Mul, gi_v, gg_v).unwrap();
+    let cn = g.bin(hu, BinOp::Add, fc, ig).unwrap();
+    g.store(hu, c_s, &[iu], cn).unwrap();
+    let th = g.un(hu, UnOp::Tanh, cn).unwrap();
+    let hn = g.bin(hu, BinOp::Mul, go_v, th).unwrap();
+    g.store(hu, h_s, &[iu], hn).unwrap();
+    // publish h
+    let lp = g.add_loop(root, "pub", LoopSpec::new(0, h as i64, 1)).unwrap();
+    let hp = g.add_leaf(lp, "pubh").unwrap();
+    let ip = g.idx(hp, lp).unwrap();
+    let vp = g.load(hp, h_s, &[ip]).unwrap();
+    g.store(hp, hout, &[ip], vp).unwrap();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_ir::interp::Interp;
+
+    #[test]
+    fn all_validate_and_run() {
+        for p in [
+            logreg(&RegressionParams::default()),
+            sgd(&RegressionParams::default()),
+            kmeans(&KmeansParams::default()),
+            gda(&GdaParams::default()),
+            lstm(&LstmParams::default()),
+        ] {
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let o = Interp::new(&p).run().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert!(o.stats.flops > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn logreg_weights_move() {
+        let p = logreg(&RegressionParams::default());
+        let o = Interp::new(&p).run().unwrap();
+        let w = o.mem_f64(sara_ir::MemId(2));
+        assert!(w.iter().any(|v| v.abs() > 1e-9));
+        assert!(w.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn kmeans_counts_sum_to_n() {
+        let p = kmeans(&KmeansParams::default());
+        let o = Interp::new(&p).run().unwrap();
+        let counts = o.mem_f64(sara_ir::MemId(3));
+        let total: f64 = counts.iter().sum();
+        assert_eq!(total as usize, 8);
+    }
+
+    #[test]
+    fn gda_sigma_is_symmetric() {
+        let params = GdaParams::default();
+        let p = gda(&params);
+        let o = Interp::new(&p).run().unwrap();
+        let s = o.mem_f64(sara_ir::MemId(2));
+        let d = params.d;
+        for a in 0..d {
+            for b in 0..d {
+                assert!((s[a * d + b] - s[b * d + a]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_state_bounded() {
+        let p = lstm(&LstmParams::default());
+        let o = Interp::new(&p).run().unwrap();
+        let h = o.mem_f64(sara_ir::MemId(5));
+        // h = o * tanh(c) is bounded by (0,1)*(-1,1)
+        assert!(h.iter().all(|v| v.abs() <= 1.0));
+        assert!(h.iter().any(|v| v.abs() > 0.0));
+    }
+}

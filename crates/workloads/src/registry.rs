@@ -1,0 +1,156 @@
+//! Name-indexed access to every workload at test-friendly sizes, plus the
+//! Table IV characterization helpers.
+
+use crate::{cnn, graph, linalg, ml, sort, streamk};
+use sara_ir::Program;
+
+/// A named workload with its domain tag (Table IV columns).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub name: &'static str,
+    pub domain: &'static str,
+    /// Whether the kernel contains data-dependent control flow (dynamic
+    /// bounds, branches, do-while).
+    pub data_dependent: bool,
+    pub program: Program,
+}
+
+/// All workloads at small (fast differential-testing) sizes.
+pub fn all_small() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "dotprod",
+            domain: "linear algebra",
+            data_dependent: false,
+            program: linalg::dotprod(&linalg::DotParams::default()),
+        },
+        Workload {
+            name: "outerprod",
+            domain: "linear algebra",
+            data_dependent: false,
+            program: linalg::outerprod(&linalg::OuterParams::default()),
+        },
+        Workload {
+            name: "gemm",
+            domain: "linear algebra",
+            data_dependent: false,
+            program: linalg::gemm(&linalg::GemmParams::default()),
+        },
+        Workload {
+            name: "mlp",
+            domain: "deep learning",
+            data_dependent: false,
+            program: linalg::mlp(&linalg::MlpParams::default()),
+        },
+        Workload {
+            name: "lstm",
+            domain: "deep learning",
+            data_dependent: false,
+            program: ml::lstm(&ml::LstmParams::default()),
+        },
+        Workload {
+            name: "snet",
+            domain: "deep learning",
+            data_dependent: false,
+            program: cnn::snet(&cnn::SnetParams::default()),
+        },
+        Workload {
+            name: "logreg",
+            domain: "analytics/ML",
+            data_dependent: false,
+            program: ml::logreg(&ml::RegressionParams::default()),
+        },
+        Workload {
+            name: "sgd",
+            domain: "analytics/ML",
+            data_dependent: false,
+            program: ml::sgd(&ml::RegressionParams::default()),
+        },
+        Workload {
+            name: "kmeans",
+            domain: "analytics/ML",
+            data_dependent: false,
+            program: ml::kmeans(&ml::KmeansParams::default()),
+        },
+        Workload {
+            name: "gda",
+            domain: "analytics/ML",
+            data_dependent: false,
+            program: ml::gda(&ml::GdaParams::default()),
+        },
+        Workload {
+            name: "tpchq6",
+            domain: "analytics",
+            data_dependent: false,
+            program: streamk::tpchq6(&streamk::Q6Params::default()),
+        },
+        Workload {
+            name: "bs",
+            domain: "finance",
+            data_dependent: false,
+            program: streamk::bs(&streamk::BsParams::default()),
+        },
+        Workload {
+            name: "sort",
+            domain: "sorting",
+            data_dependent: false,
+            program: sort::sort(&sort::SortParams::default()),
+        },
+        Workload {
+            name: "ms",
+            domain: "sorting",
+            data_dependent: true,
+            program: streamk::ms(&streamk::MsParams::default()),
+        },
+        Workload {
+            name: "pr",
+            domain: "graphs",
+            data_dependent: true,
+            program: graph::pr(&graph::PrParams::default()),
+        },
+        Workload {
+            name: "rf",
+            domain: "ML inference",
+            data_dependent: false,
+            program: graph::rf(&graph::RfParams::default()),
+        },
+    ]
+}
+
+/// Look up one small-size workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all_small().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_ir::interp::Interp;
+
+    #[test]
+    fn registry_has_all_paper_kernels() {
+        let names: Vec<&str> = all_small().iter().map(|w| w.name).collect();
+        for n in [
+            "dotprod", "outerprod", "gemm", "mlp", "lstm", "snet", "logreg", "sgd", "kmeans",
+            "gda", "tpchq6", "bs", "sort", "ms", "pr", "rf",
+        ] {
+            assert!(names.contains(&n), "{n} missing");
+        }
+    }
+
+    #[test]
+    fn every_workload_validates_and_interprets() {
+        for w in all_small() {
+            w.program.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            Interp::new(&w.program)
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        assert!(by_name("mlp").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

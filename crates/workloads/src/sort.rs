@@ -1,0 +1,138 @@
+//! `sort`: an in-scratchpad bitonic sorting network.
+
+use sara_ir::{BinOp, DType, LoopSpec, MemInit, Program, UnOp};
+
+/// Parameters of the bitonic sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortParams {
+    /// Elements; must be a power of two.
+    pub n: usize,
+}
+
+impl Default for SortParams {
+    fn default() -> Self {
+        SortParams { n: 16 }
+    }
+}
+
+/// Bitonic sort of `n` elements staged in a scratchpad. Every stage is a
+/// full pass of compare-exchanges; stage ordering is enforced purely by
+/// CMMC's loop-carried dependencies on the scratchpad.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn sort(p: &SortParams) -> Program {
+    assert!(p.n.is_power_of_two(), "bitonic sort needs a power-of-two size");
+    let n = p.n as i64;
+    let log_n = p.n.trailing_zeros() as i64;
+    let mut g = Program::new("sort");
+    let root = g.root();
+    let input = g.dram("input", &[p.n], DType::F64, MemInit::RandomF { seed: 111 });
+    let output = g.dram("output", &[p.n], DType::F64, MemInit::Zero);
+    // Ping-pong halves: each pass reads one half and writes the other, so
+    // every compare-exchange sees the *previous* pass's values even under
+    // sequential semantics.
+    let buf = g.sram("buf", &[2 * p.n], DType::F64);
+
+    // stage in (half 0)
+    let ls = g.add_loop(root, "stage_in", LoopSpec::new(0, n, 1)).unwrap();
+    let hs = g.add_leaf(ls, "si").unwrap();
+    let si = g.idx(hs, ls).unwrap();
+    let sv = g.load(hs, input, &[si]).unwrap();
+    g.store(hs, buf, &[si], sv).unwrap();
+
+    // network: for s in 0..log_n, for sub in 0..=s, compare-exchange pass
+    let lst = g.add_loop(root, "s", LoopSpec::new(0, log_n, 1)).unwrap();
+    let lsub = g.add_loop(lst, "sub", LoopSpec::new(0, log_n, 1)).unwrap();
+    let li = g.add_loop(lsub, "i", LoopSpec::new(0, n, 1)).unwrap();
+    let hb = g.add_leaf(li, "ce").unwrap();
+    let s = g.idx(hb, lst).unwrap();
+    let sub = g.idx(hb, lsub).unwrap();
+    let i = g.idx(hb, li).unwrap();
+    // only substages sub <= s act; k = 1 << (s - sub)
+    let active = g.bin(hb, BinOp::Le, sub, s).unwrap();
+    let sdiff0 = g.bin(hb, BinOp::Sub, s, sub).unwrap();
+    let zero0 = g.c_i64(hb, 0).unwrap();
+    // clamp for inactive substages (their loads must stay in bounds)
+    let sdiff = g.bin(hb, BinOp::Max, sdiff0, zero0).unwrap();
+    let one = g.c_i64(hb, 1).unwrap();
+    let k = g.bin(hb, BinOp::Shl, one, sdiff).unwrap();
+    let partner = g.bin(hb, BinOp::Xor, i, k).unwrap();
+    let is_low = g.bin(hb, BinOp::Lt, i, partner).unwrap();
+    // ascending block? dir = ((i >> (s+1)) & 1) == 0
+    let s1 = g.bin(hb, BinOp::Add, s, one).unwrap();
+    let blk = g.bin(hb, BinOp::Shr, i, s1).unwrap();
+    let bit = g.bin(hb, BinOp::And, blk, one).unwrap();
+    let zero = g.c_i64(hb, 0).unwrap();
+    let asc = g.bin(hb, BinOp::Eq, bit, zero).unwrap();
+    // pass parity selects the read half; the write half is its complement
+    let lnc = g.c_i64(hb, log_n).unwrap();
+    let pass0 = g.bin(hb, BinOp::Mul, s, lnc).unwrap();
+    let pass = g.bin(hb, BinOp::Add, pass0, sub).unwrap();
+    let two = g.c_i64(hb, 2).unwrap();
+    let parity = g.bin(hb, BinOp::Mod, pass, two).unwrap();
+    let nn = g.c_i64(hb, n).unwrap();
+    let rbase = g.bin(hb, BinOp::Mul, parity, nn).unwrap();
+    let onec = g.c_i64(hb, 1).unwrap();
+    let wpar = g.bin(hb, BinOp::Sub, onec, parity).unwrap();
+    let wbase = g.bin(hb, BinOp::Mul, wpar, nn).unwrap();
+    let ra = g.bin(hb, BinOp::Add, rbase, i).unwrap();
+    let rp = g.bin(hb, BinOp::Add, rbase, partner).unwrap();
+    let a = g.load(hb, buf, &[ra]).unwrap();
+    let b = g.load(hb, buf, &[rp]).unwrap();
+    let lo = g.bin(hb, BinOp::Min, a, b).unwrap();
+    let hi = g.bin(hb, BinOp::Max, a, b).unwrap();
+    // value this slot keeps: ascending blocks keep lo at the low index
+    let keep_lo = g.bin(hb, BinOp::Eq, is_low, asc).unwrap();
+    let kept = g.mux(hb, keep_lo, lo, hi).unwrap();
+    let unchanged = g.un(hb, UnOp::Not, active).unwrap();
+    let val = g.mux(hb, unchanged, a, kept).unwrap();
+    let wa = g.bin(hb, BinOp::Add, wbase, i).unwrap();
+    g.store(hb, buf, &[wa], val).unwrap();
+
+    // stage out: the final pass wrote half (total_passes % 2 == 0 ? ... )
+    // total passes = log_n², so the data ends in half (log_n² % 2)
+    let final_half = ((log_n * log_n) % 2) * n;
+    let lo2 = g.add_loop(root, "stage_out", LoopSpec::new(0, n, 1)).unwrap();
+    let ho = g.add_leaf(lo2, "so").unwrap();
+    let oi = g.idx(ho, lo2).unwrap();
+    let fh = g.c_i64(ho, final_half).unwrap();
+    let oa = g.bin(ho, BinOp::Add, oi, fh).unwrap();
+    let ov = g.load(ho, buf, &[oa]).unwrap();
+    g.store(ho, output, &[oi], ov).unwrap();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_ir::interp::Interp;
+
+    #[test]
+    fn sorts_random_data() {
+        let p = sort(&SortParams { n: 16 });
+        p.validate().unwrap();
+        let o = Interp::new(&p).run().unwrap();
+        let out = o.mem_f64(sara_ir::MemId(1));
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1], "{out:?}");
+        }
+        // it's a permutation of the input
+        let mut input: Vec<f64> = sara_ir::MemInit::RandomF { seed: 111 }
+            .materialize(16, DType::F64)
+            .iter()
+            .map(|e| e.as_f64())
+            .collect();
+        input.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in input.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        sort(&SortParams { n: 12 });
+    }
+}

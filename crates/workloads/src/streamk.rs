@@ -1,0 +1,256 @@
+//! Streaming kernels: Black-Scholes, TPC-H Q6 and the data-dependent
+//! streaming merge (`ms`).
+
+use sara_ir::{BinOp, Bound, DType, Elem, LoopSpec, MemInit, Program, UnOp};
+
+/// Parameters of Black-Scholes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BsParams {
+    /// Options priced.
+    pub n: usize,
+    /// Parallelization of the option loop.
+    pub par: u32,
+}
+
+impl Default for BsParams {
+    fn default() -> Self {
+        BsParams { n: 16, par: 1 }
+    }
+}
+
+/// Black-Scholes call pricing: a long transcendental-heavy streaming map.
+/// The normal CDF uses the logistic approximation `N(x) ≈ σ(1.702·x)`,
+/// matching the fixed-function accuracy class of accelerator math units.
+pub fn bs(p: &BsParams) -> Program {
+    let mut g = Program::new("bs");
+    let root = g.root();
+    let s0 = g.dram("s0", &[p.n], DType::F64, MemInit::LinSpace { start: 80.0, step: 1.5 });
+    let k = g.dram("k", &[p.n], DType::F64, MemInit::LinSpace { start: 100.0, step: 0.0 });
+    let t = g.dram("t", &[p.n], DType::F64, MemInit::LinSpace { start: 0.5, step: 0.03 });
+    let price = g.dram("price", &[p.n], DType::F64, MemInit::Zero);
+    let l = g.add_loop(root, "i", LoopSpec::new(0, p.n as i64, 1).par(p.par)).unwrap();
+    let hb = g.add_leaf(l, "bs").unwrap();
+    let i = g.idx(hb, l).unwrap();
+    let s = g.load(hb, s0, &[i]).unwrap();
+    let kk = g.load(hb, k, &[i]).unwrap();
+    let tt = g.load(hb, t, &[i]).unwrap();
+    let r = g.c_f64(hb, 0.05).unwrap();
+    let v = g.c_f64(hb, 0.2).unwrap();
+    // d1 = (ln(S/K) + (r + v^2/2) t) / (v sqrt(t))
+    let sk = g.bin(hb, BinOp::Div, s, kk).unwrap();
+    let lnsk = g.un(hb, UnOp::Log, sk).unwrap();
+    let v2 = g.bin(hb, BinOp::Mul, v, v).unwrap();
+    let half = g.c_f64(hb, 0.5).unwrap();
+    let v22 = g.bin(hb, BinOp::Mul, v2, half).unwrap();
+    let rv = g.bin(hb, BinOp::Add, r, v22).unwrap();
+    let rvt = g.bin(hb, BinOp::Mul, rv, tt).unwrap();
+    let num = g.bin(hb, BinOp::Add, lnsk, rvt).unwrap();
+    let sqt = g.un(hb, UnOp::Sqrt, tt).unwrap();
+    let vst = g.bin(hb, BinOp::Mul, v, sqt).unwrap();
+    let d1 = g.bin(hb, BinOp::Div, num, vst).unwrap();
+    let d2 = g.bin(hb, BinOp::Sub, d1, vst).unwrap();
+    // N(x) ~ sigmoid(1.702 x)
+    let c = g.c_f64(hb, 1.702).unwrap();
+    let d1c = g.bin(hb, BinOp::Mul, d1, c).unwrap();
+    let nd1 = g.un(hb, UnOp::Sigmoid, d1c).unwrap();
+    let d2c = g.bin(hb, BinOp::Mul, d2, c).unwrap();
+    let nd2 = g.un(hb, UnOp::Sigmoid, d2c).unwrap();
+    // C = S N(d1) - K e^{-rt} N(d2)
+    let rt = g.bin(hb, BinOp::Mul, r, tt).unwrap();
+    let nrt = g.un(hb, UnOp::Neg, rt).unwrap();
+    let disc = g.un(hb, UnOp::Exp, nrt).unwrap();
+    let sn = g.bin(hb, BinOp::Mul, s, nd1).unwrap();
+    let kd = g.bin(hb, BinOp::Mul, kk, disc).unwrap();
+    let kdn = g.bin(hb, BinOp::Mul, kd, nd2).unwrap();
+    let call = g.bin(hb, BinOp::Sub, sn, kdn).unwrap();
+    g.store(hb, price, &[i], call).unwrap();
+    g
+}
+
+/// Parameters of TPC-H Q6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q6Params {
+    pub n: usize,
+    pub par: u32,
+}
+
+impl Default for Q6Params {
+    fn default() -> Self {
+        Q6Params { n: 64, par: 1 }
+    }
+}
+
+/// TPC-H Q6: `sum(price*discount) where 0.05<=discount<=0.07 and qty<24`
+/// — a selective streaming aggregation (the branch is predicated into the
+/// datapath, paper §III-A2b "branches within a hyperblock").
+pub fn tpchq6(p: &Q6Params) -> Program {
+    let mut g = Program::new("tpchq6");
+    let root = g.root();
+    let price = g.dram("price", &[p.n], DType::F64, MemInit::RandomF { seed: 91 });
+    let disc = g.dram("disc", &[p.n], DType::F64, MemInit::RandomF { seed: 92 });
+    let qty = g.dram("qty", &[p.n], DType::I64, MemInit::RandomI { seed: 93, lo: 0, hi: 50 });
+    let out = g.dram("rev", &[1], DType::F64, MemInit::Zero);
+    let l = g.add_loop(root, "i", LoopSpec::new(0, p.n as i64, 1).par(p.par)).unwrap();
+    let hb = g.add_leaf(l, "agg").unwrap();
+    let i = g.idx(hb, l).unwrap();
+    let pv = g.load(hb, price, &[i]).unwrap();
+    let dv = g.load(hb, disc, &[i]).unwrap();
+    let qv = g.load(hb, qty, &[i]).unwrap();
+    // discount in [0.3, 0.7) of the uniform draw (keeps selectivity high
+    // enough to be interesting at small n)
+    let lo = g.c_f64(hb, 0.3).unwrap();
+    let hi = g.c_f64(hb, 0.7).unwrap();
+    let c1 = g.bin(hb, BinOp::Ge, dv, lo).unwrap();
+    let c2 = g.bin(hb, BinOp::Le, dv, hi).unwrap();
+    let q24 = g.c_i64(hb, 24).unwrap();
+    let c3 = g.bin(hb, BinOp::Lt, qv, q24).unwrap();
+    let c12 = g.bin(hb, BinOp::And, c1, c2).unwrap();
+    let sel = g.bin(hb, BinOp::And, c12, c3).unwrap();
+    let pd = g.bin(hb, BinOp::Mul, pv, dv).unwrap();
+    let zero = g.c_f64(hb, 0.0).unwrap();
+    let contrib = g.mux(hb, sel, pd, zero).unwrap();
+    let acc = g.reduce(hb, BinOp::Add, contrib, Elem::F64(0.0), l).unwrap();
+    let last = g.is_last(hb, l).unwrap();
+    let z = g.c_i64(hb, 0).unwrap();
+    g.store_if(hb, out, &[z], acc, last).unwrap();
+    g
+}
+
+/// Parameters of the streaming merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsParams {
+    /// Length of each sorted input run.
+    pub n: usize,
+}
+
+impl Default for MsParams {
+    fn default() -> Self {
+        MsParams { n: 12 }
+    }
+}
+
+/// Streaming two-way merge of two sorted runs, driven by a do-while loop
+/// with data-dependent pointer registers — the paper's `ms` dataflow
+/// pattern (§III-A2c).
+pub fn ms(p: &MsParams) -> Program {
+    let n = p.n as i64;
+    let mut g = Program::new("ms");
+    let root = g.root();
+    let a = g.dram("a", &[p.n], DType::F64, MemInit::LinSpace { start: 0.0, step: 2.0 });
+    let b = g.dram("b", &[p.n], DType::F64, MemInit::LinSpace { start: 1.0, step: 1.7 });
+    let out = g.dram("out", &[2 * p.n], DType::F64, MemInit::Zero);
+    let ia = g.reg("ia", DType::I64);
+    let ib = g.reg("ib", DType::I64);
+    let kr = g.reg("kcnt", DType::I64);
+    let cond = g.reg("go", DType::I64);
+    let dw = g.add_do_while(root, "merge", cond, (2 * p.n + 2) as u64).unwrap();
+    let hb = g.add_leaf(dw, "step").unwrap();
+    let z = g.c_i64(hb, 0).unwrap();
+    let iav = g.load(hb, ia, &[z]).unwrap();
+    let ibv = g.load(hb, ib, &[z]).unwrap();
+    let kv = g.load(hb, kr, &[z]).unwrap();
+    let nn = g.c_i64(hb, n).unwrap();
+    let a_ok = g.bin(hb, BinOp::Lt, iav, nn).unwrap();
+    let b_ok = g.bin(hb, BinOp::Lt, ibv, nn).unwrap();
+    // clamp indices for safe speculative loads
+    let n1 = g.c_i64(hb, n - 1).unwrap();
+    let ia_c = g.bin(hb, BinOp::Min, iav, n1).unwrap();
+    let ib_c = g.bin(hb, BinOp::Min, ibv, n1).unwrap();
+    let av = g.load(hb, a, &[ia_c]).unwrap();
+    let bv = g.load(hb, b, &[ib_c]).unwrap();
+    let a_le = g.bin(hb, BinOp::Le, av, bv).unwrap();
+    let b_dead = g.un(hb, UnOp::Not, b_ok).unwrap();
+    let pick_a0 = g.bin(hb, BinOp::And, a_ok, a_le).unwrap();
+    let pick_a1 = g.bin(hb, BinOp::And, a_ok, b_dead).unwrap();
+    let pick_a = g.bin(hb, BinOp::Or, pick_a0, pick_a1).unwrap();
+    let val = g.mux(hb, pick_a, av, bv).unwrap();
+    g.store(hb, out, &[kv], val).unwrap();
+    let one = g.c_i64(hb, 1).unwrap();
+    let ia_n0 = g.bin(hb, BinOp::Add, iav, one).unwrap();
+    let ia_n = g.mux(hb, pick_a, ia_n0, iav).unwrap();
+    let ib_n0 = g.bin(hb, BinOp::Add, ibv, one).unwrap();
+    let ib_n = g.mux(hb, pick_a, ibv, ib_n0).unwrap();
+    g.store(hb, ia, &[z], ia_n).unwrap();
+    g.store(hb, ib, &[z], ib_n).unwrap();
+    let k_n = g.bin(hb, BinOp::Add, kv, one).unwrap();
+    g.store(hb, kr, &[z], k_n).unwrap();
+    let total = g.c_i64(hb, 2 * n).unwrap();
+    let more = g.bin(hb, BinOp::Lt, k_n, total).unwrap();
+    g.store(hb, cond, &[z], more).unwrap();
+    g
+}
+
+/// A dynamically bounded streaming sum (used by tests of dynamic bounds
+/// at workload scale): sums the first `reg` elements.
+pub fn dynsum(n: usize, take: i64) -> Program {
+    let mut g = Program::new("dynsum");
+    let root = g.root();
+    let a = g.dram("a", &[n], DType::F64, MemInit::LinSpace { start: 1.0, step: 1.0 });
+    let o = g.dram("o", &[1], DType::F64, MemInit::Zero);
+    let t = g.reg("take", DType::I64);
+    let hs = g.add_leaf(root, "setup").unwrap();
+    let z = g.c_i64(hs, 0).unwrap();
+    let tv = g.c_i64(hs, take).unwrap();
+    g.store(hs, t, &[z], tv).unwrap();
+    let l = g.add_loop(root, "i", LoopSpec::new(0, Bound::Reg(t), 1)).unwrap();
+    let hb = g.add_leaf(l, "sum").unwrap();
+    let i = g.idx(hb, l).unwrap();
+    let v = g.load(hb, a, &[i]).unwrap();
+    let acc = g.reduce(hb, BinOp::Add, v, Elem::F64(0.0), l).unwrap();
+    let last = g.is_last(hb, l).unwrap();
+    let z2 = g.c_i64(hb, 0).unwrap();
+    g.store_if(hb, o, &[z2], acc, last).unwrap();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_ir::interp::Interp;
+
+    #[test]
+    fn bs_prices_positive_and_bounded() {
+        let p = bs(&BsParams::default());
+        p.validate().unwrap();
+        let o = Interp::new(&p).run().unwrap();
+        let prices = o.mem_f64(sara_ir::MemId(3));
+        assert!(prices.iter().all(|c| *c >= -1.0 && *c < 200.0));
+        assert!(prices.iter().any(|c| *c > 0.0));
+    }
+
+    #[test]
+    fn q6_revenue_matches_manual() {
+        let params = Q6Params { n: 64, par: 1 };
+        let p = tpchq6(&params);
+        let o = Interp::new(&p).run().unwrap();
+        let price = sara_ir::MemInit::RandomF { seed: 91 }.materialize(64, DType::F64);
+        let disc = sara_ir::MemInit::RandomF { seed: 92 }.materialize(64, DType::F64);
+        let qty = sara_ir::MemInit::RandomI { seed: 93, lo: 0, hi: 50 }.materialize(64, DType::I64);
+        let mut want = 0.0;
+        for i in 0..64 {
+            let d = disc[i].as_f64();
+            if d >= 0.3 && d <= 0.7 && qty[i].as_i64() < 24 {
+                want += price[i].as_f64() * d;
+            }
+        }
+        assert!((o.mem_f64(sara_ir::MemId(3))[0] - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ms_output_sorted() {
+        let p = ms(&MsParams::default());
+        p.validate().unwrap();
+        let o = Interp::new(&p).run().unwrap();
+        let out = o.mem_f64(sara_ir::MemId(2));
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1], "{out:?}");
+        }
+    }
+
+    #[test]
+    fn dynsum_takes_prefix() {
+        let p = dynsum(16, 5);
+        let o = Interp::new(&p).run().unwrap();
+        assert_eq!(o.mem_f64(sara_ir::MemId(1))[0], 15.0);
+    }
+}

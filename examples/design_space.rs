@@ -1,0 +1,45 @@
+//! Design-space exploration: compile one kernel at several
+//! parallelization factors and optimization settings, and print the
+//! performance/resource trade-off table a Plasticine architect would use
+//! to pick an operating point (the paper's Fig 9 methodology in 60
+//! lines).
+//!
+//! Run with: `cargo run --release -p sara-bench --example design_space`
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_core::partition::{Algo, TraversalOrder};
+use sara_workloads::linalg::{gemm, GemmParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = ChipSpec::sara_20x20();
+    println!(
+        "{:>6} {:>6} {:<12} {:>9} {:>6} {:>6} {:>9}",
+        "par_m", "par_k", "partition", "cycles", "PCUs", "PMUs", "flop/cyc"
+    );
+    for (par_m, par_k) in [(1u32, 1u32), (1, 16), (2, 16), (4, 16), (8, 16)] {
+        for algo in [Algo::Traversal(TraversalOrder::BfsFwd), Algo::BestTraversal] {
+            let p = gemm(&GemmParams { m: 16, n: 16, k: 64, par_m, par_k });
+            let mut opts = CompilerOptions::default();
+            opts.partition_algo = algo;
+            opts.merge_algo = algo;
+            let mut compiled = compile(&p, &chip, &opts)?;
+            sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 9)?;
+            let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default())?;
+            let flops = 2.0 * 16.0 * 16.0 * 64.0;
+            println!(
+                "{:>6} {:>6} {:<12} {:>9} {:>6} {:>6} {:>9.2}",
+                par_m,
+                par_k,
+                format!("{algo:?}").chars().take(12).collect::<String>(),
+                outcome.cycles,
+                compiled.report.pcus,
+                compiled.report.pmus,
+                flops / outcome.cycles as f64
+            );
+        }
+    }
+    println!("\npick the cheapest point on the frontier that meets your latency target");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a program in the Spatial-like DSL, compile it with
+//! SARA, place-and-route onto Plasticine, simulate, and check the result
+//! against the sequential reference interpreter.
+//!
+//! Run with: `cargo run --release -p sara-bench --example quickstart`
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_ir::interp::Interp;
+use sara_ir::{BinOp, DType, Elem, LoopSpec, MemInit, Program};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. write a program: out = Σ (a[i] + 1) * b[i], vectorized ×16 ----
+    let n = 256usize;
+    let mut p = Program::new("quickstart");
+    let root = p.root();
+    let a = p.dram("a", &[n], DType::F64, MemInit::LinSpace { start: 0.0, step: 0.5 });
+    let b = p.dram("b", &[n], DType::F64, MemInit::LinSpace { start: 1.0, step: 0.0 });
+    let out = p.dram("out", &[1], DType::F64, MemInit::Zero);
+
+    let i_loop = p.add_loop(root, "i", LoopSpec::new(0, n as i64, 1).par(16))?;
+    let hb = p.add_leaf(i_loop, "mac")?;
+    let i = p.idx(hb, i_loop)?;
+    let av = p.load(hb, a, &[i])?;
+    let one = p.c_f64(hb, 1.0)?;
+    let a1 = p.bin(hb, BinOp::Add, av, one)?;
+    let bv = p.load(hb, b, &[i])?;
+    let prod = p.bin(hb, BinOp::Mul, a1, bv)?;
+    let acc = p.reduce(hb, BinOp::Add, prod, Elem::F64(0.0), i_loop)?;
+    let last = p.is_last(hb, i_loop)?;
+    let zero = p.c_i64(hb, 0)?;
+    p.store_if(hb, out, &[zero], acc, last)?;
+    p.validate()?;
+
+    // ---- 2. reference semantics (runs on the host) ----
+    let reference = Interp::new(&p).run()?;
+    println!("interpreter result: {}", reference.mem_f64(out)[0]);
+
+    // ---- 3. compile for a Plasticine chip ----
+    let chip = ChipSpec::sara_20x20();
+    let mut compiled = compile(&p, &chip, &CompilerOptions::default())?;
+    println!("vudfg: {}", compiled.vudfg.summary());
+    println!(
+        "resources: {} PCUs, {} PMUs, {} AGs ({} token streams)",
+        compiled.report.pcus,
+        compiled.report.pmus,
+        compiled.report.ags,
+        compiled.report.token_streams
+    );
+
+    // ---- 4. place-and-route, then simulate cycle by cycle ----
+    let pnr = sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 42)?;
+    println!("placed: wirelength {}, max link use {}", pnr.wirelength, pnr.max_link_use);
+    let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default())?;
+    println!(
+        "simulated: {} cycles ({:.2} us at {} GHz), achieved DRAM bw {:.1} B/cycle",
+        outcome.cycles,
+        outcome.cycles as f64 / (chip.clock_ghz * 1e3),
+        chip.clock_ghz,
+        outcome.stats.dram.achieved_bw(outcome.cycles)
+    );
+
+    // ---- 5. the fabric result equals the sequential semantics ----
+    let got = outcome.dram_f64(out)[0];
+    let want = reference.mem_f64(out)[0];
+    assert!((got - want).abs() < 1e-6 * want.abs().max(1.0));
+    println!("fabric result: {got} (matches)");
+    Ok(())
+}

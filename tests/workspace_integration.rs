@@ -1,0 +1,96 @@
+//! Repo-level integration tests spanning every crate: IR → CMMC →
+//! lowering → banking → partitioning → merging → PnR → simulation →
+//! baselines, on real workloads.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_ir::interp::Interp;
+use sara_ir::{MemId, MemKind};
+
+/// Every registered workload compiles, places, simulates and matches the
+/// interpreter — the repository's headline invariant, exercised from the
+/// outermost layer.
+#[test]
+fn all_workloads_end_to_end() {
+    let chip = ChipSpec::small_8x8();
+    for w in sara_workloads::all_small() {
+        let p = &w.program;
+        let reference = Interp::new(p).run().expect("interp");
+        let mut compiled =
+            compile(p, &chip, &CompilerOptions::default()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 1)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for (mi, m) in p.mems.iter().enumerate() {
+            if m.kind != MemKind::Dram {
+                continue;
+            }
+            let mem = MemId(mi as u32);
+            for (e, g) in reference.mem[mem.index()].iter().zip(&outcome.dram_final[&mem]) {
+                let ok = match (e, g) {
+                    (sara_ir::Elem::F64(a), sara_ir::Elem::F64(b)) => {
+                        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+                    }
+                    _ => e.bit_eq(*g),
+                };
+                assert!(ok, "{}: {e:?} vs {g:?}", w.name);
+            }
+        }
+    }
+}
+
+/// Determinism: compiling and simulating twice produces identical cycle
+/// counts and resource reports (the PnR annealer is seeded).
+#[test]
+fn deterministic_end_to_end() {
+    let chip = ChipSpec::small_8x8();
+    let w = sara_workloads::by_name("gemm").unwrap();
+    let once = || {
+        let mut c = compile(&w.program, &chip, &CompilerOptions::default()).unwrap();
+        sara_pnr::place_and_route(&mut c.vudfg, &c.assignment, &chip, 11).unwrap();
+        let o = simulate(&c.vudfg, &chip, &SimConfig::default()).unwrap();
+        (o.cycles, c.report)
+    };
+    assert_eq!(once(), once());
+}
+
+/// The PC baseline is never faster than SARA on the Table V set.
+#[test]
+fn pc_baseline_never_faster() {
+    let chip = ChipSpec::vanilla_16x8();
+    for name in ["kmeans", "gda", "logreg"] {
+        let w = sara_workloads::by_name(name).unwrap();
+        let mut sara = compile(&w.program, &chip, &CompilerOptions::default()).unwrap();
+        sara_pnr::place_and_route(&mut sara.vudfg, &sara.assignment, &chip, 2).unwrap();
+        let t_sara = simulate(&sara.vudfg, &chip, &SimConfig::default()).unwrap().cycles;
+        let mut pc = sara_baselines::pc::compile_pc(&w.program, &chip).unwrap();
+        sara_pnr::place_and_route(&mut pc.vudfg, &pc.assignment, &chip, 2).unwrap();
+        sara_baselines::pc::apply_hierarchical_control(&mut pc);
+        let t_pc = simulate(&pc.vudfg, &chip, &SimConfig::default()).unwrap().cycles;
+        assert!(t_pc >= t_sara, "{name}: pc {t_pc} vs sara {t_sara}");
+    }
+}
+
+/// Resource reports scale with parallelization (more lanes, more units).
+#[test]
+fn resources_scale_with_par() {
+    use sara_workloads::linalg::{mlp, MlpParams};
+    let chip = ChipSpec::sara_20x20();
+    let r1 = compile(
+        &mlp(&MlpParams { par_inner: 1, par_neuron: 1, ..Default::default() }),
+        &chip,
+        &CompilerOptions::default(),
+    )
+    .unwrap()
+    .report;
+    let r4 = compile(
+        &mlp(&MlpParams { par_inner: 16, par_neuron: 4, ..Default::default() }),
+        &chip,
+        &CompilerOptions::default(),
+    )
+    .unwrap()
+    .report;
+    assert!(r4.total_pus() > r1.total_pus());
+}
