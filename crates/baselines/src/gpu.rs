@@ -2,7 +2,7 @@
 //!
 //! No GPU is available in this reproduction, so the V100 baseline is a
 //! calibrated roofline: runtime = max(compute roofline, memory roofline)
-//! + kernel-launch overhead, with per-workload-class efficiency factors
+//! plus kernel-launch overhead, with per-workload-class efficiency factors
 //! taken from published framework measurements (cuDNN GEMM efficiency,
 //! GunRock frontier parallelism on sparse graphs, CUDA elementwise
 //! throughput, and so on). The model's purpose is preserving *who wins
@@ -27,12 +27,7 @@ pub struct V100 {
 
 impl Default for V100 {
     fn default() -> Self {
-        V100 {
-            peak_flops: 14.0e12,
-            peak_bw: 900.0e9,
-            launch_overhead: 7.0e-6,
-            area_mm2: 815.0,
-        }
+        V100 { peak_flops: 14.0e12, peak_bw: 900.0e9, launch_overhead: 7.0e-6, area_mm2: 815.0 }
     }
 }
 
@@ -118,11 +113,7 @@ mod tests {
     use super::*;
 
     fn stats(flops: u64, bytes: u64) -> InterpStats {
-        InterpStats {
-            flops,
-            dram_read_bytes: bytes,
-            ..InterpStats::default()
-        }
+        InterpStats { flops, dram_read_bytes: bytes, ..InterpStats::default() }
     }
 
     #[test]

@@ -126,7 +126,8 @@ mod tests {
         let build = || {
             let mut p = Program::new("chain");
             let root = p.root();
-            let src = p.dram("src", &[128], DType::F64, MemInit::LinSpace { start: 0.0, step: 1.0 });
+            let src =
+                p.dram("src", &[128], DType::F64, MemInit::LinSpace { start: 0.0, step: 1.0 });
             let dst = p.dram("dst", &[128], DType::F64, MemInit::Zero);
             let m1 = p.sram("m1", &[16], DType::F64);
             let la = p.add_loop(root, "A", LoopSpec::new(0, 8, 1)).unwrap();
@@ -163,9 +164,6 @@ mod tests {
         sara_pnr::place_and_route(&mut pc.vudfg, &pc.assignment, &chip, 1).unwrap();
         apply_hierarchical_control(&mut pc);
         let t_pc = simulate(&pc.vudfg, &chip, &SimConfig::default()).unwrap().cycles;
-        assert!(
-            t_pc > t_sara,
-            "PC {t_pc} cycles should exceed SARA {t_sara} cycles"
-        );
+        assert!(t_pc > t_sara, "PC {t_pc} cycles should exceed SARA {t_sara} cycles");
     }
 }

@@ -1,25 +1,34 @@
-//! Criterion benches of the compiler passes themselves: CMMC synthesis
+//! Timing harness for the compiler passes themselves: CMMC synthesis
 //! (Fig 5 machinery), traversal vs solver partitioning (Fig 11's compile
-//! time axis), full compilation, and the cycle-level simulator.
+//! time axis), full compilation, and the cycle-level simulator under both
+//! schedulers.
+//!
+//! Plain `harness = false` timing (median of repeated runs) — criterion
+//! is unavailable in the offline build. Run with
+//! `cargo bench -p sara-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use plasticine_arch::{ChipSpec, PartitionConstraints, PcuSpec};
 use plasticine_sim::{simulate, SimConfig};
 use sara_core::cmmc::{synthesize, CmmcOptions};
 use sara_core::compile::{compile, CompilerOptions};
 use sara_core::partition::{partition, Algo, Problem, SolverCfg, TraversalOrder};
+use std::time::Instant;
 
-fn bench_cmmc(c: &mut Criterion) {
-    let w = sara_workloads::by_name("lstm").unwrap();
-    c.bench_function("cmmc/synthesize/lstm", |b| {
-        b.iter(|| synthesize(&w.program, &CmmcOptions::default()))
-    });
-    let mut naive = CmmcOptions::default();
-    naive.reduce = false;
-    c.bench_function("cmmc/synthesize-noreduce/lstm", |b| {
-        b.iter(|| synthesize(&w.program, &naive))
-    });
+/// Median wall-clock of `iters` runs of `f`, in milliseconds.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    // warmup
+    f();
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = samples[samples.len() / 2];
+    let (min, max) = (samples[0], samples[samples.len() - 1]);
+    println!("{name:<40} {median:>10.3} ms   (min {min:.3}, max {max:.3}, n={iters})");
 }
 
 /// Layered random DAG partitioning instance (Fig 11 compile-time axis).
@@ -38,44 +47,46 @@ fn layered_dag(layers: usize, width: usize) -> Problem {
     Problem::new(vec![1; n], edges, PartitionConstraints::of_pcu(&PcuSpec::default()))
 }
 
-fn bench_partition(c: &mut Criterion) {
-    let p = layered_dag(8, 8);
-    c.bench_function("partition/traversal/64n", |b| {
-        b.iter(|| partition(&p, Algo::Traversal(TraversalOrder::BfsFwd)).unwrap())
-    });
-    c.bench_function("partition/solver/64n", |b| {
-        b.iter(|| {
-            partition(&p, Algo::Solver(SolverCfg { gap: 0.15, budget_ms: 200 })).unwrap()
-        })
-    });
-}
+fn main() {
+    let iters: usize =
+        std::env::var("SARA_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(9);
 
-fn bench_compile(c: &mut Criterion) {
+    // ---- CMMC synthesis ----
+    let lstm = sara_workloads::by_name("lstm").unwrap();
+    bench("cmmc/synthesize/lstm", iters, || {
+        let _ = synthesize(&lstm.program, &CmmcOptions::default());
+    });
+    let naive = CmmcOptions { reduce: false, ..CmmcOptions::default() };
+    bench("cmmc/synthesize-noreduce/lstm", iters, || {
+        let _ = synthesize(&lstm.program, &naive);
+    });
+
+    // ---- partitioning ----
+    let p = layered_dag(8, 8);
+    bench("partition/traversal/64n", iters, || {
+        partition(&p, Algo::Traversal(TraversalOrder::BfsFwd)).unwrap();
+    });
+    bench("partition/solver/64n", iters, || {
+        partition(&p, Algo::Solver(SolverCfg { gap: 0.15, budget_ms: 200 })).unwrap();
+    });
+
+    // ---- full compilation ----
     let chip = ChipSpec::small_8x8();
     for name in ["mlp", "kmeans", "pr"] {
         let w = sara_workloads::by_name(name).unwrap();
-        c.bench_function(&format!("compile/{name}"), |b| {
-            b.iter(|| compile(&w.program, &chip, &CompilerOptions::default()).unwrap())
+        bench(&format!("compile/{name}"), iters, || {
+            compile(&w.program, &chip, &CompilerOptions::default()).unwrap();
         });
     }
-}
 
-fn bench_simulate(c: &mut Criterion) {
-    let chip = ChipSpec::small_8x8();
+    // ---- simulation, both schedulers ----
     let w = sara_workloads::by_name("gemm").unwrap();
     let mut compiled = compile(&w.program, &chip, &CompilerOptions::default()).unwrap();
     sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 1).unwrap();
-    c.bench_function("simulate/gemm", |b| {
-        b.iter(|| simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap())
+    bench("simulate/gemm (active-list)", iters, || {
+        simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap();
+    });
+    bench("simulate/gemm (dense)", iters, || {
+        simulate(&compiled.vudfg, &chip, &SimConfig::dense()).unwrap();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
-    targets = bench_cmmc, bench_partition, bench_compile, bench_simulate
-}
-criterion_main!(benches);

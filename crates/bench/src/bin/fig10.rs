@@ -5,96 +5,129 @@
 //! Ablation axes implemented in this reproduction:
 //! * `reduce`  — CMMC dependency-graph reduction (§III-A3)
 //! * `relax`   — credit relaxation / multibuffered overlap (retime's
-//!               performance component in the paper's taxonomy)
+//!   performance component in the paper's taxonomy)
 //! * `retime`  — retiming-buffer insertion on imbalanced joins
 //! * `retime-m`— scratchpads (PMUs) as retiming buffers (resource shift)
+//!
+//! Every (app, variant) cell — including each app's all-optimizations
+//! baseline — is an independent design point on the sweep pool
+//! (`SARA_BENCH_THREADS`); `SARA_BENCH_SMOKE` shrinks the app set.
 
 use plasticine_arch::ChipSpec;
-use sara_bench::run;
+use sara_bench::json::Json;
+use sara_bench::{run, sweep};
 use sara_core::compile::CompilerOptions;
-use serde::Serialize;
 
-#[derive(Debug, Serialize)]
-struct Row {
-    app: String,
-    opt: String,
-    speedup: f64,
-    pus_with: usize,
-    pus_without: usize,
-    token_streams_with: usize,
-    token_streams_without: usize,
+const VARIANTS: &[&str] = &["reduce", "relax", "retime", "retime-m"];
+
+/// Compiler options with one optimization ablated (`None` = baseline).
+fn opts_of(variant: Option<&str>) -> CompilerOptions {
+    let mut o = CompilerOptions::default();
+    match variant {
+        None => {}
+        Some("reduce") => o.lower.cmmc.reduce = false,
+        Some("relax") => o.lower.cmmc.relax_credits = false,
+        Some("retime") => o.opt.retime = false,
+        Some("retime-m") => o.opt.retime_m = false,
+        Some(other) => panic!("unknown variant {other}"),
+    }
+    o
 }
 
-fn variants() -> Vec<(&'static str, Box<dyn Fn(&mut CompilerOptions)>)> {
-    vec![
-        ("reduce", Box::new(|o: &mut CompilerOptions| o.lower.cmmc.reduce = false)),
-        ("relax", Box::new(|o: &mut CompilerOptions| o.lower.cmmc.relax_credits = false)),
-        ("retime", Box::new(|o: &mut CompilerOptions| o.opt.retime = false)),
-        ("retime-m", Box::new(|o: &mut CompilerOptions| o.opt.retime_m = false)),
-    ]
-}
-
-fn apps() -> Vec<(&'static str, sara_ir::Program)> {
+fn program_of(app: &str) -> sara_ir::Program {
     use sara_workloads::{linalg, ml, streamk};
-    vec![
-        (
-            "mlp",
-            linalg::mlp(&linalg::MlpParams {
-                d_in: 64,
-                d_hidden: 64,
-                d_out: 16,
-                par_inner: 16,
-                par_neuron: 2,
-            }),
-        ),
-        ("lstm", ml::lstm(&ml::LstmParams { t: 6, h: 16, par_h: 8 })),
-        ("bs", streamk::bs(&streamk::BsParams { n: 512, par: 16 })),
-        ("gda", ml::gda(&ml::GdaParams { n: 16, d: 12, par_d: 4 })),
-    ]
+    match app {
+        "mlp" => linalg::mlp(&linalg::MlpParams {
+            d_in: 64,
+            d_hidden: 64,
+            d_out: 16,
+            par_inner: 16,
+            par_neuron: 2,
+        }),
+        "lstm" => ml::lstm(&ml::LstmParams { t: 6, h: 16, par_h: 8 }),
+        "bs" => streamk::bs(&streamk::BsParams { n: 512, par: 16 }),
+        "gda" => ml::gda(&ml::GdaParams { n: 16, d: 12, par_d: 4 }),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pt {
+    app: &'static str,
+    /// `None` is the all-optimizations baseline for the app.
+    variant: Option<&'static str>,
+}
+
+struct Out {
+    cycles: u64,
+    pus: usize,
+    token_streams: usize,
+}
+
+fn eval(pt: &Pt) -> Result<Out, String> {
+    let chip = ChipSpec::sara_20x20();
+    let p = program_of(pt.app);
+    let r = run(&p, &chip, &opts_of(pt.variant))?;
+    eprintln!("{}/{}: {} cycles", pt.app, pt.variant.unwrap_or("baseline"), r.cycles());
+    Ok(Out { cycles: r.cycles(), pus: r.pus(), token_streams: r.compiled.report.token_streams })
 }
 
 fn main() {
-    let chip = ChipSpec::sara_20x20();
-    let mut rows = Vec::new();
-    for (app, p) in apps() {
-        let with = match run(&p, &chip, &CompilerOptions::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{app} baseline: {e}");
-                continue;
-            }
-        };
-        for (oname, disable) in variants() {
-            let mut opts = CompilerOptions::default();
-            disable(&mut opts);
-            match run(&p, &chip, &opts) {
-                Ok(without) => {
-                    rows.push(Row {
-                        app: app.into(),
-                        opt: oname.into(),
-                        speedup: without.cycles() as f64 / with.cycles() as f64,
-                        pus_with: with.pus(),
-                        pus_without: without.pus(),
-                        token_streams_with: with.compiled.report.token_streams,
-                        token_streams_without: without.compiled.report.token_streams,
-                    });
-                    eprintln!("{app}/{oname}: with {} vs without {}", with.cycles(), without.cycles());
-                }
-                Err(e) => eprintln!("{app}/{oname}: {e}"),
-            }
+    let apps: &[&str] =
+        if sara_bench::smoke() { &["mlp", "bs"] } else { &["mlp", "lstm", "bs", "gda"] };
+    let mut points: Vec<Pt> = Vec::new();
+    for &app in apps {
+        points.push(Pt { app, variant: None });
+        for &v in VARIANTS {
+            points.push(Pt { app, variant: Some(v) });
         }
     }
+
+    let results = sweep::run_points(&points, eval);
+    let by_pt: Vec<(&Pt, Result<Out, String>)> = points.iter().zip(results).collect();
+
+    let mut rows: Vec<Json> = Vec::new();
     println!(
         "{:<6} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "app", "opt", "speedup", "PUs+", "PUs-", "tok+", "tok-"
     );
-    for r in &rows {
-        println!(
-            "{:<6} {:<10} {:>8.2} {:>8} {:>8} {:>8} {:>8}",
-            r.app, r.opt, r.speedup, r.pus_with, r.pus_without, r.token_streams_with,
-            r.token_streams_without
-        );
+    for &app in apps {
+        let Some(with) = by_pt.iter().find_map(|(pt, res)| {
+            (pt.app == app && pt.variant.is_none()).then(|| res.as_ref().ok()).flatten()
+        }) else {
+            eprintln!("{app} baseline failed");
+            continue;
+        };
+        for (pt, res) in &by_pt {
+            let (Some(v), true) = (pt.variant, pt.app == app) else { continue };
+            match res {
+                Ok(without) => {
+                    let speedup = without.cycles as f64 / with.cycles as f64;
+                    println!(
+                        "{:<6} {:<10} {:>8.2} {:>8} {:>8} {:>8} {:>8}",
+                        app,
+                        v,
+                        speedup,
+                        with.pus,
+                        without.pus,
+                        with.token_streams,
+                        without.token_streams
+                    );
+                    rows.push(
+                        Json::object()
+                            .set("app", app)
+                            .set("opt", v)
+                            .set("speedup", speedup)
+                            .set("pus_with", with.pus)
+                            .set("pus_without", without.pus)
+                            .set("token_streams_with", with.token_streams)
+                            .set("token_streams_without", without.token_streams),
+                    );
+                }
+                Err(e) => eprintln!("{app}/{v}: {e}"),
+            }
+        }
     }
-    let path = sara_bench::save_json("fig10", &rows);
+    let path = sara_bench::save_json("fig10", &Json::from(rows));
     println!("\nsaved {}", path.display());
 }

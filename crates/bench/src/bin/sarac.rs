@@ -1,13 +1,17 @@
 //! `sarac` — the SARA compiler driver: compile a named workload, print
 //! the pass-by-pass report, optionally simulate and dump the VUDFG as
-//! Graphviz.
+//! Graphviz. `--sweep` compiles (and with `--simulate`, simulates) every
+//! registry workload concurrently on the sweep pool
+//! (`SARA_BENCH_THREADS` overrides the worker count).
 //!
 //! ```text
-//! sarac <workload> [--chip 20x20|16x8|8x8] [--par N] [--simulate] [--dot FILE]
+//! sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE]
+//! sarac --sweep   [--chip 20x20|16x8|8x8] [--simulate]
 //! ```
 
 use plasticine_arch::ChipSpec;
 use plasticine_sim::{simulate, SimConfig};
+use sara_bench::sweep;
 use sara_core::compile::{compile, CompilerOptions};
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
 use std::fmt::Write as _;
@@ -47,25 +51,70 @@ fn dot_of(g: &Vudfg) -> String {
     out
 }
 
+/// `--sweep`: every registry workload through compile (+PnR, optionally
+/// simulation) in parallel, one summary line per workload.
+fn sweep_all(chip: &ChipSpec, do_sim: bool) -> ! {
+    let names: Vec<&'static str> = sara_workloads::all_small().iter().map(|w| w.name).collect();
+    let results = sweep::run_points(&names, |name| {
+        let w = sara_workloads::by_name(name).ok_or("unknown workload")?;
+        let mut compiled =
+            compile(&w.program, chip, &CompilerOptions::default()).map_err(|e| e.to_string())?;
+        let pnr = sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, chip, 42)
+            .map_err(|e| e.to_string())?;
+        let cycles = if do_sim {
+            Some(
+                simulate(&compiled.vudfg, chip, &SimConfig::default())
+                    .map_err(|e| e.to_string())?
+                    .cycles,
+            )
+        } else {
+            None
+        };
+        Ok((compiled.report, pnr.wirelength, cycles))
+    });
+    println!(
+        "{:<10} {:>5} {:>5} {:>5} {:>8} {:>7} {:>10}",
+        "workload", "PCUs", "PMUs", "AGs", "streams", "wirelen", "cycles"
+    );
+    let mut failed = false;
+    for (name, res) in names.iter().zip(results) {
+        match res {
+            Ok((report, wirelength, cycles)) => println!(
+                "{:<10} {:>5} {:>5} {:>5} {:>8} {:>7} {:>10}",
+                name,
+                report.pcus,
+                report.pmus,
+                report.ags,
+                report.streams,
+                wirelength,
+                cycles.map_or_else(|| "-".to_string(), |c| c.to_string()),
+            ),
+            Err(e) => {
+                println!("{name:<10} FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE]");
+        eprintln!("       sarac --sweep [--chip 20x20|16x8|8x8] [--simulate]");
         eprintln!(
             "workloads: {}",
-            sara_workloads::all_small()
-                .iter()
-                .map(|w| w.name)
-                .collect::<Vec<_>>()
-                .join(", ")
+            sara_workloads::all_small().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
         );
         std::process::exit(2);
     }
-    let name = &args[0];
+    let mut name: Option<String> = None;
+    let mut do_sweep = false;
     let mut chip = ChipSpec::small_8x8();
     let mut do_sim = false;
     let mut dot_file: Option<String> = None;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--chip" => {
@@ -81,10 +130,12 @@ fn main() {
                 };
             }
             "--simulate" => do_sim = true,
+            "--sweep" => do_sweep = true,
             "--dot" => {
                 i += 1;
                 dot_file = Some(args[i].clone());
             }
+            other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -92,7 +143,14 @@ fn main() {
         }
         i += 1;
     }
-    let Some(w) = sara_workloads::by_name(name) else {
+    if do_sweep {
+        sweep_all(&chip, do_sim);
+    }
+    let Some(name) = name else {
+        eprintln!("no workload given (or use --sweep)");
+        std::process::exit(2);
+    };
+    let Some(w) = sara_workloads::by_name(&name) else {
         eprintln!("unknown workload {name}");
         std::process::exit(2);
     };

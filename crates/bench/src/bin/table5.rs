@@ -3,26 +3,24 @@
 //! speedups for compute-bound kernels (kmeans, gda: bigger par factors +
 //! control-overhead elimination) and smaller ones for bandwidth-bound
 //! kernels (logreg, sgd saturate DDR3 either way); 4.9× geo-mean.
+//!
+//! Each app's SARA run and PC run are separate design points on the sweep
+//! pool (`SARA_BENCH_THREADS`); `SARA_BENCH_SMOKE` shrinks the inputs.
 
 use plasticine_arch::ChipSpec;
-use sara_bench::{geomean, run, run_pc};
+use sara_bench::json::Json;
+use sara_bench::{geomean, run, run_pc, sweep};
 use sara_core::compile::CompilerOptions;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Row {
-    app: String,
-    sara_cycles: u64,
-    pc_cycles: u64,
-    speedup: f64,
-    sara_pus: usize,
-    pc_pus: usize,
-    dram_bw_sara: f64,
-    dram_bw_pc: f64,
-}
 
 fn apps() -> Vec<(&'static str, sara_ir::Program)> {
     use sara_workloads::{linalg, ml, streamk};
+    if sara_bench::smoke() {
+        return vec![
+            ("kmeans", ml::kmeans(&ml::KmeansParams { n: 16, d: 32, k: 4, par_d: 16 })),
+            ("dotprod", linalg::dotprod(&linalg::DotParams { n: 4096, par: 128 })),
+            ("tpchq6", streamk::tpchq6(&streamk::Q6Params { n: 2048, par: 64 })),
+        ];
+    }
     vec![
         // compute-bound: SARA's extra parallelism + P2P control pay off
         ("kmeans", ml::kmeans(&ml::KmeansParams { n: 64, d: 32, k: 4, par_d: 16 })),
@@ -37,49 +35,83 @@ fn apps() -> Vec<(&'static str, sara_ir::Program)> {
     ]
 }
 
-fn main() {
+struct Pt {
+    app: &'static str,
+    program: sara_ir::Program,
+    /// Run through the vanilla-Plasticine baseline instead of SARA.
+    pc: bool,
+}
+
+struct Out {
+    cycles: u64,
+    pus: usize,
+    dram_bw: f64,
+}
+
+fn eval(pt: &Pt) -> Result<Out, String> {
     let chip = ChipSpec::vanilla_16x8();
-    let mut rows = Vec::new();
-    for (app, p) in apps() {
-        let sara = match run(&p, &chip, &CompilerOptions::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{app} sara: {e}");
-                continue;
-            }
-        };
-        let pc = match run_pc(&p, &chip) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{app} pc: {e}");
-                continue;
-            }
-        };
-        rows.push(Row {
-            app: app.into(),
-            sara_cycles: sara.cycles(),
-            pc_cycles: pc.cycles(),
-            speedup: pc.cycles() as f64 / sara.cycles() as f64,
-            sara_pus: sara.pus(),
-            pc_pus: pc.pus(),
-            dram_bw_sara: sara.outcome.stats.dram.achieved_bw(sara.cycles()),
-            dram_bw_pc: pc.outcome.stats.dram.achieved_bw(pc.cycles()),
-        });
-        eprintln!("{app}: done");
+    let r = if pt.pc {
+        run_pc(&pt.program, &chip)?
+    } else {
+        run(&pt.program, &chip, &CompilerOptions::default())?
+    };
+    eprintln!("{} {}: {} cycles", pt.app, if pt.pc { "pc" } else { "sara" }, r.cycles());
+    Ok(Out {
+        cycles: r.cycles(),
+        pus: r.pus(),
+        dram_bw: r.outcome.stats.dram.achieved_bw(r.cycles()),
+    })
+}
+
+fn main() {
+    let mut points: Vec<Pt> = Vec::new();
+    for (app, program) in apps() {
+        points.push(Pt { app, program: program.clone(), pc: false });
+        points.push(Pt { app, program, pc: true });
     }
+    let results = sweep::run_points(&points, eval);
+    let ok: Vec<(&Pt, Out)> = points
+        .iter()
+        .zip(results)
+        .filter_map(|(pt, res)| match res {
+            Ok(o) => Some((pt, o)),
+            Err(e) => {
+                eprintln!("{} {}: {e}", pt.app, if pt.pc { "pc" } else { "sara" });
+                None
+            }
+        })
+        .collect();
+
     println!(
         "{:<10} {:>11} {:>11} {:>8} {:>7} {:>7} {:>8} {:>8}",
         "app", "sara(cyc)", "pc(cyc)", "speedup", "saraPU", "pcPU", "saraBW", "pcBW"
     );
-    for r in &rows {
+    let mut rows: Vec<Json> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for (pt, sara) in ok.iter().filter(|(pt, _)| !pt.pc) {
+        let Some((_, pc)) = ok.iter().find(|(qt, _)| qt.app == pt.app && qt.pc) else {
+            continue;
+        };
+        let speedup = pc.cycles as f64 / sara.cycles as f64;
+        speedups.push(speedup);
         println!(
             "{:<10} {:>11} {:>11} {:>8.2} {:>7} {:>7} {:>8.2} {:>8.2}",
-            r.app, r.sara_cycles, r.pc_cycles, r.speedup, r.sara_pus, r.pc_pus, r.dram_bw_sara,
-            r.dram_bw_pc
+            pt.app, sara.cycles, pc.cycles, speedup, sara.pus, pc.pus, sara.dram_bw, pc.dram_bw
+        );
+        rows.push(
+            Json::object()
+                .set("app", pt.app)
+                .set("sara_cycles", sara.cycles)
+                .set("pc_cycles", pc.cycles)
+                .set("speedup", speedup)
+                .set("sara_pus", sara.pus)
+                .set("pc_pus", pc.pus)
+                .set("dram_bw_sara", sara.dram_bw)
+                .set("dram_bw_pc", pc.dram_bw),
         );
     }
-    let gm = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    let gm = geomean(&speedups);
     println!("\ngeo-mean speedup over PC: {gm:.2}x (paper: 4.9x)");
-    let path = sara_bench::save_json("table5", &rows);
+    let path = sara_bench::save_json("table5", &Json::from(rows));
     println!("saved {}", path.display());
 }

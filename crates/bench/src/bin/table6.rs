@@ -5,27 +5,25 @@
 //! of the GPU's silicon; dense `snet` loses in absolute terms (the chip
 //! is 8.3× smaller) but wins area-normalized, while gather-heavy `rf`,
 //! dataflow-friendly `ms` and sparse `pr` win outright.
+//!
+//! Apps run concurrently on the sweep pool (`SARA_BENCH_THREADS`);
+//! `SARA_BENCH_SMOKE` shrinks the app set.
 
 use plasticine_arch::ChipSpec;
 use sara_baselines::gpu::{estimate, launches_of, GpuClass, V100};
-use sara_bench::{geomean, run};
+use sara_bench::json::Json;
+use sara_bench::{geomean, run, sweep};
 use sara_core::compile::CompilerOptions;
-use serde::Serialize;
-
-#[derive(Debug, Serialize)]
-struct Row {
-    app: String,
-    sara_cycles: u64,
-    sara_us: f64,
-    gpu_us: f64,
-    speedup: f64,
-    area_norm_speedup: f64,
-    gpu_compute_bound: bool,
-    sara_pus: usize,
-}
 
 fn apps() -> Vec<(&'static str, sara_ir::Program)> {
     use sara_workloads::{cnn, graph, ml, sort, streamk};
+    if sara_bench::smoke() {
+        return vec![
+            ("lstm", ml::lstm(&ml::LstmParams { t: 4, h: 16, par_h: 16 })),
+            ("bs", streamk::bs(&streamk::BsParams { n: 512, par: 16 })),
+            ("ms", streamk::ms(&streamk::MsParams { n: 64 })),
+        ];
+    }
     vec![
         ("snet", cnn::snet(&cnn::SnetParams { img: 10, c_in: 4, c_out: 8, par_oc: 4, par_k: 16 })),
         ("lstm", ml::lstm(&ml::LstmParams { t: 8, h: 16, par_h: 16 })),
@@ -37,43 +35,64 @@ fn apps() -> Vec<(&'static str, sara_ir::Program)> {
     ]
 }
 
-fn main() {
+struct Pt {
+    app: &'static str,
+    program: sara_ir::Program,
+}
+
+struct Out {
+    sara_cycles: u64,
+    sara_us: f64,
+    gpu_us: f64,
+    speedup: f64,
+    area_norm_speedup: f64,
+    gpu_compute_bound: bool,
+    sara_pus: usize,
+}
+
+fn eval(pt: &Pt) -> Result<Out, String> {
     let chip = ChipSpec::sara_20x20();
     let v100 = V100::default();
-    let mut rows = Vec::new();
-    for (app, p) in apps() {
-        let sara = match run(&p, &chip, &CompilerOptions::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{app} sara: {e}");
-                continue;
-            }
-        };
-        let class = GpuClass::of_workload(app);
-        let launches = launches_of(app, &sara.interp);
-        let gpu = estimate(&v100, class, &sara.interp, launches);
-        let sara_s = sara.seconds(&chip);
-        let speedup = gpu.seconds / sara_s;
-        rows.push(Row {
-            app: app.into(),
-            sara_cycles: sara.cycles(),
-            sara_us: sara_s * 1e6,
-            gpu_us: gpu.seconds * 1e6,
-            speedup,
-            area_norm_speedup: speedup * (v100.area_mm2 / chip.area_mm2),
-            gpu_compute_bound: gpu.compute_bound,
-            sara_pus: sara.pus(),
-        });
-        eprintln!("{app}: done ({} cycles)", sara.cycles());
-    }
+    let sara = run(&pt.program, &chip, &CompilerOptions::default())?;
+    let class = GpuClass::of_workload(pt.app);
+    let launches = launches_of(pt.app, &sara.interp);
+    let gpu = estimate(&v100, class, &sara.interp, launches);
+    let sara_s = sara.seconds(&chip);
+    let speedup = gpu.seconds / sara_s;
+    eprintln!("{}: done ({} cycles)", pt.app, sara.cycles());
+    Ok(Out {
+        sara_cycles: sara.cycles(),
+        sara_us: sara_s * 1e6,
+        gpu_us: gpu.seconds * 1e6,
+        speedup,
+        area_norm_speedup: speedup * (v100.area_mm2 / chip.area_mm2),
+        gpu_compute_bound: gpu.compute_bound,
+        sara_pus: sara.pus(),
+    })
+}
+
+fn main() {
+    let points: Vec<Pt> = apps().into_iter().map(|(app, program)| Pt { app, program }).collect();
+    let results = sweep::run_points(&points, eval);
+
     println!(
         "{:<6} {:>11} {:>9} {:>9} {:>8} {:>9} {:>6} {:>5}",
         "app", "sara(cyc)", "sara(us)", "gpu(us)", "speedup", "area-norm", "gpuCB", "PUs"
     );
-    for r in &rows {
+    let mut rows: Vec<Json> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    for (pt, res) in points.iter().zip(results) {
+        let r = match res {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{} sara: {e}", pt.app);
+                continue;
+            }
+        };
+        speedups.push(r.speedup);
         println!(
             "{:<6} {:>11} {:>9.2} {:>9.2} {:>8.2} {:>9.2} {:>6} {:>5}",
-            r.app,
+            pt.app,
             r.sara_cycles,
             r.sara_us,
             r.gpu_us,
@@ -82,9 +101,20 @@ fn main() {
             r.gpu_compute_bound,
             r.sara_pus
         );
+        rows.push(
+            Json::object()
+                .set("app", pt.app)
+                .set("sara_cycles", r.sara_cycles)
+                .set("sara_us", r.sara_us)
+                .set("gpu_us", r.gpu_us)
+                .set("speedup", r.speedup)
+                .set("area_norm_speedup", r.area_norm_speedup)
+                .set("gpu_compute_bound", r.gpu_compute_bound)
+                .set("sara_pus", r.sara_pus),
+        );
     }
-    let gm = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    let gm = geomean(&speedups);
     println!("\ngeo-mean speedup over V100: {gm:.2}x (paper: 1.9x)");
-    let path = sara_bench::save_json("table6", &rows);
+    let path = sara_bench::save_json("table6", &Json::from(rows));
     println!("saved {}", path.display());
 }

@@ -1,12 +1,15 @@
-//! Shared experiment-harness plumbing: compile+PnR+simulate runners and
-//! result records serialized into `results/`.
+//! Shared experiment-harness plumbing: compile+PnR+simulate runners, the
+//! parallel sweep pool, and result records serialized into `results/`.
 
+pub mod json;
+pub mod sweep;
+
+use json::Json;
 use plasticine_arch::ChipSpec;
 use plasticine_sim::{simulate, SimConfig, SimOutcome};
 use sara_core::compile::{compile, Compiled, CompilerOptions};
 use sara_ir::interp::{Interp, InterpStats};
 use sara_ir::Program;
-use serde::Serialize;
 use std::path::PathBuf;
 
 /// One full run of a program through the SARA stack.
@@ -40,6 +43,18 @@ impl Run {
     }
 }
 
+/// Simulator configuration for bench runs: the wakeup-driven active-list
+/// scheduler by default, or the dense reference scheduler when
+/// `SARA_SIM_DENSE=1` (the two are cycle-for-cycle equivalent; the
+/// override exists to measure the engine speedup, see EXPERIMENTS.md).
+pub fn sim_config() -> SimConfig {
+    if std::env::var_os("SARA_SIM_DENSE").is_some_and(|v| v == "1") {
+        SimConfig::dense()
+    } else {
+        SimConfig::default()
+    }
+}
+
 /// Compile, place-and-route, and simulate a program.
 ///
 /// # Errors
@@ -50,33 +65,40 @@ pub fn run(p: &Program, chip: &ChipSpec, opts: &CompilerOptions) -> Result<Run, 
     let mut compiled = compile(p, chip, opts).map_err(|e| format!("compile: {e}"))?;
     sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, chip, 17)
         .map_err(|e| format!("pnr: {e}"))?;
-    let outcome = simulate(&compiled.vudfg, chip, &SimConfig::default())
-        .map_err(|e| format!("sim: {e}"))?;
+    let outcome =
+        simulate(&compiled.vudfg, chip, &sim_config()).map_err(|e| format!("sim: {e}"))?;
     Ok(Run { compiled, outcome, interp })
 }
 
 /// Compile and simulate through the vanilla-Plasticine (PC) baseline.
 pub fn run_pc(p: &Program, chip: &ChipSpec) -> Result<Run, String> {
     let interp = Interp::new(p).run().map_err(|e| format!("interp: {e}"))?.stats;
-    let mut compiled =
-        sara_baselines::pc::compile_pc(p, chip).map_err(|e| format!("pc: {e}"))?;
+    let mut compiled = sara_baselines::pc::compile_pc(p, chip).map_err(|e| format!("pc: {e}"))?;
     sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, chip, 17)
         .map_err(|e| format!("pnr: {e}"))?;
     sara_baselines::pc::apply_hierarchical_control(&mut compiled);
-    let outcome = simulate(&compiled.vudfg, chip, &SimConfig::default())
-        .map_err(|e| format!("sim: {e}"))?;
+    let outcome =
+        simulate(&compiled.vudfg, chip, &sim_config()).map_err(|e| format!("sim: {e}"))?;
     Ok(Run { compiled, outcome, interp })
 }
 
-/// Write a serializable result set to `results/<name>.json` (repo root),
-/// returning the path.
-pub fn save_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+/// Write a result set to `results/<name>.json` (repo root), returning the
+/// path. `SARA_BENCH_RESULTS_DIR` redirects the output directory (used by
+/// the smoke tests to avoid overwriting full sweep results).
+pub fn save_json(name: &str, value: &Json) -> PathBuf {
+    let dir = std::env::var_os("SARA_BENCH_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write results");
+    std::fs::write(&path, value.pretty()).expect("write results");
     path
+}
+
+/// True when `SARA_BENCH_SMOKE` is set: binaries shrink their sweeps to a
+/// few seconds total so `cargo test` can exercise them end-to-end.
+pub fn smoke() -> bool {
+    std::env::var_os("SARA_BENCH_SMOKE").is_some()
 }
 
 /// Geometric mean of positive factors.

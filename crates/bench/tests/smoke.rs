@@ -1,0 +1,128 @@
+//! Smoke tests: every bench binary runs end-to-end at reduced sweep
+//! sizes (`SARA_BENCH_SMOKE=1`) under `cargo test`, so a broken figure
+//! pipeline is caught by CI rather than at paper-reproduction time.
+//!
+//! JSON output is redirected to a scratch directory via
+//! `SARA_BENCH_RESULTS_DIR` so smoke rows never overwrite the full sweep
+//! results committed under `results/`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Per-test scratch directory for redirected JSON results.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sara-bench-smoke-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch results dir");
+    dir
+}
+
+fn run_bin(exe: &str, args: &[&str], results_dir: &Path) -> std::process::Output {
+    Command::new(exe)
+        .args(args)
+        .env("SARA_BENCH_SMOKE", "1")
+        .env("SARA_BENCH_RESULTS_DIR", results_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {exe}: {e}"))
+}
+
+fn assert_ok(exe: &str, args: &[&str], results_dir: &Path, expect_stdout: &[&str]) {
+    let out = run_bin(exe, args, results_dir);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "{exe} {args:?} failed ({:?})\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status
+    );
+    for needle in expect_stdout {
+        assert!(stdout.contains(needle), "{exe} {args:?}: missing {needle:?} in stdout:\n{stdout}");
+    }
+}
+
+/// The saved JSON must be a non-empty array of objects.
+fn assert_json_rows(dir: &Path, name: &str) {
+    let body = std::fs::read_to_string(dir.join(format!("{name}.json")))
+        .unwrap_or_else(|e| panic!("read {name}.json: {e}"));
+    let trimmed = body.trim();
+    assert!(trimmed.starts_with('['), "{name}.json: not an array:\n{trimmed}");
+    assert!(trimmed.ends_with(']'), "{name}.json: truncated:\n{trimmed}");
+    assert!(trimmed.contains('{'), "{name}.json: no rows:\n{trimmed}");
+}
+
+#[test]
+fn fig9a_smoke() {
+    let dir = scratch("fig9a");
+    assert_ok(env!("CARGO_BIN_EXE_fig9a"), &[], &dir, &["mlp", "rf", "tpchq6-ddr3", "saved"]);
+    assert_json_rows(&dir, "fig9a");
+}
+
+#[test]
+fn fig9b_smoke() {
+    let dir = scratch("fig9b");
+    assert_ok(env!("CARGO_BIN_EXE_fig9b"), &[], &dir, &["mlp", "gda", "lstm", "pareto", "saved"]);
+    assert_json_rows(&dir, "fig9b");
+}
+
+#[test]
+fn fig10_smoke() {
+    let dir = scratch("fig10");
+    assert_ok(env!("CARGO_BIN_EXE_fig10"), &[], &dir, &["mlp", "retime", "saved"]);
+    assert_json_rows(&dir, "fig10");
+}
+
+#[test]
+fn fig11_smoke() {
+    let dir = scratch("fig11");
+    assert_ok(env!("CARGO_BIN_EXE_fig11"), &[], &dir, &["mlp", "Solver", "saved"]);
+    assert_json_rows(&dir, "fig11");
+}
+
+#[test]
+fn table4_smoke() {
+    let dir = scratch("table4");
+    assert_ok(env!("CARGO_BIN_EXE_table4"), &[], &dir, &["domain", "saved"]);
+    assert_json_rows(&dir, "table4");
+}
+
+#[test]
+fn table5_smoke() {
+    let dir = scratch("table5");
+    assert_ok(env!("CARGO_BIN_EXE_table5"), &[], &dir, &["geo-mean speedup over PC", "saved"]);
+    assert_json_rows(&dir, "table5");
+}
+
+#[test]
+fn table6_smoke() {
+    let dir = scratch("table6");
+    assert_ok(env!("CARGO_BIN_EXE_table6"), &[], &dir, &["geo-mean speedup over V100", "saved"]);
+    assert_json_rows(&dir, "table6");
+}
+
+#[test]
+fn sarac_single_workload() {
+    let dir = scratch("sarac1");
+    assert_ok(
+        env!("CARGO_BIN_EXE_sarac"),
+        &["dotprod", "--simulate"],
+        &dir,
+        &["== dotprod", "vudfg:", "pnr:", "sim:"],
+    );
+}
+
+#[test]
+fn sarac_sweep() {
+    let dir = scratch("sarac2");
+    assert_ok(
+        env!("CARGO_BIN_EXE_sarac"),
+        &["--sweep", "--simulate"],
+        &dir,
+        &["workload", "dotprod", "gemm"],
+    );
+}
+
+#[test]
+fn sarac_rejects_unknown_workload() {
+    let dir = scratch("sarac3");
+    let out = run_bin(env!("CARGO_BIN_EXE_sarac"), &["no-such-workload"], &dir);
+    assert!(!out.status.success());
+}

@@ -58,7 +58,11 @@ pub struct Assignment {
 ///
 /// Fails when a single dataflow node exceeds PCU capacity or the design
 /// exceeds the chip's unit counts.
-pub fn assign(g: &mut Vudfg, chip: &ChipSpec, opts: &AssignOptions) -> Result<Assignment, CompileError> {
+pub fn assign(
+    g: &mut Vudfg,
+    chip: &ChipSpec,
+    opts: &AssignOptions,
+) -> Result<Assignment, CompileError> {
     let cons = PartitionConstraints::of_pcu(&chip.pcu);
     let ts = chip.pcu.transcendental_stages;
 
@@ -81,8 +85,8 @@ pub fn assign(g: &mut Vudfg, chip: &ChipSpec, opts: &AssignOptions) -> Result<As
             }
         }
         let problem = Problem::new(costs, edges, cons);
-        let sol = partition(&problem, opts.partition_algo)
-            .map_err(CompileError::Unpartitionable)?;
+        let sol =
+            partition(&problem, opts.partition_algo).map_err(CompileError::Unpartitionable)?;
         let k = sol.num_groups.max(1) as u32;
         unit_parts.insert(u, k);
         extra_latency.insert(u, (k - 1) * chip.hop_latency);
@@ -198,11 +202,7 @@ fn insert_retiming(g: &mut Vudfg, chip: &ChipSpec, retime_m: bool) -> usize {
         if ins.len() < 2 {
             continue;
         }
-        let max_d = ins
-            .iter()
-            .map(|s| depth[g.stream(*s).src.index()])
-            .max()
-            .unwrap_or(0);
+        let max_d = ins.iter().map(|s| depth[g.stream(*s).src.index()]).max().unwrap_or(0);
         for sid in ins {
             let src_depth = depth[g.stream(sid).src.index()];
             let imb = max_d.saturating_sub(src_depth);

@@ -117,10 +117,7 @@ pub struct CmmcPlan {
 impl CmmcPlan {
     /// Multibuffer depth and epoch loop chosen for a memory, if any.
     pub fn multibuffer_of(&self, mem: MemId) -> Option<(CtrlId, u32)> {
-        self.multibuffer
-            .iter()
-            .find(|(m, _, d)| *m == mem && *d > 1)
-            .map(|(_, l, d)| (*l, *d))
+        self.multibuffer.iter().find(|(m, _, d)| *m == mem && *d > 1).map(|(_, l, d)| (*l, *d))
     }
 }
 
@@ -149,9 +146,7 @@ pub fn synthesize(p: &Program, opts: &CmmcOptions) -> CmmcPlan {
 /// accesses (if any).
 fn common_loop(p: &Program, a: CtrlId, b: CtrlId) -> Option<CtrlId> {
     let lca = p.lca(a, b);
-    p.ancestors(lca)
-        .into_iter()
-        .find(|c| p.ctrl(*c).is_iterative())
+    p.ancestors(lca).into_iter().find(|c| p.ctrl(*c).is_iterative())
 }
 
 /// Whether two hyperblocks are mutually exclusive (their LCA is a branch
@@ -227,11 +222,8 @@ fn synthesize_mem(p: &Program, mem: MemId, opts: &CmmcOptions, plan: &mut CmmcPl
 
     // ---- reduction (§III-A3b) ----
     let fwd_red = if opts.reduce { fwd.transitive_reduction() } else { fwd.clone() };
-    let back_red: Vec<BackEdge> = if opts.reduce {
-        reduce_backward(&fwd, &back)
-    } else {
-        back.clone()
-    };
+    let back_red: Vec<BackEdge> =
+        if opts.reduce { reduce_backward(&fwd, &back) } else { back.clone() };
 
     plan.stats.forward_after += fwd_red.edge_count();
     plan.stats.backward_after += back_red.len();
@@ -241,9 +233,8 @@ fn synthesize_mem(p: &Program, mem: MemId, opts: &CmmcOptions, plan: &mut CmmcPl
     // previous iteration's writes) rules out multibuffering entirely — a
     // buffer switch would hand readers a stale copy. Accumulator tensors
     // (weights, running sums) hit this; producer/consumer tiles do not.
-    let has_lcd_flow = back_red
-        .iter()
-        .any(|b| b.dep == DepKind::Raw && accs[b.from].id.hb != accs[b.to].id.hb);
+    let has_lcd_flow =
+        back_red.iter().any(|b| b.dep == DepKind::Raw && accs[b.from].id.hb != accs[b.to].id.hb);
     let mut mem_multibuffer: Option<(CtrlId, u32)> = None;
     let mut edges: Vec<TokenEdge> = Vec::new();
     for (i, j) in fwd_red.edges() {
@@ -337,11 +328,7 @@ fn reduce_backward(fwd: &DiGraph, back: &[BackEdge]) -> Vec<BackEdge> {
             }
         }
     }
-    back.iter()
-        .zip(&keep)
-        .filter(|(_, k)| **k)
-        .map(|(e, _)| *e)
-        .collect()
+    back.iter().zip(&keep).filter(|(_, k)| **k).map(|(e, _)| *e).collect()
 }
 
 /// Initial credits for a backward edge over loop `l` (paper §III-A1:
@@ -376,10 +363,7 @@ fn credit_for(
     if a.id.hb == b.id.hb {
         let fa = access_affine(p, a.id.hb, a.id.expr);
         let fb = access_affine(p, b.id.hb, b.id.expr);
-        let inner = p
-            .loop_ancestors(a.id.hb)
-            .first()
-            .copied();
+        let inner = p.loop_ancestors(a.id.hb).first().copied();
         return match (fa, fb, inner) {
             (Some(fa), Some(fb), Some(il)) if fa == fb && fa.coeff(il) != 0 => {
                 opts.multibuffer.max(2)
@@ -456,19 +440,14 @@ mod tests {
             let fwd: Vec<_> = plan
                 .edges
                 .iter()
-                .filter(|e| {
-                    e.init == 0
-                        && p.accesses_of(*m).iter().any(|a| a.id == e.src)
-                })
+                .filter(|e| e.init == 0 && p.accesses_of(*m).iter().any(|a| a.id == e.src))
                 .collect();
             // each intermediate memory has exactly one forward (RAW) edge
             assert_eq!(fwd.len(), 1, "mem {m}");
             let bwd: Vec<_> = plan
                 .edges
                 .iter()
-                .filter(|e| {
-                    e.lcd_loop.is_some() && p.accesses_of(*m).iter().any(|a| a.id == e.src)
-                })
+                .filter(|e| e.lcd_loop.is_some() && p.accesses_of(*m).iter().any(|a| a.id == e.src))
                 .collect();
             // and exactly one backward WAR credit edge
             assert_eq!(bwd.len(), 1, "mem {m}");
@@ -588,11 +567,7 @@ mod tests {
         }
         p.validate().unwrap();
         let plan = synthesize(&p, &CmmcOptions { order_rar: true, ..CmmcOptions::default() });
-        let sram_edges = plan
-            .edges
-            .iter()
-            .filter(|e| e.dep == DepKind::Rar)
-            .count();
+        let sram_edges = plan.edges.iter().filter(|e| e.dep == DepKind::Rar).count();
         // the two SRAM reads are RAR-ordered; the DRAM reads are not
         assert!(sram_edges >= 1);
         let dram_accs = p.accesses_of(d);

@@ -57,7 +57,11 @@ pub struct Compiled {
 /// # Errors
 ///
 /// Propagates validation, lowering, partitioning and capacity errors.
-pub fn compile(p: &Program, chip: &ChipSpec, opts: &CompilerOptions) -> Result<Compiled, CompileError> {
+pub fn compile(
+    p: &Program,
+    chip: &ChipSpec,
+    opts: &CompilerOptions,
+) -> Result<Compiled, CompileError> {
     // IR-level rewrites first (route-through elimination, §III-C).
     let rewritten;
     let (p, rtelm_removed) = if opts.opt.rtelm {

@@ -41,11 +41,7 @@ impl DiGraph {
 
     /// All edges as `(src, dst)` pairs.
     pub fn edges(&self) -> Vec<(usize, usize)> {
-        self.succ
-            .iter()
-            .enumerate()
-            .flat_map(|(a, ss)| ss.iter().map(move |b| (a, *b)))
-            .collect()
+        self.succ.iter().enumerate().flat_map(|(a, ss)| ss.iter().map(move |b| (a, *b))).collect()
     }
 
     /// Number of edges.
@@ -135,8 +131,7 @@ impl DiGraph {
         for (_, b) in self.edges() {
             indeg[b] += 1;
         }
-        let mut q: VecDeque<usize> =
-            (0..self.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut q: VecDeque<usize> = (0..self.len()).filter(|&i| indeg[i] == 0).collect();
         let mut out = Vec::with_capacity(self.len());
         while let Some(x) = q.pop_front() {
             out.push(x);

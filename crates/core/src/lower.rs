@@ -23,11 +23,11 @@
 use crate::cmmc::{self, CmmcOptions, CmmcPlan};
 use crate::error::CompileError;
 use crate::mempart::{self, BankFn, BankRoute, BankingPlan, UnrollInfo};
+use crate::vudfg::DramTensor;
 use crate::vudfg::{
     AgDir, AgUnit, CBound, DfgNode, Level, NodeOp, StreamKind, SyncUnit, TokenRule, UnitId,
     UnitKind, Vcu, VcuRole, Vmu, VmuReadPort, VmuWritePort, Vudfg, XbarColl, XbarDist,
 };
-use crate::vudfg::DramTensor;
 use plasticine_arch::ChipSpec;
 use sara_ir::affine::access_affine;
 use sara_ir::{
@@ -184,8 +184,7 @@ impl<'a> Builder<'a> {
         let mut ctrl_writers = HashMap::new();
         for ci in 0..p.ctrls.len() {
             for m in p.control_inputs(CtrlId(ci as u32)) {
-                let writers: Vec<_> =
-                    p.accesses_of(m).into_iter().filter(|a| a.is_write).collect();
+                let writers: Vec<_> = p.accesses_of(m).into_iter().filter(|a| a.is_write).collect();
                 if writers.len() != 1 {
                     return Err(CompileError::ControlRegWriters { mem: m, writers: writers.len() });
                 }
@@ -290,15 +289,15 @@ impl<'a> Builder<'a> {
     }
 
     fn binding_of(&self, hb: CtrlId, lane: &LaneKey) -> BTreeMap<CtrlId, u32> {
-        self.unrolled_loops(hb)
-            .iter()
-            .zip(lane)
-            .map(|((c, _), u)| (*c, *u))
-            .collect()
+        self.unrolled_loops(hb).iter().zip(lane).map(|((c, _), u)| (*c, *u)).collect()
     }
 
     /// Project a binding onto the unrolled-loop list of another controller.
-    fn project_lane(&self, target: CtrlId, binding: &BTreeMap<CtrlId, u32>) -> Result<LaneKey, CompileError> {
+    fn project_lane(
+        &self,
+        target: CtrlId,
+        binding: &BTreeMap<CtrlId, u32>,
+    ) -> Result<LaneKey, CompileError> {
         self.unrolled_loops(target)
             .iter()
             .map(|(c, _)| {
@@ -364,16 +363,19 @@ impl<'a> Builder<'a> {
     ) -> UnitId {
         let width = self.specs_width(specs);
         let mut levels = Vec::with_capacity(specs.len());
-        let unit = self.g.add_unit(label, UnitKind::Vcu(Vcu {
-            levels: Vec::new(),
-            dfg: Vec::new(),
-            width,
-            role,
-            token_pops: Vec::new(),
-            token_pushes: Vec::new(),
-            producer_gate_mask: Vec::new(),
-            epoch_emit: None,
-        }));
+        let unit = self.g.add_unit(
+            label,
+            UnitKind::Vcu(Vcu {
+                levels: Vec::new(),
+                dfg: Vec::new(),
+                width,
+                role,
+                token_pops: Vec::new(),
+                token_pushes: Vec::new(),
+                producer_gate_mask: Vec::new(),
+                epoch_emit: None,
+            }),
+        );
         for (li, s) in specs.iter().enumerate() {
             match s {
                 LSpec::Ctr { ctrl, min, max, step, unroll, vec } => {
@@ -510,7 +512,8 @@ impl<'a> Builder<'a> {
         let specs = self.level_specs(hb);
         let binding = self.binding_of(hb, lane);
         let label = format!("{}@{:?}", self.p.ctrl(hb).name, lane);
-        let main = self.new_vcu(label, &specs, &binding, VcuRole::Main { hb, lane: lane_tag(lane) });
+        let main =
+            self.new_vcu(label, &specs, &binding, VcuRole::Main { hb, lane: lane_tag(lane) });
         self.main.insert((hb, lane.clone()), main);
 
         let h = self.p.ctrl(hb).hyperblock().expect("leaf").clone();
@@ -740,12 +743,7 @@ impl<'a> Builder<'a> {
             .filter(|(c, _)| self.p.is_ancestor(**c, over) && **c != over)
             .map(|(c, u)| (*c, *u))
             .collect();
-        let unit = self.new_vcu(
-            format!("combine:{access}"),
-            &specs,
-            &cbind,
-            VcuRole::Merge,
-        );
+        let unit = self.new_vcu(format!("combine:{access}"), &specs, &cbind, VcuRole::Merge);
         self.combines.insert(
             (access, lane.clone()),
             CombineBuild {
@@ -815,8 +813,18 @@ impl<'a> Builder<'a> {
             self.request.insert((access, lane.clone()), req);
             let req_nodes = self.translate_slice(req, hb, &h, &needed, &binding)?;
             self.finish_store_wiring(
-                access, mem, &lane, &binding, req, &req_nodes, &addr_exprs, None, unit, total,
-                None, &specs,
+                access,
+                mem,
+                &lane,
+                &binding,
+                req,
+                &req_nodes,
+                &addr_exprs,
+                None,
+                unit,
+                total,
+                None,
+                &specs,
             )?;
         }
         Ok(())
@@ -871,13 +879,11 @@ impl<'a> Builder<'a> {
                 Expr::Load { .. } => {
                     let access = AccessId { hb, expr: eid };
                     let lane = self.project_lane(hb, binding)?;
-                    let (src_unit, src_port) = *self
-                        .data_src(&access, &lane)
-                        .ok_or_else(|| {
-                            CompileError::Internal(format!(
-                                "slice load {access} has no data source yet"
-                            ))
-                        })?;
+                    let (src_unit, src_port) = *self.data_src(&access, &lane).ok_or_else(|| {
+                        CompileError::Internal(format!(
+                            "slice load {access} has no data source yet"
+                        ))
+                    })?;
                     let (_, in_port) = self.g.connect_bcast(
                         src_unit,
                         src_port,
@@ -966,9 +972,18 @@ impl<'a> Builder<'a> {
                     base_addr: base,
                 }),
             );
-            let (_, addr_out, ag_in) =
-                self.g.connect(req, ag, kind_vec, self.chip.pcu.fifo_depth, format!("addr:{access}"));
-            self.push_node(req, NodeOp::StreamOut { port: addr_out, pred: false, empty_pred: false }, vec![flat]);
+            let (_, addr_out, ag_in) = self.g.connect(
+                req,
+                ag,
+                kind_vec,
+                self.chip.pcu.fifo_depth,
+                format!("addr:{access}"),
+            );
+            self.push_node(
+                req,
+                NodeOp::StreamOut { port: addr_out, pred: false, empty_pred: false },
+                vec![flat],
+            );
             // AG data out: create a port by connecting to a throwaway? We
             // create the port lazily at first consumer via connect_bcast
             // from port 0 — so make the port now against the response unit
@@ -1061,8 +1076,18 @@ impl<'a> Builder<'a> {
         let req_cond = cond_expr.map(|c| req_nodes[&c.index()]);
         let _ = main_nodes;
         self.finish_store_wiring(
-            access, mem, lane, binding, req, &req_nodes, &addr_exprs, req_cond, data_unit,
-            data_node, cond_node, specs,
+            access,
+            mem,
+            lane,
+            binding,
+            req,
+            &req_nodes,
+            &addr_exprs,
+            req_cond,
+            data_unit,
+            data_node,
+            cond_node,
+            specs,
         )
     }
 
@@ -1105,8 +1130,13 @@ impl<'a> Builder<'a> {
                     base_addr: base,
                 }),
             );
-            let (_, addr_out, ag_addr_in) =
-                self.g.connect(req, ag, kind_vec, self.chip.pcu.fifo_depth, format!("waddr:{access}"));
+            let (_, addr_out, ag_addr_in) = self.g.connect(
+                req,
+                ag,
+                kind_vec,
+                self.chip.pcu.fifo_depth,
+                format!("waddr:{access}"),
+            );
             let addr_ins = match req_cond {
                 Some(c) => vec![flat, c],
                 None => vec![flat],
@@ -1164,11 +1194,12 @@ impl<'a> Builder<'a> {
     }
 
     /// Private-copy key of a memory for a lane binding.
-    fn copy_key(&self, private_loops: &[(CtrlId, u32)], binding: &BTreeMap<CtrlId, u32>) -> LaneKey {
-        private_loops
-            .iter()
-            .map(|(c, _)| binding.get(c).copied().unwrap_or(0))
-            .collect()
+    fn copy_key(
+        &self,
+        private_loops: &[(CtrlId, u32)],
+        binding: &BTreeMap<CtrlId, u32>,
+    ) -> LaneKey {
+        private_loops.iter().map(|(c, _)| binding.get(c).copied().unwrap_or(0)).collect()
     }
 
     fn get_vmu(&mut self, mem: MemId, copy: &LaneKey, bank: u32) -> UnitId {
@@ -1278,9 +1309,18 @@ impl<'a> Builder<'a> {
         if let Some(bank) = static_bank {
             let local = self.local_addr_nodes(req, flat, bank_fn);
             let vmu = self.get_vmu(mem, &copy, bank);
-            let (_, addr_out, addr_in) =
-                self.g.connect(req, vmu, kind_vec, self.chip.pmu.fifo_depth, format!("raddr:{access}"));
-            self.push_node(req, NodeOp::StreamOut { port: addr_out, pred: false, empty_pred: false }, vec![local]);
+            let (_, addr_out, addr_in) = self.g.connect(
+                req,
+                vmu,
+                kind_vec,
+                self.chip.pmu.fifo_depth,
+                format!("raddr:{access}"),
+            );
+            self.push_node(
+                req,
+                NodeOp::StreamOut { port: addr_out, pred: false, empty_pred: false },
+                vec![local],
+            );
             let data_port = self.ensure_out_port(vmu, kind_vec, format!("rdata:{access}"));
             self.vmu_build
                 .get_mut(&vmu)
@@ -1302,18 +1342,41 @@ impl<'a> Builder<'a> {
                     ba_out: None,
                 }),
             );
-            let (_, bank_out, dist_bank_in) =
-                self.g.connect(req, dist, kind_vec, self.chip.pcu.fifo_depth, format!("ba:{access}"));
-            self.push_node(req, NodeOp::StreamOut { port: bank_out, pred: false, empty_pred: false }, vec![bank]);
-            let (_, addr_out, dist_addr_in) =
-                self.g.connect(req, dist, kind_vec, self.chip.pcu.fifo_depth, format!("la:{access}"));
-            self.push_node(req, NodeOp::StreamOut { port: addr_out, pred: false, empty_pred: false }, vec![local]);
+            let (_, bank_out, dist_bank_in) = self.g.connect(
+                req,
+                dist,
+                kind_vec,
+                self.chip.pcu.fifo_depth,
+                format!("ba:{access}"),
+            );
+            self.push_node(
+                req,
+                NodeOp::StreamOut { port: bank_out, pred: false, empty_pred: false },
+                vec![bank],
+            );
+            let (_, addr_out, dist_addr_in) = self.g.connect(
+                req,
+                dist,
+                kind_vec,
+                self.chip.pcu.fifo_depth,
+                format!("la:{access}"),
+            );
+            self.push_node(
+                req,
+                NodeOp::StreamOut { port: addr_out, pred: false, empty_pred: false },
+                vec![local],
+            );
             let coll = self.g.add_unit(
                 format!("xcoll:{access}"),
                 UnitKind::XbarColl(XbarColl { ba_in: 0, bank_ins: Vec::new(), out: 0 }),
             );
-            let (_, ba_fwd_port, coll_ba_in) =
-                self.g.connect(dist, coll, kind_vec, self.chip.pcu.fifo_depth, format!("bafwd:{access}"));
+            let (_, ba_fwd_port, coll_ba_in) = self.g.connect(
+                dist,
+                coll,
+                kind_vec,
+                self.chip.pcu.fifo_depth,
+                format!("bafwd:{access}"),
+            );
             let mut bank_outs = Vec::new();
             let mut coll_bank_ins = Vec::new();
             for b in 0..banks {
@@ -1411,7 +1474,11 @@ impl<'a> Builder<'a> {
                             };
                             self.push_node(
                                 req,
-                                NodeOp::StreamOut { port: p, pred: req_cond.is_some(), empty_pred: true },
+                                NodeOp::StreamOut {
+                                    port: p,
+                                    pred: req_cond.is_some(),
+                                    empty_pred: true,
+                                },
                                 ins,
                             );
                             addr_port = Some(p);
@@ -1444,7 +1511,11 @@ impl<'a> Builder<'a> {
                             };
                             self.push_node(
                                 data_unit,
-                                NodeOp::StreamOut { port: p, pred: data_cond.is_some(), empty_pred: true },
+                                NodeOp::StreamOut {
+                                    port: p,
+                                    pred: data_cond.is_some(),
+                                    empty_pred: true,
+                                },
                                 ins,
                             );
                             data_port = Some(p);
@@ -1463,7 +1534,8 @@ impl<'a> Builder<'a> {
                         }
                     };
                     let ack_port = if self.token_srcs.contains(&access) && completion.is_none() {
-                        let p = self.ensure_out_port(vmu, StreamKind::Scalar, format!("ack:{access}"));
+                        let p =
+                            self.ensure_out_port(vmu, StreamKind::Scalar, format!("ack:{access}"));
                         completion = Some((vmu, p));
                         Some(p)
                     } else {
@@ -1554,7 +1626,11 @@ impl<'a> Builder<'a> {
                 };
                 self.push_node(
                     data_unit,
-                    NodeOp::StreamOut { port: data_port, pred: data_cond.is_some(), empty_pred: true },
+                    NodeOp::StreamOut {
+                        port: data_port,
+                        pred: data_cond.is_some(),
+                        empty_pred: true,
+                    },
                     d_ins,
                 );
                 // ack collector
@@ -1603,7 +1679,11 @@ impl<'a> Builder<'a> {
                     );
                     d_outs.push(dp);
                     let ack = if let Some(c) = coll {
-                        let p = self.ensure_out_port(vmu, StreamKind::Scalar, format!("ack:{access}#{b}"));
+                        let p = self.ensure_out_port(
+                            vmu,
+                            StreamKind::Scalar,
+                            format!("ack:{access}#{b}"),
+                        );
                         let (_, cin) = self.g.connect_bcast(
                             vmu,
                             p,
@@ -1767,10 +1847,8 @@ impl<'a> Builder<'a> {
                 self.vcu_mut(srcs[0]).token_pushes.push(TokenRule { port: out_p, level: sl });
                 self.vcu_mut(dsts[0]).token_pops.push(TokenRule { port: in_p, level: dl });
             } else {
-                let sync = self.g.add_unit(
-                    format!("sync:{}->{}", e.src, e.dst),
-                    UnitKind::Sync(SyncUnit),
-                );
+                let sync =
+                    self.g.add_unit(format!("sync:{}->{}", e.src, e.dst), UnitKind::Sync(SyncUnit));
                 for s in &srcs {
                     let (_, out_p, _) = self.g.connect(
                         *s,
@@ -1805,7 +1883,12 @@ impl<'a> Builder<'a> {
     /// ending *above* the reduction loop; an exchange controller that lies
     /// below the whole chain maps to per-firing — the combine fires
     /// exactly once per activation of that controller's parent context.
-    fn token_level(&mut self, unit: UnitId, ctrl: CtrlId, hb: CtrlId) -> Result<usize, CompileError> {
+    fn token_level(
+        &mut self,
+        unit: UnitId,
+        ctrl: CtrlId,
+        hb: CtrlId,
+    ) -> Result<usize, CompileError> {
         let chain: Vec<CtrlId> = self.level_specs_of_unit(unit);
         if ctrl == hb {
             return Ok(chain.len());
@@ -1871,7 +1954,13 @@ impl<'a> Builder<'a> {
     }
 
     /// Get or create the broadcast out-port of a fifo writer's value.
-    fn fifo_out_port(&mut self, mem: MemId, wu: UnitId, vnode: usize, cnode: Option<usize>) -> usize {
+    fn fifo_out_port(
+        &mut self,
+        mem: MemId,
+        wu: UnitId,
+        vnode: usize,
+        cnode: Option<usize>,
+    ) -> usize {
         if let Some(port) = self.fifo_ports.get(&mem) {
             return *port;
         }
@@ -1880,7 +1969,11 @@ impl<'a> Builder<'a> {
             Some(c) => vec![vnode, c],
             None => vec![vnode],
         };
-        self.push_node(wu, NodeOp::StreamOut { port, pred: cnode.is_some(), empty_pred: false }, ins);
+        self.push_node(
+            wu,
+            NodeOp::StreamOut { port, pred: cnode.is_some(), empty_pred: false },
+            ins,
+        );
         self.fifo_ports.insert(mem, port);
         port
     }
@@ -1922,10 +2015,8 @@ impl<'a> Builder<'a> {
                 // activates exactly once per parent iteration (taken or
                 // vacuously), so only counters and do-whiles count.
                 let iterative = |c: CtrlId| self.p.ctrl(c).is_iterative();
-                let consumer_specs: Vec<CtrlId> = self
-                    .level_specs_of_unit(pend.unit)
-                    .into_iter()
-                    .collect();
+                let consumer_specs: Vec<CtrlId> =
+                    self.level_specs_of_unit(pend.unit).into_iter().collect();
                 let writer_specs: Vec<CtrlId> = self
                     .level_specs(writer.hb)
                     .iter()
@@ -1936,8 +2027,7 @@ impl<'a> Builder<'a> {
                     PendRole::WhlCond => pend.level_idx + 1,
                     _ => pend.level_idx,
                 };
-                let consumer_prefix: Vec<CtrlId> = consumer_specs
-                    [..cut.min(consumer_specs.len())]
+                let consumer_prefix: Vec<CtrlId> = consumer_specs[..cut.min(consumer_specs.len())]
                     .iter()
                     .copied()
                     .filter(|c| iterative(*c))
@@ -1949,10 +2039,8 @@ impl<'a> Builder<'a> {
                     )));
                 }
             }
-            let (wunit, vnode, port) = *self
-                .ctrl_value
-                .get(&(pend.mem, wlane.clone()))
-                .ok_or_else(|| {
+            let (wunit, vnode, port) =
+                *self.ctrl_value.get(&(pend.mem, wlane.clone())).ok_or_else(|| {
                     CompileError::Internal(format!(
                         "control value for {} lane {wlane:?} not recorded",
                         pend.mem
@@ -1962,8 +2050,16 @@ impl<'a> Builder<'a> {
             let out_port = match port {
                 Some(p) => p,
                 None => {
-                    let p = self.ensure_out_port(wunit, StreamKind::Scalar, format!("ctrl:{}", pend.mem));
-                    self.push_node(wunit, NodeOp::StreamOut { port: p, pred: false, empty_pred: false }, vec![vnode]);
+                    let p = self.ensure_out_port(
+                        wunit,
+                        StreamKind::Scalar,
+                        format!("ctrl:{}", pend.mem),
+                    );
+                    self.push_node(
+                        wunit,
+                        NodeOp::StreamOut { port: p, pred: false, empty_pred: false },
+                        vec![vnode],
+                    );
                     self.ctrl_value.insert((pend.mem, wlane.clone()), (wunit, vnode, Some(p)));
                     p
                 }

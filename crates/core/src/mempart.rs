@@ -41,10 +41,7 @@ pub fn unroll_info(p: &Program, lanes: u32) -> HashMap<CtrlId, UnrollInfo> {
     for (i, c) in p.ctrls.iter().enumerate() {
         let id = CtrlId(i as u32);
         let CtrlKind::Loop(spec) = &c.kind else { continue };
-        let innermost = !c
-            .children
-            .iter()
-            .any(|ch| subtree_has_iterative(p, *ch));
+        let innermost = !c.children.iter().any(|ch| subtree_has_iterative(p, *ch));
         let info = if innermost {
             let vec = spec.par.min(lanes).max(1);
             UnrollInfo { vec, unroll: spec.par.div_ceil(vec).max(1) }
@@ -198,11 +195,7 @@ pub fn plan_banking(
         }
 
         // ---- privatization scope ----
-        let lca = accs
-            .iter()
-            .map(|a| a.id.hb)
-            .reduce(|a, b| p.lca(a, b))
-            .expect("nonempty");
+        let lca = accs.iter().map(|a| a.id.hb).reduce(|a, b| p.lca(a, b)).expect("nonempty");
         let private_loops: Vec<(CtrlId, u32)> = {
             let mut v: Vec<(CtrlId, u32)> = p
                 .ancestors(lca)
@@ -235,10 +228,7 @@ pub fn plan_banking(
 
         if banks == 1 {
             let routes = accs.iter().map(|a| (a.id, BankRoute::Static)).collect();
-            plan.mems.insert(
-                mem,
-                MemPlan { mem, private_loops, bank_fn: BankFn::None, routes },
-            );
+            plan.mems.insert(mem, MemPlan { mem, private_loops, bank_fn: BankFn::None, routes });
             continue;
         }
 
@@ -247,10 +237,8 @@ pub fn plan_banking(
         // from the affine coefficients; pick the first under which every
         // accessor statically resolves. Otherwise keep cyclic with
         // dynamic (crossbar) routing for unresolved accessors.
-        let affines: Vec<Option<Affine>> = accs
-            .iter()
-            .map(|a| access_affine(p, a.id.hb, a.id.expr))
-            .collect();
+        let affines: Vec<Option<Affine>> =
+            accs.iter().map(|a| access_affine(p, a.id.hb, a.id.expr)).collect();
         let mut candidates: Vec<BankFn> = vec![BankFn::Cyclic { banks }];
         let mut blocks: Vec<u64> = affines
             .iter()

@@ -98,10 +98,8 @@ pub fn merge(
         .filter(|u| precost.get(u).copied().unwrap_or(1) <= 1)
         .collect();
     let index: HashMap<UnitId, usize> = units.iter().enumerate().map(|(i, u)| (*u, i)).collect();
-    let costs: Vec<u32> = units
-        .iter()
-        .map(|u| cost_of(g, *u, transcendental_stages).min(cons.max_ops))
-        .collect();
+    let costs: Vec<u32> =
+        units.iter().map(|u| cost_of(g, *u, transcendental_stages).min(cons.max_ops)).collect();
     let classes: Vec<u32> = units.iter().map(|u| class_of(g, *u)).collect();
     let mut edges = Vec::new();
     for s in &g.streams {
@@ -127,9 +125,8 @@ mod tests {
     use sara_ir::{BinOp, CtrlId};
 
     fn vcu(levels: Vec<Level>, n_ops: usize) -> UnitKind {
-        let dfg = (0..n_ops)
-            .map(|_| DfgNode { op: NodeOp::Bin(BinOp::Add), ins: vec![] })
-            .collect();
+        let dfg =
+            (0..n_ops).map(|_| DfgNode { op: NodeOp::Bin(BinOp::Add), ins: vec![] }).collect();
         UnitKind::Vcu(Vcu {
             levels,
             dfg,
@@ -154,7 +151,13 @@ mod tests {
     }
 
     fn cons() -> PartitionConstraints {
-        PartitionConstraints { max_ops: 6, max_in: 10, max_out: 4, buffer_depth: 16, max_counters: 8 }
+        PartitionConstraints {
+            max_ops: 6,
+            max_in: 10,
+            max_out: 4,
+            buffer_depth: 16,
+            max_counters: 8,
+        }
     }
 
     #[test]

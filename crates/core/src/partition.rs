@@ -40,7 +40,11 @@ impl Problem {
     /// Build from cost and edge lists; edges are deduplicated and
     /// self-loops (internal loop-carried dependencies, legal inside a
     /// partition) dropped.
-    pub fn new(costs: Vec<u32>, mut edges: Vec<(usize, usize)>, cons: PartitionConstraints) -> Self {
+    pub fn new(
+        costs: Vec<u32>,
+        mut edges: Vec<(usize, usize)>,
+        cons: PartitionConstraints,
+    ) -> Self {
         edges.retain(|(a, b)| a != b);
         edges.sort_unstable();
         edges.dedup();
@@ -294,10 +298,9 @@ fn traversal(p: &Problem, ord: TraversalOrder) -> Result<Solution, String> {
     let mut gid = 0usize;
     let mut gcost = 0u32;
     let mut grep: Option<usize> = None;
-    let mut assigned = 0usize;
-    for &node in &order {
+    for (i, &node) in order.iter().enumerate() {
         let c = p.costs[node];
-        if assigned > 0 {
+        if i > 0 {
             // try current group
             group[node] = gid;
             let fits = gcost + c <= p.cons.max_ops
@@ -313,7 +316,6 @@ fn traversal(p: &Problem, ord: TraversalOrder) -> Result<Solution, String> {
         group[node] = gid;
         gcost += c;
         grep = grep.or(Some(node));
-        assigned += 1;
         if !arity_ok(p, &group, gid) {
             // a single node violating arity cannot be fixed by packing;
             // keep it alone (arity with one node is minimal already)

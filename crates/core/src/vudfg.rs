@@ -95,7 +95,14 @@ pub enum Level {
     /// spatial-unrolling lane shift of a cyclically distributed counter —
     /// and `lane_stride` is the per-SIMD-lane index increment within one
     /// vectorized firing (the original loop step).
-    Counter { min: CBound, max: CBound, step: i64, lane_offset: i64, lane_stride: i64, ctrl: CtrlId },
+    Counter {
+        min: CBound,
+        max: CBound,
+        step: i64,
+        lane_offset: i64,
+        lane_stride: i64,
+        ctrl: CtrlId,
+    },
     /// Branch-arm gate: one value is consumed from the cond input per
     /// activation; if it differs from `expect`, the activation is skipped
     /// (vacuously completing inner levels and still exchanging tokens,
@@ -469,7 +476,12 @@ impl Vudfg {
     /// Add a unit and return its id.
     pub fn add_unit(&mut self, label: impl Into<String>, kind: UnitKind) -> UnitId {
         let id = UnitId(self.units.len() as u32);
-        self.units.push(Unit { label: label.into(), kind, inputs: Vec::new(), outputs: Vec::new() });
+        self.units.push(Unit {
+            label: label.into(),
+            kind,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        });
         id
     }
 
@@ -553,9 +565,8 @@ impl Vudfg {
         let vmus = self.count_units(|u| matches!(u.kind, UnitKind::Vmu(_)));
         let ags = self.count_units(|u| matches!(u.kind, UnitKind::Ag(_)));
         let syncs = self.count_units(|u| matches!(u.kind, UnitKind::Sync(_)));
-        let xbars = self.count_units(|u| {
-            matches!(u.kind, UnitKind::XbarDist(_) | UnitKind::XbarColl(_))
-        });
+        let xbars =
+            self.count_units(|u| matches!(u.kind, UnitKind::XbarDist(_) | UnitKind::XbarColl(_)));
         format!(
             "{}: {} vcus, {} vmus, {} ags, {} syncs, {} xbars, {} streams ({} tokens)",
             self.name,
@@ -625,9 +636,23 @@ mod tests {
 
     #[test]
     fn level_static_trip() {
-        let l = Level::Counter { min: CBound::Const(0), max: CBound::Const(10), step: 2, lane_offset: 0, lane_stride: 1, ctrl: CtrlId(1) };
+        let l = Level::Counter {
+            min: CBound::Const(0),
+            max: CBound::Const(10),
+            step: 2,
+            lane_offset: 0,
+            lane_stride: 1,
+            ctrl: CtrlId(1),
+        };
         assert_eq!(l.static_trip(), Some(5));
-        let d = Level::Counter { min: CBound::Port(0), max: CBound::Const(10), step: 1, lane_offset: 0, lane_stride: 1, ctrl: CtrlId(1) };
+        let d = Level::Counter {
+            min: CBound::Port(0),
+            max: CBound::Const(10),
+            step: 1,
+            lane_offset: 0,
+            lane_stride: 1,
+            ctrl: CtrlId(1),
+        };
         assert_eq!(d.static_trip(), None);
     }
 

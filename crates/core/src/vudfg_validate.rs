@@ -13,15 +13,18 @@ pub fn validate(g: &Vudfg) -> Result<(), String> {
         let nout = u.outputs.len();
         let err = |msg: String| Err(format!("unit {ui} ({}): {msg}", u.label));
         for (pi, sid) in u.inputs.iter().enumerate() {
-            let s = g.streams.get(sid.index()).ok_or_else(|| format!("unit {ui}: bad stream id"))?;
+            let s =
+                g.streams.get(sid.index()).ok_or_else(|| format!("unit {ui}: bad stream id"))?;
             if s.dst.index() != ui {
                 return err(format!("input port {pi} stream does not target this unit"));
             }
         }
         for (pi, port) in u.outputs.iter().enumerate() {
             for sid in &port.streams {
-                let s =
-                    g.streams.get(sid.index()).ok_or_else(|| format!("unit {ui}: bad stream id"))?;
+                let s = g
+                    .streams
+                    .get(sid.index())
+                    .ok_or_else(|| format!("unit {ui}: bad stream id"))?;
                 if s.src.index() != ui {
                     return err(format!("output port {pi} stream does not originate here"));
                 }
@@ -36,7 +39,9 @@ pub fn validate(g: &Vudfg) -> Result<(), String> {
                             for b in [min, max] {
                                 if let CBound::Port(p) = b {
                                     if *p >= nin {
-                                        return err(format!("level {li} bound port {p} out of range"));
+                                        return err(format!(
+                                            "level {li} bound port {p} out of range"
+                                        ));
                                     }
                                 }
                             }

@@ -2,12 +2,21 @@
 //! reduction preserves reachability; both partitioning algorithm families
 //! produce valid solutions (capacity, arity, acyclicity, class
 //! feasibility) on random layered DAGs; the solver never allocates more
-//! partitions than the best traversal.
+//! partitions than the best traversal. Extended with an end-to-end
+//! property: random programs compiled and simulated under both the dense
+//! and the active-list scheduler produce identical outcomes.
+//!
+//! Cases are drawn from a seeded RNG (no proptest in the offline build):
+//! deterministic, reproducible by case index.
 
-use plasticine_arch::PartitionConstraints;
-use proptest::prelude::*;
+use plasticine_arch::{ChipSpec, PartitionConstraints};
+use plasticine_sim::{simulate, SimConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sara_core::compile::{compile, CompilerOptions};
 use sara_core::depgraph::DiGraph;
 use sara_core::partition::{partition, Algo, Problem, SolverCfg, TraversalOrder};
+use sara_ir::{BinOp, DType, LoopSpec, MemInit, Program, UnOp};
 
 fn random_dag(n: usize, edges: &[(usize, usize)]) -> DiGraph {
     let mut g = DiGraph::new(n);
@@ -23,31 +32,37 @@ fn random_dag(n: usize, edges: &[(usize, usize)]) -> DiGraph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+fn random_edges(rng: &mut SmallRng, node_bound: usize, max_edges: usize) -> Vec<(usize, usize)> {
+    let count = rng.gen_range(0usize..=max_edges);
+    (0..count)
+        .map(|_| (rng.gen_range(0usize..node_bound), rng.gen_range(0usize..node_bound)))
+        .collect()
+}
 
-    #[test]
-    fn transitive_reduction_preserves_reachability(
-        n in 2usize..14,
-        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..40),
-    ) {
+#[test]
+fn transitive_reduction_preserves_reachability() {
+    let mut rng = SmallRng::seed_from_u64(0x7124);
+    for _case in 0..64 {
+        let n = rng.gen_range(2usize..14);
+        let edges = random_edges(&mut rng, 14, 39);
         let g = random_dag(n, &edges);
         let tr = g.transitive_reduction();
-        prop_assert!(tr.edge_count() <= g.edge_count());
+        assert!(tr.edge_count() <= g.edge_count());
         for a in 0..n {
             for b in 0..n {
-                prop_assert_eq!(g.reaches(a, b), tr.reaches(a, b), "({},{})", a, b);
+                assert_eq!(g.reaches(a, b), tr.reaches(a, b), "({a},{b}) n={n} edges={edges:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn partitioning_produces_valid_solutions(
-        n in 2usize..24,
-        edges in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
-        costs in proptest::collection::vec(0u32..4, 24),
-        max_ops in 2u32..8,
-    ) {
+#[test]
+fn partitioning_produces_valid_solutions() {
+    let mut rng = SmallRng::seed_from_u64(0x9A27);
+    for _case in 0..64 {
+        let n = rng.gen_range(2usize..24);
+        let edges = random_edges(&mut rng, 24, 59);
+        let max_ops = rng.gen_range(2u32..8);
         let g = random_dag(n, &edges);
         let cons = PartitionConstraints {
             max_ops,
@@ -56,7 +71,7 @@ proptest! {
             buffer_depth: 16,
             max_counters: 8,
         };
-        let costs: Vec<u32> = costs[..n].iter().map(|c| (*c).min(max_ops)).collect();
+        let costs: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..4).min(max_ops)).collect();
         let p = Problem::new(costs, g.edges(), cons);
         // Instances with a node whose intrinsic fan-in exceeds the input
         // ports are infeasible by definition and must be *reported*.
@@ -80,19 +95,21 @@ proptest! {
             match partition(&p, algo) {
                 Ok(sol) => {
                     let groups = p.check(&sol.group).expect("valid solution");
-                    prop_assert_eq!(groups, sol.num_groups);
-                    prop_assert!(sol.num_groups >= p.lower_bound());
+                    assert_eq!(groups, sol.num_groups);
+                    assert!(sol.num_groups >= p.lower_bound());
                 }
-                Err(_) => prop_assert!(max_indeg > 6, "feasible instance rejected"),
+                Err(_) => assert!(max_indeg > 6, "feasible instance rejected (n={n})"),
             }
         }
     }
+}
 
-    #[test]
-    fn solver_not_worse_than_best_traversal(
-        n in 2usize..16,
-        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
-    ) {
+#[test]
+fn solver_not_worse_than_best_traversal() {
+    let mut rng = SmallRng::seed_from_u64(0x501F);
+    for _case in 0..64 {
+        let n = rng.gen_range(2usize..16);
+        let edges = random_edges(&mut rng, 16, 39);
         let g = random_dag(n, &edges);
         let cons = PartitionConstraints {
             max_ops: 4,
@@ -106,20 +123,27 @@ proptest! {
         let s = partition(&p, Algo::Solver(SolverCfg { gap: 0.0, budget_ms: 200 }));
         match (t, s) {
             (Ok(t), Ok(s)) => {
-                prop_assert!(s.num_groups <= t.num_groups, "solver {} vs traversal {}", s.num_groups, t.num_groups);
+                assert!(
+                    s.num_groups <= t.num_groups,
+                    "solver {} vs traversal {}",
+                    s.num_groups,
+                    t.num_groups
+                );
             }
             // infeasible instances (a node's fan-in exceeds the ports)
             // must be rejected by both algorithms
             (Err(_), Err(_)) => {}
-            (t, s) => prop_assert!(false, "feasibility disagreement: {t:?} vs {s:?}"),
+            (t, s) => panic!("feasibility disagreement: {t:?} vs {s:?}"),
         }
     }
+}
 
-    #[test]
-    fn class_feasibility_respected(
-        n in 2usize..16,
-        classes in proptest::collection::vec(0u32..3, 16),
-    ) {
+#[test]
+fn class_feasibility_respected() {
+    let mut rng = SmallRng::seed_from_u64(0xC1A5);
+    for _case in 0..64 {
+        let n = rng.gen_range(2usize..16);
+        let classes: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..3)).collect();
         let cons = PartitionConstraints {
             max_ops: 8,
             max_in: 6,
@@ -127,8 +151,112 @@ proptest! {
             buffer_depth: 16,
             max_counters: 8,
         };
-        let p = Problem::new(vec![1; n], vec![], cons).with_classes(classes[..n].to_vec());
+        let p = Problem::new(vec![1; n], vec![], cons).with_classes(classes);
         let sol = partition(&p, Algo::BestTraversal).unwrap();
         p.check(&sol.group).expect("classes respected");
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end scheduler property: random programs through the full stack
+// under both the dense reference scheduler and the default active-list
+// scheduler must produce identical cycle counts, firings and DRAM images.
+
+/// A random two-stage pipeline (load → transform → store/reduce) with
+/// randomized trips, tiles, vector widths and op choices.
+fn random_program(rng: &mut SmallRng) -> Program {
+    let outer = rng.gen_range(2i64..5);
+    let tile = rng.gen_range(4i64..13);
+    let par = [1u32, 4][rng.gen_range(0usize..2)];
+    let op = rng.gen_range(0u8..3);
+    let reduce_tail = rng.gen_bool(0.5);
+    let seed = rng.gen_range(0u64..1000);
+    let n = (outer * tile) as usize;
+
+    let mut p = Program::new("sched_prop");
+    let root = p.root();
+    let src = p.dram("src", &[n], DType::F64, MemInit::RandomF { seed });
+    let dst_len = if reduce_tail { outer as usize } else { n };
+    let dst = p.dram("dst", &[dst_len], DType::F64, MemInit::Zero);
+    let buf = p.sram("buf", &[tile as usize], DType::F64);
+    let la = p.add_loop(root, "A", LoopSpec::new(0, outer, 1)).unwrap();
+    {
+        let l = p.add_loop(la, "in", LoopSpec::new(0, tile, 1).par(par)).unwrap();
+        let hb = p.add_leaf(l, "ld").unwrap();
+        let ia = p.idx(hb, la).unwrap();
+        let ij = p.idx(hb, l).unwrap();
+        let t = p.c_i64(hb, tile).unwrap();
+        let b = p.bin(hb, BinOp::Mul, ia, t).unwrap();
+        let a = p.bin(hb, BinOp::Add, b, ij).unwrap();
+        let v = p.load(hb, src, &[a]).unwrap();
+        let y = match op {
+            0 => {
+                let c = p.c_f64(hb, 2.0).unwrap();
+                p.bin(hb, BinOp::Mul, v, c).unwrap()
+            }
+            1 => p.un(hb, UnOp::Relu, v).unwrap(),
+            _ => {
+                let c = p.c_f64(hb, -0.5).unwrap();
+                p.bin(hb, BinOp::Add, v, c).unwrap()
+            }
+        };
+        p.store(hb, buf, &[ij], y).unwrap();
+    }
+    {
+        let l = p.add_loop(la, "out", LoopSpec::new(0, tile, 1).par(par)).unwrap();
+        let hb = p.add_leaf(l, "st").unwrap();
+        let ia = p.idx(hb, la).unwrap();
+        let ij = p.idx(hb, l).unwrap();
+        let x = p.load(hb, buf, &[ij]).unwrap();
+        if reduce_tail {
+            let acc = p.reduce(hb, BinOp::Add, x, sara_ir::Elem::F64(0.0), l).unwrap();
+            let last = p.is_last(hb, l).unwrap();
+            p.store_if(hb, dst, &[ia], acc, last).unwrap();
+        } else {
+            let t = p.c_i64(hb, tile).unwrap();
+            let b = p.bin(hb, BinOp::Mul, ia, t).unwrap();
+            let a = p.bin(hb, BinOp::Add, b, ij).unwrap();
+            p.store(hb, dst, &[a], x).unwrap();
+        }
+    }
+    p
+}
+
+#[test]
+fn random_programs_identical_under_both_schedulers() {
+    let mut rng = SmallRng::seed_from_u64(0x5CED);
+    let chip = ChipSpec::small_8x8();
+    for case in 0..20u64 {
+        let p = random_program(&mut rng);
+        p.validate().unwrap();
+        let mut compiled = compile(&p, &chip, &CompilerOptions::default()).unwrap();
+        sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, case).unwrap();
+        let active = simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap();
+        let dense = simulate(&compiled.vudfg, &chip, &SimConfig::dense()).unwrap();
+        assert_eq!(active.cycles, dense.cycles, "case {case}: cycle divergence");
+        assert_eq!(active.stats.firings, dense.stats.firings, "case {case}: firings");
+        assert_eq!(
+            active.stats.unit_firings, dense.stats.unit_firings,
+            "case {case}: per-unit firings"
+        );
+        assert_eq!(active.stats.dram, dense.stats.dram, "case {case}: dram stats");
+        assert_eq!(active.dram_final, dense.dram_final, "case {case}: dram image");
+    }
+}
+
+#[test]
+fn registry_workloads_identical_under_both_schedulers() {
+    // A couple of real registry kernels from the compiler crate's view;
+    // the broader registry sweep lives in plasticine-sim's sched_equiv
+    // tests.
+    let chip = ChipSpec::small_8x8();
+    for name in ["dotprod", "bs"] {
+        let w = sara_workloads::by_name(name).unwrap();
+        let mut compiled = compile(&w.program, &chip, &CompilerOptions::default()).unwrap();
+        sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 3).unwrap();
+        let active = simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap();
+        let dense = simulate(&compiled.vudfg, &chip, &SimConfig::dense()).unwrap();
+        assert_eq!(active.cycles, dense.cycles, "{name}: cycle divergence");
+        assert_eq!(active.dram_final, dense.dram_final, "{name}: dram image divergence");
     }
 }

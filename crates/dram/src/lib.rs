@@ -271,6 +271,15 @@ impl DramSim {
         self.channels.iter().any(|c| !c.queue.is_empty() || !c.inflight.is_empty())
     }
 
+    /// Earliest cycle at which an in-flight access completes, if any.
+    ///
+    /// [`DramSim::tick`] schedules every queued request, so after a tick
+    /// the full completion timeline is known; an event-driven caller can
+    /// fast-forward to this cycle instead of ticking every cycle.
+    pub fn next_completion_time(&self) -> Option<u64> {
+        self.channels.iter().filter_map(|c| c.inflight.front().map(|(done, _)| *done)).min()
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> DramStats {
         self.stats
@@ -299,7 +308,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].id, 7);
         // service (~1 cycle) + idle latency (100) + row miss (40)
-        assert!(cycle >= 100 && cycle <= 200, "latency {cycle}");
+        assert!((100..=200).contains(&cycle), "latency {cycle}");
     }
 
     #[test]
@@ -314,7 +323,10 @@ mod tests {
         while received < total {
             cycle += 1;
             while sent < total && dram.can_accept(sent) {
-                dram.push(cycle, Request { id: sent, addr: sent, bytes: burst as u32, is_write: false });
+                dram.push(
+                    cycle,
+                    Request { id: sent, addr: sent, bytes: burst as u32, is_write: false },
+                );
                 sent += burst;
             }
             out.clear();
@@ -341,7 +353,10 @@ mod tests {
             cycle += 1;
             if sent < n && dram.can_accept(0) {
                 // every access touches a different row
-                dram.push(cycle, Request { id: sent, addr: sent * 4096, bytes: 4, is_write: false });
+                dram.push(
+                    cycle,
+                    Request { id: sent, addr: sent * 4096, bytes: 4, is_write: false },
+                );
                 sent += 1;
             }
             out.clear();
@@ -377,7 +392,11 @@ mod tests {
 
     #[test]
     fn queue_backpressure() {
-        let cfg = DramModelCfg { queue_capacity: 2, channels: 1, ..DramModelCfg::of_kind(DramKind::Ddr3) };
+        let cfg = DramModelCfg {
+            queue_capacity: 2,
+            channels: 1,
+            ..DramModelCfg::of_kind(DramKind::Ddr3)
+        };
         let mut dram = DramSim::with_cfg(cfg);
         assert!(dram.push(0, Request { id: 0, addr: 0, bytes: 64, is_write: false }));
         assert!(dram.push(0, Request { id: 1, addr: 0, bytes: 64, is_write: false }));

@@ -92,11 +92,7 @@ impl Affine {
     /// map are treated as zero.
     pub fn eval(&self, binding: &BTreeMap<CtrlId, i64>) -> i64 {
         self.offset
-            + self
-                .terms
-                .iter()
-                .map(|(c, k)| k * binding.get(c).copied().unwrap_or(0))
-                .sum::<i64>()
+            + self.terms.iter().map(|(c, k)| k * binding.get(c).copied().unwrap_or(0)).sum::<i64>()
     }
 }
 

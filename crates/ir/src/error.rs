@@ -67,7 +67,10 @@ impl fmt::Display for IrError {
                 write!(f, "controller {ctrl:?} is not a loop ancestor of hyperblock {hb:?}")
             }
             IrError::CondNotScalarReg(m) => {
-                write!(f, "memory {m:?} used as condition or dynamic bound is not a scalar register")
+                write!(
+                    f,
+                    "memory {m:?} used as condition or dynamic bound is not a scalar register"
+                )
             }
             IrError::AddrArity { mem, expected, got } => {
                 write!(f, "address for {mem:?} has {got} dimensions, expected {expected}")

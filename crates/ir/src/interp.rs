@@ -110,11 +110,7 @@ pub struct Interp<'p> {
 impl<'p> Interp<'p> {
     /// Create an interpreter over a validated program.
     pub fn new(p: &'p Program) -> Self {
-        let mem = p
-            .mems
-            .iter()
-            .map(|m| m.init.materialize(m.size(), m.dtype))
-            .collect();
+        let mem = p.mems.iter().map(|m| m.init.materialize(m.size(), m.dtype)).collect();
         Interp {
             p,
             mem,
@@ -340,7 +336,13 @@ impl<'p> Interp<'p> {
         Ok(self.mem[mem.index()][flat as usize])
     }
 
-    fn do_store(&mut self, mem: MemId, addr: &[ExprId], v: Elem, vals: &[Elem]) -> Result<(), IrError> {
+    fn do_store(
+        &mut self,
+        mem: MemId,
+        addr: &[ExprId],
+        v: Elem,
+        vals: &[Elem],
+    ) -> Result<(), IrError> {
         self.stats.stores += 1;
         let decl = self.p.mem(mem);
         if decl.kind == MemKind::Fifo {

@@ -9,7 +9,13 @@ impl Program {
     /// bodies, e.g. for compiler-debug dumps.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "program {} ({} mems, {} ctrls)", self.name, self.mems.len(), self.ctrls.len());
+        let _ = writeln!(
+            out,
+            "program {} ({} mems, {} ctrls)",
+            self.name,
+            self.mems.len(),
+            self.ctrls.len()
+        );
         for (i, m) in self.mems.iter().enumerate() {
             let _ = writeln!(out, "  m{i}: {} {} {:?} {}", m.kind, m.name, m.dims, m.dtype);
         }

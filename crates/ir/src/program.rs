@@ -200,7 +200,14 @@ impl Program {
 
     // ---- declarations -----------------------------------------------------
 
-    fn add_mem(&mut self, name: &str, kind: MemKind, dims: &[usize], dtype: DType, init: MemInit) -> MemId {
+    fn add_mem(
+        &mut self,
+        name: &str,
+        kind: MemKind,
+        dims: &[usize],
+        dtype: DType,
+        init: MemInit,
+    ) -> MemId {
         let id = MemId(self.mems.len() as u32);
         self.mems.push(MemDecl { name: name.to_string(), kind, dims: dims.to_vec(), dtype, init });
         id
@@ -274,7 +281,12 @@ impl Program {
     ///
     /// # Errors
     /// Fails if `parent` does not exist, is a leaf, or is a full branch.
-    pub fn add_loop(&mut self, parent: CtrlId, name: &str, spec: LoopSpec) -> Result<CtrlId, IrError> {
+    pub fn add_loop(
+        &mut self,
+        parent: CtrlId,
+        name: &str,
+        spec: LoopSpec,
+    ) -> Result<CtrlId, IrError> {
         self.add_ctrl(parent, name, CtrlKind::Loop(spec))
     }
 
@@ -284,7 +296,12 @@ impl Program {
     ///
     /// # Errors
     /// Fails if `parent` is invalid or `cond` is not a scalar register.
-    pub fn add_branch(&mut self, parent: CtrlId, name: &str, cond: MemId) -> Result<CtrlId, IrError> {
+    pub fn add_branch(
+        &mut self,
+        parent: CtrlId,
+        name: &str,
+        cond: MemId,
+    ) -> Result<CtrlId, IrError> {
         let decl = self.mems.get(cond.index()).ok_or(IrError::UnknownMem(cond))?;
         if !decl.is_scalar_reg() {
             return Err(IrError::CondNotScalarReg(cond));
@@ -399,7 +416,13 @@ impl Program {
     }
 
     /// Unconditional store to memory.
-    pub fn store(&mut self, hb: CtrlId, mem: MemId, addr: &[ExprId], value: ExprId) -> Result<ExprId, IrError> {
+    pub fn store(
+        &mut self,
+        hb: CtrlId,
+        mem: MemId,
+        addr: &[ExprId],
+        value: ExprId,
+    ) -> Result<ExprId, IrError> {
         let decl = self.mems.get(mem.index()).ok_or(IrError::UnknownMem(mem))?;
         if decl.dims.len() != addr.len() {
             return Err(IrError::AddrArity { mem, expected: decl.dims.len(), got: addr.len() });
@@ -475,10 +498,7 @@ impl Program {
     /// Loop ancestors of a controller (innermost first), *excluding*
     /// non-loop controllers, used as the counter chain of lowered units.
     pub fn loop_ancestors(&self, c: CtrlId) -> Vec<CtrlId> {
-        self.ancestors(c)
-            .into_iter()
-            .filter(|id| self.ctrls[id.index()].is_iterative())
-            .collect()
+        self.ancestors(c).into_iter().filter(|id| self.ctrls[id.index()].is_iterative()).collect()
     }
 
     /// All leaf hyperblocks in program order (depth-first).
@@ -546,10 +566,7 @@ impl Program {
     /// Total number of expression slots across all hyperblocks (a crude
     /// program-size metric used in reports).
     pub fn total_exprs(&self) -> usize {
-        self.ctrls
-            .iter()
-            .filter_map(|c| c.hyperblock().map(|h| h.len()))
-            .sum()
+        self.ctrls.iter().filter_map(|c| c.hyperblock().map(|h| h.len())).sum()
     }
 
     /// Maximum control-tree depth (root = 1).
@@ -671,9 +688,7 @@ mod tests {
         let mut p = Program::new("t");
         let root = p.root();
         let r = p.reg("n", DType::I64);
-        let l = p
-            .add_loop(root, "L", LoopSpec::new(0, Bound::Reg(r), 1))
-            .unwrap();
+        let l = p.add_loop(root, "L", LoopSpec::new(0, Bound::Reg(r), 1)).unwrap();
         assert_eq!(p.control_inputs(l), vec![r]);
     }
 }

@@ -49,7 +49,9 @@ impl Program {
             for ch in &c.children {
                 let cc = self.ctrls.get(ch.index()).ok_or(IrError::UnknownCtrl(*ch))?;
                 if cc.parent != Some(id) {
-                    return Err(IrError::Invalid(format!("child {ch} of {id} disagrees on parent")));
+                    return Err(IrError::Invalid(format!(
+                        "child {ch} of {id} disagrees on parent"
+                    )));
                 }
             }
             if matches!(c.kind, CtrlKind::Leaf(_)) && !c.children.is_empty() {
@@ -115,7 +117,11 @@ impl Program {
             }
             if let MemInit::Data(d) = &m.init {
                 if d.len() != m.size() {
-                    return Err(IrError::InitLenMismatch { mem: id, expected: m.size(), got: d.len() });
+                    return Err(IrError::InitLenMismatch {
+                        mem: id,
+                        expected: m.size(),
+                        got: d.len(),
+                    });
                 }
             }
         }
@@ -155,7 +161,11 @@ impl Program {
                         let decl = self.mems.get(mem.index()).ok_or(IrError::UnknownMem(*mem))?;
                         let expected = if decl.kind == MemKind::Fifo { 1 } else { decl.dims.len() };
                         if addr.len() != expected {
-                            return Err(IrError::AddrArity { mem: *mem, expected, got: addr.len() });
+                            return Err(IrError::AddrArity {
+                                mem: *mem,
+                                expected,
+                                got: addr.len(),
+                            });
                         }
                     }
                     _ => {}

@@ -45,7 +45,11 @@ pub struct PnrError {
 
 impl fmt::Display for PnrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "placement failed: need {} {} slots, chip has {}", self.needed, self.what, self.available)
+        write!(
+            f,
+            "placement failed: need {} {} slots, chip has {}",
+            self.needed, self.what, self.available
+        )
     }
 }
 
@@ -183,9 +187,7 @@ pub fn place_and_route(
 
     // ---- simulated annealing ----
     let wl = |pos: &HashMap<Placeable, Pos>| -> u64 {
-        nets.iter()
-            .map(|((a, b), m)| pos[a].dist(pos[b]) as u64 * *m as u64)
-            .sum()
+        nets.iter().map(|((a, b), m)| pos[a].dist(pos[b]) as u64 * *m as u64).sum()
     };
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut cur = wl(&positions);
@@ -212,8 +214,8 @@ pub fn place_and_route(
                 positions.insert(o, old_p);
             }
             let new = wl(&positions);
-            let accept = new <= cur
-                || rng.gen::<f64>() < (-((new - cur) as f64) / temp.max(1e-9)).exp();
+            let accept =
+                new <= cur || rng.gen::<f64>() < (-((new - cur) as f64) / temp.max(1e-9)).exp();
             if accept {
                 cur = new;
             } else {
@@ -247,10 +249,8 @@ pub fn place_and_route(
     let max_link_use = link_use.values().copied().max().unwrap_or(0);
 
     // ---- latency write-back ----
-    let unit_pos: HashMap<UnitId, Pos> = placeable_of_unit
-        .iter()
-        .map(|(u, p)| (*u, positions[p]))
-        .collect();
+    let unit_pos: HashMap<UnitId, Pos> =
+        placeable_of_unit.iter().map(|(u, p)| (*u, positions[p])).collect();
     // congestion penalty: links loaded beyond 4 virtual channels slow the
     // streams crossing them; approximate per-stream by endpoint distance
     // share.
@@ -278,7 +278,8 @@ mod tests {
         let mut g = Vudfg::new("chain");
         let mut prev = None;
         for i in 0..n {
-            let dfg = (0..6).map(|_| DfgNode { op: NodeOp::Bin(BinOp::Add), ins: vec![] }).collect();
+            let dfg =
+                (0..6).map(|_| DfgNode { op: NodeOp::Bin(BinOp::Add), ins: vec![] }).collect();
             let u = g.add_unit(
                 format!("u{i}"),
                 UnitKind::Vcu(Vcu {

@@ -1,27 +1,54 @@
 //! The simulation engine: builds runtime state from a compiled VUDFG and
-//! steps every unit per cycle until the program completes (or deadlocks).
+//! advances it until the program completes (or deadlocks).
+//!
+//! Two cycle-for-cycle equivalent schedulers are provided:
+//!
+//! * the **dense** reference loop steps every unit on every cycle;
+//! * the default **active-list** (wakeup-driven) loop steps a unit only
+//!   when something it can observe changed — an input stream delivered a
+//!   packet, an output stream freed capacity, a DRAM response arrived, or
+//!   one of its own timers (AG run staleness) fired — and fast-forwards
+//!   the clock over cycles with no scheduled events.
+//!
+//! The equivalence rests on one invariant of the unit steppers: stepping
+//! a unit whose observable state (its own state plus the dst-visible /
+//! src-visible state of adjacent streams) has not changed since its last
+//! step is a no-op. All stepper phases check availability before mutating
+//! anything, so a blocked unit stays blocked and side-effect-free until
+//! one of the wake conditions above occurs.
 
 use crate::stream::StreamRt;
 use crate::units::{AgRt, CollRt, Ctx, DistRt, SyncRt, VcuRt, VmuRt};
 use plasticine_arch::ChipSpec;
-use ramulator_lite::{DramSim, DramStats};
+use ramulator_lite::{DramSim, DramStats, Response};
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
 use sara_ir::{Elem, MemId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-/// Simulation limits.
+/// Simulation limits and scheduler selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Hard cycle limit.
     pub max_cycles: u64,
     /// Cycles without any progress before declaring deadlock.
     pub deadlock_window: u64,
+    /// Step every unit on every cycle (the reference scheduler) instead
+    /// of the event-driven active list. Outcomes are bit-identical either
+    /// way; the dense path exists for equivalence testing and debugging.
+    pub dense: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_cycles: 50_000_000, deadlock_window: 50_000 }
+        SimConfig { max_cycles: 50_000_000, deadlock_window: 50_000, dense: false }
+    }
+}
+
+impl SimConfig {
+    /// The reference dense-scheduler configuration.
+    pub fn dense() -> Self {
+        SimConfig { dense: true, ..SimConfig::default() }
     }
 }
 
@@ -120,12 +147,7 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         .collect();
 
     // ---- DRAM image ----
-    let total_words = g
-        .drams
-        .iter()
-        .map(|d| (d.base / 4) as usize + d.words)
-        .max()
-        .unwrap_or(0);
+    let total_words = g.drams.iter().map(|d| (d.base / 4) as usize + d.words).max().unwrap_or(0);
     let mut image: Vec<Elem> = vec![Elem::F64(0.0); total_words];
     for d in &g.drams {
         let b = (d.base / 4) as usize;
@@ -191,75 +213,11 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         .collect();
 
     // ---- main loop ----
-    let mut now: u64 = 0;
-    let mut last_progress_cycle: u64 = 0;
-    let mut responses = Vec::new();
-    loop {
-        now += 1;
-        if now > cfg.max_cycles {
-            return Err(SimError::Timeout { cycle: now });
-        }
-        for s in streams.iter_mut() {
-            s.tick(now);
-        }
-        let mut progress: u64 = 0;
-        for u in units.iter_mut() {
-            let mut ctx = Ctx { now, streams: &mut streams, progress: &mut progress };
-            let res: Result<(), String> = match u {
-                URt::Vcu(v) => v.step(&mut ctx),
-                URt::Vmu(v) => v.step(&mut ctx),
-                URt::Sync(s) => {
-                    s.step(&mut ctx);
-                    Ok(())
-                }
-                URt::Dist(d) => d.step(&mut ctx),
-                URt::Coll(c) => c.step(&mut ctx),
-                URt::Ag(a) => a.step(&mut ctx, &mut dram, &mut image),
-            };
-            if let Err(message) = res {
-                let unit = match u {
-                    URt::Vcu(v) => v.label.clone(),
-                    URt::Vmu(v) => v.label.clone(),
-                    URt::Ag(a) => a.label.clone(),
-                    _ => "xbar".into(),
-                };
-                return Err(SimError::Fault { cycle: now, unit, message });
-            }
-        }
-        // DRAM
-        responses.clear();
-        dram.tick(now, &mut responses);
-        for r in &responses {
-            let ui = (r.id >> 32) as usize;
-            if let Some(URt::Ag(a)) = units.get_mut(ui) {
-                a.complete(r.id);
-                progress += 1;
-            }
-        }
-        if progress > 0 {
-            last_progress_cycle = now;
-        }
-
-        // termination: all compute done, all AGs drained, DRAM idle
-        let all_done = units.iter().all(|u| match u {
-            URt::Vcu(v) => v.done,
-            URt::Ag(a) => a.idle(),
-            _ => true,
-        });
-        if all_done
-            && !dram.busy()
-            && streams
-                .iter()
-                .zip(&must_drain)
-                .all(|(s, d)| !*d || s.is_drained())
-        {
-            break;
-        }
-        if now - last_progress_cycle > cfg.deadlock_window {
-            let diagnostic = diagnose(&units, &streams) + &diagnose_streams(g, &streams);
-            return Err(SimError::Deadlock { cycle: now, diagnostic });
-        }
-    }
+    let now = if cfg.dense {
+        run_dense(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain)?
+    } else {
+        run_active(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain)?
+    };
 
     // ---- extraction ----
     let mut dram_final = HashMap::new();
@@ -288,6 +246,322 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         0.0
     };
     Ok(SimOutcome { cycles: now, dram_final, stats })
+}
+
+/// Step one unit; on stepper error, wrap into a [`SimError::Fault`].
+fn step_unit(
+    u: &mut URt,
+    now: u64,
+    streams: &mut [StreamRt],
+    progress: &mut u64,
+    dram: &mut DramSim,
+    image: &mut [Elem],
+) -> Result<(), SimError> {
+    let mut ctx = Ctx { now, streams, progress };
+    let res: Result<(), String> = match u {
+        URt::Vcu(v) => v.step(&mut ctx),
+        URt::Vmu(v) => v.step(&mut ctx),
+        URt::Sync(s) => {
+            s.step(&mut ctx);
+            Ok(())
+        }
+        URt::Dist(d) => d.step(&mut ctx),
+        URt::Coll(c) => c.step(&mut ctx),
+        URt::Ag(a) => a.step(&mut ctx, dram, image),
+    };
+    match res {
+        Ok(()) => Ok(()),
+        Err(message) => {
+            let unit = match u {
+                URt::Vcu(v) => v.label.clone(),
+                URt::Vmu(v) => v.label.clone(),
+                URt::Ag(a) => a.label.clone(),
+                _ => "xbar".into(),
+            };
+            Err(SimError::Fault { cycle: now, unit, message })
+        }
+    }
+}
+
+/// Completion test: all compute done, all AGs drained, DRAM idle, and
+/// every must-drain stream empty (up to trailing markers).
+fn finished(units: &[URt], dram: &DramSim, streams: &[StreamRt], must_drain: &[bool]) -> bool {
+    let all_done = units.iter().all(|u| match u {
+        URt::Vcu(v) => v.done,
+        URt::Ag(a) => a.idle(),
+        _ => true,
+    });
+    all_done && !dram.busy() && streams.iter().zip(must_drain).all(|(s, d)| !*d || s.is_drained())
+}
+
+/// Reference scheduler: tick every stream and step every unit, every
+/// cycle. Returns the completion cycle.
+fn run_dense(
+    g: &Vudfg,
+    cfg: &SimConfig,
+    streams: &mut [StreamRt],
+    units: &mut [URt],
+    dram: &mut DramSim,
+    image: &mut [Elem],
+    must_drain: &[bool],
+) -> Result<u64, SimError> {
+    let mut now: u64 = 0;
+    let mut last_progress_cycle: u64 = 0;
+    let mut responses = Vec::new();
+    loop {
+        now += 1;
+        if now > cfg.max_cycles {
+            return Err(SimError::Timeout { cycle: now });
+        }
+        for s in streams.iter_mut() {
+            s.tick(now);
+        }
+        let mut progress: u64 = 0;
+        for u in units.iter_mut() {
+            step_unit(u, now, streams, &mut progress, dram, image)?;
+        }
+        responses.clear();
+        dram.tick(now, &mut responses);
+        for r in &responses {
+            let ui = (r.id >> 32) as usize;
+            if let Some(URt::Ag(a)) = units.get_mut(ui) {
+                a.complete(r.id);
+                progress += 1;
+            }
+        }
+        if progress > 0 {
+            last_progress_cycle = now;
+        }
+        if finished(units, dram, streams, must_drain) {
+            return Ok(now);
+        }
+        if now - last_progress_cycle > cfg.deadlock_window {
+            let diagnostic = diagnose(units, streams) + &diagnose_streams(g, streams);
+            return Err(SimError::Deadlock { cycle: now, diagnostic });
+        }
+    }
+}
+
+/// Wakeup-driven scheduler, cycle-for-cycle equivalent to [`run_dense`].
+///
+/// A unit is stepped at cycle `t` iff an event targets it at `t`:
+///
+/// * **delivery** — a packet pushed to one of its input streams arrives
+///   (push time + stream latency);
+/// * **capacity** — one of its output streams was popped. The dense loop
+///   steps units in index order, so a pop by a lower-indexed consumer is
+///   visible to the producer the *same* cycle while a pop by a
+///   higher-indexed one is visible the *next* cycle — the wake targets
+///   the matching cycle;
+/// * **self** — its previous step changed anything (it may be able to do
+///   more next cycle, e.g. a VMU serving one port op per cycle);
+/// * **DRAM** — a response for one of its requests retired, or its
+///   coalescing run hits the staleness deadline;
+/// * **start** — every unit is stepped at cycle 1 (init tokens).
+///
+/// When no event targets the current cycle the clock fast-forwards to the
+/// next event (bounded by the deadlock deadline and the cycle limit), and
+/// streams are ticked lazily just before their consumer steps.
+fn run_active(
+    g: &Vudfg,
+    cfg: &SimConfig,
+    streams: &mut [StreamRt],
+    units: &mut [URt],
+    dram: &mut DramSim,
+    image: &mut [Elem],
+    must_drain: &[bool],
+) -> Result<u64, SimError> {
+    let n = units.len();
+    if n == 0 {
+        // Degenerate graph: the dense loop completes (or deadlocks) on
+        // cycle 1 with nothing to step.
+        return if finished(units, dram, streams, must_drain) {
+            Ok(1)
+        } else {
+            Err(SimError::Deadlock {
+                cycle: cfg.deadlock_window + 1,
+                diagnostic: diagnose(units, streams) + &diagnose_streams(g, streams),
+            })
+        };
+    }
+
+    // Static adjacency: per-unit input/output stream indices, per-stream
+    // endpoints and latency.
+    let unit_inputs: Vec<Vec<usize>> =
+        g.units.iter().map(|u| u.inputs.iter().map(|s| s.index()).collect()).collect();
+    let unit_outputs: Vec<Vec<usize>> = g
+        .units
+        .iter()
+        .map(|u| u.outputs.iter().flat_map(|p| p.streams.iter().map(|s| s.index())).collect())
+        .collect();
+    let src_of: Vec<usize> = g.streams.iter().map(|s| s.src.index()).collect();
+    let dst_of: Vec<usize> = g.streams.iter().map(|s| s.dst.index()).collect();
+    let lat_of: Vec<u64> = streams.iter().map(|s| s.latency()).collect();
+
+    // Future wake events (cycle, unit). A BTreeSet both dedups repeated
+    // wakes and yields the earliest event for fast-forwarding.
+    let mut events: BTreeSet<(u64, usize)> = (0..n).map(|u| (1, u)).collect();
+    // Units to step in the cycle being processed (scanned in index order;
+    // same-cycle wakes may only target not-yet-scanned higher indices).
+    let mut active = vec![false; n];
+    // Next DRAM completion, valid after every dram.tick.
+    let mut dram_next: Option<u64> = None;
+
+    let mut now: u64;
+    let mut last_progress_cycle: u64 = 0;
+    let mut responses: Vec<Response> = Vec::new();
+    let mut in_occ: Vec<usize> = Vec::new();
+    let mut in_pushed: Vec<u64> = Vec::new();
+    let mut out_pushed: Vec<u64> = Vec::new();
+
+    loop {
+        // ---- pick the next cycle with any event ----
+        let next_unit_event = events.first().map(|&(t, _)| t);
+        let target = match (next_unit_event, dram_next) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        // The dense loop keeps ticking through event-free cycles, so it
+        // reaches the no-progress deadline (or the cycle limit) even when
+        // nothing is scheduled; reproduce both outcomes exactly.
+        let deadline = last_progress_cycle + cfg.deadlock_window + 1;
+        let target = target.unwrap_or(deadline);
+        if target > deadline {
+            return if deadline > cfg.max_cycles {
+                Err(SimError::Timeout { cycle: cfg.max_cycles + 1 })
+            } else {
+                Err(SimError::Deadlock {
+                    cycle: deadline,
+                    diagnostic: diagnose(units, streams) + &diagnose_streams(g, streams),
+                })
+            };
+        }
+        if target > cfg.max_cycles {
+            return Err(SimError::Timeout { cycle: cfg.max_cycles + 1 });
+        }
+        now = target;
+
+        // ---- collect this cycle's active set ----
+        let mut stepped_any = false;
+        while let Some(&(t, u)) = events.first() {
+            if t > now {
+                break;
+            }
+            events.pop_first();
+            active[u] = true;
+        }
+
+        // ---- step active units in index order ----
+        let mut progress: u64 = 0;
+        let mut i = 0;
+        while i < n {
+            if !active[i] {
+                i += 1;
+                continue;
+            }
+            active[i] = false;
+            stepped_any = true;
+
+            // Lazy delivery: packets whose arrival time has passed become
+            // visible exactly as the dense loop's global tick would make
+            // them (ticking does not affect capacity, so producers never
+            // need their output streams ticked).
+            for &s in &unit_inputs[i] {
+                streams[s].tick(now);
+            }
+            in_occ.clear();
+            in_pushed.clear();
+            out_pushed.clear();
+            for &s in &unit_inputs[i] {
+                in_occ.push(streams[s].occupancy());
+                in_pushed.push(streams[s].pushed);
+            }
+            for &s in &unit_outputs[i] {
+                out_pushed.push(streams[s].pushed);
+            }
+            let progress_before = progress;
+
+            step_unit(&mut units[i], now, streams, &mut progress, dram, image)?;
+
+            let mut changed = progress > progress_before;
+            // Pushes on output streams wake the consumer at delivery time.
+            for (k, &s) in unit_outputs[i].iter().enumerate() {
+                if streams[s].pushed > out_pushed[k] {
+                    changed = true;
+                    events.insert((now + lat_of[s], dst_of[s]));
+                }
+            }
+            // Pops on input streams free capacity for the producer. Pops
+            // are inferred from occupancy (marker skips bypass the popped
+            // counter but still free space).
+            for (k, &s) in unit_inputs[i].iter().enumerate() {
+                let pushes = (streams[s].pushed - in_pushed[k]) as usize;
+                let pops = (in_occ[k] + pushes).saturating_sub(streams[s].occupancy());
+                if pushes > 0 {
+                    // Self-loop push (defensive; VUDFGs are bipartite).
+                    changed = true;
+                    events.insert((now + lat_of[s], dst_of[s]));
+                }
+                if pops > 0 {
+                    changed = true;
+                    let src = src_of[s];
+                    if src > i {
+                        active[src] = true;
+                    } else {
+                        events.insert((now + 1, src));
+                    }
+                }
+            }
+            if let URt::Ag(a) = &units[i] {
+                // Queue-full retry: the post-step DRAM tick always drains
+                // the request queue, so the next cycle can issue.
+                if a.wants_issue() {
+                    events.insert((now + 1, i));
+                }
+                // The staleness flush is evaluated inside the step, so the
+                // unit must be stepped when the run's deadline passes.
+                if let Some(t) = a.flush_due() {
+                    events.insert((t.max(now + 1), i));
+                }
+            }
+            if changed {
+                events.insert((now + 1, i));
+            }
+            i += 1;
+        }
+
+        // ---- DRAM ----
+        // Requests are only pushed during unit steps and ticking schedules
+        // the whole queue, so ticking on step cycles plus completion
+        // cycles reproduces the dense loop's every-cycle tick exactly
+        // (idle ticks are no-ops).
+        if stepped_any || dram_next == Some(now) {
+            responses.clear();
+            dram.tick(now, &mut responses);
+            for r in &responses {
+                let ui = (r.id >> 32) as usize;
+                if let Some(URt::Ag(a)) = units.get_mut(ui) {
+                    a.complete(r.id);
+                    progress += 1;
+                    events.insert((now + 1, ui));
+                }
+            }
+            dram_next = dram.next_completion_time();
+        }
+        if progress > 0 {
+            last_progress_cycle = now;
+        }
+
+        // Completion and deadlock can only change state on processed
+        // cycles, so checking here matches the dense per-cycle check.
+        if finished(units, dram, streams, must_drain) {
+            return Ok(now);
+        }
+        if now - last_progress_cycle > cfg.deadlock_window {
+            let diagnostic = diagnose(units, streams) + &diagnose_streams(g, streams);
+            return Err(SimError::Deadlock { cycle: now, diagnostic });
+        }
+    }
 }
 
 fn diagnose_streams(g: &Vudfg, streams: &[StreamRt]) -> String {

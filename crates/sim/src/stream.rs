@@ -90,6 +90,11 @@ impl StreamRt {
         self.q.len() + self.arriving.len()
     }
 
+    /// Wire latency in cycles (always ≥ 1).
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
     /// Whether fully drained.
     pub fn is_empty(&self) -> bool {
         self.q.is_empty() && self.arriving.is_empty()

@@ -4,8 +4,7 @@ use crate::packet::Packet;
 use crate::stream::StreamRt;
 use ramulator_lite::{DramSim, Request};
 use sara_core::vudfg::{
-    AgDir, AgUnit, CBound, Level, NodeOp, OutPort, StreamId, SyncUnit, Vcu, Vmu, XbarColl,
-    XbarDist,
+    AgDir, AgUnit, CBound, Level, NodeOp, OutPort, StreamId, SyncUnit, Vcu, Vmu, XbarColl, XbarDist,
 };
 use sara_ir::{BinOp, Elem};
 use std::collections::{HashMap, VecDeque};
@@ -125,7 +124,9 @@ impl VcuRt {
                 if let Some(Level::Counter { lane_stride, .. }) = self.spec.levels.last() {
                     let mut n = 0usize;
                     let mut v = *idx;
-                    while n < w && ((*lane_stride > 0 && v < *max) || (*lane_stride < 0 && v > *max)) {
+                    while n < w
+                        && ((*lane_stride > 0 && v < *max) || (*lane_stride < 0 && v > *max))
+                    {
                         n += 1;
                         v += *lane_stride;
                     }
@@ -402,8 +403,7 @@ impl VcuRt {
                     match (&self.spec.levels[k], self.lvl[k]) {
                         (Level::Counter { step, .. }, LvlRt::Counter { idx, init, max }) => {
                             let nidx = idx + *step;
-                            let in_range =
-                                (*step > 0 && nidx < max) || (*step < 0 && nidx > max);
+                            let in_range = (*step > 0 && nidx < max) || (*step < 0 && nidx > max);
                             if in_range {
                                 self.lvl[k] = LvlRt::Counter { idx: nidx, init, max };
                                 self.resume = None;
@@ -465,8 +465,7 @@ impl VcuRt {
             }
         }
         // Enter pending levels outermost-first.
-        loop {
-            let Some(k) = self.lvl.iter().position(|l| *l == LvlRt::Idle) else { break };
+        while let Some(k) = self.lvl.iter().position(|l| *l == LvlRt::Idle) {
             // Only enter k if all outer levels are active.
             if !self.try_enter(ctx, k) {
                 return Ok(());
@@ -574,7 +573,9 @@ impl VcuRt {
                     vec![Elem::from_bool(v)]
                 }
                 NodeOp::Un(op) => vals[node.ins[0]].iter().map(|e| op.eval(*e)).collect(),
-                NodeOp::Bin(op) => zip2(&vals[node.ins[0]], &vals[node.ins[1]], |a, b| op.eval(a, b)),
+                NodeOp::Bin(op) => {
+                    zip2(&vals[node.ins[0]], &vals[node.ins[1]], |a, b| op.eval(a, b))
+                }
                 NodeOp::Mux => {
                     let (c, t, f) = (&vals[node.ins[0]], &vals[node.ins[1]], &vals[node.ins[2]]);
                     let w = c.len().max(t.len()).max(f.len());
@@ -737,7 +738,19 @@ impl VmuRt {
         let buffers = vec![spec.init.clone(); m];
         let wr = vec![0; spec.write_ports.len()];
         let rd = vec![0; spec.read_ports.len()];
-        VmuRt { spec, inputs, outputs, label, buffers, wr_epoch: wr, rd_epoch: rd, rr_w: 0, rr_r: 0, writes: 0, reads: 0 }
+        VmuRt {
+            spec,
+            inputs,
+            outputs,
+            label,
+            buffers,
+            wr_epoch: wr,
+            rd_epoch: rd,
+            rr_w: 0,
+            rr_r: 0,
+            writes: 0,
+            reads: 0,
+        }
     }
 
     /// Final contents of buffer 0 joined with the most recently written
@@ -985,7 +998,14 @@ pub struct CollRt {
 impl CollRt {
     pub fn new(spec: XbarColl, inputs: Vec<StreamId>, outputs: Vec<OutPort>) -> Self {
         let n = spec.bank_ins.len();
-        CollRt { spec, inputs, outputs, elems: vec![VecDeque::new(); n], markers: vec![0; n], assembled: 0 }
+        CollRt {
+            spec,
+            inputs,
+            outputs,
+            elems: vec![VecDeque::new(); n],
+            markers: vec![0; n],
+            assembled: 0,
+        }
     }
 
     fn drain_banks(&mut self, ctx: &mut Ctx<'_>) {
@@ -1153,6 +1173,17 @@ impl AgRt {
         self.jobs.is_empty() && self.run.is_none() && self.to_issue.is_empty()
     }
 
+    /// Whether flushed requests are still waiting for DRAM queue space.
+    pub fn wants_issue(&self) -> bool {
+        !self.to_issue.is_empty()
+    }
+
+    /// Cycle at which the open coalescing run goes stale and must be
+    /// flushed (the unit has to be stepped then for the flush to happen).
+    pub fn flush_due(&self) -> Option<u64> {
+        self.run.as_ref().map(|r| r.touched + RUN_STALE_CYCLES)
+    }
+
     fn flush_run(&mut self) {
         let Some(run) = self.run.take() else { return };
         let is_write = self.spec.dir == AgDir::Write;
@@ -1181,12 +1212,10 @@ impl AgRt {
             }
             Some(_) => {
                 self.flush_run();
-                self.run =
-                    Some(RunAcc { start: w, len: 1, jobs: vec![(seq, 1)], touched: now });
+                self.run = Some(RunAcc { start: w, len: 1, jobs: vec![(seq, 1)], touched: now });
             }
             None => {
-                self.run =
-                    Some(RunAcc { start: w, len: 1, jobs: vec![(seq, 1)], touched: now });
+                self.run = Some(RunAcc { start: w, len: 1, jobs: vec![(seq, 1)], touched: now });
             }
         }
     }
@@ -1274,7 +1303,9 @@ impl AgRt {
         let stale = self
             .run
             .as_ref()
-            .map(|r| r.len >= RUN_CAP_WORDS || ctx.now.saturating_sub(r.touched) >= RUN_STALE_CYCLES)
+            .map(|r| {
+                r.len >= RUN_CAP_WORDS || ctx.now.saturating_sub(r.touched) >= RUN_STALE_CYCLES
+            })
             .unwrap_or(false);
         if stale {
             self.flush_run();

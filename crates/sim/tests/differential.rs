@@ -38,15 +38,7 @@ fn check(p: &Program, chip: &ChipSpec, opts: &CompilerOptions) -> plasticine_sim
                 }
                 _ => e.bit_eq(*g),
             };
-            assert!(
-                ok,
-                "{}: {}[{}]: interp {:?} vs sim {:?}",
-                p.name,
-                m.name,
-                i,
-                e,
-                g
-            );
+            assert!(ok, "{}: {}[{}]: interp {:?} vs sim {:?}", p.name, m.name, i, e, g);
         }
     }
     outcome
@@ -270,7 +262,8 @@ fn unrolled_tile_rows() {
     let root = p.root();
     let rows = 4usize;
     let cols = 8usize;
-    let src = p.dram("src", &[rows * cols], DType::F64, MemInit::LinSpace { start: 0.0, step: 1.0 });
+    let src =
+        p.dram("src", &[rows * cols], DType::F64, MemInit::LinSpace { start: 0.0, step: 1.0 });
     let dst = p.dram("dst", &[rows * cols], DType::F64, MemInit::Zero);
     let tile = p.sram("tile", &[rows, cols], DType::F64);
     // writer: unrolled by 2 over rows
@@ -327,8 +320,7 @@ fn gather_dynamic_routing() {
     let n = 16usize;
     let mut p = Program::new("gather");
     let root = p.root();
-    let idx =
-        p.dram("idx", &[n], DType::I64, MemInit::RandomI { seed: 3, lo: 0, hi: n as i64 });
+    let idx = p.dram("idx", &[n], DType::I64, MemInit::RandomI { seed: 3, lo: 0, hi: n as i64 });
     let table = p.dram("table", &[n], DType::F64, MemInit::LinSpace { start: 0.0, step: 2.0 });
     let o = p.dram("o", &[n], DType::F64, MemInit::Zero);
     let stable = p.sram("stable", &[n], DType::F64);

@@ -2,11 +2,16 @@
 //! producer/consumer pipelines (random loop shapes, elementwise op chains,
 //! optional vectorization, optional reductions) are compiled, placed, and
 //! simulated; the fabric's DRAM image must match the sequential
-//! interpreter on every case.
+//! interpreter on every case, and the active-list scheduler must match
+//! the dense reference scheduler bit-for-bit.
+//!
+//! Cases are drawn from a seeded RNG (no proptest in the offline build):
+//! deterministic, reproducible by case index.
 
 use plasticine_arch::ChipSpec;
-use plasticine_sim::{simulate, SimConfig};
-use proptest::prelude::*;
+use plasticine_sim::{simulate, SimConfig, SimOutcome};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use sara_core::compile::{compile, CompilerOptions};
 use sara_ir::interp::Interp;
 use sara_ir::{BinOp, DType, Elem, LoopSpec, MemId, MemInit, Program, UnOp};
@@ -24,20 +29,17 @@ struct PipelineCfg {
     seed: u64,
 }
 
-fn cfg_strategy() -> impl Strategy<Value = PipelineCfg> {
-    (
-        2i64..5,
-        4i64..17,
-        1usize..4,
-        proptest::collection::vec(0u8..4, 3),
-        prop_oneof![Just(1u32), Just(4), Just(8)],
-        any::<bool>(),
-        any::<bool>(),
-        0u64..1000,
-    )
-        .prop_map(|(outer_trip, tile, stages, ops, inner_par, relax, reduce_tail, seed)| {
-            PipelineCfg { outer_trip, tile, stages, ops, inner_par, relax, reduce_tail, seed }
-        })
+fn sample_pipeline(rng: &mut SmallRng) -> PipelineCfg {
+    PipelineCfg {
+        outer_trip: rng.gen_range(2i64..5),
+        tile: rng.gen_range(4i64..17),
+        stages: rng.gen_range(1usize..4),
+        ops: (0..3).map(|_| rng.gen_range(0u8..4)).collect(),
+        inner_par: [1u32, 4, 8][rng.gen_range(0usize..3)],
+        relax: rng.gen_bool(0.5),
+        reduce_tail: rng.gen_bool(0.5),
+        seed: rng.gen_range(0u64..1000),
+    }
 }
 
 /// Build: load tile from DRAM → `stages` elementwise stages through
@@ -55,9 +57,7 @@ fn build(cfg: &PipelineCfg) -> (Program, MemId) {
     let la = p.add_loop(root, "A", LoopSpec::new(0, cfg.outer_trip, 1)).unwrap();
     // stage 0: load
     {
-        let l = p
-            .add_loop(la, "load", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par))
-            .unwrap();
+        let l = p.add_loop(la, "load", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par)).unwrap();
         let hb = p.add_leaf(l, "ld").unwrap();
         let ia = p.idx(hb, la).unwrap();
         let ij = p.idx(hb, l).unwrap();
@@ -94,9 +94,7 @@ fn build(cfg: &PipelineCfg) -> (Program, MemId) {
     }
     // tail: write back or reduce per outer iteration
     {
-        let l = p
-            .add_loop(la, "tail", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par))
-            .unwrap();
+        let l = p.add_loop(la, "tail", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par)).unwrap();
         let hb = p.add_leaf(l, "wb").unwrap();
         let ia = p.idx(hb, la).unwrap();
         let ij = p.idx(hb, l).unwrap();
@@ -115,26 +113,57 @@ fn build(cfg: &PipelineCfg) -> (Program, MemId) {
     (p, dst)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// Simulate under both schedulers, assert bit-identical outcomes, return
+/// the active-list outcome.
+fn simulate_both(
+    g: &sara_core::vudfg::Vudfg,
+    chip: &ChipSpec,
+    ctx: &dyn std::fmt::Debug,
+) -> SimOutcome {
+    let active = simulate(g, chip, &SimConfig::default()).unwrap();
+    let dense = simulate(g, chip, &SimConfig::dense()).unwrap();
+    assert_eq!(active.cycles, dense.cycles, "cycle divergence ({ctx:?})");
+    assert_eq!(active.stats.firings, dense.stats.firings, "firing divergence ({ctx:?})");
+    assert_eq!(
+        active.stats.unit_firings, dense.stats.unit_firings,
+        "per-unit firing divergence ({ctx:?})"
+    );
+    assert_eq!(active.stats.dram, dense.stats.dram, "dram stats divergence ({ctx:?})");
+    assert_eq!(active.dram_final, dense.dram_final, "dram image divergence ({ctx:?})");
+    active
+}
 
-    #[test]
-    fn random_pipelines_match_interpreter(cfg in cfg_strategy()) {
+fn check_against_interpreter(
+    p: &Program,
+    dst: MemId,
+    seed: u64,
+    relax: bool,
+    ctx: &dyn std::fmt::Debug,
+) {
+    p.validate().unwrap();
+    let reference = Interp::new(p).run().unwrap();
+    let mut opts = CompilerOptions::default();
+    opts.lower.cmmc.relax_credits = relax;
+    let chip = ChipSpec::small_8x8();
+    let mut compiled = compile(p, &chip, &opts).unwrap();
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, seed).unwrap();
+    let outcome = simulate_both(&compiled.vudfg, &chip, ctx);
+    let want = reference.mem_f64(dst);
+    let got = outcome.dram_f64(dst);
+    assert_eq!(want.len(), got.len(), "length mismatch ({ctx:?})");
+    for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!((a - b).abs() <= 1e-9 * scale, "dst[{i}]: {a} vs {b} ({ctx:?})");
+    }
+}
+
+#[test]
+fn random_pipelines_match_interpreter() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    for case in 0..24 {
+        let cfg = sample_pipeline(&mut rng);
         let (p, dst) = build(&cfg);
-        p.validate().unwrap();
-        let reference = Interp::new(&p).run().unwrap();
-        let mut opts = CompilerOptions::default();
-        opts.lower.cmmc.relax_credits = cfg.relax;
-        let chip = ChipSpec::small_8x8();
-        let mut compiled = compile(&p, &chip, &opts).unwrap();
-        sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, cfg.seed).unwrap();
-        let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap();
-        let want = reference.mem_f64(dst);
-        let got = outcome.dram_f64(dst);
-        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
-            let scale = a.abs().max(b.abs()).max(1.0);
-            prop_assert!((a - b).abs() <= 1e-9 * scale, "dst[{i}]: {a} vs {b} ({cfg:?})");
-        }
+        check_against_interpreter(&p, dst, cfg.seed, cfg.relax, &(case, &cfg));
     }
 }
 
@@ -151,15 +180,14 @@ struct BranchyCfg {
     seed: u64,
 }
 
-fn branchy_strategy() -> impl Strategy<Value = BranchyCfg> {
-    (2i64..7, 4i64..13, 2i64..4, prop_oneof![Just(1u32), Just(4)], 0u64..500)
-        .prop_map(|(outer, tile, modulus, inner_par, seed)| BranchyCfg {
-            outer,
-            tile,
-            modulus,
-            inner_par,
-            seed,
-        })
+fn sample_branchy(rng: &mut SmallRng) -> BranchyCfg {
+    BranchyCfg {
+        outer: rng.gen_range(2i64..7),
+        tile: rng.gen_range(4i64..13),
+        modulus: rng.gen_range(2i64..4),
+        inner_par: [1u32, 4][rng.gen_range(0usize..2)],
+        seed: rng.gen_range(0u64..500),
+    }
 }
 
 fn build_branchy(cfg: &BranchyCfg) -> (Program, MemId) {
@@ -185,9 +213,7 @@ fn build_branchy(cfg: &BranchyCfg) -> (Program, MemId) {
     p.store(hh, cond, &[z], c).unwrap();
     let br = p.add_branch(la, "br", cond).unwrap();
     // then: refill buf from src
-    let lt = p
-        .add_loop(br, "fill", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par))
-        .unwrap();
+    let lt = p.add_loop(br, "fill", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par)).unwrap();
     let ht = p.add_leaf(lt, "f").unwrap();
     let ia = p.idx(ht, la).unwrap();
     let j = p.idx(ht, lt).unwrap();
@@ -197,9 +223,7 @@ fn build_branchy(cfg: &BranchyCfg) -> (Program, MemId) {
     let v = p.load(ht, src, &[a0]).unwrap();
     p.store(ht, buf, &[j], v).unwrap();
     // else: reduce buf into dst[i]
-    let le = p
-        .add_loop(br, "sum", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par))
-        .unwrap();
+    let le = p.add_loop(br, "sum", LoopSpec::new(0, cfg.tile, 1).par(cfg.inner_par)).unwrap();
     let he = p.add_leaf(le, "s").unwrap();
     let k = p.idx(he, le).unwrap();
     let x = p.load(he, buf, &[k]).unwrap();
@@ -210,23 +234,12 @@ fn build_branchy(cfg: &BranchyCfg) -> (Program, MemId) {
     (p, dst)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_branchy_programs_match_interpreter(cfg in branchy_strategy()) {
+#[test]
+fn random_branchy_programs_match_interpreter() {
+    let mut rng = SmallRng::seed_from_u64(0xB4A2);
+    for case in 0..16 {
+        let cfg = sample_branchy(&mut rng);
         let (p, dst) = build_branchy(&cfg);
-        p.validate().unwrap();
-        let reference = Interp::new(&p).run().unwrap();
-        let chip = ChipSpec::small_8x8();
-        let mut compiled = compile(&p, &chip, &CompilerOptions::default()).unwrap();
-        sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, cfg.seed).unwrap();
-        let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap();
-        let want = reference.mem_f64(dst);
-        let got = outcome.dram_f64(dst);
-        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
-            let scale = a.abs().max(b.abs()).max(1.0);
-            prop_assert!((a - b).abs() <= 1e-9 * scale, "dst[{i}]: {a} vs {b} ({cfg:?})");
-        }
+        check_against_interpreter(&p, dst, cfg.seed, false, &(case, &cfg));
     }
 }

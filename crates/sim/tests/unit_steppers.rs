@@ -47,8 +47,14 @@ fn producer_counter_writes_sequence() {
             vec![counter(0, n, 1, 1)],
             vec![
                 DfgNode { op: NodeOp::CounterIdx { level: 0 }, ins: vec![] },
-                DfgNode { op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false }, ins: vec![0] },
-                DfgNode { op: NodeOp::StreamOut { port: 1, pred: false, empty_pred: false }, ins: vec![0] },
+                DfgNode {
+                    op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false },
+                    ins: vec![0],
+                },
+                DfgNode {
+                    op: NodeOp::StreamOut { port: 1, pred: false, empty_pred: false },
+                    ins: vec![0],
+                },
             ],
         )),
     );
@@ -76,7 +82,12 @@ fn producer_counter_writes_sequence() {
     );
     g.unit_mut(ag).outputs.push(sara_core::vudfg::OutPort { streams: vec![] });
     let (_, _in) = g.connect_bcast(ag, 0, sink, StreamKind::Scalar, 8, "ack");
-    g.drams.push(DramTensor { mem: MemId(0), base: 0, words: n as usize, init: vec![Elem::F64(0.0); n as usize] });
+    g.drams.push(DramTensor {
+        mem: MemId(0),
+        base: 0,
+        words: n as usize,
+        init: vec![Elem::F64(0.0); n as usize],
+    });
 
     let out = simulate(&g, &ChipSpec::tiny_4x4(), &SimConfig::default()).unwrap();
     assert_eq!(out.dram_i64(MemId(0)), (0..n).collect::<Vec<_>>());
@@ -116,8 +127,12 @@ fn deadlock_detected_and_diagnosed() {
     // a producer that never pushes (no rules)
     let p = g.add_unit("silent", UnitKind::Vcu(vcu(vec![], vec![])));
     g.connect(p, c, StreamKind::Token { init: 0 }, 8, "tok");
-    let err = simulate(&g, &ChipSpec::tiny_4x4(), &SimConfig { max_cycles: 100_000, deadlock_window: 500 })
-        .unwrap_err();
+    let err = simulate(
+        &g,
+        &ChipSpec::tiny_4x4(),
+        &SimConfig { max_cycles: 100_000, deadlock_window: 500, dense: false },
+    )
+    .unwrap_err();
     match err {
         SimError::Deadlock { diagnostic, .. } => {
             assert!(diagnostic.contains("starved"), "{diagnostic}");
@@ -161,7 +176,10 @@ fn vmu_multibuffer_epochs() {
         vec![counter(0, epochs, 1, 1), counter(0, tile, 1, 2)],
         vec![
             DfgNode { op: NodeOp::CounterIdx { level: 1 }, ins: vec![] },
-            DfgNode { op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false }, ins: vec![0] },
+            DfgNode {
+                op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false },
+                ins: vec![0],
+            },
         ],
     );
     wreq.epoch_emit = Some(1); // inner-level completion = one epoch
@@ -175,7 +193,10 @@ fn vmu_multibuffer_epochs() {
             DfgNode { op: NodeOp::Bin(BinOp::Mul), ins: vec![0, 1] },
             DfgNode { op: NodeOp::CounterIdx { level: 1 }, ins: vec![] },
             DfgNode { op: NodeOp::Bin(BinOp::Add), ins: vec![2, 3] },
-            DfgNode { op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false }, ins: vec![4] },
+            DfgNode {
+                op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false },
+                ins: vec![4],
+            },
         ],
     );
     let wd = g.add_unit("wdata", UnitKind::Vcu(wdata));
@@ -185,7 +206,10 @@ fn vmu_multibuffer_epochs() {
         vec![counter(0, epochs, 1, 1), counter(0, tile, 1, 2)],
         vec![
             DfgNode { op: NodeOp::CounterIdx { level: 1 }, ins: vec![] },
-            DfgNode { op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false }, ins: vec![0] },
+            DfgNode {
+                op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false },
+                ins: vec![0],
+            },
         ],
     );
     rreq.epoch_emit = Some(1);
@@ -238,7 +262,11 @@ fn vmu_multibuffer_epochs() {
     g.unit_mut(vmu).outputs.push(sara_core::vudfg::OutPort { streams: vec![] });
     let rdata_port = g.unit(vmu).outputs.len() - 1;
     if let UnitKind::Vmu(v) = &mut g.unit_mut(vmu).kind {
-        v.write_ports.push(VmuWritePort { addr_in: waddr_in, data_in: wdata_in, ack_out: Some(ack_port) });
+        v.write_ports.push(VmuWritePort {
+            addr_in: waddr_in,
+            data_in: wdata_in,
+            ack_out: Some(ack_port),
+        });
         v.read_ports.push(VmuReadPort { addr_in: raddr_in, data_out: rdata_port });
     }
     // observer: writes read data to DRAM at outer*tile+inner
@@ -250,7 +278,10 @@ fn vmu_multibuffer_epochs() {
             DfgNode { op: NodeOp::Bin(BinOp::Mul), ins: vec![0, 1] },
             DfgNode { op: NodeOp::CounterIdx { level: 1 }, ins: vec![] },
             DfgNode { op: NodeOp::Bin(BinOp::Add), ins: vec![2, 3] },
-            DfgNode { op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false }, ins: vec![4] },
+            DfgNode {
+                op: NodeOp::StreamOut { port: 0, pred: false, empty_pred: false },
+                ins: vec![4],
+            },
         ],
     );
     let oa = g.add_unit("oaddr", UnitKind::Vcu(obs_addr));
@@ -273,7 +304,12 @@ fn vmu_multibuffer_epochs() {
     }
     g.unit_mut(ag).outputs.push(sara_core::vudfg::OutPort { streams: vec![] });
     let total = (epochs * tile) as usize;
-    g.drams.push(DramTensor { mem: MemId(0), base: 0, words: total, init: vec![Elem::I64(0); total] });
+    g.drams.push(DramTensor {
+        mem: MemId(0),
+        base: 0,
+        words: total,
+        init: vec![Elem::I64(0); total],
+    });
 
     let out = simulate(&g, &ChipSpec::tiny_4x4(), &SimConfig::default()).unwrap();
     let want: Vec<i64> = (0..epochs).flat_map(|e| (0..tile).map(move |i| e * 10 + i)).collect();

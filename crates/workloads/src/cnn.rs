@@ -35,12 +35,7 @@ pub fn snet(p: &SnetParams) -> Program {
     let mut g = Program::new("snet");
     let root = g.root();
     let input = g.dram("input", &[p.c_in * img * img], DType::F64, MemInit::RandomF { seed: 101 });
-    let w = g.dram(
-        "w",
-        &[p.c_out * p.c_in * 9],
-        DType::F64,
-        MemInit::RandomF { seed: 102 },
-    );
+    let w = g.dram("w", &[p.c_out * p.c_in * 9], DType::F64, MemInit::RandomF { seed: 102 });
     let pooled = g.dram("pooled", &[p.c_out * ph * ph], DType::F64, MemInit::Zero);
     let in_s = g.sram("in_s", &[p.c_in * img * img], DType::F64);
     let conv_s = g.sram("conv_s", &[p.c_out * oh * oh], DType::F64);

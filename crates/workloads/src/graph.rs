@@ -106,7 +106,11 @@ pub fn pr(p: &PrParams) -> Program {
     g.store(hb0, rank_new, &[vb], base).unwrap();
     // edge gather with dynamic bounds
     let le = g
-        .add_loop(lv, "e", LoopSpec { min: Bound::Reg(lo_r), max: Bound::Reg(hi_r), step: 1, par: 1 })
+        .add_loop(
+            lv,
+            "e",
+            LoopSpec { min: Bound::Reg(lo_r), max: Bound::Reg(hi_r), step: 1, par: 1 },
+        )
         .unwrap();
     let hb1 = g.add_leaf(le, "gather").unwrap();
     let ei = g.idx(hb1, le).unwrap();
@@ -159,9 +163,8 @@ impl Default for RfParams {
 pub fn rf(p: &RfParams) -> Program {
     let mut rng = SmallRng::seed_from_u64(p.seed);
     let nodes = (1usize << (p.depth + 1)) - 1;
-    let feat: Vec<Elem> = (0..p.trees * nodes)
-        .map(|_| Elem::I64(rng.gen_range(0..p.d) as i64))
-        .collect();
+    let feat: Vec<Elem> =
+        (0..p.trees * nodes).map(|_| Elem::I64(rng.gen_range(0..p.d) as i64)).collect();
     let thr: Vec<Elem> = (0..p.trees * nodes).map(|_| Elem::F64(rng.gen::<f64>())).collect();
     let leaf: Vec<Elem> = (0..p.trees * nodes).map(|_| Elem::F64(rng.gen::<f64>())).collect();
 

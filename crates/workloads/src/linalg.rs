@@ -179,16 +179,20 @@ pub fn mlp(p: &MlpParams) -> Program {
 
     // layer helper: dst[i] = relu(Σ_j w[i*cols+j] * src[j]) (relu opt)
     let layer = |g: &mut Program,
-                     name: &str,
-                     w: sara_ir::MemId,
-                     src: sara_ir::MemId,
-                     dst: sara_ir::MemId,
-                     rows: usize,
-                     cols: usize,
-                     relu: bool,
-                     dst_is_dram: bool| {
+                 name: &str,
+                 w: sara_ir::MemId,
+                 src: sara_ir::MemId,
+                 dst: sara_ir::MemId,
+                 rows: usize,
+                 cols: usize,
+                 relu: bool,
+                 dst_is_dram: bool| {
         let li = g
-            .add_loop(root, &format!("{name}_i"), LoopSpec::new(0, rows as i64, 1).par(p.par_neuron))
+            .add_loop(
+                root,
+                &format!("{name}_i"),
+                LoopSpec::new(0, rows as i64, 1).par(p.par_neuron),
+            )
             .unwrap();
         let lj = g
             .add_loop(li, &format!("{name}_j"), LoopSpec::new(0, cols as i64, 1).par(p.par_inner))

@@ -300,12 +300,15 @@ pub fn lstm(p: &LstmParams) -> Program {
     let w: Vec<_> = gates
         .iter()
         .zip(seeds)
-        .map(|(n, s)| g.dram(&format!("w_{n}"), &[h * 2 * h], DType::F64, MemInit::RandomF { seed: s }))
+        .map(|(n, s)| {
+            g.dram(&format!("w_{n}"), &[h * 2 * h], DType::F64, MemInit::RandomF { seed: s })
+        })
         .collect();
     let hout = g.dram("hout", &[h], DType::F64, MemInit::Zero);
     let h_s = g.sram("h_s", &[h], DType::F64);
     let c_s = g.sram("c_s", &[h], DType::F64);
-    let gate_s: Vec<_> = gates.iter().map(|n| g.sram(&format!("{n}_s"), &[h], DType::F64)).collect();
+    let gate_s: Vec<_> =
+        gates.iter().map(|n| g.sram(&format!("{n}_s"), &[h], DType::F64)).collect();
 
     let lt = g.add_loop(root, "t", LoopSpec::new(0, p.t as i64, 1)).unwrap();
     for (gi, (gname, gmem)) in gates.iter().zip(&w).enumerate() {

@@ -131,8 +131,22 @@ mod tests {
     fn registry_has_all_paper_kernels() {
         let names: Vec<&str> = all_small().iter().map(|w| w.name).collect();
         for n in [
-            "dotprod", "outerprod", "gemm", "mlp", "lstm", "snet", "logreg", "sgd", "kmeans",
-            "gda", "tpchq6", "bs", "sort", "ms", "pr", "rf",
+            "dotprod",
+            "outerprod",
+            "gemm",
+            "mlp",
+            "lstm",
+            "snet",
+            "logreg",
+            "sgd",
+            "kmeans",
+            "gda",
+            "tpchq6",
+            "bs",
+            "sort",
+            "ms",
+            "pr",
+            "rf",
         ] {
             assert!(names.contains(&n), "{n} missing");
         }
@@ -142,9 +156,7 @@ mod tests {
     fn every_workload_validates_and_interprets() {
         for w in all_small() {
             w.program.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            Interp::new(&w.program)
-                .run()
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            Interp::new(&w.program).run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 

@@ -229,7 +229,7 @@ mod tests {
         let mut want = 0.0;
         for i in 0..64 {
             let d = disc[i].as_f64();
-            if d >= 0.3 && d <= 0.7 && qty[i].as_i64() < 24 {
+            if (0.3..=0.7).contains(&d) && qty[i].as_i64() < 24 {
                 want += price[i].as_f64() * d;
             }
         }

@@ -33,12 +33,7 @@ fn check(p: &Program, chip: &ChipSpec, opts: &CompilerOptions) -> u64 {
                 }
                 _ => e.bit_eq(*g),
             };
-            assert!(
-                ok,
-                "{}: {}[{i}]: interp {e:?} vs sim {g:?}",
-                p.name,
-                m.name
-            );
+            assert!(ok, "{}: {}[{i}]: interp {e:?} vs sim {g:?}", p.name, m.name);
         }
     }
     outcome.cycles

@@ -1,0 +1,15 @@
+fn main() {
+    let chip = plasticine_arch::ChipSpec::small_8x8();
+    for name in ["gemm", "dotprod", "mlp", "bs", "kmeans", "lstm"] {
+        let w = sara_workloads::by_name(name).unwrap();
+        let c = sara_core::compile::compile(&w.program, &chip, &sara_core::compile::CompilerOptions::default()).unwrap();
+        let mut tok = 0; let mut init_pos = 0;
+        for s in &c.vudfg.streams {
+            if let sara_core::vudfg::StreamKind::Token { init } = s.kind {
+                tok += 1;
+                if init > 0 { init_pos += 1; }
+            }
+        }
+        println!("{name}: {tok} token streams, {init_pos} with init>0");
+    }
+}

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let br = p.add_branch(la, "C", cond)?;
     // then-arm: fill mem[j] = i + j for a data-dependent number of elements
-    let ld = p.add_loop(br, "D", LoopSpec { min: Bound::Const(0), max: Bound::Reg(len_r), step: 1, par: 1 })?;
+    let ld = p.add_loop(
+        br,
+        "D",
+        LoopSpec { min: Bound::Const(0), max: Bound::Reg(len_r), step: 1, par: 1 },
+    )?;
     let hd = p.add_leaf(ld, "fill")?;
     let ia = p.idx(hd, la)?;
     let j = p.idx(hd, ld)?;
@@ -65,12 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 3)?;
     let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default())?;
     println!("cycles: {}", outcome.cycles);
-    for (i, (a, b)) in reference
-        .mem_f64(out)
-        .iter()
-        .zip(outcome.dram_f64(out))
-        .enumerate()
-    {
+    for (i, (a, b)) in reference.mem_f64(out).iter().zip(outcome.dram_f64(out)).enumerate() {
         println!("out[{i}] = {b:8.1} (interp {a:8.1})");
         assert!((a - b).abs() < 1e-9);
     }

@@ -21,9 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (par_m, par_k) in [(1u32, 1u32), (1, 16), (2, 16), (4, 16), (8, 16)] {
         for algo in [Algo::Traversal(TraversalOrder::BfsFwd), Algo::BestTraversal] {
             let p = gemm(&GemmParams { m: 16, n: 16, k: 64, par_m, par_k });
-            let mut opts = CompilerOptions::default();
-            opts.partition_algo = algo;
-            opts.merge_algo = algo;
+            let opts = CompilerOptions {
+                partition_algo: algo,
+                merge_algo: algo,
+                ..CompilerOptions::default()
+            };
             let mut compiled = compile(&p, &chip, &opts)?;
             sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 9)?;
             let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default())?;

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for the workspace to compile without
+//! crates.io access: `Serialize`/`Deserialize` marker traits (blanket
+//! implemented for every type) and the matching no-op derive macros from
+//! `shims/serde_derive`. No serialization actually happens through this
+//! crate — JSON output goes through `sara_bench::json`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

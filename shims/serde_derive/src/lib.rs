@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! derive macros are unavailable. Nothing in this workspace actually
+//! serializes through serde's data model (the bench harness writes JSON
+//! through its own `sara_bench::json` module), so the derives only need
+//! to *parse* — they expand to nothing. The matching marker traits live
+//! in `shims/serde`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

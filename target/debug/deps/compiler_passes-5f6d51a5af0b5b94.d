@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compiler_passes-5f6d51a5af0b5b94.d: crates/bench/benches/compiler_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompiler_passes-5f6d51a5af0b5b94.rmeta: crates/bench/benches/compiler_passes.rs Cargo.toml
+
+crates/bench/benches/compiler_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

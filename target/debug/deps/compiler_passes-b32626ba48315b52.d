@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compiler_passes-b32626ba48315b52.d: crates/bench/benches/compiler_passes.rs
+
+/root/repo/target/debug/deps/libcompiler_passes-b32626ba48315b52.rmeta: crates/bench/benches/compiler_passes.rs
+
+crates/bench/benches/compiler_passes.rs:

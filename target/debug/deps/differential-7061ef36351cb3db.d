@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-7061ef36351cb3db.d: crates/sim/tests/differential.rs
+
+/root/repo/target/debug/deps/libdifferential-7061ef36351cb3db.rmeta: crates/sim/tests/differential.rs
+
+crates/sim/tests/differential.rs:

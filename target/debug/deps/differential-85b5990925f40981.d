@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-85b5990925f40981.d: crates/sim/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-85b5990925f40981.rmeta: crates/sim/tests/differential.rs Cargo.toml
+
+crates/sim/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-fce5dcb291760c39.d: crates/sim/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-fce5dcb291760c39: crates/sim/tests/differential.rs
+
+crates/sim/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-1574d3f518e60272.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-1574d3f518e60272: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-8b56f2836dd80fcd.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-8b56f2836dd80fcd: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

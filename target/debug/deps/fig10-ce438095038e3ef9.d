@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-ce438095038e3ef9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-ce438095038e3ef9.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-eb1179b72d7fe883.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-eb1179b72d7fe883.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-03307a7f4bbc34cd.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-03307a7f4bbc34cd: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

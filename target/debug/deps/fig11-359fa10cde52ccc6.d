@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-359fa10cde52ccc6.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-359fa10cde52ccc6.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

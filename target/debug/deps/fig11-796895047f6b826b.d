@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-796895047f6b826b.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-796895047f6b826b: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

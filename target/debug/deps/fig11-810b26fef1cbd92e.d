@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-810b26fef1cbd92e.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-810b26fef1cbd92e.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-3aee321955aa12e2.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/fig9a-3aee321955aa12e2: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

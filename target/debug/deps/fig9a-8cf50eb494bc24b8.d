@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-8cf50eb494bc24b8.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/libfig9a-8cf50eb494bc24b8.rmeta: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-b9b1a27a69050eaf.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/libfig9a-b9b1a27a69050eaf.rmeta: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-d379fb00f2c8aa76.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/fig9a-d379fb00f2c8aa76: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-3eeaab32329d25a1.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/fig9b-3eeaab32329d25a1: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

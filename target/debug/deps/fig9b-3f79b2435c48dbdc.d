@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-3f79b2435c48dbdc.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/libfig9b-3f79b2435c48dbdc.rmeta: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

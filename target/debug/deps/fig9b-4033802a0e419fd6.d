@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-4033802a0e419fd6.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/libfig9b-4033802a0e419fd6.rmeta: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

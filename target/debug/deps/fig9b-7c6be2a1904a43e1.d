@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-7c6be2a1904a43e1.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/fig9b-7c6be2a1904a43e1: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9b-fabd9ecede8eccd9.d: crates/bench/src/bin/fig9b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b-fabd9ecede8eccd9.rmeta: crates/bench/src/bin/fig9b.rs Cargo.toml
+
+crates/bench/src/bin/fig9b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-027ea19e6df3f7d0.d: crates/workloads/tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-027ea19e6df3f7d0: crates/workloads/tests/full_pipeline.rs
+
+crates/workloads/tests/full_pipeline.rs:

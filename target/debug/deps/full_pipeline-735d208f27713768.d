@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-735d208f27713768.d: crates/workloads/tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/libfull_pipeline-735d208f27713768.rmeta: crates/workloads/tests/full_pipeline.rs
+
+crates/workloads/tests/full_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-82b7438cc0bd6e27.d: crates/workloads/tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-82b7438cc0bd6e27.rmeta: crates/workloads/tests/full_pipeline.rs Cargo.toml
+
+crates/workloads/tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasticine_arch-05fdec9818481554.d: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+/root/repo/target/debug/deps/libplasticine_arch-05fdec9818481554.rlib: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+/root/repo/target/debug/deps/libplasticine_arch-05fdec9818481554.rmeta: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/chip.rs:
+crates/arch/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plasticine_arch-975bf8770d3892f7.d: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasticine_arch-975bf8770d3892f7.rmeta: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/chip.rs:
+crates/arch/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plasticine_arch-b6d44d2d14b099f3.d: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+/root/repo/target/debug/deps/libplasticine_arch-b6d44d2d14b099f3.rmeta: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/chip.rs:
+crates/arch/src/units.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/plasticine_arch-cc0baf36a7bda613.d: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+/root/repo/target/debug/deps/plasticine_arch-cc0baf36a7bda613: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/chip.rs:
+crates/arch/src/units.rs:

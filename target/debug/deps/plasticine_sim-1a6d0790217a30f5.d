@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasticine_sim-1a6d0790217a30f5.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/libplasticine_sim-1a6d0790217a30f5.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/stream.rs:
+crates/sim/src/units.rs:

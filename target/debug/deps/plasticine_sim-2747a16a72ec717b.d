@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/plasticine_sim-2747a16a72ec717b.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplasticine_sim-2747a16a72ec717b.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/stream.rs:
+crates/sim/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

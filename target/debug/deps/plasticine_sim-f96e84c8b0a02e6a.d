@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/plasticine_sim-f96e84c8b0a02e6a.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/libplasticine_sim-f96e84c8b0a02e6a.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/libplasticine_sim-f96e84c8b0a02e6a.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/stream.rs:
+crates/sim/src/units.rs:

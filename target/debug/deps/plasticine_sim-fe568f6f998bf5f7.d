@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plasticine_sim-fe568f6f998bf5f7.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+/root/repo/target/debug/deps/plasticine_sim-fe568f6f998bf5f7: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/stream.rs:
+crates/sim/src/units.rs:

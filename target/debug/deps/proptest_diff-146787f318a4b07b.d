@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_diff-146787f318a4b07b.d: crates/sim/tests/proptest_diff.rs
+
+/root/repo/target/debug/deps/proptest_diff-146787f318a4b07b: crates/sim/tests/proptest_diff.rs
+
+crates/sim/tests/proptest_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_diff-4234a915f869f135.d: crates/sim/tests/proptest_diff.rs
+
+/root/repo/target/debug/deps/libproptest_diff-4234a915f869f135.rmeta: crates/sim/tests/proptest_diff.rs
+
+crates/sim/tests/proptest_diff.rs:

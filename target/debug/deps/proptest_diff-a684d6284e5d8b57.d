@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_diff-a684d6284e5d8b57.d: crates/sim/tests/proptest_diff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_diff-a684d6284e5d8b57.rmeta: crates/sim/tests/proptest_diff.rs Cargo.toml
+
+crates/sim/tests/proptest_diff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

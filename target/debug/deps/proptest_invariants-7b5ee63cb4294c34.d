@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-7b5ee63cb4294c34.d: crates/core/tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-7b5ee63cb4294c34.rmeta: crates/core/tests/proptest_invariants.rs Cargo.toml
+
+crates/core/tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-86e460e2c05d75ae.d: crates/core/tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/libproptest_invariants-86e460e2c05d75ae.rmeta: crates/core/tests/proptest_invariants.rs
+
+crates/core/tests/proptest_invariants.rs:

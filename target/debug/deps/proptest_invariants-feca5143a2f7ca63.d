@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-feca5143a2f7ca63.d: crates/core/tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-feca5143a2f7ca63: crates/core/tests/proptest_invariants.rs
+
+crates/core/tests/proptest_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ramulator_lite-6509d11ff351b526.d: crates/dram/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libramulator_lite-6509d11ff351b526.rmeta: crates/dram/src/lib.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ramulator_lite-965d1e883ae843ff.d: crates/dram/src/lib.rs
+
+/root/repo/target/debug/deps/libramulator_lite-965d1e883ae843ff.rmeta: crates/dram/src/lib.rs
+
+crates/dram/src/lib.rs:

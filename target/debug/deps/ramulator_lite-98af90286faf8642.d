@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ramulator_lite-98af90286faf8642.d: crates/dram/src/lib.rs
+
+/root/repo/target/debug/deps/libramulator_lite-98af90286faf8642.rmeta: crates/dram/src/lib.rs
+
+crates/dram/src/lib.rs:

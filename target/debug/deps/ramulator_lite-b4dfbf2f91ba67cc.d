@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ramulator_lite-b4dfbf2f91ba67cc.d: crates/dram/src/lib.rs
+
+/root/repo/target/debug/deps/libramulator_lite-b4dfbf2f91ba67cc.rlib: crates/dram/src/lib.rs
+
+/root/repo/target/debug/deps/libramulator_lite-b4dfbf2f91ba67cc.rmeta: crates/dram/src/lib.rs
+
+crates/dram/src/lib.rs:

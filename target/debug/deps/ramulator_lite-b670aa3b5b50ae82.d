@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ramulator_lite-b670aa3b5b50ae82.d: crates/dram/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libramulator_lite-b670aa3b5b50ae82.rmeta: crates/dram/src/lib.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ramulator_lite-bde59413049e97ea.d: crates/dram/src/lib.rs
+
+/root/repo/target/debug/deps/ramulator_lite-bde59413049e97ea: crates/dram/src/lib.rs
+
+crates/dram/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6581d05abfd6a7a2.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6581d05abfd6a7a2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

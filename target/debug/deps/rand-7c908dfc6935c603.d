@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7c908dfc6935c603.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-7c908dfc6935c603: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c9bf0fba58284e12.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c9bf0fba58284e12.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e542fee59d8a43b7.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e542fee59d8a43b7.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e542fee59d8a43b7.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

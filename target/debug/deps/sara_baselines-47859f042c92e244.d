@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sara_baselines-47859f042c92e244.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/debug/deps/libsara_baselines-47859f042c92e244.rlib: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/debug/deps/libsara_baselines-47859f042c92e244.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pc.rs:

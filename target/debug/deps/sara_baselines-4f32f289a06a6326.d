@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sara_baselines-4f32f289a06a6326.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/debug/deps/libsara_baselines-4f32f289a06a6326.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pc.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sara_baselines-6522cacd4b68a35e.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/debug/deps/libsara_baselines-6522cacd4b68a35e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sara_baselines-a877a9ee062552ac.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsara_baselines-a877a9ee062552ac.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

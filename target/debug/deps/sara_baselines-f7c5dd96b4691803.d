@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sara_baselines-f7c5dd96b4691803.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/debug/deps/sara_baselines-f7c5dd96b4691803: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sara_bench-3d968c79f6a30775.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/sara_bench-3d968c79f6a30775: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

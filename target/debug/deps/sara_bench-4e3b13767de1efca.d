@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sara_bench-4e3b13767de1efca.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsara_bench-4e3b13767de1efca.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

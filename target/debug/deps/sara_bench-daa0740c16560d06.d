@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sara_bench-daa0740c16560d06.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libsara_bench-daa0740c16560d06.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

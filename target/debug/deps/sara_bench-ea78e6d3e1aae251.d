@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sara_bench-ea78e6d3e1aae251.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libsara_bench-ea78e6d3e1aae251.rlib: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libsara_bench-ea78e6d3e1aae251.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

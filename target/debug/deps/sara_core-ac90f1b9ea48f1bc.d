@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/sara_core-ac90f1b9ea48f1bc.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/cmmc.rs crates/core/src/compile.rs crates/core/src/depgraph.rs crates/core/src/error.rs crates/core/src/lower.rs crates/core/src/mempart.rs crates/core/src/merge.rs crates/core/src/opt.rs crates/core/src/opt_ir.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/vudfg.rs crates/core/src/vudfg_validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsara_core-ac90f1b9ea48f1bc.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/cmmc.rs crates/core/src/compile.rs crates/core/src/depgraph.rs crates/core/src/error.rs crates/core/src/lower.rs crates/core/src/mempart.rs crates/core/src/merge.rs crates/core/src/opt.rs crates/core/src/opt_ir.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/vudfg.rs crates/core/src/vudfg_validate.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/cmmc.rs:
+crates/core/src/compile.rs:
+crates/core/src/depgraph.rs:
+crates/core/src/error.rs:
+crates/core/src/lower.rs:
+crates/core/src/mempart.rs:
+crates/core/src/merge.rs:
+crates/core/src/opt.rs:
+crates/core/src/opt_ir.rs:
+crates/core/src/partition.rs:
+crates/core/src/report.rs:
+crates/core/src/vudfg.rs:
+crates/core/src/vudfg_validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sara_ir-96857be61dbd01ea.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/debug/deps/libsara_ir-96857be61dbd01ea.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/debug/deps/libsara_ir-96857be61dbd01ea.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/error.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/mem.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/sara_ir-b93024059ad3fa37.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsara_ir-b93024059ad3fa37.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/error.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/mem.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

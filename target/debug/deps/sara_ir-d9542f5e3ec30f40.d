@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sara_ir-d9542f5e3ec30f40.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/debug/deps/libsara_ir-d9542f5e3ec30f40.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/error.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/mem.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:

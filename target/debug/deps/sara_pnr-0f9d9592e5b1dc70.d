@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sara_pnr-0f9d9592e5b1dc70.d: crates/pnr/src/lib.rs
+
+/root/repo/target/debug/deps/sara_pnr-0f9d9592e5b1dc70: crates/pnr/src/lib.rs
+
+crates/pnr/src/lib.rs:

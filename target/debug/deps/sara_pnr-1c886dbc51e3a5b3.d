@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sara_pnr-1c886dbc51e3a5b3.d: crates/pnr/src/lib.rs
+
+/root/repo/target/debug/deps/libsara_pnr-1c886dbc51e3a5b3.rmeta: crates/pnr/src/lib.rs
+
+crates/pnr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sara_pnr-47e789ccffcf6da2.d: crates/pnr/src/lib.rs
+
+/root/repo/target/debug/deps/libsara_pnr-47e789ccffcf6da2.rlib: crates/pnr/src/lib.rs
+
+/root/repo/target/debug/deps/libsara_pnr-47e789ccffcf6da2.rmeta: crates/pnr/src/lib.rs
+
+crates/pnr/src/lib.rs:

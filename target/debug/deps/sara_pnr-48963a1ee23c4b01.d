@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sara_pnr-48963a1ee23c4b01.d: crates/pnr/src/lib.rs
+
+/root/repo/target/debug/deps/libsara_pnr-48963a1ee23c4b01.rmeta: crates/pnr/src/lib.rs
+
+crates/pnr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sara_pnr-abab5cfd8dbc7cc4.d: crates/pnr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsara_pnr-abab5cfd8dbc7cc4.rmeta: crates/pnr/src/lib.rs Cargo.toml
+
+crates/pnr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

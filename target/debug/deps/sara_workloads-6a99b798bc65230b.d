@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sara_workloads-6a99b798bc65230b.d: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsara_workloads-6a99b798bc65230b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cnn.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/streamk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sara_workloads-d5b4d315ce686d75.d: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs
+
+/root/repo/target/debug/deps/sara_workloads-d5b4d315ce686d75: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cnn.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/streamk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sarac-2ecd7c04fd5588df.d: crates/bench/src/bin/sarac.rs
+
+/root/repo/target/debug/deps/libsarac-2ecd7c04fd5588df.rmeta: crates/bench/src/bin/sarac.rs
+
+crates/bench/src/bin/sarac.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sarac-3f35d56813eb8f50.d: crates/bench/src/bin/sarac.rs
+
+/root/repo/target/debug/deps/sarac-3f35d56813eb8f50: crates/bench/src/bin/sarac.rs
+
+crates/bench/src/bin/sarac.rs:

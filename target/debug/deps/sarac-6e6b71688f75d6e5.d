@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sarac-6e6b71688f75d6e5.d: crates/bench/src/bin/sarac.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsarac-6e6b71688f75d6e5.rmeta: crates/bench/src/bin/sarac.rs Cargo.toml
+
+crates/bench/src/bin/sarac.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

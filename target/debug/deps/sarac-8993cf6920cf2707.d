@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sarac-8993cf6920cf2707.d: crates/bench/src/bin/sarac.rs
+
+/root/repo/target/debug/deps/sarac-8993cf6920cf2707: crates/bench/src/bin/sarac.rs
+
+crates/bench/src/bin/sarac.rs:

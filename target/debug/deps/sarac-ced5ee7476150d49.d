@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sarac-ced5ee7476150d49.d: crates/bench/src/bin/sarac.rs
+
+/root/repo/target/debug/deps/libsarac-ced5ee7476150d49.rmeta: crates/bench/src/bin/sarac.rs
+
+crates/bench/src/bin/sarac.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sarac-fa16665d80c19940.d: crates/bench/src/bin/sarac.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsarac-fa16665d80c19940.rmeta: crates/bench/src/bin/sarac.rs Cargo.toml
+
+crates/bench/src/bin/sarac.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

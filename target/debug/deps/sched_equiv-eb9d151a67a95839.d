@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_equiv-eb9d151a67a95839.d: crates/sim/tests/sched_equiv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_equiv-eb9d151a67a95839.rmeta: crates/sim/tests/sched_equiv.rs Cargo.toml
+
+crates/sim/tests/sched_equiv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_equiv-f4e3e23039aefdfd.d: crates/sim/tests/sched_equiv.rs
+
+/root/repo/target/debug/deps/sched_equiv-f4e3e23039aefdfd: crates/sim/tests/sched_equiv.rs
+
+crates/sim/tests/sched_equiv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-c404d33f8a753115.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c404d33f8a753115.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e1df4eaedf4ea9cb.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e1df4eaedf4ea9cb.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smoke-09d53e10a80b169b.d: crates/bench/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-09d53e10a80b169b: crates/bench/tests/smoke.rs
+
+crates/bench/tests/smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_fig10=/root/repo/target/debug/fig10
+# env-dep:CARGO_BIN_EXE_fig11=/root/repo/target/debug/fig11
+# env-dep:CARGO_BIN_EXE_fig9a=/root/repo/target/debug/fig9a
+# env-dep:CARGO_BIN_EXE_fig9b=/root/repo/target/debug/fig9b
+# env-dep:CARGO_BIN_EXE_sarac=/root/repo/target/debug/sarac
+# env-dep:CARGO_BIN_EXE_table4=/root/repo/target/debug/table4
+# env-dep:CARGO_BIN_EXE_table5=/root/repo/target/debug/table5
+# env-dep:CARGO_BIN_EXE_table6=/root/repo/target/debug/table6

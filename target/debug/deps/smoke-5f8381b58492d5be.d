@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/smoke-5f8381b58492d5be.d: crates/bench/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-5f8381b58492d5be.rmeta: crates/bench/tests/smoke.rs Cargo.toml
+
+crates/bench/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_fig10=placeholder:fig10
+# env-dep:CARGO_BIN_EXE_fig11=placeholder:fig11
+# env-dep:CARGO_BIN_EXE_fig9a=placeholder:fig9a
+# env-dep:CARGO_BIN_EXE_fig9b=placeholder:fig9b
+# env-dep:CARGO_BIN_EXE_sarac=placeholder:sarac
+# env-dep:CARGO_BIN_EXE_table4=placeholder:table4
+# env-dep:CARGO_BIN_EXE_table5=placeholder:table5
+# env-dep:CARGO_BIN_EXE_table6=placeholder:table6
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-00b778c4a32b778b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-00b778c4a32b778b.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

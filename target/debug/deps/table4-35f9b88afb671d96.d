@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-35f9b88afb671d96.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-35f9b88afb671d96: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

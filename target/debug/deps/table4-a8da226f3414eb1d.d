@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-a8da226f3414eb1d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-a8da226f3414eb1d.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-cc50b55e3e6cd3ca.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-cc50b55e3e6cd3ca: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

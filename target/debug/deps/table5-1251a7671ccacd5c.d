@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-1251a7671ccacd5c.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-1251a7671ccacd5c: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

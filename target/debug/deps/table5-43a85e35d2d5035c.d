@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-43a85e35d2d5035c.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-43a85e35d2d5035c.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-96d248b5485d2b81.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-96d248b5485d2b81: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

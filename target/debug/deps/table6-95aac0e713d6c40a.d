@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-95aac0e713d6c40a.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/libtable6-95aac0e713d6c40a.rmeta: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ad8ee4b0b0edae37.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-ad8ee4b0b0edae37: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

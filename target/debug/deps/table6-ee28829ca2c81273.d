@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ee28829ca2c81273.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/libtable6-ee28829ca2c81273.rmeta: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-f0aa459a1f21f970.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-f0aa459a1f21f970: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/unit_steppers-0f5ec1794a1cadbf.d: crates/sim/tests/unit_steppers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunit_steppers-0f5ec1794a1cadbf.rmeta: crates/sim/tests/unit_steppers.rs Cargo.toml
+
+crates/sim/tests/unit_steppers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unit_steppers-46a6e2974ed04299.d: crates/sim/tests/unit_steppers.rs
+
+/root/repo/target/debug/deps/libunit_steppers-46a6e2974ed04299.rmeta: crates/sim/tests/unit_steppers.rs
+
+crates/sim/tests/unit_steppers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unit_steppers-d88ac7c951536a17.d: crates/sim/tests/unit_steppers.rs
+
+/root/repo/target/debug/deps/unit_steppers-d88ac7c951536a17: crates/sim/tests/unit_steppers.rs
+
+crates/sim/tests/unit_steppers.rs:

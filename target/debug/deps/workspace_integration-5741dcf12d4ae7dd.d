@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workspace_integration-5741dcf12d4ae7dd.d: crates/bench/../../tests/workspace_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_integration-5741dcf12d4ae7dd.rmeta: crates/bench/../../tests/workspace_integration.rs Cargo.toml
+
+crates/bench/../../tests/workspace_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_integration-e77410ffc49f0ef6.d: crates/bench/../../tests/workspace_integration.rs
+
+/root/repo/target/debug/deps/libworkspace_integration-e77410ffc49f0ef6.rmeta: crates/bench/../../tests/workspace_integration.rs
+
+crates/bench/../../tests/workspace_integration.rs:

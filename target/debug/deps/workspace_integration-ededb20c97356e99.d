@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_integration-ededb20c97356e99.d: crates/bench/../../tests/workspace_integration.rs
+
+/root/repo/target/debug/deps/workspace_integration-ededb20c97356e99: crates/bench/../../tests/workspace_integration.rs
+
+crates/bench/../../tests/workspace_integration.rs:

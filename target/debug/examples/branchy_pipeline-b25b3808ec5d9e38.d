@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/branchy_pipeline-b25b3808ec5d9e38.d: crates/bench/../../examples/branchy_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbranchy_pipeline-b25b3808ec5d9e38.rmeta: crates/bench/../../examples/branchy_pipeline.rs Cargo.toml
+
+crates/bench/../../examples/branchy_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/branchy_pipeline-d6ba4e92464c3a80.d: crates/bench/../../examples/branchy_pipeline.rs
+
+/root/repo/target/debug/examples/branchy_pipeline-d6ba4e92464c3a80: crates/bench/../../examples/branchy_pipeline.rs
+
+crates/bench/../../examples/branchy_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/branchy_pipeline-f726fa086a892968.d: crates/bench/../../examples/branchy_pipeline.rs
+
+/root/repo/target/debug/examples/libbranchy_pipeline-f726fa086a892968.rmeta: crates/bench/../../examples/branchy_pipeline.rs
+
+crates/bench/../../examples/branchy_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-0ff9bf2fd2be7ece.d: crates/bench/../../examples/design_space.rs
+
+/root/repo/target/debug/examples/libdesign_space-0ff9bf2fd2be7ece.rmeta: crates/bench/../../examples/design_space.rs
+
+crates/bench/../../examples/design_space.rs:

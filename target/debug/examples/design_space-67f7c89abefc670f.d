@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_space-67f7c89abefc670f.d: crates/bench/../../examples/design_space.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_space-67f7c89abefc670f.rmeta: crates/bench/../../examples/design_space.rs Cargo.toml
+
+crates/bench/../../examples/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-ab0b4018fee50232.d: crates/bench/../../examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-ab0b4018fee50232: crates/bench/../../examples/design_space.rs
+
+crates/bench/../../examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e10258d3915731da.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-e10258d3915731da.rmeta: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f885673f9424edc6.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f885673f9424edc6: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

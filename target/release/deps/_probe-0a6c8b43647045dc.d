@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/_probe-0a6c8b43647045dc.d: crates/sim/tests/_probe.rs
+
+/root/repo/target/release/deps/_probe-0a6c8b43647045dc: crates/sim/tests/_probe.rs
+
+crates/sim/tests/_probe.rs:

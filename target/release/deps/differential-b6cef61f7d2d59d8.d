@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-b6cef61f7d2d59d8.d: crates/sim/tests/differential.rs
+
+/root/repo/target/release/deps/differential-b6cef61f7d2d59d8: crates/sim/tests/differential.rs
+
+crates/sim/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-e7d084539de645a2.d: crates/sim/tests/differential.rs
+
+/root/repo/target/release/deps/differential-e7d084539de645a2: crates/sim/tests/differential.rs
+
+crates/sim/tests/differential.rs:

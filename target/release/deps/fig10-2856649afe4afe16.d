@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-2856649afe4afe16.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-2856649afe4afe16: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

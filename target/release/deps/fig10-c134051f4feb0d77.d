@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-c134051f4feb0d77.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-c134051f4feb0d77: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

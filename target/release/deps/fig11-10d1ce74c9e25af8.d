@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-10d1ce74c9e25af8.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-10d1ce74c9e25af8: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

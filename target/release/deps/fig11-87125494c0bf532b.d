@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-87125494c0bf532b.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-87125494c0bf532b: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9a-428ad7e93297beee.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/release/deps/fig9a-428ad7e93297beee: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

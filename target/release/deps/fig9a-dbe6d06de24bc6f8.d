@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9a-dbe6d06de24bc6f8.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/release/deps/fig9a-dbe6d06de24bc6f8: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9b-abd6fb6c02c0d4cc.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/release/deps/fig9b-abd6fb6c02c0d4cc: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9b-d3b3dad20d7cf1c2.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/release/deps/fig9b-d3b3dad20d7cf1c2: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_pipeline-f6cc9167f6fbf7cf.d: crates/workloads/tests/full_pipeline.rs
+
+/root/repo/target/release/deps/full_pipeline-f6cc9167f6fbf7cf: crates/workloads/tests/full_pipeline.rs
+
+crates/workloads/tests/full_pipeline.rs:

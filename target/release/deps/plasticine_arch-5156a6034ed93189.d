@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plasticine_arch-5156a6034ed93189.d: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+/root/repo/target/release/deps/libplasticine_arch-5156a6034ed93189.rlib: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+/root/repo/target/release/deps/libplasticine_arch-5156a6034ed93189.rmeta: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/chip.rs:
+crates/arch/src/units.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/plasticine_arch-7c468acdc001d838.d: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+/root/repo/target/release/deps/plasticine_arch-7c468acdc001d838: crates/arch/src/lib.rs crates/arch/src/chip.rs crates/arch/src/units.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/chip.rs:
+crates/arch/src/units.rs:

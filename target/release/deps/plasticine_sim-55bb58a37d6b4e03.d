@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/plasticine_sim-55bb58a37d6b4e03.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+/root/repo/target/release/deps/plasticine_sim-55bb58a37d6b4e03: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/stream.rs:
+crates/sim/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/plasticine_sim-c994079b4a98f709.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+/root/repo/target/release/deps/libplasticine_sim-c994079b4a98f709.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+/root/repo/target/release/deps/libplasticine_sim-c994079b4a98f709.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/packet.rs crates/sim/src/stream.rs crates/sim/src/units.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/packet.rs:
+crates/sim/src/stream.rs:
+crates/sim/src/units.rs:

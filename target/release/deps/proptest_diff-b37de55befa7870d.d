@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_diff-b37de55befa7870d.d: crates/sim/tests/proptest_diff.rs
+
+/root/repo/target/release/deps/proptest_diff-b37de55befa7870d: crates/sim/tests/proptest_diff.rs
+
+crates/sim/tests/proptest_diff.rs:

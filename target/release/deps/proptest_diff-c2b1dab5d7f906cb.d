@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_diff-c2b1dab5d7f906cb.d: crates/sim/tests/proptest_diff.rs
+
+/root/repo/target/release/deps/proptest_diff-c2b1dab5d7f906cb: crates/sim/tests/proptest_diff.rs
+
+crates/sim/tests/proptest_diff.rs:

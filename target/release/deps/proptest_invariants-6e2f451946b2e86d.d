@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_invariants-6e2f451946b2e86d.d: crates/core/tests/proptest_invariants.rs
+
+/root/repo/target/release/deps/proptest_invariants-6e2f451946b2e86d: crates/core/tests/proptest_invariants.rs
+
+crates/core/tests/proptest_invariants.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ramulator_lite-025710ff1aa922fb.d: crates/dram/src/lib.rs
+
+/root/repo/target/release/deps/libramulator_lite-025710ff1aa922fb.rlib: crates/dram/src/lib.rs
+
+/root/repo/target/release/deps/libramulator_lite-025710ff1aa922fb.rmeta: crates/dram/src/lib.rs
+
+crates/dram/src/lib.rs:

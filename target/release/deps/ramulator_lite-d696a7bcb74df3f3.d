@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ramulator_lite-d696a7bcb74df3f3.d: crates/dram/src/lib.rs
+
+/root/repo/target/release/deps/ramulator_lite-d696a7bcb74df3f3: crates/dram/src/lib.rs
+
+crates/dram/src/lib.rs:

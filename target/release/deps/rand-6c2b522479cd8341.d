@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6c2b522479cd8341.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6c2b522479cd8341.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6c2b522479cd8341.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

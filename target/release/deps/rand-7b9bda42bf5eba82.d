@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-7b9bda42bf5eba82.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-7b9bda42bf5eba82: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

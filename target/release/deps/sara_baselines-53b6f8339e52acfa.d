@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sara_baselines-53b6f8339e52acfa.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/release/deps/libsara_baselines-53b6f8339e52acfa.rlib: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/release/deps/libsara_baselines-53b6f8339e52acfa.rmeta: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pc.rs:

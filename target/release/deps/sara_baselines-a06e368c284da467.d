@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sara_baselines-a06e368c284da467.d: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+/root/repo/target/release/deps/sara_baselines-a06e368c284da467: crates/baselines/src/lib.rs crates/baselines/src/gpu.rs crates/baselines/src/pc.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/pc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sara_bench-005e43c676fbf0f8.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/sara_bench-005e43c676fbf0f8: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

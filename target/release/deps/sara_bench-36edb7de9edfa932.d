@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sara_bench-36edb7de9edfa932.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libsara_bench-36edb7de9edfa932.rlib: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libsara_bench-36edb7de9edfa932.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

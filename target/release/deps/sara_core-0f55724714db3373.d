@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/sara_core-0f55724714db3373.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/cmmc.rs crates/core/src/compile.rs crates/core/src/depgraph.rs crates/core/src/error.rs crates/core/src/lower.rs crates/core/src/mempart.rs crates/core/src/merge.rs crates/core/src/opt.rs crates/core/src/opt_ir.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/vudfg.rs crates/core/src/vudfg_validate.rs
+
+/root/repo/target/release/deps/sara_core-0f55724714db3373: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/cmmc.rs crates/core/src/compile.rs crates/core/src/depgraph.rs crates/core/src/error.rs crates/core/src/lower.rs crates/core/src/mempart.rs crates/core/src/merge.rs crates/core/src/opt.rs crates/core/src/opt_ir.rs crates/core/src/partition.rs crates/core/src/report.rs crates/core/src/vudfg.rs crates/core/src/vudfg_validate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/cmmc.rs:
+crates/core/src/compile.rs:
+crates/core/src/depgraph.rs:
+crates/core/src/error.rs:
+crates/core/src/lower.rs:
+crates/core/src/mempart.rs:
+crates/core/src/merge.rs:
+crates/core/src/opt.rs:
+crates/core/src/opt_ir.rs:
+crates/core/src/partition.rs:
+crates/core/src/report.rs:
+crates/core/src/vudfg.rs:
+crates/core/src/vudfg_validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sara_ir-b5d084ac8541bc19.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/release/deps/libsara_ir-b5d084ac8541bc19.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/release/deps/libsara_ir-b5d084ac8541bc19.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/error.rs crates/ir/src/expr.rs crates/ir/src/interp.rs crates/ir/src/mem.rs crates/ir/src/pretty.rs crates/ir/src/program.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/error.rs:
+crates/ir/src/expr.rs:
+crates/ir/src/interp.rs:
+crates/ir/src/mem.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/program.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:

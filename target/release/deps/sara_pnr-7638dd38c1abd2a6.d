@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sara_pnr-7638dd38c1abd2a6.d: crates/pnr/src/lib.rs
+
+/root/repo/target/release/deps/sara_pnr-7638dd38c1abd2a6: crates/pnr/src/lib.rs
+
+crates/pnr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sara_pnr-ef0a9ff47b611074.d: crates/pnr/src/lib.rs
+
+/root/repo/target/release/deps/libsara_pnr-ef0a9ff47b611074.rlib: crates/pnr/src/lib.rs
+
+/root/repo/target/release/deps/libsara_pnr-ef0a9ff47b611074.rmeta: crates/pnr/src/lib.rs
+
+crates/pnr/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sara_workloads-09f669e9916492f0.d: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs
+
+/root/repo/target/release/deps/libsara_workloads-09f669e9916492f0.rlib: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs
+
+/root/repo/target/release/deps/libsara_workloads-09f669e9916492f0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cnn.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/streamk.rs:

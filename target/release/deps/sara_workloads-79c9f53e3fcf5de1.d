@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sara_workloads-79c9f53e3fcf5de1.d: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs
+
+/root/repo/target/release/deps/sara_workloads-79c9f53e3fcf5de1: crates/workloads/src/lib.rs crates/workloads/src/cnn.rs crates/workloads/src/graph.rs crates/workloads/src/linalg.rs crates/workloads/src/ml.rs crates/workloads/src/registry.rs crates/workloads/src/sort.rs crates/workloads/src/streamk.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cnn.rs:
+crates/workloads/src/graph.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/ml.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/streamk.rs:

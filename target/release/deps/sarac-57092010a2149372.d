@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sarac-57092010a2149372.d: crates/bench/src/bin/sarac.rs
+
+/root/repo/target/release/deps/sarac-57092010a2149372: crates/bench/src/bin/sarac.rs
+
+crates/bench/src/bin/sarac.rs:

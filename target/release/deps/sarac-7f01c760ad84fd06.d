@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sarac-7f01c760ad84fd06.d: crates/bench/src/bin/sarac.rs
+
+/root/repo/target/release/deps/sarac-7f01c760ad84fd06: crates/bench/src/bin/sarac.rs
+
+crates/bench/src/bin/sarac.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_equiv-2857546734ef3c96.d: crates/sim/tests/sched_equiv.rs
+
+/root/repo/target/release/deps/sched_equiv-2857546734ef3c96: crates/sim/tests/sched_equiv.rs
+
+crates/sim/tests/sched_equiv.rs:

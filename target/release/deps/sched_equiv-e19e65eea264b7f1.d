@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_equiv-e19e65eea264b7f1.d: crates/sim/tests/sched_equiv.rs
+
+/root/repo/target/release/deps/sched_equiv-e19e65eea264b7f1: crates/sim/tests/sched_equiv.rs
+
+crates/sim/tests/sched_equiv.rs:

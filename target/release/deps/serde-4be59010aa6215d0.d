@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-4be59010aa6215d0.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-4be59010aa6215d0: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

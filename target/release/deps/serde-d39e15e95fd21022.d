@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-d39e15e95fd21022.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d39e15e95fd21022.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d39e15e95fd21022.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

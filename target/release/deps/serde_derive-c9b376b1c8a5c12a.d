@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-c9b376b1c8a5c12a.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-c9b376b1c8a5c12a: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

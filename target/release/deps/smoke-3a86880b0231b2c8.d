@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/smoke-3a86880b0231b2c8.d: crates/bench/tests/smoke.rs
+
+/root/repo/target/release/deps/smoke-3a86880b0231b2c8: crates/bench/tests/smoke.rs
+
+crates/bench/tests/smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_fig10=/root/repo/target/release/fig10
+# env-dep:CARGO_BIN_EXE_fig11=/root/repo/target/release/fig11
+# env-dep:CARGO_BIN_EXE_fig9a=/root/repo/target/release/fig9a
+# env-dep:CARGO_BIN_EXE_fig9b=/root/repo/target/release/fig9b
+# env-dep:CARGO_BIN_EXE_sarac=/root/repo/target/release/sarac
+# env-dep:CARGO_BIN_EXE_table4=/root/repo/target/release/table4
+# env-dep:CARGO_BIN_EXE_table5=/root/repo/target/release/table5
+# env-dep:CARGO_BIN_EXE_table6=/root/repo/target/release/table6

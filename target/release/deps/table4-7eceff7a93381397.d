@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-7eceff7a93381397.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-7eceff7a93381397: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

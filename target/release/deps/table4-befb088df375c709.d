@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-befb088df375c709.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-befb088df375c709: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

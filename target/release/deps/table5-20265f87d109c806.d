@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-20265f87d109c806.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-20265f87d109c806: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-462c5b1a24617945.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-462c5b1a24617945: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-dd6ce4a7d8e40fd4.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-dd6ce4a7d8e40fd4: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/unit_steppers-6a6777ebaeff1f39.d: crates/sim/tests/unit_steppers.rs
+
+/root/repo/target/release/deps/unit_steppers-6a6777ebaeff1f39: crates/sim/tests/unit_steppers.rs
+
+crates/sim/tests/unit_steppers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/unit_steppers-f06ffda2fc9aa7df.d: crates/sim/tests/unit_steppers.rs
+
+/root/repo/target/release/deps/unit_steppers-f06ffda2fc9aa7df: crates/sim/tests/unit_steppers.rs
+
+crates/sim/tests/unit_steppers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workspace_integration-900638c028463cfe.d: crates/bench/../../tests/workspace_integration.rs
+
+/root/repo/target/release/deps/workspace_integration-900638c028463cfe: crates/bench/../../tests/workspace_integration.rs
+
+crates/bench/../../tests/workspace_integration.rs:

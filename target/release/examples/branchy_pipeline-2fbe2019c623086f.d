@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/branchy_pipeline-2fbe2019c623086f.d: crates/bench/../../examples/branchy_pipeline.rs
+
+/root/repo/target/release/examples/branchy_pipeline-2fbe2019c623086f: crates/bench/../../examples/branchy_pipeline.rs
+
+crates/bench/../../examples/branchy_pipeline.rs:

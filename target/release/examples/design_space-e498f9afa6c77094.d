@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-e498f9afa6c77094.d: crates/bench/../../examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-e498f9afa6c77094: crates/bench/../../examples/design_space.rs
+
+crates/bench/../../examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-97ee5cb10704eda7.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-97ee5cb10704eda7: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

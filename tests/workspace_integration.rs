@@ -17,8 +17,8 @@ fn all_workloads_end_to_end() {
     for w in sara_workloads::all_small() {
         let p = &w.program;
         let reference = Interp::new(p).run().expect("interp");
-        let mut compiled =
-            compile(p, &chip, &CompilerOptions::default()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut compiled = compile(p, &chip, &CompilerOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 1)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let outcome = simulate(&compiled.vudfg, &chip, &SimConfig::default())
@@ -41,8 +41,9 @@ fn all_workloads_end_to_end() {
     }
 }
 
-/// Determinism: compiling and simulating twice produces identical cycle
-/// counts and resource reports (the PnR annealer is seeded).
+/// Determinism: compiling and simulating twice produces bit-identical
+/// outcomes — cycle counts, resource reports, firing statistics and the
+/// final DRAM image (the PnR annealer is seeded).
 #[test]
 fn deterministic_end_to_end() {
     let chip = ChipSpec::small_8x8();
@@ -51,9 +52,35 @@ fn deterministic_end_to_end() {
         let mut c = compile(&w.program, &chip, &CompilerOptions::default()).unwrap();
         sara_pnr::place_and_route(&mut c.vudfg, &c.assignment, &chip, 11).unwrap();
         let o = simulate(&c.vudfg, &chip, &SimConfig::default()).unwrap();
-        (o.cycles, c.report)
+        (o.cycles, c.report, o.stats.firings, o.stats.unit_firings.clone(), o.dram_final)
     };
     assert_eq!(once(), once());
+}
+
+/// Determinism holds under the parallel sweep harness: four concurrent
+/// workers each running the full compile+PnR+simulate pipeline produce
+/// bit-identical outcomes — shared-nothing points, no cross-thread state.
+#[test]
+fn deterministic_under_parallel_harness() {
+    let chip = ChipSpec::small_8x8();
+    let points: Vec<&str> = vec!["gemm", "gemm", "dotprod", "dotprod", "gemm", "dotprod"];
+    let results = sara_bench::sweep::run_points_on(4, &points, |name| {
+        let w = sara_workloads::by_name(name).unwrap();
+        let mut c =
+            compile(&w.program, &chip, &CompilerOptions::default()).map_err(|e| e.to_string())?;
+        sara_pnr::place_and_route(&mut c.vudfg, &c.assignment, &chip, 11)
+            .map_err(|e| e.to_string())?;
+        let o = simulate(&c.vudfg, &chip, &SimConfig::default()).map_err(|e| e.to_string())?;
+        Ok((o.cycles, c.report, o.stats.firings, o.dram_final))
+    });
+    let results: Vec<_> = results.into_iter().map(|r| r.unwrap()).collect();
+    // Identical inputs must yield identical outputs regardless of which
+    // worker ran them, and interleaved points must not perturb each other.
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[4]);
+    assert_eq!(results[2], results[3]);
+    assert_eq!(results[2], results[5]);
+    assert_ne!(results[0].0, results[2].0, "distinct workloads should differ");
 }
 
 /// The PC baseline is never faster than SARA on the Table V set.
