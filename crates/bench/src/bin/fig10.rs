@@ -15,7 +15,7 @@
 
 use plasticine_arch::ChipSpec;
 use sara_bench::json::Json;
-use sara_bench::{run, sweep};
+use sara_bench::{run_profiled, sweep};
 use sara_core::compile::CompilerOptions;
 
 const VARIANTS: &[&str] = &["reduce", "relax", "retime", "retime-m"];
@@ -67,12 +67,14 @@ struct Out {
 fn eval(pt: &Pt) -> Result<Out, String> {
     let chip = ChipSpec::sara_20x20();
     let p = program_of(pt.app);
-    let r = run(&p, &chip, &opts_of(pt.variant))?;
+    let tag = format!("fig10-{}-{}", pt.app, pt.variant.unwrap_or("baseline"));
+    let r = run_profiled(&tag, &p, &chip, &opts_of(pt.variant))?;
     eprintln!("{}/{}: {} cycles", pt.app, pt.variant.unwrap_or("baseline"), r.cycles());
     Ok(Out { cycles: r.cycles(), pus: r.pus(), token_streams: r.compiled.report.token_streams })
 }
 
 fn main() {
+    sara_bench::parse_profile_dir_flag();
     let apps: &[&str] =
         if sara_bench::smoke() { &["mlp", "bs"] } else { &["mlp", "lstm", "bs", "gda"] };
     let mut points: Vec<Pt> = Vec::new();

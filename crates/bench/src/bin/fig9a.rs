@@ -12,7 +12,7 @@
 
 use plasticine_arch::ChipSpec;
 use sara_bench::json::Json;
-use sara_bench::{run, sweep, Run};
+use sara_bench::{run_profiled, sweep, Run};
 use sara_core::compile::CompilerOptions;
 use sara_workloads::{graph, linalg, streamk};
 
@@ -63,7 +63,8 @@ fn eval(pt: &Pt) -> Result<Out, String> {
                 par_inner: pi,
                 par_neuron: pn,
             });
-            let r = run(&p, &chip, &CompilerOptions::default())?;
+            let tag = format!("fig9a-mlp-par{}", pi * pn);
+            let r = run_profiled(&tag, &p, &chip, &CompilerOptions::default())?;
             eprintln!("mlp par {}: {} cycles, {} PUs", pi * pn, r.cycles(), r.pus());
             Ok(out_of("mlp", pi * pn, &r))
         }
@@ -72,7 +73,8 @@ fn eval(pt: &Pt) -> Result<Out, String> {
             let chip = ChipSpec::sara_20x20();
             let (n, trees) = if smoke { (16, 2) } else { (64, 8) };
             let p = graph::rf(&graph::RfParams { n, d: 16, trees, depth: 4, seed: 9, par_n: pn });
-            let r = run(&p, &chip, &CompilerOptions::default())?;
+            let tag = format!("fig9a-rf-par{pn}");
+            let r = run_profiled(&tag, &p, &chip, &CompilerOptions::default())?;
             eprintln!("rf par {pn}: {} cycles, {} PUs", r.cycles(), r.pus());
             Ok(out_of("rf", pn, &r))
         }
@@ -84,7 +86,8 @@ fn eval(pt: &Pt) -> Result<Out, String> {
             let chip = ChipSpec::vanilla_16x8();
             let n = if smoke { 2048 } else { 16384 };
             let p = streamk::tpchq6(&streamk::Q6Params { n, par });
-            let r = run(&p, &chip, &CompilerOptions::default())?;
+            let tag = format!("fig9a-tpchq6-ddr3-par{par}");
+            let r = run_profiled(&tag, &p, &chip, &CompilerOptions::default())?;
             eprintln!("tpchq6 par {par}: {} cycles, {} PUs", r.cycles(), r.pus());
             Ok(out_of("tpchq6-ddr3", par, &r))
         }
@@ -92,6 +95,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
+    sara_bench::parse_profile_dir_flag();
     let smoke = sara_bench::smoke();
     let mut points: Vec<Pt> = Vec::new();
     let mlp_sweep: &[(u32, u32)] = if smoke {

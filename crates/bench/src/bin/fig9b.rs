@@ -8,7 +8,7 @@
 
 use plasticine_arch::ChipSpec;
 use sara_bench::json::Json;
-use sara_bench::{run, sweep};
+use sara_bench::{run_profiled, sweep};
 use sara_core::compile::CompilerOptions;
 use sara_core::opt::OptConfig;
 use sara_workloads::{linalg, ml};
@@ -58,7 +58,8 @@ fn eval(pt: &Pt) -> Result<Out, String> {
         "lstm" => ml::lstm(&ml::LstmParams { t: 6, h: 16, par_h: pt.pi }),
         other => return Err(format!("unknown app {other}")),
     };
-    let r = run(&p, &chip, &opts_of(pt.opts))?;
+    let tag = format!("fig9b-{}-p{}x{}-{}", pt.app, pt.pi, pt.pn, pt.opts);
+    let r = run_profiled(&tag, &p, &chip, &opts_of(pt.opts))?;
     eprintln!(
         "{} par {} {}: {} cycles {} PUs",
         pt.app,
@@ -71,6 +72,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
+    sara_bench::parse_profile_dir_flag();
     let smoke = sara_bench::smoke();
     let mut points: Vec<Pt> = Vec::new();
     let mlp_pars: &[(u32, u32)] =

@@ -5,9 +5,14 @@
 //! (`SARA_BENCH_THREADS` overrides the worker count).
 //!
 //! ```text
-//! sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE]
+//! sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE] [--profile FILE]
 //! sarac --sweep   [--chip 20x20|16x8|8x8] [--simulate]
 //! ```
+//!
+//! `--profile FILE` implies `--simulate`: the run is profiled (same
+//! cycle counts), a Chrome-trace JSON is written to FILE (open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>), and the top
+//! bottlenecks are printed.
 
 use plasticine_arch::ChipSpec;
 use plasticine_sim::{simulate, SimConfig};
@@ -101,7 +106,9 @@ fn sweep_all(chip: &ChipSpec, do_sim: bool) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE]");
+        eprintln!(
+            "usage: sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE] [--profile FILE]"
+        );
         eprintln!("       sarac --sweep [--chip 20x20|16x8|8x8] [--simulate]");
         eprintln!(
             "workloads: {}",
@@ -114,6 +121,7 @@ fn main() {
     let mut chip = ChipSpec::small_8x8();
     let mut do_sim = false;
     let mut dot_file: Option<String> = None;
+    let mut profile_file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -134,6 +142,11 @@ fn main() {
             "--dot" => {
                 i += 1;
                 dot_file = Some(args[i].clone());
+            }
+            "--profile" => {
+                i += 1;
+                profile_file = Some(args[i].clone());
+                do_sim = true;
             }
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => {
@@ -189,13 +202,22 @@ fn main() {
         println!("dot:   wrote {f}");
     }
     if do_sim {
-        match simulate(&compiled.vudfg, &chip, &SimConfig::default()) {
-            Ok(o) => println!(
-                "sim:   {} cycles, {:.2} flop/cycle, dram {:.1} B/cycle",
-                o.cycles,
-                o.stats.firings as f64 / o.cycles as f64,
-                o.stats.dram.achieved_bw(o.cycles)
-            ),
+        let cfg = if profile_file.is_some() { SimConfig::profiled() } else { SimConfig::default() };
+        match simulate(&compiled.vudfg, &chip, &cfg) {
+            Ok(o) => {
+                println!(
+                    "sim:   {} cycles, {:.2} flop/cycle, dram {:.1} B/cycle",
+                    o.cycles,
+                    o.stats.firings as f64 / o.cycles as f64,
+                    o.stats.dram.achieved_bw(o.cycles)
+                );
+                if let (Some(f), Some(prof)) = (profile_file, o.profile.as_ref()) {
+                    let doc = sara_bench::trace::chrome_trace(&format!("{name} sim"), prof);
+                    std::fs::write(&f, doc.pretty()).expect("write profile trace");
+                    println!("trace: wrote {f} (open in chrome://tracing or ui.perfetto.dev)");
+                    print!("{}", sara_core::report::bottleneck_summary(prof, 5));
+                }
+            }
             Err(e) => {
                 eprintln!("sim error: {e}");
                 std::process::exit(1);

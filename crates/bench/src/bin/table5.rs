@@ -9,7 +9,7 @@
 
 use plasticine_arch::ChipSpec;
 use sara_bench::json::Json;
-use sara_bench::{geomean, run, run_pc, sweep};
+use sara_bench::{geomean, run_pc, run_profiled, sweep};
 use sara_core::compile::CompilerOptions;
 
 fn apps() -> Vec<(&'static str, sara_ir::Program)> {
@@ -53,7 +53,8 @@ fn eval(pt: &Pt) -> Result<Out, String> {
     let r = if pt.pc {
         run_pc(&pt.program, &chip)?
     } else {
-        run(&pt.program, &chip, &CompilerOptions::default())?
+        let tag = format!("table5-{}", pt.app);
+        run_profiled(&tag, &pt.program, &chip, &CompilerOptions::default())?
     };
     eprintln!("{} {}: {} cycles", pt.app, if pt.pc { "pc" } else { "sara" }, r.cycles());
     Ok(Out {
@@ -64,6 +65,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
+    sara_bench::parse_profile_dir_flag();
     let mut points: Vec<Pt> = Vec::new();
     for (app, program) in apps() {
         points.push(Pt { app, program: program.clone(), pc: false });

@@ -12,7 +12,7 @@
 use plasticine_arch::ChipSpec;
 use sara_baselines::gpu::{estimate, launches_of, GpuClass, V100};
 use sara_bench::json::Json;
-use sara_bench::{geomean, run, sweep};
+use sara_bench::{geomean, run_profiled, sweep};
 use sara_core::compile::CompilerOptions;
 
 fn apps() -> Vec<(&'static str, sara_ir::Program)> {
@@ -53,7 +53,8 @@ struct Out {
 fn eval(pt: &Pt) -> Result<Out, String> {
     let chip = ChipSpec::sara_20x20();
     let v100 = V100::default();
-    let sara = run(&pt.program, &chip, &CompilerOptions::default())?;
+    let tag = format!("table6-{}", pt.app);
+    let sara = run_profiled(&tag, &pt.program, &chip, &CompilerOptions::default())?;
     let class = GpuClass::of_workload(pt.app);
     let launches = launches_of(pt.app, &sara.interp);
     let gpu = estimate(&v100, class, &sara.interp, launches);
@@ -72,6 +73,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
+    sara_bench::parse_profile_dir_flag();
     let points: Vec<Pt> = apps().into_iter().map(|(app, program)| Pt { app, program }).collect();
     let results = sweep::run_points(&points, eval);
 

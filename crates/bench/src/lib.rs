@@ -3,6 +3,7 @@
 
 pub mod json;
 pub mod sweep;
+pub mod trace;
 
 use json::Json;
 use plasticine_arch::ChipSpec;
@@ -11,6 +12,7 @@ use sara_core::compile::{compile, Compiled, CompilerOptions};
 use sara_ir::interp::{Interp, InterpStats};
 use sara_ir::Program;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// One full run of a program through the SARA stack.
 #[derive(Debug)]
@@ -61,13 +63,88 @@ pub fn sim_config() -> SimConfig {
 ///
 /// Returns a human-readable description of the failing phase.
 pub fn run(p: &Program, chip: &ChipSpec, opts: &CompilerOptions) -> Result<Run, String> {
+    run_with(p, chip, opts, &sim_config())
+}
+
+/// [`run`] with an explicit simulator configuration.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the failing phase.
+pub fn run_with(
+    p: &Program,
+    chip: &ChipSpec,
+    opts: &CompilerOptions,
+    cfg: &SimConfig,
+) -> Result<Run, String> {
     let interp = Interp::new(p).run().map_err(|e| format!("interp: {e}"))?.stats;
     let mut compiled = compile(p, chip, opts).map_err(|e| format!("compile: {e}"))?;
     sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, chip, 17)
         .map_err(|e| format!("pnr: {e}"))?;
-    let outcome =
-        simulate(&compiled.vudfg, chip, &sim_config()).map_err(|e| format!("sim: {e}"))?;
+    let outcome = simulate(&compiled.vudfg, chip, cfg).map_err(|e| format!("sim: {e}"))?;
     Ok(Run { compiled, outcome, interp })
+}
+
+static PROFILE_DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+/// Directory for per-run profile artifacts, from `--profile-dir` (see
+/// [`parse_profile_dir_flag`]) or `SARA_BENCH_PROFILE_DIR`. `None`
+/// disables profiling in [`run_profiled`].
+pub fn profile_dir() -> Option<PathBuf> {
+    PROFILE_DIR
+        .get_or_init(|| std::env::var_os("SARA_BENCH_PROFILE_DIR").map(PathBuf::from))
+        .clone()
+}
+
+/// Consume a `--profile-dir DIR` argument from this process's command
+/// line (the one knob the fig/table binaries accept). Call at the top of
+/// `main`, before any [`run_profiled`].
+pub fn parse_profile_dir_flag() {
+    let mut dir = std::env::var_os("SARA_BENCH_PROFILE_DIR").map(PathBuf::from);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--profile-dir" {
+            if let Some(d) = args.get(i + 1) {
+                dir = Some(PathBuf::from(d));
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    let _ = PROFILE_DIR.set(dir);
+}
+
+/// [`run`], plus profile artifacts when a profile directory is
+/// configured: simulates with profiling enabled (cycle counts are
+/// bit-identical either way) and writes `<dir>/<tag>.profile.json`
+/// (counters) and `<dir>/<tag>.trace.json` (Chrome trace, opens in
+/// Perfetto).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the failing phase, including
+/// artifact I/O.
+pub fn run_profiled(
+    tag: &str,
+    p: &Program,
+    chip: &ChipSpec,
+    opts: &CompilerOptions,
+) -> Result<Run, String> {
+    let Some(dir) = profile_dir() else { return run(p, chip, opts) };
+    let cfg = SimConfig { profile: true, ..sim_config() };
+    let r = run_with(p, chip, opts, &cfg)?;
+    if let Some(prof) = &r.outcome.profile {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("profile dir: {e}"))?;
+        std::fs::write(dir.join(format!("{tag}.profile.json")), json::profile_json(prof).pretty())
+            .map_err(|e| format!("write profile json: {e}"))?;
+        std::fs::write(
+            dir.join(format!("{tag}.trace.json")),
+            trace::chrome_trace(tag, prof).pretty(),
+        )
+        .map_err(|e| format!("write chrome trace: {e}"))?;
+    }
+    Ok(r)
 }
 
 /// Compile and simulate through the vanilla-Plasticine (PC) baseline.

@@ -121,6 +121,43 @@ fn sarac_sweep() {
 }
 
 #[test]
+fn sarac_profile_writes_trace_and_summary() {
+    let dir = scratch("sarac4");
+    let trace = dir.join("dotprod.trace.json");
+    assert_ok(
+        env!("CARGO_BIN_EXE_sarac"),
+        &["dotprod", "--profile", trace.to_str().unwrap()],
+        &dir,
+        &["sim:", "trace: wrote", "bottlenecks over", "worst-stalled VCUs"],
+    );
+    let body = std::fs::read_to_string(&trace).expect("read trace file");
+    assert!(body.contains("\"traceEvents\""), "not a chrome trace:\n{body}");
+    assert!(body.contains("\"thread_name\""), "no per-VCU threads:\n{body}");
+}
+
+#[test]
+fn fig9a_profile_dir_writes_artifacts() {
+    let dir = scratch("fig9a-prof");
+    let prof_dir = dir.join("profiles");
+    assert_ok(
+        env!("CARGO_BIN_EXE_fig9a"),
+        &["--profile-dir", prof_dir.to_str().unwrap()],
+        &dir,
+        &["saved"],
+    );
+    // One pair of artifacts per design point; spot-check a known tag.
+    let trace = prof_dir.join("fig9a-mlp-par1.trace.json");
+    let counters = prof_dir.join("fig9a-mlp-par1.profile.json");
+    let body =
+        std::fs::read_to_string(&trace).unwrap_or_else(|e| panic!("read {}: {e}", trace.display()));
+    assert!(body.contains("\"traceEvents\""));
+    let body = std::fs::read_to_string(&counters)
+        .unwrap_or_else(|e| panic!("read {}: {e}", counters.display()));
+    assert!(body.contains("\"stalled_cycles\""));
+    assert!(body.contains("\"dram_epochs\""));
+}
+
+#[test]
 fn sarac_rejects_unknown_workload() {
     let dir = scratch("sarac3");
     let out = run_bin(env!("CARGO_BIN_EXE_sarac"), &["no-such-workload"], &dir);

@@ -1,0 +1,64 @@
+//! Golden-file test for the Chrome trace exporter: the full trace JSON
+//! for a deterministic profiled `dotprod` run must match
+//! `tests/golden/dotprod_trace.json` byte for byte. The simulator is
+//! deterministic (fixed PnR seed, no wall-clock input), so any diff here
+//! is a real change to either the profiler semantics or the trace
+//! format — both worth a deliberate golden update.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sara-bench --test trace_golden
+//! ```
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/dotprod_trace.json")
+}
+
+fn render_trace() -> String {
+    let w = sara_workloads::by_name("dotprod").expect("dotprod in registry");
+    let chip = ChipSpec::small_8x8();
+    let mut compiled =
+        compile(&w.program, &chip, &CompilerOptions::default()).expect("compile dotprod");
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 17)
+        .expect("pnr dotprod");
+    let out = simulate(&compiled.vudfg, &chip, &SimConfig::profiled()).expect("simulate dotprod");
+    let prof = out.profile.as_ref().expect("profile present");
+    sara_bench::trace::chrome_trace("dotprod", prof).pretty()
+}
+
+#[test]
+fn dotprod_trace_matches_golden() {
+    let rendered = render_trace();
+
+    // Structural checks first: these hold for any workload and give a
+    // readable failure before the byte-level diff.
+    assert!(rendered.contains("\"traceEvents\""));
+    assert!(rendered.contains("\"process_name\""));
+    assert!(rendered.contains("\"thread_name\""));
+    assert!(rendered.contains("\"ph\": \"X\""), "no duration events");
+    assert!(rendered.contains("\"ph\": \"C\""), "no DRAM counter events");
+    assert!(rendered.contains("\"displayTimeUnit\""));
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path().parent().unwrap()).expect("golden dir");
+        std::fs::write(golden_path(), &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}\nrun UPDATE_GOLDEN=1 cargo test -p sara-bench --test trace_golden",
+            golden_path().display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "trace output drifted from golden; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p sara-bench --test trace_golden"
+    );
+}

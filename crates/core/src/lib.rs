@@ -65,11 +65,13 @@ pub mod merge;
 pub mod opt;
 pub mod opt_ir;
 pub mod partition;
+pub mod profile;
 pub mod report;
 pub mod vudfg;
 pub mod vudfg_validate;
 
 pub use compile::{compile, Compiled, CompilerOptions};
 pub use error::CompileError;
+pub use profile::SimProfile;
 pub use report::ResourceReport;
 pub use vudfg::Vudfg;

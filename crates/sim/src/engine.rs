@@ -17,10 +17,12 @@
 //! anything, so a blocked unit stays blocked and side-effect-free until
 //! one of the wake conditions above occurs.
 
+use crate::profile::Profiler;
 use crate::stream::StreamRt;
 use crate::units::{AgRt, CollRt, Ctx, DistRt, SyncRt, VcuRt, VmuRt};
 use plasticine_arch::ChipSpec;
 use ramulator_lite::{DramSim, DramStats, Response};
+use sara_core::profile::SimProfile;
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
 use sara_ir::{Elem, MemId};
 use std::collections::{BTreeSet, HashMap};
@@ -37,11 +39,24 @@ pub struct SimConfig {
     /// of the event-driven active list. Outcomes are bit-identical either
     /// way; the dense path exists for equivalence testing and debugging.
     pub dense: bool,
+    /// Collect a [`SimProfile`] (per-VCU cycle attribution, per-stream
+    /// backpressure, DRAM timeline) into [`SimOutcome::profile`]. The
+    /// collector only observes, so cycle counts are bit-identical with
+    /// profiling on or off.
+    pub profile: bool,
+    /// DRAM timeline bin width in cycles when profiling.
+    pub profile_epoch: u64,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_cycles: 50_000_000, deadlock_window: 50_000, dense: false }
+        SimConfig {
+            max_cycles: 50_000_000,
+            deadlock_window: 50_000,
+            dense: false,
+            profile: false,
+            profile_epoch: 1024,
+        }
     }
 }
 
@@ -49,6 +64,11 @@ impl SimConfig {
     /// The reference dense-scheduler configuration.
     pub fn dense() -> Self {
         SimConfig { dense: true, ..SimConfig::default() }
+    }
+
+    /// Default configuration with profiling enabled.
+    pub fn profiled() -> Self {
+        SimConfig { profile: true, ..SimConfig::default() }
     }
 }
 
@@ -104,6 +124,8 @@ pub struct SimOutcome {
     pub dram_final: HashMap<MemId, Vec<Elem>>,
     /// Statistics.
     pub stats: SimStats,
+    /// Observability record, present iff [`SimConfig::profile`] was set.
+    pub profile: Option<SimProfile>,
 }
 
 impl SimOutcome {
@@ -213,11 +235,13 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         .collect();
 
     // ---- main loop ----
+    let mut prof = cfg.profile.then(|| Profiler::new(g, &streams, cfg.profile_epoch));
     let now = if cfg.dense {
-        run_dense(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain)?
+        run_dense(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain, &mut prof)?
     } else {
-        run_active(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain)?
+        run_active(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain, &mut prof)?
     };
+    let profile = prof.map(|p| p.finish(now, &streams));
 
     // ---- extraction ----
     let mut dram_final = HashMap::new();
@@ -245,7 +269,7 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
     } else {
         0.0
     };
-    Ok(SimOutcome { cycles: now, dram_final, stats })
+    Ok(SimOutcome { cycles: now, dram_final, stats, profile })
 }
 
 /// Step one unit; on stepper error, wrap into a [`SimError::Fault`].
@@ -296,6 +320,7 @@ fn finished(units: &[URt], dram: &DramSim, streams: &[StreamRt], must_drain: &[b
 
 /// Reference scheduler: tick every stream and step every unit, every
 /// cycle. Returns the completion cycle.
+#[allow(clippy::too_many_arguments)]
 fn run_dense(
     g: &Vudfg,
     cfg: &SimConfig,
@@ -304,6 +329,7 @@ fn run_dense(
     dram: &mut DramSim,
     image: &mut [Elem],
     must_drain: &[bool],
+    prof: &mut Option<Profiler>,
 ) -> Result<u64, SimError> {
     let mut now: u64 = 0;
     let mut last_progress_cycle: u64 = 0;
@@ -317,11 +343,21 @@ fn run_dense(
             s.tick(now);
         }
         let mut progress: u64 = 0;
-        for u in units.iter_mut() {
+        for (i, u) in units.iter_mut().enumerate() {
+            let before = progress;
             step_unit(u, now, streams, &mut progress, dram, image)?;
+            if let Some(p) = prof.as_mut() {
+                if let URt::Vcu(v) = u {
+                    p.observe_vcu(i, now, v, progress > before);
+                }
+                p.observe_unit_streams(i, now, streams);
+            }
         }
         responses.clear();
         dram.tick(now, &mut responses);
+        if let Some(p) = prof.as_mut() {
+            p.observe_dram(now, dram.stats());
+        }
         for r in &responses {
             let ui = (r.id >> 32) as usize;
             if let Some(URt::Ag(a)) = units.get_mut(ui) {
@@ -362,6 +398,7 @@ fn run_dense(
 /// When no event targets the current cycle the clock fast-forwards to the
 /// next event (bounded by the deadlock deadline and the cycle limit), and
 /// streams are ticked lazily just before their consumer steps.
+#[allow(clippy::too_many_arguments)]
 fn run_active(
     g: &Vudfg,
     cfg: &SimConfig,
@@ -370,6 +407,7 @@ fn run_active(
     dram: &mut DramSim,
     image: &mut [Elem],
     must_drain: &[bool],
+    prof: &mut Option<Profiler>,
 ) -> Result<u64, SimError> {
     let n = units.len();
     if n == 0 {
@@ -483,6 +521,13 @@ fn run_active(
 
             step_unit(&mut units[i], now, streams, &mut progress, dram, image)?;
 
+            if let Some(p) = prof.as_mut() {
+                if let URt::Vcu(v) = &units[i] {
+                    p.observe_vcu(i, now, v, progress > progress_before);
+                }
+                p.observe_unit_streams(i, now, streams);
+            }
+
             let mut changed = progress > progress_before;
             // Pushes on output streams wake the consumer at delivery time.
             for (k, &s) in unit_outputs[i].iter().enumerate() {
@@ -538,6 +583,9 @@ fn run_active(
         if stepped_any || dram_next == Some(now) {
             responses.clear();
             dram.tick(now, &mut responses);
+            if let Some(p) = prof.as_mut() {
+                p.observe_dram(now, dram.stats());
+            }
             for r in &responses {
                 let ui = (r.id >> 32) as usize;
                 if let Some(URt::Ag(a)) = units.get_mut(ui) {

@@ -17,8 +17,10 @@
 
 pub mod engine;
 pub mod packet;
+pub mod profile;
 pub mod stream;
 pub mod units;
 
 pub use engine::{simulate, SimConfig, SimError, SimOutcome, SimStats};
 pub use packet::Packet;
+pub use sara_core::profile::SimProfile;

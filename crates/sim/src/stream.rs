@@ -95,6 +95,12 @@ impl StreamRt {
         self.latency
     }
 
+    /// Total packet slots: receive-FIFO depth plus in-flight latency
+    /// registers (the bound [`StreamRt::can_push`] enforces).
+    pub fn slots(&self) -> usize {
+        self.capacity + self.latency as usize
+    }
+
     /// Whether fully drained.
     pub fn is_empty(&self) -> bool {
         self.q.is_empty() && self.arriving.is_empty()

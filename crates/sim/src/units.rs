@@ -72,6 +72,23 @@ struct Sweep {
     exiting: bool,
 }
 
+/// Machine-readable category of the site where a VCU last stalled. The
+/// profiler maps these (plus the stalling stream's producer kind) onto
+/// the public stall taxonomy; the human-readable [`VcuRt::stall`] string
+/// stays the deadlock-diagnostic counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StallClass {
+    /// No stall recorded (fresh unit, or cleared by a firing).
+    #[default]
+    None,
+    /// Blocked popping a CMMC credit/token.
+    CreditPop,
+    /// Blocked waiting for a data value, dynamic bound, or condition.
+    InputData,
+    /// Blocked on output stream space.
+    OutputSpace,
+}
+
 /// Runtime state of a virtual compute unit.
 #[derive(Debug, Clone)]
 pub struct VcuRt {
@@ -88,6 +105,10 @@ pub struct VcuRt {
     pub firings: u64,
     /// Human-readable reason the unit last stalled (diagnostics).
     pub stall: &'static str,
+    /// Category of the last stall site (profiling).
+    pub stall_class: StallClass,
+    /// The stream whose state caused the last stall, when one did.
+    pub stall_stream: Option<StreamId>,
 }
 
 impl VcuRt {
@@ -106,6 +127,8 @@ impl VcuRt {
             done: false,
             firings: 0,
             stall: "",
+            stall_class: StallClass::None,
+            stall_stream: None,
         }
     }
 
@@ -148,6 +171,8 @@ impl VcuRt {
         for p in self.tokens_at(level, true) {
             if ctx.s(self.inputs[p]).peek().is_none() {
                 self.stall = "token pop";
+                self.stall_class = StallClass::CreditPop;
+                self.stall_stream = Some(self.inputs[p]);
                 return false;
             }
         }
@@ -169,6 +194,8 @@ impl VcuRt {
             for s in &port.streams {
                 if !ctx.s(*s).can_push() {
                     self.stall = "token push space";
+                    self.stall_class = StallClass::OutputSpace;
+                    self.stall_stream = Some(*s);
                     return false;
                 }
             }
@@ -181,6 +208,8 @@ impl VcuRt {
                 for s in &port.streams {
                     if !ctx.s(*s).can_push() {
                         self.stall = "marker space";
+                        self.stall_class = StallClass::OutputSpace;
+                        self.stall_stream = Some(*s);
                         return false;
                     }
                 }
@@ -224,6 +253,8 @@ impl VcuRt {
                 let st = ctx.s(sid);
                 if !st.skip_markers_and_peek() {
                     self.stall = "dynamic bound";
+                    self.stall_class = StallClass::InputData;
+                    self.stall_stream = Some(sid);
                     return None;
                 }
                 let pk = st.pop().expect("peeked");
@@ -247,6 +278,8 @@ impl VcuRt {
                     if let CBound::Port(p) = b {
                         if !ctx.s(self.inputs[*p]).skip_markers_and_peek() {
                             self.stall = "dynamic bound";
+                            self.stall_class = StallClass::InputData;
+                            self.stall_stream = Some(self.inputs[*p]);
                             return false;
                         }
                     }
@@ -255,6 +288,8 @@ impl VcuRt {
             Level::Gate { cond_in, .. } => {
                 if !ctx.s(self.inputs[*cond_in]).skip_markers_and_peek() {
                     self.stall = "condition value";
+                    self.stall_class = StallClass::InputData;
+                    self.stall_stream = Some(self.inputs[*cond_in]);
                     return false;
                 }
             }
@@ -338,6 +373,8 @@ impl VcuRt {
                 for p in &ports {
                     if !ctx.s(self.inputs[*p]).skip_markers_and_peek() {
                         self.stall = "sweep control value";
+                        self.stall_class = StallClass::InputData;
+                        self.stall_stream = Some(self.inputs[*p]);
                         self.sweep = Some(sw);
                         return false;
                     }
@@ -419,6 +456,8 @@ impl VcuRt {
                             let sid = self.inputs[*cond_in];
                             if !ctx.s(sid).skip_markers_and_peek() {
                                 self.stall = "while condition";
+                                self.stall_class = StallClass::InputData;
+                                self.stall_stream = Some(sid);
                                 self.resume = Some(cur);
                                 return false;
                             }
@@ -504,6 +543,8 @@ impl VcuRt {
             if let NodeOp::StreamIn { port } = node.op {
                 if !ctx.s(self.inputs[port]).skip_markers_and_peek() {
                     self.stall = "data input";
+                    self.stall_class = StallClass::InputData;
+                    self.stall_stream = Some(self.inputs[port]);
                     return Ok(());
                 }
             }
@@ -514,6 +555,8 @@ impl VcuRt {
                 for s in &self.outputs[port].streams {
                     if !ctx.s(*s).can_push() {
                         self.stall = "output space";
+                        self.stall_class = StallClass::OutputSpace;
+                        self.stall_stream = Some(*s);
                         return Ok(());
                     }
                 }
@@ -523,6 +566,8 @@ impl VcuRt {
             for s in &self.outputs[p].streams {
                 if !ctx.s(*s).can_push() {
                     self.stall = "sentinel token space";
+                    self.stall_class = StallClass::OutputSpace;
+                    self.stall_stream = Some(*s);
                     return Ok(());
                 }
             }
@@ -659,6 +704,8 @@ impl VcuRt {
         self.firings += 1;
         *ctx.progress += 1;
         self.stall = "";
+        self.stall_class = StallClass::None;
+        self.stall_stream = None;
 
         // advance the innermost level (or finish for level-less units)
         if n == 0 {

@@ -130,7 +130,7 @@ fn deadlock_detected_and_diagnosed() {
     let err = simulate(
         &g,
         &ChipSpec::tiny_4x4(),
-        &SimConfig { max_cycles: 100_000, deadlock_window: 500, dense: false },
+        &SimConfig { max_cycles: 100_000, deadlock_window: 500, ..SimConfig::default() },
     )
     .unwrap_err();
     match err {

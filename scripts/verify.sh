@@ -1,8 +1,34 @@
 #!/usr/bin/env bash
 # Full local verification: build, tests (incl. bench-binary smoke tests),
 # formatting, and lints. CI should run exactly this.
+#
+#   --quick   skip the release build and run the cheap checks first
+#             (fmt, clippy, debug tests) — used by the CI lint job so
+#             style failures surface in seconds, not after a full build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$quick" == 1 ]]; then
+  echo "== cargo fmt --check"
+  cargo fmt --all -- --check
+
+  echo "== cargo clippy -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+
+  echo "== cargo test"
+  cargo test -q --workspace
+
+  echo "verify (quick): OK"
+  exit 0
+fi
 
 echo "== cargo build --release"
 cargo build --release --workspace
