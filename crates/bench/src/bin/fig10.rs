@@ -130,6 +130,6 @@ fn main() {
             }
         }
     }
-    let path = sara_bench::save_json("fig10", &Json::from(rows));
+    let path = sara_bench::save_json_or_exit("fig10", &Json::from(rows));
     println!("\nsaved {}", path.display());
 }

@@ -127,6 +127,6 @@ fn main() {
                 .set("compile_ms", o.compile_ms),
         );
     }
-    let path = sara_bench::save_json("fig11", &Json::from(rows));
+    let path = sara_bench::save_json_or_exit("fig11", &Json::from(rows));
     println!("\nsaved {}", path.display());
 }

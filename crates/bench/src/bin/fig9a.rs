@@ -153,6 +153,6 @@ fn main() {
             Err(e) => eprintln!("{pt:?}: {e}"),
         }
     }
-    let path = sara_bench::save_json("fig9a", &Json::from(rows));
+    let path = sara_bench::save_json_or_exit("fig9a", &Json::from(rows));
     println!("\nsaved {}", path.display());
 }

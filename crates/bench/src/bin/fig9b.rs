@@ -150,6 +150,6 @@ fn main() {
                 .set("pareto", *is_pareto),
         );
     }
-    let path = sara_bench::save_json("fig9b", &Json::from(rows));
+    let path = sara_bench::save_json_or_exit("fig9b", &Json::from(rows));
     println!("\nsaved {}", path.display());
 }

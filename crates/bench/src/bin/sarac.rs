@@ -103,6 +103,19 @@ fn sweep_all(chip: &ChipSpec, do_sim: bool) -> ! {
     std::process::exit(i32::from(failed));
 }
 
+/// Value of a `--flag VALUE` pair, or a one-line usage error (exit 2)
+/// when the value is missing.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -126,31 +139,26 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--chip" => {
-                i += 1;
-                chip = match args[i].as_str() {
+                chip = match flag_value(&args, &mut i, "--chip").as_str() {
                     "20x20" => ChipSpec::sara_20x20(),
                     "16x8" => ChipSpec::vanilla_16x8(),
                     "8x8" => ChipSpec::small_8x8(),
                     other => {
-                        eprintln!("unknown chip {other}");
+                        eprintln!("error: unknown chip {other} (expected 20x20, 16x8, or 8x8)");
                         std::process::exit(2);
                     }
                 };
             }
             "--simulate" => do_sim = true,
             "--sweep" => do_sweep = true,
-            "--dot" => {
-                i += 1;
-                dot_file = Some(args[i].clone());
-            }
+            "--dot" => dot_file = Some(flag_value(&args, &mut i, "--dot")),
             "--profile" => {
-                i += 1;
-                profile_file = Some(args[i].clone());
+                profile_file = Some(flag_value(&args, &mut i, "--profile"));
                 do_sim = true;
             }
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => {
-                eprintln!("unknown flag {other}");
+                eprintln!("error: unknown flag {other}");
                 std::process::exit(2);
             }
         }
@@ -198,7 +206,10 @@ fn main() {
         });
     println!("pnr:   wirelength {}, max link use {}", pnr.wirelength, pnr.max_link_use);
     if let Some(f) = dot_file {
-        std::fs::write(&f, dot_of(&compiled.vudfg)).expect("write dot file");
+        if let Err(e) = std::fs::write(&f, dot_of(&compiled.vudfg)) {
+            eprintln!("error: cannot write dot file {f}: {e}");
+            std::process::exit(1);
+        }
         println!("dot:   wrote {f}");
     }
     if do_sim {
@@ -213,7 +224,10 @@ fn main() {
                 );
                 if let (Some(f), Some(prof)) = (profile_file, o.profile.as_ref()) {
                     let doc = sara_bench::trace::chrome_trace(&format!("{name} sim"), prof);
-                    std::fs::write(&f, doc.pretty()).expect("write profile trace");
+                    if let Err(e) = std::fs::write(&f, doc.pretty()) {
+                        eprintln!("error: cannot write profile trace {f}: {e}");
+                        std::process::exit(1);
+                    }
                     println!("trace: wrote {f} (open in chrome://tracing or ui.perfetto.dev)");
                     print!("{}", sara_core::report::bottleneck_summary(prof, 5));
                 }

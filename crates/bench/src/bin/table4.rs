@@ -124,6 +124,6 @@ fn main() {
                 .set("arithmetic_intensity", r.arithmetic_intensity),
         );
     }
-    let path = sara_bench::save_json("table4", &Json::from(rows));
+    let path = sara_bench::save_json_or_exit("table4", &Json::from(rows));
     println!("\nsaved {}", path.display());
 }

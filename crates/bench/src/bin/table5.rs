@@ -114,6 +114,6 @@ fn main() {
     }
     let gm = geomean(&speedups);
     println!("\ngeo-mean speedup over PC: {gm:.2}x (paper: 4.9x)");
-    let path = sara_bench::save_json("table5", &Json::from(rows));
+    let path = sara_bench::save_json_or_exit("table5", &Json::from(rows));
     println!("saved {}", path.display());
 }

@@ -117,6 +117,6 @@ fn main() {
     }
     let gm = geomean(&speedups);
     println!("\ngeo-mean speedup over V100: {gm:.2}x (paper: 1.9x)");
-    let path = sara_bench::save_json("table6", &Json::from(rows));
+    let path = sara_bench::save_json_or_exit("table6", &Json::from(rows));
     println!("saved {}", path.display());
 }

@@ -105,9 +105,15 @@ pub fn parse_profile_dir_flag() {
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--profile-dir" {
-            if let Some(d) = args.get(i + 1) {
-                dir = Some(PathBuf::from(d));
-                i += 1;
+            match args.get(i + 1) {
+                Some(d) => {
+                    dir = Some(PathBuf::from(d));
+                    i += 1;
+                }
+                None => {
+                    eprintln!("error: --profile-dir requires a value");
+                    std::process::exit(2);
+                }
             }
         }
         i += 1;
@@ -162,14 +168,30 @@ pub fn run_pc(p: &Program, chip: &ChipSpec) -> Result<Run, String> {
 /// Write a result set to `results/<name>.json` (repo root), returning the
 /// path. `SARA_BENCH_RESULTS_DIR` redirects the output directory (used by
 /// the smoke tests to avoid overwriting full sweep results).
-pub fn save_json(name: &str, value: &Json) -> PathBuf {
+///
+/// # Errors
+///
+/// A human-readable description when the directory cannot be created or
+/// the file cannot be written.
+pub fn save_json(name: &str, value: &Json) -> Result<PathBuf, String> {
     let dir = std::env::var_os("SARA_BENCH_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"));
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create results dir {}: {e}", dir.display()))?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, value.pretty()).expect("write results");
-    path
+    std::fs::write(&path, value.pretty())
+        .map_err(|e| format!("cannot write results file {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// [`save_json`] for the fig/table binaries: exits with a one-line
+/// diagnostic (code 1) instead of a panic backtrace on I/O failure.
+pub fn save_json_or_exit(name: &str, value: &Json) -> PathBuf {
+    save_json(name, value).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// True when `SARA_BENCH_SMOKE` is set: binaries shrink their sweeps to a

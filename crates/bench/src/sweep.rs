@@ -26,14 +26,31 @@ use std::sync::mpsc;
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "SARA_BENCH_THREADS";
 
+/// Parse a `SARA_BENCH_THREADS` value into a positive worker count.
+///
+/// # Errors
+///
+/// A one-line diagnostic when the value is not a positive integer.
+pub fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{THREADS_ENV}={v:?} is not a positive integer")),
+    }
+}
+
 /// Worker count for a sweep over `n_points` points: the `SARA_BENCH_THREADS`
-/// override if set and parseable, else available parallelism, clamped to
-/// `[1, n_points]` (and to 1 when `n_points` is 0).
+/// override if set, else available parallelism, clamped to `[1, n_points]`
+/// (and to 1 when `n_points` is 0). An unparsable override is a usage
+/// error: one-line diagnostic on stderr and exit code 2, never a silent
+/// fallback to a different thread count.
 pub fn threads_for(n_points: usize) -> usize {
-    let requested = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let requested = match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_threads(&v).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
     requested.clamp(1, n_points.max(1))
 }
 
@@ -204,6 +221,16 @@ mod tests {
         let n = threads_for(4);
         assert!((1..=4).contains(&n));
         assert_eq!(threads_for(0), 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("3"), Ok(3));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("many").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("").is_err());
     }
 
     #[test]

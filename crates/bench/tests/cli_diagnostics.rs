@@ -1,0 +1,73 @@
+//! Malformed invocations of the bench binaries must die with a one-line
+//! diagnostic and a nonzero exit code — never a panic backtrace. Each
+//! case here was a panic (index out of bounds, `expect`) or a silent
+//! misbehavior (ignored `SARA_BENCH_THREADS`) before the hardening pass.
+
+use std::process::Command;
+
+fn sarac() -> &'static str {
+    env!("CARGO_BIN_EXE_sarac")
+}
+
+fn assert_diagnostic(out: &std::process::Output, what: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{what}: want exit 2, stderr:\n{stderr}");
+    assert!(stderr.starts_with("error:"), "{what}: want one-line error, got:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "{what}: no backtrace wanted, got:\n{stderr}");
+}
+
+#[test]
+fn sarac_flag_without_value_is_a_usage_error() {
+    for flag in ["--chip", "--dot", "--profile"] {
+        let out = Command::new(sarac()).arg(flag).output().expect("spawn sarac");
+        assert_diagnostic(&out, flag);
+    }
+}
+
+#[test]
+fn sarac_unknown_chip_and_flag_are_usage_errors() {
+    let out = Command::new(sarac()).args(["--chip", "9x9"]).output().expect("spawn sarac");
+    assert_diagnostic(&out, "--chip 9x9");
+    let out = Command::new(sarac()).args(["--frobnicate"]).output().expect("spawn sarac");
+    assert_diagnostic(&out, "--frobnicate");
+}
+
+#[test]
+fn unparsable_thread_count_is_a_usage_error() {
+    let out = Command::new(sarac())
+        .args(["--sweep"])
+        .env("SARA_BENCH_THREADS", "many")
+        .output()
+        .expect("spawn sarac");
+    assert_diagnostic(&out, "SARA_BENCH_THREADS=many");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SARA_BENCH_THREADS"), "diagnostic names the variable:\n{stderr}");
+}
+
+#[test]
+fn unwritable_results_dir_is_a_one_line_error() {
+    // Point SARA_BENCH_RESULTS_DIR below a regular file so create_dir_all
+    // must fail.
+    let blocker = std::env::temp_dir().join(format!("sara-cli-diag-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").expect("write blocker file");
+    let out = Command::new(env!("CARGO_BIN_EXE_table4"))
+        .env("SARA_BENCH_SMOKE", "1")
+        .env("SARA_BENCH_RESULTS_DIR", blocker.join("results"))
+        .output()
+        .expect("spawn table4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "want exit 1, stderr:\n{stderr}");
+    assert!(stderr.starts_with("error:"), "want one-line error, got:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "no backtrace wanted, got:\n{stderr}");
+    let _ = std::fs::remove_file(&blocker);
+}
+
+#[test]
+fn profile_dir_flag_without_value_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_table5"))
+        .env("SARA_BENCH_SMOKE", "1")
+        .args(["--profile-dir"])
+        .output()
+        .expect("spawn table5");
+    assert_diagnostic(&out, "--profile-dir");
+}

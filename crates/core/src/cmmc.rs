@@ -221,9 +221,23 @@ fn synthesize_mem(p: &Program, mem: MemId, opts: &CmmcOptions, plan: &mut CmmcPl
     plan.stats.backward_before += back.len();
 
     // ---- reduction (§III-A3b) ----
-    let fwd_red = if opts.reduce { fwd.transitive_reduction() } else { fwd.clone() };
+    // An access under a branch arm releases its tokens *vacuously* on
+    // skipped activations, before its upstream dependencies complete — a
+    // token chain through it enforces nothing that iteration. Only
+    // unconditional accesses may relay ordering for a removed edge
+    // (found by differential fuzzing: then-arm → else-arm → reader
+    // chains let the reader run before the then-arm's writes landed).
+    let relay: Vec<bool> = accs
+        .iter()
+        .map(|a| {
+            !p.ancestors(a.id.hb)
+                .into_iter()
+                .any(|c| matches!(p.ctrl(c).kind, CtrlKind::Branch { .. }))
+        })
+        .collect();
+    let fwd_red = if opts.reduce { fwd.transitive_reduction_relaying(&relay) } else { fwd.clone() };
     let back_red: Vec<BackEdge> =
-        if opts.reduce { reduce_backward(&fwd, &back) } else { back.clone() };
+        if opts.reduce { reduce_backward(&fwd, &back, &relay) } else { back.clone() };
 
     plan.stats.forward_after += fwd_red.edge_count();
     plan.stats.backward_after += back_red.len();
@@ -310,7 +324,7 @@ fn synthesize_mem(p: &Program, mem: MemId, opts: &CmmcOptions, plan: &mut CmmcPl
 /// `b` exists that contains exactly one backward edge of the same loop with
 /// the same credit — i.e. forward path `a ->* c`, backward edge `c -> d` of
 /// the same loop, forward path `d ->* b`.
-fn reduce_backward(fwd: &DiGraph, back: &[BackEdge]) -> Vec<BackEdge> {
+fn reduce_backward(fwd: &DiGraph, back: &[BackEdge], relay: &[bool]) -> Vec<BackEdge> {
     let mut keep: Vec<bool> = vec![true; back.len()];
     for (ei, e) in back.iter().enumerate() {
         for (oi, o) in back.iter().enumerate() {
@@ -320,8 +334,14 @@ fn reduce_backward(fwd: &DiGraph, back: &[BackEdge]) -> Vec<BackEdge> {
             if o.lcd_loop != e.lcd_loop {
                 continue;
             }
-            let reach_src = e.from == o.from || fwd.reaches(e.from, o.from);
-            let reach_dst = o.to == e.to || fwd.reaches(o.to, e.to);
+            // `o`'s endpoints act as intermediates of the implied chain
+            // e.from ->* o.from ~> o.to ->* e.to, so unless they coincide
+            // with `e`'s endpoints they must be reliable relays (an access
+            // in a skipped branch arm releases its backward token
+            // vacuously and enforces nothing).
+            let reach_src =
+                e.from == o.from || (relay[o.from] && fwd.reaches_via(e.from, o.from, relay));
+            let reach_dst = o.to == e.to || (relay[o.to] && fwd.reaches_via(o.to, e.to, relay));
             if reach_src && reach_dst {
                 keep[ei] = false;
                 break;

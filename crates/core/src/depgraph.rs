@@ -104,6 +104,65 @@ impl DiGraph {
         seen[b]
     }
 
+    /// Whether `b` is reachable from `a` by a nonempty path whose
+    /// *intermediate* nodes (everything except the endpoints) all satisfy
+    /// `relay`.
+    pub fn reaches_via(&self, a: usize, b: usize, relay: &[bool]) -> bool {
+        let mut seen = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        for &s in &self.succ[a] {
+            if !seen[s] {
+                seen[s] = true;
+                q.push_back(s);
+            }
+        }
+        while let Some(x) = q.pop_front() {
+            if x == b {
+                return true;
+            }
+            if !relay[x] {
+                continue;
+            }
+            for &s in &self.succ[x] {
+                if !seen[s] {
+                    seen[s] = true;
+                    q.push_back(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Like [`Self::reaches_via`], but ignoring the direct edge `a -> b`.
+    pub fn reaches_avoiding_edge_via(&self, a: usize, b: usize, relay: &[bool]) -> bool {
+        let mut seen = vec![false; self.len()];
+        let mut q = VecDeque::new();
+        for &s in &self.succ[a] {
+            if s == b {
+                continue; // skip the direct edge
+            }
+            if !seen[s] {
+                seen[s] = true;
+                q.push_back(s);
+            }
+        }
+        while let Some(x) = q.pop_front() {
+            if x == b {
+                return true;
+            }
+            if !relay[x] {
+                continue;
+            }
+            for &s in &self.succ[x] {
+                if !seen[s] {
+                    seen[s] = true;
+                    q.push_back(s);
+                }
+            }
+        }
+        false
+    }
+
     /// Transitive reduction of a DAG (paper §III-A3b): removes every edge
     /// `a -> b` for which an alternative path `a ->* b` exists. The result
     /// preserves reachability exactly (for DAGs the transitive reduction is
@@ -118,6 +177,29 @@ impl DiGraph {
         for a in 0..self.len() {
             for &b in &self.succ[a] {
                 if !self.reaches_avoiding_edge(a, b) {
+                    out.add_edge(a, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive reduction that only trusts `relay` nodes to transport
+    /// ordering: edge `a -> b` is removed only when an alternative path
+    /// exists whose intermediate nodes all satisfy `relay`. Used by CMMC,
+    /// where a token chain through a node that can be *skipped* (a branch
+    /// arm releasing its tokens vacuously) does not enforce the order the
+    /// removed edge did.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the graph is acyclic.
+    pub fn transitive_reduction_relaying(&self, relay: &[bool]) -> DiGraph {
+        debug_assert!(self.topo_order().is_some(), "transitive reduction requires a DAG");
+        let mut out = DiGraph::new(self.len());
+        for a in 0..self.len() {
+            for &b in &self.succ[a] {
+                if !self.reaches_avoiding_edge_via(a, b, relay) {
                     out.add_edge(a, b);
                 }
             }

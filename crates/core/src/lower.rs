@@ -76,11 +76,56 @@ pub struct Lowered {
 /// chip.
 pub fn lower(p: &Program, chip: &ChipSpec, opts: &LowerOptions) -> Result<Lowered, CompileError> {
     p.validate()?;
+    check_fifo_streams(p)?;
     let unroll = mempart::unroll_info(p, chip.pcu.lanes);
     let plan = cmmc::synthesize(p, &opts.cmmc);
     let banking = mempart::plan_banking(p, chip, &unroll, opts.banking)?;
     let b = Builder::new(p, chip, opts, unroll, plan, banking)?;
     b.run()
+}
+
+/// FIFOs lower to a single producer stream wired point-to-point into a
+/// single consumer. More than one writer (or reader) hyperblock, or a
+/// FIFO access inside a spatially unrolled loop, would need an order
+/// arbiter the fabric does not model — found by differential fuzzing,
+/// where the second writer silently overwrote the first in
+/// `fifo_writers` and starved the consumer into a deadlock.
+fn check_fifo_streams(p: &Program) -> Result<(), CompileError> {
+    for (mi, m) in p.mems.iter().enumerate() {
+        if m.kind != MemKind::Fifo {
+            continue;
+        }
+        let mem = MemId(mi as u32);
+        let accs = p.accesses_of(mem);
+        let writers: HashSet<CtrlId> =
+            accs.iter().filter(|a| a.is_write).map(|a| a.id.hb).collect();
+        let readers: HashSet<CtrlId> =
+            accs.iter().filter(|a| !a.is_write).map(|a| a.id.hb).collect();
+        if writers.len() > 1 {
+            return Err(CompileError::Unpartitionable(format!(
+                "fifo {mem} has {} writer hyperblocks; spatial lowering supports one producer stream",
+                writers.len()
+            )));
+        }
+        if readers.len() > 1 {
+            return Err(CompileError::Unpartitionable(format!(
+                "fifo {mem} has {} reader hyperblocks; spatial lowering supports one consumer stream",
+                readers.len()
+            )));
+        }
+        for a in &accs {
+            let unrolled = p
+                .ancestors(a.id.hb)
+                .into_iter()
+                .any(|c| p.ctrl(c).loop_spec().is_some_and(|s| s.par > 1));
+            if unrolled {
+                return Err(CompileError::Unpartitionable(format!(
+                    "fifo {mem} accessed inside a parallelized loop; lane order is undefined"
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Per-level spec before port wiring.
@@ -516,7 +561,12 @@ impl<'a> Builder<'a> {
             self.new_vcu(label, &specs, &binding, VcuRole::Main { hb, lane: lane_tag(lane) });
         self.main.insert((hb, lane.clone()), main);
 
-        let h = self.p.ctrl(hb).hyperblock().expect("leaf").clone();
+        let h = self
+            .p
+            .ctrl(hb)
+            .hyperblock()
+            .ok_or_else(|| CompileError::Internal(format!("build_hb on non-leaf {hb}")))?
+            .clone();
         let width = self.specs_width(&specs);
 
         // Pre-scan: reductions that need cross-lane combining, and their
@@ -641,7 +691,11 @@ impl<'a> Builder<'a> {
                         let scalar = nodes[*reduce_slot];
                         let op = match h.get(ExprId(*reduce_slot as u32)) {
                             Some(Expr::Reduce { op, .. }) => *op,
-                            _ => unreachable!("combined_stores maps to a reduce"),
+                            _ => {
+                                return Err(CompileError::Internal(
+                                    "combined_stores slot is not a reduce".into(),
+                                ))
+                            }
                         };
                         let pred = self.emission_pred(main, *over)?;
                         let combine = self.get_combine(access, *over, op, hb, eid, &binding)?;
@@ -656,7 +710,11 @@ impl<'a> Builder<'a> {
                         let ckey = self.project_combine_lane(hb, *over, &binding)?;
                         self.combines
                             .get_mut(&(access, ckey))
-                            .expect("combine registered")
+                            .ok_or_else(|| {
+                                CompileError::Internal(format!(
+                                    "combine for {access} not registered"
+                                ))
+                            })?
                             .partial_ports
                             .push(in_port);
                         self.push_node(
@@ -764,7 +822,10 @@ impl<'a> Builder<'a> {
         let keys: Vec<(AccessId, LaneKey)> = self.combines.keys().cloned().collect();
         for key in keys {
             let (unit, ports, op, hb, store_expr, binding, lane, specs) = {
-                let cb = self.combines.get(&key).expect("key");
+                let cb = self
+                    .combines
+                    .get(&key)
+                    .ok_or_else(|| CompileError::Internal("combine key vanished".into()))?;
                 (
                     cb.unit,
                     cb.partial_ports.clone(),
@@ -795,7 +856,12 @@ impl<'a> Builder<'a> {
             let total = vals[0];
             // Translate the store's address slice in the combine context
             // and perform the store from here.
-            let h = self.p.ctrl(hb).hyperblock().expect("leaf").clone();
+            let h = self
+                .p
+                .ctrl(hb)
+                .hyperblock()
+                .ok_or_else(|| CompileError::Internal(format!("combine hb {hb} is not a leaf")))?
+                .clone();
             let (mem, addr_exprs) = match h.get(store_expr) {
                 Some(Expr::Store { mem, addr, .. }) => (*mem, addr.clone()),
                 _ => return Err(CompileError::Internal("combine store is not a store".into())),
@@ -1047,6 +1113,13 @@ impl<'a> Builder<'a> {
         }
 
         if decl.kind == MemKind::Fifo {
+            if let Some(&(prev, _, _)) = self.fifo_writers.get(&mem) {
+                if prev != data_unit {
+                    return Err(CompileError::Internal(format!(
+                        "fifo {mem} has multiple writer units; check_fifo_streams should have rejected this"
+                    )));
+                }
+            }
             self.fifo_writers.insert(mem, (data_unit, data_node, cond_node));
             return Ok(());
         }
@@ -1324,7 +1397,7 @@ impl<'a> Builder<'a> {
             let data_port = self.ensure_out_port(vmu, kind_vec, format!("rdata:{access}"));
             self.vmu_build
                 .get_mut(&vmu)
-                .expect("vmu build")
+                .ok_or_else(|| CompileError::Internal("vmu build state missing".into()))?
                 .read_ports
                 .push(VmuReadPort { addr_in, data_out: data_port });
             Ok((vmu, data_port))
@@ -1392,7 +1465,7 @@ impl<'a> Builder<'a> {
                 let data_port = self.ensure_out_port(vmu, kind_vec, format!("rdata:{access}#{b}"));
                 self.vmu_build
                     .get_mut(&vmu)
-                    .expect("vmu build")
+                    .ok_or_else(|| CompileError::Internal("vmu build state missing".into()))?
                     .read_ports
                     .push(VmuReadPort { addr_in, data_out: data_port });
                 let (_, coll_in) = self.g.connect_bcast(
@@ -1543,7 +1616,7 @@ impl<'a> Builder<'a> {
                     };
                     self.vmu_build
                         .get_mut(&vmu)
-                        .expect("vmu build")
+                        .ok_or_else(|| CompileError::Internal("vmu build state missing".into()))?
                         .write_ports
                         .push(VmuWritePort { addr_in, data_in, ack_out: ack_port });
                 }
@@ -1699,7 +1772,7 @@ impl<'a> Builder<'a> {
                     };
                     self.vmu_build
                         .get_mut(&vmu)
-                        .expect("vmu build")
+                        .ok_or_else(|| CompileError::Internal("vmu build state missing".into()))?
                         .write_ports
                         .push(VmuWritePort { addr_in: ai, data_in: di, ack_out: ack });
                 }

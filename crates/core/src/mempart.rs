@@ -195,7 +195,11 @@ pub fn plan_banking(
         }
 
         // ---- privatization scope ----
-        let lca = accs.iter().map(|a| a.id.hb).reduce(|a, b| p.lca(a, b)).expect("nonempty");
+        let lca = accs
+            .iter()
+            .map(|a| a.id.hb)
+            .reduce(|a, b| p.lca(a, b))
+            .ok_or_else(|| CompileError::Internal(format!("mem {mem} has no accesses")))?;
         let private_loops: Vec<(CtrlId, u32)> = {
             let mut v: Vec<(CtrlId, u32)> = p
                 .ancestors(lca)
@@ -277,7 +281,8 @@ pub fn plan_banking(
                 }
             }
         }
-        let (bank_fn, routes, _) = best.expect("at least one candidate");
+        let (bank_fn, routes, _) = best
+            .ok_or_else(|| CompileError::Internal(format!("no banking candidate for mem {mem}")))?;
         plan.mems.insert(mem, MemPlan { mem, private_loops, bank_fn, routes });
     }
     Ok(plan)

@@ -52,6 +52,17 @@ fn find_route_through(p: &Program) -> Option<(sara_ir::CtrlId, MemId, MemId)> {
         if !matches!(p.ctrl(parent).kind, CtrlKind::Loop(_)) {
             continue;
         }
+        // The copy must execute unconditionally: under a branch (or a
+        // do-while) the readers of `m2` must see *stale* data on
+        // iterations where the copy is skipped, but after rewiring they
+        // would read `m1`'s fresh values. Found by differential fuzzing.
+        let conditional = p
+            .ancestors(hb)
+            .into_iter()
+            .any(|c| matches!(p.ctrl(c).kind, CtrlKind::Branch { .. } | CtrlKind::DoWhile { .. }));
+        if conditional {
+            continue;
+        }
         let mut load: Option<(usize, MemId, Vec<sara_ir::ExprId>)> = None;
         let mut store: Option<(MemId, Vec<sara_ir::ExprId>, sara_ir::ExprId)> = None;
         let mut other_effects = false;
@@ -214,6 +225,38 @@ mod tests {
         let out = p.dram("out", &[n], DType::F64, MemInit::Zero);
         // copy only half of a into b
         let l = p.add_loop(root, "copy", LoopSpec::new(0, (n / 2) as i64, 1)).unwrap();
+        let h = p.add_leaf(l, "c").unwrap();
+        let i = p.idx(h, l).unwrap();
+        let v = p.load(h, a, &[i]).unwrap();
+        p.store(h, b, &[i], v).unwrap();
+        let l2 = p.add_loop(root, "drain", LoopSpec::new(0, n as i64, 1)).unwrap();
+        let h2 = p.add_leaf(l2, "d").unwrap();
+        let i2 = p.idx(h2, l2).unwrap();
+        let v2 = p.load(h2, b, &[i2]).unwrap();
+        p.store(h2, out, &[i2], v2).unwrap();
+        p.validate().unwrap();
+        let (_, stats) = rtelm(&p);
+        assert_eq!(stats.rtelm_removed, 0);
+    }
+
+    #[test]
+    fn refuses_conditional_copies() {
+        // A pure copy under a branch arm must NOT be eliminated: readers
+        // of the destination depend on the copy being *skipped* some
+        // iterations (fuzz-found bug; see crates/fuzz/tests/regressions.rs).
+        let mut p = Program::new("rtc");
+        let root = p.root();
+        let n = 4usize;
+        let a = p.sram("a", &[n], DType::F64);
+        let b = p.sram("b", &[n], DType::F64);
+        let out = p.dram("out", &[n], DType::F64, MemInit::Zero);
+        let cond = p.reg("cond", DType::I64);
+        let head = p.add_leaf(root, "head").unwrap();
+        let z = p.c_i64(head, 0).unwrap();
+        let one = p.c_i64(head, 1).unwrap();
+        p.store(head, cond, &[z], one).unwrap();
+        let br = p.add_branch(root, "br", cond).unwrap();
+        let l = p.add_loop(br, "copy", LoopSpec::new(0, n as i64, 1)).unwrap();
         let h = p.add_leaf(l, "c").unwrap();
         let i = p.idx(h, l).unwrap();
         let v = p.load(h, a, &[i]).unwrap();

@@ -238,7 +238,7 @@ pub fn partition(p: &Problem, algo: Algo) -> Result<Solution, String> {
                     best = Some(s);
                 }
             }
-            Ok(best.expect("at least one order"))
+            best.ok_or_else(|| "no traversal order produced a partition".to_string())
         }
         Algo::Solver(cfg) => solver(p, cfg),
     }

@@ -138,6 +138,75 @@ fn solver_not_worse_than_best_traversal() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Corpus replay: the shrunken counterexamples recorded in
+// `proptest_invariants.proptest-regressions` rerun here as explicit
+// named tests, so the historical failures stay pinned even if the
+// seeded case loops above are ever reshuffled.
+
+/// Replays corpus entry `d9e0faac…`: a 12-node DAG with self-loops and
+/// out-of-range endpoints (taken mod n) whose hub node ends up with 7
+/// distinct producers against `max_in = 6`. The instance is infeasible
+/// by definition, and every partitioning algorithm must *report* that
+/// rather than emit a solution that violates the arity constraint.
+#[test]
+fn corpus_partitioning_infeasible_arity_is_reported() {
+    let n = 12;
+    let edges = [
+        (6, 11),
+        (12, 11),
+        (11, 2),
+        (11, 3),
+        (17, 11),
+        (11, 13),
+        (11, 19),
+        (0, 0),
+        (0, 0),
+        (0, 0),
+        (0, 13),
+        (8, 0),
+    ];
+    let costs = vec![0u32, 0, 1, 0, 0, 0, 1, 3, 1, 0, 0, 1];
+    let max_ops = 2;
+    let g = random_dag(n, &edges);
+    let cons =
+        PartitionConstraints { max_ops, max_in: 6, max_out: 4, buffer_depth: 16, max_counters: 8 };
+    // The corpus case has a node cost above max_ops; the harness clamps.
+    let costs: Vec<u32> = costs.into_iter().map(|c| c.min(max_ops)).collect();
+    let p = Problem::new(costs, g.edges(), cons);
+    for algo in [
+        Algo::Traversal(TraversalOrder::DfsFwd),
+        Algo::Traversal(TraversalOrder::BfsBwd),
+        Algo::BestTraversal,
+        Algo::Solver(SolverCfg { gap: 0.25, budget_ms: 50 }),
+    ] {
+        match partition(&p, algo) {
+            Ok(sol) => panic!("infeasible corpus instance produced a solution: {sol:?}"),
+            Err(e) => assert!(
+                e.contains("exceeding input arity"),
+                "infeasibility must name the arity violation, got: {e}"
+            ),
+        }
+    }
+}
+
+/// Replays corpus entry `53ed4f9c…`: a 12-node star around node 11 with
+/// endpoints taken mod n. Transitive reduction must preserve pairwise
+/// reachability exactly.
+#[test]
+fn corpus_transitive_reduction_star() {
+    let n = 12;
+    let edges = [(11, 13), (2, 11), (11, 0), (11, 3), (4, 11), (11, 5), (11, 6)];
+    let g = random_dag(n, &edges);
+    let tr = g.transitive_reduction();
+    assert!(tr.edge_count() <= g.edge_count());
+    for a in 0..n {
+        for b in 0..n {
+            assert_eq!(g.reaches(a, b), tr.reaches(a, b), "({a},{b})");
+        }
+    }
+}
+
 #[test]
 fn class_feasibility_respected() {
     let mut rng = SmallRng::seed_from_u64(0xC1A5);

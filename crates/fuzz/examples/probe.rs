@@ -1,0 +1,20 @@
+//! Debug aid: classify the first N generated cases so tests can pick
+//! seeds with known outcomes. `cargo run -p sara-fuzz --example probe`.
+
+use sara_fuzz::gen;
+use sara_fuzz::oracle::{silence_panics, Oracle, Verdict};
+
+fn main() {
+    silence_panics();
+    for seed in 0..32u64 {
+        let case = gen::generate(seed);
+        let oracle = Oracle { relax_credits: case.cfg.relax_credits, ..Oracle::default() };
+        let v = oracle.run(&case.program);
+        let s = match &v {
+            Verdict::Pass { cycles } => format!("PASS {cycles}"),
+            Verdict::Reject { stage, reason } => format!("REJECT {stage}: {reason}"),
+            Verdict::Failure { kind, detail } => format!("FAILURE {kind:?}: {detail}"),
+        };
+        println!("seed {seed}: {s}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Debug aid: compile + simulate a `.sara` file and dump per-unit
+//! firing counts and DRAM images next to the interpreter's.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_ir::interp::Interp;
+use sara_ir::MemKind;
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: probe2 FILE");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let p = sara_fuzz::textio::from_text(&text).unwrap();
+    let chip = ChipSpec::small_8x8();
+    let reference = Interp::new(&p).run().unwrap();
+    let mut compiled = compile(&p, &chip, &CompilerOptions::default()).unwrap();
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 42).unwrap();
+    let out = simulate(&compiled.vudfg, &chip, &SimConfig::default()).unwrap();
+    for (i, u) in compiled.vudfg.units.iter().enumerate() {
+        println!("unit {i}: {}", u.label);
+    }
+    for s in &compiled.vudfg.streams {
+        println!(
+            "stream {} -> {}: {}",
+            compiled.vudfg.units[s.src.0 as usize].label,
+            compiled.vudfg.units[s.dst.0 as usize].label,
+            s.label
+        );
+    }
+    let mut units: Vec<_> = out.stats.unit_firings.iter().collect();
+    units.sort();
+    for (label, n) in units {
+        println!("{n:>6}  {label}");
+    }
+    for (mi, m) in p.mems.iter().enumerate() {
+        if m.kind != MemKind::Dram {
+            continue;
+        }
+        let mem = sara_ir::MemId(mi as u32);
+        println!("interp {}: {:?}", m.name, reference.mem[mi]);
+        println!("fabric {}: {:?}", m.name, out.dram_final.get(&mem));
+    }
+}

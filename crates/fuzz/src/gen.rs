@@ -1,0 +1,408 @@
+//! Seeded random-program generator with a widened grammar.
+//!
+//! Compared to the generators in `proptest_invariants.rs` and
+//! `proptest_diff.rs` (fixed two/three-stage pipelines), this one draws
+//! from the full control vocabulary the IR validates: deep loop nesting,
+//! branches over computed conditions, do-while loops with register-carried
+//! exit conditions, dynamic (register-read) loop bounds, parallelization
+//! factors on any loop, sequential vs. pipelined schedules (which flips
+//! multibuffer depths), integer and float element types, and FIFO
+//! channels between stages.
+//!
+//! Every generated program is structurally valid (`Program::validate`
+//! passes) and terminates under the reference interpreter — the generator
+//! only emits grammar the IR accepts, so any downstream panic, deadlock
+//! or divergence is a pipeline bug, not a generator artifact.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sara_ir::{BinOp, Bound, DType, Elem, LoopSpec, MemId, MemInit, Program, Schedule, UnOp};
+
+/// Tuning knobs for one generated case.
+#[derive(Debug, Clone)]
+pub struct GenCfg {
+    /// Trip count of the outer stage loop.
+    pub outer_trip: i64,
+    /// Elements per tile (inner loop trips).
+    pub tile: i64,
+    /// Elementwise stages between load and writeback.
+    pub stages: usize,
+    /// Inner-loop parallelization factor.
+    pub inner_par: u32,
+    /// Wrap one middle stage in a branch.
+    pub use_branch: bool,
+    /// Wrap one middle stage in a do-while refinement loop.
+    pub use_do_while: bool,
+    /// Read the inner trip count from a register (dynamic bound).
+    pub dynamic_bound: bool,
+    /// Split one stage's tile loop into a 2-deep nest.
+    pub deep_nest: bool,
+    /// Route one stage through a FIFO instead of an SRAM buffer.
+    pub use_fifo: bool,
+    /// Sequential (vs pipelined) schedule on the outer loop.
+    pub sequential_outer: bool,
+    /// Integer (vs float) element type.
+    pub integer: bool,
+    /// End with a cross-iteration reduction instead of a writeback.
+    pub reduce_tail: bool,
+    /// Relax CMMC credits in the compiler options.
+    pub relax_credits: bool,
+    /// DRAM init / PnR seed.
+    pub seed: u64,
+}
+
+impl GenCfg {
+    /// Draw a configuration from a seeded RNG.
+    pub fn sample(rng: &mut SmallRng) -> Self {
+        GenCfg {
+            outer_trip: rng.gen_range(1i64..5),
+            tile: rng.gen_range(2i64..13),
+            stages: rng.gen_range(1usize..4),
+            inner_par: [1u32, 1, 2, 4, 8][rng.gen_range(0usize..5)],
+            use_branch: rng.gen_bool(0.4),
+            use_do_while: rng.gen_bool(0.3),
+            dynamic_bound: rng.gen_bool(0.3),
+            deep_nest: rng.gen_bool(0.3),
+            use_fifo: rng.gen_bool(0.2),
+            sequential_outer: rng.gen_bool(0.25),
+            integer: rng.gen_bool(0.3),
+            reduce_tail: rng.gen_bool(0.5),
+            relax_credits: rng.gen_bool(0.5),
+            seed: rng.gen_range(0u64..1000),
+        }
+    }
+}
+
+/// A generated case: the program, the memory holding the checked output,
+/// and the configuration that produced it.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub program: Program,
+    pub dst: MemId,
+    pub cfg: GenCfg,
+}
+
+/// Generate the case for `case_seed` (deterministic).
+pub fn generate(case_seed: u64) -> Case {
+    let mut rng = SmallRng::seed_from_u64(case_seed);
+    let cfg = GenCfg::sample(&mut rng);
+    let (program, dst) = build(&cfg, &mut rng);
+    Case { program, dst, cfg }
+}
+
+/// Materialize a program from a configuration. `rng` draws the leftover
+/// micro-choices (op selection, branch modulus, do-while iteration cap).
+pub fn build(cfg: &GenCfg, rng: &mut SmallRng) -> (Program, MemId) {
+    let dtype = if cfg.integer { DType::I64 } else { DType::F64 };
+    let n = (cfg.outer_trip * cfg.tile) as usize;
+    // FIFO stage buffers are order-sensitive: parallel lanes and re-run
+    // do-while bodies would push elements in a different order (or a
+    // different number of times) than the sequential interpreter pops
+    // them, which is a generator artifact, not a pipeline bug. Keep the
+    // grammar valid by restricting those combinations.
+    let use_fifo = cfg.use_fifo;
+    let use_do_while = cfg.use_do_while && !use_fifo;
+    let mut p = Program::new("fuzz");
+    let root = p.root();
+    let src = if cfg.integer {
+        p.dram("src", &[n], dtype, MemInit::RandomI { seed: cfg.seed, lo: -50, hi: 50 })
+    } else {
+        p.dram("src", &[n], dtype, MemInit::RandomF { seed: cfg.seed })
+    };
+    let dst_len = if cfg.reduce_tail { cfg.outer_trip as usize } else { n };
+    let dst = p.dram("dst", &[dst_len], dtype, MemInit::Zero);
+    let bufs: Vec<MemId> = (0..=cfg.stages)
+        .map(|i| {
+            if use_fifo && i == 1 {
+                p.fifo(&format!("q{i}"), cfg.tile as usize + 4, dtype)
+            } else {
+                p.sram(&format!("m{i}"), &[cfg.tile as usize], dtype)
+            }
+        })
+        .collect();
+
+    let la = p.add_loop(root, "A", LoopSpec::new(0, cfg.outer_trip, 1)).unwrap();
+    if cfg.sequential_outer {
+        p.set_schedule(la, Schedule::Sequential);
+    }
+
+    // Dynamic bound: a register holding the tile size. The compiler's
+    // rate rule requires a control register to be written exactly once
+    // per activation of the consuming level, so the setup leaf lives
+    // *inside* the outer loop, as the first stage of each iteration.
+    let tile_bound = if cfg.dynamic_bound {
+        let b = p.reg("trip", DType::I64);
+        let hb = p.add_leaf(la, "setup").unwrap();
+        let t = p.c_i64(hb, cfg.tile).unwrap();
+        let z = p.c_i64(hb, 0).unwrap();
+        p.store(hb, b, &[z], t).unwrap();
+        Some(b)
+    } else {
+        None
+    };
+    let inner_max = match tile_bound {
+        Some(b) => Bound::Reg(b),
+        None => Bound::Const(cfg.tile),
+    };
+    // Dynamically-bounded loops can't be spatially unrolled the same way,
+    // and FIFO push order must match the interpreter's sequential order;
+    // keep par=1 in both cases so the generator stays inside the valid
+    // grammar.
+    let inner_par = if cfg.dynamic_bound || use_fifo { 1 } else { cfg.inner_par };
+
+    // stage 0: load a tile from DRAM.
+    {
+        let spec = LoopSpec { min: Bound::Const(0), max: inner_max, step: 1, par: inner_par };
+        let l = p.add_loop(la, "load", spec).unwrap();
+        let hb = p.add_leaf(l, "ld").unwrap();
+        let ia = p.idx(hb, la).unwrap();
+        let ij = p.idx(hb, l).unwrap();
+        let t = p.c_i64(hb, cfg.tile).unwrap();
+        let b = p.bin(hb, BinOp::Mul, ia, t).unwrap();
+        let a = p.bin(hb, BinOp::Add, b, ij).unwrap();
+        let v = p.load(hb, src, &[a]).unwrap();
+        store_stage(&mut p, hb, bufs[0], ij, v);
+    }
+
+    // Middle stages, each optionally wrapped in richer control.
+    let branch_stage = if cfg.use_branch { rng.gen_range(0..cfg.stages) } else { cfg.stages };
+    let dw_stage = if use_do_while { rng.gen_range(0..cfg.stages) } else { cfg.stages };
+    for s in 0..cfg.stages {
+        let op = rng.gen_range(0u8..5);
+        if s == branch_stage {
+            emit_branch_stage(&mut p, cfg, la, bufs[s], bufs[s + 1], inner_max, inner_par, op, rng);
+        } else if s == dw_stage {
+            emit_do_while_stage(&mut p, cfg, la, s, bufs[s], bufs[s + 1], op, rng);
+        } else if cfg.deep_nest && s == 0 && cfg.tile % 2 == 0 && tile_bound.is_none() {
+            emit_nested_stage(&mut p, cfg, la, s, bufs[s], bufs[s + 1], inner_par, op);
+        } else {
+            let spec = LoopSpec { min: Bound::Const(0), max: inner_max, step: 1, par: inner_par };
+            let l = p.add_loop(la, &format!("s{s}"), spec).unwrap();
+            let hb = p.add_leaf(l, &format!("b{s}")).unwrap();
+            let ij = p.idx(hb, l).unwrap();
+            let x = load_stage(&mut p, hb, bufs[s], ij);
+            let y = emit_op(&mut p, hb, cfg, op, x, ij);
+            store_stage(&mut p, hb, bufs[s + 1], ij, y);
+        }
+    }
+
+    // Tail: write back or reduce per outer iteration.
+    {
+        let spec = LoopSpec { min: Bound::Const(0), max: inner_max, step: 1, par: inner_par };
+        let l = p.add_loop(la, "tail", spec).unwrap();
+        let hb = p.add_leaf(l, "wb").unwrap();
+        let ia = p.idx(hb, la).unwrap();
+        let ij = p.idx(hb, l).unwrap();
+        let x = load_stage(&mut p, hb, bufs[cfg.stages], ij);
+        if cfg.reduce_tail {
+            let acc = p.reduce(hb, BinOp::Add, x, dtype.zero(), l).unwrap();
+            let last = p.is_last(hb, l).unwrap();
+            p.store_if(hb, dst, &[ia], acc, last).unwrap();
+        } else {
+            let t = p.c_i64(hb, cfg.tile).unwrap();
+            let b = p.bin(hb, BinOp::Mul, ia, t).unwrap();
+            let a = p.bin(hb, BinOp::Add, b, ij).unwrap();
+            p.store(hb, dst, &[a], x).unwrap();
+        }
+    }
+    (p, dst)
+}
+
+/// Store helper (FIFOs take a single, ignored address coordinate, same
+/// shape as the 1-D SRAM buffers here).
+fn store_stage(
+    p: &mut Program,
+    hb: sara_ir::CtrlId,
+    mem: MemId,
+    ij: sara_ir::ExprId,
+    v: sara_ir::ExprId,
+) {
+    p.store(hb, mem, &[ij], v).unwrap();
+}
+
+/// Load helper; see [`store_stage`].
+fn load_stage(
+    p: &mut Program,
+    hb: sara_ir::CtrlId,
+    mem: MemId,
+    ij: sara_ir::ExprId,
+) -> sara_ir::ExprId {
+    p.load(hb, mem, &[ij]).unwrap()
+}
+
+/// One elementwise op drawn from the widened op menu.
+fn emit_op(
+    p: &mut Program,
+    hb: sara_ir::CtrlId,
+    cfg: &GenCfg,
+    op: u8,
+    x: sara_ir::ExprId,
+    ij: sara_ir::ExprId,
+) -> sara_ir::ExprId {
+    if cfg.integer {
+        match op {
+            0 => {
+                let c = p.c_i64(hb, 3).unwrap();
+                p.bin(hb, BinOp::Mul, x, c).unwrap()
+            }
+            1 => {
+                let c = p.c_i64(hb, 7).unwrap();
+                p.bin(hb, BinOp::Add, x, c).unwrap()
+            }
+            2 => {
+                let c = p.c_i64(hb, 5).unwrap();
+                p.bin(hb, BinOp::Mod, x, c).unwrap()
+            }
+            3 => p.bin(hb, BinOp::Max, x, ij).unwrap(),
+            _ => {
+                let c = p.c_i64(hb, 0).unwrap();
+                let g = p.bin(hb, BinOp::Gt, x, c).unwrap();
+                let n = p.un(hb, UnOp::Neg, x).unwrap();
+                p.mux(hb, g, x, n).unwrap()
+            }
+        }
+    } else {
+        match op {
+            0 => {
+                let c = p.c_f64(hb, 1.5).unwrap();
+                p.bin(hb, BinOp::Mul, x, c).unwrap()
+            }
+            1 => {
+                let c = p.c_f64(hb, 0.25).unwrap();
+                p.bin(hb, BinOp::Add, x, c).unwrap()
+            }
+            2 => p.un(hb, UnOp::Relu, x).unwrap(),
+            3 => p.un(hb, UnOp::Abs, x).unwrap(),
+            _ => {
+                let ix = p.un(hb, UnOp::ToF, ij).unwrap();
+                p.bin(hb, BinOp::Add, x, ix).unwrap()
+            }
+        }
+    }
+}
+
+/// A stage wrapped in a two-arm branch: `then` applies the op, `else`
+/// copies through (so both arms write the full output tile and the result
+/// stays deterministic).
+#[allow(clippy::too_many_arguments)]
+fn emit_branch_stage(
+    p: &mut Program,
+    cfg: &GenCfg,
+    la: sara_ir::CtrlId,
+    src: MemId,
+    dst: MemId,
+    inner_max: Bound,
+    inner_par: u32,
+    op: u8,
+    rng: &mut SmallRng,
+) {
+    let modulus = rng.gen_range(2i64..4);
+    let cond = p.reg("brc", DType::I64);
+    let hh = p.add_leaf(la, "brhead").unwrap();
+    let i = p.idx(hh, la).unwrap();
+    let m = p.c_i64(hh, modulus).unwrap();
+    let r = p.bin(hh, BinOp::Mod, i, m).unwrap();
+    let z = p.c_i64(hh, 0).unwrap();
+    let c = p.bin(hh, BinOp::Eq, r, z).unwrap();
+    p.store(hh, cond, &[z], c).unwrap();
+    let br = p.add_branch(la, "br", cond).unwrap();
+    for (arm, apply) in [("then", true), ("else", false)] {
+        let spec = LoopSpec { min: Bound::Const(0), max: inner_max, step: 1, par: inner_par };
+        let l = p.add_loop(br, &format!("br_{arm}"), spec).unwrap();
+        let hb = p.add_leaf(l, arm).unwrap();
+        let ij = p.idx(hb, l).unwrap();
+        let x = load_stage(p, hb, src, ij);
+        let y = if apply { emit_op(p, hb, cfg, op, x, ij) } else { x };
+        store_stage(p, hb, dst, ij, y);
+    }
+}
+
+/// A stage wrapped in a do-while: the body processes the tile, then a
+/// tail leaf decrements a register counter; the loop repeats while the
+/// counter is positive. Exercises register-carried exit conditions and
+/// bounded iteration.
+#[allow(clippy::too_many_arguments)]
+fn emit_do_while_stage(
+    p: &mut Program,
+    cfg: &GenCfg,
+    la: sara_ir::CtrlId,
+    s: usize,
+    src: MemId,
+    dst: MemId,
+    op: u8,
+    rng: &mut SmallRng,
+) {
+    let iters = rng.gen_range(1i64..4);
+    let ctr = p.reg_init("dwctr", Elem::I64(iters));
+    let cond = p.reg("dwcond", DType::I64);
+    let dw = p.add_do_while(la, &format!("dw{s}"), cond, 8).unwrap();
+    // Body: process the tile. Do-while bodies re-run, so the stage must be
+    // idempotent across passes: copy src→dst applying the op once (the op
+    // uses src only, never dst, so repeated passes write the same values).
+    let spec = LoopSpec { min: Bound::Const(0), max: Bound::Const(cfg.tile), step: 1, par: 1 };
+    let l = p.add_loop(dw, &format!("dws{s}"), spec).unwrap();
+    let hb = p.add_leaf(l, &format!("dwb{s}")).unwrap();
+    let ij = p.idx(hb, l).unwrap();
+    let x = load_stage(p, hb, src, ij);
+    let y = emit_op(p, hb, cfg, op, x, ij);
+    store_stage(p, hb, dst, ij, y);
+    // Tail: decrement the counter, write cond = (ctr > 0).
+    let ht = p.add_leaf(dw, "dwt").unwrap();
+    let z = p.c_i64(ht, 0).unwrap();
+    let one = p.c_i64(ht, 1).unwrap();
+    let cur = p.load(ht, ctr, &[z]).unwrap();
+    let nxt = p.bin(ht, BinOp::Sub, cur, one).unwrap();
+    p.store(ht, ctr, &[z], nxt).unwrap();
+    let more = p.bin(ht, BinOp::Gt, nxt, z).unwrap();
+    p.store(ht, cond, &[z], more).unwrap();
+}
+
+/// A stage whose tile loop is split into a 2-deep nest (tile = 2 × half),
+/// deepening the control tree and exercising multi-level counter chains.
+#[allow(clippy::too_many_arguments)]
+fn emit_nested_stage(
+    p: &mut Program,
+    cfg: &GenCfg,
+    la: sara_ir::CtrlId,
+    s: usize,
+    src: MemId,
+    dst: MemId,
+    inner_par: u32,
+    op: u8,
+) {
+    let half = cfg.tile / 2;
+    let lo = p.add_loop(la, &format!("n{s}o"), LoopSpec::new(0, 2, 1)).unwrap();
+    let li =
+        p.add_loop(lo, &format!("n{s}i"), LoopSpec::new(0, half, 1).par(inner_par.min(2))).unwrap();
+    let hb = p.add_leaf(li, &format!("nb{s}")).unwrap();
+    let io = p.idx(hb, lo).unwrap();
+    let ii = p.idx(hb, li).unwrap();
+    let h = p.c_i64(hb, half).unwrap();
+    let b = p.bin(hb, BinOp::Mul, io, h).unwrap();
+    let ij = p.bin(hb, BinOp::Add, b, ii).unwrap();
+    let x = load_stage(p, hb, src, ij);
+    let y = emit_op(p, hb, cfg, op, x, ij);
+    store_stage(p, hb, dst, ij, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_validate() {
+        for seed in 0..64u64 {
+            let case = generate(seed);
+            case.program.validate().unwrap_or_else(|e| {
+                panic!("seed {seed}: invalid program: {e}\ncfg {:?}", case.cfg)
+            });
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(crate::textio::to_text(&a.program), crate::textio::to_text(&b.program));
+    }
+}

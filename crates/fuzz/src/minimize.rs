@@ -1,0 +1,449 @@
+//! Delta-debugging case minimizer.
+//!
+//! Greedy reduction over program-level transformations: remove a
+//! controller subtree, shrink a loop's trip count or parallelization,
+//! drop a store (plus its dead upstream computation), or drop an unused
+//! memory. A candidate is accepted only if it still validates *and* the
+//! oracle reproduces the same failure class — the classic ddmin accept
+//! rule, which keeps the minimizer honest even when a transformation
+//! changes program semantics.
+//!
+//! All transformations rebuild the program with dense ID remaps
+//! (controllers, memories, and expression slots are index-based), so the
+//! minimized program is a self-contained, replayable artifact.
+
+use crate::oracle::Oracle;
+use sara_ir::{Bound, CtrlId, CtrlKind, Expr, ExprId, Hyperblock, MemId, Program};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of a minimization run.
+#[derive(Debug)]
+pub struct Minimized {
+    pub program: Program,
+    /// Oracle invocations spent.
+    pub oracle_calls: usize,
+    /// Size (exprs + ctrls + mems) before and after.
+    pub size_before: usize,
+    pub size_after: usize,
+}
+
+/// Rough program size: expression slots + controllers + memories.
+pub fn size_of(p: &Program) -> usize {
+    p.total_exprs() + p.ctrls.len() + p.mems.len()
+}
+
+/// Greedily minimize `p` while the oracle keeps reproducing failure
+/// class `class`, spending at most `budget` oracle invocations.
+pub fn minimize(p: &Program, oracle: &Oracle, class: &str, budget: usize) -> Minimized {
+    let size_before = size_of(p);
+    let mut cur = p.clone();
+    let mut calls = 0usize;
+    let mut progress = true;
+    while progress && calls < budget {
+        progress = false;
+        for cand in candidates(&cur) {
+            if calls >= budget {
+                break;
+            }
+            if size_of(&cand) >= size_of(&cur) {
+                continue;
+            }
+            if cand.validate().is_err() {
+                continue;
+            }
+            calls += 1;
+            if oracle.run(&cand).failure_class().as_deref() == Some(class) {
+                cur = cand;
+                progress = true;
+                break;
+            }
+        }
+    }
+    let size_after = size_of(&cur);
+    Minimized { program: cur, oracle_calls: calls, size_before, size_after }
+}
+
+/// All one-step reduction candidates of `p`, biggest reductions first.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // 1. Remove controller subtrees (larger subtrees first so the greedy
+    //    loop takes big bites when it can).
+    let mut subtrees: Vec<(usize, CtrlId)> = (0..p.ctrls.len())
+        .map(CtrlId::from_index)
+        .filter(|c| p.ctrls[c.index()].parent.is_some())
+        .map(|c| (subtree_size(p, c), c))
+        .collect();
+    subtrees.sort_by_key(|t| std::cmp::Reverse(t.0));
+    for (_, c) in subtrees {
+        if let Some(q) = remove_subtree(p, c) {
+            out.push(q);
+        }
+    }
+    // 2. Drop individual stores (with their now-dead upstream exprs).
+    for (ci, c) in p.ctrls.iter().enumerate() {
+        if let CtrlKind::Leaf(hb) = &c.kind {
+            for (ei, e) in hb.exprs.iter().enumerate() {
+                if matches!(e, Expr::Store { .. }) {
+                    let mut q = p.clone();
+                    let mut drop: HashSet<usize> = HashSet::new();
+                    drop.insert(ei);
+                    if let CtrlKind::Leaf(h) = &mut q.ctrls[ci].kind {
+                        if let Some(nh) = drop_exprs(hb, &drop) {
+                            *h = nh;
+                            out.push(dce(&q));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // 3. Shrink loop trip counts and parallelization factors.
+    for (ci, c) in p.ctrls.iter().enumerate() {
+        if let CtrlKind::Loop(spec) = &c.kind {
+            if let (Bound::Const(lo), Bound::Const(hi)) = (spec.min, spec.max) {
+                let trip = (hi - lo + spec.step.abs() - 1) / spec.step.abs().max(1);
+                if spec.step > 0 && trip > 1 {
+                    let mut q = p.clone();
+                    if let CtrlKind::Loop(s) = &mut q.ctrls[ci].kind {
+                        s.max = Bound::Const(lo + (trip / 2).max(1) * s.step);
+                    }
+                    out.push(q);
+                }
+            }
+            if spec.par > 1 {
+                let mut q = p.clone();
+                if let CtrlKind::Loop(s) = &mut q.ctrls[ci].kind {
+                    s.par = 1;
+                }
+                out.push(q);
+            }
+        }
+        if let CtrlKind::DoWhile { max_iter, .. } = &c.kind {
+            if *max_iter > 1 {
+                let mut q = p.clone();
+                if let CtrlKind::DoWhile { max_iter: m, .. } = &mut q.ctrls[ci].kind {
+                    *m /= 2;
+                }
+                out.push(q);
+            }
+        }
+    }
+    // 4. Drop unused memories.
+    for mi in 0..p.mems.len() {
+        let mem = MemId(mi as u32);
+        if mem_unused(p, mem) {
+            if let Some(q) = remove_mem(p, mem) {
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+// Note: trip-count shrinking (candidate class 3) intentionally halves
+// toward 1 rather than bisecting exhaustively; each accepted candidate
+// re-enters the greedy loop, so repeated halving converges the same way.
+
+/// Number of controllers in the subtree rooted at `c`.
+fn subtree_size(p: &Program, c: CtrlId) -> usize {
+    let mut n = 0;
+    p.visit_preorder(c, &mut |_| n += 1);
+    n
+}
+
+trait CtrlIdExt {
+    fn from_index(i: usize) -> CtrlId;
+}
+
+impl CtrlIdExt for CtrlId {
+    fn from_index(i: usize) -> CtrlId {
+        CtrlId(i as u32)
+    }
+}
+
+/// Remove the subtree rooted at `c`, renumbering controllers and
+/// dropping any expression (plus dependents) that referenced a removed
+/// controller. Returns `None` when the removal is structurally hopeless
+/// (e.g. it would orphan the root).
+fn remove_subtree(p: &Program, c: CtrlId) -> Option<Program> {
+    let mut removed: HashSet<usize> = HashSet::new();
+    p.visit_preorder(c, &mut |x| {
+        removed.insert(x.index());
+    });
+    if removed.contains(&0) {
+        return None;
+    }
+    // Dense remap of surviving controllers.
+    let mut remap: HashMap<usize, u32> = HashMap::new();
+    let mut next = 0u32;
+    for i in 0..p.ctrls.len() {
+        if !removed.contains(&i) {
+            remap.insert(i, next);
+            next += 1;
+        }
+    }
+    let mut q = Program::new(&p.name);
+    q.ctrls.clear();
+    q.mems = p.mems.clone();
+    for (i, c) in p.ctrls.iter().enumerate() {
+        if removed.contains(&i) {
+            continue;
+        }
+        let mut nc = c.clone();
+        nc.parent = nc.parent.and_then(|par| remap.get(&par.index()).map(|r| CtrlId(*r)));
+        nc.children = nc
+            .children
+            .iter()
+            .filter_map(|ch| remap.get(&ch.index()).map(|r| CtrlId(*r)))
+            .collect();
+        // Drop exprs referencing removed controllers (and their
+        // dependents).
+        if let CtrlKind::Leaf(hb) = &nc.kind {
+            let drop: HashSet<usize> = hb
+                .exprs
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| expr_ctrls(e).iter().any(|x| removed.contains(&x.index())))
+                .map(|(ei, _)| ei)
+                .collect();
+            let nh = if drop.is_empty() { hb.clone() } else { drop_exprs(hb, &drop)? };
+            // Remap surviving controller references.
+            let mut nh2 = nh;
+            for e in &mut nh2.exprs {
+                remap_expr_ctrls(e, &remap);
+            }
+            nc.kind = CtrlKind::Leaf(nh2);
+        }
+        q.ctrls.push(nc);
+    }
+    Some(dce(&q))
+}
+
+/// Controller ids referenced by an expression.
+fn expr_ctrls(e: &Expr) -> Vec<CtrlId> {
+    match e {
+        Expr::Idx(c) | Expr::IsFirst(c) | Expr::IsLast(c) => vec![*c],
+        Expr::Reduce { over, .. } => vec![*over],
+        _ => vec![],
+    }
+}
+
+fn remap_expr_ctrls(e: &mut Expr, remap: &HashMap<usize, u32>) {
+    let fix = |c: &mut CtrlId| {
+        if let Some(r) = remap.get(&c.index()) {
+            *c = CtrlId(*r);
+        }
+    };
+    match e {
+        Expr::Idx(c) | Expr::IsFirst(c) | Expr::IsLast(c) => fix(c),
+        Expr::Reduce { over, .. } => fix(over),
+        _ => {}
+    }
+}
+
+/// Drop the slots in `drop` plus every transitive dependent, remapping
+/// surviving operand ids. Returns `None` if everything would be dropped
+/// in a way that leaves dangling references (never happens for forward
+/// SSA, but be defensive).
+fn drop_exprs(hb: &Hyperblock, drop: &HashSet<usize>) -> Option<Hyperblock> {
+    let n = hb.exprs.len();
+    let mut dead = vec![false; n];
+    for &d in drop {
+        if d < n {
+            dead[d] = true;
+        }
+    }
+    // Forward cascade: an expr depending on a dead expr dies too.
+    for i in 0..n {
+        if dead[i] {
+            continue;
+        }
+        if hb.exprs[i].operands().iter().any(|o| dead[o.index()]) {
+            dead[i] = true;
+        }
+    }
+    let mut remap: HashMap<usize, u32> = HashMap::new();
+    let mut next = 0u32;
+    for (i, &d) in dead.iter().enumerate() {
+        if !d {
+            remap.insert(i, next);
+            next += 1;
+        }
+    }
+    let mut exprs = Vec::with_capacity(next as usize);
+    for (i, e) in hb.exprs.iter().enumerate() {
+        if dead[i] {
+            continue;
+        }
+        let mut ne = e.clone();
+        if !remap_expr_operands(&mut ne, &remap) {
+            return None;
+        }
+        exprs.push(ne);
+    }
+    Some(Hyperblock { exprs })
+}
+
+/// Remap operand ids; false if an operand no longer exists.
+fn remap_expr_operands(e: &mut Expr, remap: &HashMap<usize, u32>) -> bool {
+    let fix = |x: &mut ExprId, remap: &HashMap<usize, u32>| -> bool {
+        match remap.get(&x.index()) {
+            Some(r) => {
+                *x = ExprId(*r);
+                true
+            }
+            None => false,
+        }
+    };
+    match e {
+        Expr::Const(_) | Expr::Idx(_) | Expr::IsFirst(_) | Expr::IsLast(_) => true,
+        Expr::Un(_, a) => fix(a, remap),
+        Expr::Bin(_, a, b) => fix(a, remap) && fix(b, remap),
+        Expr::Mux { c, t, f } => fix(c, remap) && fix(t, remap) && fix(f, remap),
+        Expr::Load { addr, .. } => addr.iter_mut().all(|a| fix(a, remap)),
+        Expr::Store { addr, value, cond, .. } => {
+            addr.iter_mut().all(|a| fix(a, remap))
+                && fix(value, remap)
+                && cond.as_mut().map(|c| fix(c, remap)).unwrap_or(true)
+        }
+        Expr::Reduce { value, .. } => fix(value, remap),
+    }
+}
+
+/// Dead-code elimination inside every leaf: keep only the backward
+/// closure of stores (the side-effecting roots).
+pub fn dce(p: &Program) -> Program {
+    let mut q = p.clone();
+    for c in &mut q.ctrls {
+        if let CtrlKind::Leaf(hb) = &mut c.kind {
+            let n = hb.exprs.len();
+            let mut live = vec![false; n];
+            let mut stack: Vec<usize> = hb
+                .exprs
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e, Expr::Store { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            while let Some(i) = stack.pop() {
+                if live[i] {
+                    continue;
+                }
+                live[i] = true;
+                for o in hb.exprs[i].operands() {
+                    stack.push(o.index());
+                }
+            }
+            let drop: HashSet<usize> = (0..n).filter(|i| !live[*i]).collect();
+            if !drop.is_empty() {
+                if let Some(nh) = drop_exprs(hb, &drop) {
+                    *hb = nh;
+                }
+            }
+        }
+    }
+    q
+}
+
+/// A memory is unused when no expression accesses it and no controller
+/// reads it as a condition or dynamic bound.
+fn mem_unused(p: &Program, mem: MemId) -> bool {
+    if !p.accesses_of(mem).is_empty() {
+        return false;
+    }
+    for c in &p.ctrls {
+        match &c.kind {
+            CtrlKind::Branch { cond } | CtrlKind::DoWhile { cond, .. } if *cond == mem => {
+                return false;
+            }
+            CtrlKind::Loop(s) if s.min == Bound::Reg(mem) || s.max == Bound::Reg(mem) => {
+                return false;
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Remove memory `mem`, renumbering all higher memory ids.
+fn remove_mem(p: &Program, mem: MemId) -> Option<Program> {
+    let mut q = p.clone();
+    q.mems.remove(mem.index());
+    let shift = |m: &mut MemId| {
+        if m.0 > mem.0 {
+            m.0 -= 1;
+        }
+    };
+    for c in &mut q.ctrls {
+        match &mut c.kind {
+            CtrlKind::Branch { cond } => shift(cond),
+            CtrlKind::DoWhile { cond, .. } => shift(cond),
+            CtrlKind::Loop(s) => {
+                if let Bound::Reg(m) = &mut s.min {
+                    shift(m);
+                }
+                if let Bound::Reg(m) = &mut s.max {
+                    shift(m);
+                }
+            }
+            CtrlKind::Leaf(hb) => {
+                for e in &mut hb.exprs {
+                    match e {
+                        Expr::Load { mem: m, .. } | Expr::Store { mem: m, .. } => shift(m),
+                        _ => {}
+                    }
+                }
+            }
+            CtrlKind::Root => {}
+        }
+    }
+    Some(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{Oracle, Verdict};
+    use plasticine_sim::SimConfig;
+
+    #[test]
+    fn dce_removes_dead_chains() {
+        let mut p = Program::new("d");
+        let root = p.root();
+        let dst = p.dram("dst", &[4], sara_ir::DType::I64, sara_ir::MemInit::Zero);
+        let l = p.add_loop(root, "l", sara_ir::LoopSpec::new(0, 4, 1)).unwrap();
+        let hb = p.add_leaf(l, "h").unwrap();
+        let i = p.idx(hb, l).unwrap();
+        // dead chain
+        let c = p.c_i64(hb, 9).unwrap();
+        let _dead = p.bin(hb, sara_ir::BinOp::Mul, c, i).unwrap();
+        // live store
+        p.store(hb, dst, &[i], i).unwrap();
+        let before = p.total_exprs();
+        let q = dce(&p);
+        assert!(q.total_exprs() < before);
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn minimizer_shrinks_a_timeout_case() {
+        // A tiny cycle budget makes any simulating program a "failure";
+        // the minimizer must then produce a smaller program with the
+        // same failure class.
+        let case = crate::gen::generate(0);
+        let oracle = Oracle {
+            sim_cfg: SimConfig { max_cycles: 3, ..SimConfig::default() },
+            relax_credits: case.cfg.relax_credits,
+            ..Oracle::default()
+        };
+        let v = oracle.run(&case.program);
+        let class = v.failure_class().expect("tiny budget must fail");
+        let m = minimize(&case.program, &oracle, &class, 200);
+        assert!(m.size_after < m.size_before, "no shrink: {m:?}");
+        m.program.validate().unwrap();
+        match oracle.run(&m.program) {
+            Verdict::Failure { .. } => {}
+            other => panic!("minimized case no longer fails: {other:?}"),
+        }
+    }
+}

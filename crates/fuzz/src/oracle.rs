@@ -1,0 +1,320 @@
+//! The differential oracle: one program through the whole stack, every
+//! stage isolated behind `catch_unwind`, every outcome classified.
+//!
+//! The contract under test is the CMMC correctness theorem: for any valid
+//! program, compile → place-and-route → simulate (under *both*
+//! schedulers) must reproduce the sequential interpreter's DRAM image —
+//! or fail with a *typed* error. A panic anywhere, a simulator
+//! deadlock/timeout/fault on a program the interpreter accepts, a
+//! scheduler disagreement, or a wrong DRAM image are all failures; typed
+//! `IrError`/`CompileError`/PnR rejections are clean rejects.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig, SimOutcome};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_ir::interp::Interp;
+use sara_ir::{MemKind, Program};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Pipeline stage at which an outcome was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Validate,
+    Interp,
+    Compile,
+    Pnr,
+    SimDense,
+    SimActive,
+    Compare,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Stage::Validate => "validate",
+            Stage::Interp => "interp",
+            Stage::Compile => "compile",
+            Stage::Pnr => "pnr",
+            Stage::SimDense => "sim-dense",
+            Stage::SimActive => "sim-active",
+            Stage::Compare => "compare",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the oracle concluded about one program.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Full agreement: both schedulers match each other and the
+    /// interpreter.
+    Pass { cycles: u64 },
+    /// The pipeline rejected the program with a typed error before
+    /// simulation — an acceptable outcome for off-nominal inputs.
+    Reject { stage: Stage, reason: String },
+    /// A bug: panic, simulator failure on an interpreter-accepted
+    /// program, scheduler divergence, or a wrong result.
+    Failure { kind: FailureKind, detail: String },
+}
+
+/// Failure classes; minimization preserves the class, not the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A `panic!`/`unwrap` fired somewhere in the stack.
+    Panic(Stage),
+    /// The simulator returned `SimError` (deadlock/timeout/fault) on a
+    /// program the interpreter executed successfully.
+    SimFailure(Stage),
+    /// Dense and active-list schedulers disagree (cycles, firings, or
+    /// DRAM image).
+    SchedulerDivergence,
+    /// The fabric's DRAM image differs from the interpreter's memory.
+    ResultDivergence,
+}
+
+impl Verdict {
+    /// Stable string key identifying the failure class (used by the
+    /// minimizer to check a candidate reproduces the *same* failure).
+    pub fn failure_class(&self) -> Option<String> {
+        match self {
+            Verdict::Failure { kind, .. } => Some(match kind {
+                FailureKind::Panic(s) => format!("panic@{s}"),
+                FailureKind::SimFailure(s) => format!("simfail@{s}"),
+                FailureKind::SchedulerDivergence => "sched-divergence".to_string(),
+                FailureKind::ResultDivergence => "result-divergence".to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed harness configuration shared by a fuzz run and its minimizer.
+pub struct Oracle {
+    pub chip: ChipSpec,
+    /// Base simulator config; both scheduler variants derive from it.
+    pub sim_cfg: SimConfig,
+    pub pnr_seed: u64,
+    /// Interpreter fuel (total hyperblock firings) guarding divergence.
+    pub fuel: u64,
+    /// CMMC credit relaxation, mirrored from the generated case.
+    pub relax_credits: bool,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle {
+            chip: ChipSpec::small_8x8(),
+            sim_cfg: SimConfig::default(),
+            pnr_seed: 42,
+            fuel: 2_000_000,
+            relax_credits: false,
+        }
+    }
+}
+
+impl Oracle {
+    /// Run the full differential check on one program.
+    pub fn run(&self, p: &Program) -> Verdict {
+        // ---- validate ----
+        match guard(Stage::Validate, || p.validate()) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Verdict::Reject { stage: Stage::Validate, reason: e.to_string() },
+            Err(v) => return v,
+        }
+
+        // ---- reference interpreter ----
+        let reference = match guard(Stage::Interp, || Interp::new(p).with_fuel(self.fuel).run()) {
+            Ok(Ok(o)) => o,
+            Ok(Err(e)) => return Verdict::Reject { stage: Stage::Interp, reason: e.to_string() },
+            Err(v) => return v,
+        };
+
+        // ---- compile ----
+        let mut opts = CompilerOptions::default();
+        opts.lower.cmmc.relax_credits = self.relax_credits;
+        let mut compiled = match guard(Stage::Compile, || compile(p, &self.chip, &opts)) {
+            Ok(Ok(c)) => c,
+            Ok(Err(e)) => return Verdict::Reject { stage: Stage::Compile, reason: e.to_string() },
+            Err(v) => return v,
+        };
+
+        // ---- place and route ----
+        match guard(Stage::Pnr, || {
+            sara_pnr::place_and_route(
+                &mut compiled.vudfg,
+                &compiled.assignment,
+                &self.chip,
+                self.pnr_seed,
+            )
+        }) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => return Verdict::Reject { stage: Stage::Pnr, reason: e.to_string() },
+            Err(v) => return v,
+        }
+
+        // ---- simulate under both schedulers ----
+        let dense_cfg = SimConfig { dense: true, ..self.sim_cfg };
+        let active_cfg = SimConfig { dense: false, ..self.sim_cfg };
+        let dense =
+            match guard(Stage::SimDense, || simulate(&compiled.vudfg, &self.chip, &dense_cfg)) {
+                Ok(Ok(o)) => o,
+                Ok(Err(e)) => {
+                    return Verdict::Failure {
+                        kind: FailureKind::SimFailure(Stage::SimDense),
+                        detail: e.to_string(),
+                    }
+                }
+                Err(v) => return v,
+            };
+        let active =
+            match guard(Stage::SimActive, || simulate(&compiled.vudfg, &self.chip, &active_cfg)) {
+                Ok(Ok(o)) => o,
+                Ok(Err(e)) => {
+                    return Verdict::Failure {
+                        kind: FailureKind::SimFailure(Stage::SimActive),
+                        detail: e.to_string(),
+                    }
+                }
+                Err(v) => return v,
+            };
+
+        // ---- scheduler agreement ----
+        if let Some(detail) = scheduler_diff(&dense, &active) {
+            return Verdict::Failure { kind: FailureKind::SchedulerDivergence, detail };
+        }
+
+        // ---- fabric vs interpreter ----
+        for (mi, m) in p.mems.iter().enumerate() {
+            if m.kind != MemKind::Dram {
+                continue;
+            }
+            let mem = sara_ir::MemId(mi as u32);
+            let Some(got) = active.dram_final.get(&mem) else {
+                return Verdict::Failure {
+                    kind: FailureKind::ResultDivergence,
+                    detail: format!("DRAM {} missing from fabric image", m.name),
+                };
+            };
+            let want = &reference.mem[mi];
+            if want.len() != got.len() {
+                return Verdict::Failure {
+                    kind: FailureKind::ResultDivergence,
+                    detail: format!(
+                        "DRAM {}: length {} vs interpreter {}",
+                        m.name,
+                        got.len(),
+                        want.len()
+                    ),
+                };
+            }
+            for (i, (w, g)) in want.iter().zip(got).enumerate() {
+                if !elems_close(*w, *g) {
+                    return Verdict::Failure {
+                        kind: FailureKind::ResultDivergence,
+                        detail: format!("DRAM {}[{i}]: fabric {g:?} vs interpreter {w:?}", m.name),
+                    };
+                }
+            }
+        }
+        Verdict::Pass { cycles: active.cycles }
+    }
+}
+
+/// Run `f` behind `catch_unwind`, mapping a panic to a classified
+/// failure verdict.
+fn guard<T>(stage: Stage, f: impl FnOnce() -> T) -> Result<T, Verdict> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|e| Verdict::Failure {
+        kind: FailureKind::Panic(stage),
+        detail: panic_message(&e),
+    })
+}
+
+/// Extract a printable message from a caught panic payload.
+pub fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// Install a silent panic hook so caught panics don't spam stderr with
+/// backtraces during a fuzz run.
+pub fn silence_panics() {
+    std::panic::set_hook(Box::new(|_| {}));
+}
+
+fn scheduler_diff(dense: &SimOutcome, active: &SimOutcome) -> Option<String> {
+    if dense.cycles != active.cycles {
+        return Some(format!("cycles: dense {} vs active {}", dense.cycles, active.cycles));
+    }
+    if dense.stats.firings != active.stats.firings {
+        return Some(format!(
+            "firings: dense {} vs active {}",
+            dense.stats.firings, active.stats.firings
+        ));
+    }
+    if dense.stats.unit_firings != active.stats.unit_firings {
+        return Some("per-unit firing divergence".to_string());
+    }
+    if dense.stats.dram != active.stats.dram {
+        return Some("dram statistics divergence".to_string());
+    }
+    if dense.dram_final != active.dram_final {
+        return Some("dram image divergence".to_string());
+    }
+    None
+}
+
+/// Float comparison with the same tolerance the existing differential
+/// tests use (1e-9 relative); integers compare exactly.
+fn elems_close(a: sara_ir::Elem, b: sara_ir::Elem) -> bool {
+    use sara_ir::Elem;
+    match (a, b) {
+        (Elem::I64(x), Elem::I64(y)) => x == y,
+        (Elem::F64(x), Elem::F64(y)) => {
+            if x.is_nan() && y.is_nan() {
+                return true;
+            }
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_passes_known_good_program() {
+        let case = crate::gen::generate(0);
+        let oracle = Oracle { relax_credits: case.cfg.relax_credits, ..Oracle::default() };
+        match oracle.run(&case.program) {
+            Verdict::Pass { cycles } => assert!(cycles > 0),
+            v => {
+                // A typed reject is tolerable (resource limits); a failure
+                // is not.
+                assert!(v.failure_class().is_none(), "unexpected failure: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_flags_timeout_as_sim_failure() {
+        let case = crate::gen::generate(0);
+        let oracle = Oracle {
+            sim_cfg: SimConfig { max_cycles: 3, ..SimConfig::default() },
+            relax_credits: case.cfg.relax_credits,
+            ..Oracle::default()
+        };
+        let v = oracle.run(&case.program);
+        match v.failure_class().as_deref() {
+            Some(c) if c.starts_with("simfail@") => {}
+            other => panic!("expected simfail class, got {other:?} ({v:?})"),
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Replayable text serialization of [`Program`]s.
+//!
+//! The workspace's `serde` shim is a no-op (marker traits only), so fuzz
+//! artifacts use a small line-oriented text format instead: one line per
+//! memory, controller, or expression slot, referencing memories and
+//! controllers by index. Floats are serialized as IEEE-754 bit patterns
+//! so a round trip is exact (including NaNs), which matters for
+//! byte-identical replay of divergence cases.
+//!
+//! The format is intentionally dumb — `to_text` followed by `from_text`
+//! reconstructs the program field-for-field, and artifacts diff cleanly
+//! under version control.
+
+use sara_ir::{
+    BinOp, Bound, Ctrl, CtrlId, CtrlKind, DType, Elem, Expr, ExprId, Hyperblock, LoopSpec, MemDecl,
+    MemId, MemInit, MemKind, Program, Schedule, UnOp,
+};
+
+/// Serialize a program to the artifact text format.
+pub fn to_text(p: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("sara-fuzz-program v1\n");
+    out.push_str(&format!("name {}\n", sanitize(&p.name)));
+    for m in &p.mems {
+        out.push_str(&format!(
+            "mem {} {} {} dims={} init={}\n",
+            kind_str(m.kind),
+            sanitize(&m.name),
+            dtype_str(m.dtype),
+            m.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(","),
+            init_str(&m.init),
+        ));
+    }
+    for c in &p.ctrls {
+        let parent = c.parent.map(|q| q.index().to_string()).unwrap_or_else(|| "-".to_string());
+        let children =
+            c.children.iter().map(|q| q.index().to_string()).collect::<Vec<_>>().join(",");
+        let children = if children.is_empty() { "-".to_string() } else { children };
+        let sched = match c.schedule {
+            Schedule::Pipelined => "pipelined",
+            Schedule::Sequential => "sequential",
+        };
+        match &c.kind {
+            CtrlKind::Root => out.push_str(&format!(
+                "ctrl root {} parent={parent} sched={sched} children={children}\n",
+                sanitize(&c.name)
+            )),
+            CtrlKind::Loop(s) => out.push_str(&format!(
+                "ctrl loop {} parent={parent} sched={sched} children={children} min={} max={} step={} par={}\n",
+                sanitize(&c.name),
+                bound_str(s.min),
+                bound_str(s.max),
+                s.step,
+                s.par,
+            )),
+            CtrlKind::Branch { cond } => out.push_str(&format!(
+                "ctrl branch {} parent={parent} sched={sched} children={children} cond={}\n",
+                sanitize(&c.name),
+                cond.0
+            )),
+            CtrlKind::DoWhile { cond, max_iter } => out.push_str(&format!(
+                "ctrl dowhile {} parent={parent} sched={sched} children={children} cond={} max_iter={max_iter}\n",
+                sanitize(&c.name),
+                cond.0
+            )),
+            CtrlKind::Leaf(_) => out.push_str(&format!(
+                "ctrl leaf {} parent={parent} sched={sched} children={children}\n",
+                sanitize(&c.name)
+            )),
+        }
+    }
+    // Expression slots, grouped per leaf, in slot order.
+    for (ci, c) in p.ctrls.iter().enumerate() {
+        if let CtrlKind::Leaf(hb) = &c.kind {
+            for e in &hb.exprs {
+                out.push_str(&format!("expr {ci} {}\n", expr_str(e)));
+            }
+        }
+    }
+    out
+}
+
+/// Parse a program from the artifact text format.
+///
+/// # Errors
+///
+/// Returns a line-labelled description of the first malformed line.
+pub fn from_text(text: &str) -> Result<Program, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('#')
+    });
+    let (_, header) = lines.next().ok_or("empty artifact")?;
+    if header.trim() != "sara-fuzz-program v1" {
+        return Err(format!("bad header {header:?}"));
+    }
+    let mut p = Program::new("artifact");
+    p.ctrls.clear();
+    for (ln, line) in lines {
+        let err = |m: &str| format!("line {}: {m}: {line:?}", ln + 1);
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("name") => p.name = it.next().unwrap_or("artifact").to_string(),
+            Some("mem") => {
+                let kind = parse_kind(it.next().ok_or_else(|| err("missing kind"))?)
+                    .ok_or_else(|| err("bad kind"))?;
+                let name = it.next().ok_or_else(|| err("missing name"))?.to_string();
+                let dtype = match it.next() {
+                    Some("i64") => DType::I64,
+                    Some("f64") => DType::F64,
+                    _ => return Err(err("bad dtype")),
+                };
+                let mut dims = Vec::new();
+                let mut init = MemInit::Zero;
+                for kv in it {
+                    if let Some(v) = kv.strip_prefix("dims=") {
+                        dims = v
+                            .split(',')
+                            .map(|d| d.parse::<usize>().map_err(|_| err("bad dim")))
+                            .collect::<Result<_, _>>()?;
+                    } else if let Some(v) = kv.strip_prefix("init=") {
+                        init = parse_init(v).ok_or_else(|| err("bad init"))?;
+                    }
+                }
+                p.mems.push(MemDecl { name, kind, dims, dtype, init });
+            }
+            Some("ctrl") => {
+                let kind_tok = it.next().ok_or_else(|| err("missing ctrl kind"))?;
+                let name = it.next().ok_or_else(|| err("missing name"))?.to_string();
+                let mut parent: Option<CtrlId> = None;
+                let mut children: Vec<CtrlId> = Vec::new();
+                let mut schedule = Schedule::Pipelined;
+                let mut min = Bound::Const(0);
+                let mut max = Bound::Const(0);
+                let mut step = 1i64;
+                let mut par = 1u32;
+                let mut cond = MemId(0);
+                let mut max_iter = 0u64;
+                for kv in it {
+                    let (k, v) = kv.split_once('=').ok_or_else(|| err("bad key=value"))?;
+                    match k {
+                        "parent" if v != "-" => {
+                            parent = Some(CtrlId(v.parse().map_err(|_| err("bad parent"))?));
+                        }
+                        "parent" => {}
+                        "children" if v != "-" => {
+                            children = v
+                                .split(',')
+                                .map(|c| c.parse().map(CtrlId).map_err(|_| err("bad child")))
+                                .collect::<Result<_, _>>()?;
+                        }
+                        "children" => {}
+                        "sched" => {
+                            schedule = match v {
+                                "pipelined" => Schedule::Pipelined,
+                                "sequential" => Schedule::Sequential,
+                                _ => return Err(err("bad sched")),
+                            }
+                        }
+                        "min" => min = parse_bound(v).ok_or_else(|| err("bad min"))?,
+                        "max" => max = parse_bound(v).ok_or_else(|| err("bad max"))?,
+                        "step" => step = v.parse().map_err(|_| err("bad step"))?,
+                        "par" => par = v.parse().map_err(|_| err("bad par"))?,
+                        "cond" => cond = MemId(v.parse().map_err(|_| err("bad cond"))?),
+                        "max_iter" => max_iter = v.parse().map_err(|_| err("bad max_iter"))?,
+                        _ => return Err(err("unknown key")),
+                    }
+                }
+                let kind = match kind_tok {
+                    "root" => CtrlKind::Root,
+                    "loop" => CtrlKind::Loop(LoopSpec { min, max, step, par }),
+                    "branch" => CtrlKind::Branch { cond },
+                    "dowhile" => CtrlKind::DoWhile { cond, max_iter },
+                    "leaf" => CtrlKind::Leaf(Hyperblock::default()),
+                    _ => return Err(err("unknown ctrl kind")),
+                };
+                p.ctrls.push(Ctrl { name, parent, kind, children, schedule });
+            }
+            Some("expr") => {
+                let ci: usize =
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| err("bad ctrl index"))?;
+                let e = parse_expr(&mut it).ok_or_else(|| err("bad expr"))?;
+                let c = p.ctrls.get_mut(ci).ok_or_else(|| err("expr ctrl out of range"))?;
+                match &mut c.kind {
+                    CtrlKind::Leaf(hb) => hb.exprs.push(e),
+                    _ => return Err(err("expr on non-leaf")),
+                }
+            }
+            Some(tok) => return Err(err(&format!("unknown directive {tok}"))),
+            None => {}
+        }
+    }
+    if p.ctrls.is_empty() {
+        return Err("artifact has no controllers".into());
+    }
+    Ok(p)
+}
+
+// -------------------------------------------------------------- helpers
+
+fn sanitize(s: &str) -> String {
+    let t: String = s.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect();
+    if t.is_empty() {
+        "_".to_string()
+    } else {
+        t
+    }
+}
+
+fn kind_str(k: MemKind) -> &'static str {
+    match k {
+        MemKind::Dram => "dram",
+        MemKind::Sram => "sram",
+        MemKind::Reg => "reg",
+        MemKind::Fifo => "fifo",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<MemKind> {
+    Some(match s {
+        "dram" => MemKind::Dram,
+        "sram" => MemKind::Sram,
+        "reg" => MemKind::Reg,
+        "fifo" => MemKind::Fifo,
+        _ => return None,
+    })
+}
+
+fn dtype_str(d: DType) -> &'static str {
+    match d {
+        DType::I64 => "i64",
+        DType::F64 => "f64",
+    }
+}
+
+fn elem_str(e: Elem) -> String {
+    match e {
+        Elem::I64(v) => format!("i:{v}"),
+        Elem::F64(v) => format!("f:{:016x}", v.to_bits()),
+    }
+}
+
+fn parse_elem(s: &str) -> Option<Elem> {
+    if let Some(v) = s.strip_prefix("i:") {
+        return v.parse().ok().map(Elem::I64);
+    }
+    if let Some(v) = s.strip_prefix("f:") {
+        return u64::from_str_radix(v, 16).ok().map(|b| Elem::F64(f64::from_bits(b)));
+    }
+    None
+}
+
+fn bound_str(b: Bound) -> String {
+    match b {
+        Bound::Const(v) => format!("c:{v}"),
+        Bound::Reg(m) => format!("r:{}", m.0),
+    }
+}
+
+fn parse_bound(s: &str) -> Option<Bound> {
+    if let Some(v) = s.strip_prefix("c:") {
+        return v.parse().ok().map(Bound::Const);
+    }
+    if let Some(v) = s.strip_prefix("r:") {
+        return v.parse().ok().map(|m| Bound::Reg(MemId(m)));
+    }
+    None
+}
+
+fn init_str(i: &MemInit) -> String {
+    match i {
+        MemInit::Zero => "zero".to_string(),
+        MemInit::Data(d) => {
+            format!("data:{}", d.iter().map(|e| elem_str(*e)).collect::<Vec<_>>().join(";"))
+        }
+        MemInit::LinSpace { start, step } => {
+            format!("linspace:{:016x}:{:016x}", start.to_bits(), step.to_bits())
+        }
+        MemInit::RandomF { seed } => format!("randf:{seed}"),
+        MemInit::RandomI { seed, lo, hi } => format!("randi:{seed}:{lo}:{hi}"),
+    }
+}
+
+fn parse_init(s: &str) -> Option<MemInit> {
+    if s == "zero" {
+        return Some(MemInit::Zero);
+    }
+    if let Some(v) = s.strip_prefix("data:") {
+        let elems: Option<Vec<Elem>> =
+            if v.is_empty() { Some(vec![]) } else { v.split(';').map(parse_elem).collect() };
+        return elems.map(MemInit::Data);
+    }
+    if let Some(v) = s.strip_prefix("linspace:") {
+        let (a, b) = v.split_once(':')?;
+        let start = f64::from_bits(u64::from_str_radix(a, 16).ok()?);
+        let step = f64::from_bits(u64::from_str_radix(b, 16).ok()?);
+        return Some(MemInit::LinSpace { start, step });
+    }
+    if let Some(v) = s.strip_prefix("randf:") {
+        return v.parse().ok().map(|seed| MemInit::RandomF { seed });
+    }
+    if let Some(v) = s.strip_prefix("randi:") {
+        let mut it = v.split(':');
+        let seed = it.next()?.parse().ok()?;
+        let lo = it.next()?.parse().ok()?;
+        let hi = it.next()?.parse().ok()?;
+        return Some(MemInit::RandomI { seed, lo, hi });
+    }
+    None
+}
+
+fn ids_str(ids: &[ExprId]) -> String {
+    ids.iter().map(|i| i.index().to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => format!("const {}", elem_str(*v)),
+        Expr::Idx(c) => format!("idx {}", c.index()),
+        Expr::IsFirst(c) => format!("isfirst {}", c.index()),
+        Expr::IsLast(c) => format!("islast {}", c.index()),
+        Expr::Un(op, a) => format!("un {} {}", unop_str(*op), a.index()),
+        Expr::Bin(op, a, b) => format!("bin {} {} {}", binop_str(*op), a.index(), b.index()),
+        Expr::Mux { c, t, f } => format!("mux {} {} {}", c.index(), t.index(), f.index()),
+        Expr::Load { mem, addr } => format!("load {} {}", mem.0, ids_str(addr)),
+        Expr::Store { mem, addr, value, cond } => format!(
+            "store {} {} {} {}",
+            mem.0,
+            ids_str(addr),
+            value.index(),
+            cond.map(|c| c.index().to_string()).unwrap_or_else(|| "-".to_string()),
+        ),
+        Expr::Reduce { op, value, init, over } => format!(
+            "reduce {} {} {} {}",
+            binop_str(*op),
+            value.index(),
+            elem_str(*init),
+            over.index()
+        ),
+    }
+}
+
+fn parse_ids(s: &str) -> Option<Vec<ExprId>> {
+    if s.is_empty() {
+        return Some(vec![]);
+    }
+    s.split(',').map(|v| v.parse::<u32>().ok().map(ExprId)).collect()
+}
+
+fn parse_expr<'a>(it: &mut impl Iterator<Item = &'a str>) -> Option<Expr> {
+    let eid = |s: &str| s.parse::<u32>().ok().map(ExprId);
+    Some(match it.next()? {
+        "const" => Expr::Const(parse_elem(it.next()?)?),
+        "idx" => Expr::Idx(CtrlId(it.next()?.parse().ok()?)),
+        "isfirst" => Expr::IsFirst(CtrlId(it.next()?.parse().ok()?)),
+        "islast" => Expr::IsLast(CtrlId(it.next()?.parse().ok()?)),
+        "un" => Expr::Un(parse_unop(it.next()?)?, eid(it.next()?)?),
+        "bin" => Expr::Bin(parse_binop(it.next()?)?, eid(it.next()?)?, eid(it.next()?)?),
+        "mux" => Expr::Mux { c: eid(it.next()?)?, t: eid(it.next()?)?, f: eid(it.next()?)? },
+        "load" => Expr::Load { mem: MemId(it.next()?.parse().ok()?), addr: parse_ids(it.next()?)? },
+        "store" => {
+            let mem = MemId(it.next()?.parse().ok()?);
+            let addr = parse_ids(it.next()?)?;
+            let value = eid(it.next()?)?;
+            let cond = match it.next()? {
+                "-" => None,
+                c => Some(eid(c)?),
+            };
+            Expr::Store { mem, addr, value, cond }
+        }
+        "reduce" => Expr::Reduce {
+            op: parse_binop(it.next()?)?,
+            value: eid(it.next()?)?,
+            init: parse_elem(it.next()?)?,
+            over: CtrlId(it.next()?.parse().ok()?),
+        },
+        _ => return None,
+    })
+}
+
+const BINOPS: &[(BinOp, &str)] = &[
+    (BinOp::Add, "add"),
+    (BinOp::Sub, "sub"),
+    (BinOp::Mul, "mul"),
+    (BinOp::Div, "div"),
+    (BinOp::Mod, "mod"),
+    (BinOp::Min, "min"),
+    (BinOp::Max, "max"),
+    (BinOp::And, "and"),
+    (BinOp::Or, "or"),
+    (BinOp::Xor, "xor"),
+    (BinOp::Shl, "shl"),
+    (BinOp::Shr, "shr"),
+    (BinOp::Lt, "lt"),
+    (BinOp::Le, "le"),
+    (BinOp::Gt, "gt"),
+    (BinOp::Ge, "ge"),
+    (BinOp::Eq, "eq"),
+    (BinOp::Ne, "ne"),
+];
+
+const UNOPS: &[(UnOp, &str)] = &[
+    (UnOp::Neg, "neg"),
+    (UnOp::Not, "not"),
+    (UnOp::Abs, "abs"),
+    (UnOp::Exp, "exp"),
+    (UnOp::Log, "log"),
+    (UnOp::Sqrt, "sqrt"),
+    (UnOp::Sigmoid, "sigmoid"),
+    (UnOp::Tanh, "tanh"),
+    (UnOp::Relu, "relu"),
+    (UnOp::Floor, "floor"),
+    (UnOp::ToI, "toi"),
+    (UnOp::ToF, "tof"),
+];
+
+fn binop_str(op: BinOp) -> &'static str {
+    BINOPS.iter().find(|(o, _)| *o == op).map(|(_, s)| *s).unwrap_or("add")
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    BINOPS.iter().find(|(_, n)| *n == s).map(|(o, _)| *o)
+}
+
+fn unop_str(op: UnOp) -> &'static str {
+    UNOPS.iter().find(|(o, _)| *o == op).map(|(_, s)| *s).unwrap_or("neg")
+}
+
+fn parse_unop(s: &str) -> Option<UnOp> {
+    UNOPS.iter().find(|(_, n)| *n == s).map(|(o, _)| *o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small_program() {
+        let mut p = Program::new("rt");
+        let root = p.root();
+        let src = p.dram("src", &[8], DType::F64, MemInit::RandomF { seed: 3 });
+        let dst = p.dram("dst", &[8], DType::F64, MemInit::Zero);
+        let l = p.add_loop(root, "l", LoopSpec::new(0, 8, 1).par(2)).unwrap();
+        let hb = p.add_leaf(l, "h").unwrap();
+        let i = p.idx(hb, l).unwrap();
+        let v = p.load(hb, src, &[i]).unwrap();
+        let c = p.c_f64(hb, 1.5).unwrap();
+        let y = p.bin(hb, BinOp::Mul, v, c).unwrap();
+        p.store(hb, dst, &[i], y).unwrap();
+        p.validate().unwrap();
+
+        let text = to_text(&p);
+        let q = from_text(&text).unwrap();
+        assert_eq!(p.mems, q.mems);
+        assert_eq!(p.ctrls.len(), q.ctrls.len());
+        for (a, b) in p.ctrls.iter().zip(&q.ctrls) {
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.schedule, b.schedule);
+        }
+        q.validate().unwrap();
+        assert_eq!(to_text(&q), text);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_text("").is_err());
+        assert!(from_text("sara-fuzz-program v1\nbogus line\n").is_err());
+        assert!(from_text("sara-fuzz-program v1\nexpr 0 const i:1\n").is_err());
+    }
+}

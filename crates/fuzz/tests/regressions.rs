@@ -1,0 +1,60 @@
+//! One named test per real bug found by the differential fuzzer during
+//! development. Each program under `fuzz_regressions/` is the minimized
+//! reproducer (delta-debugged by `sara_fuzz::minimize`, then checked in
+//! as a replayable text artifact).
+
+use sara_fuzz::oracle::{Oracle, Verdict};
+use sara_fuzz::textio;
+
+fn run(text: &str) -> Verdict {
+    let p = textio::from_text(text).expect("regression program parses");
+    Oracle::default().run(&p)
+}
+
+/// Bug 1: `lower.rs` kept FIFO writers in a map keyed by memory only, so
+/// a second writer hyperblock silently overwrote the first — one arm's
+/// stores were never wired into the dataflow graph and the consumer
+/// deadlocked ("wb stalled on 'data input'"). Multi-writer FIFOs are now
+/// a typed `CompileError::Unpartitionable` reject.
+#[test]
+fn multi_writer_fifo_is_a_typed_reject() {
+    let v = run(include_str!("fuzz_regressions/multi_writer_fifo.sara"));
+    match v {
+        Verdict::Reject { reason, .. } => {
+            assert!(
+                reason.contains("writer hyperblocks"),
+                "expected the multi-writer fifo diagnostic, got: {reason}"
+            );
+        }
+        other => panic!("expected a typed compile reject, got {other:?}"),
+    }
+}
+
+/// Bug 2: route-through elimination (`opt_ir::rtelm`) removed a pure
+/// copy `m1[i] = m0[i]` sitting under a *branch arm*, rewiring readers
+/// of `m1` to `m0`. On iterations where the interpreter skips the copy,
+/// readers must see stale data — after the rewrite they saw `m0`'s
+/// fresh values. The pass now refuses conditional copies.
+#[test]
+fn conditional_route_through_copy_is_kept() {
+    let v = run(include_str!("fuzz_regressions/conditional_copy_rtelm.sara"));
+    match v {
+        Verdict::Pass { .. } => {}
+        other => panic!("expected pass, got {other:?}"),
+    }
+}
+
+/// Bug 3: CMMC transitive reduction removed the direct RAW token edge
+/// then-arm → reader because a chain then-arm → else-arm → reader
+/// existed. But a skipped branch arm releases its tokens *vacuously*
+/// (before upstream writes complete), so on taken-then iterations the
+/// reader ran against an unwritten buffer. The reduction now only
+/// relays ordering through unconditional accesses.
+#[test]
+fn branch_arm_token_chains_are_not_reduced_away() {
+    let v = run(include_str!("fuzz_regressions/branch_arm_token_reduction.sara"));
+    match v {
+        Verdict::Pass { .. } => {}
+        other => panic!("expected pass, got {other:?}"),
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end smoke tests for the `sara-fuzz` binary: a planted failure
+//! must be detected, minimized to a smaller replayable artifact, and
+//! reported with exit code 1; a small clean budget must exit 0.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sara-fuzz")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sara-fuzz-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// `--plant` prepends a known-good program as case 0; a tiny cycle
+/// budget turns it into a deterministic sim failure the whole pipeline
+/// must handle: classify, minimize, write artifacts, exit nonzero.
+#[test]
+fn planted_failure_is_minimized_into_artifacts() {
+    let dir = scratch_dir("plant");
+    let out = Command::new(bin())
+        .args(["--plant", "--cases", "0", "--max-cycles", "200", "--min-budget", "80"])
+        .arg("--artifact-dir")
+        .arg(&dir)
+        .output()
+        .expect("run sara-fuzz");
+    assert_eq!(out.status.code(), Some(1), "planted failure must exit 1");
+
+    let orig = dir.join("case-000000.orig.sara");
+    let min = dir.join("case-000000.min.sara");
+    let report = dir.join("case-000000.report.txt");
+    for f in [&orig, &min, &report] {
+        assert!(f.exists(), "missing artifact {}", f.display());
+    }
+
+    let orig_p = sara_fuzz::textio::from_text(&std::fs::read_to_string(&orig).unwrap())
+        .expect("orig artifact parses");
+    let min_p = sara_fuzz::textio::from_text(&std::fs::read_to_string(&min).unwrap())
+        .expect("min artifact parses");
+    let (before, after) =
+        (sara_fuzz::minimize::size_of(&orig_p), sara_fuzz::minimize::size_of(&min_p));
+    assert!(
+        after < before,
+        "minimizer must shrink the planted case ({before} -> {after} size units)"
+    );
+
+    let rep = std::fs::read_to_string(&report).unwrap();
+    assert!(rep.contains("class: simfail@"), "report records the failure class:\n{rep}");
+
+    // The minimized artifact must replay to the same failure class.
+    let replay = Command::new(bin())
+        .arg("--replay")
+        .arg(&min)
+        .args(["--max-cycles", "200"])
+        .output()
+        .expect("replay");
+    assert_eq!(replay.status.code(), Some(1), "minimized case must still fail under replay");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A small clean budget: every case passes or is a typed reject, the
+/// process exits 0 and writes no artifacts.
+#[test]
+fn small_clean_budget_exits_zero() {
+    let dir = scratch_dir("clean");
+    let out = Command::new(bin())
+        .args(["--cases", "4", "--seed", "0"])
+        .arg("--artifact-dir")
+        .arg(&dir)
+        .output()
+        .expect("run sara-fuzz");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "clean run must exit 0; stderr:\n{stderr}");
+    assert!(!dir.exists(), "clean run must not create artifacts");
+}
+
+/// Malformed CLI usage: one-line diagnostic on stderr, exit code 2, no
+/// panic backtrace.
+#[test]
+fn bad_usage_is_a_one_line_diagnostic() {
+    for args in [&["--cases"][..], &["--cases", "many"][..], &["--frobnicate"][..]] {
+        let out = Command::new(bin()).args(args).output().expect("run sara-fuzz");
+        assert_eq!(out.status.code(), Some(2), "bad usage {args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error:") || stderr.starts_with("usage:"), "{stderr}");
+        assert!(!stderr.contains("panicked"), "no panic backtrace: {stderr}");
+    }
+}

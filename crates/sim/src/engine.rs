@@ -130,13 +130,19 @@ pub struct SimOutcome {
 
 impl SimOutcome {
     /// Final contents of a DRAM tensor as `f64`s.
+    ///
+    /// Returns an empty vector for a memory the program never mapped to
+    /// DRAM (rather than panicking on the missing key).
     pub fn dram_f64(&self, mem: MemId) -> Vec<f64> {
-        self.dram_final[&mem].iter().map(|e| e.as_f64()).collect()
+        self.dram_final.get(&mem).map_or_else(Vec::new, |v| v.iter().map(|e| e.as_f64()).collect())
     }
 
     /// Final contents of a DRAM tensor as `i64`s.
+    ///
+    /// Returns an empty vector for a memory the program never mapped to
+    /// DRAM (rather than panicking on the missing key).
     pub fn dram_i64(&self, mem: MemId) -> Vec<i64> {
-        self.dram_final[&mem].iter().map(|e| e.as_i64()).collect()
+        self.dram_final.get(&mem).map_or_else(Vec::new, |v| v.iter().map(|e| e.as_i64()).collect())
     }
 }
 

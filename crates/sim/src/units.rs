@@ -629,7 +629,9 @@ impl VcuRt {
                         .collect()
                 }
                 NodeOp::StreamIn { port } => {
-                    let pk = ctx.s(self.inputs[*port]).pop().expect("checked");
+                    let pk = ctx.s(self.inputs[*port]).pop().ok_or_else(|| {
+                        format!("{}: stream-in port {port} empty at fire", self.label)
+                    })?;
                     *ctx.progress += 1;
                     if pk.vals.is_empty() {
                         // zero-length no-op packet from a disabled
@@ -849,8 +851,14 @@ impl VmuRt {
             if !ctx.s(data_sid).skip_markers_and_peek() {
                 continue;
             }
-            let addr = ctx.s(addr_sid).pop().expect("peeked");
-            let mut data = ctx.s(data_sid).pop().expect("peeked");
+            let addr = ctx
+                .s(addr_sid)
+                .pop()
+                .ok_or_else(|| format!("{}: write addr vanished", self.label))?;
+            let mut data = ctx
+                .s(data_sid)
+                .pop()
+                .ok_or_else(|| format!("{}: write data vanished", self.label))?;
             if data.vals.len() == 1 && addr.vals.len() > 1 {
                 data.vals = vec![data.vals[0]; addr.vals.len()];
             }
@@ -904,7 +912,10 @@ impl VmuRt {
                 self.rr_r = (i + 1) % nr;
                 break;
             }
-            let addr = ctx.s(addr_sid).pop().expect("peeked");
+            let addr = ctx
+                .s(addr_sid)
+                .pop()
+                .ok_or_else(|| format!("{}: read addr vanished", self.label))?;
             let buf = ((self.rd_epoch[i]) % m) as usize;
             let mut out = Vec::with_capacity(addr.vals.len());
             for a in &addr.vals {
@@ -971,7 +982,11 @@ impl DistRt {
             if ctx.s(pay_sid).peek().map(|p| p.is_marker()).unwrap_or(true) {
                 return Ok(());
             }
-            let pay_pk = ctx.s(pay_sid).peek().cloned().expect("checked");
+            let pay_pk = ctx
+                .s(pay_sid)
+                .peek()
+                .cloned()
+                .ok_or_else(|| "xbar-dist: payload vanished".to_string())?;
             if pay_pk.vals.len() != bank_pk.vals.len() {
                 return Err(format!(
                     "xbar-dist: bank/payload width mismatch {} vs {}",
@@ -1117,7 +1132,12 @@ impl CollRt {
             let mut out = Vec::with_capacity(ba.vals.len());
             for b in &ba.vals {
                 let bi = b.as_i64() as usize;
-                out.push(self.elems[bi].pop_front().expect("counted"));
+                let e = self
+                    .elems
+                    .get_mut(bi)
+                    .and_then(|q| q.pop_front())
+                    .ok_or_else(|| format!("xbar-coll: bank {bi} underflow on collect"))?;
+                out.push(e);
             }
             for s in self.outputs[self.spec.out].streams.clone() {
                 ctx.push(s, Packet::data(out.clone()));
@@ -1288,11 +1308,19 @@ impl AgRt {
             let is_write = self.spec.dir == AgDir::Write;
             let words: Vec<u64> = head.vals.iter().map(|e| e.as_i64().max(0) as u64).collect();
             if is_write {
-                let data_sid = self.inputs[self.spec.data_in.expect("write AG has data")];
+                let data_in = self
+                    .spec
+                    .data_in
+                    .ok_or_else(|| format!("{}: write AG has no data port", self.label))?;
+                let data_sid = self.inputs[data_in];
                 if !ctx.s(data_sid).skip_markers_and_peek() {
                     break;
                 }
-                let mut data = ctx.s(data_sid).peek().cloned().expect("checked");
+                let mut data = ctx
+                    .s(data_sid)
+                    .peek()
+                    .cloned()
+                    .ok_or_else(|| format!("{}: write data vanished", self.label))?;
                 if data.vals.len() == 1 && words.len() > 1 {
                     data.vals = vec![data.vals[0]; words.len()];
                 }
@@ -1340,7 +1368,9 @@ impl AgRt {
                     JobKind::Read { words } => words.len(),
                     _ => 0,
                 });
-                self.jobs.back_mut().expect("just pushed").pending = n.unwrap_or(0);
+                if let Some(j) = self.jobs.back_mut() {
+                    j.pending = n.unwrap_or(0);
+                }
             }
             self.next_seq += 1;
             self.packets += 1;
@@ -1378,7 +1408,7 @@ impl AgRt {
             if !ok {
                 break;
             }
-            let job = self.jobs.pop_front().expect("nonempty");
+            let Some(job) = self.jobs.pop_front() else { break };
             let pk = match job.kind {
                 JobKind::Marker => Packet::marker(),
                 JobKind::Write { count } => Packet::data(vec![Elem::I64(1); count]),

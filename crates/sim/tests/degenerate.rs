@@ -1,0 +1,117 @@
+//! Degenerate inputs the simulator must survive without panicking:
+//! programs with zero DRAM tensors (the image-sizing path reduces over
+//! an empty list) and zero-trip-count outer loops (every downstream unit
+//! sees only markers). Each case runs under both the active-list and
+//! dense schedulers and must agree.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig, SimOutcome};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_ir::interp::Interp;
+use sara_ir::{Bound, DType, Elem, LoopSpec, MemId, MemInit, Program};
+
+/// Compile, place-and-route, and simulate under both schedulers,
+/// asserting they agree cycle-for-cycle.
+fn run_both(p: &Program) -> SimOutcome {
+    let chip = ChipSpec::small_8x8();
+    let mut compiled =
+        compile(p, &chip, &CompilerOptions::default()).unwrap_or_else(|e| panic!("compile: {e}"));
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 7)
+        .unwrap_or_else(|e| panic!("pnr: {e}"));
+    let active = simulate(&compiled.vudfg, &chip, &SimConfig::default())
+        .unwrap_or_else(|e| panic!("active sim: {e}"));
+    let dense = simulate(&compiled.vudfg, &chip, &SimConfig::dense())
+        .unwrap_or_else(|e| panic!("dense sim: {e}"));
+    assert_eq!(active.cycles, dense.cycles, "scheduler cycle divergence");
+    assert_eq!(active.dram_final, dense.dram_final, "scheduler dram divergence");
+    active
+}
+
+/// No DRAM tensors at all: the image-sizing reduction at the top of
+/// `simulate` sees an empty tensor list (`max().unwrap_or(0)`), and no
+/// AGs are emitted. The program still does real work through SRAM.
+#[test]
+fn zero_dram_tensors() {
+    let mut p = Program::new("no_dram");
+    let s = p.sram("s", &[8], DType::I64);
+    let root = p.root();
+    let li = p.add_loop(root, "i", LoopSpec::new(0, 8, 1)).unwrap();
+    let hb = p.add_leaf(li, "body").unwrap();
+    let i = p.idx(hb, li).unwrap();
+    let two = p.c_i64(hb, 2).unwrap();
+    let v = p.bin(hb, sara_ir::BinOp::Mul, i, two).unwrap();
+    p.store(hb, s, &[i], v).unwrap();
+    p.validate().expect("valid program");
+    Interp::new(&p).run().expect("interpreter accepts a dram-free program");
+
+    let out = run_both(&p);
+    assert!(out.cycles > 0);
+    assert!(out.dram_final.is_empty(), "no DRAM tensors must mean an empty final image");
+    // The panic-free accessor: a missing tensor is an empty vector.
+    assert!(out.dram_f64(MemId(0)).is_empty());
+    assert!(out.dram_i64(MemId(7)).is_empty());
+}
+
+/// A zero-trip-count outer loop: the whole pipeline below it runs on
+/// markers only. The simulation must terminate (not deadlock waiting
+/// for data that never comes) and leave the output tensor untouched.
+///
+/// Statically-empty loops are an IR validation error (`EmptyStaticLoop`),
+/// so the zero trip count arrives through a dynamic bound register.
+#[test]
+fn zero_trip_count_outer_loop() {
+    let mut p = Program::new("zero_trip");
+    let init: Vec<Elem> = (0..4).map(Elem::I64).collect();
+    let src = p.dram("src", &[4], DType::I64, MemInit::Data(init));
+    let dst = p.dram("dst", &[4], DType::I64, MemInit::Zero);
+    let n = p.reg("n", DType::I64);
+    let root = p.root();
+    let setup = p.add_leaf(root, "setup").unwrap();
+    let zero = p.c_i64(setup, 0).unwrap();
+    let zaddr = p.c_i64(setup, 0).unwrap();
+    p.store(setup, n, &[zaddr], zero).unwrap();
+    let li = p.add_loop(root, "i", LoopSpec::new(0, Bound::Reg(n), 1)).unwrap();
+    let hb = p.add_leaf(li, "body").unwrap();
+    let i = p.idx(hb, li).unwrap();
+    let v = p.load(hb, src, &[i]).unwrap();
+    p.store(hb, dst, &[i], v).unwrap();
+    p.validate().expect("valid program");
+
+    let reference = Interp::new(&p).run().expect("interpreter accepts a zero-trip loop");
+    let out = run_both(&p);
+    let got = out.dram_i64(dst);
+    assert_eq!(got, vec![0; 4], "dst must stay zero-initialized");
+    assert_eq!(
+        reference.mem[dst.index()].iter().map(|e| e.as_i64()).collect::<Vec<_>>(),
+        got,
+        "interpreter and fabric must agree"
+    );
+}
+
+/// A zero-trip loop followed by a live loop: the drained (marker-only)
+/// stage must not wedge the stage behind it.
+#[test]
+fn zero_trip_loop_then_live_loop() {
+    let mut p = Program::new("zero_then_live");
+    let dst = p.dram("dst", &[4], DType::I64, MemInit::Zero);
+    let n = p.reg("n", DType::I64);
+    let root = p.root();
+    let setup = p.add_leaf(root, "setup").unwrap();
+    let zero = p.c_i64(setup, 0).unwrap();
+    let zaddr = p.c_i64(setup, 0).unwrap();
+    p.store(setup, n, &[zaddr], zero).unwrap();
+    let lz = p.add_loop(root, "z", LoopSpec::new(0, Bound::Reg(n), 1)).unwrap();
+    let hz = p.add_leaf(lz, "dead").unwrap();
+    let zi = p.idx(hz, lz).unwrap();
+    p.store(hz, dst, &[zi], zi).unwrap();
+    let ll = p.add_loop(root, "i", LoopSpec::new(0, 4, 1)).unwrap();
+    let hl = p.add_leaf(ll, "live").unwrap();
+    let i = p.idx(hl, ll).unwrap();
+    let ten = p.c_i64(hl, 10).unwrap();
+    let v = p.bin(hl, sara_ir::BinOp::Add, i, ten).unwrap();
+    p.store(hl, dst, &[i], v).unwrap();
+    p.validate().expect("valid program");
+
+    let out = run_both(&p);
+    assert_eq!(out.dram_i64(dst), vec![10, 11, 12, 13]);
+}

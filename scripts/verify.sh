@@ -2,19 +2,39 @@
 # Full local verification: build, tests (incl. bench-binary smoke tests),
 # formatting, and lints. CI should run exactly this.
 #
-#   --quick   skip the release build and run the cheap checks first
-#             (fmt, clippy, debug tests) — used by the CI lint job so
-#             style failures surface in seconds, not after a full build.
+#   --quick          skip the release build and run the cheap checks first
+#                    (fmt, clippy, debug tests) — used by the CI lint job so
+#                    style failures surface in seconds, not after a full
+#                    build.
+#   --fuzz-budget N  additionally run the differential fuzzer over N random
+#                    programs (fixed seed, artifacts under fuzz-artifacts/).
+#                    A divergence or panic fails verification.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
-for arg in "$@"; do
-  case "$arg" in
+fuzz_budget=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --quick) quick=1 ;;
-    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+    --fuzz-budget)
+      shift
+      [[ $# -gt 0 ]] || { echo "error: --fuzz-budget requires a value" >&2; exit 2; }
+      fuzz_budget="$1"
+      [[ "$fuzz_budget" =~ ^[0-9]+$ ]] || { echo "error: --fuzz-budget must be an integer, got '$fuzz_budget'" >&2; exit 2; }
+      ;;
+    *) echo "usage: $0 [--quick] [--fuzz-budget N]" >&2; exit 2 ;;
   esac
+  shift
 done
+
+run_fuzz() {
+  if [[ "$fuzz_budget" -gt 0 ]]; then
+    echo "== sara-fuzz ($fuzz_budget cases, fixed seed)"
+    cargo run --release -q -p sara-fuzz --bin sara-fuzz -- \
+      --cases "$fuzz_budget" --seed 23162 --artifact-dir fuzz-artifacts
+  fi
+}
 
 if [[ "$quick" == 1 ]]; then
   echo "== cargo fmt --check"
@@ -25,6 +45,8 @@ if [[ "$quick" == 1 ]]; then
 
   echo "== cargo test"
   cargo test -q --workspace
+
+  run_fuzz
 
   echo "verify (quick): OK"
   exit 0
@@ -41,5 +63,7 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+run_fuzz
 
 echo "verify: OK"
