@@ -6,8 +6,14 @@
 //!
 //! ```text
 //! sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE] [--profile FILE]
+//!                  [--faults PLAN] [--sanitize]
 //! sarac --sweep   [--chip 20x20|16x8|8x8] [--simulate]
 //! ```
+//!
+//! `--faults PLAN` (implies `--simulate`) injects the fault plan in file
+//! PLAN (see the DSL in `plasticine_sim::fault`); `--sanitize` enables
+//! the runtime invariant sanitizer. Both report typed diagnoses instead
+//! of silent divergence.
 //!
 //! `--profile FILE` implies `--simulate`: the run is profiled (same
 //! cycle counts), a Chrome-trace JSON is written to FILE (open it in
@@ -15,7 +21,7 @@
 //! bottlenecks are printed.
 
 use plasticine_arch::ChipSpec;
-use plasticine_sim::{simulate, SimConfig};
+use plasticine_sim::{simulate, FaultPlan, SimConfig};
 use sara_bench::sweep;
 use sara_core::compile::{compile, CompilerOptions};
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
@@ -120,7 +126,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE] [--profile FILE]"
+            "usage: sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE] [--profile FILE] [--faults PLAN] [--sanitize]"
         );
         eprintln!("       sarac --sweep [--chip 20x20|16x8|8x8] [--simulate]");
         eprintln!(
@@ -135,6 +141,8 @@ fn main() {
     let mut do_sim = false;
     let mut dot_file: Option<String> = None;
     let mut profile_file: Option<String> = None;
+    let mut faults_file: Option<String> = None;
+    let mut sanitize = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -156,6 +164,11 @@ fn main() {
                 profile_file = Some(flag_value(&args, &mut i, "--profile"));
                 do_sim = true;
             }
+            "--faults" => {
+                faults_file = Some(flag_value(&args, &mut i, "--faults"));
+                do_sim = true;
+            }
+            "--sanitize" => sanitize = true,
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => {
                 eprintln!("error: unknown flag {other}");
@@ -213,7 +226,21 @@ fn main() {
         println!("dot:   wrote {f}");
     }
     if do_sim {
-        let cfg = if profile_file.is_some() { SimConfig::profiled() } else { SimConfig::default() };
+        let mut cfg =
+            if profile_file.is_some() { SimConfig::profiled() } else { SimConfig::default() };
+        cfg.sanitize = sanitize;
+        if let Some(f) = faults_file {
+            let text = std::fs::read_to_string(&f).unwrap_or_else(|e| {
+                eprintln!("error: cannot read fault plan {f}: {e}");
+                std::process::exit(2);
+            });
+            let plan = FaultPlan::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            println!("faults: {} fault(s) armed from {f}", plan.faults.len());
+            cfg.faults = Some(plan);
+        }
         match simulate(&compiled.vudfg, &chip, &cfg) {
             Ok(o) => {
                 println!(

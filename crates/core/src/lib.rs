@@ -67,6 +67,7 @@ pub mod opt_ir;
 pub mod partition;
 pub mod profile;
 pub mod report;
+pub mod robust;
 pub mod vudfg;
 pub mod vudfg_validate;
 

@@ -25,10 +25,11 @@
 //! of cycles the stream was full — i.e. exerting backpressure on its
 //! producer.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a VCU could not make progress on a given cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StallReason {
     /// A data input, dynamic loop bound, or branch/while condition has
     /// not arrived, and the producing unit is on-fabric.

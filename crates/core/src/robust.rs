@@ -1,0 +1,225 @@
+//! Typed reports emitted by the simulator's robustness layer: the runtime
+//! invariant sanitizer and the liveness watchdog.
+//!
+//! The simulator lives in `plasticine-sim`; the report *types* live here,
+//! next to [`crate::profile`], so that campaign drivers (`sara-bench`) and
+//! the fault-mode fuzz oracle (`sara-fuzz`) can consume structured
+//! diagnoses without reaching into simulator internals — mirroring how
+//! [`crate::profile::SimProfile`] decouples profile consumers from the
+//! collector.
+//!
+//! A [`SanitizerReport`] names the violated invariant, the CMMC edge and
+//! units involved, and a ring buffer of the protocol events leading up to
+//! the violation. A [`WatchdogReport`] names the wait-for cycle (or
+//! starvation chain) behind a liveness failure, with each member's stall
+//! attribution in the [`crate::profile::StallReason`] taxonomy.
+
+use crate::profile::StallReason;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The runtime invariant a [`SanitizerReport`] found violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvariantKind {
+    /// Packet conservation on a stream: queued + in-flight occupancy must
+    /// equal initial tokens + pushes − pops − marker skips. A mismatch
+    /// means a credit/token/packet was created or destroyed outside the
+    /// protocol (e.g. a leaked or stolen CMMC credit).
+    TokenConservation,
+    /// Stream occupancy exceeded its slot bound (FIFO depth + in-flight
+    /// latency registers) — something pushed past backpressure.
+    FifoOverflow,
+    /// A multibuffered VMU's writer lapped a reader: a write epoch ran
+    /// more than `multibuffer` epochs ahead of a read epoch, so a buffer
+    /// still being read would be overwritten.
+    EpochOrdering,
+    /// A DRAM response arrived that matches no outstanding request run of
+    /// the addressed unit (or addressed no unit at all).
+    DramResponseMismatch,
+    /// The DRAM model reported a response stalled past its drain budget.
+    DramResponseStall,
+}
+
+impl InvariantKind {
+    /// Short stable name (artifact keys, test assertions).
+    pub fn label(self) -> &'static str {
+        match self {
+            InvariantKind::TokenConservation => "token-conservation",
+            InvariantKind::FifoOverflow => "fifo-overflow",
+            InvariantKind::EpochOrdering => "epoch-ordering",
+            InvariantKind::DramResponseMismatch => "dram-response-mismatch",
+            InvariantKind::DramResponseStall => "dram-response-stall",
+        }
+    }
+}
+
+/// One entry of the protocol-event ring buffer carried by a
+/// [`SanitizerReport`]: a cheap, pre-rendered record of a token push/pop
+/// delta, an epoch switch, a DRAM issue/complete, or an injected fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolEvent {
+    pub cycle: u64,
+    pub what: String,
+}
+
+impl fmt::Display for ProtocolEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {}", self.cycle, self.what)
+    }
+}
+
+/// A runtime invariant violation: the simulator aborts with this instead
+/// of silently diverging.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizerReport {
+    /// Cycle the check fired.
+    pub cycle: u64,
+    /// Which invariant was violated.
+    pub invariant: InvariantKind,
+    /// Stream index of the implicated CMMC edge, when one is implicated.
+    pub stream: Option<usize>,
+    /// `src -> dst [label]` of the implicated edge, or the implicated
+    /// unit's label.
+    pub edge: String,
+    /// Human-readable specifics (expected vs observed counts, epochs, …).
+    pub detail: String,
+    /// The last few protocol events before the violation, oldest first.
+    pub recent: Vec<ProtocolEvent>,
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sanitizer: {} violated at cycle {} on {}: {}",
+            self.invariant.label(),
+            self.cycle,
+            self.edge,
+            self.detail
+        )?;
+        if !self.recent.is_empty() {
+            writeln!(f, "  recent protocol events:")?;
+            for e in &self.recent {
+                writeln!(f, "    {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One member of a wait-for cycle (or starvation chain): the unit, why it
+/// is blocked, and the stream it is blocked on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitMember {
+    /// Unit index in the VUDFG.
+    pub unit: usize,
+    /// Unit label.
+    pub label: String,
+    /// Stall attribution in the profiler taxonomy.
+    pub reason: StallReason,
+    /// The stream this unit is blocked on, when attributable.
+    pub stream: Option<usize>,
+    /// `src -> dst [label]` of that stream (empty when none).
+    pub via: String,
+    /// Free-form specifics ("waiting for token", "output full", …).
+    pub detail: String,
+}
+
+/// Liveness diagnosis produced when the watchdog declares a deadlock:
+/// the wait-for graph walk with per-member stall attribution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogReport {
+    /// Cycle the watchdog fired.
+    pub cycle: u64,
+    /// Cycles without global progress when it fired.
+    pub stalled_for: u64,
+    /// `true`: `members` form a closed wait-for cycle (true deadlock).
+    /// `false`: `members` is the longest blocked chain found — starvation
+    /// (e.g. a credit stolen from an edge whose producer already
+    /// finished) rather than circular wait.
+    pub is_cycle: bool,
+    /// Members of the cycle (or chain), in wait-for order.
+    pub members: Vec<WaitMember>,
+    /// Total streams at full occupancy when the watchdog fired.
+    pub backpressured_streams: usize,
+}
+
+impl WatchdogReport {
+    /// `input-starved` / `output-backpressured` / … count per reason,
+    /// in [`StallReason::ALL`] order.
+    pub fn reason_histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        for m in &self.members {
+            h[m.reason.index()] += 1;
+        }
+        h
+    }
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shape = if self.is_cycle { "wait-for cycle" } else { "starvation chain" };
+        writeln!(
+            f,
+            "watchdog: {} of {} unit(s) after {} cycles without progress:",
+            shape,
+            self.members.len(),
+            self.stalled_for
+        )?;
+        for m in &self.members {
+            let via = if m.via.is_empty() { String::new() } else { format!(" via {}", m.via) };
+            writeln!(f, "  {} [{}]{}: {}", m.label, m.reason.label(), via, m.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_report_renders_edge_and_events() {
+        let r = SanitizerReport {
+            cycle: 42,
+            invariant: InvariantKind::TokenConservation,
+            stream: Some(3),
+            edge: "vcu0 -> vcu1 [tok]".into(),
+            detail: "occupancy 2 != init 1 + pushed 4 - popped 4".into(),
+            recent: vec![ProtocolEvent { cycle: 41, what: "s3 push token".into() }],
+        };
+        let s = r.to_string();
+        assert!(s.contains("token-conservation"));
+        assert!(s.contains("cycle 42"));
+        assert!(s.contains("vcu0 -> vcu1 [tok]"));
+        assert!(s.contains("@41 s3 push token"));
+    }
+
+    #[test]
+    fn watchdog_report_histogram_counts_reasons() {
+        let m = |r| WaitMember {
+            unit: 0,
+            label: "u".into(),
+            reason: r,
+            stream: None,
+            via: String::new(),
+            detail: String::new(),
+        };
+        let rep = WatchdogReport {
+            cycle: 100,
+            stalled_for: 50,
+            is_cycle: true,
+            members: vec![
+                m(StallReason::CreditBlocked),
+                m(StallReason::CreditBlocked),
+                m(StallReason::OutputBackpressured),
+            ],
+            backpressured_streams: 1,
+        };
+        let h = rep.reason_histogram();
+        assert_eq!(h[StallReason::CreditBlocked.index()], 2);
+        assert_eq!(h[StallReason::OutputBackpressured.index()], 1);
+        assert!(rep.to_string().contains("wait-for cycle"));
+        assert!(rep.to_string().contains("credit-blocked"));
+    }
+}

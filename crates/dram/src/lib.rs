@@ -56,6 +56,46 @@ pub struct Response {
     pub is_write: bool,
 }
 
+/// A typed DRAM protocol failure.
+///
+/// The model itself never loses a request, but its *caller* can wedge —
+/// an AG that stops ticking, or a fault campaign that drops responses.
+/// [`DramSim::check_response_stall`] turns "a completed response has sat
+/// undrained past the configured budget" into this typed error instead of
+/// letting the epoch timeline stall forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramError {
+    /// A response finished service but was never drained (or never
+    /// arrived, from the requester's point of view) within the budget.
+    ResponseStall {
+        /// Owning channel, when known (`None` for requester-side waits).
+        channel: Option<u32>,
+        /// Tag of the stalled request.
+        id: u64,
+        /// Cycles waited so far.
+        waited: u64,
+        /// The configured budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for DramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DramError::ResponseStall { channel, id, waited, budget } => {
+                let ch = channel.map_or_else(|| "?".to_string(), |c| c.to_string());
+                write!(
+                    f,
+                    "response stall: request {id:#x} on channel {ch} undrained for {waited} \
+                     cycles (budget {budget})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
 /// Tunable DRAM model configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DramModelCfg {
@@ -78,6 +118,12 @@ pub struct DramModelCfg {
     /// sequential streams hide activation entirely, while fine-grained
     /// random access is bank-activation-bound.
     pub banks_per_channel: u32,
+    /// Cycles a *completed* response may sit undrained before
+    /// [`DramSim::check_response_stall`] reports a
+    /// [`DramError::ResponseStall`]. A never-drained response channel is a
+    /// caller liveness bug (or an injected fault), not a memory-model
+    /// state, so it surfaces as a typed error rather than a silent hang.
+    pub response_stall_budget: u64,
 }
 
 impl DramModelCfg {
@@ -93,6 +139,7 @@ impl DramModelCfg {
             interleave_bytes: 256,
             queue_capacity: 64,
             banks_per_channel: 16,
+            response_stall_budget: 1_000_000,
         }
     }
 
@@ -115,9 +162,9 @@ struct Channel {
     busy_until: u64,
     /// Per-bank activation state.
     banks: Vec<Bank>,
-    /// In-flight accesses: (completion cycle, response), completion
-    /// non-decreasing so responses pop in order.
-    inflight: VecDeque<(u64, Response)>,
+    /// In-flight accesses: (completion cycle, schedule cycle, response),
+    /// completion non-decreasing so responses pop in order.
+    inflight: VecDeque<(u64, u64, Response)>,
 }
 
 /// Aggregate statistics of a simulation run.
@@ -179,7 +226,8 @@ impl DramSim {
         &self.cfg
     }
 
-    fn channel_of(&self, addr: u64) -> usize {
+    /// The channel that serves byte address `addr` (interleave mapping).
+    pub fn channel_of(&self, addr: u64) -> usize {
         ((addr / self.cfg.interleave_bytes) % self.cfg.channels as u64) as usize
     }
 
@@ -240,11 +288,12 @@ impl DramSim {
                 bank.busy_until = ch.busy_until;
                 let mut done = ch.busy_until + self.cfg.idle_latency as u64;
                 // Keep per-channel responses in order.
-                if let Some((last, _)) = ch.inflight.back() {
+                if let Some((last, _, _)) = ch.inflight.back() {
                     done = done.max(*last);
                 }
                 ch.inflight.push_back((
                     done,
+                    now,
                     Response { id: req.id, bytes: req.bytes, is_write: req.is_write },
                 ));
                 self.stats.requests += 1;
@@ -256,9 +305,9 @@ impl DramSim {
             }
             // Retire.
             let ch = &mut self.channels[ci];
-            while let Some((done, _)) = ch.inflight.front() {
+            while let Some((done, _, _)) = ch.inflight.front() {
                 if *done <= now {
-                    out.push(ch.inflight.pop_front().expect("nonempty").1);
+                    out.push(ch.inflight.pop_front().expect("nonempty").2);
                 } else {
                     break;
                 }
@@ -277,7 +326,34 @@ impl DramSim {
     /// the full completion timeline is known; an event-driven caller can
     /// fast-forward to this cycle instead of ticking every cycle.
     pub fn next_completion_time(&self) -> Option<u64> {
-        self.channels.iter().filter_map(|c| c.inflight.front().map(|(done, _)| *done)).min()
+        self.channels.iter().filter_map(|c| c.inflight.front().map(|(done, _, _)| *done)).min()
+    }
+
+    /// Probe for a response channel that is never being drained: an
+    /// in-flight access whose completion (or scheduling, for a response
+    /// that finished long ago) lies more than
+    /// [`DramModelCfg::response_stall_budget`] cycles in the past relative
+    /// to `now`. The model only retires responses when [`DramSim::tick`]
+    /// is called, so a caller that stops ticking — or an injected fault
+    /// that swallows a response — shows up here as a typed
+    /// [`DramError::ResponseStall`] instead of a timeline that silently
+    /// stalls forever.
+    pub fn check_response_stall(&self, now: u64) -> Result<(), DramError> {
+        let budget = self.cfg.response_stall_budget;
+        for (ci, ch) in self.channels.iter().enumerate() {
+            if let Some((done, _, resp)) = ch.inflight.front() {
+                let waited = now.saturating_sub(*done);
+                if waited > budget {
+                    return Err(DramError::ResponseStall {
+                        channel: Some(ci as u32),
+                        id: resp.id,
+                        waited,
+                        budget,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Statistics so far.
@@ -415,6 +491,48 @@ mod tests {
         assert_eq!(s.write_bytes, 128);
         assert_eq!(s.requests, 2);
         assert_eq!(s.total_bytes(), 192);
+    }
+
+    #[test]
+    fn undrained_response_surfaces_typed_stall() {
+        let cfg = DramModelCfg {
+            channels: 1,
+            response_stall_budget: 500,
+            ..DramModelCfg::of_kind(DramKind::Ddr3)
+        };
+        let mut dram = DramSim::with_cfg(cfg);
+        dram.push(0, Request { id: 9, addr: 0, bytes: 64, is_write: false });
+        // One tick schedules the request; its completion time is now known.
+        let mut out = Vec::new();
+        dram.tick(1, &mut out);
+        assert!(out.is_empty());
+        let done = dram.next_completion_time().expect("scheduled");
+        // Within budget of the completion: clean.
+        assert_eq!(dram.check_response_stall(done + 500), Ok(()));
+        // The caller never ticks again: past the budget, the probe names
+        // the stalled request and channel.
+        match dram.check_response_stall(done + 501) {
+            Err(DramError::ResponseStall { channel, id, waited, budget }) => {
+                assert_eq!(channel, Some(0));
+                assert_eq!(id, 9);
+                assert_eq!(waited, 501);
+                assert_eq!(budget, 500);
+            }
+            other => panic!("expected ResponseStall, got {other:?}"),
+        }
+        // Draining clears the condition.
+        dram.tick(done + 501, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(dram.check_response_stall(done + 10_000), Ok(()));
+    }
+
+    #[test]
+    fn response_stall_error_renders_location() {
+        let e = DramError::ResponseStall { channel: Some(3), id: 0x2a, waited: 700, budget: 500 };
+        let s = e.to_string();
+        assert!(s.contains("channel 3"), "{s}");
+        assert!(s.contains("0x2a"), "{s}");
+        assert!(s.contains("700"), "{s}");
     }
 
     #[test]

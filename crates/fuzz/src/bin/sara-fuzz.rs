@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! sara-fuzz [--cases N] [--seed S] [--artifact-dir DIR] [--max-cycles N]
-//!           [--min-budget N] [--no-minimize] [--plant]
+//!           [--min-budget N] [--no-minimize] [--plant] [--fault-mode]
+//!           [--fault-plans N]
 //! sara-fuzz --replay FILE [--max-cycles N]
 //! ```
 //!
@@ -21,11 +22,17 @@
 //! `--plant` prepends a known-good built-in program as case 0; combined
 //! with a tiny `--max-cycles` it deterministically produces a failure,
 //! which the smoke tests use to prove the minimizer end to end.
+//!
+//! `--fault-mode` additionally replays every *passing* case under
+//! `--fault-plans` (default 2) seeded fault-injection plans with the
+//! invariant sanitizer enabled, enforcing the fault model's contract:
+//! every injected fault recovers or yields a typed diagnosis — a panic or
+//! an undiagnosed hang is a failure and writes a replayable artifact.
 
 use plasticine_sim::SimConfig;
 use sara_fuzz::gen;
 use sara_fuzz::minimize::{minimize, size_of};
-use sara_fuzz::oracle::{silence_panics, Oracle, Verdict};
+use sara_fuzz::oracle::{silence_panics, FaultVerdict, Oracle, Verdict};
 use sara_fuzz::textio;
 use std::path::{Path, PathBuf};
 
@@ -38,12 +45,15 @@ struct Args {
     minimize: bool,
     plant: bool,
     replay: Option<PathBuf>,
+    fault_mode: bool,
+    fault_plans: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sara-fuzz [--cases N] [--seed S] [--artifact-dir DIR] [--max-cycles N]\n\
-         \x20                [--min-budget N] [--no-minimize] [--plant]\n\
+         \x20                [--min-budget N] [--no-minimize] [--plant] [--fault-mode]\n\
+         \x20                [--fault-plans N]\n\
          \x20      sara-fuzz --replay FILE [--max-cycles N]"
     );
     std::process::exit(2);
@@ -59,6 +69,8 @@ fn parse_args() -> Args {
         minimize: true,
         plant: false,
         replay: None,
+        fault_mode: false,
+        fault_plans: 2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -101,6 +113,11 @@ fn parse_args() -> Args {
             }
             "--no-minimize" => a.minimize = false,
             "--plant" => a.plant = true,
+            "--fault-mode" => a.fault_mode = true,
+            "--fault-plans" => {
+                a.fault_plans = parse_u64(&value(&argv, i, "--fault-plans"), "--fault-plans");
+                i += 1;
+            }
             "--replay" => {
                 a.replay = Some(PathBuf::from(value(&argv, i, "--replay")));
                 i += 1;
@@ -201,6 +218,9 @@ fn main() {
     let mut passes = 0u64;
     let mut rejects = 0u64;
     let mut failures = 0u64;
+    let mut fault_runs = 0u64;
+    let mut fault_recovered = 0u64;
+    let mut fault_diagnosed = 0u64;
     let mut reject_stages: std::collections::BTreeMap<String, u64> =
         std::collections::BTreeMap::new();
 
@@ -216,7 +236,29 @@ fn main() {
         let oracle = oracle_for(&args, relax);
         let verdict = oracle.run(&program);
         match &verdict {
-            Verdict::Pass { .. } => passes += 1,
+            Verdict::Pass { .. } => {
+                passes += 1;
+                if args.fault_mode {
+                    for k in 0..args.fault_plans {
+                        let fault_seed =
+                            args.seed.wrapping_mul(1_000_003).wrapping_add(idx * 97 + k);
+                        fault_runs += 1;
+                        match oracle.run_faulted(&program, fault_seed) {
+                            FaultVerdict::Recovered { .. } => fault_recovered += 1,
+                            FaultVerdict::Diagnosed { .. } => fault_diagnosed += 1,
+                            FaultVerdict::NotApplicable { .. } => {}
+                            FaultVerdict::Failure { detail } => {
+                                failures += 1;
+                                eprintln!("case {idx} ({label}): FAULT-MODE FAILURE: {detail}");
+                                if let Err(e) = emit_fault_artifact(&args, idx, &program, &detail) {
+                                    eprintln!("error: cannot write artifacts: {e}");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             Verdict::Reject { stage, .. } => {
                 rejects += 1;
                 *reject_stages.entry(stage.to_string()).or_insert(0) += 1;
@@ -237,6 +279,12 @@ fn main() {
         "fuzz: {} cases — {passes} pass, {rejects} reject, {failures} failure",
         args.cases + u64::from(args.plant)
     );
+    if args.fault_mode {
+        println!(
+            "fault-mode: {fault_runs} injected runs — {fault_recovered} recovered, \
+             {fault_diagnosed} diagnosed"
+        );
+    }
     for (stage, n) in &reject_stages {
         println!("  rejects at {stage}: {n}");
     }
@@ -244,6 +292,27 @@ fn main() {
         println!("artifacts in {}", args.artifact_dir.display());
         std::process::exit(1);
     }
+}
+
+/// Write a fault-mode failure artifact: the program plus the failing
+/// plan/diagnosis (fault cases are not minimized — the plan text in the
+/// detail replays via `sarac --faults`).
+fn emit_fault_artifact(
+    args: &Args,
+    idx: u64,
+    program: &sara_ir::Program,
+    detail: &str,
+) -> Result<(), String> {
+    std::fs::create_dir_all(&args.artifact_dir)
+        .map_err(|e| format!("{}: {e}", args.artifact_dir.display()))?;
+    let stem = args.artifact_dir.join(format!("fault-{idx:06}"));
+    let prog_path = stem.with_extension("sara");
+    std::fs::write(&prog_path, textio::to_text(program))
+        .map_err(|e| format!("{}: {e}", prog_path.display()))?;
+    let report_path = stem.with_extension("report.txt");
+    std::fs::write(&report_path, format!("class: fault-mode\ndetail: {detail}\n"))
+        .map_err(|e| format!("{}: {e}", report_path.display()))?;
+    Ok(())
 }
 
 /// Write the original program, the minimized reproducer, and a report.

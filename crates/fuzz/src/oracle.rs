@@ -153,8 +153,8 @@ impl Oracle {
         }
 
         // ---- simulate under both schedulers ----
-        let dense_cfg = SimConfig { dense: true, ..self.sim_cfg };
-        let active_cfg = SimConfig { dense: false, ..self.sim_cfg };
+        let dense_cfg = SimConfig { dense: true, ..self.sim_cfg.clone() };
+        let active_cfg = SimConfig { dense: false, ..self.sim_cfg.clone() };
         let dense =
             match guard(Stage::SimDense, || simulate(&compiled.vudfg, &self.chip, &dense_cfg)) {
                 Ok(Ok(o)) => o,
@@ -217,6 +217,108 @@ impl Oracle {
             }
         }
         Verdict::Pass { cycles: active.cycles }
+    }
+}
+
+/// Fault-mode verdict: what happened when a seeded fault plan was
+/// injected into an otherwise-passing program.
+///
+/// The contract under test is "recover or explain": every injected fault
+/// must lead to a completed run or a *typed* diagnosis (sanitizer report,
+/// watchdog deadlock diagnosis, typed DRAM/unit fault). A panic or an
+/// undiagnosed timeout is a harness failure.
+#[derive(Debug, Clone)]
+pub enum FaultVerdict {
+    /// Completed with the fault-free DRAM image (timing-only fault,
+    /// absorbed retry, or a fault that never landed).
+    Recovered { cycles: u64 },
+    /// Ended in a typed diagnosis (or a completed run whose image
+    /// divergence the differential comparison itself detected).
+    Diagnosed { class: String, detail: String },
+    /// The program never reached fault injection (reject or pre-stage
+    /// failure) — not a fault-mode outcome.
+    NotApplicable { reason: String },
+    /// Panic or undiagnosed hang: the fault model's contract is broken.
+    Failure { detail: String },
+}
+
+impl Oracle {
+    /// Fault-mode oracle: compile and place the program, capture the
+    /// fault-free baseline, then inject the seeded single-fault plan
+    /// derived from `fault_seed` (see [`plasticine_sim::seeded_plan`])
+    /// with the sanitizer enabled, and classify the outcome.
+    pub fn run_faulted(&self, p: &Program, fault_seed: u64) -> FaultVerdict {
+        let na = |reason: String| FaultVerdict::NotApplicable { reason };
+        let mut opts = CompilerOptions::default();
+        opts.lower.cmmc.relax_credits = self.relax_credits;
+        let mut compiled = match guard(Stage::Compile, || compile(p, &self.chip, &opts)) {
+            Ok(Ok(c)) => c,
+            Ok(Err(e)) => return na(format!("compile reject: {e}")),
+            Err(_) => return na("compile panic (covered by the base oracle)".to_string()),
+        };
+        if sara_pnr::place_and_route(
+            &mut compiled.vudfg,
+            &compiled.assignment,
+            &self.chip,
+            self.pnr_seed,
+        )
+        .is_err()
+        {
+            return na("pnr reject".to_string());
+        }
+        let base_cfg = SimConfig { sanitize: true, ..self.sim_cfg.clone() };
+        let baseline = match simulate(&compiled.vudfg, &self.chip, &base_cfg) {
+            Ok(o) => o,
+            Err(e) => return na(format!("fault-free baseline failed: {e}")),
+        };
+        let plan = plasticine_sim::seeded_plan(
+            &compiled.vudfg,
+            fault_seed,
+            (baseline.cycles * 3 / 4).max(2),
+        );
+        let plan_text = plan.to_string().trim_end().to_string();
+        let cfg = SimConfig {
+            faults: Some(plan),
+            sanitize: true,
+            max_cycles: baseline.cycles * 50 + 1_000_000,
+            ..self.sim_cfg.clone()
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| simulate(&compiled.vudfg, &self.chip, &cfg)));
+        match result {
+            Err(e) => FaultVerdict::Failure {
+                detail: format!("panic under plan [{plan_text}]: {}", panic_message(&e)),
+            },
+            Ok(Ok(o)) if o.dram_final == baseline.dram_final => {
+                FaultVerdict::Recovered { cycles: o.cycles }
+            }
+            Ok(Ok(o)) => FaultVerdict::Diagnosed {
+                class: "image-divergence".to_string(),
+                detail: format!(
+                    "plan [{plan_text}] completed in {} cycles with a divergent DRAM image",
+                    o.cycles
+                ),
+            },
+            Ok(Err(e)) => {
+                use plasticine_sim::SimError;
+                match &e {
+                    SimError::Sanitizer(r) => FaultVerdict::Diagnosed {
+                        class: format!("sanitizer:{}", r.invariant.label()),
+                        detail: format!("plan [{plan_text}]: {e}"),
+                    },
+                    SimError::Deadlock { .. } => FaultVerdict::Diagnosed {
+                        class: "watchdog".to_string(),
+                        detail: format!("plan [{plan_text}]: {e}"),
+                    },
+                    SimError::Dram { .. } | SimError::Fault { .. } => FaultVerdict::Diagnosed {
+                        class: "typed-fault".to_string(),
+                        detail: format!("plan [{plan_text}]: {e}"),
+                    },
+                    SimError::Timeout { .. } | SimError::Config { .. } => FaultVerdict::Failure {
+                        detail: format!("plan [{plan_text}]: undiagnosed {e}"),
+                    },
+                }
+            }
+        }
     }
 }
 
@@ -299,6 +401,18 @@ mod tests {
                 // A typed reject is tolerable (resource limits); a failure
                 // is not.
                 assert!(v.failure_class().is_none(), "unexpected failure: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_mode_never_fails_on_known_good_program() {
+        let case = crate::gen::generate(0);
+        let oracle = Oracle { relax_credits: case.cfg.relax_credits, ..Oracle::default() };
+        for fault_seed in 0..4u64 {
+            if let FaultVerdict::Failure { detail } = oracle.run_faulted(&case.program, fault_seed)
+            {
+                panic!("fault contract broken (seed {fault_seed}): {detail}")
             }
         }
     }

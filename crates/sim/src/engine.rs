@@ -17,19 +17,23 @@
 //! anything, so a blocked unit stays blocked and side-effect-free until
 //! one of the wake conditions above occurs.
 
+use crate::fault::{FaultPlan, Injector};
 use crate::profile::Profiler;
+use crate::sanitize::Sanitizer;
 use crate::stream::StreamRt;
-use crate::units::{AgRt, CollRt, Ctx, DistRt, SyncRt, VcuRt, VmuRt};
+use crate::units::{AgRt, CollRt, CompleteKind, Ctx, DistRt, SyncRt, VcuRt, VmuRt};
+use crate::watchdog;
 use plasticine_arch::ChipSpec;
-use ramulator_lite::{DramSim, DramStats, Response};
+use ramulator_lite::{DramError, DramModelCfg, DramSim, DramStats, Response};
 use sara_core::profile::SimProfile;
+use sara_core::robust::{InvariantKind, SanitizerReport, WatchdogReport};
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
 use sara_ir::{Elem, MemId};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-/// Simulation limits and scheduler selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Simulation limits, scheduler selection, and robustness options.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Hard cycle limit.
     pub max_cycles: u64,
@@ -46,6 +50,23 @@ pub struct SimConfig {
     pub profile: bool,
     /// DRAM timeline bin width in cycles when profiling.
     pub profile_epoch: u64,
+    /// Deterministic fault plan to inject (see [`crate::fault`]). `None`
+    /// (the default) constructs no injector at all: simulation is
+    /// bit-identical to a build without the feature.
+    pub faults: Option<FaultPlan>,
+    /// Run the per-cycle invariant sanitizer (see [`crate::sanitize`]).
+    /// A pure observer — cycle counts are bit-identical on or off; a
+    /// violation aborts with [`SimError::Sanitizer`].
+    pub sanitize: bool,
+    /// Fault mode only: cycles an issued DRAM request may go unanswered
+    /// before the AG reissues it.
+    pub dram_retry_timeout: u64,
+    /// Fault mode only: reissue budget per request before the AG gives up
+    /// with [`SimError::Dram`].
+    pub dram_max_retries: u32,
+    /// Replace the chip's DRAM model configuration (latency/bandwidth
+    /// stress tests, e.g. watchdog false-positive checks).
+    pub dram_override: Option<DramModelCfg>,
 }
 
 impl Default for SimConfig {
@@ -56,6 +77,11 @@ impl Default for SimConfig {
             dense: false,
             profile: false,
             profile_epoch: 1024,
+            faults: None,
+            sanitize: false,
+            dram_retry_timeout: 10_000,
+            dram_max_retries: 3,
+            dram_override: None,
         }
     }
 }
@@ -70,30 +96,50 @@ impl SimConfig {
     pub fn profiled() -> Self {
         SimConfig { profile: true, ..SimConfig::default() }
     }
+
+    /// Default configuration with the invariant sanitizer enabled.
+    pub fn sanitized() -> Self {
+        SimConfig { sanitize: true, ..SimConfig::default() }
+    }
 }
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// No unit made progress for the configured window.
-    Deadlock { cycle: u64, diagnostic: String },
+    /// No unit made progress for the configured window. `report` is the
+    /// watchdog's structured wait-for diagnosis; `diagnostic` its
+    /// human-readable rendering plus legacy stall/backpressure detail.
+    Deadlock { cycle: u64, diagnostic: String, report: Box<WatchdogReport> },
     /// The cycle limit was reached.
     Timeout { cycle: u64 },
     /// A unit detected an inconsistency (address out of range, stream
     /// width mismatch, ...). Always indicates a compiler or model bug.
     Fault { cycle: u64, unit: String, message: String },
+    /// The invariant sanitizer found a protocol violation.
+    Sanitizer(Box<SanitizerReport>),
+    /// A DRAM request exhausted its retry budget (fault mode), or the
+    /// model surfaced a typed error.
+    Dram { cycle: u64, unit: String, error: DramError },
+    /// The configuration is invalid (e.g. a fault plan targeting a
+    /// nonexistent stream or a non-VCU stall target).
+    Config { message: String },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle, diagnostic } => {
+            SimError::Deadlock { cycle, diagnostic, .. } => {
                 write!(f, "deadlock at cycle {cycle}:\n{diagnostic}")
             }
             SimError::Timeout { cycle } => write!(f, "timeout at cycle {cycle}"),
             SimError::Fault { cycle, unit, message } => {
                 write!(f, "fault at cycle {cycle} in {unit}: {message}")
             }
+            SimError::Sanitizer(r) => write!(f, "{r}"),
+            SimError::Dram { cycle, unit, error } => {
+                write!(f, "dram error at cycle {cycle} in {unit}: {error}")
+            }
+            SimError::Config { message } => write!(f, "invalid sim config: {message}"),
         }
     }
 }
@@ -146,13 +192,110 @@ impl SimOutcome {
     }
 }
 
-enum URt {
+pub(crate) enum URt {
     Vcu(VcuRt),
     Vmu(VmuRt),
     Ag(AgRt),
     Sync(SyncRt),
     Dist(DistRt),
     Coll(CollRt),
+}
+
+/// Robustness-layer state threaded through the schedulers: the fault
+/// injector, the sanitizer, and AG retry budgets. All `None`/inert by
+/// default, in which case every hook below compiles down to a skipped
+/// branch and the simulation is bit-identical to the pre-robustness
+/// engine.
+struct Robust {
+    inj: Option<Injector>,
+    san: Option<Sanitizer>,
+    retry_timeout: u64,
+    max_retries: u32,
+}
+
+impl Robust {
+    /// Run end-of-cycle invariant checks (sanitize mode).
+    fn sanitize_cycle(
+        &mut self,
+        now: u64,
+        streams: &[StreamRt],
+        units: &[URt],
+        dram: &DramSim,
+    ) -> Result<(), SimError> {
+        // Mirror injected-fault events into the report ring first so a
+        // violation report names its own cause.
+        if let (Some(inj), Some(san)) = (self.inj.as_mut(), self.san.as_mut()) {
+            for (cycle, what) in inj.applied.drain(..) {
+                san.record(cycle, what);
+            }
+        }
+        let Some(san) = self.san.as_mut() else { return Ok(()) };
+        san.check_streams(now, streams).map_err(SimError::Sanitizer)?;
+        for u in units {
+            if let URt::Vmu(v) = u {
+                san.check_vmu(now, v).map_err(SimError::Sanitizer)?;
+            }
+        }
+        san.check_dram(now, dram).map_err(SimError::Sanitizer)?;
+        Ok(())
+    }
+
+    /// Fault mode: reissue overdue DRAM requests; typed error when a run
+    /// exhausts its budget. Returns the number of reissues (progress).
+    fn poll_ag_retries(
+        &mut self,
+        now: u64,
+        units: &mut [URt],
+        dram: &mut DramSim,
+    ) -> Result<u64, SimError> {
+        if self.inj.is_none() {
+            return Ok(0);
+        }
+        let mut reissued = 0u64;
+        for u in units.iter_mut() {
+            let URt::Ag(a) = u else { continue };
+            match a.poll_retries(now, dram, self.retry_timeout, self.max_retries) {
+                Ok(tags) => {
+                    for (tag, nth) in tags {
+                        reissued += 1;
+                        if let Some(san) = self.san.as_mut() {
+                            san.record(now, format!("retry #{nth} reissued request {tag:#x}"));
+                        }
+                    }
+                }
+                Err(error) => {
+                    return Err(SimError::Dram { cycle: now, unit: a.label.clone(), error });
+                }
+            }
+        }
+        Ok(reissued)
+    }
+
+    /// Earliest future cycle the retry poller must run at (fault mode).
+    fn next_retry_deadline(&self, units: &[URt]) -> Option<u64> {
+        self.inj.as_ref()?;
+        units
+            .iter()
+            .filter_map(|u| match u {
+                URt::Ag(a) => a.next_retry_deadline(self.retry_timeout),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+/// Build the deadlock error: run the watchdog's wait-for analysis and
+/// append its rendering to the legacy stall/backpressure diagnostic.
+fn deadlock_error(
+    g: &Vudfg,
+    units: &[URt],
+    streams: &[StreamRt],
+    cycle: u64,
+    stalled_for: u64,
+) -> SimError {
+    let report = watchdog::diagnose_waitfor(g, units, streams, cycle, stalled_for);
+    let diagnostic = diagnose(units, streams) + &diagnose_streams(g, streams) + &report.to_string();
+    SimError::Deadlock { cycle, diagnostic, report: Box::new(report) }
 }
 
 /// Simulate a compiled (and ideally placed-and-routed) VUDFG.
@@ -181,7 +324,10 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         let b = (d.base / 4) as usize;
         image[b..b + d.words].copy_from_slice(&d.init);
     }
-    let mut dram = DramSim::new(chip.dram);
+    let mut dram = match &cfg.dram_override {
+        Some(c) => DramSim::with_cfg(c.clone()),
+        None => DramSim::new(chip.dram),
+    };
 
     // ---- units ----
     let mut units: Vec<URt> = Vec::with_capacity(g.units.len());
@@ -240,12 +386,49 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         })
         .collect();
 
+    // ---- robustness layer ----
+    let inj = match cfg.faults.as_ref() {
+        Some(plan) => {
+            let mut inj = Injector::new(plan, g).map_err(|message| SimError::Config { message })?;
+            inj.prime(&streams);
+            Some(inj)
+        }
+        None => None,
+    };
+    let san = cfg.sanitize.then(|| Sanitizer::new(g));
+    let mut robust = Robust {
+        inj,
+        san,
+        retry_timeout: cfg.dram_retry_timeout,
+        max_retries: cfg.dram_max_retries,
+    };
+
     // ---- main loop ----
     let mut prof = cfg.profile.then(|| Profiler::new(g, &streams, cfg.profile_epoch));
     let now = if cfg.dense {
-        run_dense(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain, &mut prof)?
+        run_dense(
+            g,
+            cfg,
+            &mut streams,
+            &mut units,
+            &mut dram,
+            &mut image,
+            &must_drain,
+            &mut prof,
+            &mut robust,
+        )?
     } else {
-        run_active(g, cfg, &mut streams, &mut units, &mut dram, &mut image, &must_drain, &mut prof)?
+        run_active(
+            g,
+            cfg,
+            &mut streams,
+            &mut units,
+            &mut dram,
+            &mut image,
+            &must_drain,
+            &mut prof,
+            &mut robust,
+        )?
     };
     let profile = prof.map(|p| p.finish(now, &streams));
 
@@ -313,6 +496,59 @@ fn step_unit(
     }
 }
 
+/// Route one DRAM response to its AG. Returns `true` when it matched an
+/// outstanding run (progress; the unit should be woken). Duplicates from
+/// the retry path are absorbed; an unknown response is a sanitizer
+/// violation when sanitizing, silently dropped otherwise (pre-existing
+/// behavior).
+fn deliver_response(
+    now: u64,
+    r: &Response,
+    units: &mut [URt],
+    robust: &mut Robust,
+    progress: &mut u64,
+) -> Result<bool, SimError> {
+    let ui = (r.id >> 32) as usize;
+    match units.get_mut(ui) {
+        Some(URt::Ag(a)) => match a.complete(r.id) {
+            CompleteKind::Matched => {
+                *progress += 1;
+                Ok(true)
+            }
+            CompleteKind::Duplicate => {
+                if let Some(san) = robust.san.as_mut() {
+                    san.record(now, format!("duplicate response {:#x} absorbed", r.id));
+                }
+                Ok(false)
+            }
+            CompleteKind::Unknown => {
+                if let Some(san) = robust.san.as_ref() {
+                    return Err(SimError::Sanitizer(san.report(
+                        now,
+                        InvariantKind::DramResponseMismatch,
+                        None,
+                        a.label.clone(),
+                        format!("response {:#x} matches no outstanding run", r.id),
+                    )));
+                }
+                Ok(false)
+            }
+        },
+        _ => {
+            if let Some(san) = robust.san.as_ref() {
+                return Err(SimError::Sanitizer(san.report(
+                    now,
+                    InvariantKind::DramResponseMismatch,
+                    None,
+                    format!("unit {ui}"),
+                    format!("response {:#x} addresses no AG", r.id),
+                )));
+            }
+            Ok(false)
+        }
+    }
+}
+
 /// Completion test: all compute done, all AGs drained, DRAM idle, and
 /// every must-drain stream empty (up to trailing markers).
 fn finished(units: &[URt], dram: &DramSim, streams: &[StreamRt], must_drain: &[bool]) -> bool {
@@ -336,6 +572,7 @@ fn run_dense(
     image: &mut [Elem],
     must_drain: &[bool],
     prof: &mut Option<Profiler>,
+    robust: &mut Robust,
 ) -> Result<u64, SimError> {
     let mut now: u64 = 0;
     let mut last_progress_cycle: u64 = 0;
@@ -345,11 +582,20 @@ fn run_dense(
         if now > cfg.max_cycles {
             return Err(SimError::Timeout { cycle: now });
         }
+        if let Some(inj) = robust.inj.as_mut() {
+            inj.begin_cycle(now, streams);
+        }
         for s in streams.iter_mut() {
             s.tick(now);
         }
         let mut progress: u64 = 0;
         for (i, u) in units.iter_mut().enumerate() {
+            if let Some(inj) = robust.inj.as_ref() {
+                // A stall fault freezes the unit: not stepped at all.
+                if inj.unit_stalled(i, now).is_some() {
+                    continue;
+                }
+            }
             let before = progress;
             step_unit(u, now, streams, &mut progress, dram, image)?;
             if let Some(p) = prof.as_mut() {
@@ -359,18 +605,23 @@ fn run_dense(
                 p.observe_unit_streams(i, now, streams);
             }
         }
+        progress += robust.poll_ag_retries(now, units, dram)?;
         responses.clear();
         dram.tick(now, &mut responses);
         if let Some(p) = prof.as_mut() {
             p.observe_dram(now, dram.stats());
         }
-        for r in &responses {
-            let ui = (r.id >> 32) as usize;
-            if let Some(URt::Ag(a)) = units.get_mut(ui) {
-                a.complete(r.id);
-                progress += 1;
-            }
+        if let Some(inj) = robust.inj.as_mut() {
+            inj.filter_responses(now, &mut responses);
+            responses.extend(inj.due_responses(now));
         }
+        for r in &responses {
+            deliver_response(now, r, units, robust, &mut progress)?;
+        }
+        if let Some(inj) = robust.inj.as_mut() {
+            inj.end_cycle(now, streams);
+        }
+        robust.sanitize_cycle(now, streams, units, dram)?;
         if progress > 0 {
             last_progress_cycle = now;
         }
@@ -378,8 +629,16 @@ fn run_dense(
             return Ok(now);
         }
         if now - last_progress_cycle > cfg.deadlock_window {
-            let diagnostic = diagnose(units, streams) + &diagnose_streams(g, streams);
-            return Err(SimError::Deadlock { cycle: now, diagnostic });
+            // Slow-but-live is not deadlock: outstanding DRAM work always
+            // completes (bumping progress), pending fault-plan state still
+            // mutates the simulation, and an armed retry will fire. Only
+            // when none of those can move does the watchdog declare.
+            let live = dram.busy()
+                || robust.inj.as_ref().map(|i| i.pending(now)).unwrap_or(false)
+                || robust.next_retry_deadline(units).is_some();
+            if !live {
+                return Err(deadlock_error(g, units, streams, now, now - last_progress_cycle));
+            }
         }
     }
 }
@@ -414,6 +673,7 @@ fn run_active(
     image: &mut [Elem],
     must_drain: &[bool],
     prof: &mut Option<Profiler>,
+    robust: &mut Robust,
 ) -> Result<u64, SimError> {
     let n = units.len();
     if n == 0 {
@@ -422,10 +682,7 @@ fn run_active(
         return if finished(units, dram, streams, must_drain) {
             Ok(1)
         } else {
-            Err(SimError::Deadlock {
-                cycle: cfg.deadlock_window + 1,
-                diagnostic: diagnose(units, streams) + &diagnose_streams(g, streams),
-            })
+            Err(deadlock_error(g, units, streams, cfg.deadlock_window + 1, cfg.deadlock_window + 1))
         };
     }
 
@@ -458,32 +715,46 @@ fn run_active(
     let mut in_pushed: Vec<u64> = Vec::new();
     let mut out_pushed: Vec<u64> = Vec::new();
 
+    let mut prev_now: u64 = 0;
     loop {
         // ---- pick the next cycle with any event ----
         let next_unit_event = events.first().map(|&(t, _)| t);
-        let target = match (next_unit_event, dram_next) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
+        let inj_next = robust.inj.as_ref().and_then(|i| i.next_cycle(prev_now));
+        let retry_next = robust.next_retry_deadline(units);
+        let target = [next_unit_event, dram_next, inj_next, retry_next].into_iter().flatten().min();
         // The dense loop keeps ticking through event-free cycles, so it
         // reaches the no-progress deadline (or the cycle limit) even when
         // nothing is scheduled; reproduce both outcomes exactly.
         let deadline = last_progress_cycle + cfg.deadlock_window + 1;
         let target = target.unwrap_or(deadline);
         if target > deadline {
-            return if deadline > cfg.max_cycles {
-                Err(SimError::Timeout { cycle: cfg.max_cycles + 1 })
-            } else {
-                Err(SimError::Deadlock {
-                    cycle: deadline,
-                    diagnostic: diagnose(units, streams) + &diagnose_streams(g, streams),
-                })
-            };
+            // Slow-but-live is not deadlock: an outstanding DRAM
+            // completion, a pending fault-plan mutation, or an armed retry
+            // past the deadline means the fabric can still move — jump to
+            // it instead of declaring (the dense loop defers identically
+            // via its `dram.busy()` guard).
+            let live = dram_next.is_some() || inj_next.is_some() || retry_next.is_some();
+            if !live {
+                return if deadline > cfg.max_cycles {
+                    Err(SimError::Timeout { cycle: cfg.max_cycles + 1 })
+                } else {
+                    Err(deadlock_error(g, units, streams, deadline, deadline - last_progress_cycle))
+                };
+            }
         }
         if target > cfg.max_cycles {
             return Err(SimError::Timeout { cycle: cfg.max_cycles + 1 });
         }
         now = target;
+
+        // ---- apply cycle-armed faults (credit leak/steal) ----
+        if let Some(inj) = robust.inj.as_mut() {
+            for s in inj.begin_cycle(now, streams) {
+                // A mutated token edge is observable at both endpoints.
+                active[dst_of[s]] = true;
+                active[src_of[s]] = true;
+            }
+        }
 
         // ---- collect this cycle's active set ----
         let mut stepped_any = false;
@@ -504,6 +775,15 @@ fn run_active(
                 continue;
             }
             active[i] = false;
+            if let Some(inj) = robust.inj.as_ref() {
+                // A stall fault freezes the unit; re-arm its wake for the
+                // thaw cycle so no wakeup is lost.
+                if let Some(thaw) = inj.unit_stalled(i, now) {
+                    events.insert((thaw, i));
+                    i += 1;
+                    continue;
+                }
+            }
             stepped_any = true;
 
             // Lazy delivery: packets whose arrival time has passed become
@@ -581,27 +861,58 @@ fn run_active(
             i += 1;
         }
 
+        // ---- end-of-cycle packet faults ----
+        if let Some(inj) = robust.inj.as_mut() {
+            let wakes = inj.end_cycle(now, streams);
+            for s in wakes.streams {
+                // Dropped/corrupted packets change what both endpoints
+                // can observe next cycle (capacity freed, payload
+                // changed); spurious wakes are harmless no-ops.
+                events.insert((now + 1, src_of[s]));
+                events.insert((now + 1, dst_of[s]));
+            }
+            for (t, s) in wakes.deliveries {
+                events.insert((t.max(now + 1), dst_of[s]));
+            }
+        }
+
+        // ---- AG retry recovery (fault mode) ----
+        let reissued = robust.poll_ag_retries(now, units, dram)?;
+        progress += reissued;
+
         // ---- DRAM ----
-        // Requests are only pushed during unit steps and ticking schedules
-        // the whole queue, so ticking on step cycles plus completion
-        // cycles reproduces the dense loop's every-cycle tick exactly
-        // (idle ticks are no-ops).
-        if stepped_any || dram_next == Some(now) {
+        // Requests are only pushed during unit steps (and retry polls) and
+        // ticking schedules the whole queue, so ticking on step cycles
+        // plus completion cycles reproduces the dense loop's every-cycle
+        // tick exactly (idle ticks are no-ops).
+        if stepped_any || reissued > 0 || dram_next == Some(now) {
             responses.clear();
             dram.tick(now, &mut responses);
             if let Some(p) = prof.as_mut() {
                 p.observe_dram(now, dram.stats());
             }
+            if let Some(inj) = robust.inj.as_mut() {
+                inj.filter_responses(now, &mut responses);
+            }
             for r in &responses {
                 let ui = (r.id >> 32) as usize;
-                if let Some(URt::Ag(a)) = units.get_mut(ui) {
-                    a.complete(r.id);
-                    progress += 1;
+                if deliver_response(now, r, units, robust, &mut progress)? {
                     events.insert((now + 1, ui));
                 }
             }
             dram_next = dram.next_completion_time();
         }
+        // Fault-delayed responses re-deliver on their own schedule, DRAM
+        // tick or not (their deadline is folded into `target`).
+        let due = robust.inj.as_mut().map(|i| i.due_responses(now)).unwrap_or_default();
+        for r in due {
+            let ui = (r.id >> 32) as usize;
+            if deliver_response(now, &r, units, robust, &mut progress)? {
+                events.insert((now + 1, ui));
+            }
+        }
+
+        robust.sanitize_cycle(now, streams, units, dram)?;
         if progress > 0 {
             last_progress_cycle = now;
         }
@@ -612,9 +923,14 @@ fn run_active(
             return Ok(now);
         }
         if now - last_progress_cycle > cfg.deadlock_window {
-            let diagnostic = diagnose(units, streams) + &diagnose_streams(g, streams);
-            return Err(SimError::Deadlock { cycle: now, diagnostic });
+            let live = dram_next.is_some()
+                || robust.inj.as_ref().map(|i| i.pending(now)).unwrap_or(false)
+                || robust.next_retry_deadline(units).is_some();
+            if !live {
+                return Err(deadlock_error(g, units, streams, now, now - last_progress_cycle));
+            }
         }
+        prev_now = now;
     }
 }
 

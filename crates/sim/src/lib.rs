@@ -16,11 +16,16 @@
 //! executable statement of CMMC's correctness guarantee.
 
 pub mod engine;
+pub mod fault;
 pub mod packet;
 pub mod profile;
+pub mod sanitize;
 pub mod stream;
 pub mod units;
+pub mod watchdog;
 
 pub use engine::{simulate, SimConfig, SimError, SimOutcome, SimStats};
+pub use fault::{seeded_plan, Fault, FaultKind, FaultPlan};
 pub use packet::Packet;
 pub use sara_core::profile::SimProfile;
+pub use sara_core::robust::{InvariantKind, SanitizerReport, WatchdogReport};

@@ -1,0 +1,177 @@
+//! Runtime invariant sanitizer: per-cycle-cheap protocol checks that turn
+//! silent divergence into a typed [`SanitizerReport`].
+//!
+//! Enabled by [`crate::SimConfig::sanitize`]; a pure observer, so cycle
+//! counts are bit-identical with it on or off. Checks run on every
+//! *processed* cycle (the active scheduler's fast-forwarded cycles cannot
+//! change state, so nothing is missed):
+//!
+//! * **token conservation** — per stream, `occupancy == init + pushed −
+//!   popped − skipped`. Credits and packets are conserved by construction;
+//!   a mismatch means something appeared or vanished outside the protocol
+//!   (a leaked/stolen CMMC credit, a dropped or duplicated packet).
+//! * **FIFO bounds** — occupancy never exceeds FIFO depth + in-flight
+//!   latency registers (the bound backpressure enforces).
+//! * **multibuffer epoch ordering** — per VMU, the most advanced write
+//!   epoch never runs more than the multibuffer depth ahead of the least
+//!   advanced read epoch (a writer lapping a reader would overwrite a
+//!   buffer still being read).
+//! * **DRAM response discipline** — responses must match an outstanding
+//!   (or retried) request run of the addressed AG, and no completed
+//!   response may sit undrained past the model's budget.
+//!
+//! Every report carries a ring buffer of recent protocol events (token
+//! movements, epoch switches, injected faults) for replay-free debugging.
+
+use crate::stream::StreamRt;
+use crate::units::VmuRt;
+use ramulator_lite::DramSim;
+use sara_core::robust::{InvariantKind, ProtocolEvent, SanitizerReport};
+use sara_core::vudfg::Vudfg;
+use std::collections::VecDeque;
+
+/// Protocol-event ring capacity (last N events kept for reports).
+const RING_CAP: usize = 32;
+
+pub(crate) struct Sanitizer {
+    /// Pre-rendered `src -> dst [label]` per stream.
+    edge_label: Vec<String>,
+    is_token: Vec<bool>,
+    ring: VecDeque<ProtocolEvent>,
+    prev_pushed: Vec<u64>,
+    prev_popped: Vec<u64>,
+}
+
+impl Sanitizer {
+    pub fn new(g: &Vudfg) -> Self {
+        let edge_label = g
+            .streams
+            .iter()
+            .map(|s| format!("{} -> {} [{}]", g.unit(s.src).label, g.unit(s.dst).label, s.label))
+            .collect();
+        let is_token = g.streams.iter().map(|s| s.kind.is_token()).collect();
+        let n = g.streams.len();
+        Sanitizer {
+            edge_label,
+            is_token,
+            ring: VecDeque::with_capacity(RING_CAP),
+            prev_pushed: vec![0; n],
+            prev_popped: vec![0; n],
+        }
+    }
+
+    /// Append a protocol event (token movement, epoch switch, injected
+    /// fault) to the ring.
+    pub fn record(&mut self, cycle: u64, what: String) {
+        if self.ring.len() == RING_CAP {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ProtocolEvent { cycle, what });
+    }
+
+    /// Snapshot of the ring, oldest first.
+    fn recent(&self) -> Vec<ProtocolEvent> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Build a report carrying the current ring.
+    pub fn report(
+        &self,
+        cycle: u64,
+        invariant: InvariantKind,
+        stream: Option<usize>,
+        edge: String,
+        detail: String,
+    ) -> Box<SanitizerReport> {
+        Box::new(SanitizerReport { cycle, invariant, stream, edge, detail, recent: self.recent() })
+    }
+
+    /// Stream checks: conservation and FIFO bounds. Also records token
+    /// movements into the event ring.
+    pub fn check_streams(
+        &mut self,
+        now: u64,
+        streams: &[StreamRt],
+    ) -> Result<(), Box<SanitizerReport>> {
+        for (i, s) in streams.iter().enumerate() {
+            if self.is_token[i] {
+                let dp = s.pushed - self.prev_pushed[i];
+                let dq = s.popped - self.prev_popped[i];
+                if dp > 0 {
+                    self.record(now, format!("s{i} +{dp} token(s) pushed"));
+                }
+                if dq > 0 {
+                    self.record(now, format!("s{i} {dq} token(s) popped"));
+                }
+                self.prev_pushed[i] = s.pushed;
+                self.prev_popped[i] = s.popped;
+            }
+            let expect =
+                s.init_tokens as i128 + s.pushed as i128 - s.popped as i128 - s.skipped as i128;
+            let occ = s.occupancy() as i128;
+            if occ != expect {
+                return Err(self.report(
+                    now,
+                    InvariantKind::TokenConservation,
+                    Some(i),
+                    self.edge_label[i].clone(),
+                    format!(
+                        "occupancy {} != init {} + pushed {} - popped {} - skipped {}",
+                        occ, s.init_tokens, s.pushed, s.popped, s.skipped
+                    ),
+                ));
+            }
+            if s.occupancy() > s.slots() {
+                return Err(self.report(
+                    now,
+                    InvariantKind::FifoOverflow,
+                    Some(i),
+                    self.edge_label[i].clone(),
+                    format!("occupancy {} > {} slots", s.occupancy(), s.slots()),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Multibuffer epoch-ordering check for one VMU.
+    pub fn check_vmu(&self, now: u64, v: &VmuRt) -> Result<(), Box<SanitizerReport>> {
+        let (wr, rd) = v.epochs();
+        if wr.is_empty() || rd.is_empty() {
+            return Ok(());
+        }
+        let m = v.multibuffer();
+        let wmax = wr.iter().copied().max().unwrap_or(0);
+        let rmin = rd.iter().copied().min().unwrap_or(0);
+        if wmax > rmin + m {
+            return Err(self.report(
+                now,
+                InvariantKind::EpochOrdering,
+                None,
+                v.label.clone(),
+                format!("write epoch {wmax} lapped read epoch {rmin} (multibuffer depth {m})"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// DRAM drain-budget check.
+    pub fn check_dram(&self, now: u64, dram: &DramSim) -> Result<(), Box<SanitizerReport>> {
+        if let Err(e) = dram.check_response_stall(now) {
+            let ch = match e {
+                ramulator_lite::DramError::ResponseStall { channel, .. } => channel,
+            };
+            return Err(self.report(
+                now,
+                InvariantKind::DramResponseStall,
+                None,
+                match ch {
+                    Some(c) => format!("dram channel {c}"),
+                    None => "dram".to_string(),
+                },
+                e.to_string(),
+            ));
+        }
+        Ok(())
+    }
+}

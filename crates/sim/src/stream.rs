@@ -15,10 +15,15 @@ pub struct StreamRt {
     arriving: VecDeque<(u64, Packet)>,
     latency: u64,
     capacity: usize,
+    /// Initial credit tokens (CMMC), for conservation accounting.
+    pub init_tokens: u64,
     /// Total packets pushed (stats).
     pub pushed: u64,
     /// Total packets popped (stats).
     pub popped: u64,
+    /// Epoch markers discarded by [`StreamRt::skip_markers_and_peek`]
+    /// without being counted as pops.
+    pub skipped: u64,
 }
 
 impl StreamRt {
@@ -33,8 +38,10 @@ impl StreamRt {
             arriving: VecDeque::new(),
             latency: latency.max(1) as u64,
             capacity: depth.max(1) as usize,
+            init_tokens: init_tokens as u64,
             pushed: 0,
             popped: 0,
+            skipped: 0,
         }
     }
 
@@ -81,6 +88,7 @@ impl StreamRt {
     pub fn skip_markers_and_peek(&mut self) -> bool {
         while matches!(self.q.front(), Some(p) if p.is_marker()) {
             self.q.pop_front();
+            self.skipped += 1;
         }
         !self.q.is_empty()
     }
@@ -110,6 +118,58 @@ impl StreamRt {
     /// epilogue control that no consumer is required to pop).
     pub fn is_drained(&self) -> bool {
         self.q.iter().all(|p| p.is_marker()) && self.arriving.iter().all(|(_, p)| p.is_marker())
+    }
+
+    // ----------------------------------------------------- fault hooks
+    //
+    // Used only by the fault injector. They mutate stream state *without*
+    // touching the push/pop/skip counters: the faults model hardware
+    // misbehaving outside the protocol, which is exactly what the
+    // sanitizer's conservation check is designed to catch.
+
+    /// Materialize a spurious credit token directly in the receive FIFO.
+    pub fn fault_leak_token(&mut self) {
+        self.q.push_back(Packet::token());
+    }
+
+    /// Destroy one queued credit token; `false` if none is queued yet.
+    pub fn fault_steal_token(&mut self) -> bool {
+        self.q.pop_back().is_some()
+    }
+
+    /// In-flight packet `back_offset` entries from the newest, for
+    /// payload corruption. `None` if fewer packets are in flight.
+    pub fn fault_packet_mut(&mut self, back_offset: usize) -> Option<&mut Packet> {
+        let len = self.arriving.len();
+        let idx = len.checked_sub(1 + back_offset)?;
+        self.arriving.get_mut(idx).map(|(_, p)| p)
+    }
+
+    /// Remove an in-flight packet; `true` if one was removed.
+    pub fn fault_drop_in_flight(&mut self, back_offset: usize) -> bool {
+        let len = self.arriving.len();
+        let Some(idx) = len.checked_sub(1 + back_offset) else { return false };
+        self.arriving.remove(idx).is_some()
+    }
+
+    /// Duplicate an in-flight packet (the copy delivers at the same
+    /// cycle); returns the delivery cycle.
+    pub fn fault_dup_in_flight(&mut self, back_offset: usize) -> Option<u64> {
+        let len = self.arriving.len();
+        let idx = len.checked_sub(1 + back_offset)?;
+        let (t, p) = self.arriving[idx].clone();
+        self.arriving.insert(idx + 1, (t, p));
+        Some(t)
+    }
+
+    /// Hold an in-flight packet `extra` more cycles. Delivery is
+    /// front-blocking, so packets behind it queue up (head-of-line
+    /// blocking, as on a real wire). Returns the new delivery cycle.
+    pub fn fault_delay_in_flight(&mut self, back_offset: usize, extra: u64) -> Option<u64> {
+        let len = self.arriving.len();
+        let idx = len.checked_sub(1 + back_offset)?;
+        self.arriving[idx].0 += extra;
+        Some(self.arriving[idx].0)
     }
 }
 

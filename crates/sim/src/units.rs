@@ -802,6 +802,17 @@ impl VmuRt {
         }
     }
 
+    /// Multibuffer depth `m` (number of rotating buffers).
+    pub fn multibuffer(&self) -> u64 {
+        self.buffers.len() as u64
+    }
+
+    /// Per-port write and read epoch counters (sanitizer: the epoch-
+    /// ordering invariant bounds their skew by the multibuffer depth).
+    pub fn epochs(&self) -> (&[u64], &[u64]) {
+        (&self.wr_epoch, &self.rd_epoch)
+    }
+
     /// Final contents of buffer 0 joined with the most recently written
     /// epoch (for result extraction, the last write epoch wins).
     pub fn image(&self) -> &[Elem] {
@@ -1176,6 +1187,34 @@ struct RunAcc {
     touched: u64,
 }
 
+/// An issued run awaiting its DRAM response, kept reissuable so lost or
+/// badly delayed responses can be recovered by retry.
+#[derive(Debug, Clone)]
+struct InflightRun {
+    /// `(job seq, element count)` covered by this run.
+    jobs: Vec<(u64, u64)>,
+    /// The request, verbatim, for reissue.
+    req: Request,
+    /// Cycle the request was last accepted by the DRAM queue
+    /// (`u64::MAX` while still waiting in `to_issue`).
+    issued_at: u64,
+    /// Reissue count so far.
+    retries: u32,
+}
+
+/// How [`AgRt::complete`] classified a DRAM response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteKind {
+    /// Matched an outstanding run; jobs were credited.
+    Matched,
+    /// A re-delivery for a run that was retried (or already credited) —
+    /// benign, absorbed.
+    Duplicate,
+    /// Matches no outstanding or retried run of this unit: a protocol
+    /// violation the sanitizer reports.
+    Unknown,
+}
+
 /// Runtime state of an address-generator unit.
 ///
 /// Requests are **coalesced across packets**: consecutive word addresses
@@ -1195,7 +1234,10 @@ pub struct AgRt {
     /// Flushed requests not yet accepted by the DRAM model.
     to_issue: VecDeque<Request>,
     /// In-flight runs by run id.
-    inflight: HashMap<u64, Vec<(u64, u64)>>,
+    inflight: HashMap<u64, InflightRun>,
+    /// Run ids that completed or were reissued; late re-deliveries for
+    /// them are benign duplicates, not protocol violations.
+    retired_runs: std::collections::HashSet<u64>,
     next_seq: u64,
     next_run: u64,
     /// Maximum outstanding jobs (from the AG spec).
@@ -1227,6 +1269,7 @@ impl AgRt {
             run: None,
             to_issue: VecDeque::new(),
             inflight: HashMap::new(),
+            retired_runs: std::collections::HashSet::new(),
             next_seq: 0,
             next_run: 0,
             max_jobs: 64,
@@ -1257,13 +1300,15 @@ impl AgRt {
         let run_id = self.next_run;
         self.next_run += 1;
         let tag = ((self.unit_index as u64) << 32) | (run_id & 0xFFFF_FFFF);
-        self.to_issue.push_back(Request {
+        let req = Request {
             id: tag,
             addr: self.spec.base_addr + run.start * 4,
             bytes: (run.len * 4) as u32,
             is_write,
-        });
-        self.inflight.insert(run_id, run.jobs);
+        };
+        self.to_issue.push_back(req);
+        self.inflight
+            .insert(run_id, InflightRun { jobs: run.jobs, req, issued_at: u64::MAX, retries: 0 });
     }
 
     /// Append one word address of job `seq` to the coalescing run.
@@ -1390,6 +1435,10 @@ impl AgRt {
         // ---- issue ----
         while let Some(req) = self.to_issue.front() {
             if dram.push(ctx.now, *req) {
+                let run_id = req.id & 0xFFFF_FFFF;
+                if let Some(fl) = self.inflight.get_mut(&run_id) {
+                    fl.issued_at = ctx.now;
+                }
                 self.to_issue.pop_front();
                 *ctx.progress += 1;
             } else {
@@ -1432,15 +1481,95 @@ impl AgRt {
         Ok(())
     }
 
-    /// Record a DRAM completion for a tagged request.
-    pub fn complete(&mut self, tag: u64) {
+    /// Record a DRAM completion for a tagged request, classifying it.
+    ///
+    /// Retries make duplicate deliveries possible (a delayed original plus
+    /// its reissue): the first match credits the jobs, later copies are
+    /// absorbed as [`CompleteKind::Duplicate`]. A tag matching neither an
+    /// outstanding nor a retired run is [`CompleteKind::Unknown`] — the
+    /// sanitizer turns that into a `dram-response-mismatch` report.
+    pub fn complete(&mut self, tag: u64) -> CompleteKind {
         let run_id = tag & 0xFFFF_FFFF;
-        let Some(covered) = self.inflight.remove(&run_id) else { return };
-        for (seq, count) in covered {
+        let Some(fl) = self.inflight.remove(&run_id) else {
+            return if self.retired_runs.contains(&run_id) {
+                CompleteKind::Duplicate
+            } else {
+                CompleteKind::Unknown
+            };
+        };
+        self.retired_runs.insert(run_id);
+        for (seq, count) in fl.jobs {
             if let Some(job) = self.jobs.iter_mut().find(|j| j.seq == seq) {
                 job.pending = job.pending.saturating_sub(count as usize);
             }
         }
+        CompleteKind::Matched
+    }
+
+    // ----------------------------------------------- recovery / liveness
+
+    /// Whether the front (in-order) job is waiting on a DRAM response.
+    pub fn front_blocked_on_dram(&self) -> bool {
+        self.jobs.front().map(|j| j.pending > 0).unwrap_or(false)
+    }
+
+    /// Outstanding issued runs.
+    pub fn outstanding_runs(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Earliest cycle at which an issued run exceeds `timeout` cycles
+    /// without a response (the active scheduler must wake then to give
+    /// [`AgRt::poll_retries`] a chance to run).
+    pub fn next_retry_deadline(&self, timeout: u64) -> Option<u64> {
+        self.inflight
+            .values()
+            .filter(|fl| fl.issued_at != u64::MAX)
+            .map(|fl| fl.issued_at + timeout + 1)
+            .min()
+    }
+
+    /// Reissue requests whose responses are `timeout` cycles overdue
+    /// (bounded by `max_retries` per run). Returns the reissued tags with
+    /// their retry ordinal, or the typed stall error once a run exhausts
+    /// its retry budget. Only called in fault-injection mode — a healthy
+    /// DRAM model always responds well inside any sane timeout.
+    pub fn poll_retries(
+        &mut self,
+        now: u64,
+        dram: &mut DramSim,
+        timeout: u64,
+        max_retries: u32,
+    ) -> Result<Vec<(u64, u32)>, ramulator_lite::DramError> {
+        let mut reissued = Vec::new();
+        let mut run_ids: Vec<u64> = self.inflight.keys().copied().collect();
+        run_ids.sort_unstable();
+        for run_id in run_ids {
+            let fl = &self.inflight[&run_id];
+            if fl.issued_at == u64::MAX || now.saturating_sub(fl.issued_at) <= timeout {
+                continue;
+            }
+            if fl.retries >= max_retries {
+                return Err(ramulator_lite::DramError::ResponseStall {
+                    channel: None,
+                    id: fl.req.id,
+                    waited: now - fl.issued_at,
+                    budget: timeout,
+                });
+            }
+            let req = fl.req;
+            if dram.push(now, req) {
+                let fl = self.inflight.get_mut(&run_id).expect("present");
+                fl.issued_at = now;
+                fl.retries += 1;
+                // A late original may still arrive; mark so it is absorbed
+                // as a duplicate rather than reported.
+                self.retired_runs.insert(run_id);
+                reissued.push((req.id, self.inflight[&run_id].retries));
+            }
+            // DRAM queue full: try again next poll.
+        }
+        Ok(reissued)
     }
 }
 

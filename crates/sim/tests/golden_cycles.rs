@@ -1,0 +1,58 @@
+//! Bit-identity regression: with the robustness layer off (the default
+//! `SimConfig` — no fault plan, sanitizer disabled), cycle counts for
+//! every registry workload must match the counts captured before the
+//! fault/sanitizer/watchdog machinery existed, under *both* schedulers.
+//!
+//! This is the executable statement of the layer's zero-cost-when-off
+//! contract: adding `SimConfig::faults`/`SimConfig::sanitize` must not
+//! perturb a single cycle of a fault-free run. If a change to the engine
+//! legitimately shifts timing, recapture these goldens in the same
+//! change — but never to paper over an accidental perturbation from the
+//! robustness hooks.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+
+/// Cycle counts on `small_8x8`, PnR seed 7, default compiler options —
+/// captured from the engine before the fault-injection layer landed.
+const GOLDEN: &[(&str, u64)] = &[
+    ("dotprod", 627),
+    ("gemm", 1177),
+    ("outerprod", 811),
+    ("mlp", 2326),
+    ("lstm", 2257),
+    ("kmeans", 2318),
+    ("bs", 505),
+    ("tpchq6", 636),
+    ("pr", 3107),
+    ("ms", 5044),
+    ("snet", 3749),
+    ("rf", 708),
+    ("sort", 7429),
+    ("gda", 4286),
+    ("logreg", 1663),
+    ("sgd", 1663),
+];
+
+#[test]
+fn golden_cycle_counts_with_robustness_layer_off() {
+    let chip = ChipSpec::small_8x8();
+    let mut bad = Vec::new();
+    for &(name, want) in GOLDEN {
+        let w = sara_workloads::by_name(name).expect("registry workload");
+        let mut compiled = compile(&w.program, &chip, &CompilerOptions::default()).expect(name);
+        sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 7).expect(name);
+        for (sched, cfg) in [("active", SimConfig::default()), ("dense", SimConfig::dense())] {
+            let got = simulate(&compiled.vudfg, &chip, &cfg).expect(name).cycles;
+            if got != want {
+                bad.push(format!("{name} ({sched}): {got} cycles, golden {want}"));
+            }
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "cycle counts drifted from pre-fault-layer goldens:\n{}",
+        bad.join("\n")
+    );
+}

@@ -160,7 +160,7 @@ fn undercredited_token_graph_deadlocks_with_diagnostic() {
 
     let cfg = SimConfig { max_cycles: 5_000_000, deadlock_window: 2_000, ..SimConfig::default() };
     let active_err = simulate(&compiled.vudfg, &chip, &cfg).unwrap_err();
-    let SimError::Deadlock { cycle: active_cycle, diagnostic } = active_err else {
+    let SimError::Deadlock { cycle: active_cycle, diagnostic, .. } = active_err else {
         panic!("expected deadlock under active-list, got {active_err:?}");
     };
     assert!(diagnostic.contains("stalled on"), "diagnostic must list stalled VCUs:\n{diagnostic}");

@@ -9,11 +9,16 @@
 #   --fuzz-budget N  additionally run the differential fuzzer over N random
 #                    programs (fixed seed, artifacts under fuzz-artifacts/).
 #                    A divergence or panic fails verification.
+#   --faults         additionally run the seeded fault-injection campaign
+#                    over every registry workload (fixed seed). Any panic or
+#                    undiagnosed hang under an injected fault fails
+#                    verification; the JSON report lands in results/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 fuzz_budget=0
+faults=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -23,7 +28,8 @@ while [[ $# -gt 0 ]]; do
       fuzz_budget="$1"
       [[ "$fuzz_budget" =~ ^[0-9]+$ ]] || { echo "error: --fuzz-budget must be an integer, got '$fuzz_budget'" >&2; exit 2; }
       ;;
-    *) echo "usage: $0 [--quick] [--fuzz-budget N]" >&2; exit 2 ;;
+    --faults) faults=1 ;;
+    *) echo "usage: $0 [--quick] [--fuzz-budget N] [--faults]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -33,6 +39,14 @@ run_fuzz() {
     echo "== sara-fuzz ($fuzz_budget cases, fixed seed)"
     cargo run --release -q -p sara-fuzz --bin sara-fuzz -- \
       --cases "$fuzz_budget" --seed 23162 --artifact-dir fuzz-artifacts
+  fi
+}
+
+run_faults() {
+  if [[ "$faults" == 1 ]]; then
+    echo "== fault-campaign (seeded plans, every registry workload)"
+    cargo run --release -q -p sara-bench --bin fault-campaign -- \
+      --plans 6 --seed 1025559 --out fault_campaign
   fi
 }
 
@@ -47,6 +61,7 @@ if [[ "$quick" == 1 ]]; then
   cargo test -q --workspace
 
   run_fuzz
+  run_faults
 
   echo "verify (quick): OK"
   exit 0
@@ -65,5 +80,6 @@ echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 run_fuzz
+run_faults
 
 echo "verify: OK"
