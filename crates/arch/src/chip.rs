@@ -154,6 +154,36 @@ impl ChipSpec {
         }
     }
 
+    /// The canonical short name of this configuration (`"20x20"`,
+    /// `"16x8"`, `"8x8"`, `"4x4"`), used in CLI flags and replayable
+    /// artifacts. Falls back to `"<cols>x<rows>"` for custom grids.
+    pub fn name(&self) -> String {
+        format!("{}x{}", self.cols, self.rows)
+    }
+
+    /// Look a configuration up by its short name (the inverse of
+    /// [`ChipSpec::name`]). Shared by the CLI `--chip` parsers and the
+    /// DSE artifact reader so every tool accepts the same spellings.
+    pub fn by_name(name: &str) -> Option<ChipSpec> {
+        match name {
+            "20x20" => Some(ChipSpec::sara_20x20()),
+            "16x8" => Some(ChipSpec::vanilla_16x8()),
+            "8x8" => Some(ChipSpec::small_8x8()),
+            "4x4" => Some(ChipSpec::tiny_4x4()),
+            _ => None,
+        }
+    }
+
+    /// Names accepted by [`ChipSpec::by_name`], for usage strings.
+    pub const NAMES: &'static [&'static str] = &["20x20", "16x8", "8x8", "4x4"];
+
+    /// Whether a design needing the given unit counts fits on this chip.
+    /// This is the capability-model feasibility query the DSE search uses
+    /// to prune candidates before place-and-route.
+    pub fn can_fit(&self, pcus: u32, pmus: u32, ags: u32) -> bool {
+        pcus <= self.pcus() && pmus <= self.pmus() && ags <= self.ags
+    }
+
     /// Checkerboard slot assignment: PCU on even parity, PMU on odd.
     pub fn slot(&self, row: u32, col: u32) -> GridSlot {
         if row >= self.rows || col >= self.cols {
@@ -230,6 +260,24 @@ mod tests {
         assert_eq!(c.slot(0, 1), GridSlot::Pu(PuType::Pmu));
         assert_eq!(c.slot(1, 0), GridSlot::Pu(PuType::Pmu));
         assert_eq!(c.slot(9, 9), GridSlot::Empty);
+    }
+
+    #[test]
+    fn name_round_trips_through_by_name() {
+        for &n in ChipSpec::NAMES {
+            let c = ChipSpec::by_name(n).unwrap();
+            assert_eq!(c.name(), n);
+        }
+        assert!(ChipSpec::by_name("9x9").is_none());
+    }
+
+    #[test]
+    fn can_fit_checks_every_resource() {
+        let c = ChipSpec::tiny_4x4(); // 8 PCUs, 8 PMUs, 4 AGs
+        assert!(c.can_fit(8, 8, 4));
+        assert!(!c.can_fit(9, 0, 0));
+        assert!(!c.can_fit(0, 9, 0));
+        assert!(!c.can_fit(0, 0, 5));
     }
 
     #[test]

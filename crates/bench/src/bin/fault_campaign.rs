@@ -31,6 +31,7 @@
 
 use plasticine_arch::ChipSpec;
 use plasticine_sim::{seeded_plan, simulate, FaultPlan, SimConfig, SimError};
+use sara_bench::cli;
 use sara_bench::json::Json;
 use sara_core::compile::{compile, CompilerOptions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -68,21 +69,11 @@ struct Row {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fault-campaign [--chip 20x20|16x8|8x8] [--plans N] [--seed S]\n\
-         \x20                     [--workload NAME] [--dense] [--out NAME] [--plan FILE]"
+        "usage: fault-campaign [--chip {}] [--plans N] [--seed S]\n\
+         \x20                     [--workload NAME] [--dense] [--out NAME] [--plan FILE]",
+        ChipSpec::NAMES.join("|")
     );
     std::process::exit(2);
-}
-
-fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
-    *i += 1;
-    match args.get(*i) {
-        Some(v) => v.clone(),
-        None => {
-            eprintln!("error: {flag} requires a value");
-            std::process::exit(2);
-        }
-    }
 }
 
 /// Classify one faulted run against the fault-free baseline.
@@ -130,7 +121,7 @@ fn classify(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = cli::args();
     let mut chip = ChipSpec::small_8x8();
     let mut plans_per_workload = 6u64;
     let mut seed = 0xFA017u64;
@@ -141,33 +132,20 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--chip" => {
-                chip = match flag_value(&args, &mut i, "--chip").as_str() {
-                    "20x20" => ChipSpec::sara_20x20(),
-                    "16x8" => ChipSpec::vanilla_16x8(),
-                    "8x8" => ChipSpec::small_8x8(),
-                    other => {
-                        eprintln!("error: unknown chip {other}");
-                        std::process::exit(2);
-                    }
-                };
-            }
+            "--chip" => chip = cli::parse_chip_or_exit(&cli::flag_value(&args, &mut i, "--chip")),
             "--plans" => {
                 plans_per_workload =
-                    flag_value(&args, &mut i, "--plans").parse().unwrap_or_else(|_| usage());
+                    cli::flag_value(&args, &mut i, "--plans").parse().unwrap_or_else(|_| usage());
             }
             "--seed" => {
-                seed = flag_value(&args, &mut i, "--seed").parse().unwrap_or_else(|_| usage());
+                seed = cli::flag_value(&args, &mut i, "--seed").parse().unwrap_or_else(|_| usage());
             }
-            "--workload" => only = Some(flag_value(&args, &mut i, "--workload")),
+            "--workload" => only = Some(cli::flag_value(&args, &mut i, "--workload")),
             "--dense" => dense = true,
-            "--out" => out_name = flag_value(&args, &mut i, "--out"),
-            "--plan" => plan_file = Some(flag_value(&args, &mut i, "--plan")),
+            "--out" => out_name = cli::flag_value(&args, &mut i, "--out"),
+            "--plan" => plan_file = Some(cli::flag_value(&args, &mut i, "--plan")),
             "--help" | "-h" => usage(),
-            other => {
-                eprintln!("error: unknown flag {other}");
-                std::process::exit(2);
-            }
+            other => cli::usage_error(&format!("unknown flag {other}")),
         }
         i += 1;
     }

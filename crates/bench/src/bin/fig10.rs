@@ -74,7 +74,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
-    sara_bench::parse_profile_dir_flag();
+    sara_bench::cli::parse_profile_dir_flag();
     let apps: &[&str] =
         if sara_bench::smoke() { &["mlp", "bs"] } else { &["mlp", "lstm", "bs", "gda"] };
     let mut points: Vec<Pt> = Vec::new();

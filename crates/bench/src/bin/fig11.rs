@@ -83,6 +83,11 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
+    // Uniform fig/table CLI surface: accept --profile-dir (exit-2 contract
+    // on a missing value) even though this figure never simulates — the
+    // flag selects a directory for run_profiled artifacts, and compile-time
+    // measurement has none to write.
+    sara_bench::cli::parse_profile_dir_flag();
     let mut points: Vec<Pt> = Vec::new();
     for (app, program) in apps() {
         for (algo_name, algo) in algos() {

@@ -95,7 +95,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
-    sara_bench::parse_profile_dir_flag();
+    sara_bench::cli::parse_profile_dir_flag();
     let smoke = sara_bench::smoke();
     let mut points: Vec<Pt> = Vec::new();
     let mlp_sweep: &[(u32, u32)] = if smoke {

@@ -5,9 +5,11 @@
 //! (`SARA_BENCH_THREADS` overrides the worker count).
 //!
 //! ```text
-//! sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE] [--profile FILE]
+//! sarac <workload> [--chip 20x20|16x8|8x8|4x4] [--simulate] [--dot FILE] [--profile FILE]
 //!                  [--faults PLAN] [--sanitize]
-//! sarac --sweep   [--chip 20x20|16x8|8x8] [--simulate]
+//! sarac <workload> --autotune [--budget N] [--chip NAME]
+//! sarac --knobs FILE [--simulate]
+//! sarac --sweep   [--chip 20x20|16x8|8x8|4x4] [--simulate]
 //! ```
 //!
 //! `--faults PLAN` (implies `--simulate`) injects the fault plan in file
@@ -19,10 +21,17 @@
 //! cycle counts), a Chrome-trace JSON is written to FILE (open it in
 //! `chrome://tracing` or <https://ui.perfetto.dev>), and the top
 //! bottlenecks are printed.
+//!
+//! `--autotune` runs the design-space explorer (`sara-dse`) on the
+//! workload and writes the best configuration as a replayable knob
+//! artifact plus a tuning report into the results directory.
+//! `--knobs FILE` replays such an artifact: the workload, chip, par
+//! factors, optimization flags, and PnR seed all come from the file, so
+//! the simulated cycle count reproduces the tuner's number exactly.
 
 use plasticine_arch::ChipSpec;
 use plasticine_sim::{simulate, FaultPlan, SimConfig};
-use sara_bench::sweep;
+use sara_bench::{cli, sweep};
 use sara_core::compile::{compile, CompilerOptions};
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
 use std::fmt::Write as _;
@@ -109,26 +118,52 @@ fn sweep_all(chip: &ChipSpec, do_sim: bool) -> ! {
     std::process::exit(i32::from(failed));
 }
 
-/// Value of a `--flag VALUE` pair, or a one-line usage error (exit 2)
-/// when the value is missing.
-fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
-    *i += 1;
-    match args.get(*i) {
-        Some(v) => v.clone(),
-        None => {
-            eprintln!("error: {flag} requires a value");
-            std::process::exit(2);
-        }
-    }
+/// `--autotune`: run the design-space explorer on one workload and emit
+/// the replayable knob artifact plus the tuning report.
+fn autotune(name: &str, chip: &ChipSpec, budget: Option<usize>) -> ! {
+    let opts = sara_dse::SearchOptions {
+        chip: chip.name(),
+        budget: budget.unwrap_or_else(|| sara_dse::SearchOptions::default().budget),
+        ..sara_dse::SearchOptions::default()
+    };
+    let out = sara_dse::autotune(name, &opts).unwrap_or_else(|e| {
+        eprintln!("autotune error: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", sara_dse::summary_line(&out));
+    let knobs = sara_bench::save_json_or_exit(&format!("{name}.knobs"), &out.best.knobs.to_json());
+    let report =
+        sara_bench::save_json_or_exit(&format!("{name}.report"), &sara_dse::report_json(&out));
+    println!("knobs:  wrote {} (replay with: sarac --knobs <file>)", knobs.display());
+    println!("report: wrote {}", report.display());
+    std::process::exit(0);
+}
+
+/// `--knobs FILE`: replay a tuner artifact. Everything — workload, chip,
+/// par factors, optimization flags, PnR seed — comes from the file.
+fn load_knobs(file: &str) -> sara_dse::KnobConfig {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        cli::usage_error(&format!("cannot read knobs artifact {file}: {e}"));
+    });
+    sara_dse::KnobConfig::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {file}: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = cli::args();
     if args.is_empty() {
         eprintln!(
-            "usage: sarac <workload> [--chip 20x20|16x8|8x8] [--simulate] [--dot FILE] [--profile FILE] [--faults PLAN] [--sanitize]"
+            "usage: sarac <workload> [--chip {chips}] [--simulate] [--dot FILE] [--profile FILE] [--faults PLAN] [--sanitize]",
+            chips = ChipSpec::NAMES.join("|")
         );
-        eprintln!("       sarac --sweep [--chip 20x20|16x8|8x8] [--simulate]");
+        eprintln!("       sarac <workload> --autotune [--budget N] [--chip NAME]");
+        eprintln!("       sarac --knobs FILE [--simulate]");
+        eprintln!(
+            "       sarac --sweep [--chip {chips}] [--simulate]",
+            chips = ChipSpec::NAMES.join("|")
+        );
         eprintln!(
             "workloads: {}",
             sara_workloads::all_small().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
@@ -143,54 +178,88 @@ fn main() {
     let mut profile_file: Option<String> = None;
     let mut faults_file: Option<String> = None;
     let mut sanitize = false;
+    let mut do_autotune = false;
+    let mut budget: Option<usize> = None;
+    let mut knobs_file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--chip" => {
-                chip = match flag_value(&args, &mut i, "--chip").as_str() {
-                    "20x20" => ChipSpec::sara_20x20(),
-                    "16x8" => ChipSpec::vanilla_16x8(),
-                    "8x8" => ChipSpec::small_8x8(),
-                    other => {
-                        eprintln!("error: unknown chip {other} (expected 20x20, 16x8, or 8x8)");
-                        std::process::exit(2);
-                    }
-                };
-            }
+            "--chip" => chip = cli::parse_chip_or_exit(&cli::flag_value(&args, &mut i, "--chip")),
             "--simulate" => do_sim = true,
             "--sweep" => do_sweep = true,
-            "--dot" => dot_file = Some(flag_value(&args, &mut i, "--dot")),
+            "--dot" => dot_file = Some(cli::flag_value(&args, &mut i, "--dot")),
             "--profile" => {
-                profile_file = Some(flag_value(&args, &mut i, "--profile"));
+                profile_file = Some(cli::flag_value(&args, &mut i, "--profile"));
                 do_sim = true;
             }
             "--faults" => {
-                faults_file = Some(flag_value(&args, &mut i, "--faults"));
+                faults_file = Some(cli::flag_value(&args, &mut i, "--faults"));
                 do_sim = true;
             }
             "--sanitize" => sanitize = true,
-            other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
-            other => {
-                eprintln!("error: unknown flag {other}");
-                std::process::exit(2);
+            "--autotune" => do_autotune = true,
+            "--budget" => {
+                let v = cli::flag_value(&args, &mut i, "--budget");
+                budget = match v.parse() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => cli::usage_error("--budget needs a positive integer"),
+                };
             }
+            "--knobs" => knobs_file = Some(cli::flag_value(&args, &mut i, "--knobs")),
+            other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
+            other => cli::usage_error(&format!("unknown flag {other}")),
         }
         i += 1;
     }
     if do_sweep {
         sweep_all(&chip, do_sim);
     }
-    let Some(name) = name else {
-        eprintln!("no workload given (or use --sweep)");
-        std::process::exit(2);
+    // Replay mode: the artifact carries its own workload/chip/knobs/seed,
+    // and the whole point is the cycle count, so it implies --simulate.
+    let replay = knobs_file.map(|f| {
+        if name.is_some() {
+            cli::usage_error(
+                "--knobs replays the artifact's own workload; drop the positional name",
+            );
+        }
+        do_sim = true;
+        load_knobs(&f)
+    });
+    let name = match (&replay, name) {
+        (Some(k), _) => k.workload.clone(),
+        (None, Some(n)) => n,
+        (None, None) => cli::usage_error("no workload given (or use --sweep / --knobs)"),
     };
+    if do_autotune {
+        if replay.is_some() {
+            cli::usage_error("--autotune and --knobs are mutually exclusive");
+        }
+        autotune(&name, &chip, budget);
+    }
     let Some(w) = sara_workloads::by_name(&name) else {
         eprintln!("unknown workload {name}");
         std::process::exit(2);
     };
+    // In replay mode the artifact dictates the program knobs, chip,
+    // compiler options, and PnR seed; the defaults apply otherwise.
+    let (program, chip, options, pnr_seed) = match &replay {
+        Some(k) => {
+            let p = k.build_program().unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let c = k.chip_spec().unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            println!("knobs: replaying {} on {} (pnr seed {})", k.key(), k.chip, k.pnr_seed);
+            (p, c, k.compiler_options(), k.pnr_seed)
+        }
+        None => (w.program.clone(), chip, CompilerOptions::default(), 42),
+    };
     println!("== {} ({}) ==", w.name, w.domain);
-    println!("{}", w.program.pretty());
-    let mut compiled = match compile(&w.program, &chip, &CompilerOptions::default()) {
+    println!("{}", program.pretty());
+    let mut compiled = match compile(&program, &chip, &options) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("compile error: {e}");
@@ -212,7 +281,7 @@ fn main() {
         compiled.report.streams,
         compiled.report.token_streams
     );
-    let pnr = sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 42)
+    let pnr = sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, pnr_seed)
         .unwrap_or_else(|e| {
             eprintln!("pnr error: {e}");
             std::process::exit(1);

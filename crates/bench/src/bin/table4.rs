@@ -58,6 +58,10 @@ fn eval(name: &&'static str) -> Result<Row, String> {
 }
 
 fn main() {
+    // Uniform fig/table CLI surface: accept --profile-dir with the same
+    // exit-2 contract as the simulating binaries (this table only runs
+    // the interpreter, so no profile artifacts are produced).
+    sara_bench::cli::parse_profile_dir_flag();
     let mut names: Vec<&'static str> = sara_workloads::all_small().iter().map(|w| w.name).collect();
     if sara_bench::smoke() {
         names.truncate(4);

@@ -65,7 +65,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
-    sara_bench::parse_profile_dir_flag();
+    sara_bench::cli::parse_profile_dir_flag();
     let mut points: Vec<Pt> = Vec::new();
     for (app, program) in apps() {
         points.push(Pt { app, program: program.clone(), pc: false });

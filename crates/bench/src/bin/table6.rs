@@ -73,7 +73,7 @@ fn eval(pt: &Pt) -> Result<Out, String> {
 }
 
 fn main() {
-    sara_bench::parse_profile_dir_flag();
+    sara_bench::cli::parse_profile_dir_flag();
     let points: Vec<Pt> = apps().into_iter().map(|(app, program)| Pt { app, program }).collect();
     let results = sweep::run_points(&points, eval);
 

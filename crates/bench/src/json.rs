@@ -1,113 +1,13 @@
-//! Minimal JSON value + pretty printer.
+//! Result-file JSON helpers.
 //!
-//! Replaces `serde_json` for result files: the harness only ever *writes*
-//! JSON, and only from hand-assembled rows, so a small value enum with
-//! ordered object keys is all that's needed.
+//! The [`Json`] value type (and its parser) moved to [`sara_util::json`]
+//! so artifact-emitting crates below the bench harness can share it;
+//! this module re-exports it for the existing call sites and keeps the
+//! profile serialization, which depends on `sara-core`.
+
+pub use sara_util::json::Json;
 
 use sara_core::profile::{SimProfile, StallReason};
-use std::fmt::Write as _;
-
-/// A JSON value. Object keys keep insertion order so result files diff
-/// cleanly run-to-run.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Int(i64),
-    Float(f64),
-    Str(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Empty object, to be filled with [`Json::set`].
-    pub fn object() -> Json {
-        Json::Object(Vec::new())
-    }
-
-    /// Insert (or replace) a key in an object; panics on non-objects.
-    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Object(fields) => {
-                let value = value.into();
-                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
-                    slot.1 = value;
-                } else {
-                    fields.push((key.to_string(), value));
-                }
-            }
-            other => panic!("Json::set on non-object {other:?}"),
-        }
-        self
-    }
-
-    /// Render with two-space indentation and a trailing newline.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Float(f) => {
-                if f.is_finite() {
-                    // `{:?}` keeps a decimal point or exponent so the value
-                    // reads back as a float.
-                    let _ = write!(out, "{f:?}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Array(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Object(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
 
 /// Serialize a [`SimProfile`] into the result-file JSON shape: per-VCU
 /// cycle attribution with a per-reason stall object, per-stream
@@ -164,150 +64,4 @@ pub fn profile_json(p: &SimProfile) -> Json {
         .set("vcus", Json::Array(vcus))
         .set("streams", Json::Array(streams))
         .set("dram_epochs", Json::Array(epochs))
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(v: i64) -> Json {
-        Json::Int(v)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        if let Ok(i) = i64::try_from(v) {
-            Json::Int(i)
-        } else {
-            Json::Float(v as f64)
-        }
-    }
-}
-
-impl From<u32> for Json {
-    fn from(v: u32) -> Json {
-        Json::Int(v as i64)
-    }
-}
-
-impl From<i32> for Json {
-    fn from(v: i32) -> Json {
-        Json::Int(v as i64)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::from(v as u64)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Float(v)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(v: Vec<T>) -> Json {
-        Json::Array(v.into_iter().map(Into::into).collect())
-    }
-}
-
-impl<T: Into<Json> + Clone> From<&[T]> for Json {
-    fn from(v: &[T]) -> Json {
-        Json::Array(v.iter().cloned().map(Into::into).collect())
-    }
-}
-
-impl<T: Into<Json>> From<Option<T>> for Json {
-    fn from(v: Option<T>) -> Json {
-        v.map_or(Json::Null, Into::into)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::Json;
-
-    #[test]
-    fn renders_nested_structures() {
-        let doc = Json::object()
-            .set("name", "fig9a")
-            .set("ok", true)
-            .set(
-                "rows",
-                Json::Array(vec![
-                    Json::object().set("par", 4).set("cycles", 123u64),
-                    Json::object().set("par", 8).set("speedup", 1.5),
-                ]),
-            )
-            .set("empty", Json::Array(vec![]))
-            .set("missing", Json::Null);
-        let s = doc.pretty();
-        assert!(s.contains("\"name\": \"fig9a\""));
-        assert!(s.contains("\"cycles\": 123"));
-        assert!(s.contains("\"speedup\": 1.5"));
-        assert!(s.contains("\"empty\": []"));
-        assert!(s.contains("\"missing\": null"));
-        assert!(s.ends_with("}\n"));
-    }
-
-    #[test]
-    fn escapes_strings() {
-        let s = Json::Str("a\"b\\c\nd".to_string()).pretty();
-        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
-    }
-
-    #[test]
-    fn set_replaces_existing_key() {
-        let doc = Json::object().set("k", 1).set("k", 2);
-        assert_eq!(doc, Json::object().set("k", 2));
-    }
-
-    #[test]
-    fn floats_keep_a_decimal_point() {
-        assert_eq!(Json::Float(2.0).pretty(), "2.0\n");
-        assert_eq!(Json::Float(f64::NAN).pretty(), "null\n");
-    }
 }

@@ -1,6 +1,7 @@
 //! Shared experiment-harness plumbing: compile+PnR+simulate runners, the
 //! parallel sweep pool, and result records serialized into `results/`.
 
+pub mod cli;
 pub mod json;
 pub mod sweep;
 pub mod trace;
@@ -12,7 +13,8 @@ use sara_core::compile::{compile, Compiled, CompilerOptions};
 use sara_ir::interp::{Interp, InterpStats};
 use sara_ir::Program;
 use std::path::PathBuf;
-use std::sync::OnceLock;
+
+pub use cli::{parse_profile_dir_flag, profile_dir};
 
 /// One full run of a program through the SARA stack.
 #[derive(Debug)]
@@ -83,42 +85,6 @@ pub fn run_with(
         .map_err(|e| format!("pnr: {e}"))?;
     let outcome = simulate(&compiled.vudfg, chip, cfg).map_err(|e| format!("sim: {e}"))?;
     Ok(Run { compiled, outcome, interp })
-}
-
-static PROFILE_DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
-
-/// Directory for per-run profile artifacts, from `--profile-dir` (see
-/// [`parse_profile_dir_flag`]) or `SARA_BENCH_PROFILE_DIR`. `None`
-/// disables profiling in [`run_profiled`].
-pub fn profile_dir() -> Option<PathBuf> {
-    PROFILE_DIR
-        .get_or_init(|| std::env::var_os("SARA_BENCH_PROFILE_DIR").map(PathBuf::from))
-        .clone()
-}
-
-/// Consume a `--profile-dir DIR` argument from this process's command
-/// line (the one knob the fig/table binaries accept). Call at the top of
-/// `main`, before any [`run_profiled`].
-pub fn parse_profile_dir_flag() {
-    let mut dir = std::env::var_os("SARA_BENCH_PROFILE_DIR").map(PathBuf::from);
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--profile-dir" {
-            match args.get(i + 1) {
-                Some(d) => {
-                    dir = Some(PathBuf::from(d));
-                    i += 1;
-                }
-                None => {
-                    eprintln!("error: --profile-dir requires a value");
-                    std::process::exit(2);
-                }
-            }
-        }
-        i += 1;
-    }
-    let _ = PROFILE_DIR.set(dir);
 }
 
 /// [`run`], plus profile artifacts when a profile directory is

@@ -64,10 +64,46 @@ fn unwritable_results_dir_is_a_one_line_error() {
 
 #[test]
 fn profile_dir_flag_without_value_is_a_usage_error() {
-    let out = Command::new(env!("CARGO_BIN_EXE_table5"))
-        .env("SARA_BENCH_SMOKE", "1")
-        .args(["--profile-dir"])
-        .output()
-        .expect("spawn table5");
-    assert_diagnostic(&out, "--profile-dir");
+    // table5 always honored --profile-dir; fig11 and table4 were ported
+    // to the shared cli module later and must follow the same contract.
+    for (name, bin) in [
+        ("table5", env!("CARGO_BIN_EXE_table5")),
+        ("fig11", env!("CARGO_BIN_EXE_fig11")),
+        ("table4", env!("CARGO_BIN_EXE_table4")),
+    ] {
+        let out = Command::new(bin)
+            .env("SARA_BENCH_SMOKE", "1")
+            .args(["--profile-dir"])
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+        assert_diagnostic(&out, &format!("{name} --profile-dir"));
+    }
+}
+
+#[test]
+fn sarac_dse_flag_misuse_is_a_usage_error() {
+    for argsets in [
+        vec!["--knobs"],                         // missing value
+        vec!["gemm", "--budget"],                // missing value
+        vec!["gemm", "--budget", "zero"],        // not an integer
+        vec!["gemm", "--budget", "0"],           // not positive
+        vec!["gemm", "--knobs", "/nonexistent"], // positional + replay conflict
+    ] {
+        let out = Command::new(sarac()).args(&argsets).output().expect("spawn sarac");
+        assert_diagnostic(&out, &argsets.join(" "));
+    }
+}
+
+#[test]
+fn sarac_rejects_a_malformed_knobs_artifact() {
+    let dir = std::env::temp_dir().join(format!("sara-knobs-diag-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.knobs.json");
+    std::fs::write(&path, "{ not json").unwrap();
+    let out = Command::new(sarac()).args(["--knobs", path.to_str().unwrap()]).output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "malformed artifact: want exit 1:\n{stderr}");
+    assert!(stderr.starts_with("error:"), "one-line error wanted:\n{stderr}");
+    assert!(!stderr.contains("panicked"), "no backtrace wanted:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

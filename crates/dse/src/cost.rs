@@ -1,0 +1,293 @@
+//! The analytical cost model: cycle and resource estimates from the
+//! lowered VUDFG, without simulating.
+//!
+//! ## Model
+//!
+//! Every virtual compute unit fires once per iteration of its control
+//! chain, so its firing count is the product of its levels' static trip
+//! counts (dynamic bounds and do-while levels fall back to small fixed
+//! guesses — the knobs being tuned never touch them). Firing counts
+//! already reflect the knobs: spatial unrolling splits trips across lane
+//! units and vectorization folds the innermost trip by the SIMD width,
+//! because both happen during lowering, before the model looks.
+//!
+//! Units are grouped by the root-child subtree they sit under (the
+//! coarse pipeline stages of the program). A stage is bounded by its
+//! busiest unit (units within a stage form a pipeline); the program is
+//! bounded between the busiest stage (perfect overlap) and the sum of
+//! stages (no overlap) — the model takes the midpoint, or the pure sum
+//! when the root schedule is `Sequential`. DRAM traffic is estimated per
+//! AG unit from its request generator's firing count and bounded by the
+//! chip's aggregate bandwidth. The final raw estimate is
+//!
+//! ```text
+//! raw = startup + max(stage_blend, dram_bytes / bytes_per_cycle)
+//! ```
+//!
+//! ## Calibration protocol
+//!
+//! Raw estimates carry a workload-shaped constant factor (pipeline IIs,
+//! token overheads, bank conflicts) that the model does not attempt to
+//! derive. Instead, a [`CostModel`] learns a single multiplicative
+//! factor `alpha` as the geometric mean of `simulated / raw` over every
+//! real simulation the search runs — one observation suffices to rank
+//! candidates (calibrated once per workload against the default-knob
+//! simulation), and later observations refine it. The tuning report
+//! re-fits `alpha` over the returned frontier and reports the worst
+//! relative error there, which is the accuracy figure that matters:
+//! those are the points a user would pick from.
+
+use plasticine_arch::ChipSpec;
+use sara_core::compile::Compiled;
+use sara_core::vudfg::{Level, UnitKind};
+use sara_ir::{CtrlId, Program};
+use std::collections::HashMap;
+
+/// Firing-count guess for a counter level with a dynamic bound.
+const DYNAMIC_TRIP_GUESS: u64 = 8;
+/// Firing-count guess for a do-while level.
+const WHILE_TRIP_GUESS: u64 = 4;
+/// Element width in bytes (every [`sara_ir::Elem`] is 8 bytes).
+const ELEM_BYTES: u64 = 8;
+
+/// An uncalibrated cycle estimate with its components, plus the resource
+/// usage the feasibility pruner consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Raw (uncalibrated) cycle estimate.
+    pub raw_cycles: f64,
+    /// Compute bound: blended per-stage busiest-unit firing counts.
+    pub compute_bound: f64,
+    /// DRAM bound: estimated traffic over aggregate bandwidth.
+    pub dram_bound: f64,
+    /// Pipeline fill/drain allowance.
+    pub startup: f64,
+    /// Estimated DRAM traffic in bytes.
+    pub dram_bytes: u64,
+}
+
+/// Estimate the cost of a compiled design point on a chip.
+///
+/// `p` must be the program the design was compiled from (the model walks
+/// the control tree to group units into root-stage subtrees).
+pub fn estimate(p: &Program, compiled: &Compiled, chip: &ChipSpec) -> CostEstimate {
+    let g = &compiled.vudfg;
+    let root = p.root();
+
+    // Firing count and stage attribution per VCU.
+    let mut stage_bound: HashMap<Option<CtrlId>, f64> = HashMap::new();
+    for u in &g.units {
+        let UnitKind::Vcu(v) = &u.kind else { continue };
+        let firings = firings_of(&v.levels);
+        let stage = v.levels.first().map(|l| stage_of(p, root, l.ctrl()));
+        let slot = stage_bound.entry(stage).or_insert(0.0);
+        *slot = slot.max(firings);
+    }
+    let serial: f64 = stage_bound.values().sum();
+    let pipelined = stage_bound.values().cloned().fold(0.0, f64::max);
+    let compute_bound = match p.ctrl(root).schedule {
+        sara_ir::Schedule::Sequential => serial,
+        sara_ir::Schedule::Pipelined => (serial + pipelined) / 2.0,
+    };
+
+    // DRAM traffic: each AG moves (request-generator firings) x width
+    // elements; all AGs share the chip's aggregate bandwidth.
+    let mut dram_bytes = 0u64;
+    for u in &g.units {
+        let UnitKind::Ag(ag) = &u.kind else { continue };
+        let req_firings = u
+            .inputs
+            .get(ag.addr_in)
+            .map(|&sid| g.stream(sid).src)
+            .and_then(|src| g.unit(src).as_vcu().map(|v| firings_of(&v.levels)))
+            .unwrap_or(1.0);
+        dram_bytes += (req_firings * f64::from(ag.width)).round() as u64 * ELEM_BYTES;
+    }
+    let dram_bound = dram_bytes as f64 / chip.dram.bytes_per_cycle() as f64;
+
+    // Fill/drain allowance: network hops plus per-unit pipeline latency,
+    // scaled by graph size as a proxy for the longest path.
+    let startup = 64.0 + 2.0 * f64::from(chip.hop_latency) * g.units.len() as f64;
+
+    CostEstimate {
+        raw_cycles: startup + compute_bound.max(dram_bound),
+        compute_bound,
+        dram_bound,
+        startup,
+        dram_bytes,
+    }
+}
+
+/// Product of a level chain's trip counts (the unit's firing count).
+fn firings_of(levels: &[Level]) -> f64 {
+    let mut f = 1.0f64;
+    for l in levels {
+        f *= match l {
+            Level::Counter { .. } => l.static_trip().unwrap_or(DYNAMIC_TRIP_GUESS).max(1) as f64,
+            Level::Gate { .. } => 1.0,
+            Level::While { .. } => WHILE_TRIP_GUESS as f64,
+        };
+    }
+    f
+}
+
+/// The root-child subtree a controller sits under (the unit's coarse
+/// pipeline stage).
+fn stage_of(p: &Program, root: CtrlId, c: CtrlId) -> CtrlId {
+    p.child_toward(root, c)
+}
+
+/// Multiplicative calibration: `alpha` is the geometric mean of
+/// `simulated / raw` over all observations (see the module docs for the
+/// protocol).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    log_ratio_sum: f64,
+    samples: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new()
+    }
+}
+
+impl CostModel {
+    /// Uncalibrated model (`alpha = 1`).
+    pub fn new() -> CostModel {
+        CostModel { log_ratio_sum: 0.0, samples: 0 }
+    }
+
+    /// A model calibrated over `(raw, simulated)` pairs.
+    pub fn fit(points: impl IntoIterator<Item = (f64, u64)>) -> CostModel {
+        let mut m = CostModel::new();
+        for (raw, sim) in points {
+            m.observe(raw, sim);
+        }
+        m
+    }
+
+    /// A model whose `alpha` minimizes the *worst* relative error over
+    /// the given pairs (used for the final frontier refit, where the
+    /// reported figure is the maximum error). With ratio extremes
+    /// `r_min`/`r_max`, the optimum `2·r_min·r_max / (r_min + r_max)`
+    /// equalizes the over- and under-prediction errors at both ends.
+    pub fn fit_minimax(points: impl IntoIterator<Item = (f64, u64)>) -> CostModel {
+        let mut r_min = f64::INFINITY;
+        let mut r_max: f64 = 0.0;
+        for (raw, sim) in points {
+            if raw > 0.0 && sim > 0 {
+                let r = sim as f64 / raw;
+                r_min = r_min.min(r);
+                r_max = r_max.max(r);
+            }
+        }
+        if r_max == 0.0 {
+            return CostModel::new();
+        }
+        let alpha = 2.0 * r_min * r_max / (r_min + r_max);
+        CostModel { log_ratio_sum: alpha.ln(), samples: 1 }
+    }
+
+    /// Record one real simulation of a point with raw estimate `raw`.
+    pub fn observe(&mut self, raw: f64, simulated: u64) {
+        if raw > 0.0 && simulated > 0 {
+            self.log_ratio_sum += (simulated as f64 / raw).ln();
+            self.samples += 1;
+        }
+    }
+
+    /// The calibration factor.
+    pub fn alpha(&self) -> f64 {
+        if self.samples == 0 {
+            1.0
+        } else {
+            (self.log_ratio_sum / f64::from(self.samples)).exp()
+        }
+    }
+
+    /// Number of observations backing the calibration.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// Calibrated cycle prediction for a raw estimate.
+    pub fn predict(&self, raw: f64) -> f64 {
+        self.alpha() * raw
+    }
+
+    /// Relative error of the calibrated prediction against a simulation:
+    /// `|predict(raw) - sim| / sim`.
+    pub fn rel_error(&self, raw: f64, simulated: u64) -> f64 {
+        let sim = simulated.max(1) as f64;
+        (self.predict(raw) - sim).abs() / sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::KnobConfig;
+    use sara_core::compile::compile;
+
+    fn estimate_for(workload: &str, pars: &[(&str, u32)]) -> (CostEstimate, Compiled) {
+        let w = sara_workloads::by_name(workload).unwrap();
+        let chip = ChipSpec::small_8x8();
+        let mut cfg = KnobConfig::default_for(&w, "8x8", 42).unwrap();
+        for &(name, par) in pars {
+            cfg.pars.iter_mut().find(|k| k.name == name).unwrap().par = par;
+        }
+        let p = cfg.build_program().unwrap();
+        let compiled = compile(&p, &chip, &cfg.compiler_options()).unwrap();
+        let est = estimate(&p, &compiled, &chip);
+        (est, compiled)
+    }
+
+    #[test]
+    fn estimate_is_finite_and_positive_for_all_workloads() {
+        for w in sara_workloads::all_small() {
+            let chip = ChipSpec::small_8x8();
+            let compiled = compile(&w.program, &chip, &Default::default()).unwrap();
+            let est = estimate(&w.program, &compiled, &chip);
+            assert!(est.raw_cycles.is_finite() && est.raw_cycles > 0.0, "{}", w.name);
+            assert!(est.dram_bytes > 0, "{}: no DRAM traffic estimated", w.name);
+        }
+    }
+
+    #[test]
+    fn vectorizing_the_hot_loop_lowers_the_estimate() {
+        let (base, _) = estimate_for("gemm", &[]);
+        let (vec16, _) = estimate_for("gemm", &[("k", 16)]);
+        assert!(
+            vec16.compute_bound < base.compute_bound,
+            "par k=16 should cut the compute bound: {} vs {}",
+            vec16.compute_bound,
+            base.compute_bound
+        );
+    }
+
+    #[test]
+    fn calibration_is_a_geometric_mean() {
+        let m = CostModel::fit([(100.0, 200), (100.0, 800)]);
+        // geomean(2, 8) = 4
+        assert!((m.alpha() - 4.0).abs() < 1e-9);
+        assert!((m.predict(100.0) - 400.0).abs() < 1e-9);
+        assert!((m.rel_error(100.0, 400) - 0.0).abs() < 1e-9);
+        assert!((CostModel::new().alpha() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimax_fit_equalizes_the_extreme_errors() {
+        // ratios 2 and 8: alpha = 2*2*8/10 = 3.2, so the worst relative
+        // error is |3.2/2 - 1| = |3.2/8 - 1| = 0.6 at both extremes —
+        // lower than the geomean fit's |4/2 - 1| = 1.0.
+        let m = CostModel::fit_minimax([(100.0, 200), (100.0, 800)]);
+        assert!((m.alpha() - 3.2).abs() < 1e-9);
+        let lo = m.rel_error(100.0, 200);
+        let hi = m.rel_error(100.0, 800);
+        assert!((lo - hi).abs() < 1e-9);
+        assert!(lo < CostModel::fit([(100.0, 200), (100.0, 800)]).rel_error(100.0, 200));
+        // Degenerate fits fall back to alpha = 1.
+        assert!((CostModel::fit_minimax([]).alpha() - 1.0).abs() < 1e-12);
+    }
+}

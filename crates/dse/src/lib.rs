@@ -1,0 +1,33 @@
+//! # sara-dse
+//!
+//! Design-space exploration for SARA-compiled workloads: an analytical
+//! cost model plus a guided autotuner over the accelerator's knob space
+//! — per-loop parallelization factors, compiler optimization flags, and
+//! (optionally) the chip configuration.
+//!
+//! The subsystem has three layers:
+//!
+//! * [`cost`] — an analytical model estimating cycles and PU/PMU/AG
+//!   usage straight from the lowered dataflow graph, calibrated against
+//!   real simulations with a reported error bound;
+//! * [`search`] — coordinate-descent moves under a bounded beam,
+//!   evaluated in parallel on the shared thread pool, pruned by the
+//!   architecture capability model before place-and-route, and re-ranked
+//!   by periodic real simulations whose bottleneck profiles steer the
+//!   move ordering;
+//! * [`knobs`] / [`report`] — the replayable JSON knob artifact
+//!   (`sarac --knobs` reproduces the tuned cycle count exactly) and the
+//!   tuning report (points explored, cost-model error, speedup).
+//!
+//! The `sara-dse` binary drives all of it from the command line;
+//! `sarac --autotune` embeds the same engine in the compiler driver.
+
+pub mod cost;
+pub mod knobs;
+pub mod report;
+pub mod search;
+
+pub use cost::{estimate, CostEstimate, CostModel};
+pub use knobs::{KnobConfig, LoopKnob, KNOBS_FORMAT};
+pub use report::{report_json, speedup, summary_line, REPORT_FORMAT};
+pub use search::{autotune, EvalPoint, SearchOptions, TuneOutcome, FRONTIER_LEN};

@@ -1,0 +1,96 @@
+//! The tuning report: a JSON rendering of a [`TuneOutcome`] covering
+//! points explored, cost-model accuracy, and the speedup over default
+//! knobs, plus the frontier with estimated-vs-simulated cycles per row.
+
+use crate::search::{EvalPoint, TuneOutcome};
+use sara_util::Json;
+
+/// Report format tag, bumped on breaking schema changes.
+pub const REPORT_FORMAT: &str = "sara-dse-report-v1";
+
+/// Speedup of the best point over the default knobs in simulated cycles
+/// (1.0 = no change, 2.0 = twice as fast).
+pub fn speedup(out: &TuneOutcome) -> f64 {
+    let default = out.default_point.simulated.unwrap_or(0) as f64;
+    let best = out.best.simulated.unwrap_or(0) as f64;
+    if best > 0.0 {
+        default / best
+    } else {
+        1.0
+    }
+}
+
+fn frontier_row(out: &TuneOutcome, p: &EvalPoint) -> Json {
+    let raw = p.estimate.as_ref().map_or(0.0, |e| e.raw_cycles);
+    let sim = p.simulated.unwrap_or(0);
+    Json::object()
+        .set("key", p.knobs.key())
+        .set("knobs", p.knobs.to_json())
+        .set("simulated_cycles", sim)
+        .set("estimated_cycles", out.model.predict(raw))
+        .set("rel_error", out.model.rel_error(raw, sim))
+}
+
+/// Render the full tuning report.
+pub fn report_json(out: &TuneOutcome) -> Json {
+    let frontier: Vec<Json> = out.frontier.iter().map(|p| frontier_row(out, p)).collect();
+    Json::object()
+        .set("format", REPORT_FORMAT)
+        .set("workload", out.workload.as_str())
+        .set("chip", out.best.knobs.chip.as_str())
+        .set("points_explored", out.points_explored)
+        .set("sims_run", out.sims_run)
+        .set("infeasible_pruned", out.infeasible_pruned)
+        .set("rounds", out.rounds)
+        .set("default_cycles", out.default_point.simulated.unwrap_or(0))
+        .set("best_cycles", out.best.simulated.unwrap_or(0))
+        .set("speedup", speedup(out))
+        .set("cost_model_alpha", out.model.alpha())
+        .set("cost_model_samples", out.model.samples())
+        .set("max_model_error", out.max_model_error)
+        .set("best_knobs", out.best.knobs.to_json())
+        .set("frontier", Json::Array(frontier))
+        .set("best_bottleneck", out.best.bottleneck.clone().unwrap_or_default().as_str())
+}
+
+/// One-paragraph human summary for terminal output.
+pub fn summary_line(out: &TuneOutcome) -> String {
+    format!(
+        "{}: {} -> {} cycles ({:.2}x) after {} points ({} simulated, {} pruned, {} rounds); cost model err {:.1}%",
+        out.workload,
+        out.default_point.simulated.unwrap_or(0),
+        out.best.simulated.unwrap_or(0),
+        speedup(out),
+        out.points_explored,
+        out.sims_run,
+        out.infeasible_pruned,
+        out.rounds,
+        100.0 * out.max_model_error,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{autotune, SearchOptions};
+
+    #[test]
+    fn report_round_trips_and_names_every_headline_field() {
+        let opts = SearchOptions { budget: 8, sim_top: 2, ..SearchOptions::default() };
+        let out = autotune("dotprod", &opts).unwrap();
+        let j = report_json(&out);
+        let text = j.pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("format").and_then(Json::as_str), Some(REPORT_FORMAT));
+        assert_eq!(back.get("workload").and_then(Json::as_str), Some("dotprod"));
+        assert!(back.get("speedup").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(back.get("points_explored").and_then(Json::as_u64).unwrap() <= 8);
+        let frontier = back.get("frontier").and_then(Json::as_array).unwrap();
+        assert!(!frontier.is_empty());
+        for row in frontier {
+            assert!(row.get("simulated_cycles").and_then(Json::as_u64).unwrap() > 0);
+            assert!(row.get("knobs").is_some());
+        }
+        assert!(summary_line(&out).contains("dotprod"));
+    }
+}

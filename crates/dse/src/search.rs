@@ -1,0 +1,436 @@
+//! The guided search engine: coordinate-descent moves under a bounded
+//! beam, pruned by the capability model, calibrated and re-ranked by
+//! periodic real simulations.
+//!
+//! ## Strategy
+//!
+//! The search keeps a beam of the most promising feasible points. Each
+//! round it expands every beam point with coordinate-descent moves (one
+//! knob changed at a time: a `par` doubled or halved on the power-of-two
+//! ladder, one optimization flag toggled, or — with `tune_chip` — the
+//! chip swapped), evaluates all new candidates on the shared thread pool
+//! (compile + analytical cost, no simulation), and discards points the
+//! capability model rejects before they ever reach place-and-route. The
+//! top few candidates by calibrated cost are then actually simulated;
+//! their profiles recalibrate the cost model, re-rank the frontier, and
+//! steer the next round's move ordering (a DRAM-blocked profile demotes
+//! compute-side `par` moves in favor of flag and chip moves). The search
+//! stops when the compile budget is spent or when two consecutive rounds
+//! fail to improve the incumbent.
+//!
+//! The incumbent starts at the default-knob point, which is always
+//! simulated first — so the returned best point is never slower than the
+//! defaults in simulated cycles.
+
+use crate::cost::{estimate, CostEstimate, CostModel};
+use crate::knobs::KnobConfig;
+use plasticine_arch::ChipSpec;
+use sara_core::compile::compile;
+use sara_core::profile::StallReason;
+use sara_core::report::{bottleneck_summary, ResourceReport};
+use sara_util::pool::run_points;
+use std::collections::HashSet;
+
+/// Tuning-run parameters.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Maximum candidate points to evaluate (compile + cost model). The
+    /// default point counts toward the budget.
+    pub budget: usize,
+    /// Beam width: feasible points kept alive between rounds.
+    pub beam: usize,
+    /// Candidates actually simulated per round.
+    pub sim_top: usize,
+    /// Place-and-route seed, pinned into every emitted artifact.
+    pub pnr_seed: u64,
+    /// Chip short name the tuning targets (see [`ChipSpec::by_name`]).
+    pub chip: String,
+    /// Also search across chip configurations.
+    pub tune_chip: bool,
+    /// Stop after this many consecutive rounds without an incumbent
+    /// improvement.
+    pub stall_rounds: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            budget: 200,
+            beam: 4,
+            sim_top: 3,
+            pnr_seed: 42,
+            chip: "8x8".to_string(),
+            tune_chip: false,
+            stall_rounds: 2,
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct EvalPoint {
+    pub knobs: KnobConfig,
+    /// Analytical estimate; `None` when the point failed to compile.
+    pub estimate: Option<CostEstimate>,
+    /// Resource usage; `None` when the point failed to compile.
+    pub report: Option<ResourceReport>,
+    /// Compiled successfully *and* fits the target chip.
+    pub feasible: bool,
+    /// Simulated cycles, when this point was one of the simulated few.
+    pub simulated: Option<u64>,
+    /// Fraction of VCU cycles stalled on DRAM in this point's profile.
+    pub dram_blocked_frac: Option<f64>,
+    /// Human-readable bottleneck summary from this point's profile.
+    pub bottleneck: Option<String>,
+}
+
+impl EvalPoint {
+    fn raw(&self) -> f64 {
+        self.estimate.as_ref().map_or(f64::INFINITY, |e| e.raw_cycles)
+    }
+}
+
+/// The result of one autotuning run.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    pub workload: String,
+    /// The default-knob point (always simulated).
+    pub default_point: EvalPoint,
+    /// Best simulated point found (never slower than `default_point`).
+    pub best: EvalPoint,
+    /// All simulated points, best first (at most [`FRONTIER_LEN`]).
+    pub frontier: Vec<EvalPoint>,
+    /// Candidate points evaluated (compiled + cost-modeled).
+    pub points_explored: usize,
+    /// Real simulations run.
+    pub sims_run: usize,
+    /// Candidates rejected by the capability model before PnR.
+    pub infeasible_pruned: usize,
+    /// Search rounds completed.
+    pub rounds: usize,
+    /// The cost model re-fit over the returned frontier.
+    pub model: CostModel,
+    /// Worst relative error of the re-fit model on the frontier.
+    pub max_model_error: f64,
+}
+
+/// Frontier length cap in [`TuneOutcome::frontier`].
+pub const FRONTIER_LEN: usize = 8;
+
+/// Innermost loops vectorize across SIMD lanes; cap `par` at the lane
+/// count. Outer loops spatially unroll; the same cap bounds compile-time
+/// blowup (the capability model prunes oversized designs anyway).
+const MAX_PAR: u32 = 16;
+
+/// Run the autotuner for one registry workload.
+///
+/// # Errors
+///
+/// If the workload or chip is unknown, or the default-knob point fails
+/// to compile, place, or simulate (candidate failures are pruned, but
+/// the baseline must work).
+pub fn autotune(workload: &str, opts: &SearchOptions) -> Result<TuneOutcome, String> {
+    let w =
+        sara_workloads::by_name(workload).ok_or_else(|| format!("unknown workload {workload}"))?;
+    let default_knobs = KnobConfig::default_for(&w, &opts.chip, opts.pnr_seed)?;
+    default_knobs.chip_spec()?; // fail fast on a bad chip name
+
+    // Round 0: the default point, evaluated and simulated.
+    let mut default_point = evaluate(&default_knobs)?;
+    if !default_point.feasible {
+        return Err(format!("{workload}: default knobs do not fit chip {}", opts.chip));
+    }
+    simulate_point(&mut default_point)?;
+    let mut model = CostModel::new();
+    model.observe(default_point.raw(), default_point.simulated.unwrap());
+
+    let mut seen: HashSet<String> = HashSet::new();
+    seen.insert(default_point.knobs.key());
+    let mut explored = 1usize;
+    let mut sims_run = 1usize;
+    let mut infeasible_pruned = 0usize;
+    let mut rounds = 0usize;
+    let mut stall = 0usize;
+
+    let mut incumbent = default_point.clone();
+    let mut simulated: Vec<EvalPoint> = vec![default_point.clone()];
+    let mut beam: Vec<EvalPoint> = vec![default_point.clone()];
+    // Steering signal from the latest best profile: when the design is
+    // DRAM-bound, par moves stop helping — try flags and chips first.
+    let mut dram_bound = default_point.dram_blocked_frac.unwrap_or(0.0) > 0.4;
+
+    while explored < opts.budget && stall < opts.stall_rounds {
+        // Expand the beam with one-knob moves, dedup, cap to the budget.
+        let mut candidates: Vec<KnobConfig> = Vec::new();
+        for p in &beam {
+            for n in neighbors(&p.knobs, opts.tune_chip, dram_bound) {
+                if seen.insert(n.key()) {
+                    candidates.push(n);
+                }
+            }
+        }
+        candidates.truncate(opts.budget - explored);
+        if candidates.is_empty() {
+            break;
+        }
+        rounds += 1;
+        explored += candidates.len();
+
+        // Evaluate candidates in parallel (compile + cost model only; a
+        // compile failure is an infeasible point, not an error).
+        let mut evaluated: Vec<EvalPoint> =
+            run_points(&candidates, evaluate).into_iter().collect::<Result<_, _>>()?;
+        infeasible_pruned += evaluated.iter().filter(|p| !p.feasible).count();
+        evaluated.retain(|p| p.feasible);
+
+        // Re-rank: survivors of the old beam compete with the newcomers.
+        // Alpha is multiplicative, so ranking by raw estimate is ranking
+        // by calibrated prediction; keys break ties deterministically.
+        let mut pool: Vec<EvalPoint> = beam.into_iter().chain(evaluated).collect();
+        pool.sort_by(|a, b| {
+            a.raw().total_cmp(&b.raw()).then_with(|| a.knobs.key().cmp(&b.knobs.key()))
+        });
+        pool.truncate(opts.beam.max(1));
+        beam = pool;
+
+        // Simulate the most promising un-simulated points; their cycles
+        // recalibrate the model and may replace the incumbent.
+        let mut improved = false;
+        for p in beam.iter_mut().filter(|p| p.simulated.is_none()).take(opts.sim_top.max(1)) {
+            if simulate_point(p).is_err() {
+                // A candidate that compiles but fails PnR/sim is dropped
+                // from contention; mark it so we do not retry.
+                p.estimate = None;
+                continue;
+            }
+            sims_run += 1;
+            let cycles = p.simulated.unwrap();
+            model.observe(p.raw(), cycles);
+            simulated.push(p.clone());
+            if cycles < incumbent.simulated.unwrap() {
+                incumbent = p.clone();
+                improved = true;
+                dram_bound = p.dram_blocked_frac.unwrap_or(0.0) > 0.4;
+            }
+        }
+        beam.retain(|p| p.estimate.is_some());
+        if beam.is_empty() {
+            beam.push(incumbent.clone());
+        }
+        stall = if improved { 0 } else { stall + 1 };
+    }
+
+    // The frontier is every simulated point, best first; the final model
+    // is re-fit over exactly those points, and its worst relative error
+    // there is the accuracy figure the report cites.
+    simulated.sort_by(|a, b| {
+        a.simulated
+            .unwrap()
+            .cmp(&b.simulated.unwrap())
+            .then_with(|| a.knobs.key().cmp(&b.knobs.key()))
+    });
+    simulated.dedup_by_key(|p| p.knobs.key());
+    simulated.truncate(FRONTIER_LEN);
+    let final_model =
+        CostModel::fit_minimax(simulated.iter().map(|p| (p.raw(), p.simulated.unwrap())));
+    let max_model_error = simulated
+        .iter()
+        .map(|p| final_model.rel_error(p.raw(), p.simulated.unwrap()))
+        .fold(0.0, f64::max);
+
+    Ok(TuneOutcome {
+        workload: workload.to_string(),
+        default_point,
+        best: incumbent,
+        frontier: simulated,
+        points_explored: explored,
+        sims_run,
+        infeasible_pruned,
+        rounds,
+        model: final_model,
+        max_model_error,
+    })
+}
+
+/// Compile one point and run the cost model over it. A compile failure
+/// yields an infeasible point; only setup errors (unknown workload, bad
+/// knob application) are `Err`.
+pub fn evaluate(knobs: &KnobConfig) -> Result<EvalPoint, String> {
+    let chip = knobs.chip_spec()?;
+    let p = knobs.build_program()?;
+    let infeasible = |knobs: &KnobConfig| EvalPoint {
+        knobs: knobs.clone(),
+        estimate: None,
+        report: None,
+        feasible: false,
+        simulated: None,
+        dram_blocked_frac: None,
+        bottleneck: None,
+    };
+    let Ok(compiled) = compile(&p, &chip, &knobs.compiler_options()) else {
+        return Ok(infeasible(knobs));
+    };
+    let r = compiled.report;
+    let feasible = chip.can_fit(r.pcus as u32, r.pmus as u32, r.ags as u32);
+    Ok(EvalPoint {
+        estimate: Some(estimate(&p, &compiled, &chip)),
+        report: Some(r),
+        feasible,
+        knobs: knobs.clone(),
+        simulated: None,
+        dram_blocked_frac: None,
+        bottleneck: None,
+    })
+}
+
+/// Compile, place, and simulate a point with profiling on, filling in its
+/// simulated cycles, DRAM-blocked fraction, and bottleneck summary.
+/// Profiling never changes cycle counts, so the recorded number is what
+/// an unprofiled replay reproduces.
+fn simulate_point(p: &mut EvalPoint) -> Result<(), String> {
+    let chip = p.knobs.chip_spec()?;
+    let prog = p.knobs.build_program()?;
+    let compiled =
+        compile(&prog, &chip, &p.knobs.compiler_options()).map_err(|e| format!("compile: {e}"))?;
+    let mut g = compiled.vudfg;
+    sara_pnr::place_and_route(&mut g, &compiled.assignment, &chip, p.knobs.pnr_seed)
+        .map_err(|e| format!("pnr: {e}"))?;
+    let out = plasticine_sim::simulate(&g, &chip, &plasticine_sim::SimConfig::profiled())
+        .map_err(|e| format!("sim: {e}"))?;
+    let profile = out.profile.as_ref().expect("profiled config collects a profile");
+    let total: u64 = profile.vcus.iter().map(|v| v.total_cycles()).sum();
+    let dram: u64 = profile.vcus.iter().map(|v| v.stalled(StallReason::DramBlocked)).sum();
+    p.simulated = Some(out.cycles);
+    p.dram_blocked_frac = Some(if total == 0 { 0.0 } else { dram as f64 / total as f64 });
+    p.bottleneck = Some(bottleneck_summary(profile, 3));
+    Ok(())
+}
+
+/// One-knob coordinate moves from a point. Order encodes the search's
+/// preference; `dram_bound` rotates flag/chip moves to the front when
+/// the latest profile says compute-side moves stopped paying.
+fn neighbors(k: &KnobConfig, tune_chip: bool, dram_bound: bool) -> Vec<KnobConfig> {
+    let mut par_moves = Vec::new();
+    for (i, knob) in k.pars.iter().enumerate() {
+        let cap = u32::try_from(knob.trip.min(u64::from(MAX_PAR))).unwrap_or(MAX_PAR).max(1);
+        for par in [knob.par.saturating_mul(2).min(cap), knob.par / 2] {
+            if par >= 1 && par != knob.par {
+                let mut n = k.clone();
+                n.pars[i].par = par;
+                par_moves.push(n);
+            }
+        }
+    }
+
+    let mut flag_moves = Vec::new();
+    for f in 0..5 {
+        let mut n = k.clone();
+        let flag = match f {
+            0 => &mut n.opt.msr,
+            1 => &mut n.opt.rtelm,
+            2 => &mut n.opt.retime,
+            3 => &mut n.opt.retime_m,
+            _ => &mut n.opt.xbar_elm,
+        };
+        *flag = !*flag;
+        flag_moves.push(n);
+    }
+
+    let mut chip_moves = Vec::new();
+    if tune_chip {
+        for &name in ChipSpec::NAMES {
+            if name != k.chip {
+                let mut n = k.clone();
+                n.chip = name.to_string();
+                chip_moves.push(n);
+            }
+        }
+    }
+
+    if dram_bound {
+        flag_moves.into_iter().chain(chip_moves).chain(par_moves).collect()
+    } else {
+        par_moves.into_iter().chain(flag_moves).chain(chip_moves).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_move_one_knob_at_a_time() {
+        let w = sara_workloads::by_name("gemm").unwrap();
+        let k = KnobConfig::default_for(&w, "8x8", 42).unwrap();
+        let ns = neighbors(&k, false, false);
+        // i and k can both double (halving par=1 is a no-op), plus 5 flag
+        // toggles; no chip moves without tune_chip.
+        assert_eq!(ns.len(), 2 + 5);
+        for n in &ns {
+            assert_ne!(n.key(), k.key());
+            assert_eq!(n.chip, k.chip);
+        }
+        let with_chips = neighbors(&k, true, false);
+        assert_eq!(with_chips.len(), 2 + 5 + 3);
+    }
+
+    #[test]
+    fn par_moves_respect_trip_and_lane_caps() {
+        let w = sara_workloads::by_name("gemm").unwrap();
+        let mut k = KnobConfig::default_for(&w, "8x8", 42).unwrap();
+        for knob in &mut k.pars {
+            // at the ladder top for this loop: doubling must be a no-op
+            knob.par = u32::try_from(knob.trip.min(16)).unwrap();
+        }
+        let ns = neighbors(&k, false, false);
+        for n in &ns {
+            for knob in &n.pars {
+                assert!(knob.par <= 16 && knob.par >= 1);
+            }
+        }
+        // Only halving moves remain for the pars (2) plus the 5 flags.
+        assert_eq!(ns.len(), 2 + 5);
+    }
+
+    #[test]
+    fn dram_bound_guidance_reorders_moves() {
+        let w = sara_workloads::by_name("gemm").unwrap();
+        let k = KnobConfig::default_for(&w, "8x8", 42).unwrap();
+        let compute_first = neighbors(&k, false, false);
+        let dram_first = neighbors(&k, false, true);
+        // Same move set either way, different priority order.
+        assert_eq!(compute_first.len(), dram_first.len());
+        assert_ne!(compute_first[0].key(), dram_first[0].key());
+        let mut a: Vec<String> = compute_first.iter().map(KnobConfig::key).collect();
+        let mut b: Vec<String> = dram_first.iter().map(KnobConfig::key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluate_flags_oversized_designs_as_infeasible() {
+        let w = sara_workloads::by_name("mlp").unwrap();
+        let mut k = KnobConfig::default_for(&w, "4x4", 42).unwrap();
+        for knob in &mut k.pars {
+            if !knob.innermost {
+                knob.par = u32::try_from(knob.trip.min(16)).unwrap();
+            }
+        }
+        let p = evaluate(&k).unwrap();
+        assert!(!p.feasible, "16-way unrolled mlp cannot fit a 4x4 chip");
+    }
+
+    #[test]
+    fn autotune_on_a_tiny_budget_still_beats_or_matches_default() {
+        let opts = SearchOptions { budget: 12, sim_top: 2, ..SearchOptions::default() };
+        let out = autotune("dotprod", &opts).unwrap();
+        let default = out.default_point.simulated.unwrap();
+        let best = out.best.simulated.unwrap();
+        assert!(best <= default, "incumbent must never regress: {best} vs {default}");
+        assert!(out.points_explored <= 12);
+        assert!(out.sims_run >= 1);
+        assert!(!out.frontier.is_empty());
+        assert_eq!(out.frontier[0].simulated, out.best.simulated);
+    }
+}

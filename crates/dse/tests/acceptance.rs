@@ -1,0 +1,74 @@
+//! The subsystem's acceptance bar, as executable checks:
+//!
+//! * with a <=200-point budget the tuner strictly beats the default
+//!   knobs in *simulated* cycles on at least three registry workloads;
+//! * the final report's calibrated cost-model estimates stay within 25%
+//!   of simulated cycles on every returned frontier point;
+//! * the emitted knob artifact replays deterministically: rebuilding,
+//!   recompiling, re-placing (same pinned seed) and re-simulating from
+//!   the parsed artifact reproduces the tuner's cycle count exactly.
+
+use sara_dse::{autotune, KnobConfig, SearchOptions};
+
+fn tune(workload: &str, budget: usize) -> sara_dse::TuneOutcome {
+    let opts = SearchOptions { budget, ..SearchOptions::default() };
+    autotune(workload, &opts).unwrap_or_else(|e| panic!("{workload}: {e}"))
+}
+
+/// Simulate a knob artifact from scratch, exactly as `sarac --knobs`
+/// does: program with pars applied, the artifact's compiler options and
+/// chip, its pinned PnR seed, an unprofiled simulation.
+fn replay(knobs: &KnobConfig) -> u64 {
+    let chip = knobs.chip_spec().unwrap();
+    let p = knobs.build_program().unwrap();
+    let mut compiled = sara_core::compile::compile(&p, &chip, &knobs.compiler_options()).unwrap();
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, knobs.pnr_seed)
+        .unwrap();
+    plasticine_sim::simulate(&compiled.vudfg, &chip, &plasticine_sim::SimConfig::default())
+        .unwrap()
+        .cycles
+}
+
+#[test]
+fn beats_default_knobs_on_at_least_three_workloads() {
+    let mut improved = 0;
+    for w in ["gemm", "outerprod", "mlp"] {
+        let out = tune(w, 60);
+        let default = out.default_point.simulated.unwrap();
+        let best = out.best.simulated.unwrap();
+        assert!(best <= default, "{w}: incumbent must never regress ({best} vs {default})");
+        if best < default {
+            improved += 1;
+        }
+        assert!(
+            out.max_model_error <= 0.25,
+            "{w}: frontier cost-model error {:.1}% exceeds 25%",
+            100.0 * out.max_model_error
+        );
+        assert!(out.points_explored <= 60, "{w}: budget overrun");
+    }
+    assert!(improved >= 3, "only {improved} of 3 workloads improved over default knobs");
+}
+
+#[test]
+fn artifact_replays_deterministically() {
+    let out = tune("gemm", 25);
+    let tuned = out.best.simulated.unwrap();
+    // Round-trip through the JSON artifact text, then replay twice.
+    let text = out.best.knobs.to_json().pretty();
+    let parsed = KnobConfig::parse(&text).unwrap();
+    assert_eq!(parsed, out.best.knobs);
+    assert_eq!(replay(&parsed), tuned, "replay must reproduce the tuner's cycle count");
+    assert_eq!(replay(&parsed), tuned, "second replay must agree too");
+}
+
+#[test]
+fn infeasible_defaults_are_reported_not_panicked() {
+    // rf's default program already exceeds the 8x8 chip.
+    let err = autotune("rf", &SearchOptions::default()).unwrap_err();
+    assert!(err.contains("do not fit"), "unexpected error: {err}");
+    // On the paper's 20x20 configuration it tunes fine.
+    let opts = SearchOptions { budget: 10, chip: "20x20".into(), ..SearchOptions::default() };
+    let out = autotune("rf", &opts).unwrap();
+    assert!(out.best.simulated.unwrap() <= out.default_point.simulated.unwrap());
+}

@@ -31,6 +31,9 @@ pub enum IrError {
     AddrArity { mem: MemId, expected: usize, got: usize },
     /// Loop parallelization factor must be at least 1.
     BadPar(CtrlId),
+    /// A loop-only operation (e.g. [`crate::Program::set_par`]) targeted a
+    /// controller that is not a counted loop.
+    NotALoop(CtrlId),
     /// A loop with min >= max and positive step never executes; treated as
     /// an error to catch builder mistakes early (dynamic bounds may still
     /// evaluate to empty at run time, which is fine).
@@ -76,6 +79,7 @@ impl fmt::Display for IrError {
                 write!(f, "address for {mem:?} has {got} dimensions, expected {expected}")
             }
             IrError::BadPar(c) => write!(f, "loop {c:?} has parallelization factor 0"),
+            IrError::NotALoop(c) => write!(f, "controller {c:?} is not a counted loop"),
             IrError::EmptyStaticLoop(c) => write!(f, "loop {c:?} has statically empty range"),
             IrError::ZeroStep(c) => write!(f, "loop {c:?} has zero step"),
             IrError::InitLenMismatch { mem, expected, got } => {

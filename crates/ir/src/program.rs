@@ -341,6 +341,29 @@ impl Program {
         self.ctrls[ctrl.index()].schedule = schedule;
     }
 
+    /// Override the parallelization factor of an already-built loop.
+    ///
+    /// This is the programmatic knob the DSE engine (and tests) use to
+    /// retune a program without reconstructing it. The value is checked
+    /// like the builder path ([`Program::validate`]): `par` must be at
+    /// least 1.
+    ///
+    /// # Errors
+    /// [`IrError::UnknownCtrl`] if `loop_id` does not exist,
+    /// [`IrError::NotALoop`] if it is not a counted loop, and
+    /// [`IrError::BadPar`] if `par` is 0.
+    pub fn set_par(&mut self, loop_id: CtrlId, par: u32) -> Result<(), IrError> {
+        let c = self.ctrls.get_mut(loop_id.index()).ok_or(IrError::UnknownCtrl(loop_id))?;
+        let CtrlKind::Loop(spec) = &mut c.kind else {
+            return Err(IrError::NotALoop(loop_id));
+        };
+        if par == 0 {
+            return Err(IrError::BadPar(loop_id));
+        }
+        spec.par = par;
+        Ok(())
+    }
+
     // ---- expression construction -------------------------------------------
 
     fn push_expr(&mut self, hb: CtrlId, e: Expr) -> Result<ExprId, IrError> {
@@ -499,6 +522,25 @@ impl Program {
     /// non-loop controllers, used as the counter chain of lowered units.
     pub fn loop_ancestors(&self, c: CtrlId) -> Vec<CtrlId> {
         self.ancestors(c).into_iter().filter(|id| self.ctrls[id.index()].is_iterative()).collect()
+    }
+
+    /// All counted loops in program order (depth-first), the knob space
+    /// of per-loop parallelization tuning.
+    pub fn loops(&self) -> Vec<CtrlId> {
+        let mut out = Vec::new();
+        self.visit_preorder(self.root(), &mut |id| {
+            if matches!(self.ctrls[id.index()].kind, CtrlKind::Loop(_)) {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    /// Whether a counted loop has no counted loops beneath it (its `par`
+    /// vectorizes across SIMD lanes rather than spatially unrolling).
+    pub fn is_innermost_loop(&self, id: CtrlId) -> bool {
+        matches!(self.ctrls[id.index()].kind, CtrlKind::Loop(_))
+            && self.loops().iter().all(|&l| l == id || !self.is_ancestor(id, l))
     }
 
     /// All leaf hyperblocks in program order (depth-first).
@@ -681,6 +723,29 @@ mod tests {
         assert_eq!(LoopSpec::new(0, 10, 3).trip_count(), Some(4));
         assert_eq!(LoopSpec::new(10, 0, -2).trip_count(), Some(5));
         assert_eq!(LoopSpec::new(0, Bound::Reg(MemId(0)), 1).trip_count(), None);
+    }
+
+    #[test]
+    fn set_par_overrides_a_built_loop() {
+        let (mut p, a, c, _, _) = sample();
+        assert_eq!(p.ctrl(a).loop_spec().unwrap().par, 1);
+        p.set_par(a, 4).unwrap();
+        assert_eq!(p.ctrl(a).loop_spec().unwrap().par, 4);
+        // Validated like the builder path, never a panic.
+        assert_eq!(p.set_par(a, 0), Err(IrError::BadPar(a)));
+        assert_eq!(p.ctrl(a).loop_spec().unwrap().par, 4);
+        assert_eq!(p.set_par(c, 2), Err(IrError::NotALoop(c)));
+        assert_eq!(p.set_par(CtrlId(99), 2), Err(IrError::UnknownCtrl(CtrlId(99))));
+    }
+
+    #[test]
+    fn loops_and_innermost_queries() {
+        let (p, a, c, _, _) = sample();
+        let b = p.ctrl(c).parent.unwrap();
+        assert_eq!(p.loops(), vec![a, b]);
+        assert!(!p.is_innermost_loop(a));
+        assert!(p.is_innermost_loop(b));
+        assert!(!p.is_innermost_loop(c)); // a leaf, not a loop
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Cycle-accounting invariant behind `bottleneck_summary`: the per-VCU
+//! numbers it renders are only trustworthy if every simulated cycle of
+//! every VCU is attributed to exactly one state. For all 16 registry
+//! workloads, under both schedulers, the per-VCU totals — both the
+//! active/idle/stalled counters and the segment timeline they summarize —
+//! must sum exactly to the simulated cycle count, and the rendered
+//! summary must quote that same count.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, SimConfig, SimOutcome};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_core::report::bottleneck_summary;
+
+const ALL_WORKLOADS: [&str; 16] = [
+    "dotprod",
+    "gemm",
+    "outerprod",
+    "mlp",
+    "lstm",
+    "kmeans",
+    "bs",
+    "tpchq6",
+    "pr",
+    "ms",
+    "snet",
+    "rf",
+    "sort",
+    "gda",
+    "logreg",
+    "sgd",
+];
+
+fn run(name: &str, cfg: &SimConfig) -> SimOutcome {
+    let chip = ChipSpec::small_8x8();
+    let w = sara_workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let mut compiled = compile(&w.program, &chip, &CompilerOptions::default())
+        .unwrap_or_else(|e| panic!("compile {name}: {e}"));
+    sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 7)
+        .unwrap_or_else(|e| panic!("pnr {name}: {e}"));
+    simulate(&compiled.vudfg, &chip, cfg).unwrap_or_else(|e| panic!("sim {name}: {e}"))
+}
+
+fn check(name: &str, sched: &str, cfg: &SimConfig) {
+    let out = run(name, cfg);
+    let p = out.profile.as_ref().unwrap_or_else(|| panic!("{name}/{sched}: no profile"));
+    assert!(!p.vcus.is_empty(), "{name}/{sched}: no VCUs profiled");
+    for v in &p.vcus {
+        // Counter accounting: the three state counters partition time.
+        assert_eq!(
+            v.active_cycles + v.idle_cycles + v.stalled_total(),
+            out.cycles,
+            "{name}/{sched}/{}: state counters must sum to simulated cycles",
+            v.label
+        );
+        // Segment accounting: the timeline covers the same span with no
+        // over- or under-attribution (truncated timelines keep counters
+        // exact but drop segment detail, so only full ones must tile).
+        if !v.segments_truncated {
+            let seg_total: u64 = v.segments.iter().map(|s| s.end - s.start).sum();
+            assert_eq!(
+                seg_total, out.cycles,
+                "{name}/{sched}/{}: segment durations must sum to simulated cycles",
+                v.label
+            );
+        }
+    }
+    let summary = bottleneck_summary(p, 3);
+    assert!(
+        summary.contains(&format!("bottlenecks over {} cycles", out.cycles)),
+        "{name}/{sched}: summary must quote the simulated cycle count:\n{summary}"
+    );
+}
+
+#[test]
+fn per_vcu_totals_sum_to_simulated_cycles_event_driven() {
+    for name in ALL_WORKLOADS {
+        check(name, "event", &SimConfig::profiled());
+    }
+}
+
+#[test]
+fn per_vcu_totals_sum_to_simulated_cycles_dense() {
+    for name in ALL_WORKLOADS {
+        check(name, "dense", &SimConfig { profile: true, ..SimConfig::dense() });
+    }
+}

@@ -1,0 +1,566 @@
+//! Minimal JSON value, pretty printer, and parser.
+//!
+//! Replaces `serde_json` for result files and replayable artifacts: a
+//! small value enum with ordered object keys is all the workspace
+//! needs. The writer keeps insertion order so result files diff cleanly
+//! run-to-run; the parser exists so artifacts the harness *emits* (knob
+//! configurations from the DSE engine, tuning reports) can be read back
+//! and replayed.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order so result files diff
+/// cleanly run-to-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object, to be filled with [`Json::set`].
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Insert (or replace) a key in an object; panics on non-objects.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => {
+                let value = value.into();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Field of an object, if this is an object and the key is present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer payload, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload (int or float), widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document. Strict: exactly one value, no trailing
+    /// garbage, no comments, no trailing commas.
+    ///
+    /// # Errors
+    ///
+    /// A one-line message with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent so the value
+                    // reads back as a float.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Recursive-descent parser over the raw bytes; positions in error
+/// messages are byte offsets.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected character {:?} at byte {}", b as char, self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or_else(|| {
+                                    format!("truncated \\u escape at byte {}", self.pos)
+                                })?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs are not needed for our artifacts;
+                            // map lone surrogates to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 scalar, not one byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = s.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        if let Ok(i) = i64::try_from(v) {
+            Json::Int(i)
+        } else {
+            Json::Float(v as f64)
+        }
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::from(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json> + Clone> From<&[T]> for Json {
+    fn from(v: &[T]) -> Json {
+        Json::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Json;
+
+    #[test]
+    fn renders_nested_structures() {
+        let doc = Json::object()
+            .set("name", "fig9a")
+            .set("ok", true)
+            .set(
+                "rows",
+                Json::Array(vec![
+                    Json::object().set("par", 4).set("cycles", 123u64),
+                    Json::object().set("par", 8).set("speedup", 1.5),
+                ]),
+            )
+            .set("empty", Json::Array(vec![]))
+            .set("missing", Json::Null);
+        let s = doc.pretty();
+        assert!(s.contains("\"name\": \"fig9a\""));
+        assert!(s.contains("\"cycles\": 123"));
+        assert!(s.contains("\"speedup\": 1.5"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.contains("\"missing\": null"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::Str("a\"b\\c\nd".to_string()).pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let doc = Json::object().set("k", 1).set("k", 2);
+        assert_eq!(doc, Json::object().set("k", 2));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(2.0).pretty(), "2.0\n");
+        assert_eq!(Json::Float(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let doc = Json::object()
+            .set("workload", "gemm")
+            .set("pars", Json::Array(vec![Json::Int(4), Json::Int(16)]))
+            .set("flags", Json::object().set("retime", true).set("msr", false))
+            .set("alpha", 1.25)
+            .set("note", "quote\" slash\\ tab\t")
+            .set("nothing", Json::Null);
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parse_accepts_compact_form() {
+        let v = Json::parse(r#"{"a":[1,2.5,-3],"b":{"c":"x"},"d":true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let v = Json::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+        assert_eq!(Json::parse(r#""xAy\t""#).unwrap().as_str(), Some("xAy\t"));
+        assert_eq!(Json::parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_large_ints_stay_exact() {
+        let v = Json::parse("9007199254740993").unwrap();
+        assert_eq!(v.as_i64(), Some(9007199254740993));
+        assert_eq!(Json::parse("-42").unwrap().as_i64(), Some(-42));
+    }
+}

@@ -1,0 +1,232 @@
+//! Parallel point-evaluation pool.
+//!
+//! Callers (the bench binaries, the DSE search engine) evaluate a list
+//! of *independent* design points (workload × parallelization × chip),
+//! each a full compile → PnR → simulate run. [`run_points`] fans those
+//! points out across a scoped-thread work pool (std only:
+//! `std::thread::scope` + channels) and returns results **in input
+//! order**, so tables and speedup baselines ("first point in the
+//! series") are unaffected by scheduling.
+//!
+//! Guarantees:
+//!
+//! * **Deterministic ordering** — `results[i]` corresponds to `points[i]`.
+//! * **Panic isolation** — a panicking point becomes an `Err` for that
+//!   point only; the rest of the sweep completes.
+//! * **Thread-count control** — `SARA_BENCH_THREADS=N` overrides the
+//!   default of `std::thread::available_parallelism()`, clamped to
+//!   `[1, points.len()]`. `SARA_BENCH_THREADS=1` reproduces the exact
+//!   sequential behaviour (useful when a binary also measures wall-clock
+//!   per point, e.g. `fig11`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "SARA_BENCH_THREADS";
+
+/// Parse a `SARA_BENCH_THREADS` value into a positive worker count.
+///
+/// # Errors
+///
+/// A one-line diagnostic when the value is not a positive integer.
+pub fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{THREADS_ENV}={v:?} is not a positive integer")),
+    }
+}
+
+/// Worker count for a sweep over `n_points` points: the `SARA_BENCH_THREADS`
+/// override if set, else available parallelism, clamped to `[1, n_points]`
+/// (and to 1 when `n_points` is 0). An unparsable override is a usage
+/// error: one-line diagnostic on stderr and exit code 2, never a silent
+/// fallback to a different thread count.
+pub fn threads_for(n_points: usize) -> usize {
+    let requested = match std::env::var(THREADS_ENV) {
+        Ok(v) => parse_threads(&v).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    requested.clamp(1, n_points.max(1))
+}
+
+/// Evaluate `f` over every point concurrently, returning results in input
+/// order. A panic inside `f` is caught and surfaced as that point's `Err`.
+pub fn run_points<P, T, F>(points: &[P], f: F) -> Vec<Result<T, String>>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P) -> Result<T, String> + Sync,
+{
+    run_points_on(threads_for(points.len()), points, f)
+}
+
+/// [`run_points`] with an explicit worker count (still clamped to
+/// `[1, points.len()]`).
+pub fn run_points_on<P, T, F>(threads: usize, points: &[P], f: F) -> Vec<Result<T, String>>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P) -> Result<T, String> + Sync,
+{
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        // Sequential fast path: no pool, no catch_unwind overhead in the
+        // common single-core / SARA_BENCH_THREADS=1 case, but keep the
+        // panic→Err contract identical to the parallel path.
+        return points.iter().map(|p| eval_point(&f, p)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let result = eval_point(f, &points[idx]);
+                if tx.send((idx, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut results: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
+        for (idx, result) in rx {
+            results[idx] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("worker delivered every claimed point"))
+            .collect()
+    })
+}
+
+fn eval_point<P, T, F>(f: &F, point: &P) -> Result<T, String>
+where
+    F: Fn(&P) -> Result<T, String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(point))) {
+        Ok(result) => result,
+        Err(payload) => Err(format!("panic: {}", panic_message(&*payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_are_in_input_order() {
+        // Make later points finish first so out-of-order delivery would
+        // show up if ordering weren't restored.
+        let points: Vec<u64> = (0..32).collect();
+        let results = run_points_on(8, &points, |&p| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - p) * 50));
+            Ok(p * 10)
+        });
+        let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..32).map(|p| p * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_becomes_per_point_error() {
+        let results = run_points_on(4, &[1, 2, 3, 4, 5], |&p| {
+            if p == 3 {
+                panic!("boom at {p}");
+            }
+            Ok(p)
+        });
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                let err = r.as_ref().unwrap_err();
+                assert!(err.contains("panic"), "got: {err}");
+                assert!(err.contains("boom at 3"), "got: {err}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_path_catches_panics_too() {
+        let results = run_points_on(1, &[0, 1], |&p| {
+            if p == 0 {
+                panic!("seq boom");
+            }
+            Ok(p)
+        });
+        assert!(results[0].as_ref().unwrap_err().contains("seq boom"));
+        assert_eq!(*results[1].as_ref().unwrap(), 1);
+    }
+
+    #[test]
+    fn every_point_runs_exactly_once() {
+        let seen = Mutex::new(Vec::new());
+        let results = run_points_on(6, &(0..100).collect::<Vec<usize>>(), |&p: &usize| {
+            seen.lock().unwrap().push(p);
+            Ok(p)
+        });
+        assert_eq!(results.len(), 100);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 100);
+        assert_eq!(seen.iter().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("3"), Ok(3));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("many").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("").is_err());
+    }
+
+    #[test]
+    fn errors_pass_through_unchanged() {
+        let results = run_points_on(3, &["a", "b"], |p| {
+            if *p == "a" {
+                Err("no placement".to_string())
+            } else {
+                Ok(p.len())
+            }
+        });
+        assert_eq!(results[0].as_ref().unwrap_err(), "no placement");
+        assert_eq!(*results[1].as_ref().unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_point_list_is_fine() {
+        let results: Vec<Result<u32, String>> = run_points(&Vec::<u32>::new(), |&p| Ok(p));
+        assert!(results.is_empty());
+    }
+}

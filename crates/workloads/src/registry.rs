@@ -12,6 +12,11 @@ pub struct Workload {
     /// Whether the kernel contains data-dependent control flow (dynamic
     /// bounds, branches, do-while).
     pub data_dependent: bool,
+    /// Names of the loops whose `par` factor the workload's parameter
+    /// struct exposes as a tuning knob, at their default (par = 1)
+    /// settings. This is the default-knob metadata the DSE engine uses
+    /// to span its search space without guessing from the control tree.
+    pub tunable_loops: &'static [&'static str],
     pub program: Program,
 }
 
@@ -22,96 +27,112 @@ pub fn all_small() -> Vec<Workload> {
             name: "dotprod",
             domain: "linear algebra",
             data_dependent: false,
+            tunable_loops: &["i"],
             program: linalg::dotprod(&linalg::DotParams::default()),
         },
         Workload {
             name: "outerprod",
             domain: "linear algebra",
             data_dependent: false,
+            tunable_loops: &["j"],
             program: linalg::outerprod(&linalg::OuterParams::default()),
         },
         Workload {
             name: "gemm",
             domain: "linear algebra",
             data_dependent: false,
+            tunable_loops: &["i", "k"],
             program: linalg::gemm(&linalg::GemmParams::default()),
         },
         Workload {
             name: "mlp",
             domain: "deep learning",
             data_dependent: false,
+            tunable_loops: &["l1_i", "l1_j", "l2_i", "l2_j", "l3_i", "l3_j"],
             program: linalg::mlp(&linalg::MlpParams::default()),
         },
         Workload {
             name: "lstm",
             domain: "deep learning",
             data_dependent: false,
+            tunable_loops: &["gi_j", "gf_j", "go_j", "gg_j"],
             program: ml::lstm(&ml::LstmParams::default()),
         },
         Workload {
             name: "snet",
             domain: "deep learning",
             data_dependent: false,
+            tunable_loops: &["oc", "k", "poc"],
             program: cnn::snet(&cnn::SnetParams::default()),
         },
         Workload {
             name: "logreg",
             domain: "analytics/ML",
             data_dependent: false,
+            tunable_loops: &["dot_d", "upd_d"],
             program: ml::logreg(&ml::RegressionParams::default()),
         },
         Workload {
             name: "sgd",
             domain: "analytics/ML",
             data_dependent: false,
+            tunable_loops: &["dot_d", "upd_d"],
             program: ml::sgd(&ml::RegressionParams::default()),
         },
         Workload {
             name: "kmeans",
             domain: "analytics/ML",
             data_dependent: false,
+            tunable_loops: &["dist_d"],
             program: ml::kmeans(&ml::KmeansParams::default()),
         },
         Workload {
             name: "gda",
             domain: "analytics/ML",
             data_dependent: false,
+            tunable_loops: &["b"],
             program: ml::gda(&ml::GdaParams::default()),
         },
         Workload {
             name: "tpchq6",
             domain: "analytics",
             data_dependent: false,
+            tunable_loops: &["i"],
             program: streamk::tpchq6(&streamk::Q6Params::default()),
         },
         Workload {
             name: "bs",
             domain: "finance",
             data_dependent: false,
+            tunable_loops: &["i"],
             program: streamk::bs(&streamk::BsParams::default()),
         },
         Workload {
             name: "sort",
             domain: "sorting",
             data_dependent: false,
+            tunable_loops: &[],
             program: sort::sort(&sort::SortParams::default()),
         },
         Workload {
             name: "ms",
             domain: "sorting",
             data_dependent: true,
+            tunable_loops: &[],
             program: streamk::ms(&streamk::MsParams::default()),
         },
         Workload {
             name: "pr",
             domain: "graphs",
             data_dependent: true,
+            tunable_loops: &["v"],
             program: graph::pr(&graph::PrParams::default()),
         },
         Workload {
             name: "rf",
             domain: "ML inference",
             data_dependent: false,
+            tunable_loops: &["n"],
             program: graph::rf(&graph::RfParams::default()),
         },
     ]
@@ -157,6 +178,27 @@ mod tests {
         for w in all_small() {
             w.program.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
             Interp::new(&w.program).run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn tunable_loops_name_real_static_loops() {
+        for w in all_small() {
+            for &loop_name in w.tunable_loops {
+                let id = w
+                    .program
+                    .loops()
+                    .into_iter()
+                    .find(|&l| w.program.ctrl(l).name == loop_name)
+                    .unwrap_or_else(|| panic!("{}: no loop named {loop_name}", w.name));
+                let spec = w.program.ctrl(id).loop_spec().unwrap();
+                assert!(
+                    spec.trip_count().is_some(),
+                    "{}: tunable loop {loop_name} has a dynamic bound",
+                    w.name
+                );
+                assert_eq!(spec.par, 1, "{}: default knobs must be par = 1", w.name);
+            }
         }
     }
 
