@@ -34,7 +34,7 @@
 //! (stream latency ≥ 1 guarantees the packet is still in flight), and
 //! response faults at the completion cycle the DRAM model itself fixes.
 
-use crate::packet::Packet;
+use crate::packet::{PacketArena, PacketRef};
 use crate::stream::StreamRt;
 use ramulator_lite::Response;
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
@@ -499,7 +499,12 @@ impl Injector {
 
     /// Apply cycle-triggered faults due at `now` (credit leak/steal).
     /// Returns the streams mutated so the engine can wake endpoints.
-    pub fn begin_cycle(&mut self, now: u64, streams: &mut [StreamRt]) -> Vec<usize> {
+    pub fn begin_cycle(
+        &mut self,
+        now: u64,
+        streams: &mut [StreamRt],
+        arena: &mut PacketArena,
+    ) -> Vec<usize> {
         let mut touched = Vec::new();
         for cf in &mut self.credit_faults {
             if cf.done || cf.at > now {
@@ -514,7 +519,7 @@ impl Injector {
                 // Deliver due in-flight credits first (idempotent with the
                 // scheduler's own lazy tick) so a steal can see them.
                 streams[cf.stream].tick(now);
-                if streams[cf.stream].fault_steal_token() {
+                if streams[cf.stream].fault_steal_token(arena) {
                     cf.done = true;
                     self.applied.push((now, format!("steal: destroyed credit on s{}", cf.stream)));
                     touched.push(cf.stream);
@@ -536,7 +541,12 @@ impl Injector {
 
     /// End-of-cycle scan: apply push-triggered faults to packets pushed
     /// this cycle (latency ≥ 1 guarantees they are still in flight).
-    pub fn end_cycle(&mut self, now: u64, streams: &mut [StreamRt]) -> FaultWakes {
+    pub fn end_cycle(
+        &mut self,
+        now: u64,
+        streams: &mut [StreamRt],
+        arena: &mut PacketArena,
+    ) -> FaultWakes {
         let mut wakes = FaultWakes::default();
         for wi in 0..self.watched.len() {
             let (s, last) = self.watched[wi];
@@ -556,13 +566,13 @@ impl Injector {
                 pf.done = true;
                 match pf.op {
                     PushOp::Drop => {
-                        if streams[s].fault_drop_in_flight(back_offset) {
+                        if streams[s].fault_drop_in_flight(back_offset, arena) {
                             self.applied.push((now, format!("drop: packet on s{s}")));
                             wakes.streams.push(s);
                         }
                     }
                     PushOp::Duplicate => {
-                        if let Some(t) = streams[s].fault_dup_in_flight(back_offset) {
+                        if let Some(t) = streams[s].fault_dup_in_flight(back_offset, arena) {
                             self.applied.push((now, format!("dup: packet on s{s}")));
                             wakes.deliveries.push((t, s));
                         }
@@ -575,8 +585,8 @@ impl Injector {
                         }
                     }
                     PushOp::Corrupt => {
-                        if let Some(p) = streams[s].fault_packet_mut(back_offset) {
-                            let d = corrupt_packet(p);
+                        if let Some(p) = streams[s].fault_packet_ref_mut(back_offset) {
+                            let d = corrupt_packet(p, arena);
                             self.applied.push((now, format!("corrupt: s{s} {d}")));
                             wakes.streams.push(s);
                         }
@@ -674,16 +684,17 @@ pub(crate) fn corrupt_elem(e: &mut Elem) -> String {
 
 /// Poison a packet: data loses lane 0 integrity, control flips its
 /// epoch-end flag (marker ↔ token) — both protocol-visible.
-pub(crate) fn corrupt_packet(p: &mut Packet) -> String {
-    if p.vals.is_empty() {
-        p.end = !p.end;
-        if p.end {
+pub(crate) fn corrupt_packet(p: &mut PacketRef, arena: &mut PacketArena) -> String {
+    if p.is_sentinel() {
+        let was_token = !p.is_marker();
+        *p = p.flip_control();
+        if was_token {
             "token -> marker".to_string()
         } else {
             "marker -> token".to_string()
         }
     } else {
-        corrupt_elem(&mut p.vals[0])
+        corrupt_elem(&mut arena.vals_mut(*p)[0])
     }
 }
 
@@ -743,11 +754,12 @@ mod tests {
 
     #[test]
     fn corrupt_flips_control_and_poisons_data() {
-        let mut m = Packet::marker();
-        corrupt_packet(&mut m);
+        let mut arena = PacketArena::new();
+        let mut m = PacketRef::marker();
+        corrupt_packet(&mut m, &mut arena);
         assert!(!m.is_marker(), "marker became token");
-        let mut d = Packet::data(vec![Elem::I64(5)]);
-        corrupt_packet(&mut d);
-        assert_ne!(d.vals[0], Elem::I64(5));
+        let mut d = arena.data(&[Elem::I64(5)]);
+        corrupt_packet(&mut d, &mut arena);
+        assert_ne!(arena.vals(d)[0], Elem::I64(5));
     }
 }

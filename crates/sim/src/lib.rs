@@ -26,6 +26,6 @@ pub mod watchdog;
 
 pub use engine::{simulate, SimConfig, SimError, SimOutcome, SimStats};
 pub use fault::{seeded_plan, Fault, FaultKind, FaultPlan};
-pub use packet::Packet;
+pub use packet::{PacketArena, PacketRef};
 pub use sara_core::profile::SimProfile;
 pub use sara_core::robust::{InvariantKind, SanitizerReport, WatchdogReport};

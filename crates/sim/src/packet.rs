@@ -1,48 +1,232 @@
-//! Stream payloads.
+//! Stream payloads: a generational packet arena.
+//!
+//! Stream elements come in three shapes:
+//!
+//! * a **token** — an empty packet (CMMC credits and other pure
+//!   synchronization);
+//! * an **epoch marker** — an empty packet with the epoch-end flag:
+//!   emitted by request units when a multibuffer epoch completes, acted on
+//!   by VMUs (buffer switch) and forwarded by crossbar units, transparently
+//!   skipped by compute-unit stream inputs;
+//! * a **data packet** — a non-empty vector of lane values (length equals
+//!   the active lane count of the producing firing; shorter than the SIMD
+//!   width on the final partial vector).
+//!
+//! Tokens and markers vastly outnumber data packets on control-heavy
+//! graphs and carry no payload, so they are encoded *inline* in
+//! [`PacketRef`] as sentinel indices — they never touch the arena at all.
+//! Data payloads live in [`PacketArena`] slots recycled through a
+//! freelist; a recycled slot keeps its `Vec` capacity, so the steady-state
+//! hot loop performs no heap allocation per packet. Slots are
+//! generation-checked: a stale ref (use after [`PacketArena::free`])
+//! panics in debug and is sliced as empty in release rather than aliasing
+//! another packet's payload.
 
 use sara_ir::Elem;
 
-/// One element of a stream: a (possibly partial) vector of lane values.
-///
-/// * a **token** is an empty packet with `end == false` (only ever found
-///   on token streams);
-/// * an **epoch marker** is an empty packet with `end == true`: emitted by
-///   request units when a multibuffer epoch completes, acted on by VMUs
-///   (buffer switch) and forwarded by crossbar units, transparently
-///   skipped by compute-unit stream inputs.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Packet {
-    /// Lane values; length equals the active lane count of the producing
-    /// firing (shorter than the SIMD width on the final partial vector).
-    pub vals: Vec<Elem>,
-    /// Epoch-end marker flag.
-    pub end: bool,
+/// Sentinel index for token refs.
+const TOKEN_IDX: u32 = u32::MAX;
+/// Sentinel index for epoch-marker refs.
+const MARKER_IDX: u32 = u32::MAX - 1;
+
+/// A handle to one stream element: a sentinel (token/marker) or an
+/// arena-backed data packet. `Copy`, 8 bytes — stream FIFOs store these,
+/// not payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRef {
+    idx: u32,
+    gen: u32,
 }
 
-impl Packet {
-    /// A data packet.
-    pub fn data(vals: Vec<Elem>) -> Self {
-        Packet { vals, end: false }
-    }
-
-    /// A synchronization token.
+impl PacketRef {
+    /// A synchronization token (no arena slot).
     pub fn token() -> Self {
-        Packet { vals: Vec::new(), end: false }
+        PacketRef { idx: TOKEN_IDX, gen: 0 }
     }
 
-    /// An epoch-end marker.
+    /// An epoch-end marker (no arena slot).
     pub fn marker() -> Self {
-        Packet { vals: Vec::new(), end: true }
+        PacketRef { idx: MARKER_IDX, gen: 0 }
     }
 
-    /// Whether this is an epoch marker.
-    pub fn is_marker(&self) -> bool {
-        self.end && self.vals.is_empty()
+    /// Whether this is an epoch marker. Marker-ness is encoded in the ref
+    /// itself, so FIFO scans (marker skipping, drain checks) need no arena
+    /// access.
+    pub fn is_marker(self) -> bool {
+        self.idx == MARKER_IDX
+    }
+
+    /// Whether this is a sentinel (token or marker) with no arena slot.
+    pub fn is_sentinel(self) -> bool {
+        self.idx >= MARKER_IDX
+    }
+
+    /// Flip token ↔ marker (fault injection poisons control packets by
+    /// flipping the epoch-end flag). Data refs are returned unchanged.
+    pub fn flip_control(self) -> Self {
+        match self.idx {
+            TOKEN_IDX => PacketRef::marker(),
+            MARKER_IDX => PacketRef::token(),
+            _ => self,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Slot {
+    gen: u32,
+    vals: Vec<Elem>,
+}
+
+/// Arena of data-packet payloads with a freelist. Freed slots keep their
+/// `Vec` capacity, so packet churn settles into zero allocations.
+#[derive(Default)]
+pub struct PacketArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    /// Allocate a data packet copying `vals`. Empty payloads are
+    /// represented as tokens (the two are observationally identical:
+    /// no lanes, no epoch flag).
+    pub fn data(&mut self, vals: &[Elem]) -> PacketRef {
+        if vals.is_empty() {
+            return PacketRef::token();
+        }
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.vals.clear();
+                slot.vals.extend_from_slice(vals);
+                PacketRef { idx, gen: slot.gen }
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                assert!(idx < MARKER_IDX, "packet arena exhausted");
+                self.slots.push(Slot { gen: 0, vals: vals.to_vec() });
+                PacketRef { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// Allocate a data packet of `n` copies of one element (write acks,
+    /// scalar broadcasts).
+    pub fn splat(&mut self, v: Elem, n: usize) -> PacketRef {
+        if n == 0 {
+            return PacketRef::token();
+        }
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.vals.clear();
+                slot.vals.resize(n, v);
+                PacketRef { idx, gen: slot.gen }
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                assert!(idx < MARKER_IDX, "packet arena exhausted");
+                self.slots.push(Slot { gen: 0, vals: vec![v; n] });
+                PacketRef { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// Payload lanes; empty for sentinels.
+    pub fn vals(&self, r: PacketRef) -> &[Elem] {
+        if r.is_sentinel() {
+            return &[];
+        }
+        let slot = &self.slots[r.idx as usize];
+        debug_assert_eq!(slot.gen, r.gen, "stale packet ref");
+        if slot.gen == r.gen {
+            &slot.vals
+        } else {
+            &[]
+        }
+    }
+
+    /// Mutable payload lanes (fault injection); empty for sentinels.
+    pub fn vals_mut(&mut self, r: PacketRef) -> &mut [Elem] {
+        if r.is_sentinel() {
+            return &mut [];
+        }
+        let slot = &mut self.slots[r.idx as usize];
+        debug_assert_eq!(slot.gen, r.gen, "stale packet ref");
+        if slot.gen == r.gen {
+            &mut slot.vals
+        } else {
+            &mut []
+        }
     }
 
     /// Number of lanes carried.
-    pub fn width(&self) -> usize {
-        self.vals.len()
+    pub fn width(&self, r: PacketRef) -> usize {
+        self.vals(r).len()
+    }
+
+    /// Duplicate a packet (fault injection delivers a payload twice; the
+    /// copy gets its own slot so both can be freed independently).
+    pub fn duplicate(&mut self, r: PacketRef) -> PacketRef {
+        if r.is_sentinel() {
+            return r;
+        }
+        let src = r.idx as usize;
+        debug_assert_eq!(self.slots[src].gen, r.gen, "duplicating stale ref");
+        let dst = match self.free.pop() {
+            Some(idx) => idx as usize,
+            None => {
+                assert!(self.slots.len() < MARKER_IDX as usize, "packet arena exhausted");
+                self.slots.push(Slot::default());
+                self.slots.len() - 1
+            }
+        };
+        // `src` is live and `dst` freed/new, so they never alias.
+        let (from, to) = if src < dst {
+            let (l, h) = self.slots.split_at_mut(dst);
+            (&l[src], &mut h[0])
+        } else {
+            let (l, h) = self.slots.split_at_mut(src);
+            (&h[0], &mut l[dst])
+        };
+        to.vals.clear();
+        to.vals.extend_from_slice(&from.vals);
+        PacketRef { idx: dst as u32, gen: to.gen }
+    }
+
+    /// Release a data slot back to the freelist (no-op for sentinels).
+    /// The slot keeps its capacity for reuse.
+    pub fn free(&mut self, r: PacketRef) {
+        if r.is_sentinel() {
+            return;
+        }
+        let slot = &mut self.slots[r.idx as usize];
+        debug_assert_eq!(slot.gen, r.gen, "double free of packet ref");
+        if slot.gen == r.gen {
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(r.idx);
+        }
+    }
+
+    /// Copy the payload into `out` (cleared first), then free the slot.
+    /// The idiomatic consume path for steppers that inspect a popped
+    /// packet: one bounded memcpy, zero allocation once `out` has grown.
+    pub fn consume(&mut self, r: PacketRef, out: &mut Vec<Elem>) {
+        out.clear();
+        if r.is_sentinel() {
+            return;
+        }
+        out.extend_from_slice(self.vals(r));
+        self.free(r);
+    }
+
+    /// Live (allocated, unfreed) slot count — tests and leak accounting.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
     }
 }
 
@@ -52,9 +236,63 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert!(Packet::marker().is_marker());
-        assert!(!Packet::token().is_marker());
-        assert!(!Packet::data(vec![Elem::I64(1)]).is_marker());
-        assert_eq!(Packet::data(vec![Elem::I64(1), Elem::I64(2)]).width(), 2);
+        assert!(PacketRef::marker().is_marker());
+        assert!(!PacketRef::token().is_marker());
+        let mut a = PacketArena::new();
+        let d = a.data(&[Elem::I64(1), Elem::I64(2)]);
+        assert!(!d.is_marker());
+        assert_eq!(a.width(d), 2);
+        assert_eq!(a.width(PacketRef::token()), 0);
+    }
+
+    #[test]
+    fn empty_data_is_token() {
+        let mut a = PacketArena::new();
+        assert_eq!(a.data(&[]), PacketRef::token());
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn freelist_recycles_slots() {
+        let mut a = PacketArena::new();
+        let r1 = a.data(&[Elem::I64(7)]);
+        a.free(r1);
+        let r2 = a.data(&[Elem::I64(8)]);
+        assert_eq!(a.live(), 1, "slot recycled, not grown");
+        assert_ne!(r1, r2, "generation distinguishes recycled refs");
+        // Stale refs are a debug_assert in debug builds; the release
+        // contract is that they read as empty.
+        #[cfg(not(debug_assertions))]
+        assert_eq!(a.vals(r1), &[] as &[Elem], "stale ref reads empty");
+        assert_eq!(a.vals(r2), &[Elem::I64(8)]);
+    }
+
+    #[test]
+    fn duplicate_is_independent() {
+        let mut a = PacketArena::new();
+        let r = a.data(&[Elem::I64(3), Elem::I64(4)]);
+        let d = a.duplicate(r);
+        assert_ne!(r, d);
+        assert_eq!(a.vals(d), a.vals(r).to_vec().as_slice());
+        a.free(r);
+        assert_eq!(a.vals(d), &[Elem::I64(3), Elem::I64(4)]);
+        a.free(d);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn consume_copies_and_frees() {
+        let mut a = PacketArena::new();
+        let r = a.data(&[Elem::F64(2.5)]);
+        let mut out = Vec::new();
+        a.consume(r, &mut out);
+        assert_eq!(out, vec![Elem::F64(2.5)]);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn control_flip() {
+        assert!(PacketRef::token().flip_control().is_marker());
+        assert!(!PacketRef::marker().flip_control().is_marker());
     }
 }

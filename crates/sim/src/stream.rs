@@ -1,6 +1,6 @@
 //! Runtime streams: latency- and capacity-accurate point-to-point FIFOs.
 
-use crate::packet::Packet;
+use crate::packet::{PacketArena, PacketRef};
 use std::collections::VecDeque;
 
 /// A stream at run time. Capacity models the receive FIFO; packets spend
@@ -9,10 +9,15 @@ use std::collections::VecDeque;
 /// sustains one packet per cycle, while an undersized FIFO on a
 /// delay-imbalanced join backpressures exactly as the paper's retiming
 /// discussion predicts.
+///
+/// FIFOs store 8-byte [`PacketRef`]s; payloads live in the shared
+/// [`PacketArena`]. Marker-ness is encoded in the ref itself, so the
+/// hot-path queue scans (marker skipping, drain checks) never touch the
+/// arena.
 #[derive(Debug, Clone)]
 pub struct StreamRt {
-    q: VecDeque<Packet>,
-    arriving: VecDeque<(u64, Packet)>,
+    q: VecDeque<PacketRef>,
+    arriving: VecDeque<(u64, PacketRef)>,
     latency: u64,
     capacity: usize,
     /// Initial credit tokens (CMMC), for conservation accounting.
@@ -24,24 +29,45 @@ pub struct StreamRt {
     /// Epoch markers discarded by [`StreamRt::skip_markers_and_peek`]
     /// without being counted as pops.
     pub skipped: u64,
+    /// Monotonic count of packets that became consumer-visible (moved
+    /// into the receive FIFO by [`StreamRt::tick`]). The active scheduler
+    /// compares this against a stalled consumer's snapshot to prove its
+    /// input-starved wait-set cannot have changed.
+    pub arrived: u64,
+    /// Monotonic count of slots released (pops plus marker skips). The
+    /// producer-visible dual of `arrived`: proves a backpressured
+    /// producer's wait-set cannot have changed.
+    pub freed: u64,
+    /// Delivery cycle of the oldest in-flight packet (`u64::MAX` when
+    /// nothing is in flight) — lets [`StreamRt::tick`] early-out on a
+    /// single compare, which is the common case on every step's lazy
+    /// delivery pass.
+    next_arrival: u64,
 }
 
 impl StreamRt {
     /// New stream; `init_tokens` pre-populates the queue (CMMC credits).
     pub fn new(latency: u32, depth: u32, init_tokens: u32) -> Self {
-        let mut q = VecDeque::new();
+        // Occupancy is bounded by `capacity + latency` (`can_push`), so
+        // sizing both queues to it up front means the hot loop never
+        // grows them — every run's FIFO traffic is allocation-free.
+        let slots = depth.max(1) as usize + latency.max(1) as usize;
+        let mut q = VecDeque::with_capacity(slots);
         for _ in 0..init_tokens {
-            q.push_back(Packet::token());
+            q.push_back(PacketRef::token());
         }
         StreamRt {
             q,
-            arriving: VecDeque::new(),
+            arriving: VecDeque::with_capacity(slots),
             latency: latency.max(1) as u64,
             capacity: depth.max(1) as usize,
             init_tokens: init_tokens as u64,
             pushed: 0,
             popped: 0,
             skipped: 0,
+            arrived: 0,
+            freed: 0,
+            next_arrival: u64::MAX,
         }
     }
 
@@ -51,34 +77,49 @@ impl StreamRt {
     }
 
     /// Push a packet (caller must have checked [`StreamRt::can_push`]).
-    pub fn push(&mut self, now: u64, p: Packet) {
+    /// Ownership of the ref transfers to the stream.
+    pub fn push(&mut self, now: u64, p: PacketRef) {
         debug_assert!(self.can_push());
         self.pushed += 1;
-        self.arriving.push_back((now + self.latency, p));
+        let t = now + self.latency;
+        self.next_arrival = self.next_arrival.min(t);
+        self.arriving.push_back((t, p));
     }
 
     /// Deliver in-flight packets that have arrived by `now`.
+    #[inline]
     pub fn tick(&mut self, now: u64) {
-        while let Some((t, _)) = self.arriving.front() {
-            if *t <= now {
-                let (_, p) = self.arriving.pop_front().expect("nonempty");
+        if now < self.next_arrival {
+            return;
+        }
+        self.tick_slow(now);
+    }
+
+    fn tick_slow(&mut self, now: u64) {
+        while let Some(&(t, p)) = self.arriving.front() {
+            if t <= now {
+                self.arriving.pop_front();
                 self.q.push_back(p);
+                self.arrived += 1;
             } else {
                 break;
             }
         }
+        self.next_arrival = self.arriving.front().map_or(u64::MAX, |&(t, _)| t);
     }
 
     /// Head packet, if delivered.
-    pub fn peek(&self) -> Option<&Packet> {
-        self.q.front()
+    pub fn peek(&self) -> Option<PacketRef> {
+        self.q.front().copied()
     }
 
-    /// Pop the head packet.
-    pub fn pop(&mut self) -> Option<Packet> {
+    /// Pop the head packet. Ownership of the ref transfers to the caller,
+    /// which must eventually free it (or re-push it).
+    pub fn pop(&mut self) -> Option<PacketRef> {
         let p = self.q.pop_front();
         if p.is_some() {
             self.popped += 1;
+            self.freed += 1;
         }
         p
     }
@@ -89,6 +130,7 @@ impl StreamRt {
         while matches!(self.q.front(), Some(p) if p.is_marker()) {
             self.q.pop_front();
             self.skipped += 1;
+            self.freed += 1;
         }
         !self.q.is_empty()
     }
@@ -129,36 +171,56 @@ impl StreamRt {
 
     /// Materialize a spurious credit token directly in the receive FIFO.
     pub fn fault_leak_token(&mut self) {
-        self.q.push_back(Packet::token());
+        self.q.push_back(PacketRef::token());
     }
 
     /// Destroy one queued credit token; `false` if none is queued yet.
-    pub fn fault_steal_token(&mut self) -> bool {
-        self.q.pop_back().is_some()
+    /// A destroyed data payload is released back to the arena.
+    pub fn fault_steal_token(&mut self, arena: &mut PacketArena) -> bool {
+        match self.q.pop_back() {
+            Some(p) => {
+                arena.free(p);
+                true
+            }
+            None => false,
+        }
     }
 
-    /// In-flight packet `back_offset` entries from the newest, for
+    /// In-flight packet ref `back_offset` entries from the newest, for
     /// payload corruption. `None` if fewer packets are in flight.
-    pub fn fault_packet_mut(&mut self, back_offset: usize) -> Option<&mut Packet> {
+    pub fn fault_packet_ref_mut(&mut self, back_offset: usize) -> Option<&mut PacketRef> {
         let len = self.arriving.len();
         let idx = len.checked_sub(1 + back_offset)?;
         self.arriving.get_mut(idx).map(|(_, p)| p)
     }
 
-    /// Remove an in-flight packet; `true` if one was removed.
-    pub fn fault_drop_in_flight(&mut self, back_offset: usize) -> bool {
+    /// Remove an in-flight packet; `true` if one was removed. The payload
+    /// is released back to the arena.
+    pub fn fault_drop_in_flight(&mut self, back_offset: usize, arena: &mut PacketArena) -> bool {
         let len = self.arriving.len();
         let Some(idx) = len.checked_sub(1 + back_offset) else { return false };
-        self.arriving.remove(idx).is_some()
+        match self.arriving.remove(idx) {
+            Some((_, p)) => {
+                arena.free(p);
+                self.next_arrival = self.arriving.front().map_or(u64::MAX, |&(t, _)| t);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Duplicate an in-flight packet (the copy delivers at the same
     /// cycle); returns the delivery cycle.
-    pub fn fault_dup_in_flight(&mut self, back_offset: usize) -> Option<u64> {
+    pub fn fault_dup_in_flight(
+        &mut self,
+        back_offset: usize,
+        arena: &mut PacketArena,
+    ) -> Option<u64> {
         let len = self.arriving.len();
         let idx = len.checked_sub(1 + back_offset)?;
-        let (t, p) = self.arriving[idx].clone();
-        self.arriving.insert(idx + 1, (t, p));
+        let (t, p) = self.arriving[idx];
+        let copy = arena.duplicate(p);
+        self.arriving.insert(idx + 1, (t, copy));
         Some(t)
     }
 
@@ -169,6 +231,9 @@ impl StreamRt {
         let len = self.arriving.len();
         let idx = len.checked_sub(1 + back_offset)?;
         self.arriving[idx].0 += extra;
+        // Delivery is front-blocking, so the front's time still lower-
+        // bounds every delivery; a delayed front raises the bound.
+        self.next_arrival = self.arriving.front().map_or(u64::MAX, |&(t, _)| t);
         Some(self.arriving[idx].0)
     }
 }
@@ -180,13 +245,14 @@ mod tests {
 
     #[test]
     fn latency_delays_delivery() {
+        let mut a = PacketArena::new();
         let mut s = StreamRt::new(3, 4, 0);
-        s.push(10, Packet::data(vec![Elem::I64(1)]));
+        s.push(10, a.data(&[Elem::I64(1)]));
         s.tick(12);
         assert!(s.peek().is_none());
         s.tick(13);
         assert!(s.peek().is_some());
-        assert_eq!(s.pop().unwrap().vals[0], Elem::I64(1));
+        assert_eq!(a.vals(s.pop().unwrap())[0], Elem::I64(1));
     }
 
     #[test]
@@ -194,7 +260,7 @@ mod tests {
         let mut s = StreamRt::new(2, 2, 0);
         let mut pushed = 0;
         while s.can_push() {
-            s.push(0, Packet::token());
+            s.push(0, PacketRef::token());
             pushed += 1;
         }
         assert_eq!(pushed, 4); // depth 2 + latency 2
@@ -208,19 +274,20 @@ mod tests {
     fn init_tokens_available_immediately() {
         let mut s = StreamRt::new(1, 4, 3);
         assert!(s.peek().is_some());
-        assert_eq!(s.pop(), Some(Packet::token()));
+        assert_eq!(s.pop(), Some(PacketRef::token()));
         assert_eq!(s.occupancy(), 2);
     }
 
     #[test]
     fn marker_skipping() {
+        let mut a = PacketArena::new();
         let mut s = StreamRt::new(1, 8, 0);
-        s.push(0, Packet::marker());
-        s.push(0, Packet::marker());
-        s.push(0, Packet::data(vec![Elem::F64(2.0)]));
+        s.push(0, PacketRef::marker());
+        s.push(0, PacketRef::marker());
+        s.push(0, a.data(&[Elem::F64(2.0)]));
         s.tick(5);
         assert!(s.skip_markers_and_peek());
-        assert_eq!(s.pop().unwrap().vals[0], Elem::F64(2.0));
+        assert_eq!(a.vals(s.pop().unwrap())[0], Elem::F64(2.0));
         assert!(!s.skip_markers_and_peek());
     }
 
@@ -235,11 +302,25 @@ mod tests {
                 assert!(s.pop().is_some(), "pipeline bubble at {cyc}");
             }
             if s.can_push() {
-                s.push(cyc, Packet::token());
+                s.push(cyc, PacketRef::token());
             } else {
                 stalls += 1;
             }
         }
         assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn fault_hooks_recycle_payloads() {
+        let mut a = PacketArena::new();
+        let mut s = StreamRt::new(2, 4, 0);
+        s.push(0, a.data(&[Elem::I64(9)]));
+        assert_eq!(a.live(), 1);
+        assert!(s.fault_drop_in_flight(0, &mut a));
+        assert_eq!(a.live(), 0, "dropped payload returned to arena");
+        s.push(1, a.data(&[Elem::I64(4)]));
+        assert_eq!(s.fault_dup_in_flight(0, &mut a), Some(3));
+        assert_eq!(a.live(), 2, "duplicate owns its own slot");
+        assert_eq!(s.occupancy(), 2);
     }
 }

@@ -1,6 +1,12 @@
 //! Runtime steppers for every virtual-unit kind.
+//!
+//! Hot-loop layout notes: unit state is stored struct-of-arrays in
+//! [`Units`] (one dense vector per unit kind, indexed through the
+//! [`UKind`] tag vector), stream payloads live in the shared
+//! [`PacketArena`], and every stepper reuses per-unit scratch buffers so
+//! the steady-state firing path performs no heap allocation.
 
-use crate::packet::Packet;
+use crate::packet::{PacketArena, PacketRef};
 use crate::stream::StreamRt;
 use ramulator_lite::{DramSim, Request};
 use sara_core::vudfg::{
@@ -13,6 +19,7 @@ use std::collections::{HashMap, VecDeque};
 pub struct Ctx<'a> {
     pub now: u64,
     pub streams: &'a mut [StreamRt],
+    pub arena: &'a mut PacketArena,
     /// Incremented on any state change (deadlock detection).
     pub progress: &'a mut u64,
 }
@@ -22,22 +29,46 @@ impl Ctx<'_> {
         &mut self.streams[id.index()]
     }
 
-    fn push(&mut self, id: StreamId, p: Packet) {
+    fn push(&mut self, id: StreamId, p: PacketRef) {
         let now = self.now;
         self.streams[id.index()].push(now, p);
+    }
+
+    /// Pop and discard, releasing any payload back to the arena.
+    fn pop_free(&mut self, id: StreamId) -> bool {
+        match self.streams[id.index()].pop() {
+            Some(p) => {
+                self.arena.free(p);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop a packet and read its first element as i64 (0 when empty),
+    /// releasing the payload.
+    fn pop_first_i64(&mut self, id: StreamId) -> Option<i64> {
+        let p = self.streams[id.index()].pop()?;
+        let v = self.arena.vals(p).first().map(|e| e.as_i64()).unwrap_or(0);
+        self.arena.free(p);
+        Some(v)
+    }
+
+    /// Pop a packet and read its first element as bool (false when
+    /// empty), releasing the payload.
+    fn pop_first_bool(&mut self, id: StreamId) -> Option<bool> {
+        let p = self.streams[id.index()].pop()?;
+        let v = self.arena.vals(p).first().map(|e| e.as_bool()).unwrap_or(false);
+        self.arena.free(p);
+        Some(v)
     }
 }
 
 /// A lane-vector value (length 1 = scalar broadcast).
 type Val = Vec<Elem>;
 
-fn lane(v: &Val, i: usize) -> Elem {
+fn lane(v: &[Elem], i: usize) -> Elem {
     v[i.min(v.len() - 1)]
-}
-
-fn zip2(a: &Val, b: &Val, f: impl Fn(Elem, Elem) -> Elem) -> Val {
-    let n = a.len().max(b.len());
-    (0..n).map(|i| f(lane(a, i), lane(b, i))).collect()
 }
 
 // ---------------------------------------------------------------- VCU
@@ -98,9 +129,22 @@ pub struct VcuRt {
     pub label: String,
     lvl: Vec<LvlRt>,
     serial: Vec<u64>,
-    reduce: HashMap<usize, (Vec<u64>, Val)>,
+    /// Per-dfg-node reduction accumulators: `(reset serial, lanes)`.
+    reduce: Vec<Option<(u64, Val)>>,
     sweep: Option<Sweep>,
     resume: Option<Resume>,
+    /// Token-pop ports per level (index `levels.len()` = per-firing).
+    token_pops_by_level: Vec<Vec<usize>>,
+    /// Token-push ports per level (index `levels.len()` = per-firing).
+    token_pushes_by_level: Vec<Vec<usize>>,
+    /// StreamIn ports in dfg order (availability scan).
+    data_in_ports: Vec<usize>,
+    /// StreamOut target streams in dfg order (space scan).
+    data_out_streams: Vec<StreamId>,
+    /// Per-node value scratch, reused across firings.
+    fire_vals: Vec<Val>,
+    /// Predicated-lane packing scratch, reused across firings.
+    push_scratch: Val,
     pub done: bool,
     pub firings: u64,
     /// Human-readable reason the unit last stalled (diagnostics).
@@ -114,6 +158,34 @@ pub struct VcuRt {
 impl VcuRt {
     pub fn new(spec: Vcu, inputs: Vec<StreamId>, outputs: Vec<OutPort>, label: String) -> Self {
         let n = spec.levels.len();
+        let mut token_pops_by_level = vec![Vec::new(); n + 1];
+        for r in &spec.token_pops {
+            if r.level <= n {
+                token_pops_by_level[r.level].push(r.port);
+            }
+        }
+        let mut token_pushes_by_level = vec![Vec::new(); n + 1];
+        for r in &spec.token_pushes {
+            if r.level <= n {
+                token_pushes_by_level[r.level].push(r.port);
+            }
+        }
+        let mut data_in_ports = Vec::new();
+        let mut data_out_streams = Vec::new();
+        for node in &spec.dfg {
+            match &node.op {
+                NodeOp::StreamIn { port } => data_in_ports.push(*port),
+                NodeOp::StreamOut { port, .. } => {
+                    data_out_streams.extend(outputs[*port].streams.iter().copied())
+                }
+                _ => {}
+            }
+        }
+        // Each DFG node value holds at most `width` lanes; pre-sizing the
+        // scratch avoids regrowing it on the first firings of every run.
+        let width = spec.width.max(1) as usize;
+        let fire_vals = vec![Vec::with_capacity(width); spec.dfg.len()];
+        let reduce = spec.dfg.iter().map(|_| None).collect();
         VcuRt {
             spec,
             inputs,
@@ -121,9 +193,15 @@ impl VcuRt {
             label,
             lvl: vec![LvlRt::Idle; n],
             serial: vec![0; n],
-            reduce: HashMap::new(),
+            reduce,
             sweep: None,
             resume: None,
+            token_pops_by_level,
+            token_pushes_by_level,
+            data_in_ports,
+            data_out_streams,
+            fire_vals,
+            push_scratch: Vec::with_capacity(width),
             done: false,
             firings: 0,
             stall: "",
@@ -162,13 +240,9 @@ impl VcuRt {
         }
     }
 
-    fn tokens_at(&self, level: usize, pops: bool) -> Vec<usize> {
-        let rules = if pops { &self.spec.token_pops } else { &self.spec.token_pushes };
-        rules.iter().filter(|r| r.level == level).map(|r| r.port).collect()
-    }
-
     fn can_pop_tokens(&mut self, ctx: &mut Ctx<'_>, level: usize) -> bool {
-        for p in self.tokens_at(level, true) {
+        for idx in 0..self.token_pops_by_level[level].len() {
+            let p = self.token_pops_by_level[level][idx];
             if ctx.s(self.inputs[p]).peek().is_none() {
                 self.stall = "token pop";
                 self.stall_class = StallClass::CreditPop;
@@ -180,8 +254,8 @@ impl VcuRt {
     }
 
     fn pop_tokens(&mut self, ctx: &mut Ctx<'_>, level: usize) {
-        for p in self.tokens_at(level, true) {
-            ctx.s(self.inputs[p]).pop();
+        for &p in &self.token_pops_by_level[level] {
+            ctx.pop_free(self.inputs[p]);
             *ctx.progress += 1;
         }
     }
@@ -189,27 +263,29 @@ impl VcuRt {
     /// Whether all token pushes and epoch markers of an exit at `level`
     /// have space.
     fn can_exit(&mut self, ctx: &mut Ctx<'_>, level: usize) -> bool {
-        for p in self.tokens_at(level, false) {
-            let port = &self.outputs[p];
-            for s in &port.streams {
-                if !ctx.s(*s).can_push() {
+        for idx in 0..self.token_pushes_by_level[level].len() {
+            let p = self.token_pushes_by_level[level][idx];
+            for si in 0..self.outputs[p].streams.len() {
+                let s = self.outputs[p].streams[si];
+                if !ctx.s(s).can_push() {
                     self.stall = "token push space";
                     self.stall_class = StallClass::OutputSpace;
-                    self.stall_stream = Some(*s);
+                    self.stall_stream = Some(s);
                     return false;
                 }
             }
         }
         if self.spec.epoch_emit == Some(level) {
-            for (pi, port) in self.outputs.iter().enumerate() {
-                if self.tokens_at(level, false).contains(&pi) {
+            for pi in 0..self.outputs.len() {
+                if self.token_pushes_by_level[level].contains(&pi) {
                     continue;
                 }
-                for s in &port.streams {
-                    if !ctx.s(*s).can_push() {
+                for si in 0..self.outputs[pi].streams.len() {
+                    let s = self.outputs[pi].streams[si];
+                    if !ctx.s(s).can_push() {
                         self.stall = "marker space";
                         self.stall_class = StallClass::OutputSpace;
-                        self.stall_stream = Some(*s);
+                        self.stall_stream = Some(s);
                         return false;
                     }
                 }
@@ -221,21 +297,19 @@ impl VcuRt {
     /// Push tokens and epoch markers for the completed activation of
     /// `level`. Caller must have checked [`VcuRt::can_exit`].
     fn do_exit(&mut self, ctx: &mut Ctx<'_>, level: usize) {
-        let token_ports = self.tokens_at(level, false);
-        for p in &token_ports {
-            let streams = self.outputs[*p].streams.clone();
-            for s in streams {
-                ctx.push(s, Packet::token());
+        for &p in &self.token_pushes_by_level[level] {
+            for &s in &self.outputs[p].streams {
+                ctx.push(s, PacketRef::token());
                 *ctx.progress += 1;
             }
         }
         if self.spec.epoch_emit == Some(level) {
-            for (pi, port) in self.outputs.clone().iter().enumerate() {
-                if token_ports.contains(&pi) {
+            for (pi, port) in self.outputs.iter().enumerate() {
+                if self.token_pushes_by_level[level].contains(&pi) {
                     continue;
                 }
-                for s in &port.streams {
-                    ctx.push(*s, Packet::marker());
+                for &s in &port.streams {
+                    ctx.push(s, PacketRef::marker());
                     *ctx.progress += 1;
                 }
             }
@@ -250,16 +324,15 @@ impl VcuRt {
             CBound::Const(v) => Some(*v),
             CBound::Port(p) => {
                 let sid = self.inputs[*p];
-                let st = ctx.s(sid);
-                if !st.skip_markers_and_peek() {
+                if !ctx.s(sid).skip_markers_and_peek() {
                     self.stall = "dynamic bound";
                     self.stall_class = StallClass::InputData;
                     self.stall_stream = Some(sid);
                     return None;
                 }
-                let pk = st.pop().expect("peeked");
+                let v = ctx.pop_first_i64(sid).expect("peeked");
                 *ctx.progress += 1;
-                Some(pk.vals.first().map(|e| e.as_i64()).unwrap_or(0))
+                Some(v)
             }
         }
     }
@@ -316,9 +389,8 @@ impl VcuRt {
                 }
             }
             Level::Gate { cond_in, expect, .. } => {
-                let pk = ctx.s(self.inputs[cond_in]).pop().expect("checked");
+                let taken = ctx.pop_first_bool(self.inputs[cond_in]).expect("checked") == expect;
                 *ctx.progress += 1;
-                let taken = pk.vals.first().map(|e| e.as_bool()).unwrap_or(false) == expect;
                 self.lvl[k] = LvlRt::Gate;
                 if !taken {
                     self.sweep = Some(Sweep { gate: k, at: k + 1, exiting: false });
@@ -381,7 +453,7 @@ impl VcuRt {
                 }
                 self.pop_tokens(ctx, j);
                 for p in ports {
-                    ctx.s(self.inputs[p]).pop();
+                    ctx.pop_free(self.inputs[p]);
                     *ctx.progress += 1;
                 }
                 sw.at += 1;
@@ -461,9 +533,8 @@ impl VcuRt {
                                 self.resume = Some(cur);
                                 return false;
                             }
-                            let pk = ctx.s(sid).pop().expect("peeked");
+                            let again = ctx.pop_first_bool(sid).expect("peeked");
                             *ctx.progress += 1;
-                            let again = pk.vals.first().map(|e| e.as_bool()).unwrap_or(false);
                             if again {
                                 self.lvl[k] = LvlRt::While { iter: iter + 1 };
                                 self.serial[k] += 1;
@@ -539,35 +610,33 @@ impl VcuRt {
             return Ok(());
         }
         // data inputs available?
-        for node in &self.spec.dfg {
-            if let NodeOp::StreamIn { port } = node.op {
-                if !ctx.s(self.inputs[port]).skip_markers_and_peek() {
-                    self.stall = "data input";
-                    self.stall_class = StallClass::InputData;
-                    self.stall_stream = Some(self.inputs[port]);
-                    return Ok(());
-                }
+        for idx in 0..self.data_in_ports.len() {
+            let port = self.data_in_ports[idx];
+            if !ctx.s(self.inputs[port]).skip_markers_and_peek() {
+                self.stall = "data input";
+                self.stall_class = StallClass::InputData;
+                self.stall_stream = Some(self.inputs[port]);
+                return Ok(());
             }
         }
         // output space: StreamOut ports and sentinel token pushes
-        for node in &self.spec.dfg {
-            if let NodeOp::StreamOut { port, .. } = node.op {
-                for s in &self.outputs[port].streams {
-                    if !ctx.s(*s).can_push() {
-                        self.stall = "output space";
-                        self.stall_class = StallClass::OutputSpace;
-                        self.stall_stream = Some(*s);
-                        return Ok(());
-                    }
-                }
+        for idx in 0..self.data_out_streams.len() {
+            let s = self.data_out_streams[idx];
+            if !ctx.s(s).can_push() {
+                self.stall = "output space";
+                self.stall_class = StallClass::OutputSpace;
+                self.stall_stream = Some(s);
+                return Ok(());
             }
         }
-        for p in self.tokens_at(n, false) {
-            for s in &self.outputs[p].streams {
-                if !ctx.s(*s).can_push() {
+        for idx in 0..self.token_pushes_by_level[n].len() {
+            let p = self.token_pushes_by_level[n][idx];
+            for si in 0..self.outputs[p].streams.len() {
+                let s = self.outputs[p].streams[si];
+                if !ctx.s(s).can_push() {
                     self.stall = "sentinel token space";
                     self.stall_class = StallClass::OutputSpace;
-                    self.stall_stream = Some(*s);
+                    self.stall_stream = Some(s);
                     return Ok(());
                 }
             }
@@ -576,131 +645,11 @@ impl VcuRt {
         // ---- fire ----
         self.pop_tokens(ctx, n);
         let w_eff = self.w_eff();
-        let dfg = self.spec.dfg.clone();
-        let mut vals: Vec<Val> = Vec::with_capacity(dfg.len());
-        for (ni, node) in dfg.iter().enumerate() {
-            let v: Val = match &node.op {
-                NodeOp::Const(c) => vec![*c],
-                NodeOp::CounterIdx { level } => {
-                    let innermost = *level + 1 == n;
-                    match self.lvl[*level] {
-                        LvlRt::Counter { idx, .. } => {
-                            if innermost && self.width() > 1 {
-                                let stride = match &self.spec.levels[*level] {
-                                    Level::Counter { lane_stride, .. } => *lane_stride,
-                                    _ => 1,
-                                };
-                                (0..w_eff).map(|l| Elem::I64(idx + l as i64 * stride)).collect()
-                            } else {
-                                vec![Elem::I64(idx)]
-                            }
-                        }
-                        LvlRt::While { iter } => vec![Elem::I64(iter)],
-                        _ => vec![Elem::I64(0)],
-                    }
-                }
-                NodeOp::IsFirst { level } => {
-                    let v = match self.lvl[*level] {
-                        LvlRt::Counter { idx, init, .. } => idx == init,
-                        LvlRt::While { iter } => iter == 0,
-                        _ => true,
-                    };
-                    vec![Elem::from_bool(v)]
-                }
-                NodeOp::IsLast { level } => {
-                    let v = match (&self.spec.levels[*level], self.lvl[*level]) {
-                        (Level::Counter { step, .. }, LvlRt::Counter { idx, max, .. }) => {
-                            let nidx = idx + *step;
-                            !((*step > 0 && nidx < max) || (*step < 0 && nidx > max))
-                        }
-                        _ => true,
-                    };
-                    vec![Elem::from_bool(v)]
-                }
-                NodeOp::Un(op) => vals[node.ins[0]].iter().map(|e| op.eval(*e)).collect(),
-                NodeOp::Bin(op) => {
-                    zip2(&vals[node.ins[0]], &vals[node.ins[1]], |a, b| op.eval(a, b))
-                }
-                NodeOp::Mux => {
-                    let (c, t, f) = (&vals[node.ins[0]], &vals[node.ins[1]], &vals[node.ins[2]]);
-                    let w = c.len().max(t.len()).max(f.len());
-                    (0..w)
-                        .map(|i| if lane(c, i).as_bool() { lane(t, i) } else { lane(f, i) })
-                        .collect()
-                }
-                NodeOp::StreamIn { port } => {
-                    let pk = ctx.s(self.inputs[*port]).pop().ok_or_else(|| {
-                        format!("{}: stream-in port {port} empty at fire", self.label)
-                    })?;
-                    *ctx.progress += 1;
-                    if pk.vals.is_empty() {
-                        // zero-length no-op packet from a disabled
-                        // predicated producer (count-preserving)
-                        vec![Elem::I64(0)]
-                    } else {
-                        pk.vals
-                    }
-                }
-                NodeOp::StreamOut { port, pred, empty_pred } => {
-                    let data = &vals[node.ins[0]];
-                    let pvals: Option<&Val> = if *pred { Some(&vals[node.ins[1]]) } else { None };
-                    // Push at the data's natural lane count (scalars stay
-                    // scalar — memory ports broadcast single-element data
-                    // across vector addresses); per-lane predicates widen.
-                    let w = data.len().max(pvals.map(|p| p.len()).unwrap_or(1));
-                    let mut out: Vec<Elem> = Vec::with_capacity(w);
-                    for i in 0..w {
-                        let en = pvals.map(|p| lane(p, i).as_bool()).unwrap_or(true);
-                        if en {
-                            out.push(lane(data, i));
-                        }
-                    }
-                    if !out.is_empty() || (*empty_pred && pvals.is_some()) {
-                        let streams = self.outputs[*port].streams.clone();
-                        for s in streams {
-                            ctx.push(s, Packet::data(out.clone()));
-                            *ctx.progress += 1;
-                        }
-                    }
-                    data.clone()
-                }
-                NodeOp::Reduce { op, init, reset_level } => {
-                    let in_v = vals[node.ins[0]].clone();
-                    let serial_now = self.serial.get(*reset_level).copied().unwrap_or(0);
-                    let width = self.width();
-                    let entry = self
-                        .reduce
-                        .entry(ni)
-                        .or_insert_with(|| (vec![u64::MAX], vec![*init; width]));
-                    if entry.0[0] != serial_now {
-                        entry.0[0] = serial_now;
-                        entry.1 = vec![*init; width];
-                    }
-                    for (i, v) in in_v.iter().enumerate() {
-                        entry.1[i] = op.eval(entry.1[i], *v);
-                    }
-                    // Expose *all* lane accumulators (untouched lanes hold
-                    // the identity): a partial final vector must not drop
-                    // the other lanes before the reduction tree combines
-                    // them.
-                    entry.1.clone()
-                }
-                NodeOp::VecReduce(op) => {
-                    let in_v = &vals[node.ins[0]];
-                    let mut acc = in_v[0];
-                    for v in &in_v[1..] {
-                        acc = op.eval(acc, *v);
-                    }
-                    vec![acc]
-                }
-            };
-            vals.push(v);
-        }
+        self.eval_dfg(ctx, n, w_eff)?;
         // sentinel pushes
-        for p in self.tokens_at(n, false) {
-            let streams = self.outputs[p].streams.clone();
-            for s in streams {
-                ctx.push(s, Packet::token());
+        for &p in &self.token_pushes_by_level[n] {
+            for &s in &self.outputs[p].streams {
+                ctx.push(s, PacketRef::token());
             }
         }
         self.firings += 1;
@@ -718,6 +667,171 @@ impl VcuRt {
         // combined step already encoded in Level::Counter::step)
         let r = Resume::Advance(n - 1);
         let _ = self.advance(ctx, r);
+        Ok(())
+    }
+
+    /// Evaluate the firing dataflow graph into `fire_vals` (availability
+    /// already checked by the caller).
+    fn eval_dfg(&mut self, ctx: &mut Ctx<'_>, n: usize, w_eff: usize) -> Result<(), String> {
+        let VcuRt {
+            spec,
+            inputs,
+            outputs,
+            label,
+            lvl,
+            serial,
+            reduce,
+            fire_vals,
+            push_scratch,
+            ..
+        } = self;
+        let width = spec.width.max(1) as usize;
+        // Index loop: `ni` drives both the `split_at_mut` view of
+        // `fire_vals` and the parallel `reduce` table.
+        #[allow(clippy::needless_range_loop)]
+        for ni in 0..spec.dfg.len() {
+            let node = &spec.dfg[ni];
+            let (prev, rest) = fire_vals.split_at_mut(ni);
+            let cur = &mut rest[0];
+            cur.clear();
+            match &node.op {
+                NodeOp::Const(c) => cur.push(*c),
+                NodeOp::CounterIdx { level } => {
+                    let innermost = *level + 1 == n;
+                    match lvl[*level] {
+                        LvlRt::Counter { idx, .. } => {
+                            if innermost && width > 1 {
+                                let stride = match &spec.levels[*level] {
+                                    Level::Counter { lane_stride, .. } => *lane_stride,
+                                    _ => 1,
+                                };
+                                for l in 0..w_eff {
+                                    cur.push(Elem::I64(idx + l as i64 * stride));
+                                }
+                            } else {
+                                cur.push(Elem::I64(idx));
+                            }
+                        }
+                        LvlRt::While { iter } => cur.push(Elem::I64(iter)),
+                        _ => cur.push(Elem::I64(0)),
+                    }
+                }
+                NodeOp::IsFirst { level } => {
+                    let v = match lvl[*level] {
+                        LvlRt::Counter { idx, init, .. } => idx == init,
+                        LvlRt::While { iter } => iter == 0,
+                        _ => true,
+                    };
+                    cur.push(Elem::from_bool(v));
+                }
+                NodeOp::IsLast { level } => {
+                    let v = match (&spec.levels[*level], lvl[*level]) {
+                        (Level::Counter { step, .. }, LvlRt::Counter { idx, max, .. }) => {
+                            let nidx = idx + *step;
+                            !((*step > 0 && nidx < max) || (*step < 0 && nidx > max))
+                        }
+                        _ => true,
+                    };
+                    cur.push(Elem::from_bool(v));
+                }
+                NodeOp::Un(op) => {
+                    for e in &prev[node.ins[0]] {
+                        cur.push(op.eval(*e));
+                    }
+                }
+                NodeOp::Bin(op) => {
+                    let (a, b) = (&prev[node.ins[0]], &prev[node.ins[1]]);
+                    if a.len() == b.len() {
+                        // Exact-width fast path: no per-lane broadcast
+                        // clamping or bounds checks.
+                        cur.extend(a.iter().zip(b).map(|(&x, &y)| op.eval(x, y)));
+                    } else {
+                        let w = a.len().max(b.len());
+                        for i in 0..w {
+                            cur.push(op.eval(lane(a, i), lane(b, i)));
+                        }
+                    }
+                }
+                NodeOp::Mux => {
+                    let (c, t, f) = (&prev[node.ins[0]], &prev[node.ins[1]], &prev[node.ins[2]]);
+                    if c.len() == t.len() && t.len() == f.len() {
+                        cur.extend(c.iter().zip(t.iter().zip(f)).map(|(&cv, (&tv, &fv))| {
+                            if cv.as_bool() {
+                                tv
+                            } else {
+                                fv
+                            }
+                        }));
+                    } else {
+                        let w = c.len().max(t.len()).max(f.len());
+                        for i in 0..w {
+                            cur.push(if lane(c, i).as_bool() { lane(t, i) } else { lane(f, i) });
+                        }
+                    }
+                }
+                NodeOp::StreamIn { port } => {
+                    let pk = ctx
+                        .s(inputs[*port])
+                        .pop()
+                        .ok_or_else(|| format!("{label}: stream-in port {port} empty at fire"))?;
+                    *ctx.progress += 1;
+                    ctx.arena.consume(pk, cur);
+                    if cur.is_empty() {
+                        // zero-length no-op packet from a disabled
+                        // predicated producer (count-preserving)
+                        cur.push(Elem::I64(0));
+                    }
+                }
+                NodeOp::StreamOut { port, pred, empty_pred } => {
+                    let data = &prev[node.ins[0]];
+                    let pvals: Option<&Val> = if *pred { Some(&prev[node.ins[1]]) } else { None };
+                    // Push at the data's natural lane count (scalars stay
+                    // scalar — memory ports broadcast single-element data
+                    // across vector addresses); per-lane predicates widen.
+                    let w = data.len().max(pvals.map(|p| p.len()).unwrap_or(1));
+                    push_scratch.clear();
+                    for i in 0..w {
+                        let en = pvals.map(|p| lane(p, i).as_bool()).unwrap_or(true);
+                        if en {
+                            push_scratch.push(lane(data, i));
+                        }
+                    }
+                    if !push_scratch.is_empty() || (*empty_pred && pvals.is_some()) {
+                        for &s in &outputs[*port].streams {
+                            let r = ctx.arena.data(push_scratch);
+                            ctx.push(s, r);
+                            *ctx.progress += 1;
+                        }
+                    }
+                    cur.extend_from_slice(data);
+                }
+                NodeOp::Reduce { op, init, reset_level } => {
+                    let serial_now = serial.get(*reset_level).copied().unwrap_or(0);
+                    let entry = reduce[ni].get_or_insert_with(|| (u64::MAX, vec![*init; width]));
+                    if entry.0 != serial_now {
+                        entry.0 = serial_now;
+                        entry.1.clear();
+                        entry.1.resize(width, *init);
+                    }
+                    for (i, v) in prev[node.ins[0]].iter().enumerate() {
+                        entry.1[i] = op.eval(entry.1[i], *v);
+                    }
+                    // Expose *all* lane accumulators (untouched lanes hold
+                    // the identity): a partial final vector must not drop
+                    // the other lanes before the reduction tree combines
+                    // them.
+                    cur.extend_from_slice(&entry.1);
+                }
+                NodeOp::VecReduce(op) => {
+                    let in_v = &prev[node.ins[0]];
+                    let mut acc = in_v[0];
+                    for v in &in_v[1..] {
+                        acc = op.eval(acc, *v);
+                    }
+                    cur.push(acc);
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -749,11 +863,11 @@ impl SyncRt {
                 }
             }
             for i in &self.inputs {
-                ctx.s(*i).pop();
+                ctx.pop_free(*i);
             }
-            for o in self.outputs.clone() {
-                for s in o.streams {
-                    ctx.push(s, Packet::token());
+            for o in &self.outputs {
+                for s in &o.streams {
+                    ctx.push(*s, PacketRef::token());
                 }
             }
             self.fired += 1;
@@ -777,6 +891,8 @@ pub struct VmuRt {
     rd_epoch: Vec<u64>,
     rr_w: usize,
     rr_r: usize,
+    /// Read-response assembly scratch, reused across cycles.
+    out_scratch: Val,
     pub writes: u64,
     pub reads: u64,
 }
@@ -797,6 +913,7 @@ impl VmuRt {
             rd_epoch: rd,
             rr_w: 0,
             rr_r: 0,
+            out_scratch: Vec::new(),
             writes: 0,
             reads: 0,
         }
@@ -831,7 +948,7 @@ impl VmuRt {
             let i = (self.rr_w + off) % nw;
             let port = self.spec.write_ports[i];
             let addr_sid = self.inputs[port.addr_in];
-            let Some(head) = ctx.s(addr_sid).peek().cloned() else { continue };
+            let Some(head) = ctx.s(addr_sid).peek() else { continue };
             // ack space if needed
             let ack_ok = match port.ack_out {
                 Some(p) => {
@@ -850,8 +967,8 @@ impl VmuRt {
                 ctx.s(addr_sid).pop();
                 self.wr_epoch[i] += 1;
                 if let Some(p) = port.ack_out {
-                    for s in self.outputs[p].streams.clone() {
-                        ctx.push(s, Packet::marker());
+                    for &s in &self.outputs[p].streams {
+                        ctx.push(s, PacketRef::marker());
                     }
                 }
                 *ctx.progress += 1;
@@ -866,33 +983,41 @@ impl VmuRt {
                 .s(addr_sid)
                 .pop()
                 .ok_or_else(|| format!("{}: write addr vanished", self.label))?;
-            let mut data = ctx
+            let data = ctx
                 .s(data_sid)
                 .pop()
                 .ok_or_else(|| format!("{}: write data vanished", self.label))?;
-            if data.vals.len() == 1 && addr.vals.len() > 1 {
-                data.vals = vec![data.vals[0]; addr.vals.len()];
-            }
-            if addr.vals.len() != data.vals.len() {
-                return Err(format!(
-                    "{}: write addr/data length mismatch {} vs {}",
-                    self.label,
-                    addr.vals.len(),
-                    data.vals.len()
-                ));
-            }
             let buf = ((self.wr_epoch[i]) % m) as usize;
-            for (a, v) in addr.vals.iter().zip(&data.vals) {
-                let w = a.as_i64();
-                if w < 0 || w as usize >= self.buffers[buf].len() {
-                    return Err(format!("{}: write address {w} out of bank range", self.label));
+            let alen;
+            {
+                let avals = ctx.arena.vals(addr);
+                let dvals = ctx.arena.vals(data);
+                alen = avals.len();
+                let broadcast = dvals.len() == 1 && alen > 1;
+                if !broadcast && alen != dvals.len() {
+                    return Err(format!(
+                        "{}: write addr/data length mismatch {} vs {}",
+                        self.label,
+                        alen,
+                        dvals.len()
+                    ));
                 }
-                self.buffers[buf][w as usize] = *v;
+                for j in 0..alen {
+                    let w = avals[j].as_i64();
+                    if w < 0 || w as usize >= self.buffers[buf].len() {
+                        return Err(format!("{}: write address {w} out of bank range", self.label));
+                    }
+                    self.buffers[buf][w as usize] = if broadcast { dvals[0] } else { dvals[j] };
+                }
             }
-            self.writes += addr.vals.len() as u64;
+            ctx.arena.free(addr);
+            ctx.arena.free(data);
+            self.writes += alen as u64;
             if let Some(p) = port.ack_out {
-                for s in self.outputs[p].streams.clone() {
-                    ctx.push(s, Packet::data(vec![Elem::I64(1); addr.vals.len()]));
+                for si in 0..self.outputs[p].streams.len() {
+                    let s = self.outputs[p].streams[si];
+                    let r = ctx.arena.splat(Elem::I64(1), alen);
+                    ctx.push(s, r);
                 }
             }
             *ctx.progress += 1;
@@ -905,7 +1030,7 @@ impl VmuRt {
             let i = (self.rr_r + off) % nr;
             let port = self.spec.read_ports[i];
             let addr_sid = self.inputs[port.addr_in];
-            let Some(head) = ctx.s(addr_sid).peek().cloned() else { continue };
+            let Some(head) = ctx.s(addr_sid).peek() else { continue };
             let mut ok = true;
             for s in &self.outputs[port.data_out].streams {
                 ok &= ctx.s(*s).can_push();
@@ -916,8 +1041,8 @@ impl VmuRt {
             if head.is_marker() {
                 ctx.s(addr_sid).pop();
                 self.rd_epoch[i] += 1;
-                for s in self.outputs[port.data_out].streams.clone() {
-                    ctx.push(s, Packet::marker());
+                for &s in &self.outputs[port.data_out].streams {
+                    ctx.push(s, PacketRef::marker());
                 }
                 *ctx.progress += 1;
                 self.rr_r = (i + 1) % nr;
@@ -928,17 +1053,25 @@ impl VmuRt {
                 .pop()
                 .ok_or_else(|| format!("{}: read addr vanished", self.label))?;
             let buf = ((self.rd_epoch[i]) % m) as usize;
-            let mut out = Vec::with_capacity(addr.vals.len());
-            for a in &addr.vals {
-                let w = a.as_i64();
-                if w < 0 || w as usize >= self.buffers[buf].len() {
-                    return Err(format!("{}: read address {w} out of bank range", self.label));
+            let alen;
+            {
+                let avals = ctx.arena.vals(addr);
+                alen = avals.len();
+                self.out_scratch.clear();
+                for a in avals {
+                    let w = a.as_i64();
+                    if w < 0 || w as usize >= self.buffers[buf].len() {
+                        return Err(format!("{}: read address {w} out of bank range", self.label));
+                    }
+                    self.out_scratch.push(self.buffers[buf][w as usize]);
                 }
-                out.push(self.buffers[buf][w as usize]);
             }
-            self.reads += addr.vals.len() as u64;
-            for s in self.outputs[port.data_out].streams.clone() {
-                ctx.push(s, Packet::data(out.clone()));
+            ctx.arena.free(addr);
+            self.reads += alen as u64;
+            for si in 0..self.outputs[port.data_out].streams.len() {
+                let s = self.outputs[port.data_out].streams[si];
+                let r = ctx.arena.data(&self.out_scratch);
+                ctx.push(s, r);
             }
             *ctx.progress += 1;
             self.rr_r = (i + 1) % nr;
@@ -956,18 +1089,25 @@ pub struct DistRt {
     pub spec: XbarDist,
     pub inputs: Vec<StreamId>,
     pub outputs: Vec<OutPort>,
+    /// Per-bank lane-grouping scratch, reused across routings.
+    groups: Vec<Val>,
     pub routed: u64,
 }
 
 impl DistRt {
+    pub fn new(spec: XbarDist, inputs: Vec<StreamId>, outputs: Vec<OutPort>) -> Self {
+        let n = spec.bank_outs.len();
+        DistRt { spec, inputs, outputs, groups: vec![Vec::new(); n], routed: 0 }
+    }
+
     pub fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<(), String> {
         loop {
             let bank_sid = self.inputs[self.spec.bank_in];
-            let Some(bank_pk) = ctx.s(bank_sid).peek().cloned() else { return Ok(()) };
+            let Some(bank_pk) = ctx.s(bank_sid).peek() else { return Ok(()) };
             let pay_sid = self.inputs[self.spec.payload_in];
             // markers travel on both input streams; forward once
             if bank_pk.is_marker() {
-                let Some(pp) = ctx.s(pay_sid).peek().cloned() else { return Ok(()) };
+                let Some(pp) = ctx.s(pay_sid).peek() else { return Ok(()) };
                 if !pp.is_marker() {
                     return Err("xbar-dist: marker misalignment".into());
                 }
@@ -982,9 +1122,9 @@ impl DistRt {
                 }
                 ctx.s(bank_sid).pop();
                 ctx.s(pay_sid).pop();
-                for p in self.spec.bank_outs.clone().iter().chain(self.spec.ba_out.iter()) {
-                    for s in self.outputs[*p].streams.clone() {
-                        ctx.push(s, Packet::marker());
+                for p in self.spec.bank_outs.iter().chain(self.spec.ba_out.iter()) {
+                    for &s in &self.outputs[*p].streams {
+                        ctx.push(s, PacketRef::marker());
                     }
                 }
                 *ctx.progress += 1;
@@ -993,30 +1133,33 @@ impl DistRt {
             if ctx.s(pay_sid).peek().map(|p| p.is_marker()).unwrap_or(true) {
                 return Ok(());
             }
-            let pay_pk = ctx
-                .s(pay_sid)
-                .peek()
-                .cloned()
-                .ok_or_else(|| "xbar-dist: payload vanished".to_string())?;
-            if pay_pk.vals.len() != bank_pk.vals.len() {
-                return Err(format!(
-                    "xbar-dist: bank/payload width mismatch {} vs {}",
-                    bank_pk.vals.len(),
-                    pay_pk.vals.len()
-                ));
-            }
+            let pay_pk =
+                ctx.s(pay_sid).peek().ok_or_else(|| "xbar-dist: payload vanished".to_string())?;
             // group lanes by bank
             let nbanks = self.spec.bank_outs.len();
-            let mut groups: Vec<Vec<Elem>> = vec![Vec::new(); nbanks];
-            for (b, v) in bank_pk.vals.iter().zip(&pay_pk.vals) {
-                let bi = b.as_i64();
-                if bi < 0 || bi as usize >= nbanks {
-                    return Err(format!("xbar-dist: bank {bi} out of range"));
+            for g in &mut self.groups {
+                g.clear();
+            }
+            {
+                let bvals = ctx.arena.vals(bank_pk);
+                let pvals = ctx.arena.vals(pay_pk);
+                if pvals.len() != bvals.len() {
+                    return Err(format!(
+                        "xbar-dist: bank/payload width mismatch {} vs {}",
+                        bvals.len(),
+                        pvals.len()
+                    ));
                 }
-                groups[bi as usize].push(*v);
+                for (b, v) in bvals.iter().zip(pvals) {
+                    let bi = b.as_i64();
+                    if bi < 0 || bi as usize >= nbanks {
+                        return Err(format!("xbar-dist: bank {bi} out of range"));
+                    }
+                    self.groups[bi as usize].push(*v);
+                }
             }
             let mut ok = true;
-            for (bi, g) in groups.iter().enumerate() {
+            for (bi, g) in self.groups.iter().enumerate() {
                 if !g.is_empty() {
                     for s in &self.outputs[self.spec.bank_outs[bi]].streams {
                         ok &= ctx.s(*s).can_push();
@@ -1031,21 +1174,27 @@ impl DistRt {
             if !ok {
                 return Ok(());
             }
-            ctx.s(bank_sid).pop();
-            ctx.s(pay_sid).pop();
-            for (bi, g) in groups.into_iter().enumerate() {
-                if g.is_empty() {
+            let bank_owned = ctx.s(bank_sid).pop().expect("peeked");
+            let pay_owned = ctx.s(pay_sid).pop().expect("peeked");
+            ctx.arena.free(pay_owned);
+            for bi in 0..nbanks {
+                if self.groups[bi].is_empty() {
                     continue;
                 }
-                for s in self.outputs[self.spec.bank_outs[bi]].streams.clone() {
-                    ctx.push(s, Packet::data(g.clone()));
+                for si in 0..self.outputs[self.spec.bank_outs[bi]].streams.len() {
+                    let s = self.outputs[self.spec.bank_outs[bi]].streams[si];
+                    let r = ctx.arena.data(&self.groups[bi]);
+                    ctx.push(s, r);
                 }
             }
             if let Some(p) = self.spec.ba_out {
-                for s in self.outputs[p].streams.clone() {
-                    ctx.push(s, bank_pk.clone());
+                for si in 0..self.outputs[p].streams.len() {
+                    let s = self.outputs[p].streams[si];
+                    let r = ctx.arena.duplicate(bank_owned);
+                    ctx.push(s, r);
                 }
             }
+            ctx.arena.free(bank_owned);
             self.routed += 1;
             *ctx.progress += 1;
         }
@@ -1065,6 +1214,10 @@ pub struct CollRt {
     /// rare (epoch ends), so we require element buffers to be empty when
     /// consuming one.
     markers: Vec<u64>,
+    /// Per-bank element-count scratch, reused across assemblies.
+    need: Vec<usize>,
+    /// Assembly output scratch, reused across assemblies.
+    out_scratch: Val,
     pub assembled: u64,
 }
 
@@ -1077,13 +1230,15 @@ impl CollRt {
             outputs,
             elems: vec![VecDeque::new(); n],
             markers: vec![0; n],
+            need: vec![0; n],
+            out_scratch: Vec::new(),
             assembled: 0,
         }
     }
 
     fn drain_banks(&mut self, ctx: &mut Ctx<'_>) {
-        for (bi, port) in self.spec.bank_ins.clone().into_iter().enumerate() {
-            let sid = self.inputs[port];
+        for bi in 0..self.spec.bank_ins.len() {
+            let sid = self.inputs[self.spec.bank_ins[bi]];
             while let Some(pk) = ctx.s(sid).peek() {
                 if pk.is_marker() {
                     if self.elems[bi].is_empty() {
@@ -1094,7 +1249,8 @@ impl CollRt {
                     break;
                 }
                 let pk = ctx.s(sid).pop().expect("peeked");
-                self.elems[bi].extend(pk.vals);
+                self.elems[bi].extend(ctx.arena.vals(pk).iter().copied());
+                ctx.arena.free(pk);
             }
         }
     }
@@ -1103,7 +1259,7 @@ impl CollRt {
         loop {
             self.drain_banks(ctx);
             let ba_sid = self.inputs[self.spec.ba_in];
-            let Some(ba) = ctx.s(ba_sid).peek().cloned() else { return Ok(()) };
+            let Some(ba) = ctx.s(ba_sid).peek() else { return Ok(()) };
             let mut ok = true;
             for s in &self.outputs[self.spec.out].streams {
                 ok &= ctx.s(*s).can_push();
@@ -1120,38 +1276,49 @@ impl CollRt {
                 for m in &mut self.markers {
                     *m -= 1;
                 }
-                for s in self.outputs[self.spec.out].streams.clone() {
-                    ctx.push(s, Packet::marker());
+                for &s in &self.outputs[self.spec.out].streams {
+                    ctx.push(s, PacketRef::marker());
                 }
                 *ctx.progress += 1;
                 continue;
             }
             // need per-bank element counts
             let nbanks = self.spec.bank_ins.len();
-            let mut need = vec![0usize; nbanks];
-            for b in &ba.vals {
-                let bi = b.as_i64() as usize;
-                if bi >= nbanks {
-                    return Err(format!("xbar-coll: bank {bi} out of range"));
-                }
-                need[bi] += 1;
+            for n in &mut self.need {
+                *n = 0;
             }
-            if need.iter().enumerate().any(|(bi, n)| self.elems[bi].len() < *n) {
+            {
+                let bvals = ctx.arena.vals(ba);
+                for b in bvals {
+                    let bi = b.as_i64() as usize;
+                    if bi >= nbanks {
+                        return Err(format!("xbar-coll: bank {bi} out of range"));
+                    }
+                    self.need[bi] += 1;
+                }
+            }
+            if self.need.iter().enumerate().any(|(bi, n)| self.elems[bi].len() < *n) {
                 return Ok(());
             }
-            ctx.s(ba_sid).pop();
-            let mut out = Vec::with_capacity(ba.vals.len());
-            for b in &ba.vals {
-                let bi = b.as_i64() as usize;
-                let e = self
-                    .elems
-                    .get_mut(bi)
-                    .and_then(|q| q.pop_front())
-                    .ok_or_else(|| format!("xbar-coll: bank {bi} underflow on collect"))?;
-                out.push(e);
+            let ba = ctx.s(ba_sid).pop().expect("peeked");
+            self.out_scratch.clear();
+            {
+                let bvals = ctx.arena.vals(ba);
+                for b in bvals {
+                    let bi = b.as_i64() as usize;
+                    let e = self
+                        .elems
+                        .get_mut(bi)
+                        .and_then(|q| q.pop_front())
+                        .ok_or_else(|| format!("xbar-coll: bank {bi} underflow on collect"))?;
+                    self.out_scratch.push(e);
+                }
             }
-            for s in self.outputs[self.spec.out].streams.clone() {
-                ctx.push(s, Packet::data(out.clone()));
+            ctx.arena.free(ba);
+            for si in 0..self.outputs[self.spec.out].streams.len() {
+                let s = self.outputs[self.spec.out].streams[si];
+                let r = ctx.arena.data(&self.out_scratch);
+                ctx.push(s, r);
             }
             self.assembled += 1;
             *ctx.progress += 1;
@@ -1242,6 +1409,8 @@ pub struct AgRt {
     next_run: u64,
     /// Maximum outstanding jobs (from the AG spec).
     max_jobs: usize,
+    /// Read-retirement assembly scratch, reused across jobs.
+    read_scratch: Val,
     pub packets: u64,
     pub bytes: u64,
 }
@@ -1265,14 +1434,15 @@ impl AgRt {
             outputs,
             label,
             unit_index,
-            jobs: VecDeque::new(),
+            jobs: VecDeque::with_capacity(64),
             run: None,
-            to_issue: VecDeque::new(),
-            inflight: HashMap::new(),
+            to_issue: VecDeque::with_capacity(64),
+            inflight: HashMap::with_capacity(64),
             retired_runs: std::collections::HashSet::new(),
             next_seq: 0,
             next_run: 0,
             max_jobs: 64,
+            read_scratch: Vec::new(),
             packets: 0,
             bytes: 0,
         }
@@ -1342,7 +1512,7 @@ impl AgRt {
         // ---- intake ----
         while self.jobs.len() < self.max_jobs {
             let addr_sid = self.inputs[self.spec.addr_in];
-            let Some(head) = ctx.s(addr_sid).peek().cloned() else { break };
+            let Some(head) = ctx.s(addr_sid).peek() else { break };
             if head.is_marker() {
                 ctx.s(addr_sid).pop();
                 self.jobs.push_back(Job { seq: self.next_seq, kind: JobKind::Marker, pending: 0 });
@@ -1351,7 +1521,8 @@ impl AgRt {
                 continue;
             }
             let is_write = self.spec.dir == AgDir::Write;
-            let words: Vec<u64> = head.vals.iter().map(|e| e.as_i64().max(0) as u64).collect();
+            let words: Vec<u64> =
+                ctx.arena.vals(head).iter().map(|e| e.as_i64().max(0) as u64).collect();
             if is_write {
                 let data_in = self
                     .spec
@@ -1361,32 +1532,37 @@ impl AgRt {
                 if !ctx.s(data_sid).skip_markers_and_peek() {
                     break;
                 }
-                let mut data = ctx
+                let data_pk = ctx
                     .s(data_sid)
                     .peek()
-                    .cloned()
                     .ok_or_else(|| format!("{}: write data vanished", self.label))?;
-                if data.vals.len() == 1 && words.len() > 1 {
-                    data.vals = vec![data.vals[0]; words.len()];
-                }
-                if data.vals.len() != words.len() {
-                    return Err(format!(
-                        "{}: DRAM write addr/data mismatch {} vs {}",
-                        self.label,
-                        words.len(),
-                        data.vals.len()
-                    ));
+                {
+                    let dlen = ctx.arena.vals(data_pk).len();
+                    if dlen != words.len() && !(dlen == 1 && words.len() > 1) {
+                        return Err(format!(
+                            "{}: DRAM write addr/data mismatch {} vs {}",
+                            self.label,
+                            words.len(),
+                            dlen
+                        ));
+                    }
                 }
                 ctx.s(addr_sid).pop();
                 ctx.s(data_sid).pop();
                 // commit at issue; acks gate any dependent reader
-                for (w, v) in words.iter().zip(&data.vals) {
-                    let gw = (self.spec.base_addr / 4 + w) as usize;
-                    if gw >= image.len() {
-                        return Err(format!("{}: DRAM write beyond image ({gw})", self.label));
+                {
+                    let dvals = ctx.arena.vals(data_pk);
+                    let broadcast = dvals.len() == 1 && words.len() > 1;
+                    for (j, w) in words.iter().enumerate() {
+                        let gw = (self.spec.base_addr / 4 + w) as usize;
+                        if gw >= image.len() {
+                            return Err(format!("{}: DRAM write beyond image ({gw})", self.label));
+                        }
+                        image[gw] = if broadcast { dvals[0] } else { dvals[j] };
                     }
-                    image[gw] = *v;
                 }
+                ctx.arena.free(head);
+                ctx.arena.free(data_pk);
                 let seq = self.next_seq;
                 for w in &words {
                     self.append_word(ctx.now, seq, *w);
@@ -1399,23 +1575,14 @@ impl AgRt {
                 });
             } else {
                 ctx.s(addr_sid).pop();
+                ctx.arena.free(head);
                 let seq = self.next_seq;
                 for w in &words {
                     self.append_word(ctx.now, seq, *w);
                 }
                 self.bytes += words.len() as u64 * 4;
-                self.jobs.push_back(Job {
-                    seq,
-                    kind: JobKind::Read { words },
-                    pending: 0, // set below
-                });
-                let n = self.jobs.back().map(|j| match &j.kind {
-                    JobKind::Read { words } => words.len(),
-                    _ => 0,
-                });
-                if let Some(j) = self.jobs.back_mut() {
-                    j.pending = n.unwrap_or(0);
-                }
+                let pending = words.len();
+                self.jobs.push_back(Job { seq, kind: JobKind::Read { words }, pending });
             }
             self.next_seq += 1;
             self.packets += 1;
@@ -1458,23 +1625,34 @@ impl AgRt {
                 break;
             }
             let Some(job) = self.jobs.pop_front() else { break };
-            let pk = match job.kind {
-                JobKind::Marker => Packet::marker(),
-                JobKind::Write { count } => Packet::data(vec![Elem::I64(1); count]),
+            match job.kind {
+                JobKind::Marker => {
+                    for &s in &self.outputs[self.spec.out].streams {
+                        ctx.push(s, PacketRef::marker());
+                    }
+                }
+                JobKind::Write { count } => {
+                    for si in 0..self.outputs[self.spec.out].streams.len() {
+                        let s = self.outputs[self.spec.out].streams[si];
+                        let r = ctx.arena.splat(Elem::I64(1), count);
+                        ctx.push(s, r);
+                    }
+                }
                 JobKind::Read { words } => {
-                    let mut vals = Vec::with_capacity(words.len());
-                    for w in words {
+                    self.read_scratch.clear();
+                    for w in &words {
                         let gw = (self.spec.base_addr / 4 + w) as usize;
                         if gw >= image.len() {
                             return Err(format!("{}: DRAM read beyond image ({gw})", self.label));
                         }
-                        vals.push(image[gw]);
+                        self.read_scratch.push(image[gw]);
                     }
-                    Packet::data(vals)
+                    for si in 0..self.outputs[self.spec.out].streams.len() {
+                        let s = self.outputs[self.spec.out].streams[si];
+                        let r = ctx.arena.data(&self.read_scratch);
+                        ctx.push(s, r);
+                    }
                 }
-            };
-            for s in self.outputs[self.spec.out].streams.clone() {
-                ctx.push(s, pk.clone());
             }
             *ctx.progress += 1;
         }
@@ -1570,6 +1748,106 @@ impl AgRt {
             // DRAM queue full: try again next poll.
         }
         Ok(reissued)
+    }
+}
+
+// ---------------------------------------------------------------- Units
+
+/// Unit kind tag carrying the index into the matching dense per-kind
+/// vector of [`Units`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UKind {
+    Vcu(u32),
+    Vmu(u32),
+    Ag(u32),
+    Sync(u32),
+    Dist(u32),
+    Coll(u32),
+}
+
+/// Struct-of-arrays runtime unit store: one dense vector per unit kind,
+/// addressed through the `kind` tag vector by global unit index. The
+/// per-kind vectors are built in unit-index order, so iterating `vcus`,
+/// `vmus`, or `ags` directly visits units in the same order a
+/// unit-indexed scan would — sanitizer and stats iteration rely on this.
+#[derive(Default)]
+pub struct Units {
+    pub kind: Vec<UKind>,
+    pub vcus: Vec<VcuRt>,
+    pub vmus: Vec<VmuRt>,
+    pub ags: Vec<AgRt>,
+    pub syncs: Vec<SyncRt>,
+    pub dists: Vec<DistRt>,
+    pub colls: Vec<CollRt>,
+}
+
+impl Units {
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_empty()
+    }
+
+    pub fn vcu(&self, i: usize) -> Option<&VcuRt> {
+        match self.kind.get(i)? {
+            UKind::Vcu(k) => Some(&self.vcus[*k as usize]),
+            _ => None,
+        }
+    }
+
+    pub fn vmu(&self, i: usize) -> Option<&VmuRt> {
+        match self.kind.get(i)? {
+            UKind::Vmu(k) => Some(&self.vmus[*k as usize]),
+            _ => None,
+        }
+    }
+
+    pub fn ag(&self, i: usize) -> Option<&AgRt> {
+        match self.kind.get(i)? {
+            UKind::Ag(k) => Some(&self.ags[*k as usize]),
+            _ => None,
+        }
+    }
+
+    pub fn ag_mut(&mut self, i: usize) -> Option<&mut AgRt> {
+        match self.kind.get(i)? {
+            UKind::Ag(k) => Some(&mut self.ags[*k as usize]),
+            _ => None,
+        }
+    }
+
+    /// Unit label for fault attribution (crossbar-family units share the
+    /// generic "xbar" label, matching the deadlock diagnostics).
+    pub fn fault_label(&self, i: usize) -> String {
+        match self.kind[i] {
+            UKind::Vcu(k) => self.vcus[k as usize].label.clone(),
+            UKind::Vmu(k) => self.vmus[k as usize].label.clone(),
+            UKind::Ag(k) => self.ags[k as usize].label.clone(),
+            UKind::Sync(_) | UKind::Dist(_) | UKind::Coll(_) => "xbar".to_string(),
+        }
+    }
+
+    /// Step unit `i` once.
+    pub fn step(
+        &mut self,
+        i: usize,
+        ctx: &mut Ctx<'_>,
+        dram: &mut DramSim,
+        image: &mut [Elem],
+    ) -> Result<(), String> {
+        match self.kind[i] {
+            UKind::Vcu(k) => self.vcus[k as usize].step(ctx),
+            UKind::Sync(k) => {
+                self.syncs[k as usize].step(ctx);
+                Ok(())
+            }
+            UKind::Vmu(k) => self.vmus[k as usize].step(ctx),
+            UKind::Dist(k) => self.dists[k as usize].step(ctx),
+            UKind::Coll(k) => self.colls[k as usize].step(ctx),
+            UKind::Ag(k) => self.ags[k as usize].step(ctx, dram, image),
+        }
     }
 }
 

@@ -15,9 +15,8 @@
 //! the same classification PR 2's profiler uses for stall accounting, so a
 //! watchdog report reads like a point-in-time slice of the profile.
 
-use crate::engine::URt;
 use crate::stream::StreamRt;
-use crate::units::StallClass;
+use crate::units::{StallClass, UKind, Units};
 use sara_core::profile::StallReason;
 use sara_core::robust::{WaitMember, WatchdogReport};
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
@@ -92,9 +91,10 @@ fn generic_blocked(g: &Vudfg, i: usize, label: &str, streams: &[StreamRt]) -> Op
 }
 
 /// Analyze one unit; `None` when it is done/quiescent (not blocked).
-fn blocked_info(g: &Vudfg, i: usize, u: &URt, streams: &[StreamRt]) -> Option<Blocked> {
-    match u {
-        URt::Vcu(v) => {
+fn blocked_info(g: &Vudfg, i: usize, units: &Units, streams: &[StreamRt]) -> Option<Blocked> {
+    match units.kind[i] {
+        UKind::Vcu(k) => {
+            let v = &units.vcus[k as usize];
             if v.done {
                 return None;
             }
@@ -150,7 +150,8 @@ fn blocked_info(g: &Vudfg, i: usize, u: &URt, streams: &[StreamRt]) -> Option<Bl
                 StallClass::None => generic_blocked(g, i, &v.label, streams),
             }
         }
-        URt::Ag(a) => {
+        UKind::Ag(k) => {
+            let a = &units.ags[k as usize];
             if a.idle() {
                 return None;
             }
@@ -173,8 +174,8 @@ fn blocked_info(g: &Vudfg, i: usize, u: &URt, streams: &[StreamRt]) -> Option<Bl
             }
             generic_blocked(g, i, &a.label, streams)
         }
-        URt::Vmu(v) => generic_blocked(g, i, &v.label, streams),
-        URt::Sync(_) | URt::Dist(_) | URt::Coll(_) => {
+        UKind::Vmu(k) => generic_blocked(g, i, &units.vmus[k as usize].label, streams),
+        UKind::Sync(_) | UKind::Dist(_) | UKind::Coll(_) => {
             generic_blocked(g, i, &g.units[i].label, streams)
         }
     }
@@ -183,15 +184,15 @@ fn blocked_info(g: &Vudfg, i: usize, u: &URt, streams: &[StreamRt]) -> Option<Bl
 /// Walk the wait-for graph and produce the structured diagnosis.
 pub(crate) fn diagnose_waitfor(
     g: &Vudfg,
-    units: &[URt],
+    units: &Units,
     streams: &[StreamRt],
     cycle: u64,
     stalled_for: u64,
 ) -> WatchdogReport {
     let n = units.len();
     let mut info: Vec<Option<Blocked>> = Vec::with_capacity(n);
-    for (i, u) in units.iter().enumerate() {
-        info.push(blocked_info(g, i, u, streams));
+    for i in 0..n {
+        info.push(blocked_info(g, i, units, streams));
     }
     let backpressured_streams = streams.iter().filter(|s| !s.can_push()).count();
 

@@ -1,0 +1,236 @@
+//! Edge cases for epoch-batched firing (`SimConfig::batch`): the batching
+//! shortcuts (precise stall-wake filtering, parked pure-stream units,
+//! single-unit fast-forward) must be observationally invisible. Each case
+//! runs with batching on, batching off, and under the dense reference
+//! scheduler, and all three must agree bit-for-bit — including the typed
+//! failure reports when faults or the sanitizer are in play, since those
+//! modes bypass batching internally.
+
+use plasticine_arch::ChipSpec;
+use plasticine_sim::{simulate, FaultKind, FaultPlan, SimConfig, SimError, SimOutcome};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_core::vudfg::{StreamKind, Vudfg};
+use sara_ir::interp::Interp;
+use sara_ir::{BinOp, Bound, DType, Elem, LoopSpec, MemInit, Program};
+
+/// Compile + place a program with the given compiler options.
+fn build(p: &Program, opts: &CompilerOptions) -> (Vudfg, ChipSpec) {
+    let chip = ChipSpec::small_8x8();
+    let mut c = compile(p, &chip, opts).unwrap_or_else(|e| panic!("compile: {e}"));
+    sara_pnr::place_and_route(&mut c.vudfg, &c.assignment, &chip, 7)
+        .unwrap_or_else(|e| panic!("pnr: {e}"));
+    (c.vudfg, chip)
+}
+
+/// Simulate with batching on, batching off, and dense; assert all three
+/// outcomes are bit-identical and return the batched one.
+fn run_all_schedulers(g: &Vudfg, chip: &ChipSpec) -> SimOutcome {
+    let batched = simulate(g, chip, &SimConfig::default()).expect("batched sim");
+    let unbatched = simulate(g, chip, &SimConfig { batch: false, ..SimConfig::default() })
+        .expect("unbatched sim");
+    let dense = simulate(g, chip, &SimConfig::dense()).expect("dense sim");
+    for (name, o) in [("unbatched", &unbatched), ("dense", &dense)] {
+        assert_eq!(batched.cycles, o.cycles, "{name}: cycle divergence");
+        assert_eq!(batched.stats.firings, o.stats.firings, "{name}: total firings");
+        assert_eq!(batched.stats.unit_firings, o.stats.unit_firings, "{name}: per-unit firings");
+        assert_eq!(batched.stats.dram, o.stats.dram, "{name}: dram stats");
+        assert_eq!(batched.dram_final, o.dram_final, "{name}: dram image");
+    }
+    batched
+}
+
+/// Zero-trip dynamic loop bound: with `n = 0` loaded from a register, the
+/// loop body never fires and every downstream unit sees only markers. The
+/// batching fast-path must neither skip the marker epilogue nor stall on
+/// units that will never receive data.
+#[test]
+fn zero_trip_dynamic_loop_batches_identically() {
+    let mut p = Program::new("batch_zero_trip");
+    let init: Vec<Elem> = (0..6).map(Elem::I64).collect();
+    let src = p.dram("src", &[6], DType::I64, MemInit::Data(init));
+    let dst = p.dram("dst", &[6], DType::I64, MemInit::Zero);
+    let n = p.reg("n", DType::I64);
+    let root = p.root();
+    let setup = p.add_leaf(root, "setup").unwrap();
+    let zero = p.c_i64(setup, 0).unwrap();
+    let zaddr = p.c_i64(setup, 0).unwrap();
+    p.store(setup, n, &[zaddr], zero).unwrap();
+    let li = p.add_loop(root, "i", LoopSpec::new(0, Bound::Reg(n), 1)).unwrap();
+    let hb = p.add_leaf(li, "body").unwrap();
+    let i = p.idx(hb, li).unwrap();
+    let v = p.load(hb, src, &[i]).unwrap();
+    p.store(hb, dst, &[i], v).unwrap();
+    p.validate().expect("valid program");
+
+    let (g, chip) = build(&p, &CompilerOptions::default());
+    let out = run_all_schedulers(&g, &chip);
+    assert_eq!(out.dram_i64(dst), vec![0; 6], "zero-trip loop must leave dst untouched");
+}
+
+/// The live sibling of the zero-trip case: the dynamic bound covers only a
+/// prefix, so the tail of `dst` stays untouched while the prefix flows —
+/// the batched fast-forward must stop exactly where the data stops.
+#[test]
+fn partial_trip_dynamic_loop_batches_identically() {
+    let mut p = Program::new("batch_partial_trip");
+    let init: Vec<Elem> = (0..6).map(|x| Elem::I64(x * 10)).collect();
+    let src = p.dram("src", &[6], DType::I64, MemInit::Data(init));
+    let dst = p.dram("dst", &[6], DType::I64, MemInit::Zero);
+    let n = p.reg("n", DType::I64);
+    let root = p.root();
+    let setup = p.add_leaf(root, "setup").unwrap();
+    let four = p.c_i64(setup, 4).unwrap();
+    let zaddr = p.c_i64(setup, 0).unwrap();
+    p.store(setup, n, &[zaddr], four).unwrap();
+    let li = p.add_loop(root, "i", LoopSpec::new(0, Bound::Reg(n), 1)).unwrap();
+    let hb = p.add_leaf(li, "body").unwrap();
+    let i = p.idx(hb, li).unwrap();
+    let v = p.load(hb, src, &[i]).unwrap();
+    let one = p.c_i64(hb, 1).unwrap();
+    let w = p.bin(hb, BinOp::Add, v, one).unwrap();
+    p.store(hb, dst, &[i], w).unwrap();
+    p.validate().expect("valid program");
+
+    let reference = Interp::new(&p).run().expect("interpreter");
+    let (g, chip) = build(&p, &CompilerOptions::default());
+    let out = run_all_schedulers(&g, &chip);
+    assert_eq!(out.dram_i64(dst), vec![1, 11, 21, 31, 0, 0]);
+    assert_eq!(
+        reference.mem[dst.index()].iter().map(|e| e.as_i64()).collect::<Vec<_>>(),
+        out.dram_i64(dst),
+        "interpreter and fabric must agree"
+    );
+}
+
+/// Depth-1 multibuffers at par = 1: with `CmmcOptions::multibuffer = 1`
+/// the producer/consumer stages around every scratchpad run in strict
+/// alternation (no epoch overlap), the worst case for the stall-wake
+/// filter — every wake toggles between the two endpoints of one stream.
+#[test]
+fn depth1_multibuffer_par1_batches_identically() {
+    let mut p = Program::new("batch_depth1");
+    let n_elems = 24usize;
+    let tile = 6i64;
+    let src = p.dram("src", &[n_elems], DType::F64, MemInit::RandomF { seed: 11 });
+    let dst = p.dram("dst", &[n_elems], DType::F64, MemInit::Zero);
+    let buf = p.sram("buf", &[tile as usize], DType::F64);
+    let root = p.root();
+    let la = p.add_loop(root, "A", LoopSpec::new(0, n_elems as i64 / tile, 1)).unwrap();
+    {
+        let l = p.add_loop(la, "load", LoopSpec::new(0, tile, 1)).unwrap();
+        let hb = p.add_leaf(l, "ld").unwrap();
+        let ia = p.idx(hb, la).unwrap();
+        let ij = p.idx(hb, l).unwrap();
+        let t = p.c_i64(hb, tile).unwrap();
+        let b = p.bin(hb, BinOp::Mul, ia, t).unwrap();
+        let a = p.bin(hb, BinOp::Add, b, ij).unwrap();
+        let v = p.load(hb, src, &[a]).unwrap();
+        p.store(hb, buf, &[ij], v).unwrap();
+    }
+    {
+        let l = p.add_loop(la, "store", LoopSpec::new(0, tile, 1)).unwrap();
+        let hb = p.add_leaf(l, "st").unwrap();
+        let ia = p.idx(hb, la).unwrap();
+        let ij = p.idx(hb, l).unwrap();
+        let x = p.load(hb, buf, &[ij]).unwrap();
+        let c = p.c_f64(hb, 2.0).unwrap();
+        let y = p.bin(hb, BinOp::Mul, x, c).unwrap();
+        let t = p.c_i64(hb, tile).unwrap();
+        let b = p.bin(hb, BinOp::Mul, ia, t).unwrap();
+        let a = p.bin(hb, BinOp::Add, b, ij).unwrap();
+        p.store(hb, dst, &[a], y).unwrap();
+    }
+    p.validate().expect("valid program");
+
+    let mut opts = CompilerOptions::default();
+    opts.lower.cmmc.multibuffer = 1;
+    let (g, chip) = build(&p, &opts);
+    let out = run_all_schedulers(&g, &chip);
+
+    let reference = Interp::new(&p).run().expect("interpreter");
+    let want = reference.mem_f64(dst);
+    let got = out.dram_f64(dst);
+    assert_eq!(want.len(), got.len());
+    for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "dst[{i}]: {a} vs {b}");
+    }
+}
+
+/// First token stream carrying initial credits (as in the robustness
+/// suite: a steal there starves a consumer deterministically).
+fn credit_stream(g: &Vudfg) -> usize {
+    g.streams
+        .iter()
+        .position(|s| matches!(s.kind, StreamKind::Token { init } if init > 0))
+        .expect("no initial-credit token stream")
+}
+
+fn registry_graph(name: &str) -> (Vudfg, ChipSpec) {
+    let w = sara_workloads::by_name(name).expect("registry workload");
+    build(&w.program, &CompilerOptions::default())
+}
+
+/// Fault injection disables batching internally, so the `batch` flag must
+/// have zero observable effect on a faulted run: the watchdog's deadlock
+/// diagnosis (cycle, members, attribution) is pinned bit-identical across
+/// batch on/off and the dense scheduler.
+#[test]
+fn watchdog_report_identical_across_batch_flag_under_faults() {
+    let (g, chip) = registry_graph("ms");
+    let s = credit_stream(&g);
+    let report_with = |batch: bool, dense: bool| {
+        let plan = FaultPlan::empty().with(0, FaultKind::StealCredit { stream: s });
+        let cfg = SimConfig {
+            faults: Some(plan),
+            deadlock_window: 2_000,
+            batch,
+            dense,
+            ..SimConfig::default()
+        };
+        match simulate(&g, &chip, &cfg).unwrap_err() {
+            SimError::Deadlock { cycle, report, .. } => (cycle, report),
+            other => panic!("expected watchdog diagnosis (batch={batch}), got {other}"),
+        }
+    };
+    let batched = report_with(true, false);
+    assert_eq!(batched, report_with(false, false), "batch flag changed the watchdog report");
+    assert_eq!(batched, report_with(true, true), "dense scheduler diverged from active");
+    assert!(!batched.1.members.is_empty(), "watchdog produced no members");
+}
+
+/// Same pinning for the invariant sanitizer: a leaked credit must produce
+/// the exact same typed `SanitizerReport` (cycle, invariant, edge, event
+/// ring) whether or not batching is requested, and under dense.
+#[test]
+fn sanitizer_report_identical_across_batch_flag() {
+    let (g, chip) = registry_graph("ms");
+    let s = credit_stream(&g);
+    let report_with = |batch: bool, dense: bool| {
+        let plan = FaultPlan::empty().with(5, FaultKind::LeakCredit { stream: s });
+        let cfg =
+            SimConfig { faults: Some(plan), sanitize: true, batch, dense, ..SimConfig::default() };
+        match simulate(&g, &chip, &cfg).unwrap_err() {
+            SimError::Sanitizer(r) => r,
+            other => panic!("expected sanitizer report (batch={batch}), got {other}"),
+        }
+    };
+    let batched = report_with(true, false);
+    assert_eq!(batched, report_with(false, false), "batch flag changed the sanitizer report");
+    assert_eq!(batched, report_with(true, true), "dense scheduler diverged from active");
+    assert_eq!(batched.stream, Some(s));
+}
+
+/// A clean sanitizer pass (no faults) also bypasses batching; cycle
+/// counts must match a batched run exactly, proving the bypass itself is
+/// timing-neutral.
+#[test]
+fn sanitizer_clean_run_matches_batched_timing() {
+    let (g, chip) = registry_graph("kmeans");
+    let plain = simulate(&g, &chip, &SimConfig::default()).expect("batched");
+    for batch in [true, false] {
+        let cfg = SimConfig { sanitize: true, batch, ..SimConfig::default() };
+        let o = simulate(&g, &chip, &cfg).expect("sanitized");
+        assert_eq!(o.cycles, plain.cycles, "sanitize+batch={batch} perturbed timing");
+        assert_eq!(o.dram_final, plain.dram_final);
+    }
+}

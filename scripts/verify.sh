@@ -13,12 +13,18 @@
 #                    over every registry workload (fixed seed). Any panic or
 #                    undiagnosed hang under an injected fault fails
 #                    verification; the JSON report lands in results/.
+#   --bench          additionally run the simulator-throughput benchmark
+#                    (smoke scale) against the committed baseline in
+#                    results/BENCH_sim_throughput.json — what the CI
+#                    perf-trajectory job gates on. Fails on a >20%
+#                    calibration-normalized regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 fuzz_budget=0
 faults=0
+bench=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -29,7 +35,8 @@ while [[ $# -gt 0 ]]; do
       [[ "$fuzz_budget" =~ ^[0-9]+$ ]] || { echo "error: --fuzz-budget must be an integer, got '$fuzz_budget'" >&2; exit 2; }
       ;;
     --faults) faults=1 ;;
-    *) echo "usage: $0 [--quick] [--fuzz-budget N] [--faults]" >&2; exit 2 ;;
+    --bench) bench=1 ;;
+    *) echo "usage: $0 [--quick] [--fuzz-budget N] [--faults] [--bench]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -50,6 +57,17 @@ run_faults() {
   fi
 }
 
+run_bench() {
+  if [[ "$bench" == 1 ]]; then
+    echo "== simperf (smoke scale, gated on committed baseline)"
+    SARA_BENCH_SMOKE=1 SARA_BENCH_RESULTS_DIR="${SARA_BENCH_RESULTS_DIR:-perf-artifacts}" \
+      cargo run --release -q -p sara-bench --bin simperf -- \
+      --out BENCH_sim_throughput \
+      --baseline results/BENCH_sim_throughput.json \
+      --max-regress 0.20
+  fi
+}
+
 if [[ "$quick" == 1 ]]; then
   echo "== cargo fmt --check"
   cargo fmt --all -- --check
@@ -62,6 +80,7 @@ if [[ "$quick" == 1 ]]; then
 
   run_fuzz
   run_faults
+  run_bench
 
   echo "verify (quick): OK"
   exit 0
@@ -81,5 +100,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 run_fuzz
 run_faults
+run_bench
 
 echo "verify: OK"
