@@ -28,6 +28,19 @@
 //! `--knobs FILE` replays such an artifact: the workload, chip, par
 //! factors, optimization flags, and PnR seed all come from the file, so
 //! the simulated cycle count reproduces the tuner's number exactly.
+//!
+//! `--server` starts the persistent `sarad` service on a Unix socket;
+//! `--connect PATH` routes work through a running service instead of
+//! compiling in-process — repeated requests are served from its
+//! content-addressed artifact cache:
+//!
+//! ```text
+//! sarac --server [--socket PATH]
+//! sarac --connect PATH <workload> [--chip NAME]     # cached compile+sim
+//! sarac --connect PATH <workload> --autotune [--budget N]
+//! sarac --connect PATH --stats                      # hit/miss counters
+//! sarac --connect PATH --shutdown
+//! ```
 
 use plasticine_arch::ChipSpec;
 use plasticine_sim::{simulate, FaultPlan, SimConfig};
@@ -139,6 +152,113 @@ fn autotune(name: &str, chip: &ChipSpec, budget: Option<usize>) -> ! {
     std::process::exit(0);
 }
 
+/// `--server`: run the persistent `sarad` service in the foreground
+/// until a shutdown request arrives on the socket.
+fn run_server(socket: Option<String>) -> ! {
+    let opts = sarad::ServerOptions {
+        socket: socket.map_or_else(sarad::server::default_socket, std::path::PathBuf::from),
+        cache_dir: sarad::server::default_cache_dir(),
+        ..sarad::ServerOptions::default()
+    };
+    eprintln!("sarad: listening on {} (cache {})", opts.socket.display(), opts.cache_dir.display());
+    match sarad::serve(&opts) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--connect PATH`: route the request through a running `sarad`
+/// service instead of compiling in-process.
+struct ConnectJob {
+    socket: String,
+    stats: bool,
+    shutdown: bool,
+    autotune: bool,
+    budget: Option<usize>,
+    workload: Option<String>,
+    chip: String,
+}
+
+fn run_connect(job: &ConnectJob) -> ! {
+    use sara_util::Json;
+    let fail = |e: &str| -> ! {
+        eprintln!("error: {}: {e}", job.socket);
+        std::process::exit(1);
+    };
+    let mut client =
+        sarad::Client::connect(std::path::Path::new(&job.socket)).unwrap_or_else(|e| fail(&e));
+    if job.shutdown {
+        client.shutdown().unwrap_or_else(|e| fail(&e));
+        println!("sarad: shutdown acknowledged");
+        std::process::exit(0);
+    }
+    if job.stats {
+        let stats = client.stats().unwrap_or_else(|e| fail(&e));
+        println!("{}", stats.pretty());
+        std::process::exit(0);
+    }
+    let Some(name) = &job.workload else {
+        cli::usage_error("--connect needs a workload (or --stats / --shutdown)");
+    };
+    if job.autotune {
+        let mut req = Json::object()
+            .set("op", "autotune")
+            .set("workload", name.as_str())
+            .set("chip", job.chip.as_str());
+        if let Some(b) = job.budget {
+            req = req.set("budget", b as i64);
+        }
+        let done = client.call(&req).unwrap_or_else(|e| fail(&e));
+        let field = |k: &str| done.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "autotune {name}: {} -> {} cycles ({:.2}x), {} points, {} sims",
+            field("default_cycles"),
+            field("best_cycles"),
+            done.get("speedup").and_then(Json::as_f64).unwrap_or(1.0),
+            field("points_explored"),
+            field("sims_run"),
+        );
+        if let Some(stats) = done.get("stats") {
+            println!("cache: {}", stats.pretty());
+        }
+        std::process::exit(0);
+    }
+    let req = Json::object()
+        .set("op", "run")
+        .set("workload", name.as_str())
+        .set("chip", job.chip.as_str())
+        .set("pnr_seed", 42);
+    let lines = client.request(&req).unwrap_or_else(|e| fail(&e));
+    for line in &lines {
+        if line.get("event").and_then(Json::as_str) == Some("stage") {
+            println!(
+                "stage: {:<8} {}",
+                line.get("stage").and_then(Json::as_str).unwrap_or("?"),
+                line.get("cache").and_then(Json::as_str).unwrap_or("?"),
+            );
+        }
+    }
+    let done = lines.last().unwrap_or_else(|| fail("empty response"));
+    if let Some(e) = done.get("error").and_then(Json::as_str) {
+        fail(e);
+    }
+    println!(
+        "sim:   {} cycles, {} firings (dram blocked {:.1}%)",
+        done.get("cycles").and_then(Json::as_u64).unwrap_or(0),
+        done.get("firings").and_then(Json::as_u64).unwrap_or(0),
+        done.get("dram_blocked_frac").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+    );
+    if let Some(b) = done.get("bottleneck").and_then(Json::as_str) {
+        if !b.is_empty() {
+            println!("top:   {b}");
+        }
+    }
+    std::process::exit(0);
+}
+
 /// `--knobs FILE`: replay a tuner artifact. Everything — workload, chip,
 /// par factors, optimization flags, PnR seed — comes from the file.
 fn load_knobs(file: &str) -> sara_dse::KnobConfig {
@@ -164,6 +284,8 @@ fn main() {
             "       sarac --sweep [--chip {chips}] [--simulate]",
             chips = ChipSpec::NAMES.join("|")
         );
+        eprintln!("       sarac --server [--socket PATH]");
+        eprintln!("       sarac --connect PATH [<workload> [--autotune] | --stats | --shutdown]");
         eprintln!(
             "workloads: {}",
             sara_workloads::all_small().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
@@ -181,6 +303,11 @@ fn main() {
     let mut do_autotune = false;
     let mut budget: Option<usize> = None;
     let mut knobs_file: Option<String> = None;
+    let mut do_server = false;
+    let mut socket: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut do_stats = false;
+    let mut do_shutdown = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -206,10 +333,32 @@ fn main() {
                 };
             }
             "--knobs" => knobs_file = Some(cli::flag_value(&args, &mut i, "--knobs")),
+            "--server" => do_server = true,
+            "--socket" => socket = Some(cli::flag_value(&args, &mut i, "--socket")),
+            "--connect" => connect = Some(cli::flag_value(&args, &mut i, "--connect")),
+            "--stats" => do_stats = true,
+            "--shutdown" => do_shutdown = true,
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => cli::usage_error(&format!("unknown flag {other}")),
         }
         i += 1;
+    }
+    if do_server {
+        run_server(socket);
+    }
+    if let Some(socket) = connect {
+        run_connect(&ConnectJob {
+            socket,
+            stats: do_stats,
+            shutdown: do_shutdown,
+            autotune: do_autotune,
+            budget,
+            workload: name,
+            chip: chip.name(),
+        });
+    }
+    if do_stats || do_shutdown {
+        cli::usage_error("--stats / --shutdown need --connect PATH");
     }
     if do_sweep {
         sweep_all(&chip, do_sim);

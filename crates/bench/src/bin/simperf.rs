@@ -159,8 +159,23 @@ fn main() {
         let reps = ((min_wall_s / per_run).ceil() as u64).max(min_reps);
         let t1 = Instant::now();
         for _ in 0..reps {
-            let o = simulate(&compiled.vudfg, &chip, &cfg).expect("warmed-up sim cannot fail");
-            assert_eq!(o.cycles, cycles, "{}: nondeterministic cycle count", w.name);
+            // A sim error after warm-up (e.g. a DRAM stall under a future
+            // config) must be a one-line diagnostic like the warmup arm
+            // above, not an `.expect` abort of the whole bench run.
+            let o = match simulate(&compiled.vudfg, &chip, &cfg) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {}: sim (rep): {e}", w.name);
+                    std::process::exit(1);
+                }
+            };
+            if o.cycles != cycles {
+                eprintln!(
+                    "error: {}: nondeterministic cycle count ({} vs {})",
+                    w.name, o.cycles, cycles
+                );
+                std::process::exit(1);
+            }
         }
         let wall_s = t1.elapsed().as_secs_f64().max(1e-9);
         let cps = cycles as f64 * reps as f64 / wall_s;

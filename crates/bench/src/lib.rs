@@ -119,6 +119,24 @@ pub fn run_profiled(
     Ok(r)
 }
 
+/// Compile, place-and-route, and simulate a registry workload by name.
+///
+/// The lookup failure is part of the `Result` — no panic path — so
+/// library consumers (the `sarad` service in particular) can surface an
+/// unknown-workload request as a typed protocol error.
+///
+/// # Errors
+///
+/// Returns a one-line description naming the unknown workload (with the
+/// known names) or the failing pipeline phase.
+pub fn run_workload(name: &str, chip: &ChipSpec, opts: &CompilerOptions) -> Result<Run, String> {
+    let w = sara_workloads::by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = sara_workloads::all_small().iter().map(|w| w.name).collect();
+        format!("unknown workload {name:?} (known: {})", known.join(", "))
+    })?;
+    run(&w.program, chip, opts)
+}
+
 /// Compile and simulate through the vanilla-Plasticine (PC) baseline.
 pub fn run_pc(p: &Program, chip: &ChipSpec) -> Result<Run, String> {
     let interp = Interp::new(p).run().map_err(|e| format!("interp: {e}"))?.stats;
@@ -186,11 +204,18 @@ mod tests {
 
     #[test]
     fn run_small_workload() {
-        let w = sara_workloads::by_name("dotprod").unwrap();
         let chip = ChipSpec::small_8x8();
-        let r = run(&w.program, &chip, &CompilerOptions::default()).unwrap();
+        let r = run_workload("dotprod", &chip, &CompilerOptions::default()).unwrap();
         assert!(r.cycles() > 0);
         assert!(r.pus() > 0);
         assert!(r.flops_per_cycle() > 0.0);
+    }
+
+    #[test]
+    fn unknown_workload_is_a_typed_error_naming_the_registry() {
+        let chip = ChipSpec::small_8x8();
+        let e = run_workload("no-such-kernel", &chip, &CompilerOptions::default()).unwrap_err();
+        assert!(e.contains("unknown workload"), "got: {e}");
+        assert!(e.contains("dotprod"), "error must list known names: {e}");
     }
 }

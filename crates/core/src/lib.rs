@@ -54,6 +54,7 @@
 //! # }
 //! ```
 
+pub mod artifact;
 pub mod assign;
 pub mod cmmc;
 pub mod compile;

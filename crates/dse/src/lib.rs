@@ -30,4 +30,7 @@ pub mod search;
 pub use cost::{estimate, CostEstimate, CostModel};
 pub use knobs::{KnobConfig, LoopKnob, KNOBS_FORMAT};
 pub use report::{report_json, speedup, summary_line, REPORT_FORMAT};
-pub use search::{autotune, EvalPoint, SearchOptions, TuneOutcome, FRONTIER_LEN};
+pub use search::{
+    autotune, autotune_with, EvalPoint, Evaluator, LocalEval, SearchOptions, SimFailure,
+    TuneOutcome, FRONTIER_LEN,
+};

@@ -34,6 +34,11 @@ fn frontier_row(out: &TuneOutcome, p: &EvalPoint) -> Json {
 /// Render the full tuning report.
 pub fn report_json(out: &TuneOutcome) -> Json {
     let frontier: Vec<Json> = out.frontier.iter().map(|p| frontier_row(out, p)).collect();
+    let failures: Vec<Json> = out
+        .sim_failures
+        .iter()
+        .map(|f| Json::object().set("key", f.key.as_str()).set("error", f.error.as_str()))
+        .collect();
     Json::object()
         .set("format", REPORT_FORMAT)
         .set("workload", out.workload.as_str())
@@ -41,6 +46,7 @@ pub fn report_json(out: &TuneOutcome) -> Json {
         .set("points_explored", out.points_explored)
         .set("sims_run", out.sims_run)
         .set("infeasible_pruned", out.infeasible_pruned)
+        .set("sim_failures", Json::Array(failures))
         .set("rounds", out.rounds)
         .set("default_cycles", out.default_point.simulated.unwrap_or(0))
         .set("best_cycles", out.best.simulated.unwrap_or(0))

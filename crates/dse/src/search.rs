@@ -90,6 +90,45 @@ impl EvalPoint {
     }
 }
 
+/// A simulation that failed mid-search, recorded as data instead of
+/// panicking the tuner: the point is dropped from contention, the
+/// incumbent survives, and the search keeps going.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    /// [`KnobConfig::key`] of the failed point.
+    pub key: String,
+    /// One-line failure description (compile/pnr/sim stage prefixed).
+    pub error: String,
+}
+
+/// Pluggable compile-and-simulate backend for the search.
+///
+/// The default [`LocalEval`] runs the pipeline in-process; a `sarad`
+/// client backend serves the same calls from its artifact cache. The
+/// search never assumes a call that returned `Ok` filled every field —
+/// a backend bug surfaces as a typed [`SimFailure`], not a panic.
+pub trait Evaluator: Sync {
+    /// Compile one point and run the cost model over it (no simulation).
+    fn evaluate(&self, knobs: &KnobConfig) -> Result<EvalPoint, String>;
+    /// Compile, place, and simulate with profiling, filling in
+    /// `simulated`, `dram_blocked_frac`, and `bottleneck`.
+    fn simulate(&self, point: &mut EvalPoint) -> Result<(), String>;
+}
+
+/// The in-process backend: compile and simulate directly, no caching.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalEval;
+
+impl Evaluator for LocalEval {
+    fn evaluate(&self, knobs: &KnobConfig) -> Result<EvalPoint, String> {
+        evaluate(knobs)
+    }
+
+    fn simulate(&self, point: &mut EvalPoint) -> Result<(), String> {
+        simulate_point(point)
+    }
+}
+
 /// The result of one autotuning run.
 #[derive(Debug, Clone)]
 pub struct TuneOutcome {
@@ -106,6 +145,8 @@ pub struct TuneOutcome {
     pub sims_run: usize,
     /// Candidates rejected by the capability model before PnR.
     pub infeasible_pruned: usize,
+    /// Simulations that failed mid-search (typed, not fatal).
+    pub sim_failures: Vec<SimFailure>,
     /// Search rounds completed.
     pub rounds: usize,
     /// The cost model re-fit over the returned frontier.
@@ -130,29 +171,50 @@ const MAX_PAR: u32 = 16;
 /// to compile, place, or simulate (candidate failures are pruned, but
 /// the baseline must work).
 pub fn autotune(workload: &str, opts: &SearchOptions) -> Result<TuneOutcome, String> {
+    autotune_with(workload, opts, &LocalEval)
+}
+
+/// [`autotune`] with an explicit [`Evaluator`] backend — the entry point
+/// `sarad` clients use to serve the search from the artifact cache.
+///
+/// # Errors
+///
+/// Same contract as [`autotune`]: only setup failures and a broken
+/// default point are fatal; candidate failures become
+/// [`TuneOutcome::sim_failures`] entries.
+pub fn autotune_with(
+    workload: &str,
+    opts: &SearchOptions,
+    eval: &dyn Evaluator,
+) -> Result<TuneOutcome, String> {
     let w =
         sara_workloads::by_name(workload).ok_or_else(|| format!("unknown workload {workload}"))?;
     let default_knobs = KnobConfig::default_for(&w, &opts.chip, opts.pnr_seed)?;
     default_knobs.chip_spec()?; // fail fast on a bad chip name
 
     // Round 0: the default point, evaluated and simulated.
-    let mut default_point = evaluate(&default_knobs)?;
+    let mut default_point = eval.evaluate(&default_knobs)?;
     if !default_point.feasible {
         return Err(format!("{workload}: default knobs do not fit chip {}", opts.chip));
     }
-    simulate_point(&mut default_point)?;
+    eval.simulate(&mut default_point)?;
+    let default_cycles = default_point
+        .simulated
+        .ok_or_else(|| format!("{workload}: backend reported no cycles for the default point"))?;
     let mut model = CostModel::new();
-    model.observe(default_point.raw(), default_point.simulated.unwrap());
+    model.observe(default_point.raw(), default_cycles);
 
     let mut seen: HashSet<String> = HashSet::new();
     seen.insert(default_point.knobs.key());
     let mut explored = 1usize;
     let mut sims_run = 1usize;
     let mut infeasible_pruned = 0usize;
+    let mut sim_failures: Vec<SimFailure> = Vec::new();
     let mut rounds = 0usize;
     let mut stall = 0usize;
 
     let mut incumbent = default_point.clone();
+    let mut incumbent_cycles = default_cycles;
     let mut simulated: Vec<EvalPoint> = vec![default_point.clone()];
     let mut beam: Vec<EvalPoint> = vec![default_point.clone()];
     // Steering signal from the latest best profile: when the design is
@@ -179,7 +241,7 @@ pub fn autotune(workload: &str, opts: &SearchOptions) -> Result<TuneOutcome, Str
         // Evaluate candidates in parallel (compile + cost model only; a
         // compile failure is an infeasible point, not an error).
         let mut evaluated: Vec<EvalPoint> =
-            run_points(&candidates, evaluate).into_iter().collect::<Result<_, _>>()?;
+            run_points(&candidates, |k| eval.evaluate(k)).into_iter().collect::<Result<_, _>>()?;
         infeasible_pruned += evaluated.iter().filter(|p| !p.feasible).count();
         evaluated.retain(|p| p.feasible);
 
@@ -197,18 +259,34 @@ pub fn autotune(workload: &str, opts: &SearchOptions) -> Result<TuneOutcome, Str
         // recalibrate the model and may replace the incumbent.
         let mut improved = false;
         for p in beam.iter_mut().filter(|p| p.simulated.is_none()).take(opts.sim_top.max(1)) {
-            if simulate_point(p).is_err() {
-                // A candidate that compiles but fails PnR/sim is dropped
-                // from contention; mark it so we do not retry.
-                p.estimate = None;
-                continue;
-            }
+            // A candidate that compiles but fails PnR/sim — or a backend
+            // that returns Ok without cycles — is recorded as a typed
+            // failure and dropped from contention, never a panic; the
+            // incumbent and the rest of the search survive.
+            let cycles = match eval.simulate(p) {
+                Ok(()) => match p.simulated {
+                    Some(c) => c,
+                    None => {
+                        sim_failures.push(SimFailure {
+                            key: p.knobs.key(),
+                            error: "backend returned Ok without simulated cycles".to_string(),
+                        });
+                        p.estimate = None;
+                        continue;
+                    }
+                },
+                Err(e) => {
+                    sim_failures.push(SimFailure { key: p.knobs.key(), error: e });
+                    p.estimate = None;
+                    continue;
+                }
+            };
             sims_run += 1;
-            let cycles = p.simulated.unwrap();
             model.observe(p.raw(), cycles);
             simulated.push(p.clone());
-            if cycles < incumbent.simulated.unwrap() {
+            if cycles < incumbent_cycles {
                 incumbent = p.clone();
+                incumbent_cycles = cycles;
                 improved = true;
                 dram_bound = p.dram_blocked_frac.unwrap_or(0.0) > 0.4;
             }
@@ -225,17 +303,17 @@ pub fn autotune(workload: &str, opts: &SearchOptions) -> Result<TuneOutcome, Str
     // there is the accuracy figure the report cites.
     simulated.sort_by(|a, b| {
         a.simulated
-            .unwrap()
-            .cmp(&b.simulated.unwrap())
+            .unwrap_or(u64::MAX)
+            .cmp(&b.simulated.unwrap_or(u64::MAX))
             .then_with(|| a.knobs.key().cmp(&b.knobs.key()))
     });
     simulated.dedup_by_key(|p| p.knobs.key());
     simulated.truncate(FRONTIER_LEN);
     let final_model =
-        CostModel::fit_minimax(simulated.iter().map(|p| (p.raw(), p.simulated.unwrap())));
+        CostModel::fit_minimax(simulated.iter().filter_map(|p| p.simulated.map(|s| (p.raw(), s))));
     let max_model_error = simulated
         .iter()
-        .map(|p| final_model.rel_error(p.raw(), p.simulated.unwrap()))
+        .filter_map(|p| p.simulated.map(|s| final_model.rel_error(p.raw(), s)))
         .fold(0.0, f64::max);
 
     Ok(TuneOutcome {
@@ -246,6 +324,7 @@ pub fn autotune(workload: &str, opts: &SearchOptions) -> Result<TuneOutcome, Str
         points_explored: explored,
         sims_run,
         infeasible_pruned,
+        sim_failures,
         rounds,
         model: final_model,
         max_model_error,
@@ -297,7 +376,10 @@ fn simulate_point(p: &mut EvalPoint) -> Result<(), String> {
         .map_err(|e| format!("pnr: {e}"))?;
     let out = plasticine_sim::simulate(&g, &chip, &plasticine_sim::SimConfig::profiled())
         .map_err(|e| format!("sim: {e}"))?;
-    let profile = out.profile.as_ref().expect("profiled config collects a profile");
+    let profile = out
+        .profile
+        .as_ref()
+        .ok_or_else(|| "sim: profiled config returned no profile".to_string())?;
     let total: u64 = profile.vcus.iter().map(|v| v.total_cycles()).sum();
     let dram: u64 = profile.vcus.iter().map(|v| v.stalled(StallReason::DramBlocked)).sum();
     p.simulated = Some(out.cycles);
@@ -430,7 +512,58 @@ mod tests {
         assert!(best <= default, "incumbent must never regress: {best} vs {default}");
         assert!(out.points_explored <= 12);
         assert!(out.sims_run >= 1);
+        assert!(out.sim_failures.is_empty());
         assert!(!out.frontier.is_empty());
         assert_eq!(out.frontier[0].simulated, out.best.simulated);
+    }
+
+    /// A backend that sabotages every non-default simulation, either by
+    /// returning a typed error or — worse — by lying: `Ok(())` with no
+    /// cycles filled in (what a buggy remote backend would do).
+    struct PlantedFailure {
+        default_key: String,
+        lie: bool,
+    }
+
+    impl Evaluator for PlantedFailure {
+        fn evaluate(&self, knobs: &KnobConfig) -> Result<EvalPoint, String> {
+            LocalEval.evaluate(knobs)
+        }
+
+        fn simulate(&self, point: &mut EvalPoint) -> Result<(), String> {
+            if point.knobs.key() == self.default_key {
+                return LocalEval.simulate(point);
+            }
+            if self.lie {
+                Ok(()) // planted: Ok but `simulated` stays None
+            } else {
+                Err("planted: sim exploded".to_string())
+            }
+        }
+    }
+
+    #[test]
+    fn planted_sim_failures_are_typed_outcomes_not_panics() {
+        let w = sara_workloads::by_name("dotprod").unwrap();
+        let default_key = KnobConfig::default_for(&w, "8x8", 42).unwrap().key();
+        for lie in [false, true] {
+            let backend = PlantedFailure { default_key: default_key.clone(), lie };
+            let opts = SearchOptions { budget: 12, sim_top: 2, ..SearchOptions::default() };
+            let out = autotune_with("dotprod", &opts, &backend).unwrap();
+            // Every candidate simulation failed, so the incumbent must be
+            // the (intact) default point and each failure recorded.
+            assert_eq!(out.best.knobs.key(), default_key, "incumbent lost (lie={lie})");
+            assert!(out.best.simulated.is_some());
+            assert!(!out.sim_failures.is_empty(), "failures must be recorded (lie={lie})");
+            for f in &out.sim_failures {
+                assert_ne!(f.key, default_key);
+                assert!(!f.error.is_empty());
+            }
+            // Failed points never leak into the frontier.
+            for p in &out.frontier {
+                assert!(p.simulated.is_some());
+            }
+            assert_eq!(out.sims_run, 1, "only the default sim succeeded (lie={lie})");
+        }
     }
 }

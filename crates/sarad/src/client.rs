@@ -1,0 +1,101 @@
+//! A blocking line-JSON client for the `sarad` socket protocol.
+
+use sara_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a running `sarad`.
+#[derive(Debug)]
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+/// True when a response line is terminal (exactly one per request).
+pub fn is_terminal(line: &Json) -> bool {
+    line.get("ok").is_some()
+        || line.get("error").is_some()
+        || line.get("event").and_then(Json::as_str) == Some("done")
+}
+
+impl Client {
+    /// Connect to the server socket.
+    ///
+    /// # Errors
+    ///
+    /// When the socket is absent or refuses the connection.
+    pub fn connect(socket: &Path) -> Result<Client, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+        let reader = BufReader::new(
+            stream.try_clone().map_err(|e| format!("cannot clone socket stream: {e}"))?,
+        );
+        Ok(Client { writer: stream, reader })
+    }
+
+    /// Send one request and collect every response line through the
+    /// terminal one (progress events first, terminal last).
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure or a malformed response line. A server-side
+    /// `{"error": ...}` terminal is returned as `Ok` — the caller
+    /// distinguishes protocol errors from transport errors.
+    pub fn request(&mut self, req: &Json) -> Result<Vec<Json>, String> {
+        let mut text = req.pretty().replace('\n', " ");
+        text.push('\n');
+        self.writer.write_all(text.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut lines = Vec::new();
+        loop {
+            let mut raw = String::new();
+            let n = self.reader.read_line(&mut raw).map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Err("connection closed before a terminal response".to_string());
+            }
+            if raw.trim().is_empty() {
+                continue;
+            }
+            let line = Json::parse(raw.trim()).map_err(|e| format!("bad response line: {e}"))?;
+            let terminal = is_terminal(&line);
+            lines.push(line);
+            if terminal {
+                return Ok(lines);
+            }
+        }
+    }
+
+    /// The terminal line of one request (progress events discarded).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the server's `error` field hoisted to `Err`.
+    pub fn call(&mut self, req: &Json) -> Result<Json, String> {
+        let lines = self.request(req)?;
+        let last = lines.last().ok_or("empty response")?;
+        if let Some(e) = last.get("error").and_then(Json::as_str) {
+            return Err(e.to_string());
+        }
+        Ok(last.clone())
+    }
+
+    /// Fetch the service stats counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failure.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        let resp = self.call(&Json::object().set("op", "stats"))?;
+        resp.get("stats").cloned().ok_or_else(|| "stats response missing counters".to_string())
+    }
+
+    /// Ask the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failure.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.call(&Json::object().set("op", "shutdown")).map(|_| ())
+    }
+}

@@ -1,0 +1,548 @@
+//! The service core: a staged compile → place → simulate pipeline where
+//! every stage is keyed by a stable content hash of its inputs and
+//! served from cache when possible.
+//!
+//! ## Key derivation
+//!
+//! ```text
+//! compile_key = H(domain, program_canon, options_canon, chip_name)
+//! place_key   = H(domain, compile_key, pnr_seed)
+//! sim_key     = H(domain, place_key, scheduler)
+//! ```
+//!
+//! Any change to any field of the request tuple changes exactly the
+//! stage keys downstream of it: a new PnR seed reuses the compile
+//! artifact but re-places; a scheduler change reuses the placement but
+//! re-simulates.
+//!
+//! ## Cache layers
+//!
+//! * **In-memory index** — full `Compiled` objects, placed graphs, and
+//!   sim artifacts (including *negative* entries: a compile or PnR
+//!   failure is cached as its error string, so a hopeless point is
+//!   never re-attempted).
+//! * **On-disk store** — placed VUDFGs and sim artifacts in the
+//!   [`Store`](crate::store::Store), content-verified at read time; a
+//!   hash mismatch counts as corruption and forces a recompute, never a
+//!   serve. Lowered VUDFGs are persisted too as the compile stage's
+//!   artifact of record.
+//!
+//! ## Single-flight
+//!
+//! Concurrent requests for the same stage key coalesce: one computes,
+//! the rest wait on the per-key flight lock and then read the fresh
+//! cache entry. The `coalesced` stat counts the waiters.
+
+use crate::store::{Store, StoreRead};
+use plasticine_sim::{SimConfig, SimOutcome};
+use sara_core::artifact::{
+    options_canon, program_canon, vudfg_from_json, vudfg_json, StableHasher,
+};
+use sara_core::compile::{compile, Compiled};
+use sara_core::profile::StallReason;
+use sara_core::report::bottleneck_summary;
+use sara_core::vudfg::Vudfg;
+use sara_dse::{estimate, EvalPoint, Evaluator, KnobConfig};
+use sara_util::Json;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Simulator scheduler selector — part of the sim-stage cache key
+/// (cycle counts are identical across the two, but the service proves
+/// that rather than assuming it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Wakeup-driven active-list scheduler (default).
+    Active,
+    /// Dense reference scheduler.
+    Dense,
+}
+
+impl Scheduler {
+    /// Stable protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheduler::Active => "active",
+            Scheduler::Dense => "dense",
+        }
+    }
+
+    /// Parse a protocol name.
+    ///
+    /// # Errors
+    ///
+    /// On anything other than `"active"` or `"dense"`.
+    pub fn parse(s: &str) -> Result<Scheduler, String> {
+        match s {
+            "active" => Ok(Scheduler::Active),
+            "dense" => Ok(Scheduler::Dense),
+            other => Err(format!("unknown scheduler {other:?} (active|dense)")),
+        }
+    }
+
+    /// Simulator configuration for this scheduler, with profiling on:
+    /// profiling never changes cycle counts and the profile scalars are
+    /// part of the sim artifact.
+    fn config(self) -> SimConfig {
+        SimConfig { profile: true, dense: self == Scheduler::Dense, ..SimConfig::default() }
+    }
+}
+
+/// The three stage keys derived from one request tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageKeys {
+    pub compile: String,
+    pub place: String,
+    pub sim: String,
+}
+
+/// Derive the stage keys for a knob configuration and scheduler.
+///
+/// # Errors
+///
+/// When the knobs name an unknown chip or cannot build a program.
+pub fn stage_keys(knobs: &KnobConfig, scheduler: Scheduler) -> Result<StageKeys, String> {
+    let program = knobs.build_program()?;
+    let chip = knobs.chip_spec()?;
+    let mut h = StableHasher::new();
+    h.str("sarad-compile-v1")
+        .str(&program_canon(&program))
+        .str(&options_canon(&knobs.compiler_options()))
+        .str(&chip.name());
+    let compile = h.hex();
+    let mut h = StableHasher::new();
+    h.str("sarad-place-v1").str(&compile).u64(knobs.pnr_seed);
+    let place = h.hex();
+    let mut h = StableHasher::new();
+    h.str("sarad-sim-v1").str(&place).str(scheduler.name());
+    Ok(StageKeys { compile, place, sim: h.hex() })
+}
+
+/// The cached result of one simulation stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArtifact {
+    /// Cycles to completion (bit-identical to a fresh run).
+    pub cycles: u64,
+    /// Total unit firings (cheap cross-check of bit-identity).
+    pub firings: u64,
+    /// Fraction of VCU cycles stalled on DRAM.
+    pub dram_blocked_frac: f64,
+    /// Human-readable bottleneck summary.
+    pub bottleneck: String,
+}
+
+impl SimArtifact {
+    fn from_outcome(out: &SimOutcome) -> Result<SimArtifact, String> {
+        let profile = out
+            .profile
+            .as_ref()
+            .ok_or_else(|| "sim: profiled run returned no profile".to_string())?;
+        let total: u64 = profile.vcus.iter().map(|v| v.total_cycles()).sum();
+        let dram: u64 = profile.vcus.iter().map(|v| v.stalled(StallReason::DramBlocked)).sum();
+        Ok(SimArtifact {
+            cycles: out.cycles,
+            firings: out.stats.firings,
+            dram_blocked_frac: if total == 0 { 0.0 } else { dram as f64 / total as f64 },
+            bottleneck: bottleneck_summary(profile, 3),
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("cycles", i64::try_from(self.cycles).unwrap_or(i64::MAX))
+            .set("firings", i64::try_from(self.firings).unwrap_or(i64::MAX))
+            .set("dram_blocked_frac", self.dram_blocked_frac)
+            .set("bottleneck", self.bottleneck.as_str())
+    }
+
+    fn from_json(v: &Json) -> Result<SimArtifact, String> {
+        Ok(SimArtifact {
+            cycles: v.get("cycles").and_then(Json::as_u64).ok_or("sim artifact: cycles")?,
+            firings: v.get("firings").and_then(Json::as_u64).ok_or("sim artifact: firings")?,
+            dram_blocked_frac: v
+                .get("dram_blocked_frac")
+                .and_then(Json::as_f64)
+                .ok_or("sim artifact: dram_blocked_frac")?,
+            bottleneck: v
+                .get("bottleneck")
+                .and_then(Json::as_str)
+                .ok_or("sim artifact: bottleneck")?
+                .to_string(),
+        })
+    }
+}
+
+/// Monotonic service counters. All atomics: read without locking.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub compile_hits: AtomicU64,
+    pub compile_misses: AtomicU64,
+    pub place_hits: AtomicU64,
+    pub place_misses: AtomicU64,
+    pub sim_hits: AtomicU64,
+    pub sim_misses: AtomicU64,
+    /// Real compiler invocations (the number the warm-autotune
+    /// acceptance test pins to zero on a repeat run).
+    pub compiles_run: AtomicU64,
+    pub pnrs_run: AtomicU64,
+    pub sims_run: AtomicU64,
+    /// On-disk artifacts served after hash verification.
+    pub disk_hits: AtomicU64,
+    /// On-disk artifacts that failed verification and were recomputed.
+    pub corrupt_detected: AtomicU64,
+    /// Requests that waited on another in-flight computation of the
+    /// same key instead of redoing the work.
+    pub coalesced: AtomicU64,
+    /// Requests rejected by queue backpressure (maintained by the
+    /// server front end).
+    pub rejected: AtomicU64,
+}
+
+impl Stats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render every counter.
+    pub fn json(&self) -> Json {
+        let g = |c: &AtomicU64| i64::try_from(c.load(Ordering::Relaxed)).unwrap_or(i64::MAX);
+        Json::object()
+            .set("compile_hits", g(&self.compile_hits))
+            .set("compile_misses", g(&self.compile_misses))
+            .set("place_hits", g(&self.place_hits))
+            .set("place_misses", g(&self.place_misses))
+            .set("sim_hits", g(&self.sim_hits))
+            .set("sim_misses", g(&self.sim_misses))
+            .set("compiles_run", g(&self.compiles_run))
+            .set("pnrs_run", g(&self.pnrs_run))
+            .set("sims_run", g(&self.sims_run))
+            .set("disk_hits", g(&self.disk_hits))
+            .set("corrupt_detected", g(&self.corrupt_detected))
+            .set("coalesced", g(&self.coalesced))
+            .set("rejected", g(&self.rejected))
+    }
+}
+
+/// Per-stage progress callback: `(stage, outcome)` where outcome is
+/// `"hit"`, `"disk-hit"`, or `"miss"`.
+pub type Progress<'a> = &'a mut dyn FnMut(&str, &str);
+
+/// A no-op progress sink.
+pub fn no_progress() -> impl FnMut(&str, &str) {
+    |_: &str, _: &str| {}
+}
+
+type CompileEntry = Result<Arc<Compiled>, String>;
+type PlaceEntry = Result<Arc<Vudfg>, String>;
+type SimEntry = Result<SimArtifact, String>;
+
+/// The cached pipeline engine shared by the socket server and the
+/// in-process [`CachedEval`] autotune backend.
+#[derive(Debug)]
+pub struct Engine {
+    store: Store,
+    compiled: Mutex<HashMap<String, CompileEntry>>,
+    placed: Mutex<HashMap<String, PlaceEntry>>,
+    sims: Mutex<HashMap<String, SimEntry>>,
+    flights: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Service counters (public: the server also bumps `rejected`).
+    pub stats: Stats,
+}
+
+impl Engine {
+    /// Open an engine with its artifact store rooted at `cache_dir`.
+    ///
+    /// # Errors
+    ///
+    /// When the cache directory cannot be created.
+    pub fn open(cache_dir: &Path) -> Result<Engine, String> {
+        Ok(Engine {
+            store: Store::open(cache_dir)?,
+            compiled: Mutex::new(HashMap::new()),
+            placed: Mutex::new(HashMap::new()),
+            sims: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+        })
+    }
+
+    /// The underlying artifact store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Acquire the per-key flight lock (creating it on first use).
+    fn flight(&self, key: &str) -> Arc<Mutex<()>> {
+        let mut flights = self.flights.lock().expect("flight registry poisoned");
+        flights.entry(key.to_string()).or_default().clone()
+    }
+
+    fn flight_done(&self, key: &str) {
+        self.flights.lock().expect("flight registry poisoned").remove(key);
+    }
+
+    /// Compile stage: lowered VUDFG + reports, keyed by
+    /// (program, options, chip). Failures are cached as errors so a
+    /// hopeless point never compiles twice.
+    ///
+    /// # Errors
+    ///
+    /// Setup failures (bad chip/knobs) and (cached) compile failures.
+    pub fn compile_stage(
+        &self,
+        knobs: &KnobConfig,
+        keys: &StageKeys,
+        progress: Progress,
+    ) -> Result<Arc<Compiled>, String> {
+        if let Some(entry) =
+            self.compiled.lock().expect("compile cache poisoned").get(&keys.compile)
+        {
+            Stats::bump(&self.stats.compile_hits);
+            progress("compile", "hit");
+            return entry.clone();
+        }
+        let fl = self.flight(&keys.compile);
+        let _g = fl.lock().expect("flight lock poisoned");
+        if let Some(entry) =
+            self.compiled.lock().expect("compile cache poisoned").get(&keys.compile)
+        {
+            Stats::bump(&self.stats.compile_hits);
+            Stats::bump(&self.stats.coalesced);
+            progress("compile", "hit");
+            return entry.clone();
+        }
+        Stats::bump(&self.stats.compile_misses);
+        progress("compile", "miss");
+        let entry: CompileEntry = (|| {
+            let program = knobs.build_program()?;
+            let chip = knobs.chip_spec()?;
+            Stats::bump(&self.stats.compiles_run);
+            let compiled = compile(&program, &chip, &knobs.compiler_options())
+                .map_err(|e| format!("compile: {e}"))?;
+            // Artifact of record: the lowered graph, content-addressed.
+            let payload = Json::object()
+                .set("vudfg", vudfg_json(&compiled.vudfg))
+                .set("pcus", compiled.report.pcus)
+                .set("pmus", compiled.report.pmus)
+                .set("ags", compiled.report.ags);
+            self.store.save("compile", &keys.compile, &payload)?;
+            Ok(Arc::new(compiled))
+        })();
+        self.compiled
+            .lock()
+            .expect("compile cache poisoned")
+            .insert(keys.compile.clone(), entry.clone());
+        self.flight_done(&keys.compile);
+        entry
+    }
+
+    /// Place stage: PnR'd VUDFG keyed by (compile_key, pnr_seed).
+    /// Served from memory, then from the verified disk store, then
+    /// recomputed (via the compile stage).
+    ///
+    /// # Errors
+    ///
+    /// Setup failures plus (cached) compile/PnR failures.
+    pub fn place_stage(
+        &self,
+        knobs: &KnobConfig,
+        keys: &StageKeys,
+        progress: Progress,
+    ) -> Result<Arc<Vudfg>, String> {
+        if let Some(entry) = self.placed.lock().expect("place cache poisoned").get(&keys.place) {
+            Stats::bump(&self.stats.place_hits);
+            progress("place", "hit");
+            return entry.clone();
+        }
+        let fl = self.flight(&keys.place);
+        let _g = fl.lock().expect("flight lock poisoned");
+        if let Some(entry) = self.placed.lock().expect("place cache poisoned").get(&keys.place) {
+            Stats::bump(&self.stats.place_hits);
+            Stats::bump(&self.stats.coalesced);
+            progress("place", "hit");
+            return entry.clone();
+        }
+        // Disk: a placed graph from a previous service run replays
+        // without recompiling or re-placing.
+        match self.store.load("place", &keys.place) {
+            StoreRead::Hit(payload) => {
+                if let Ok(g) = vudfg_from_json(&payload) {
+                    let entry: PlaceEntry = Ok(Arc::new(g));
+                    Stats::bump(&self.stats.place_hits);
+                    Stats::bump(&self.stats.disk_hits);
+                    progress("place", "disk-hit");
+                    self.placed
+                        .lock()
+                        .expect("place cache poisoned")
+                        .insert(keys.place.clone(), entry.clone());
+                    self.flight_done(&keys.place);
+                    return entry;
+                }
+                // Verified envelope but undecodable payload: treat as
+                // corruption and fall through to recompute.
+                Stats::bump(&self.stats.corrupt_detected);
+            }
+            StoreRead::Corrupt(_) => Stats::bump(&self.stats.corrupt_detected),
+            StoreRead::Miss => {}
+        }
+        Stats::bump(&self.stats.place_misses);
+        progress("place", "miss");
+        let entry: PlaceEntry = (|| {
+            let compiled = self.compile_stage(knobs, keys, progress)?;
+            let chip = knobs.chip_spec()?;
+            let mut g = compiled.vudfg.clone();
+            Stats::bump(&self.stats.pnrs_run);
+            sara_pnr::place_and_route(&mut g, &compiled.assignment, &chip, knobs.pnr_seed)
+                .map_err(|e| format!("pnr: {e}"))?;
+            self.store.save("place", &keys.place, &vudfg_json(&g))?;
+            Ok(Arc::new(g))
+        })();
+        self.placed.lock().expect("place cache poisoned").insert(keys.place.clone(), entry.clone());
+        self.flight_done(&keys.place);
+        entry
+    }
+
+    /// Sim stage: cycles + profile scalars keyed by
+    /// (place_key, scheduler). Cached sim results are bit-identical to
+    /// fresh computation (`tests/cache.rs` proves it for both
+    /// schedulers).
+    ///
+    /// # Errors
+    ///
+    /// Setup failures plus (cached) compile/PnR/sim failures.
+    pub fn sim_stage(
+        &self,
+        knobs: &KnobConfig,
+        scheduler: Scheduler,
+        keys: &StageKeys,
+        progress: Progress,
+    ) -> Result<SimArtifact, String> {
+        if let Some(entry) = self.sims.lock().expect("sim cache poisoned").get(&keys.sim) {
+            Stats::bump(&self.stats.sim_hits);
+            progress("sim", "hit");
+            return entry.clone();
+        }
+        let fl = self.flight(&keys.sim);
+        let _g = fl.lock().expect("flight lock poisoned");
+        if let Some(entry) = self.sims.lock().expect("sim cache poisoned").get(&keys.sim) {
+            Stats::bump(&self.stats.sim_hits);
+            Stats::bump(&self.stats.coalesced);
+            progress("sim", "hit");
+            return entry.clone();
+        }
+        match self.store.load("sim", &keys.sim) {
+            StoreRead::Hit(payload) => {
+                if let Ok(art) = SimArtifact::from_json(&payload) {
+                    Stats::bump(&self.stats.sim_hits);
+                    Stats::bump(&self.stats.disk_hits);
+                    progress("sim", "disk-hit");
+                    self.sims
+                        .lock()
+                        .expect("sim cache poisoned")
+                        .insert(keys.sim.clone(), Ok(art.clone()));
+                    self.flight_done(&keys.sim);
+                    return Ok(art);
+                }
+                Stats::bump(&self.stats.corrupt_detected);
+            }
+            StoreRead::Corrupt(_) => Stats::bump(&self.stats.corrupt_detected),
+            StoreRead::Miss => {}
+        }
+        Stats::bump(&self.stats.sim_misses);
+        progress("sim", "miss");
+        let entry: SimEntry = (|| {
+            let g = self.place_stage(knobs, keys, progress)?;
+            let chip = knobs.chip_spec()?;
+            Stats::bump(&self.stats.sims_run);
+            let out = plasticine_sim::simulate(&g, &chip, &scheduler.config())
+                .map_err(|e| format!("sim: {e}"))?;
+            let art = SimArtifact::from_outcome(&out)?;
+            self.store.save("sim", &keys.sim, &art.to_json())?;
+            Ok(art)
+        })();
+        self.sims.lock().expect("sim cache poisoned").insert(keys.sim.clone(), entry.clone());
+        self.flight_done(&keys.sim);
+        entry
+    }
+
+    /// Run the full pipeline for one request tuple.
+    ///
+    /// # Errors
+    ///
+    /// Any stage failure (possibly served from the negative cache).
+    pub fn run(
+        &self,
+        knobs: &KnobConfig,
+        scheduler: Scheduler,
+        progress: Progress,
+    ) -> Result<(StageKeys, SimArtifact), String> {
+        let keys = stage_keys(knobs, scheduler)?;
+        let art = self.sim_stage(knobs, scheduler, &keys, progress)?;
+        Ok((keys, art))
+    }
+}
+
+/// The cached [`Evaluator`] backend: `sara-dse` autotune served by an
+/// [`Engine`], making a warm autotune run skip every repeated
+/// compilation (see `tests/cache.rs`).
+#[derive(Debug, Clone)]
+pub struct CachedEval {
+    engine: Arc<Engine>,
+}
+
+impl CachedEval {
+    /// Wrap an engine.
+    pub fn new(engine: Arc<Engine>) -> CachedEval {
+        CachedEval { engine }
+    }
+
+    /// The shared engine (for stats inspection).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+}
+
+impl Evaluator for CachedEval {
+    fn evaluate(&self, knobs: &KnobConfig) -> Result<EvalPoint, String> {
+        // Same contract as `LocalEval`: setup failures are `Err`, a
+        // compile failure is an infeasible point.
+        let chip = knobs.chip_spec()?;
+        let program = knobs.build_program()?;
+        let keys = stage_keys(knobs, Scheduler::Active)?;
+        let mut sink = no_progress();
+        match self.engine.compile_stage(knobs, &keys, &mut sink) {
+            Ok(compiled) => {
+                let r = compiled.report;
+                Ok(EvalPoint {
+                    estimate: Some(estimate(&program, &compiled, &chip)),
+                    report: Some(r),
+                    feasible: chip.can_fit(r.pcus as u32, r.pmus as u32, r.ags as u32),
+                    knobs: knobs.clone(),
+                    simulated: None,
+                    dram_blocked_frac: None,
+                    bottleneck: None,
+                })
+            }
+            Err(_) => Ok(EvalPoint {
+                knobs: knobs.clone(),
+                estimate: None,
+                report: None,
+                feasible: false,
+                simulated: None,
+                dram_blocked_frac: None,
+                bottleneck: None,
+            }),
+        }
+    }
+
+    fn simulate(&self, point: &mut EvalPoint) -> Result<(), String> {
+        let mut sink = no_progress();
+        let (_, art) = self.engine.run(&point.knobs, Scheduler::Active, &mut sink)?;
+        point.simulated = Some(art.cycles);
+        point.dram_blocked_frac = Some(art.dram_blocked_frac);
+        point.bottleneck = Some(art.bottleneck);
+        Ok(())
+    }
+}

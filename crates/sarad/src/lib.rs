@@ -1,0 +1,35 @@
+//! # sarad
+//!
+//! The persistent compile-and-simulate service for the SARA stack. The
+//! compiler pipeline (lower → CMMC → partition → PnR → simulate) is
+//! deterministic in its inputs, and heavy clients — the DSE autotuner,
+//! the sweep harness — issue thousands of near-identical requests that
+//! differ in a knob or two. `sarad` exploits that shape:
+//!
+//! * [`engine`] — the staged pipeline with content-addressed caching:
+//!   every stage output is keyed by a stable hash of its inputs
+//!   (program text, compiler options, chip, PnR seed, scheduler) and
+//!   served from an in-memory index or the verified on-disk store.
+//!   Identical in-flight requests coalesce (single-flight).
+//!   [`engine::CachedEval`] plugs the engine into `sara-dse` as an
+//!   [`Evaluator`](sara_dse::Evaluator) backend, so a cache-warm
+//!   autotune run performs **zero** recompilations for repeated
+//!   (program, flags, chip, seed) tuples.
+//! * [`store`] — one JSON artifact per (stage, key) with a payload
+//!   content hash checked at read time: corruption is detected and
+//!   recomputed, never served.
+//! * [`server`] / [`client`] — newline-delimited JSON over a Unix
+//!   domain socket, a bounded connection queue with typed
+//!   backpressure rejection, per-stage progress events, and a stats
+//!   report (`sarac --server` / `sarac --connect` wire these into the
+//!   compiler driver).
+
+pub mod client;
+pub mod engine;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use engine::{stage_keys, CachedEval, Engine, Scheduler, SimArtifact, StageKeys};
+pub use server::{serve, serve_with, ServerOptions};
+pub use store::{Store, StoreRead};

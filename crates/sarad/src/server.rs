@@ -1,0 +1,299 @@
+//! The socket front end: newline-delimited JSON over a Unix domain
+//! socket, a bounded connection queue feeding a worker pool, and typed
+//! backpressure rejection when the queue is full.
+//!
+//! ## Protocol
+//!
+//! Each request is one JSON object on one line; the server answers with
+//! zero or more *progress* lines (`{"event":"stage",...}`) followed by
+//! exactly one *terminal* line: `{"ok":...}`, `{"event":"done",...}`,
+//! or `{"error":...}`. Ops:
+//!
+//! | op         | fields                                               |
+//! |------------|------------------------------------------------------|
+//! | `ping`     | —                                                    |
+//! | `run`      | `knobs` (knob JSON) *or* `workload`/`chip`/`pnr_seed`; optional `scheduler` (`active`\|`dense`) |
+//! | `autotune` | `workload`; optional `budget`, `seed`, `chip`        |
+//! | `stats`    | —                                                    |
+//! | `delay`    | `ms` — occupies a worker (deterministic backpressure tests) |
+//! | `shutdown` | —                                                    |
+
+use crate::engine::{stage_keys, CachedEval, Engine, Scheduler};
+use sara_dse::{autotune_with, speedup, KnobConfig, SearchOptions};
+use sara_util::pool::{JobQueue, PushError};
+use sara_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Unix socket path (any stale file is replaced).
+    pub socket: PathBuf,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Bounded connection-queue capacity; beyond it, connections get a
+    /// typed `busy` rejection instead of unbounded buffering.
+    pub queue: usize,
+    /// Artifact-store directory.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        let tmp = std::env::temp_dir();
+        ServerOptions {
+            socket: tmp.join("sarad.sock"),
+            workers: 2,
+            queue: 16,
+            cache_dir: tmp.join("sarad-cache"),
+        }
+    }
+}
+
+/// Run the service until a `shutdown` request arrives.
+///
+/// # Errors
+///
+/// When the socket cannot be bound or the cache directory created.
+pub fn serve(opts: &ServerOptions) -> Result<(), String> {
+    let engine = Arc::new(Engine::open(&opts.cache_dir)?);
+    serve_with(opts, engine)
+}
+
+/// [`serve`] over a caller-provided engine (lets tests inspect stats
+/// from the same process).
+///
+/// # Errors
+///
+/// When the socket cannot be bound.
+pub fn serve_with(opts: &ServerOptions, engine: Arc<Engine>) -> Result<(), String> {
+    let _ = std::fs::remove_file(&opts.socket);
+    let listener = UnixListener::bind(&opts.socket)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.socket.display()))?;
+    let queue: Arc<JobQueue<UnixStream>> = Arc::new(JobQueue::bounded(opts.queue.max(1)));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = (0..opts.workers.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let socket = opts.socket.clone();
+            std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    handle_connection(stream, &engine, &stop, &socket);
+                }
+            })
+        })
+        .collect();
+
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        match queue.try_push(stream) {
+            Ok(()) => {}
+            Err((mut stream, reason @ PushError::Full { .. })) => {
+                // Bounded-queue backpressure: shed the connection with a
+                // typed rejection instead of buffering without bound.
+                engine.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                write_line(
+                    &mut stream,
+                    &Json::object()
+                        .set("error", format!("busy: {reason}"))
+                        .set("code", "backpressure"),
+                );
+            }
+            Err((_, PushError::Closed)) => break,
+        }
+    }
+
+    queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_file(&opts.socket);
+    Ok(())
+}
+
+fn write_line(stream: &mut UnixStream, doc: &Json) {
+    let mut text = doc.pretty().replace('\n', " ");
+    text.push('\n');
+    let _ = stream.write_all(text.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_line(msg: &str) -> Json {
+    Json::object().set("error", msg)
+}
+
+fn handle_connection(
+    stream: UnixStream,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    socket: &Path,
+) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut out = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Json::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                write_line(&mut out, &error_line(&format!("bad request: {e}")));
+                continue;
+            }
+        };
+        let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+        match op {
+            "ping" => write_line(&mut out, &Json::object().set("ok", true).set("service", "sarad")),
+            "stats" => write_line(
+                &mut out,
+                &Json::object().set("ok", true).set("stats", engine.stats.json()),
+            ),
+            "run" => handle_run(&req, engine, &mut out),
+            "autotune" => handle_autotune(&req, engine, &mut out),
+            "delay" => {
+                let ms = req.get("ms").and_then(Json::as_u64).unwrap_or(0).min(10_000);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                write_line(&mut out, &Json::object().set("ok", true));
+            }
+            "shutdown" => {
+                stop.store(true, Ordering::SeqCst);
+                write_line(&mut out, &Json::object().set("ok", true).set("stopping", true));
+                // The accept loop is blocked in `accept()`; a self-
+                // connection wakes it so it can observe the stop flag.
+                let _ = UnixStream::connect(socket);
+                return;
+            }
+            other => write_line(&mut out, &error_line(&format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// Decode the request's knob configuration: either a full `knobs`
+/// object (the replayable `sara-dse-knobs-v1` artifact) or a
+/// `workload`/`chip`/`pnr_seed` triple resolved to default knobs.
+fn request_knobs(req: &Json) -> Result<KnobConfig, String> {
+    if let Some(k) = req.get("knobs") {
+        return KnobConfig::from_json(k);
+    }
+    let workload =
+        req.get("workload").and_then(Json::as_str).ok_or("run: need \"knobs\" or \"workload\"")?;
+    let w = sara_workloads::by_name(workload)
+        .ok_or_else(|| format!("unknown workload {workload:?}"))?;
+    let chip = req.get("chip").and_then(Json::as_str).unwrap_or("8x8");
+    let seed = req.get("pnr_seed").and_then(Json::as_u64).unwrap_or(7);
+    KnobConfig::default_for(&w, chip, seed)
+}
+
+fn handle_run(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
+    let scheduler =
+        match Scheduler::parse(req.get("scheduler").and_then(Json::as_str).unwrap_or("active")) {
+            Ok(s) => s,
+            Err(e) => return write_line(out, &error_line(&e)),
+        };
+    let knobs = match request_knobs(req) {
+        Ok(k) => k,
+        Err(e) => return write_line(out, &error_line(&e)),
+    };
+    let keys = match stage_keys(&knobs, scheduler) {
+        Ok(k) => k,
+        Err(e) => return write_line(out, &error_line(&e)),
+    };
+    // Stream per-stage progress events as the pipeline advances.
+    let mut progress = |stage: &str, outcome: &str| {
+        // The event writes share `out` with the terminal line; a clone
+        // of the stream writes to the same socket.
+        if let Ok(mut ev) = out.try_clone() {
+            write_line(
+                &mut ev,
+                &Json::object().set("event", "stage").set("stage", stage).set("cache", outcome),
+            );
+        }
+    };
+    match engine.sim_stage(&knobs, scheduler, &keys, &mut progress) {
+        Ok(art) => write_line(
+            out,
+            &Json::object()
+                .set("event", "done")
+                .set("cycles", i64::try_from(art.cycles).unwrap_or(i64::MAX))
+                .set("firings", i64::try_from(art.firings).unwrap_or(i64::MAX))
+                .set("dram_blocked_frac", art.dram_blocked_frac)
+                .set("bottleneck", art.bottleneck.as_str())
+                .set(
+                    "keys",
+                    Json::object()
+                        .set("compile", keys.compile.as_str())
+                        .set("place", keys.place.as_str())
+                        .set("sim", keys.sim.as_str()),
+                ),
+        ),
+        Err(e) => write_line(out, &error_line(&e)),
+    }
+}
+
+fn handle_autotune(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
+    let Some(workload) = req.get("workload").and_then(Json::as_str) else {
+        return write_line(out, &error_line("autotune: missing \"workload\""));
+    };
+    let opts = SearchOptions {
+        budget: req.get("budget").and_then(Json::as_u64).unwrap_or(24) as usize,
+        pnr_seed: req.get("seed").and_then(Json::as_u64).unwrap_or(42),
+        chip: req.get("chip").and_then(Json::as_str).unwrap_or("8x8").to_string(),
+        ..SearchOptions::default()
+    };
+    let backend = CachedEval::new(Arc::clone(engine));
+    match autotune_with(workload, &opts, &backend) {
+        Ok(outcome) => write_line(
+            out,
+            &Json::object()
+                .set("event", "done")
+                .set("workload", workload)
+                .set(
+                    "default_cycles",
+                    i64::try_from(outcome.default_point.simulated.unwrap_or(0)).unwrap_or(i64::MAX),
+                )
+                .set(
+                    "best_cycles",
+                    i64::try_from(outcome.best.simulated.unwrap_or(0)).unwrap_or(i64::MAX),
+                )
+                .set("speedup", speedup(&outcome))
+                .set("points_explored", outcome.points_explored)
+                .set("sims_run", outcome.sims_run)
+                .set("sim_failures", outcome.sim_failures.len())
+                .set("best_knobs", outcome.best.knobs.to_json())
+                .set("stats", engine.stats.json()),
+        ),
+        Err(e) => write_line(out, &error_line(&e)),
+    }
+}
+
+/// Default socket path for CLI wiring: `$SARAD_SOCKET` or
+/// `<tmp>/sarad.sock`.
+pub fn default_socket() -> PathBuf {
+    std::env::var_os("SARAD_SOCKET")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("sarad.sock"))
+}
+
+/// Default cache directory: `$SARAD_CACHE_DIR` or `<tmp>/sarad-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("SARAD_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("sarad-cache"))
+}
+
+/// Best-effort removal of a stale socket file (used by tests).
+pub fn cleanup_socket(path: &Path) {
+    let _ = std::fs::remove_file(path);
+}

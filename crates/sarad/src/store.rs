@@ -1,0 +1,157 @@
+//! The on-disk artifact store: one JSON file per (stage, content key),
+//! wrapped in an envelope that records the payload's own content hash so
+//! corruption (truncation, bit rot, concurrent writer damage) is
+//! *detected at read time* and turned into a recompute — a corrupted
+//! artifact is never served.
+
+use sara_core::artifact::stable_hash_hex;
+use sara_util::Json;
+use std::path::{Path, PathBuf};
+
+/// Envelope format tag, bumped on breaking layout changes (old files
+/// then read as corrupt → recompute, a safe miss).
+pub const STORE_FORMAT: &str = "sarad-artifact-v1";
+
+/// Outcome of a store lookup.
+#[derive(Debug)]
+pub enum StoreRead {
+    /// Verified payload.
+    Hit(Json),
+    /// No artifact on disk for this key.
+    Miss,
+    /// An artifact exists but failed verification (parse error, envelope
+    /// mismatch, or payload-hash mismatch); the caller must recompute
+    /// and overwrite.
+    Corrupt(String),
+}
+
+/// A directory of stage-keyed artifacts (`<dir>/<stage>/<key>.json`).
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// When the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<Store, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create cache dir {}: {e}", dir.display()))?;
+        Ok(Store { dir: dir.to_path_buf() })
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the artifact for `(stage, key)`.
+    pub fn path(&self, stage: &str, key: &str) -> PathBuf {
+        self.dir.join(stage).join(format!("{key}.json"))
+    }
+
+    /// Look up and verify an artifact.
+    pub fn load(&self, stage: &str, key: &str) -> StoreRead {
+        let path = self.path(stage, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return StoreRead::Miss,
+            Err(e) => return StoreRead::Corrupt(format!("read {}: {e}", path.display())),
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => return StoreRead::Corrupt(format!("parse {}: {e}", path.display())),
+        };
+        let envelope_ok = doc.get("format").and_then(Json::as_str) == Some(STORE_FORMAT)
+            && doc.get("stage").and_then(Json::as_str) == Some(stage)
+            && doc.get("key").and_then(Json::as_str) == Some(key);
+        if !envelope_ok {
+            return StoreRead::Corrupt(format!("envelope mismatch in {}", path.display()));
+        }
+        let (Some(stored), Some(payload)) =
+            (doc.get("payload_hash").and_then(Json::as_str), doc.get("payload"))
+        else {
+            return StoreRead::Corrupt(format!("missing payload in {}", path.display()));
+        };
+        let actual = stable_hash_hex(payload.pretty().as_bytes());
+        if actual != stored {
+            return StoreRead::Corrupt(format!(
+                "payload hash mismatch in {} ({actual} != {stored})",
+                path.display()
+            ));
+        }
+        StoreRead::Hit(payload.clone())
+    }
+
+    /// Write (or overwrite) an artifact. The write goes through a
+    /// temporary file + rename so a crash mid-write leaves either the
+    /// old artifact or none — never a torn one that would read as
+    /// corrupt forever.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of the failing filesystem operation.
+    pub fn save(&self, stage: &str, key: &str, payload: &Json) -> Result<PathBuf, String> {
+        let path = self.path(stage, key);
+        let parent = path.parent().expect("store paths always have a stage directory");
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        let doc = Json::object()
+            .set("format", STORE_FORMAT)
+            .set("stage", stage)
+            .set("key", key)
+            .set("payload_hash", stable_hash_hex(payload.pretty().as_bytes()))
+            .set("payload", payload.clone());
+        let tmp = parent.join(format!(".{key}.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, doc.pretty())
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("sarad-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn round_trips_and_verifies() {
+        let s = tmp_store("rt");
+        let payload = Json::object().set("cycles", 1234).set("note", "x");
+        s.save("sim", "k1", &payload).unwrap();
+        match s.load("sim", "k1") {
+            StoreRead::Hit(p) => assert_eq!(p.pretty(), payload.pretty()),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(s.load("sim", "other"), StoreRead::Miss));
+        assert!(matches!(s.load("place", "k1"), StoreRead::Miss));
+    }
+
+    #[test]
+    fn tampered_payload_reads_as_corrupt() {
+        let s = tmp_store("tamper");
+        let payload = Json::object().set("cycles", 1234);
+        let path = s.save("sim", "k2", &payload).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Valid JSON, wrong content: only the payload hash can catch it.
+        std::fs::write(&path, text.replace("1234", "9999")).unwrap();
+        assert!(matches!(s.load("sim", "k2"), StoreRead::Corrupt(_)));
+        // Truncation is caught too.
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(s.load("sim", "k2"), StoreRead::Corrupt(_)));
+        // Recompute path: overwriting heals the entry.
+        s.save("sim", "k2", &payload).unwrap();
+        assert!(matches!(s.load("sim", "k2"), StoreRead::Hit(_)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Cache-correctness acceptance for the `sarad` engine:
+//!
+//! * same request twice → bit-identical artifacts + a cache hit;
+//! * any single field of the key tuple changed → a miss (distinct keys);
+//! * corrupted on-disk artifact → detected by hash mismatch and
+//!   recomputed, never served;
+//! * served cached sim results bit-identical to fresh computation under
+//!   both schedulers;
+//! * cache-warm autotune repeat → zero recompilations, verified via the
+//!   service hit/miss stats.
+
+use plasticine_arch::ChipSpec;
+use sara_dse::{autotune_with, KnobConfig, SearchOptions};
+use sarad::engine::no_progress;
+use sarad::{stage_keys, CachedEval, Engine, Scheduler};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sarad-cache-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn knobs_for(workload: &str, chip: &str, seed: u64) -> KnobConfig {
+    let w = sara_workloads::by_name(workload).unwrap();
+    KnobConfig::default_for(&w, chip, seed).unwrap()
+}
+
+#[test]
+fn repeat_request_hits_and_serves_bit_identical_results() {
+    let engine = Engine::open(&tmp_dir("repeat")).unwrap();
+    let knobs = knobs_for("dotprod", "8x8", 7);
+
+    for scheduler in [Scheduler::Active, Scheduler::Dense] {
+        let mut sink = no_progress();
+        let (keys_a, art_a) = engine.run(&knobs, scheduler, &mut sink).unwrap();
+        let hits_before = engine.stats.sim_hits.load(Ordering::Relaxed);
+        let sims_before = engine.stats.sims_run.load(Ordering::Relaxed);
+        let (keys_b, art_b) = engine.run(&knobs, scheduler, &mut sink).unwrap();
+        assert_eq!(keys_a, keys_b);
+        assert_eq!(art_a, art_b, "cached artifact must be bit-identical");
+        assert_eq!(
+            engine.stats.sim_hits.load(Ordering::Relaxed),
+            hits_before + 1,
+            "second identical request must be a sim-stage hit"
+        );
+        assert_eq!(
+            engine.stats.sims_run.load(Ordering::Relaxed),
+            sims_before,
+            "second identical request must not re-simulate"
+        );
+
+        // Bit-identity against a fresh, cacheless computation.
+        let chip = ChipSpec::small_8x8();
+        let opts = knobs.compiler_options();
+        let mut compiled =
+            sara_core::compile::compile(&knobs.build_program().unwrap(), &chip, &opts).unwrap();
+        sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, 7).unwrap();
+        let cfg = plasticine_sim::SimConfig {
+            dense: scheduler == Scheduler::Dense,
+            ..plasticine_sim::SimConfig::default()
+        };
+        let fresh = plasticine_sim::simulate(&compiled.vudfg, &chip, &cfg).unwrap();
+        assert_eq!(art_a.cycles, fresh.cycles, "cached cycles != fresh ({scheduler:?})");
+        assert_eq!(art_a.firings, fresh.stats.firings, "cached firings != fresh ({scheduler:?})");
+    }
+}
+
+#[test]
+fn any_single_key_field_change_is_a_miss() {
+    let base = knobs_for("dotprod", "8x8", 7);
+    let base_keys = stage_keys(&base, Scheduler::Active).unwrap();
+
+    // Different workload (program text).
+    let other_workload = knobs_for("gemm", "8x8", 7);
+    // Different chip.
+    let other_chip = knobs_for("dotprod", "16x8", 7);
+    // Different PnR seed.
+    let other_seed = knobs_for("dotprod", "8x8", 8);
+    // Different optimization flag.
+    let mut other_flag = base.clone();
+    other_flag.opt.retime = !other_flag.opt.retime;
+    // Different par knob (where the loop admits one).
+    let mut other_par = base.clone();
+    other_par.pars[0].par = other_par.pars[0].par.saturating_mul(2).max(2);
+
+    for (what, k) in [
+        ("workload", &other_workload),
+        ("chip", &other_chip),
+        ("flag", &other_flag),
+        ("par", &other_par),
+    ] {
+        let keys = stage_keys(k, Scheduler::Active).unwrap();
+        assert_ne!(keys.sim, base_keys.sim, "{what}: sim key must change");
+        assert_ne!(keys.place, base_keys.place, "{what}: place key must change");
+        assert_ne!(keys.compile, base_keys.compile, "{what}: compile key must change");
+    }
+
+    // A seed change invalidates place/sim but reuses the compile stage.
+    let seed_keys = stage_keys(&other_seed, Scheduler::Active).unwrap();
+    assert_eq!(seed_keys.compile, base_keys.compile, "seed must not invalidate the compile");
+    assert_ne!(seed_keys.place, base_keys.place);
+    assert_ne!(seed_keys.sim, base_keys.sim);
+
+    // A scheduler change invalidates only the sim stage.
+    let dense_keys = stage_keys(&base, Scheduler::Dense).unwrap();
+    assert_eq!(dense_keys.compile, base_keys.compile);
+    assert_eq!(dense_keys.place, base_keys.place);
+    assert_ne!(dense_keys.sim, base_keys.sim);
+}
+
+#[test]
+fn corrupted_disk_artifact_is_detected_and_recomputed_never_served() {
+    let dir = tmp_dir("corrupt");
+    let knobs = knobs_for("dotprod", "8x8", 7);
+    let keys = stage_keys(&knobs, Scheduler::Active).unwrap();
+
+    let art = {
+        let engine = Engine::open(&dir).unwrap();
+        let mut sink = no_progress();
+        engine.run(&knobs, Scheduler::Active, &mut sink).unwrap().1
+    };
+
+    // Tamper with the sim artifact on disk: valid JSON, wrong cycles.
+    let path = dir.join("sim").join(format!("{}.json", keys.sim));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let bogus = format!("{}9", art.cycles); // definitely a different number
+    std::fs::write(&path, text.replace(&art.cycles.to_string(), &bogus)).unwrap();
+
+    // A fresh engine (empty in-memory index, same disk store) must not
+    // serve the tampered value: hash mismatch → recompute.
+    let engine = Engine::open(&dir).unwrap();
+    let mut sink = no_progress();
+    let (_, art2) = engine.run(&knobs, Scheduler::Active, &mut sink).unwrap();
+    assert_eq!(art2, art, "recomputed artifact must match the original, not the tampered file");
+    assert!(
+        engine.stats.corrupt_detected.load(Ordering::Relaxed) >= 1,
+        "corruption must be counted"
+    );
+    assert_eq!(engine.stats.sims_run.load(Ordering::Relaxed), 1, "must recompute, not serve");
+
+    // The recompute healed the artifact: a third engine reads it from
+    // disk without simulating at all.
+    let engine3 = Engine::open(&dir).unwrap();
+    let mut sink = no_progress();
+    let (_, art3) = engine3.run(&knobs, Scheduler::Active, &mut sink).unwrap();
+    assert_eq!(art3, art);
+    assert_eq!(engine3.stats.sims_run.load(Ordering::Relaxed), 0);
+    assert!(engine3.stats.disk_hits.load(Ordering::Relaxed) >= 1);
+}
+
+#[test]
+fn placed_artifact_replays_from_disk_without_recompiling() {
+    let dir = tmp_dir("replay");
+    let knobs = knobs_for("gemm", "8x8", 7);
+    {
+        let engine = Engine::open(&dir).unwrap();
+        let mut sink = no_progress();
+        engine.run(&knobs, Scheduler::Active, &mut sink).unwrap();
+        assert_eq!(engine.stats.compiles_run.load(Ordering::Relaxed), 1);
+    }
+    // New process (fresh memory): a dense-scheduler request needs the
+    // placement but not the compiler — the placed graph replays from the
+    // verified store.
+    let engine = Engine::open(&dir).unwrap();
+    let mut sink = no_progress();
+    engine.run(&knobs, Scheduler::Dense, &mut sink).unwrap();
+    assert_eq!(engine.stats.compiles_run.load(Ordering::Relaxed), 0, "no recompile");
+    assert_eq!(engine.stats.pnrs_run.load(Ordering::Relaxed), 0, "no re-place");
+    assert_eq!(engine.stats.sims_run.load(Ordering::Relaxed), 1, "dense sim is new");
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_to_one_simulation() {
+    let engine = Arc::new(Engine::open(&tmp_dir("flight")).unwrap());
+    let knobs = knobs_for("dotprod", "8x8", 7);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let engine = Arc::clone(&engine);
+            let knobs = knobs.clone();
+            scope.spawn(move || {
+                let mut sink = no_progress();
+                engine.run(&knobs, Scheduler::Active, &mut sink).unwrap();
+            });
+        }
+    });
+    assert_eq!(
+        engine.stats.sims_run.load(Ordering::Relaxed),
+        1,
+        "single-flight: identical in-flight requests must share one simulation"
+    );
+    assert_eq!(engine.stats.compiles_run.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn warm_autotune_repeat_runs_zero_recompilations() {
+    let engine = Arc::new(Engine::open(&tmp_dir("autotune")).unwrap());
+    let backend = CachedEval::new(Arc::clone(&engine));
+    let opts = SearchOptions { budget: 12, sim_top: 2, ..SearchOptions::default() };
+
+    let cold = autotune_with("dotprod", &opts, &backend).unwrap();
+    let compiles_after_cold = engine.stats.compiles_run.load(Ordering::Relaxed);
+    let sims_after_cold = engine.stats.sims_run.load(Ordering::Relaxed);
+    assert!(compiles_after_cold >= 1);
+
+    // The warm repeat: identical (program, flags, chip, seed) tuples
+    // throughout, so the service must not compile or simulate anything.
+    let warm = autotune_with("dotprod", &opts, &backend).unwrap();
+    assert_eq!(
+        engine.stats.compiles_run.load(Ordering::Relaxed),
+        compiles_after_cold,
+        "cache-warm autotune must perform zero recompilations"
+    );
+    assert_eq!(
+        engine.stats.sims_run.load(Ordering::Relaxed),
+        sims_after_cold,
+        "cache-warm autotune must perform zero new simulations"
+    );
+    assert!(
+        engine.stats.compile_hits.load(Ordering::Relaxed) > 0
+            && engine.stats.sim_hits.load(Ordering::Relaxed) > 0,
+        "the hit counters are the stats report the acceptance criterion cites"
+    );
+
+    // Determinism: the warm run reproduces the cold run's result.
+    assert_eq!(cold.best.simulated, warm.best.simulated);
+    assert_eq!(cold.best.knobs.key(), warm.best.knobs.key());
+    assert_eq!(cold.default_point.simulated, warm.default_point.simulated);
+}

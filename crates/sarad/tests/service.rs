@@ -1,0 +1,207 @@
+//! End-to-end service acceptance over the Unix-socket protocol:
+//! duplicate request bursts hit the cache, progress events stream per
+//! stage, autotune runs through the service, backpressure sheds load
+//! with a typed rejection, and shutdown is clean.
+
+use sara_util::Json;
+use sarad::{Client, Engine, ServerOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sarad-svc-{tag}-{}", std::process::id()))
+}
+
+type ServeHandle = std::thread::JoinHandle<()>;
+
+fn start_server(
+    tag: &str,
+    workers: usize,
+    queue: usize,
+) -> (ServerOptions, Arc<Engine>, ServeHandle) {
+    let opts = ServerOptions {
+        socket: tmp(&format!("{tag}.sock")),
+        cache_dir: tmp(&format!("{tag}-cache")),
+        workers,
+        queue,
+    };
+    let _ = std::fs::remove_dir_all(&opts.cache_dir);
+    let engine = Arc::new(Engine::open(&opts.cache_dir).unwrap());
+    let handle = {
+        let opts = opts.clone();
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || sarad::serve_with(&opts, engine).unwrap())
+    };
+    // Wait for the socket to come up.
+    for _ in 0..100 {
+        if opts.socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (opts, engine, handle)
+}
+
+#[test]
+fn duplicate_burst_hits_cache_and_streams_progress() {
+    let (opts, engine, serve) = start_server("burst", 2, 16);
+    let mut client = Client::connect(&opts.socket).unwrap();
+
+    let req = Json::object().set("op", "run").set("workload", "dotprod").set("pnr_seed", 7);
+    let first = client.request(&req).unwrap();
+    // Progress events arrive before the terminal line, in stage order.
+    let stages: Vec<(String, String)> = first
+        .iter()
+        .filter(|l| l.get("event").and_then(Json::as_str) == Some("stage"))
+        .map(|l| {
+            (
+                l.get("stage").and_then(Json::as_str).unwrap().to_string(),
+                l.get("cache").and_then(Json::as_str).unwrap().to_string(),
+            )
+        })
+        .collect();
+    assert!(stages.iter().any(|(s, c)| s == "sim" && c == "miss"), "stages: {stages:?}");
+    assert!(stages.iter().any(|(s, c)| s == "compile" && c == "miss"), "stages: {stages:?}");
+    let done = first.last().unwrap();
+    let cycles = done.get("cycles").and_then(Json::as_u64).unwrap();
+    assert!(cycles > 0);
+    let sim_key = done.get("keys").and_then(|k| k.get("sim")).and_then(Json::as_str).unwrap();
+    assert_eq!(sim_key.len(), 32);
+
+    // The duplicate burst: every repeat is a sim-stage hit with the same
+    // cycles and the same keys.
+    for _ in 0..3 {
+        let lines = client.request(&req).unwrap();
+        let done2 = lines.last().unwrap();
+        assert_eq!(done2.get("cycles").and_then(Json::as_u64), Some(cycles));
+        assert_eq!(
+            done2.get("keys").and_then(|k| k.get("sim")).and_then(Json::as_str),
+            Some(sim_key)
+        );
+        let stages2: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.get("event").and_then(Json::as_str) == Some("stage"))
+            .map(|l| l.get("cache").and_then(Json::as_str).unwrap())
+            .collect();
+        assert!(stages2.contains(&"hit"), "repeat must hit: {stages2:?}");
+    }
+
+    let stats = client.stats().unwrap();
+    assert!(stats.get("sim_hits").and_then(Json::as_u64).unwrap() >= 3, "{}", stats.pretty());
+    assert_eq!(stats.get("sims_run").and_then(Json::as_u64), Some(1));
+
+    client.shutdown().unwrap();
+    // Shutdown must terminate the accept loop, not just the worker: the
+    // serve thread itself has to return.
+    serve.join().unwrap();
+    assert_eq!(engine.stats.sims_run.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn autotune_runs_through_the_service_and_warm_repeat_is_free() {
+    let (opts, engine, serve) = start_server("tune", 2, 16);
+    let mut client = Client::connect(&opts.socket).unwrap();
+
+    let req = Json::object()
+        .set("op", "autotune")
+        .set("workload", "dotprod")
+        .set("budget", 10)
+        .set("seed", 42);
+    let done = client.call(&req).unwrap();
+    let best = done.get("best_cycles").and_then(Json::as_u64).unwrap();
+    assert!(best > 0);
+    assert!(done.get("speedup").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert!(done.get("stats").is_some(), "autotune response must carry the service stats report");
+    let compiles_cold = engine.stats.compiles_run.load(Ordering::Relaxed);
+
+    // Warm repeat through the service: zero recompilations.
+    let done2 = client.call(&req).unwrap();
+    assert_eq!(done2.get("best_cycles").and_then(Json::as_u64), Some(best));
+    assert_eq!(
+        engine.stats.compiles_run.load(Ordering::Relaxed),
+        compiles_cold,
+        "warm autotune through the service must not recompile"
+    );
+    let stats = done2.get("stats").unwrap();
+    assert!(stats.get("compile_hits").and_then(Json::as_u64).unwrap() > 0);
+
+    client.shutdown().unwrap();
+    serve.join().unwrap();
+}
+
+#[test]
+fn full_queue_sheds_connections_with_typed_backpressure() {
+    // One worker, queue capacity one: a delay request occupies the
+    // worker, the next connection fills the queue, and every connection
+    // beyond that must be rejected with a typed busy error.
+    let (opts, engine, serve) = start_server("busy", 1, 1);
+
+    let mut occupier = UnixStream::connect(&opts.socket).unwrap();
+    occupier.write_all(b"{\"op\": \"delay\", \"ms\": 1500}\n").unwrap();
+    occupier.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // worker now busy
+
+    // Fill the one queue slot, then force rejections.
+    let _queued = UnixStream::connect(&opts.socket).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let mut saw_busy = false;
+    for _ in 0..5 {
+        let Ok(stream) = UnixStream::connect(&opts.socket) else { continue };
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            continue;
+        }
+        let doc = Json::parse(line.trim()).unwrap();
+        if doc.get("code").and_then(Json::as_str) == Some("backpressure") {
+            assert!(doc.get("error").and_then(Json::as_str).unwrap().starts_with("busy"));
+            saw_busy = true;
+            break;
+        }
+    }
+    assert!(saw_busy, "an over-capacity connection must get a typed busy rejection");
+    assert!(engine.stats.rejected.load(Ordering::Relaxed) >= 1);
+
+    // Wait out the delay, then release both held connections so the
+    // single worker can serve the shutdown request.
+    let mut resp = String::new();
+    BufReader::new(occupier.try_clone().unwrap()).read_line(&mut resp).unwrap();
+    assert!(resp.contains("ok"));
+    drop(occupier);
+    drop(_queued);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(&opts.socket).unwrap();
+    client.shutdown().unwrap();
+    serve.join().unwrap();
+}
+
+#[test]
+fn protocol_errors_are_typed_not_fatal() {
+    let (opts, _engine, serve) = start_server("proto", 1, 8);
+    let mut client = Client::connect(&opts.socket).unwrap();
+
+    // Unknown op, unknown workload, malformed knobs: each is a typed
+    // error line, and the connection stays usable afterwards.
+    let e = client.call(&Json::object().set("op", "florble")).unwrap_err();
+    assert!(e.contains("unknown op"));
+    let e = client
+        .call(&Json::object().set("op", "run").set("workload", "no-such-kernel"))
+        .unwrap_err();
+    assert!(e.contains("unknown workload"));
+    let e = client.call(&Json::object().set("op", "run")).unwrap_err();
+    assert!(e.contains("workload"));
+    let e = client
+        .call(&Json::object().set("op", "run").set("workload", "dotprod").set("scheduler", "warp"))
+        .unwrap_err();
+    assert!(e.contains("unknown scheduler"));
+
+    // Still alive.
+    let pong = client.call(&Json::object().set("op", "ping")).unwrap();
+    assert_eq!(pong.get("service").and_then(Json::as_str), Some("sarad"));
+    client.shutdown().unwrap();
+    serve.join().unwrap();
+}

@@ -19,9 +19,10 @@
 //!   sequential behaviour (useful when a binary also measures wall-clock
 //!   per point, e.g. `fig11`).
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "SARA_BENCH_THREADS";
@@ -127,6 +128,115 @@ where
     }
 }
 
+/// Why a [`JobQueue::try_push`] was refused. The typed rejection is the
+/// backpressure signal long-lived services surface to their clients
+/// instead of blocking or silently dropping work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later or shed the request.
+    Full { capacity: usize },
+    /// The queue was closed; no further work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full { capacity } => {
+                write!(f, "queue full ({capacity} jobs pending)")
+            }
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer job queue (std only:
+/// `Mutex` + `Condvar`).
+///
+/// This is the admission-control half of a long-lived service:
+/// [`JobQueue::try_push`] never blocks — when the queue is at capacity it
+/// returns a typed [`PushError::Full`] so the caller can reject the
+/// request upstream (bounded-queue backpressure) instead of letting an
+/// unbounded backlog build. Worker threads loop on [`JobQueue::pop`],
+/// which blocks until a job arrives or the queue is closed.
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` pending jobs (minimum 1).
+    pub fn bounded(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// The job is handed back with [`PushError::Full`] when the queue is
+    /// at capacity (so the caller can send a typed rejection to whoever
+    /// submitted it), or with [`PushError::Closed`] after
+    /// [`JobQueue::close`].
+    pub fn try_push(&self, job: T) -> Result<(), (T, PushError)> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        if st.closed {
+            return Err((job, PushError::Closed));
+        }
+        if st.items.len() >= self.capacity {
+            return Err((job, PushError::Full { capacity: self.capacity }));
+        }
+        st.items.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next job, blocking until one arrives. Returns `None`
+    /// once the queue is closed *and* drained — the worker-shutdown
+    /// signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = st.items.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue lock poisoned");
+        }
+    }
+
+    /// Jobs currently pending.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue: further pushes fail with [`PushError::Closed`];
+    /// blocked and future [`JobQueue::pop`] calls drain the backlog and
+    /// then return `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         s
@@ -228,5 +338,55 @@ mod tests {
     fn empty_point_list_is_fine() {
         let results: Vec<Result<u32, String>> = run_points(&Vec::<u32>::new(), |&p| Ok(p));
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn job_queue_rejects_when_full_and_drains_in_order() {
+        let q: JobQueue<u32> = JobQueue::bounded(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        // The rejected job comes back with the typed reason.
+        assert_eq!(q.try_push(3), Err((3, PushError::Full { capacity: 2 })));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn job_queue_close_unblocks_workers_after_drain() {
+        let q: JobQueue<u32> = JobQueue::bounded(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err((8, PushError::Closed)));
+        // The backlog still drains, then pop signals shutdown.
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn job_queue_feeds_concurrent_workers_exactly_once() {
+        let q: JobQueue<usize> = JobQueue::bounded(128);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(j) = q.pop() {
+                        seen.lock().unwrap().push(j);
+                    }
+                });
+            }
+            for j in 0..100 {
+                while q.try_push(j).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+            q.close();
+        });
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 100);
+        assert_eq!(seen.iter().collect::<HashSet<_>>().len(), 100);
     }
 }
