@@ -41,6 +41,12 @@
 //! sarac --connect PATH --stats                      # hit/miss counters
 //! sarac --connect PATH --shutdown
 //! ```
+//!
+//! `--connect` retries refused connections and `busy` shedding with
+//! jittered backoff, and if the daemon stays unreachable it warns and
+//! falls back to local in-process compilation; `--no-fallback` makes
+//! an unreachable daemon a hard error instead (`--stats`/`--shutdown`
+//! always hard-fail — there is no local equivalent to fall back to).
 
 use plasticine_arch::ChipSpec;
 use plasticine_sim::{simulate, FaultPlan, SimConfig};
@@ -180,30 +186,40 @@ struct ConnectJob {
     budget: Option<usize>,
     workload: Option<String>,
     chip: String,
+    /// Degrade to local in-process compilation when the daemon is
+    /// unreachable (`--no-fallback` turns this into a hard error).
+    fallback: bool,
 }
 
-fn run_connect(job: &ConnectJob) -> ! {
+/// Returning (instead of exiting) means: the daemon is unreachable and
+/// the caller should fall back to local in-process compilation.
+fn run_connect(job: &ConnectJob) {
     use sara_util::Json;
-    let fail = |e: &str| -> ! {
+    use sarad::{client::run_with_retry, ClientError, RetryPolicy};
+    let fail = |e: &dyn std::fmt::Display| -> ! {
         eprintln!("error: {}: {e}", job.socket);
         std::process::exit(1);
     };
-    let mut client =
-        sarad::Client::connect(std::path::Path::new(&job.socket)).unwrap_or_else(|e| fail(&e));
-    if job.shutdown {
-        client.shutdown().unwrap_or_else(|e| fail(&e));
-        println!("sarad: shutdown acknowledged");
-        std::process::exit(0);
-    }
-    if job.stats {
-        let stats = client.stats().unwrap_or_else(|e| fail(&e));
-        println!("{}", stats.pretty());
+    let policy = RetryPolicy::default();
+    let socket = std::path::Path::new(&job.socket);
+    // --stats / --shutdown have no local equivalent, so they never fall
+    // back: an unreachable daemon is an error.
+    if job.stats || job.shutdown {
+        let mut client =
+            sarad::Client::connect_with_retry(socket, &policy).unwrap_or_else(|e| fail(&e));
+        if job.shutdown {
+            client.shutdown().unwrap_or_else(|e| fail(&e));
+            println!("sarad: shutdown acknowledged");
+        } else {
+            let stats = client.stats().unwrap_or_else(|e| fail(&e));
+            println!("{}", stats.pretty());
+        }
         std::process::exit(0);
     }
     let Some(name) = &job.workload else {
         cli::usage_error("--connect needs a workload (or --stats / --shutdown)");
     };
-    if job.autotune {
+    let req = if job.autotune {
         let mut req = Json::object()
             .set("op", "autotune")
             .set("workload", name.as_str())
@@ -211,7 +227,34 @@ fn run_connect(job: &ConnectJob) -> ! {
         if let Some(b) = job.budget {
             req = req.set("budget", b as i64);
         }
-        let done = client.call(&req).unwrap_or_else(|e| fail(&e));
+        req
+    } else {
+        Json::object()
+            .set("op", "run")
+            .set("workload", name.as_str())
+            .set("chip", job.chip.as_str())
+            .set("pnr_seed", 42)
+    };
+    // Transient failures — connection refused, `busy` shedding, dropped
+    // connections, deadline timeouts — retry with jittered backoff;
+    // requests are content-addressed and idempotent, so a retry re-serves
+    // (or resumes) cached work.
+    let lines = match run_with_retry(socket, &req, &policy) {
+        Ok(lines) => lines,
+        Err(e @ ClientError::Connect(_)) if job.fallback => {
+            eprintln!(
+                "warning: {e}; falling back to local compilation \
+                 (--no-fallback makes this an error)"
+            );
+            return;
+        }
+        Err(e) => fail(&e),
+    };
+    let done = lines.last().unwrap_or_else(|| fail(&"empty response"));
+    if let Some(e) = done.get("error").and_then(Json::as_str) {
+        fail(&e);
+    }
+    if job.autotune {
         let field = |k: &str| done.get(k).and_then(Json::as_u64).unwrap_or(0);
         println!(
             "autotune {name}: {} -> {} cycles ({:.2}x), {} points, {} sims",
@@ -226,12 +269,6 @@ fn run_connect(job: &ConnectJob) -> ! {
         }
         std::process::exit(0);
     }
-    let req = Json::object()
-        .set("op", "run")
-        .set("workload", name.as_str())
-        .set("chip", job.chip.as_str())
-        .set("pnr_seed", 42);
-    let lines = client.request(&req).unwrap_or_else(|e| fail(&e));
     for line in &lines {
         if line.get("event").and_then(Json::as_str) == Some("stage") {
             println!(
@@ -240,10 +277,6 @@ fn run_connect(job: &ConnectJob) -> ! {
                 line.get("cache").and_then(Json::as_str).unwrap_or("?"),
             );
         }
-    }
-    let done = lines.last().unwrap_or_else(|| fail("empty response"));
-    if let Some(e) = done.get("error").and_then(Json::as_str) {
-        fail(e);
     }
     println!(
         "sim:   {} cycles, {} firings (dram blocked {:.1}%)",
@@ -285,7 +318,10 @@ fn main() {
             chips = ChipSpec::NAMES.join("|")
         );
         eprintln!("       sarac --server [--socket PATH]");
-        eprintln!("       sarac --connect PATH [<workload> [--autotune] | --stats | --shutdown]");
+        eprintln!(
+            "       sarac --connect PATH [<workload> [--autotune] | --stats | --shutdown] \
+             [--no-fallback]"
+        );
         eprintln!(
             "workloads: {}",
             sara_workloads::all_small().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
@@ -308,6 +344,7 @@ fn main() {
     let mut connect: Option<String> = None;
     let mut do_stats = false;
     let mut do_shutdown = false;
+    let mut no_fallback = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -338,6 +375,7 @@ fn main() {
             "--connect" => connect = Some(cli::flag_value(&args, &mut i, "--connect")),
             "--stats" => do_stats = true,
             "--shutdown" => do_shutdown = true,
+            "--no-fallback" => no_fallback = true,
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
             other => cli::usage_error(&format!("unknown flag {other}")),
         }
@@ -353,9 +391,12 @@ fn main() {
             shutdown: do_shutdown,
             autotune: do_autotune,
             budget,
-            workload: name,
+            workload: name.clone(),
             chip: chip.name(),
+            fallback: !no_fallback,
         });
+        // run_connect returning (instead of exiting) means the daemon is
+        // unreachable and fallback is on: continue on the local path.
     }
     if do_stats || do_shutdown {
         cli::usage_error("--stats / --shutdown need --connect PATH");

@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! sarad [--socket PATH] [--cache-dir DIR] [--workers N] [--queue N]
+//!       [--cache-budget BYTES[k|m|g]]
 //! ```
 //!
 //! Runs until a `shutdown` request arrives on the socket. Exits 2 on
 //! usage errors, 1 on service failures, with one-line diagnostics.
 
-use sarad::server::{default_cache_dir, default_socket};
+use sarad::server::{default_cache_dir, default_socket, parse_budget};
 use sarad::ServerOptions;
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: sarad [--socket PATH] [--cache-dir DIR] [--workers N] [--queue N]");
+    eprintln!(
+        "usage: sarad [--socket PATH] [--cache-dir DIR] [--workers N] [--queue N] \
+         [--cache-budget BYTES[k|m|g]]"
+    );
     std::process::exit(2);
 }
 
@@ -47,6 +51,13 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--cache-budget" => {
+                let raw = value(&args, &mut i, "--cache-budget");
+                opts.cache_budget = Some(parse_budget(&raw).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other}");
@@ -55,8 +66,10 @@ fn main() {
         }
         i += 1;
     }
+    let budget =
+        opts.cache_budget.map_or_else(|| "unbounded".to_string(), |b| format!("{b} B budget"));
     eprintln!(
-        "sarad: listening on {} (cache {}, {} workers, queue {})",
+        "sarad: listening on {} (cache {}, {budget}, {} workers, queue {})",
         opts.socket.display(),
         opts.cache_dir.display(),
         opts.workers,

@@ -1,0 +1,176 @@
+//! `sarad-chaos` — the service-level chaos soak, as a CI gate.
+//!
+//! ```text
+//! sarad-chaos [--seed N] [--ops N] [--budget BYTES[k|m|g]]
+//!             [--transport-ops N] [--watchdog-secs N]
+//! ```
+//!
+//! Runs the seeded store soak (fault-injected engine under a byte
+//! budget, with simulated crashes) and then the transport soak against
+//! a live in-process server. A watchdog thread monitors forward
+//! progress: if no operation completes for `--watchdog-secs`, the
+//! harness prints a diagnostic and exits 1 instead of hanging the CI
+//! job. Exit 0 means every injected fault resolved to the
+//! recover-or-explain contract; anything else is a contract violation.
+
+use sarad::chaos::{store_soak, transport_soak, ChaosPlan};
+use sarad::server::parse_budget;
+use sarad::{Engine, ServerOptions};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sarad-chaos [--seed N] [--ops N] [--budget BYTES[k|m|g]] \
+         [--transport-ops N] [--watchdog-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 0xc4a05u64;
+    let mut ops = 40usize;
+    let mut budget: Option<u64> = None;
+    let mut transport_ops = 30usize;
+    let mut watchdog_secs = 60u64;
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = value(&args, &mut i, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed expects an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--ops" => {
+                ops = value(&args, &mut i, "--ops").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --ops expects a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--budget" => {
+                budget = Some(parse_budget(&value(&args, &mut i, "--budget")).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--transport-ops" => {
+                transport_ops =
+                    value(&args, &mut i, "--transport-ops").parse().unwrap_or_else(|_| {
+                        eprintln!("error: --transport-ops expects a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--watchdog-secs" => {
+                watchdog_secs =
+                    value(&args, &mut i, "--watchdog-secs").parse().unwrap_or_else(|_| {
+                        eprintln!("error: --watchdog-secs expects a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let mut plan = ChaosPlan::seeded(seed);
+    plan.ops = ops;
+    if let Some(b) = budget {
+        plan.budget = b;
+    }
+
+    // Liveness watchdog: a hang is a contract violation too, and it must
+    // fail the job loudly rather than eat the CI timeout.
+    let progress = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let progress = Arc::clone(&progress);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            loop {
+                std::thread::sleep(Duration::from_secs(watchdog_secs));
+                if done.load(Ordering::Relaxed) {
+                    return;
+                }
+                let now = progress.load(Ordering::Relaxed);
+                if now == last {
+                    eprintln!(
+                        "sarad-chaos: WATCHDOG — no forward progress for {watchdog_secs}s \
+                         (stuck after {now} ops); a hang violates the recover-or-explain contract"
+                    );
+                    std::process::exit(1);
+                }
+                last = now;
+            }
+        });
+    }
+
+    let dir = std::env::temp_dir().join(format!("sarad-chaos-{seed}-{}", std::process::id()));
+    eprintln!("sarad-chaos: store soak (seed {seed}, {ops} ops, {} B budget)", plan.budget);
+    let report = match store_soak(&dir, &plan, &progress) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sarad-chaos: FAIL (store soak): {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.json().pretty());
+
+    // Transport soak against a live server on a private socket.
+    eprintln!("sarad-chaos: transport soak ({transport_ops} ops)");
+    let opts = ServerOptions {
+        socket: dir.join("chaos.sock"),
+        cache_dir: dir.join("transport-cache"),
+        workers: 2,
+        queue: 8,
+        cache_budget: None,
+    };
+    let engine = match Engine::open(&opts.cache_dir) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("sarad-chaos: FAIL: {e}");
+            std::process::exit(1);
+        }
+    };
+    let serve = {
+        let opts = opts.clone();
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || sarad::serve_with(&opts, engine))
+    };
+    for _ in 0..200 {
+        if opts.socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let transport = transport_soak(&opts.socket, seed ^ 0x7a05, transport_ops, &progress);
+    if let Ok(mut c) = sarad::Client::connect(&opts.socket) {
+        let _ = c.shutdown();
+    }
+    let _ = serve.join();
+    done.store(true, Ordering::Relaxed);
+    let _ = std::fs::remove_dir_all(&dir);
+    match transport {
+        Ok(()) => {
+            eprintln!("sarad-chaos: OK — every fault recovered, degraded, or errored typed");
+        }
+        Err(e) => {
+            eprintln!("sarad-chaos: FAIL (transport soak): {e}");
+            std::process::exit(1);
+        }
+    }
+}

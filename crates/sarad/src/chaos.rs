@@ -1,0 +1,385 @@
+//! Service-level chaos harness: a seeded soak that drives the engine
+//! and the socket front end through injected faults — torn writes,
+//! orphaned temp files, disk-full, read errors, slow stages past their
+//! deadline, corrupted artifacts, service restarts, dropped and
+//! garbage connections — and asserts PR 4's recover-or-explain
+//! contract one layer up:
+//!
+//! > Every injected fault ends in **Recovered** (the request still
+//! > produced the bit-identical artifact), **Degraded** (produced it
+//! > without the cache), or a **typed error** (timeout, budget, typed
+//! > stage failure). Never a panic, never a hang, and never a served
+//! > artifact whose content differs from fresh computation.
+//!
+//! The store soak first computes reference artifacts with a clean,
+//! fault-free engine, then replays a seeded schedule of requests
+//! against a fault-injected, byte-budgeted engine — including periodic
+//! `kill -9`-style restarts (drop the engine mid-stream, reopen over
+//! the same directory) — verifying every successful response against
+//! the reference and the byte budget after every operation. The
+//! transport soak abuses a live server socket (garbage lines, dropped
+//! connections mid-request and mid-response) and then proves the
+//! service still answers.
+//!
+//! Both `sarad-chaos` (the CI entry point) and `tests/chaos.rs` drive
+//! these functions; the binary adds a liveness watchdog so a hang
+//! fails loudly instead of eating the CI timeout.
+
+use crate::engine::{Deadline, Engine, Scheduler, TIMEOUT_PREFIX};
+use crate::store::StoreFaults;
+use sara_dse::KnobConfig;
+use sara_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Seeded xorshift64 — the only randomness in the harness, so a seed
+/// fully determines the fault schedule.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator from `seed` (zero is remapped).
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    /// Next raw draw.
+    pub fn draw(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.draw() % n.max(1)
+    }
+}
+
+/// Tuning for one store-soak run.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Master seed for the request and fault schedules.
+    pub seed: u64,
+    /// Requests to issue against the fault-injected engine.
+    pub ops: usize,
+    /// Store byte budget for the chaotic engine (small on purpose, so
+    /// eviction pressure is constant).
+    pub budget: u64,
+    /// Percent of saves publishing a torn file.
+    pub torn_write_pct: u8,
+    /// Percent of saves crashing between write and rename.
+    pub orphan_tmp_pct: u8,
+    /// Percent of saves failing with disk-full.
+    pub enospc_pct: u8,
+    /// Percent of loads failing with a transient read error.
+    pub read_err_pct: u8,
+    /// Percent of ops run with an artificially slow stage *and* a
+    /// deadline too short for it (forcing typed timeouts + staged
+    /// resume).
+    pub slow_stage_pct: u8,
+    /// Percent of ops preceded by a service "crash" (drop the engine,
+    /// reopen over the same directory).
+    pub restart_pct: u8,
+}
+
+impl ChaosPlan {
+    /// The default soak shape for `seed`.
+    pub fn seeded(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            ops: 40,
+            budget: 48 * 1024,
+            torn_write_pct: 12,
+            orphan_tmp_pct: 8,
+            enospc_pct: 10,
+            read_err_pct: 10,
+            slow_stage_pct: 12,
+            restart_pct: 8,
+        }
+    }
+
+    fn faults(&self, seed: u64) -> StoreFaults {
+        let mut f = StoreFaults::seeded(seed);
+        f.torn_write_pct = self.torn_write_pct;
+        f.orphan_tmp_pct = self.orphan_tmp_pct;
+        f.enospc_pct = self.enospc_pct;
+        f.read_err_pct = self.read_err_pct;
+        f
+    }
+}
+
+/// Outcome tally of a store soak. Every op lands in exactly one of
+/// `recovered` / `timeouts` / `typed_errors`; the counters below them
+/// explain *how* the service coped.
+#[derive(Debug, Default)]
+pub struct ChaosReport {
+    /// Requests that returned the bit-identical artifact despite any
+    /// injected faults along the way.
+    pub recovered: u64,
+    /// Requests cut off by their deadline with the typed `timeout:`
+    /// error (their completed stages stayed cached).
+    pub timeouts: u64,
+    /// Requests ending in any other typed error (budget refusal
+    /// surfaced as degraded-compute is *not* an error; this counts
+    /// genuine typed failures).
+    pub typed_errors: u64,
+    /// Store read/write failures downgraded to compute-without-cache.
+    pub degraded: u64,
+    /// Artifacts evicted to hold the byte budget.
+    pub evictions: u64,
+    /// Corrupt (torn/tampered) artifacts detected and quarantined.
+    pub corrupt_detected: u64,
+    /// Orphaned writer temp files swept during restarts.
+    pub tmp_swept: u64,
+    /// Simulated service crashes (engine drop + reopen).
+    pub restarts: u64,
+    /// Peak observed store size (must stay ≤ the budget).
+    pub peak_bytes: u64,
+}
+
+impl ChaosReport {
+    /// Render the tally.
+    pub fn json(&self) -> Json {
+        let g = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        Json::object()
+            .set("recovered", g(self.recovered))
+            .set("timeouts", g(self.timeouts))
+            .set("typed_errors", g(self.typed_errors))
+            .set("degraded", g(self.degraded))
+            .set("evictions", g(self.evictions))
+            .set("corrupt_detected", g(self.corrupt_detected))
+            .set("tmp_swept", g(self.tmp_swept))
+            .set("restarts", g(self.restarts))
+            .set("peak_bytes", g(self.peak_bytes))
+    }
+}
+
+/// The request tuples the soak cycles through: small workloads, two
+/// PnR seeds, both schedulers — enough key diversity to churn the
+/// cache without making the suite slow.
+fn soak_tuples() -> Result<Vec<(KnobConfig, Scheduler)>, String> {
+    let mut tuples = Vec::new();
+    for (workload, seeds) in [("dotprod", &[7u64, 8][..]), ("gemm", &[7][..])] {
+        let w = sara_workloads::by_name(workload)
+            .ok_or_else(|| format!("chaos: unknown workload {workload}"))?;
+        for &seed in seeds {
+            let knobs = KnobConfig::default_for(&w, "8x8", seed)?;
+            tuples.push((knobs.clone(), Scheduler::Active));
+            if seed == 7 {
+                tuples.push((knobs, Scheduler::Dense));
+            }
+        }
+    }
+    Ok(tuples)
+}
+
+/// Run the seeded store soak under `dir`. `progress` is bumped after
+/// every op so an external watchdog can detect a hang.
+///
+/// # Errors
+///
+/// A contract violation: a served artifact differing from fresh
+/// computation, a store exceeding its byte budget, or an untyped
+/// (empty) error. Panics inside the engine propagate to the caller —
+/// in both the test harness and the binary a panic is a failure.
+pub fn store_soak(
+    dir: &Path,
+    plan: &ChaosPlan,
+    progress: &AtomicU64,
+) -> Result<ChaosReport, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    let tuples = soak_tuples()?;
+
+    // Phase 1: fault-free references. Every later response is checked
+    // against these bit-for-bit.
+    let clean = Engine::open(&dir.join("clean"))?;
+    let mut references = Vec::new();
+    for (knobs, scheduler) in &tuples {
+        let mut sink = crate::engine::no_progress();
+        let (_, art) = clean.run(knobs, *scheduler, &mut sink)?;
+        references.push(art);
+        progress.fetch_add(1, Ordering::Relaxed);
+    }
+    drop(clean);
+
+    // Phase 2: the chaotic engine — byte-budgeted, fault-injected,
+    // periodically "crashed" and reopened.
+    let chaos_dir = dir.join("chaos");
+    let mut rng = Rng::new(plan.seed);
+    let mut engine =
+        Engine::open_with(&chaos_dir, Some(plan.budget), Some(plan.faults(rng.draw())))?;
+    let mut report = ChaosReport::default();
+
+    for op in 0..plan.ops {
+        if rng.below(100) < u64::from(plan.restart_pct) {
+            // Simulated kill -9: drop the engine mid-stream (in-memory
+            // caches vanish, temp orphans may remain) and reopen over
+            // the same directory. Recovery must sweep and rebuild.
+            report.tmp_swept += engine.store().counters.tmp_swept.load(Ordering::Relaxed);
+            report.degraded += engine.stats.degraded.load(Ordering::Relaxed);
+            report.evictions += engine.store().counters.evictions.load(Ordering::Relaxed);
+            report.corrupt_detected += engine.stats.corrupt_detected.load(Ordering::Relaxed);
+            drop(engine);
+            engine =
+                Engine::open_with(&chaos_dir, Some(plan.budget), Some(plan.faults(rng.draw())))?;
+            report.restarts += 1;
+        }
+
+        let which = rng.below(tuples.len() as u64) as usize;
+        let (knobs, scheduler) = &tuples[which];
+        let slow = rng.below(100) < u64::from(plan.slow_stage_pct);
+        let deadline = if slow {
+            // A stage delay longer than the deadline: unless every
+            // stage is already cached, this must end in a typed
+            // timeout, with completed stages kept for the next try.
+            engine.set_stage_delay(Some(Duration::from_millis(30)));
+            Deadline::in_ms(10)
+        } else {
+            engine.set_stage_delay(None);
+            Deadline::none()
+        };
+
+        let mut sink = crate::engine::no_progress();
+        match engine.run_with(knobs, *scheduler, deadline, &mut sink) {
+            Ok((_, art)) => {
+                let expect = &references[which];
+                if &art != expect {
+                    return Err(format!(
+                        "op {op}: served artifact diverges from fresh computation \
+                         ({} cycles != {} cycles) — corruption served",
+                        art.cycles, expect.cycles
+                    ));
+                }
+                report.recovered += 1;
+            }
+            Err(e) if e.starts_with(TIMEOUT_PREFIX) => report.timeouts += 1,
+            Err(e) if e.trim().is_empty() => {
+                return Err(format!("op {op}: empty (untyped) error"));
+            }
+            Err(_) => report.typed_errors += 1,
+        }
+
+        let bytes = engine.store().bytes();
+        report.peak_bytes = report.peak_bytes.max(bytes);
+        if bytes > plan.budget {
+            return Err(format!(
+                "op {op}: store holds {bytes} B, budget is {} B — ceiling violated",
+                plan.budget
+            ));
+        }
+        progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    engine.set_stage_delay(None);
+    report.tmp_swept += engine.store().counters.tmp_swept.load(Ordering::Relaxed);
+    report.degraded += engine.stats.degraded.load(Ordering::Relaxed);
+    report.evictions += engine.store().counters.evictions.load(Ordering::Relaxed);
+    report.corrupt_detected += engine.stats.corrupt_detected.load(Ordering::Relaxed);
+
+    // Epilogue: with faults quiesced, every tuple must still resolve to
+    // the reference artifact — the cache healed, nothing stayed wedged.
+    let calm = Engine::open_with(&chaos_dir, Some(plan.budget), None)?;
+    for ((knobs, scheduler), expect) in tuples.iter().zip(&references) {
+        let mut sink = crate::engine::no_progress();
+        let (_, art) = calm.run(knobs, *scheduler, &mut sink)?;
+        if &art != expect {
+            return Err(format!(
+                "post-soak: artifact diverges from fresh computation ({} != {} cycles)",
+                art.cycles, expect.cycles
+            ));
+        }
+        progress.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(report)
+}
+
+fn raw_connect(socket: &Path) -> Result<UnixStream, String> {
+    UnixStream::connect(socket).map_err(|e| format!("connect {}: {e}", socket.display()))
+}
+
+/// Abuse a live server socket: garbage requests, connections dropped
+/// before, during, and after a request, and partial writes. After the
+/// whole schedule the server must still answer a `ping` — no panic, no
+/// wedged worker.
+///
+/// # Errors
+///
+/// When the server stops answering, or answers a garbage request with
+/// anything but a parseable typed error line.
+pub fn transport_soak(
+    socket: &Path,
+    seed: u64,
+    ops: usize,
+    progress: &AtomicU64,
+) -> Result<(), String> {
+    let mut rng = Rng::new(seed);
+    for op in 0..ops {
+        match rng.below(5) {
+            // Garbage line: must come back as one typed error line.
+            0 => {
+                let mut s = raw_connect(socket)?;
+                s.write_all(b"{{{ not json at all\n").map_err(|e| format!("send: {e}"))?;
+                let mut line = String::new();
+                BufReader::new(s)
+                    .read_line(&mut line)
+                    .map_err(|e| format!("op {op}: recv after garbage: {e}"))?;
+                let doc = Json::parse(line.trim())
+                    .map_err(|e| format!("op {op}: unparseable error response: {e}"))?;
+                if doc.get("error").and_then(Json::as_str).is_none() {
+                    return Err(format!("op {op}: garbage must yield a typed error line"));
+                }
+            }
+            // Valid request, connection dropped without reading the
+            // response: the server writes into a closed socket and must
+            // shrug it off.
+            1 => {
+                let mut s = raw_connect(socket)?;
+                s.write_all(b"{\"op\": \"run\", \"workload\": \"dotprod\", \"pnr_seed\": 7}\n")
+                    .map_err(|e| format!("send: {e}"))?;
+                drop(s);
+            }
+            // Connect-and-vanish.
+            2 => {
+                let s = raw_connect(socket)?;
+                drop(s);
+            }
+            // Partial request line (no terminating newline), then gone.
+            3 => {
+                let mut s = raw_connect(socket)?;
+                s.write_all(b"{\"op\": \"ru").map_err(|e| format!("send: {e}"))?;
+                drop(s);
+            }
+            // A full valid round trip mixed into the abuse.
+            _ => {
+                let mut s = raw_connect(socket)?;
+                s.write_all(b"{\"op\": \"ping\"}\n").map_err(|e| format!("send: {e}"))?;
+                let mut line = String::new();
+                BufReader::new(s)
+                    .read_line(&mut line)
+                    .map_err(|e| format!("op {op}: recv: {e}"))?;
+                if !line.contains("\"ok\"") {
+                    return Err(format!("op {op}: ping answered {line:?}"));
+                }
+            }
+        }
+        progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // The service survived the whole schedule.
+    let mut s = raw_connect(socket)?;
+    s.write_all(b"{\"op\": \"ping\"}\n").map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(s).read_line(&mut line).map_err(|e| format!("final ping: {e}"))?;
+    if line.contains("\"ok\"") {
+        Ok(())
+    } else {
+        Err(format!("server no longer answers after transport soak: {line:?}"))
+    }
+}

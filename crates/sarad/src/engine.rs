@@ -32,8 +32,26 @@
 //! Concurrent requests for the same stage key coalesce: one computes,
 //! the rest wait on the per-key flight lock and then read the fresh
 //! cache entry. The `coalesced` stat counts the waiters.
+//!
+//! ## Fault discipline
+//!
+//! The engine never lets the artifact store fail a request:
+//!
+//! * a store **write** failure (disk full, permissions, budget refusal,
+//!   injected fault) downgrades to compute-without-cache — the computed
+//!   result is still served and the `degraded` counter bumps;
+//! * a store **read** failure that is not corruption (transient I/O)
+//!   likewise degrades to a recompute;
+//! * verification failures quarantine the artifact and recompute
+//!   (`corrupt_detected`), never serve.
+//!
+//! Per-request [`Deadline`]s are enforced *between* stages: a request
+//! that runs out of time gets a typed `timeout: ...` error, but every
+//! stage that completed stays cached, so a retry resumes from the last
+//! finished stage instead of starting over. Timeouts are never
+//! negatively cached.
 
-use crate::store::{Store, StoreRead};
+use crate::store::{Store, StoreFaults, StoreRead};
 use plasticine_sim::{SimConfig, SimOutcome};
 use sara_core::artifact::{
     options_canon, program_canon, vudfg_from_json, vudfg_json, StableHasher,
@@ -48,6 +66,11 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Every engine timeout error starts with this prefix; the server maps
+/// it to the typed `"code": "timeout"` response.
+pub const TIMEOUT_PREFIX: &str = "timeout: ";
 
 /// Simulator scheduler selector — part of the sim-stage cache key
 /// (cycle counts are identical across the two, but the service proves
@@ -87,6 +110,42 @@ impl Scheduler {
     /// part of the sim artifact.
     fn config(self) -> SimConfig {
         SimConfig { profile: true, dense: self == Scheduler::Dense, ..SimConfig::default() }
+    }
+}
+
+/// A per-request compute deadline, checked at stage boundaries. Work
+/// completed before the deadline stays cached, so a retried request
+/// resumes from the last finished stage.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: stages always run.
+    pub fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn in_ms(ms: u64) -> Deadline {
+        Deadline(Some(Instant::now() + Duration::from_millis(ms)))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn exceeded(self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Typed timeout error if the deadline has passed before `stage`
+    /// could start.
+    fn check(self, stage: &str) -> Result<(), String> {
+        if self.exceeded() {
+            Err(format!(
+                "{TIMEOUT_PREFIX}deadline exceeded before the {stage} stage \
+                 (completed stages are cached; retry resumes from there)"
+            ))
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -198,6 +257,12 @@ pub struct Stats {
     /// Requests rejected by queue backpressure (maintained by the
     /// server front end).
     pub rejected: AtomicU64,
+    /// Requests that completed *without* the cache because a store read
+    /// or write failed (disk full, permissions, budget refusal): the
+    /// result was still served, just not persisted.
+    pub degraded: AtomicU64,
+    /// Requests cut off by their deadline between stages.
+    pub timeouts: AtomicU64,
 }
 
 impl Stats {
@@ -222,6 +287,8 @@ impl Stats {
             .set("corrupt_detected", g(&self.corrupt_detected))
             .set("coalesced", g(&self.coalesced))
             .set("rejected", g(&self.rejected))
+            .set("degraded", g(&self.degraded))
+            .set("timeouts", g(&self.timeouts))
     }
 }
 
@@ -247,23 +314,43 @@ pub struct Engine {
     placed: Mutex<HashMap<String, PlaceEntry>>,
     sims: Mutex<HashMap<String, SimEntry>>,
     flights: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Artificial per-stage compute latency — a chaos/test hook for
+    /// exercising deadlines and watchdogs; `None` in production.
+    stage_delay: Mutex<Option<Duration>>,
     /// Service counters (public: the server also bumps `rejected`).
     pub stats: Stats,
 }
 
 impl Engine {
-    /// Open an engine with its artifact store rooted at `cache_dir`.
+    /// Open an engine with an unbounded artifact store rooted at
+    /// `cache_dir`.
     ///
     /// # Errors
     ///
     /// When the cache directory cannot be created.
     pub fn open(cache_dir: &Path) -> Result<Engine, String> {
+        Engine::open_with(cache_dir, None, None)
+    }
+
+    /// Open an engine with an optional store byte budget and an
+    /// optional fault-injection schedule (the chaos harness's entry
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// When the cache directory cannot be created.
+    pub fn open_with(
+        cache_dir: &Path,
+        budget: Option<u64>,
+        faults: Option<StoreFaults>,
+    ) -> Result<Engine, String> {
         Ok(Engine {
-            store: Store::open(cache_dir)?,
+            store: Store::open_with(cache_dir, budget, faults)?,
             compiled: Mutex::new(HashMap::new()),
             placed: Mutex::new(HashMap::new()),
             sims: Mutex::new(HashMap::new()),
             flights: Mutex::new(HashMap::new()),
+            stage_delay: Mutex::new(None),
             stats: Stats::default(),
         })
     }
@@ -271,6 +358,40 @@ impl Engine {
     /// The underlying artifact store.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// Arm (or disarm) an artificial per-stage compute delay. Chaos and
+    /// deadline tests use this to make stages reliably slow; it has no
+    /// effect on cache hits, so the "retry resumes from the completed
+    /// stage" contract is observable.
+    pub fn set_stage_delay(&self, delay: Option<Duration>) {
+        *self.stage_delay.lock().expect("stage delay poisoned") = delay;
+    }
+
+    fn apply_stage_delay(&self) {
+        let delay = *self.stage_delay.lock().expect("stage delay poisoned");
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Engine counters merged with the store's eviction/bytes counters
+    /// — the full `stats` report the protocol exposes.
+    pub fn stats_json(&self) -> Json {
+        let g = |c: &AtomicU64| i64::try_from(c.load(Ordering::Relaxed)).unwrap_or(i64::MAX);
+        let c = &self.store.counters;
+        let mut doc = self.stats.json();
+        doc = doc
+            .set("store_bytes", g(&c.bytes))
+            .set("evictions", g(&c.evictions))
+            .set("evicted_bytes", g(&c.evicted_bytes))
+            .set("tmp_swept", g(&c.tmp_swept))
+            .set("quarantined", g(&c.quarantined))
+            .set("save_failures", g(&c.save_failures));
+        if let Some(b) = self.store.budget() {
+            doc = doc.set("cache_budget", i64::try_from(b).unwrap_or(i64::MAX));
+        }
+        doc
     }
 
     /// Acquire the per-key flight lock (creating it on first use).
@@ -283,17 +404,28 @@ impl Engine {
         self.flights.lock().expect("flight registry poisoned").remove(key);
     }
 
+    /// Persist a stage artifact, downgrading failure to degraded mode:
+    /// the request still succeeds, the artifact just is not cached.
+    fn save_or_degrade(&self, stage: &str, key: &str, payload: &Json) {
+        if self.store.save(stage, key, payload).is_err() {
+            Stats::bump(&self.stats.degraded);
+        }
+    }
+
     /// Compile stage: lowered VUDFG + reports, keyed by
     /// (program, options, chip). Failures are cached as errors so a
     /// hopeless point never compiles twice.
     ///
     /// # Errors
     ///
-    /// Setup failures (bad chip/knobs) and (cached) compile failures.
+    /// Setup failures (bad chip/knobs), (cached) compile failures, and
+    /// typed `timeout:` errors when the deadline passed before the
+    /// compile could start.
     pub fn compile_stage(
         &self,
         knobs: &KnobConfig,
         keys: &StageKeys,
+        deadline: Deadline,
         progress: Progress,
     ) -> Result<Arc<Compiled>, String> {
         if let Some(entry) =
@@ -313,9 +445,19 @@ impl Engine {
             progress("compile", "hit");
             return entry.clone();
         }
+        // The deadline gates the *computation*, never a cache hit, and a
+        // timeout is returned before anything is cached — so it is never
+        // memoized as a negative entry.
+        if let Err(e) = deadline.check("compile") {
+            Stats::bump(&self.stats.timeouts);
+            self.flight_done(&keys.compile);
+            return Err(e);
+        }
         Stats::bump(&self.stats.compile_misses);
         progress("compile", "miss");
+        let _pin = self.store.pin("compile", &keys.compile);
         let entry: CompileEntry = (|| {
+            self.apply_stage_delay();
             let program = knobs.build_program()?;
             let chip = knobs.chip_spec()?;
             Stats::bump(&self.stats.compiles_run);
@@ -327,7 +469,7 @@ impl Engine {
                 .set("pcus", compiled.report.pcus)
                 .set("pmus", compiled.report.pmus)
                 .set("ags", compiled.report.ags);
-            self.store.save("compile", &keys.compile, &payload)?;
+            self.save_or_degrade("compile", &keys.compile, &payload);
             Ok(Arc::new(compiled))
         })();
         self.compiled
@@ -344,11 +486,13 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Setup failures plus (cached) compile/PnR failures.
+    /// Setup failures plus (cached) compile/PnR failures and typed
+    /// `timeout:` errors.
     pub fn place_stage(
         &self,
         knobs: &KnobConfig,
         keys: &StageKeys,
+        deadline: Deadline,
         progress: Progress,
     ) -> Result<Arc<Vudfg>, String> {
         if let Some(entry) = self.placed.lock().expect("place cache poisoned").get(&keys.place) {
@@ -364,6 +508,7 @@ impl Engine {
             progress("place", "hit");
             return entry.clone();
         }
+        let _pin = self.store.pin("place", &keys.place);
         // Disk: a placed graph from a previous service run replays
         // without recompiling or re-placing.
         match self.store.load("place", &keys.place) {
@@ -385,20 +530,42 @@ impl Engine {
                 Stats::bump(&self.stats.corrupt_detected);
             }
             StoreRead::Corrupt(_) => Stats::bump(&self.stats.corrupt_detected),
+            StoreRead::Failed(_) => Stats::bump(&self.stats.degraded),
             StoreRead::Miss => {}
+        }
+        if let Err(e) = deadline.check("place") {
+            Stats::bump(&self.stats.timeouts);
+            self.flight_done(&keys.place);
+            return Err(e);
         }
         Stats::bump(&self.stats.place_misses);
         progress("place", "miss");
         let entry: PlaceEntry = (|| {
-            let compiled = self.compile_stage(knobs, keys, progress)?;
+            let compiled = self.compile_stage(knobs, keys, deadline, progress)?;
+            // Re-check after the nested stage: a compile that consumed
+            // the whole budget stays cached, and this request stops here
+            // instead of starting a PnR it cannot afford.
+            if let Err(e) = deadline.check("place") {
+                Stats::bump(&self.stats.timeouts);
+                return Err(e);
+            }
             let chip = knobs.chip_spec()?;
             let mut g = compiled.vudfg.clone();
+            self.apply_stage_delay();
             Stats::bump(&self.stats.pnrs_run);
             sara_pnr::place_and_route(&mut g, &compiled.assignment, &chip, knobs.pnr_seed)
                 .map_err(|e| format!("pnr: {e}"))?;
-            self.store.save("place", &keys.place, &vudfg_json(&g))?;
+            self.save_or_degrade("place", &keys.place, &vudfg_json(&g));
             Ok(Arc::new(g))
         })();
+        if let Err(e) = &entry {
+            // A timeout inside the nested compile stage must not be
+            // memoized as a permanent placement failure.
+            if e.starts_with(TIMEOUT_PREFIX) {
+                self.flight_done(&keys.place);
+                return entry;
+            }
+        }
         self.placed.lock().expect("place cache poisoned").insert(keys.place.clone(), entry.clone());
         self.flight_done(&keys.place);
         entry
@@ -411,12 +578,14 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Setup failures plus (cached) compile/PnR/sim failures.
+    /// Setup failures plus (cached) compile/PnR/sim failures and typed
+    /// `timeout:` errors.
     pub fn sim_stage(
         &self,
         knobs: &KnobConfig,
         scheduler: Scheduler,
         keys: &StageKeys,
+        deadline: Deadline,
         progress: Progress,
     ) -> Result<SimArtifact, String> {
         if let Some(entry) = self.sims.lock().expect("sim cache poisoned").get(&keys.sim) {
@@ -432,6 +601,7 @@ impl Engine {
             progress("sim", "hit");
             return entry.clone();
         }
+        let _pin = self.store.pin("sim", &keys.sim);
         match self.store.load("sim", &keys.sim) {
             StoreRead::Hit(payload) => {
                 if let Ok(art) = SimArtifact::from_json(&payload) {
@@ -448,20 +618,37 @@ impl Engine {
                 Stats::bump(&self.stats.corrupt_detected);
             }
             StoreRead::Corrupt(_) => Stats::bump(&self.stats.corrupt_detected),
+            StoreRead::Failed(_) => Stats::bump(&self.stats.degraded),
             StoreRead::Miss => {}
+        }
+        if let Err(e) = deadline.check("sim") {
+            Stats::bump(&self.stats.timeouts);
+            self.flight_done(&keys.sim);
+            return Err(e);
         }
         Stats::bump(&self.stats.sim_misses);
         progress("sim", "miss");
         let entry: SimEntry = (|| {
-            let g = self.place_stage(knobs, keys, progress)?;
+            let g = self.place_stage(knobs, keys, deadline, progress)?;
+            if let Err(e) = deadline.check("sim") {
+                Stats::bump(&self.stats.timeouts);
+                return Err(e);
+            }
             let chip = knobs.chip_spec()?;
+            self.apply_stage_delay();
             Stats::bump(&self.stats.sims_run);
             let out = plasticine_sim::simulate(&g, &chip, &scheduler.config())
                 .map_err(|e| format!("sim: {e}"))?;
             let art = SimArtifact::from_outcome(&out)?;
-            self.store.save("sim", &keys.sim, &art.to_json())?;
+            self.save_or_degrade("sim", &keys.sim, &art.to_json());
             Ok(art)
         })();
+        if let Err(e) = &entry {
+            if e.starts_with(TIMEOUT_PREFIX) {
+                self.flight_done(&keys.sim);
+                return entry;
+            }
+        }
         self.sims.lock().expect("sim cache poisoned").insert(keys.sim.clone(), entry.clone());
         self.flight_done(&keys.sim);
         entry
@@ -478,8 +665,24 @@ impl Engine {
         scheduler: Scheduler,
         progress: Progress,
     ) -> Result<(StageKeys, SimArtifact), String> {
+        self.run_with(knobs, scheduler, Deadline::none(), progress)
+    }
+
+    /// [`Engine::run`] under a per-request deadline.
+    ///
+    /// # Errors
+    ///
+    /// Stage failures, or a typed `timeout:` error when the deadline
+    /// passes between stages (completed stages stay cached).
+    pub fn run_with(
+        &self,
+        knobs: &KnobConfig,
+        scheduler: Scheduler,
+        deadline: Deadline,
+        progress: Progress,
+    ) -> Result<(StageKeys, SimArtifact), String> {
         let keys = stage_keys(knobs, scheduler)?;
-        let art = self.sim_stage(knobs, scheduler, &keys, progress)?;
+        let art = self.sim_stage(knobs, scheduler, &keys, deadline, progress)?;
         Ok((keys, art))
     }
 }
@@ -512,7 +715,7 @@ impl Evaluator for CachedEval {
         let program = knobs.build_program()?;
         let keys = stage_keys(knobs, Scheduler::Active)?;
         let mut sink = no_progress();
-        match self.engine.compile_stage(knobs, &keys, &mut sink) {
+        match self.engine.compile_stage(knobs, &keys, Deadline::none(), &mut sink) {
             Ok(compiled) => {
                 let r = compiled.report;
                 Ok(EvalPoint {

@@ -24,12 +24,13 @@
 //!   report (`sarac --server` / `sarac --connect` wire these into the
 //!   compiler driver).
 
+pub mod chaos;
 pub mod client;
 pub mod engine;
 pub mod server;
 pub mod store;
 
-pub use client::Client;
-pub use engine::{stage_keys, CachedEval, Engine, Scheduler, SimArtifact, StageKeys};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use engine::{stage_keys, CachedEval, Deadline, Engine, Scheduler, SimArtifact, StageKeys};
 pub use server::{serve, serve_with, ServerOptions};
-pub use store::{Store, StoreRead};
+pub use store::{Store, StoreFaults, StoreRead};

@@ -12,13 +12,19 @@
 //! | op         | fields                                               |
 //! |------------|------------------------------------------------------|
 //! | `ping`     | —                                                    |
-//! | `run`      | `knobs` (knob JSON) *or* `workload`/`chip`/`pnr_seed`; optional `scheduler` (`active`\|`dense`) |
+//! | `run`      | `knobs` (knob JSON) *or* `workload`/`chip`/`pnr_seed`; optional `scheduler` (`active`\|`dense`), `deadline_ms` |
 //! | `autotune` | `workload`; optional `budget`, `seed`, `chip`        |
 //! | `stats`    | —                                                    |
 //! | `delay`    | `ms` — occupies a worker (deterministic backpressure tests) |
 //! | `shutdown` | —                                                    |
+//!
+//! Error terminals carry a machine-readable `code` where one exists:
+//! `"backpressure"` (queue-full shedding — safe to retry with backoff,
+//! requests are content-addressed and idempotent) and `"timeout"`
+//! (`deadline_ms` elapsed between stages — completed stages are cached,
+//! so an immediate retry resumes from the last finished stage).
 
-use crate::engine::{stage_keys, CachedEval, Engine, Scheduler};
+use crate::engine::{stage_keys, CachedEval, Deadline, Engine, Scheduler, TIMEOUT_PREFIX};
 use sara_dse::{autotune_with, speedup, KnobConfig, SearchOptions};
 use sara_util::pool::{JobQueue, PushError};
 use sara_util::Json;
@@ -40,16 +46,21 @@ pub struct ServerOptions {
     pub queue: usize,
     /// Artifact-store directory.
     pub cache_dir: PathBuf,
+    /// Artifact-store byte budget (`None` = unbounded). Under a budget
+    /// the store evicts cheapest-to-recompute artifacts first and never
+    /// exceeds the ceiling.
+    pub cache_budget: Option<u64>,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
-        let tmp = std::env::temp_dir();
+        let cache_dir = default_cache_dir();
         ServerOptions {
-            socket: tmp.join("sarad.sock"),
+            socket: cache_dir.join("sarad.sock"),
             workers: 2,
             queue: 16,
-            cache_dir: tmp.join("sarad-cache"),
+            cache_dir,
+            cache_budget: default_cache_budget(),
         }
     }
 }
@@ -60,7 +71,7 @@ impl Default for ServerOptions {
 ///
 /// When the socket cannot be bound or the cache directory created.
 pub fn serve(opts: &ServerOptions) -> Result<(), String> {
-    let engine = Arc::new(Engine::open(&opts.cache_dir)?);
+    let engine = Arc::new(Engine::open_with(&opts.cache_dir, opts.cache_budget, None)?);
     serve_with(opts, engine)
 }
 
@@ -71,6 +82,10 @@ pub fn serve(opts: &ServerOptions) -> Result<(), String> {
 ///
 /// When the socket cannot be bound.
 pub fn serve_with(opts: &ServerOptions, engine: Arc<Engine>) -> Result<(), String> {
+    if let Some(parent) = opts.socket.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create socket dir {}: {e}", parent.display()))?;
+    }
     let _ = std::fs::remove_file(&opts.socket);
     let listener = UnixListener::bind(&opts.socket)
         .map_err(|e| format!("cannot bind {}: {e}", opts.socket.display()))?;
@@ -128,8 +143,15 @@ fn write_line(stream: &mut UnixStream, doc: &Json) {
     let _ = stream.flush();
 }
 
+/// An error terminal, with the machine-readable `code` attached when
+/// the message carries one (`timeout:` errors from the engine).
 fn error_line(msg: &str) -> Json {
-    Json::object().set("error", msg)
+    let doc = Json::object().set("error", msg);
+    if msg.starts_with(TIMEOUT_PREFIX) {
+        doc.set("code", "timeout")
+    } else {
+        doc
+    }
 }
 
 fn handle_connection(
@@ -158,7 +180,7 @@ fn handle_connection(
             "ping" => write_line(&mut out, &Json::object().set("ok", true).set("service", "sarad")),
             "stats" => write_line(
                 &mut out,
-                &Json::object().set("ok", true).set("stats", engine.stats.json()),
+                &Json::object().set("ok", true).set("stats", engine.stats_json()),
             ),
             "run" => handle_run(&req, engine, &mut out),
             "autotune" => handle_autotune(&req, engine, &mut out),
@@ -210,6 +232,11 @@ fn handle_run(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
         Ok(k) => k,
         Err(e) => return write_line(out, &error_line(&e)),
     };
+    // A client-supplied deadline is enforced server-side between stages;
+    // completed stages stay cached, so a retry resumes where this
+    // request ran out of time.
+    let deadline =
+        req.get("deadline_ms").and_then(Json::as_u64).map_or_else(Deadline::none, Deadline::in_ms);
     // Stream per-stage progress events as the pipeline advances.
     let mut progress = |stage: &str, outcome: &str| {
         // The event writes share `out` with the terminal line; a clone
@@ -221,7 +248,7 @@ fn handle_run(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
             );
         }
     };
-    match engine.sim_stage(&knobs, scheduler, &keys, &mut progress) {
+    match engine.sim_stage(&knobs, scheduler, &keys, deadline, &mut progress) {
         Ok(art) => write_line(
             out,
             &Json::object()
@@ -272,25 +299,62 @@ fn handle_autotune(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
                 .set("sims_run", outcome.sims_run)
                 .set("sim_failures", outcome.sim_failures.len())
                 .set("best_knobs", outcome.best.knobs.to_json())
-                .set("stats", engine.stats.json()),
+                .set("stats", engine.stats_json()),
         ),
         Err(e) => write_line(out, &error_line(&e)),
     }
 }
 
-/// Default socket path for CLI wiring: `$SARAD_SOCKET` or
-/// `<tmp>/sarad.sock`.
+/// Default socket path for CLI wiring: `$SARAD_SOCKET`, else a socket
+/// *inside* the cache directory. Deriving the socket from the cache dir
+/// (which is already per-user) means two users — or two test runs with
+/// distinct `SARAD_CACHE_DIR`s — on one machine never collide on a
+/// global `/tmp/sarad.sock`.
 pub fn default_socket() -> PathBuf {
     std::env::var_os("SARAD_SOCKET")
         .map(PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join("sarad.sock"))
+        .unwrap_or_else(|| default_cache_dir().join("sarad.sock"))
 }
 
-/// Default cache directory: `$SARAD_CACHE_DIR` or `<tmp>/sarad-cache`.
+/// Default cache directory: `$SARAD_CACHE_DIR`, else a per-user
+/// `<tmp>/sarad-<user>` (so machines shared between users do not share
+/// — or fight over — one world-writable cache).
 pub fn default_cache_dir() -> PathBuf {
-    std::env::var_os("SARAD_CACHE_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join("sarad-cache"))
+    if let Some(dir) = std::env::var_os("SARAD_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let user = std::env::var("USER")
+        .or_else(|_| std::env::var("LOGNAME"))
+        .unwrap_or_else(|_| "anon".to_string());
+    std::env::temp_dir().join(format!("sarad-{user}"))
+}
+
+/// Default store byte budget: `$SARAD_CACHE_BUDGET` (bytes, with an
+/// optional `k`/`m`/`g` suffix), else unbounded.
+pub fn default_cache_budget() -> Option<u64> {
+    std::env::var("SARAD_CACHE_BUDGET").ok().and_then(|v| parse_budget(&v).ok())
+}
+
+/// Parse a byte-budget string: a plain integer, or one with a binary
+/// `k`/`m`/`g` suffix (case-insensitive), e.g. `512m`.
+///
+/// # Errors
+///
+/// A one-line diagnostic for anything else.
+pub fn parse_budget(v: &str) -> Result<u64, String> {
+    let t = v.trim();
+    let (digits, mult) = match t.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&t[..i], 1u64 << 10),
+        Some((i, 'm' | 'M')) => (&t[..i], 1 << 20),
+        Some((i, 'g' | 'G')) => (&t[..i], 1 << 30),
+        _ => (t, 1),
+    };
+    match digits.trim().parse::<u64>() {
+        Ok(n) if n > 0 => {
+            n.checked_mul(mult).ok_or_else(|| format!("cache budget {v:?} overflows a byte count"))
+        }
+        _ => Err(format!("cache budget {v:?} is not a positive byte count (try 512m, 2g)")),
+    }
 }
 
 /// Best-effort removal of a stale socket file (used by tests).

@@ -229,3 +229,51 @@ fn warm_autotune_repeat_runs_zero_recompilations() {
     assert_eq!(cold.best.knobs.key(), warm.best.knobs.key());
     assert_eq!(cold.default_point.simulated, warm.default_point.simulated);
 }
+
+#[test]
+fn eviction_pressure_keeps_results_bit_identical_and_budget_holds() {
+    let dir = tmp_dir("evict");
+    let tuples: Vec<KnobConfig> =
+        [7u64, 8, 9, 10].iter().map(|&s| knobs_for("dotprod", "8x8", s)).collect();
+
+    // Reference artifacts and the total disk footprint from an
+    // unbounded engine.
+    let clean = Engine::open(&dir.join("clean")).unwrap();
+    let mut reference = Vec::new();
+    for k in &tuples {
+        let mut sink = no_progress();
+        reference.push(clean.run(k, Scheduler::Active, &mut sink).unwrap().1);
+    }
+    let total = clean.store().bytes();
+    assert!(total > 0);
+    drop(clean);
+
+    // Half the footprint: enough for any single request tuple, not for
+    // all of them — every pass below runs under real eviction pressure.
+    let budget = total / 2;
+    let tight = dir.join("tight");
+    let mut evictions = 0u64;
+    let mut save_failures = 0u64;
+    for pass in 0..2 {
+        for (k, expect) in tuples.iter().zip(&reference) {
+            // A fresh engine per request: no in-memory cache, so every
+            // request exercises the evicting disk store (hit, evicted
+            // re-compute, or degraded compute — all must agree).
+            let engine = Engine::open_with(&tight, Some(budget), None).unwrap();
+            let mut sink = no_progress();
+            let (_, art) = engine.run(k, Scheduler::Active, &mut sink).unwrap();
+            assert_eq!(
+                &art, expect,
+                "pass {pass}: results under eviction pressure must be bit-identical to fresh"
+            );
+            let bytes = engine.store().bytes();
+            assert!(bytes <= budget, "store holds {bytes} B over the {budget} B budget");
+            evictions += engine.store().counters.evictions.load(Ordering::Relaxed);
+            save_failures += engine.store().counters.save_failures.load(Ordering::Relaxed);
+        }
+    }
+    assert!(
+        evictions + save_failures > 0,
+        "the budget must actually have constrained the store (evictions or refusals)"
+    );
+}

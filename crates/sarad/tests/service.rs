@@ -6,7 +6,7 @@
 use sara_util::Json;
 use sarad::{Client, Engine, ServerOptions};
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -28,6 +28,7 @@ fn start_server(
         cache_dir: tmp(&format!("{tag}-cache")),
         workers,
         queue,
+        cache_budget: None,
     };
     let _ = std::fs::remove_dir_all(&opts.cache_dir);
     let engine = Arc::new(Engine::open(&opts.cache_dir).unwrap());
@@ -93,6 +94,11 @@ fn duplicate_burst_hits_cache_and_streams_progress() {
     let stats = client.stats().unwrap();
     assert!(stats.get("sim_hits").and_then(Json::as_u64).unwrap() >= 3, "{}", stats.pretty());
     assert_eq!(stats.get("sims_run").and_then(Json::as_u64), Some(1));
+    // The report also carries the store's resource counters.
+    assert!(stats.get("store_bytes").and_then(Json::as_u64).unwrap() > 0, "{}", stats.pretty());
+    assert!(stats.get("evictions").is_some());
+    assert!(stats.get("degraded").is_some());
+    assert!(stats.get("timeouts").is_some());
 
     client.shutdown().unwrap();
     // Shutdown must terminate the accept loop, not just the worker: the
@@ -187,21 +193,116 @@ fn protocol_errors_are_typed_not_fatal() {
     // Unknown op, unknown workload, malformed knobs: each is a typed
     // error line, and the connection stays usable afterwards.
     let e = client.call(&Json::object().set("op", "florble")).unwrap_err();
-    assert!(e.contains("unknown op"));
+    assert!(e.to_string().contains("unknown op"));
+    assert_eq!(e.code(), "server");
+    assert!(!e.retryable(), "a server-side request error must not be retried");
     let e = client
         .call(&Json::object().set("op", "run").set("workload", "no-such-kernel"))
         .unwrap_err();
-    assert!(e.contains("unknown workload"));
+    assert!(e.to_string().contains("unknown workload"));
     let e = client.call(&Json::object().set("op", "run")).unwrap_err();
-    assert!(e.contains("workload"));
+    assert!(e.to_string().contains("workload"));
     let e = client
         .call(&Json::object().set("op", "run").set("workload", "dotprod").set("scheduler", "warp"))
         .unwrap_err();
-    assert!(e.contains("unknown scheduler"));
+    assert!(e.to_string().contains("unknown scheduler"));
 
     // Still alive.
     let pong = client.call(&Json::object().set("op", "ping")).unwrap();
     assert_eq!(pong.get("service").and_then(Json::as_str), Some("sarad"));
+    client.shutdown().unwrap();
+    serve.join().unwrap();
+}
+
+#[test]
+fn truncated_and_garbage_mid_response_are_typed_client_errors() {
+    // A scripted fake "server" exercising the client's transport-error
+    // taxonomy: garbage bytes, a response truncated mid-line, and a
+    // connection dropped before the terminal line must each surface as
+    // a typed ClientError — never a parse panic, never a hang.
+    let sock = tmp("fake.sock");
+    let _ = std::fs::remove_file(&sock);
+    let listener = UnixListener::bind(&sock).unwrap();
+    let fake = std::thread::spawn(move || {
+        let answer = |bytes: &[u8]| {
+            let (s, _) = listener.accept().unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            let mut req = String::new();
+            r.read_line(&mut req).unwrap();
+            let mut w = s;
+            w.write_all(bytes).unwrap();
+            w.flush().unwrap();
+        };
+        // 1: pure garbage where a response line should be.
+        answer(b"}}} this is not json\n");
+        // 2: one valid progress event, then the terminal line cut off
+        //    mid-byte (server died while writing).
+        answer(b"{\"event\": \"stage\", \"stage\": \"compile\", \"cache\": \"miss\"}\n{\"event\": \"do");
+        // 3: connection closed with no response at all.
+        answer(b"");
+    });
+
+    let req = Json::object().set("op", "ping");
+    let e = Client::connect(&sock).unwrap().request(&req).unwrap_err();
+    assert_eq!(e.code(), "protocol", "garbage bytes: {e}");
+    assert!(!e.retryable(), "a protocol violation must not be blindly retried");
+
+    let e = Client::connect(&sock).unwrap().request(&req).unwrap_err();
+    assert_eq!(e.code(), "protocol", "truncated mid-response: {e}");
+
+    let e = Client::connect(&sock).unwrap().request(&req).unwrap_err();
+    assert_eq!(e.code(), "dropped", "dropped before terminal: {e}");
+    assert!(e.retryable(), "a dropped connection is safe to retry (idempotent requests)");
+
+    fake.join().unwrap();
+    let _ = std::fs::remove_file(&sock);
+}
+
+#[test]
+fn deadline_timeout_is_typed_and_retry_resumes_from_cached_stages() {
+    let (opts, engine, serve) = start_server("deadline", 1, 8);
+    // Every stage takes ~200 ms; the request budget is 100 ms. Each
+    // attempt finishes exactly one more stage (which stays cached) and
+    // then gets a typed timeout, so the third attempt completes.
+    engine.set_stage_delay(Some(Duration::from_millis(200)));
+    let mut client = Client::connect(&opts.socket).unwrap();
+    let req = Json::object()
+        .set("op", "run")
+        .set("workload", "dotprod")
+        .set("pnr_seed", 7)
+        .set("deadline_ms", 100);
+
+    let e = client.call(&req).unwrap_err();
+    assert_eq!(e.code(), "timeout", "attempt 1: {e}");
+    assert!(e.retryable());
+    assert!(e.to_string().contains("retry resumes"), "{e}");
+    assert_eq!(
+        engine.stats.compiles_run.load(Ordering::Relaxed),
+        1,
+        "the compile finished before the deadline and must stay cached"
+    );
+
+    let e = client.call(&req).unwrap_err();
+    assert_eq!(e.code(), "timeout", "attempt 2: {e}");
+    assert_eq!(engine.stats.compiles_run.load(Ordering::Relaxed), 1, "no recompile on retry");
+    assert_eq!(engine.stats.pnrs_run.load(Ordering::Relaxed), 1, "attempt 2 finished the PnR");
+
+    let done = client.call(&req).unwrap();
+    assert!(done.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(engine.stats.compiles_run.load(Ordering::Relaxed), 1);
+    assert_eq!(engine.stats.pnrs_run.load(Ordering::Relaxed), 1);
+    assert_eq!(engine.stats.sims_run.load(Ordering::Relaxed), 1);
+    assert!(engine.stats.timeouts.load(Ordering::Relaxed) >= 2);
+
+    // Timeouts are never negatively cached: with the delay disarmed the
+    // same tuple under the same deadline is served from cache instantly.
+    engine.set_stage_delay(None);
+    let again = client.call(&req).unwrap();
+    assert_eq!(
+        again.get("cycles").and_then(Json::as_u64),
+        done.get("cycles").and_then(Json::as_u64)
+    );
+
     client.shutdown().unwrap();
     serve.join().unwrap();
 }

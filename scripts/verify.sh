@@ -18,6 +18,10 @@
 #                    results/BENCH_sim_throughput.json — what the CI
 #                    perf-trajectory job gates on. Fails on a >20%
 #                    calibration-normalized regression.
+#   --chaos          additionally run the sarad service-level chaos soak
+#                    (two fixed seeds): fault-injected store, byte budget,
+#                    crash restarts, transport abuse. Any panic, hang, or
+#                    corrupt artifact served fails verification.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +29,7 @@ quick=0
 fuzz_budget=0
 faults=0
 bench=0
+chaos=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -36,7 +41,8 @@ while [[ $# -gt 0 ]]; do
       ;;
     --faults) faults=1 ;;
     --bench) bench=1 ;;
-    *) echo "usage: $0 [--quick] [--fuzz-budget N] [--faults] [--bench]" >&2; exit 2 ;;
+    --chaos) chaos=1 ;;
+    *) echo "usage: $0 [--quick] [--fuzz-budget N] [--faults] [--bench] [--chaos]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -54,6 +60,15 @@ run_faults() {
     echo "== fault-campaign (seeded plans, every registry workload)"
     cargo run --release -q -p sara-bench --bin fault-campaign -- \
       --plans 6 --seed 1025559 --out fault_campaign
+  fi
+}
+
+run_chaos() {
+  if [[ "$chaos" == 1 ]]; then
+    echo "== sarad-chaos (two fixed seeds)"
+    cargo build --release -q -p sarad --bin sarad-chaos
+    ./target/release/sarad-chaos --seed 803405 --ops 60 --watchdog-secs 60
+    ./target/release/sarad-chaos --seed 3735928559 --ops 60 --watchdog-secs 60
   fi
 }
 
@@ -81,6 +96,7 @@ if [[ "$quick" == 1 ]]; then
   run_fuzz
   run_faults
   run_bench
+  run_chaos
 
   echo "verify (quick): OK"
   exit 0
@@ -101,5 +117,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 run_fuzz
 run_faults
 run_bench
+run_chaos
 
 echo "verify: OK"
