@@ -23,7 +23,9 @@
 //! ```
 
 pub mod chip;
+pub mod system;
 pub mod units;
 
 pub use chip::{ChipSpec, DramKind, GridSlot};
+pub use system::{LinkSpec, SystemSpec};
 pub use units::{AgSpec, PartitionConstraints, PcuSpec, PmuSpec, PuType};

@@ -1,0 +1,295 @@
+//! System-level configuration: N chips in a grid, joined by inter-chip
+//! links with their own latency, bandwidth and buffering, each chip with
+//! its own DRAM.
+//!
+//! A [`SystemSpec`] is the multi-chip analog of [`ChipSpec`]: the
+//! partitioner (`sara-core`) consumes the chip count and per-chip
+//! capacities when sharding a VUDFG, the placer (`sara-pnr`) runs per
+//! chip, and the simulator (`plasticine-sim`) consumes the [`LinkSpec`]
+//! to model chip-boundary crossings as bounded, rate-limited FIFOs under
+//! one global clock. A 1-chip system is *definitionally* equivalent to
+//! its chip — the tools fall back to the single-chip paths, which stay
+//! bit-identical.
+
+use crate::chip::ChipSpec;
+use serde::{Deserialize, Serialize};
+
+/// One directed inter-chip link's capabilities. Links connect grid
+/// neighbors; a crossing between non-adjacent chips is routed X-then-Y
+/// over intermediate chips and pays each hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Traversal latency of one link hop in cycles (SerDes + wire; far
+    /// above the on-chip `hop_latency`).
+    pub latency: u32,
+    /// Peak packets per cycle per directed link (all streams crossing
+    /// the same physical link share this).
+    pub bandwidth: u32,
+    /// Link FIFO depth in packets: the credit window a sender may have
+    /// in flight before the receiver frees slots.
+    pub fifo_depth: u32,
+}
+
+impl Default for LinkSpec {
+    /// A conservative board-level link: tens of cycles latency, a few
+    /// packets per cycle, a modest credit window.
+    fn default() -> Self {
+        LinkSpec { latency: 40, bandwidth: 4, fifo_depth: 32 }
+    }
+}
+
+/// A full system configuration: `count` identical chips arranged in a
+/// `grid_cols`-wide grid (row-major chip indices), nearest-neighbor
+/// links between grid neighbors, one DRAM stack per chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// The per-chip configuration (all chips are identical).
+    pub chip: ChipSpec,
+    /// Number of chips.
+    pub count: u32,
+    /// Chips per grid row (chip `i` sits at column `i % grid_cols`,
+    /// row `i / grid_cols`).
+    pub grid_cols: u32,
+    /// Inter-chip link capabilities.
+    pub link: LinkSpec,
+}
+
+impl SystemSpec {
+    /// The trivial 1-chip system for a chip — the degenerate case every
+    /// single-chip tool path maps onto.
+    pub fn single(chip: ChipSpec) -> Self {
+        SystemSpec { chip, count: 1, grid_cols: 1, link: LinkSpec::default() }
+    }
+
+    /// A `count`-chip system on the given chip, arranged in the most
+    /// square grid (row-major).
+    pub fn grid(chip: ChipSpec, count: u32) -> Self {
+        let count = count.max(1);
+        let mut cols = 1;
+        while cols * cols < count {
+            cols += 1;
+        }
+        SystemSpec { chip, count, grid_cols: cols, link: LinkSpec::default() }
+    }
+
+    /// The canonical short name: the chip name for one chip, otherwise
+    /// `"<count>x<chip>"` (`"2x8x8"`, `"4x20x20"`), used by CLI flags
+    /// and replayable artifacts.
+    pub fn name(&self) -> String {
+        if self.count == 1 {
+            self.chip.name()
+        } else {
+            format!("{}x{}", self.count, self.chip.name())
+        }
+    }
+
+    /// Look a system up by its short name (the inverse of
+    /// [`SystemSpec::name`]). Plain chip names resolve to their 1-chip
+    /// system, so every `--chip` spelling is also a valid system.
+    pub fn by_name(name: &str) -> Option<SystemSpec> {
+        if let Some(chip) = ChipSpec::by_name(name) {
+            return Some(SystemSpec::single(chip));
+        }
+        let (count, chip_name) = name.split_once('x')?;
+        let count: u32 = count.parse().ok()?;
+        if !(2..=16).contains(&count) {
+            return None;
+        }
+        ChipSpec::by_name(chip_name).map(|chip| SystemSpec::grid(chip, count))
+    }
+
+    /// Multi-chip names advertised in usage strings, alongside
+    /// [`ChipSpec::NAMES`]. `by_name` also accepts other
+    /// `<count>x<chip>` spellings (2–16 chips).
+    pub const NAMES: &'static [&'static str] = &["2x8x8", "4x8x8", "2x20x20", "4x20x20"];
+
+    /// Grid rows the chips occupy (the last row may be partial).
+    pub fn grid_rows(&self) -> u32 {
+        self.count.div_ceil(self.grid_cols)
+    }
+
+    /// Grid coordinate of chip `i` as `(col, row)`.
+    pub fn chip_coord(&self, i: u32) -> (u32, u32) {
+        (i % self.grid_cols, i / self.grid_cols)
+    }
+
+    /// Whether a design needing the given *aggregate* unit counts fits
+    /// on the system. Per-chip balance is the sharding pass's job; this
+    /// is the capability-model feasibility query the DSE search uses.
+    pub fn can_fit(&self, pcus: u32, pmus: u32, ags: u32) -> bool {
+        pcus <= self.count * self.chip.pcus()
+            && pmus <= self.count * self.chip.pmus()
+            && ags <= self.count * self.chip.ags
+    }
+
+    /// Link hops between two chips (Manhattan distance on the chip grid).
+    pub fn route_hops(&self, from: u32, to: u32) -> u32 {
+        let (fc, fr) = self.chip_coord(from);
+        let (tc, tr) = self.chip_coord(to);
+        fc.abs_diff(tc) + fr.abs_diff(tr)
+    }
+
+    /// The directed physical links a `from → to` crossing traverses,
+    /// routed X-then-Y, as `(chip, chip)` pairs. Empty when `from == to`.
+    pub fn route_links(&self, from: u32, to: u32) -> Vec<(u32, u32)> {
+        let (fc, fr) = self.chip_coord(from);
+        let (tc, tr) = self.chip_coord(to);
+        let mut links = Vec::new();
+        let (mut c, mut r) = (fc, fr);
+        while c != tc {
+            let next = if tc > c { c + 1 } else { c - 1 };
+            links.push((r * self.grid_cols + c, r * self.grid_cols + next));
+            c = next;
+        }
+        while r != tr {
+            let next = if tr > r { r + 1 } else { r - 1 };
+            links.push((r * self.grid_cols + c, next * self.grid_cols + c));
+            r = next;
+        }
+        links
+    }
+
+    /// A canonical, field-complete description of the topology. This is
+    /// what content-addressed caches hash: *every* field that can change
+    /// compiled or simulated results appears, so two systems differing
+    /// in any knob — chip geometry, unit capabilities, DRAM technology,
+    /// chip count, grid shape or link parameters — can never alias.
+    pub fn canon(&self) -> String {
+        let c = &self.chip;
+        format!(
+            "system{{count={} grid_cols={} link={{lat={} bw={} depth={}}} \
+             chip{{rows={} cols={} ags={} dram={:?} hop={} clock={} area={} \
+             pcu={{lanes={} stages={} vi={} vo={} si={} so={} ci={} co={} fifo={} ctrs={} trans={}}} \
+             pmu={{cap={} banks={} vi={} vo={} si={} so={} ci={} co={} rlat={} astages={} rstreams={} mbuf={} fifo={}}} \
+             ag={{out={} burst={} vi={} vo={}}}}}}}",
+            self.count,
+            self.grid_cols,
+            self.link.latency,
+            self.link.bandwidth,
+            self.link.fifo_depth,
+            c.rows,
+            c.cols,
+            c.ags,
+            c.dram,
+            c.hop_latency,
+            c.clock_ghz,
+            c.area_mm2,
+            c.pcu.lanes,
+            c.pcu.stages,
+            c.pcu.vec_in,
+            c.pcu.vec_out,
+            c.pcu.scalar_in,
+            c.pcu.scalar_out,
+            c.pcu.ctrl_in,
+            c.pcu.ctrl_out,
+            c.pcu.fifo_depth,
+            c.pcu.counters,
+            c.pcu.transcendental_stages,
+            c.pmu.capacity_bytes,
+            c.pmu.banks,
+            c.pmu.vec_in,
+            c.pmu.vec_out,
+            c.pmu.scalar_in,
+            c.pmu.scalar_out,
+            c.pmu.ctrl_in,
+            c.pmu.ctrl_out,
+            c.pmu.read_latency,
+            c.pmu.addr_stages,
+            c.pmu.read_streams,
+            c.pmu.max_multibuffer,
+            c.pmu.fifo_depth,
+            c.ag.outstanding,
+            c.ag.burst_bytes,
+            c.ag.vec_in,
+            c.ag.vec_out,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chip_names_round_trip() {
+        for &n in ChipSpec::NAMES {
+            let s = SystemSpec::by_name(n).unwrap();
+            assert_eq!(s.count, 1);
+            assert_eq!(s.name(), n);
+        }
+    }
+
+    #[test]
+    fn multi_chip_names_round_trip() {
+        for &n in SystemSpec::NAMES {
+            let s = SystemSpec::by_name(n).unwrap();
+            assert!(s.count > 1, "{n}");
+            assert_eq!(s.name(), n);
+        }
+        assert_eq!(SystemSpec::by_name("2x8x8").unwrap().count, 2);
+        assert_eq!(SystemSpec::by_name("4x20x20").unwrap().chip.name(), "20x20");
+        assert!(SystemSpec::by_name("9x9").is_none());
+        assert!(SystemSpec::by_name("3x9x9").is_none());
+        assert!(SystemSpec::by_name("99x8x8").is_none());
+    }
+
+    #[test]
+    fn grid_is_near_square() {
+        let s = SystemSpec::grid(ChipSpec::small_8x8(), 4);
+        assert_eq!(s.grid_cols, 2);
+        assert_eq!(s.grid_rows(), 2);
+        assert_eq!(s.chip_coord(3), (1, 1));
+        let two = SystemSpec::grid(ChipSpec::small_8x8(), 2);
+        assert_eq!(two.grid_cols, 2);
+        assert_eq!(two.grid_rows(), 1);
+    }
+
+    #[test]
+    fn routes_are_manhattan_x_then_y() {
+        let s = SystemSpec::grid(ChipSpec::small_8x8(), 4); // 2x2 grid
+        assert_eq!(s.route_hops(0, 3), 2);
+        assert_eq!(s.route_links(0, 3), vec![(0, 1), (1, 3)]);
+        assert_eq!(s.route_links(3, 0), vec![(3, 2), (2, 0)]);
+        assert!(s.route_links(2, 2).is_empty());
+        assert_eq!(s.route_links(0, 1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn aggregate_fit_scales_with_count() {
+        let one = SystemSpec::single(ChipSpec::tiny_4x4()); // 8 PCUs per chip
+        assert!(!one.can_fit(9, 0, 0));
+        let four = SystemSpec::grid(ChipSpec::tiny_4x4(), 4);
+        assert!(four.can_fit(32, 32, 16));
+        assert!(!four.can_fit(33, 0, 0));
+    }
+
+    #[test]
+    fn canon_distinguishes_every_topology_field() {
+        let base = SystemSpec::grid(ChipSpec::small_8x8(), 2);
+        let mut link_lat = base.clone();
+        link_lat.link.latency += 1;
+        let mut link_bw = base.clone();
+        link_bw.link.bandwidth += 1;
+        let mut link_depth = base.clone();
+        link_depth.link.fifo_depth += 1;
+        let mut count = base.clone();
+        count.count += 1;
+        let mut grid = base.clone();
+        grid.grid_cols = 1;
+        let mut chip = base.clone();
+        chip.chip.hop_latency += 1;
+        let mut dram = base.clone();
+        dram.chip.dram = crate::chip::DramKind::Hbm2;
+        for (what, s) in [
+            ("link.latency", &link_lat),
+            ("link.bandwidth", &link_bw),
+            ("link.fifo_depth", &link_depth),
+            ("count", &count),
+            ("grid_cols", &grid),
+            ("chip.hop_latency", &chip),
+            ("chip.dram", &dram),
+        ] {
+            assert_ne!(s.canon(), base.canon(), "{what} must change the canon");
+        }
+    }
+}

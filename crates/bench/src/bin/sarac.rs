@@ -7,10 +7,20 @@
 //! ```text
 //! sarac <workload> [--chip 20x20|16x8|8x8|4x4] [--simulate] [--dot FILE] [--profile FILE]
 //!                  [--faults PLAN] [--sanitize]
+//! sarac <workload> --system 4x8x8 [--simulate]      # multi-chip scale-out
 //! sarac <workload> --autotune [--budget N] [--chip NAME]
 //! sarac --knobs FILE [--simulate]
 //! sarac --sweep   [--chip 20x20|16x8|8x8|4x4] [--simulate]
 //! ```
+//!
+//! `--system <count>x<chip>` (e.g. `2x8x8`, `4x20x20`; plain chip names
+//! mean one chip) compiles for the system's chip, shards the graph
+//! across the chips where crossing traffic is thinnest, places each
+//! chip independently, and — with `--simulate` — runs the linked
+//! multi-chip simulation with rate-limited inter-chip links. It names
+//! the chip itself, so it is mutually exclusive with `--chip`, and the
+//! scale-out pipeline has no fault-injection or replay support yet
+//! (`--faults`, `--knobs`, `--autotune`, `--sweep`, `--connect`).
 //!
 //! `--faults PLAN` (implies `--simulate`) injects the fault plan in file
 //! PLAN (see the DSL in `plasticine_sim::fault`); `--sanitize` enables
@@ -29,17 +39,19 @@
 //! factors, optimization flags, and PnR seed all come from the file, so
 //! the simulated cycle count reproduces the tuner's number exactly.
 //!
-//! `--server` starts the persistent `sarad` service on a Unix socket;
-//! `--connect PATH` routes work through a running service instead of
-//! compiling in-process — repeated requests are served from its
-//! content-addressed artifact cache:
+//! `--server` starts the persistent `sarad` service; `--connect ENDPOINT`
+//! routes work through a running service instead of compiling
+//! in-process — repeated requests are served from its content-addressed
+//! artifact cache. An endpoint containing `':'` is a TCP `host:port`
+//! address; anything else is a Unix socket path (same rule for
+//! `--socket`):
 //!
 //! ```text
-//! sarac --server [--socket PATH]
-//! sarac --connect PATH <workload> [--chip NAME]     # cached compile+sim
-//! sarac --connect PATH <workload> --autotune [--budget N]
-//! sarac --connect PATH --stats                      # hit/miss counters
-//! sarac --connect PATH --shutdown
+//! sarac --server [--socket PATH | --socket HOST:PORT]
+//! sarac --connect ENDPOINT <workload> [--chip NAME]  # cached compile+sim
+//! sarac --connect ENDPOINT <workload> --autotune [--budget N]
+//! sarac --connect ENDPOINT --stats                   # hit/miss counters
+//! sarac --connect ENDPOINT --shutdown
 //! ```
 //!
 //! `--connect` retries refused connections and `busy` shedding with
@@ -48,8 +60,8 @@
 //! an unreachable daemon a hard error instead (`--stats`/`--shutdown`
 //! always hard-fail — there is no local equivalent to fall back to).
 
-use plasticine_arch::ChipSpec;
-use plasticine_sim::{simulate, FaultPlan, SimConfig};
+use plasticine_arch::{ChipSpec, SystemSpec};
+use plasticine_sim::{simulate, simulate_system, FaultPlan, SimConfig};
 use sara_bench::{cli, sweep};
 use sara_core::compile::{compile, CompilerOptions};
 use sara_core::vudfg::{StreamKind, UnitKind, Vudfg};
@@ -159,14 +171,15 @@ fn autotune(name: &str, chip: &ChipSpec, budget: Option<usize>) -> ! {
 }
 
 /// `--server`: run the persistent `sarad` service in the foreground
-/// until a shutdown request arrives on the socket.
+/// until a shutdown request arrives on the endpoint (a Unix socket
+/// path, or a TCP `host:port` when the spelling contains `':'`).
 fn run_server(socket: Option<String>) -> ! {
     let opts = sarad::ServerOptions {
         socket: socket.map_or_else(sarad::server::default_socket, std::path::PathBuf::from),
         cache_dir: sarad::server::default_cache_dir(),
         ..sarad::ServerOptions::default()
     };
-    eprintln!("sarad: listening on {} (cache {})", opts.socket.display(), opts.cache_dir.display());
+    eprintln!("sarad: listening on {} (cache {})", opts.endpoint(), opts.cache_dir.display());
     match sarad::serve(&opts) {
         Ok(()) => std::process::exit(0),
         Err(e) => {
@@ -176,9 +189,10 @@ fn run_server(socket: Option<String>) -> ! {
     }
 }
 
-/// `--connect PATH`: route the request through a running `sarad`
+/// `--connect ENDPOINT`: route the request through a running `sarad`
 /// service instead of compiling in-process.
 struct ConnectJob {
+    /// Endpoint spelling: `host:port` for TCP, a path for Unix.
     socket: String,
     stats: bool,
     shutdown: bool,
@@ -195,18 +209,18 @@ struct ConnectJob {
 /// the caller should fall back to local in-process compilation.
 fn run_connect(job: &ConnectJob) {
     use sara_util::Json;
-    use sarad::{client::run_with_retry, ClientError, RetryPolicy};
+    use sarad::{client::run_with_retry_to, ClientError, Endpoint, RetryPolicy};
     let fail = |e: &dyn std::fmt::Display| -> ! {
         eprintln!("error: {}: {e}", job.socket);
         std::process::exit(1);
     };
     let policy = RetryPolicy::default();
-    let socket = std::path::Path::new(&job.socket);
+    let endpoint = Endpoint::parse(&job.socket);
     // --stats / --shutdown have no local equivalent, so they never fall
     // back: an unreachable daemon is an error.
     if job.stats || job.shutdown {
         let mut client =
-            sarad::Client::connect_with_retry(socket, &policy).unwrap_or_else(|e| fail(&e));
+            sarad::Client::connect_to_with_retry(&endpoint, &policy).unwrap_or_else(|e| fail(&e));
         if job.shutdown {
             client.shutdown().unwrap_or_else(|e| fail(&e));
             println!("sarad: shutdown acknowledged");
@@ -239,7 +253,7 @@ fn run_connect(job: &ConnectJob) {
     // connections, deadline timeouts — retry with jittered backoff;
     // requests are content-addressed and idempotent, so a retry re-serves
     // (or resumes) cached work.
-    let lines = match run_with_retry(socket, &req, &policy) {
+    let lines = match run_with_retry_to(&endpoint, &req, &policy) {
         Ok(lines) => lines,
         Err(e @ ClientError::Connect(_)) if job.fallback => {
             eprintln!(
@@ -311,15 +325,19 @@ fn main() {
             "usage: sarac <workload> [--chip {chips}] [--simulate] [--dot FILE] [--profile FILE] [--faults PLAN] [--sanitize]",
             chips = ChipSpec::NAMES.join("|")
         );
+        eprintln!(
+            "       sarac <workload> --system {systems}|<count>x<chip> [--simulate]",
+            systems = SystemSpec::NAMES.join("|")
+        );
         eprintln!("       sarac <workload> --autotune [--budget N] [--chip NAME]");
         eprintln!("       sarac --knobs FILE [--simulate]");
         eprintln!(
             "       sarac --sweep [--chip {chips}] [--simulate]",
             chips = ChipSpec::NAMES.join("|")
         );
-        eprintln!("       sarac --server [--socket PATH]");
+        eprintln!("       sarac --server [--socket PATH|HOST:PORT]");
         eprintln!(
-            "       sarac --connect PATH [<workload> [--autotune] | --stats | --shutdown] \
+            "       sarac --connect ENDPOINT [<workload> [--autotune] | --stats | --shutdown] \
              [--no-fallback]"
         );
         eprintln!(
@@ -331,6 +349,8 @@ fn main() {
     let mut name: Option<String> = None;
     let mut do_sweep = false;
     let mut chip = ChipSpec::small_8x8();
+    let mut chip_given = false;
+    let mut system: Option<SystemSpec> = None;
     let mut do_sim = false;
     let mut dot_file: Option<String> = None;
     let mut profile_file: Option<String> = None;
@@ -348,7 +368,14 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--chip" => chip = cli::parse_chip_or_exit(&cli::flag_value(&args, &mut i, "--chip")),
+            "--chip" => {
+                chip = cli::parse_chip_or_exit(&cli::flag_value(&args, &mut i, "--chip"));
+                chip_given = true;
+            }
+            "--system" => {
+                system =
+                    Some(cli::parse_system_or_exit(&cli::flag_value(&args, &mut i, "--system")));
+            }
             "--simulate" => do_sim = true,
             "--sweep" => do_sweep = true,
             "--dot" => dot_file = Some(cli::flag_value(&args, &mut i, "--dot")),
@@ -381,6 +408,18 @@ fn main() {
         }
         i += 1;
     }
+    if let Some(sys) = &system {
+        if chip_given {
+            cli::usage_error("--system names the chip itself; drop --chip");
+        }
+        if do_sweep || do_autotune || knobs_file.is_some() || connect.is_some() {
+            cli::usage_error(
+                "--system only supports the direct compile path \
+                 (not --sweep / --autotune / --knobs / --connect)",
+            );
+        }
+        chip = sys.chip.clone();
+    }
     if do_server {
         run_server(socket);
     }
@@ -399,7 +438,7 @@ fn main() {
         // unreachable and fallback is on: continue on the local path.
     }
     if do_stats || do_shutdown {
-        cli::usage_error("--stats / --shutdown need --connect PATH");
+        cli::usage_error("--stats / --shutdown need --connect ENDPOINT");
     }
     if do_sweep {
         sweep_all(&chip, do_sim);
@@ -438,11 +477,18 @@ fn main() {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             });
-            let c = k.chip_spec().unwrap_or_else(|e| {
+            // The artifact's chip field may name a multi-chip system;
+            // replaying it follows the same scale-out pipeline the
+            // tuner measured, reproducing its cycle count.
+            let sys = k.system_spec().unwrap_or_else(|e| {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             });
             println!("knobs: replaying {} on {} (pnr seed {})", k.key(), k.chip, k.pnr_seed);
+            let c = sys.chip.clone();
+            if sys.count > 1 {
+                system = Some(sys);
+            }
             (p, c, k.compiler_options(), k.pnr_seed)
         }
         None => (w.program.clone(), chip, CompilerOptions::default(), 42),
@@ -471,12 +517,50 @@ fn main() {
         compiled.report.streams,
         compiled.report.token_streams
     );
-    let pnr = sara_pnr::place_and_route(&mut compiled.vudfg, &compiled.assignment, &chip, pnr_seed)
-        .unwrap_or_else(|e| {
-            eprintln!("pnr error: {e}");
-            std::process::exit(1);
-        });
-    println!("pnr:   wirelength {}, max link use {}", pnr.wirelength, pnr.max_link_use);
+    // Multi-chip systems shard the graph and place every chip; the plan
+    // is kept for the linked simulation below.
+    let mut plan: Option<sara_core::shard::ShardPlan> = None;
+    match &system {
+        Some(sys) if sys.count > 1 => {
+            let r = sara_pnr::place_and_route_system(
+                &mut compiled.vudfg,
+                &compiled.assignment,
+                sys,
+                pnr_seed,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("pnr error: {e}");
+                std::process::exit(1);
+            });
+            let used: std::collections::HashSet<u32> = r.plan.chip_of.iter().copied().collect();
+            println!(
+                "shard: {} of {} chips used, {} crossings, cut traffic {:.1}",
+                used.len(),
+                sys.count,
+                r.plan.crossings.len(),
+                r.plan.cut_traffic
+            );
+            println!(
+                "pnr:   wirelength {} over {} chips",
+                r.chips.iter().map(|c| c.wirelength).sum::<u64>(),
+                r.chips.len()
+            );
+            plan = Some(r.plan);
+        }
+        _ => {
+            let pnr = sara_pnr::place_and_route(
+                &mut compiled.vudfg,
+                &compiled.assignment,
+                &chip,
+                pnr_seed,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("pnr error: {e}");
+                std::process::exit(1);
+            });
+            println!("pnr:   wirelength {}, max link use {}", pnr.wirelength, pnr.max_link_use);
+        }
+    }
     if let Some(f) = dot_file {
         if let Err(e) = std::fs::write(&f, dot_of(&compiled.vudfg)) {
             eprintln!("error: cannot write dot file {f}: {e}");
@@ -500,7 +584,11 @@ fn main() {
             println!("faults: {} fault(s) armed from {f}", plan.faults.len());
             cfg.faults = Some(plan);
         }
-        match simulate(&compiled.vudfg, &chip, &cfg) {
+        let outcome = match (&system, &plan) {
+            (Some(sys), Some(p)) => simulate_system(&compiled.vudfg, sys, p, &cfg),
+            _ => simulate(&compiled.vudfg, &chip, &cfg),
+        };
+        match outcome {
             Ok(o) => {
                 println!(
                     "sim:   {} cycles, {:.2} flop/cycle, dram {:.1} B/cycle",

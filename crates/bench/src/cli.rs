@@ -7,7 +7,7 @@
 //! extraction, chip-name parsing, and the `--profile-dir` knob every
 //! fig/table binary accepts.
 
-use plasticine_arch::ChipSpec;
+use plasticine_arch::{ChipSpec, SystemSpec};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
@@ -33,10 +33,30 @@ pub fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
 }
 
 /// Parse a `--chip` value through [`ChipSpec::by_name`], or a one-line
-/// usage error (exit 2) naming the accepted spellings.
+/// usage error (exit 2) naming the accepted spellings — including the
+/// multi-chip system names, which `--chip` itself does not accept, so a
+/// user who typed `--chip 4x8x8` learns the flag they wanted.
 pub fn parse_chip_or_exit(name: &str) -> ChipSpec {
     ChipSpec::by_name(name).unwrap_or_else(|| {
-        usage_error(&format!("unknown chip {name} (expected {})", ChipSpec::NAMES.join(", ")))
+        usage_error(&format!(
+            "unknown chip {name} (expected {}; multi-chip systems like {} take --system)",
+            ChipSpec::NAMES.join(", "),
+            SystemSpec::NAMES.join(", "),
+        ))
+    })
+}
+
+/// Parse a `--system` value through [`SystemSpec::by_name`] (plain chip
+/// names resolve to their 1-chip system), or a one-line usage error
+/// (exit 2) naming both the chip and the system spellings.
+pub fn parse_system_or_exit(name: &str) -> SystemSpec {
+    SystemSpec::by_name(name).unwrap_or_else(|| {
+        usage_error(&format!(
+            "unknown system {name} (expected a chip ({}) or <count>x<chip> with 2-16 chips, \
+             e.g. {})",
+            ChipSpec::NAMES.join(", "),
+            SystemSpec::NAMES.join(", "),
+        ))
     })
 }
 

@@ -7,8 +7,8 @@ pub mod sweep;
 pub mod trace;
 
 use json::Json;
-use plasticine_arch::ChipSpec;
-use plasticine_sim::{simulate, SimConfig, SimOutcome};
+use plasticine_arch::{ChipSpec, SystemSpec};
+use plasticine_sim::{simulate, simulate_system, SimConfig, SimOutcome};
 use sara_core::compile::{compile, Compiled, CompilerOptions};
 use sara_ir::interp::{Interp, InterpStats};
 use sara_ir::Program;
@@ -117,6 +117,44 @@ pub fn run_profiled(
         .map_err(|e| format!("write chrome trace: {e}"))?;
     }
     Ok(r)
+}
+
+/// Compile, shard, place-and-route per chip, and simulate a program on
+/// every chip of a multi-chip system (see `sara_pnr::place_and_route_system`
+/// and `plasticine_sim::simulate_system`). A 1-chip system follows the
+/// single-chip pipeline bit-for-bit. Returns the run plus the shard plan
+/// (chip assignment, crossing streams, cut traffic) for reporting.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the failing phase.
+pub fn run_system(
+    p: &Program,
+    system: &SystemSpec,
+    opts: &CompilerOptions,
+) -> Result<(Run, sara_core::shard::ShardPlan), String> {
+    run_system_with(p, system, opts, &sim_config())
+}
+
+/// [`run_system`] with an explicit simulator configuration.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the failing phase.
+pub fn run_system_with(
+    p: &Program,
+    system: &SystemSpec,
+    opts: &CompilerOptions,
+    cfg: &SimConfig,
+) -> Result<(Run, sara_core::shard::ShardPlan), String> {
+    let interp = Interp::new(p).run().map_err(|e| format!("interp: {e}"))?.stats;
+    let mut compiled = compile(p, &system.chip, opts).map_err(|e| format!("compile: {e}"))?;
+    let pnr =
+        sara_pnr::place_and_route_system(&mut compiled.vudfg, &compiled.assignment, system, 17)
+            .map_err(|e| format!("pnr: {e}"))?;
+    let outcome = simulate_system(&compiled.vudfg, system, &pnr.plan, cfg)
+        .map_err(|e| format!("sim: {e}"))?;
+    Ok((Run { compiled, outcome, interp }, pnr.plan))
 }
 
 /// Compile, place-and-route, and simulate a registry workload by name.

@@ -33,6 +33,38 @@ fn sarac_unknown_chip_and_flag_are_usage_errors() {
 }
 
 #[test]
+fn sarac_unknown_chip_error_lists_chip_and_system_names() {
+    // A user who typed a *system* name at --chip must learn both the
+    // accepted chip spellings and the flag that takes system names.
+    let out = Command::new(sarac()).args(["--chip", "4x8x8"]).output().expect("spawn sarac");
+    assert_diagnostic(&out, "--chip 4x8x8");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for name in ["8x8", "20x20", "2x8x8", "4x8x8", "--system"] {
+        assert!(stderr.contains(name), "--chip error must mention {name}:\n{stderr}");
+    }
+}
+
+#[test]
+fn sarac_system_flag_misuse_is_a_usage_error() {
+    for argsets in [
+        vec!["dotprod", "--system"],                           // missing value
+        vec!["dotprod", "--system", "bogus"],                  // unknown name
+        vec!["dotprod", "--system", "17x8x8"],                 // count out of range
+        vec!["dotprod", "--system", "2x8x8", "--chip", "8x8"], // mutually exclusive
+        vec!["--sweep", "--system", "2x8x8"],                  // unsupported combination
+    ] {
+        let out = Command::new(sarac()).args(&argsets).output().expect("spawn sarac");
+        assert_diagnostic(&out, &argsets.join(" "));
+    }
+    let out =
+        Command::new(sarac()).args(["dotprod", "--system", "bogus"]).output().expect("spawn sarac");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for name in ["8x8", "2x8x8"] {
+        assert!(stderr.contains(name), "--system error must list {name}:\n{stderr}");
+    }
+}
+
+#[test]
 fn unparsable_thread_count_is_a_usage_error() {
     let out = Command::new(sarac())
         .args(["--sweep"])

@@ -25,11 +25,13 @@
 //! spurious differences only cost a recompute, never a wrong hit.
 
 use crate::compile::CompilerOptions;
+use crate::shard::ShardPlan;
 use crate::vudfg::{
     AgDir, AgUnit, CBound, DfgNode, DramTensor, Level, NodeOp, OutPort, Stream, StreamId,
     StreamKind, SyncUnit, TokenRule, Unit, UnitId, UnitKind, Vcu, VcuRole, Vmu, VmuReadPort,
     VmuWritePort, Vudfg, XbarColl, XbarDist,
 };
+use plasticine_arch::SystemSpec;
 use sara_ir::{AccessId, BinOp, CtrlId, Elem, ExprId, MemId, Program, UnOp};
 use sara_util::Json;
 
@@ -122,6 +124,59 @@ pub fn program_canon(p: &Program) -> String {
 /// option sets always render differently.
 pub fn options_canon(opts: &CompilerOptions) -> String {
     format!("{opts:?}")
+}
+
+/// Content key of a compile stage: program, options, and the *full*
+/// system/topology description ([`SystemSpec::canon`] covers every chip
+/// and link field), so cached artifacts can never alias across two
+/// topologies that happen to share a display name.
+pub fn compile_key(p: &Program, opts: &CompilerOptions, system: &SystemSpec) -> String {
+    let mut h = StableHasher::new();
+    h.str("sarad-compile-v2").str(&program_canon(p)).str(&options_canon(opts)).str(&system.canon());
+    h.hex()
+}
+
+// ---------------------------------------------------------------------------
+// Shard-plan wire form
+// ---------------------------------------------------------------------------
+
+/// Serialize a [`ShardPlan`] so a multi-chip placement artifact carries
+/// the unit→chip mapping and crossing set the linked simulation needs
+/// (`cut_traffic` is encoded by IEEE-754 bit pattern, like tensor data).
+pub fn shard_plan_json(p: &ShardPlan) -> Json {
+    Json::object()
+        .set("count", p.count)
+        .set("chip_of", Json::Array(p.chip_of.iter().map(|&c| Json::from(c)).collect()))
+        .set("crossings", Json::Array(p.crossings.iter().map(|s| Json::from(s.0)).collect()))
+        .set("cut_traffic", Json::Str(format!("f{:016x}", p.cut_traffic.to_bits())))
+}
+
+/// Deserialize a [`ShardPlan`] from its JSON wire form.
+///
+/// # Errors
+///
+/// A one-line description of the first missing or ill-typed field.
+pub fn shard_plan_from_json(v: &Json) -> Result<ShardPlan, String> {
+    let u32_of = |e: &Json, what: &str| {
+        e.as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| format!("shard plan: bad {what}"))
+    };
+    let chip_of = get_arr(v, "chip_of")?
+        .iter()
+        .map(|e| u32_of(e, "chip index"))
+        .collect::<Result<Vec<u32>, String>>()?;
+    let crossings = get_arr(v, "crossings")?
+        .iter()
+        .map(|e| u32_of(e, "crossing stream id").map(StreamId))
+        .collect::<Result<Vec<StreamId>, String>>()?;
+    let cut = get_str(v, "cut_traffic")?;
+    let cut_traffic = cut
+        .strip_prefix('f')
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| format!("shard plan: bad cut_traffic {cut:?}"))?;
+    Ok(ShardPlan { count: get_u32(v, "count")?, chip_of, crossings, cut_traffic })
 }
 
 // ---------------------------------------------------------------------------
@@ -840,6 +895,20 @@ mod tests {
         assert_eq!(back, compiled.vudfg, "lowered round trip");
         // The serialized text is canonical: same bytes again.
         assert_eq!(doc.pretty(), vudfg_json(&back).pretty(), "canonical text");
+    }
+
+    #[test]
+    fn shard_plan_round_trips_bit_exactly() {
+        let plan = ShardPlan {
+            count: 4,
+            chip_of: vec![0, 0, 1, 3, 2],
+            crossings: vec![StreamId(1), StreamId(7)],
+            cut_traffic: 405.5,
+        };
+        let back = shard_plan_from_json(&shard_plan_json(&plan)).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.cut_traffic.to_bits(), plan.cut_traffic.to_bits());
+        assert!(shard_plan_from_json(&Json::object()).is_err());
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub mod partition;
 pub mod profile;
 pub mod report;
 pub mod robust;
+pub mod shard;
+pub mod traffic;
 pub mod vudfg;
 pub mod vudfg_validate;
 

@@ -1,0 +1,152 @@
+//! Per-edge traffic attribution over the lowered VUDFG.
+//!
+//! Every virtual compute unit fires once per iteration of its control
+//! chain, so its firing count is the product of its levels' static trip
+//! counts (dynamic bounds and do-while levels fall back to small fixed
+//! guesses). Stream-driven units (VMUs, AGs, syncs, crossbars) move at
+//! the rate of their producers. A stream's traffic is then its source's
+//! firing estimate times its payload width — with single-bit token
+//! streams an order of magnitude thinner than data streams.
+//!
+//! Two consumers share this attribution: the cross-chip sharding pass
+//! ([`crate::shard`]) cuts the graph where estimated traffic is
+//! thinnest, and `sara-dse`'s analytical cost model derives compute and
+//! DRAM bounds from the same firing counts.
+
+use crate::vudfg::{Level, StreamKind, UnitKind, Vudfg};
+
+/// Firing-count guess for a counter level with a dynamic bound.
+pub const DYNAMIC_TRIP_GUESS: u64 = 8;
+/// Firing-count guess for a do-while level.
+pub const WHILE_TRIP_GUESS: u64 = 4;
+/// Relative weight of a token packet vs. one data element: tokens are
+/// single-bit credits, data elements are 8-byte words.
+pub const TOKEN_TRAFFIC_FACTOR: f64 = 0.125;
+
+/// Product of a level chain's trip counts (the unit's firing count).
+pub fn firings_of(levels: &[Level]) -> f64 {
+    let mut f = 1.0f64;
+    for l in levels {
+        f *= match l {
+            Level::Counter { .. } => l.static_trip().unwrap_or(DYNAMIC_TRIP_GUESS).max(1) as f64,
+            Level::Gate { .. } => 1.0,
+            Level::While { .. } => WHILE_TRIP_GUESS as f64,
+        };
+    }
+    f
+}
+
+/// Estimated firing count per unit (indexed by unit id). Compute units
+/// derive theirs from their control chain; stream-driven units inherit
+/// the maximum over their producers, propagated in topological order
+/// over non-token edges (units on a residual cycle keep whatever their
+/// resolved producers gave them, defaulting to 1).
+pub fn unit_firings(g: &Vudfg) -> Vec<f64> {
+    let n = g.units.len();
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for s in &g.streams {
+        if s.kind.is_token() || s.src == s.dst {
+            continue;
+        }
+        adj[s.src.index()].push(s.dst.index());
+        in_edges[s.dst.index()].push(s.src.index());
+        indeg[s.dst.index()] += 1;
+    }
+    let mut firings = vec![1.0f64; n];
+    let resolve = |g: &Vudfg, firings: &[f64], in_edges: &[Vec<usize>], u: usize| -> f64 {
+        match &g.units[u].kind {
+            UnitKind::Vcu(v) => firings_of(&v.levels),
+            _ => in_edges[u].iter().map(|&p| firings[p]).fold(1.0, f64::max),
+        }
+    };
+    let mut q: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = q.pop() {
+        order.push(u);
+        for &d in &adj[u] {
+            indeg[d] -= 1;
+            if indeg[d] == 0 {
+                q.push(d);
+            }
+        }
+    }
+    // Residual cycle members (indeg never hit zero) resolve last, in
+    // index order, from whatever their producers hold.
+    order.extend((0..n).filter(|&i| indeg[i] > 0));
+    for u in order {
+        firings[u] = resolve(g, &firings, &in_edges, u);
+    }
+    firings
+}
+
+/// Estimated traffic per stream (indexed by stream id), in data-element
+/// equivalents over the whole run: source firings × payload width, with
+/// token streams scaled by [`TOKEN_TRAFFIC_FACTOR`].
+pub fn stream_traffic(g: &Vudfg) -> Vec<f64> {
+    let firings = unit_firings(g);
+    g.streams
+        .iter()
+        .map(|s| {
+            let packets = firings[s.src.index()].max(1.0);
+            match s.kind {
+                StreamKind::Token { .. } => packets * TOKEN_TRAFFIC_FACTOR,
+                kind => packets * f64::from(kind.width().max(1)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vudfg::{CBound, DfgNode, NodeOp, StreamKind, UnitKind, Vcu, VcuRole, Vudfg};
+    use sara_ir::{BinOp, CtrlId};
+
+    fn vcu_with_trip(trip: i64) -> UnitKind {
+        UnitKind::Vcu(Vcu {
+            levels: vec![Level::Counter {
+                min: CBound::Const(0),
+                max: CBound::Const(trip),
+                step: 1,
+                lane_offset: 0,
+                lane_stride: 1,
+                ctrl: CtrlId(1),
+            }],
+            dfg: vec![DfgNode { op: NodeOp::Bin(BinOp::Add), ins: vec![] }],
+            width: 1,
+            role: VcuRole::Merge,
+            token_pops: vec![],
+            token_pushes: vec![],
+            producer_gate_mask: vec![],
+            epoch_emit: None,
+        })
+    }
+
+    #[test]
+    fn stream_driven_units_inherit_producer_rates() {
+        let mut g = Vudfg::new("t");
+        let a = g.add_unit("a", vcu_with_trip(64));
+        let sync = g.add_unit("s", UnitKind::Sync(crate::vudfg::SyncUnit));
+        let b = g.add_unit("b", vcu_with_trip(4));
+        g.connect(a, sync, StreamKind::Scalar, 4, "as");
+        g.connect(b, sync, StreamKind::Scalar, 4, "bs");
+        let f = unit_firings(&g);
+        assert_eq!(f[a.index()], 64.0);
+        assert_eq!(f[sync.index()], 64.0, "sync moves at its fastest producer");
+    }
+
+    #[test]
+    fn tokens_are_thinner_than_vectors() {
+        let mut g = Vudfg::new("t");
+        let a = g.add_unit("a", vcu_with_trip(16));
+        let b = g.add_unit("b", vcu_with_trip(16));
+        let (vec_s, _, _) = g.connect(a, b, StreamKind::Vector(8), 4, "v");
+        let (tok_s, _, _) = g.connect(a, b, StreamKind::Token { init: 0 }, 4, "t");
+        let w = stream_traffic(&g);
+        assert_eq!(w[vec_s.index()], 16.0 * 8.0);
+        assert_eq!(w[tok_s.index()], 16.0 * TOKEN_TRAFFIC_FACTOR);
+        assert!(w[tok_s.index()] * 10.0 < w[vec_s.index()]);
+    }
+}

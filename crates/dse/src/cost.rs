@@ -39,14 +39,11 @@
 
 use plasticine_arch::ChipSpec;
 use sara_core::compile::Compiled;
-use sara_core::vudfg::{Level, UnitKind};
+use sara_core::traffic::firings_of;
+use sara_core::vudfg::UnitKind;
 use sara_ir::{CtrlId, Program};
 use std::collections::HashMap;
 
-/// Firing-count guess for a counter level with a dynamic bound.
-const DYNAMIC_TRIP_GUESS: u64 = 8;
-/// Firing-count guess for a do-while level.
-const WHILE_TRIP_GUESS: u64 = 4;
 /// Element width in bytes (every [`sara_ir::Elem`] is 8 bytes).
 const ELEM_BYTES: u64 = 8;
 
@@ -116,19 +113,6 @@ pub fn estimate(p: &Program, compiled: &Compiled, chip: &ChipSpec) -> CostEstima
         startup,
         dram_bytes,
     }
-}
-
-/// Product of a level chain's trip counts (the unit's firing count).
-fn firings_of(levels: &[Level]) -> f64 {
-    let mut f = 1.0f64;
-    for l in levels {
-        f *= match l {
-            Level::Counter { .. } => l.static_trip().unwrap_or(DYNAMIC_TRIP_GUESS).max(1) as f64,
-            Level::Gate { .. } => 1.0,
-            Level::While { .. } => WHILE_TRIP_GUESS as f64,
-        };
-    }
-    f
 }
 
 /// The root-child subtree a controller sits under (the unit's coarse

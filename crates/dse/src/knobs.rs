@@ -7,7 +7,7 @@
 //! deterministically: the artifact pins the PnR seed alongside the
 //! knobs, so a replay reproduces the tuner's cycle count exactly.
 
-use plasticine_arch::ChipSpec;
+use plasticine_arch::{ChipSpec, SystemSpec};
 use sara_core::compile::CompilerOptions;
 use sara_core::opt::OptConfig;
 use sara_ir::Program;
@@ -38,13 +38,21 @@ pub struct LoopKnob {
 #[derive(Debug, Clone, PartialEq)]
 pub struct KnobConfig {
     pub workload: String,
-    /// Chip short name (see [`ChipSpec::by_name`]).
+    /// Chip — or multi-chip system — short name (see
+    /// [`SystemSpec::by_name`]: plain chip names mean one chip,
+    /// `<count>x<chip>` a system).
     pub chip: String,
     /// Seed for place-and-route; pinned so a replay reproduces the
     /// tuner's exact cycle count.
     pub pnr_seed: u64,
     pub pars: Vec<LoopKnob>,
     pub opt: OptConfig,
+    /// Inter-chip link latency override in cycles (multi-chip systems
+    /// only; `None` keeps the [`plasticine_arch::LinkSpec`] default).
+    pub link_latency: Option<u32>,
+    /// Inter-chip link bandwidth override in packets/cycle (multi-chip
+    /// systems only; `None` keeps the default).
+    pub link_bandwidth: Option<u32>,
 }
 
 impl KnobConfig {
@@ -81,18 +89,48 @@ impl KnobConfig {
             pnr_seed,
             pars,
             opt: OptConfig::default(),
+            link_latency: None,
+            link_bandwidth: None,
         })
     }
 
-    /// The chip this point targets.
+    /// The chip this point targets. Strict: multi-chip system names are
+    /// rejected — callers on the single-chip pipeline must not silently
+    /// drop the system semantics (use [`KnobConfig::system_spec`]).
     ///
     /// # Errors
     ///
-    /// If the chip name is unknown.
+    /// If the chip name is unknown or names a multi-chip system.
     pub fn chip_spec(&self) -> Result<ChipSpec, String> {
         ChipSpec::by_name(&self.chip).ok_or_else(|| {
             format!("unknown chip {} (expected {})", self.chip, ChipSpec::NAMES.join(", "))
         })
+    }
+
+    /// The full system this point targets: plain chip names resolve to
+    /// their 1-chip system, `<count>x<chip>` to a multi-chip grid, and
+    /// the link overrides (when set) are applied on top.
+    ///
+    /// # Errors
+    ///
+    /// If the name is neither a chip nor a system, naming both sets of
+    /// accepted spellings.
+    pub fn system_spec(&self) -> Result<SystemSpec, String> {
+        let mut s = SystemSpec::by_name(&self.chip).ok_or_else(|| {
+            format!(
+                "unknown chip or system {} (expected a chip ({}) or <count>x<chip>, e.g. {})",
+                self.chip,
+                ChipSpec::NAMES.join(", "),
+                SystemSpec::NAMES.join(", ")
+            )
+        })?;
+        if let Some(lat) = self.link_latency {
+            s.link.latency = lat;
+        }
+        if let Some(bw) = self.link_bandwidth {
+            s.link.bandwidth = bw;
+        }
+        Ok(s)
     }
 
     /// Compiler options for this point (knob flags over defaults).
@@ -135,8 +173,16 @@ impl KnobConfig {
     /// chip), used for deduplication during search.
     pub fn key(&self) -> String {
         let pars: Vec<String> = self.pars.iter().map(|k| format!("{}={}", k.name, k.par)).collect();
+        let link = match (self.link_latency, self.link_bandwidth) {
+            (None, None) => String::new(),
+            (lat, bw) => format!(
+                "|link_lat={} link_bw={}",
+                lat.map_or_else(|| "-".into(), |v| v.to_string()),
+                bw.map_or_else(|| "-".into(), |v| v.to_string()),
+            ),
+        };
         format!(
-            "{}|{}|{}|msr={} rtelm={} retime={} retime_m={} xbar_elm={}",
+            "{}|{}|{}|msr={} rtelm={} retime={} retime_m={} xbar_elm={}{link}",
             self.workload,
             self.chip,
             pars.join(","),
@@ -161,21 +207,30 @@ impl KnobConfig {
                     .set("innermost", k.innermost)
             })
             .collect();
-        Json::object()
+        let mut doc = Json::object()
             .set("format", KNOBS_FORMAT)
             .set("workload", self.workload.as_str())
             .set("chip", self.chip.as_str())
             .set("pnr_seed", self.pnr_seed)
-            .set("pars", Json::Array(pars))
-            .set(
-                "opt",
-                Json::object()
-                    .set("msr", self.opt.msr)
-                    .set("rtelm", self.opt.rtelm)
-                    .set("retime", self.opt.retime)
-                    .set("retime_m", self.opt.retime_m)
-                    .set("xbar_elm", self.opt.xbar_elm),
-            )
+            .set("pars", Json::Array(pars));
+        // Link overrides are multi-chip-only knobs; absent fields keep
+        // the artifact schema backward-compatible with plain-chip v1
+        // documents.
+        if let Some(lat) = self.link_latency {
+            doc = doc.set("link_latency", lat);
+        }
+        if let Some(bw) = self.link_bandwidth {
+            doc = doc.set("link_bandwidth", bw);
+        }
+        doc.set(
+            "opt",
+            Json::object()
+                .set("msr", self.opt.msr)
+                .set("rtelm", self.opt.rtelm)
+                .set("retime", self.opt.retime)
+                .set("retime_m", self.opt.retime_m)
+                .set("xbar_elm", self.opt.xbar_elm),
+        )
     }
 
     /// Deserialize from the artifact schema.
@@ -236,7 +291,25 @@ impl KnobConfig {
             retime_m: flag("retime_m")?,
             xbar_elm: flag("xbar_elm")?,
         };
-        Ok(KnobConfig { workload, chip, pnr_seed, pars, opt })
+        let link_u32 = |key: &str| -> Result<Option<u32>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .map(Some)
+                    .ok_or_else(|| format!("knobs artifact: {key} must be a u32")),
+            }
+        };
+        Ok(KnobConfig {
+            workload,
+            chip,
+            pnr_seed,
+            pars,
+            opt,
+            link_latency: link_u32("link_latency")?,
+            link_bandwidth: link_u32("link_bandwidth")?,
+        })
     }
 
     /// Parse an artifact from its textual form.
@@ -279,6 +352,34 @@ mod tests {
         let text = cfg.to_json().pretty();
         let back = KnobConfig::parse(&text).unwrap();
         assert_eq!(back, cfg);
+        // Multi-chip points round-trip their system name and link knobs.
+        cfg.chip = "4x8x8".into();
+        cfg.link_latency = Some(20);
+        cfg.link_bandwidth = Some(8);
+        let back = KnobConfig::parse(&cfg.to_json().pretty()).unwrap();
+        assert_eq!(back, cfg);
+        assert_ne!(back.key(), gemm_default().key());
+    }
+
+    #[test]
+    fn system_spec_resolves_chips_and_systems_with_link_overrides() {
+        let mut cfg = gemm_default();
+        let one = cfg.system_spec().unwrap();
+        assert_eq!(one.count, 1);
+        assert_eq!(one.chip.name(), "8x8");
+        cfg.chip = "4x8x8".into();
+        cfg.link_latency = Some(10);
+        cfg.link_bandwidth = Some(16);
+        let sys = cfg.system_spec().unwrap();
+        assert_eq!(sys.count, 4);
+        assert_eq!(sys.link.latency, 10);
+        assert_eq!(sys.link.bandwidth, 16);
+        // chip_spec stays strict: a system name must not silently lose
+        // its multi-chip meaning on the single-chip pipeline.
+        assert!(cfg.chip_spec().is_err());
+        cfg.chip = "bogus".into();
+        let e = cfg.system_spec().unwrap_err();
+        assert!(e.contains("8x8") && e.contains("2x8x8"), "error lists the spellings: {e}");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use crate::cost::{estimate, CostEstimate, CostModel};
 use crate::knobs::KnobConfig;
-use plasticine_arch::ChipSpec;
+use plasticine_arch::{ChipSpec, SystemSpec};
 use sara_core::compile::compile;
 use sara_core::profile::StallReason;
 use sara_core::report::{bottleneck_summary, ResourceReport};
@@ -190,7 +190,7 @@ pub fn autotune_with(
     let w =
         sara_workloads::by_name(workload).ok_or_else(|| format!("unknown workload {workload}"))?;
     let default_knobs = KnobConfig::default_for(&w, &opts.chip, opts.pnr_seed)?;
-    default_knobs.chip_spec()?; // fail fast on a bad chip name
+    default_knobs.system_spec()?; // fail fast on a bad chip/system name
 
     // Round 0: the default point, evaluated and simulated.
     let mut default_point = eval.evaluate(&default_knobs)?;
@@ -335,7 +335,8 @@ pub fn autotune_with(
 /// yields an infeasible point; only setup errors (unknown workload, bad
 /// knob application) are `Err`.
 pub fn evaluate(knobs: &KnobConfig) -> Result<EvalPoint, String> {
-    let chip = knobs.chip_spec()?;
+    let system = knobs.system_spec()?;
+    let chip = system.chip.clone();
     let p = knobs.build_program()?;
     let infeasible = |knobs: &KnobConfig| EvalPoint {
         knobs: knobs.clone(),
@@ -350,7 +351,9 @@ pub fn evaluate(knobs: &KnobConfig) -> Result<EvalPoint, String> {
         return Ok(infeasible(knobs));
     };
     let r = compiled.report;
-    let feasible = chip.can_fit(r.pcus as u32, r.pmus as u32, r.ags as u32);
+    // Multi-chip systems admit aggregate demand across all chips; the
+    // sharding pass and per-chip PnR settle the balance later.
+    let feasible = system.can_fit(r.pcus as u32, r.pmus as u32, r.ags as u32);
     Ok(EvalPoint {
         estimate: Some(estimate(&p, &compiled, &chip)),
         report: Some(r),
@@ -367,15 +370,28 @@ pub fn evaluate(knobs: &KnobConfig) -> Result<EvalPoint, String> {
 /// Profiling never changes cycle counts, so the recorded number is what
 /// an unprofiled replay reproduces.
 fn simulate_point(p: &mut EvalPoint) -> Result<(), String> {
-    let chip = p.knobs.chip_spec()?;
+    let system = p.knobs.system_spec()?;
+    let chip = system.chip.clone();
     let prog = p.knobs.build_program()?;
     let compiled =
         compile(&prog, &chip, &p.knobs.compiler_options()).map_err(|e| format!("compile: {e}"))?;
     let mut g = compiled.vudfg;
-    sara_pnr::place_and_route(&mut g, &compiled.assignment, &chip, p.knobs.pnr_seed)
+    let cfg = plasticine_sim::SimConfig::profiled();
+    let out = if system.count > 1 {
+        let pnr = sara_pnr::place_and_route_system(
+            &mut g,
+            &compiled.assignment,
+            &system,
+            p.knobs.pnr_seed,
+        )
         .map_err(|e| format!("pnr: {e}"))?;
-    let out = plasticine_sim::simulate(&g, &chip, &plasticine_sim::SimConfig::profiled())
-        .map_err(|e| format!("sim: {e}"))?;
+        plasticine_sim::simulate_system(&g, &system, &pnr.plan, &cfg)
+            .map_err(|e| format!("sim: {e}"))?
+    } else {
+        sara_pnr::place_and_route(&mut g, &compiled.assignment, &chip, p.knobs.pnr_seed)
+            .map_err(|e| format!("pnr: {e}"))?;
+        plasticine_sim::simulate(&g, &chip, &cfg).map_err(|e| format!("sim: {e}"))?
+    };
     let profile = out
         .profile
         .as_ref()
@@ -420,11 +436,40 @@ fn neighbors(k: &KnobConfig, tune_chip: bool, dram_bound: bool) -> Vec<KnobConfi
 
     let mut chip_moves = Vec::new();
     if tune_chip {
-        for &name in ChipSpec::NAMES {
-            if name != k.chip {
+        // Chip and system names share one move axis: the tuner can scale
+        // up (more chips) as well as sideways (a different chip).
+        for name in ChipSpec::NAMES.iter().chain(SystemSpec::NAMES) {
+            if *name != k.chip {
                 let mut n = k.clone();
-                n.chip = name.to_string();
+                n.chip = (*name).to_string();
+                // Link overrides only mean something on a multi-chip
+                // system; drop them when moving back to one chip.
+                if SystemSpec::by_name(name).is_none_or(|s| s.count <= 1) {
+                    n.link_latency = None;
+                    n.link_bandwidth = None;
+                }
                 chip_moves.push(n);
+            }
+        }
+        // On a multi-chip point the link itself is tunable: halve or
+        // double bandwidth and latency on their power-of-two ladders.
+        if k.system_spec().is_ok_and(|s| s.count > 1) {
+            let defaults = plasticine_arch::LinkSpec::default();
+            let bw = k.link_bandwidth.unwrap_or(defaults.bandwidth);
+            for nb in [bw.saturating_mul(2).min(64), (bw / 2).max(1)] {
+                if nb != bw {
+                    let mut n = k.clone();
+                    n.link_bandwidth = Some(nb);
+                    chip_moves.push(n);
+                }
+            }
+            let lat = k.link_latency.unwrap_or(defaults.latency);
+            for nl in [lat.saturating_mul(2).min(160), (lat / 2).max(1)] {
+                if nl != lat {
+                    let mut n = k.clone();
+                    n.link_latency = Some(nl);
+                    chip_moves.push(n);
+                }
             }
         }
     }
@@ -452,8 +497,46 @@ mod tests {
             assert_ne!(n.key(), k.key());
             assert_eq!(n.chip, k.chip);
         }
+        // tune_chip adds the 3 other chips and the 4 advertised systems.
         let with_chips = neighbors(&k, true, false);
-        assert_eq!(with_chips.len(), 2 + 5 + 3);
+        assert_eq!(with_chips.len(), 2 + 5 + 3 + SystemSpec::NAMES.len());
+    }
+
+    #[test]
+    fn multi_chip_points_get_link_moves_under_tune_chip() {
+        let w = sara_workloads::by_name("gemm").unwrap();
+        let mut k = KnobConfig::default_for(&w, "2x8x8", 42).unwrap();
+        let ns = neighbors(&k, true, false);
+        let bw: Vec<u32> = ns.iter().filter_map(|n| n.link_bandwidth).collect();
+        let lat: Vec<u32> = ns.iter().filter_map(|n| n.link_latency).collect();
+        // Defaults are bw 4 / latency 40: both double and halve.
+        assert_eq!(bw, vec![8, 2]);
+        assert_eq!(lat, vec![80, 20]);
+        // Moves back to a single chip drop the link overrides.
+        k.link_bandwidth = Some(8);
+        for n in neighbors(&k, true, false) {
+            if n.system_spec().unwrap().count <= 1 {
+                assert_eq!(n.link_bandwidth, None, "{}", n.key());
+            }
+        }
+        // No link moves without tune_chip.
+        assert!(neighbors(&k, false, false).iter().all(|n| n.link_latency.is_none()));
+    }
+
+    #[test]
+    fn autotune_searches_multi_chip_systems() {
+        let opts = SearchOptions {
+            budget: 8,
+            sim_top: 2,
+            chip: "2x8x8".to_string(),
+            ..SearchOptions::default()
+        };
+        let out = autotune("gemm", &opts).unwrap();
+        let default = out.default_point.simulated.unwrap();
+        let best = out.best.simulated.unwrap();
+        assert!(best <= default, "incumbent must never regress: {best} vs {default}");
+        assert!(out.sim_failures.is_empty(), "{:?}", out.sim_failures);
+        assert_eq!(out.best.knobs.system_spec().unwrap().chip.name(), "8x8");
     }
 
     #[test]

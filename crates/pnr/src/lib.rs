@@ -26,10 +26,11 @@
 //! # }
 //! ```
 
-use plasticine_arch::{ChipSpec, PuType};
+use plasticine_arch::{ChipSpec, PuType, SystemSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sara_core::assign::Assignment;
+use sara_core::shard::{self, ShardPlan};
 use sara_core::vudfg::{UnitId, Vudfg};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -267,6 +268,78 @@ pub fn place_and_route(
     Ok(PnrResult { positions, unit_pos, wirelength: cur, max_link_use, iterations })
 }
 
+/// Multi-chip placement result: the sharding plan plus one
+/// [`PnrResult`] per chip (empty chips get empty results).
+#[derive(Debug, Clone)]
+pub struct SystemPnr {
+    /// Where every unit lives.
+    pub plan: ShardPlan,
+    /// Per-chip placement, indexed by chip.
+    pub chips: Vec<PnrResult>,
+}
+
+impl SystemPnr {
+    /// Total on-chip wirelength over all chips.
+    pub fn wirelength(&self) -> u64 {
+        self.chips.iter().map(|c| c.wirelength).sum()
+    }
+}
+
+/// Place a design onto a multi-chip system: shard the graph
+/// ([`shard::plan_shards`]), run [`place_and_route`] per chip on its
+/// shard, write routed on-chip latencies back into the original graph,
+/// and give every chip-crossing stream its link latency
+/// (`route hops × link latency`) and a FIFO at least as deep as the
+/// link's credit window (never shallower than compiled — token-stream
+/// init credits must keep fitting).
+///
+/// A 1-chip system delegates to [`place_and_route`] with the same seed:
+/// the single-chip path stays bit-identical.
+///
+/// # Errors
+///
+/// Fails when some shard exceeds its chip's slot counts (the plan
+/// respects capacity when any balanced cut does, so this surfaces only
+/// genuinely oversized designs).
+pub fn place_and_route_system(
+    g: &mut Vudfg,
+    asg: &Assignment,
+    system: &SystemSpec,
+    seed: u64,
+) -> Result<SystemPnr, PnrError> {
+    if system.count <= 1 {
+        let r = place_and_route(g, asg, &system.chip, seed)?;
+        return Ok(SystemPnr { plan: ShardPlan::single(g), chips: vec![r] });
+    }
+    let plan = shard::plan_shards(g, asg, system);
+    let mut shards = shard::extract_shards(g, asg, &plan);
+    let mut chips = Vec::with_capacity(shards.len());
+    for sh in &mut shards {
+        let r = place_and_route(
+            &mut sh.vudfg,
+            &sh.assignment,
+            &system.chip,
+            seed.wrapping_add(u64::from(sh.chip)),
+        )?;
+        for (lsid, &(gsid, internal)) in sh.stream_map.iter().enumerate() {
+            if internal {
+                g.stream_mut(gsid).latency = sh.vudfg.streams[lsid].latency;
+            }
+        }
+        chips.push(r);
+    }
+    for &sid in &plan.crossings {
+        let hops = {
+            let s = g.stream(sid);
+            system.route_hops(plan.chip_of[s.src.index()], plan.chip_of[s.dst.index()]).max(1)
+        };
+        let s = g.stream_mut(sid);
+        s.latency = hops * system.link.latency.max(1);
+        s.depth = s.depth.max(system.link.fifo_depth);
+    }
+    Ok(SystemPnr { plan, chips })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +418,46 @@ mod tests {
     fn pos_distance() {
         assert_eq!(Pos { x: 0, y: 0 }.dist(Pos { x: 3, y: 4 }), 7);
         assert_eq!(Pos { x: -1, y: 2 }.dist(Pos { x: 2, y: 0 }), 5);
+    }
+
+    #[test]
+    fn one_chip_system_matches_single_chip_pnr_exactly() {
+        let chip = ChipSpec::tiny_4x4();
+        let mut g1 = chain_vudfg(6);
+        let asg1 = assign(&mut g1, &chip, &AssignOptions::default()).unwrap();
+        let r1 = place_and_route(&mut g1, &asg1, &chip, 7).unwrap();
+        let mut g2 = chain_vudfg(6);
+        let asg2 = assign(&mut g2, &chip, &AssignOptions::default()).unwrap();
+        let sys = SystemSpec::single(chip);
+        let r2 = place_and_route_system(&mut g2, &asg2, &sys, 7).unwrap();
+        assert_eq!(r2.chips.len(), 1);
+        assert_eq!(r1.wirelength, r2.wirelength());
+        let lat1: Vec<u32> = g1.streams.iter().map(|s| s.latency).collect();
+        let lat2: Vec<u32> = g2.streams.iter().map(|s| s.latency).collect();
+        assert_eq!(lat1, lat2, "routed latencies must match the single-chip path");
+        let dep1: Vec<u32> = g1.streams.iter().map(|s| s.depth).collect();
+        let dep2: Vec<u32> = g2.streams.iter().map(|s| s.depth).collect();
+        assert_eq!(dep1, dep2, "no depth widening on one chip");
+    }
+
+    #[test]
+    fn two_chip_system_splits_and_links_the_crossings() {
+        // 12 PCU-class units overflow one tiny chip's 8 PCU slots, so
+        // the planner must split the chain across both chips.
+        let chip = ChipSpec::tiny_4x4();
+        let sys = SystemSpec::grid(chip.clone(), 2);
+        let mut g = chain_vudfg(12);
+        let asg = assign(&mut g, &chip, &AssignOptions::default()).unwrap();
+        let r = place_and_route_system(&mut g, &asg, &sys, 7).unwrap();
+        assert_eq!(r.chips.len(), 2);
+        assert!(!r.plan.crossings.is_empty(), "a chain split across chips must cross");
+        for &sid in &r.plan.crossings {
+            let s = g.stream(sid);
+            assert_eq!(s.latency, sys.link.latency, "adjacent chips: one link hop");
+            assert!(s.depth >= sys.link.fifo_depth, "crossing FIFO at least the credit window");
+        }
+        // Both chips actually host units.
+        let used: std::collections::HashSet<u32> = r.plan.chip_of.iter().copied().collect();
+        assert_eq!(used.len(), 2, "{:?}", r.plan.chip_of);
     }
 }

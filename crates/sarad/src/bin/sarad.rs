@@ -1,12 +1,14 @@
 //! `sarad` — the standalone service binary.
 //!
 //! ```text
-//! sarad [--socket PATH] [--cache-dir DIR] [--workers N] [--queue N]
+//! sarad [--socket PATH|HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N]
 //!       [--cache-budget BYTES[k|m|g]]
 //! ```
 //!
-//! Runs until a `shutdown` request arrives on the socket. Exits 2 on
-//! usage errors, 1 on service failures, with one-line diagnostics.
+//! A `--socket` value containing `':'` is a TCP `host:port` address;
+//! anything else is a Unix socket path. Runs until a `shutdown` request
+//! arrives on the endpoint. Exits 2 on usage errors, 1 on service
+//! failures, with one-line diagnostics.
 
 use sarad::server::{default_cache_dir, default_socket, parse_budget};
 use sarad::ServerOptions;
@@ -14,7 +16,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sarad [--socket PATH] [--cache-dir DIR] [--workers N] [--queue N] \
+        "usage: sarad [--socket PATH|HOST:PORT] [--cache-dir DIR] [--workers N] [--queue N] \
          [--cache-budget BYTES[k|m|g]]"
     );
     std::process::exit(2);

@@ -1,5 +1,6 @@
-//! A blocking line-JSON client for the `sarad` socket protocol, with
-//! typed errors and jittered exponential retry.
+//! A blocking line-JSON client for the `sarad` socket protocol — over
+//! a Unix domain socket or TCP (see [`crate::net`]) — with typed
+//! errors and jittered exponential retry.
 //!
 //! Every failure mode is a distinct [`ClientError`] variant, so callers
 //! can tell a dead daemon (fall back to local compilation) from a busy
@@ -8,9 +9,9 @@
 //! response (typed, never a parse panic) from a genuine server-side
 //! error (do not retry).
 
+use crate::net::{Conn, Endpoint};
 use sara_util::Json;
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::Duration;
 
@@ -119,8 +120,8 @@ impl RetryPolicy {
 /// One connection to a running `sarad`.
 #[derive(Debug)]
 pub struct Client {
-    writer: UnixStream,
-    reader: BufReader<UnixStream>,
+    writer: Conn,
+    reader: BufReader<Conn>,
 }
 
 /// True when a response line is terminal (exactly one per request).
@@ -140,15 +141,27 @@ fn server_error(line: &Json, msg: &str) -> ClientError {
 }
 
 impl Client {
-    /// Connect to the server socket.
+    /// Connect to a Unix server socket (see [`Client::connect_to`] for
+    /// the transport-generic entry point).
     ///
     /// # Errors
     ///
     /// [`ClientError::Connect`] when the socket is absent or refuses.
     pub fn connect(socket: &Path) -> Result<Client, ClientError> {
-        let stream = UnixStream::connect(socket).map_err(|e| {
-            ClientError::Connect(format!("cannot connect to {}: {e}", socket.display()))
-        })?;
+        Client::connect_to(&Endpoint::unix(socket))
+    }
+
+    /// Connect to an endpoint — a Unix socket path or a TCP
+    /// `host:port` address.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when the endpoint is absent or refuses
+    /// (over TCP, a refused connection is this variant too — and it is
+    /// retryable, since the daemon may still be binding its port).
+    pub fn connect_to(endpoint: &Endpoint) -> Result<Client, ClientError> {
+        let stream = Conn::connect(endpoint)
+            .map_err(|e| ClientError::Connect(format!("cannot connect to {endpoint}: {e}")))?;
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -157,16 +170,30 @@ impl Client {
         Ok(Client { writer: stream, reader })
     }
 
-    /// Connect, retrying transient failures with jittered exponential
-    /// backoff.
+    /// Connect to a Unix socket, retrying transient failures with
+    /// jittered exponential backoff.
     ///
     /// # Errors
     ///
     /// The last [`ClientError::Connect`] once attempts are exhausted.
     pub fn connect_with_retry(socket: &Path, policy: &RetryPolicy) -> Result<Client, ClientError> {
+        Client::connect_to_with_retry(&Endpoint::unix(socket), policy)
+    }
+
+    /// Connect to an endpoint, retrying transient failures (absent
+    /// socket, TCP connection refused) with jittered exponential
+    /// backoff.
+    ///
+    /// # Errors
+    ///
+    /// The last [`ClientError::Connect`] once attempts are exhausted.
+    pub fn connect_to_with_retry(
+        endpoint: &Endpoint,
+        policy: &RetryPolicy,
+    ) -> Result<Client, ClientError> {
         let mut last = ClientError::Connect("no attempts configured".to_string());
         for attempt in 0..policy.attempts.max(1) {
-            match Client::connect(socket) {
+            match Client::connect_to(endpoint) {
                 Ok(c) => return Ok(c),
                 Err(e) => last = e,
             }
@@ -272,9 +299,24 @@ pub fn run_with_retry(
     req: &Json,
     policy: &RetryPolicy,
 ) -> Result<Vec<Json>, ClientError> {
+    run_with_retry_to(&Endpoint::unix(socket), req, policy)
+}
+
+/// [`run_with_retry`] over either transport: the endpoint names a Unix
+/// socket path or a TCP `host:port` address.
+///
+/// # Errors
+///
+/// The first non-retryable error, or the last error once attempts are
+/// exhausted.
+pub fn run_with_retry_to(
+    endpoint: &Endpoint,
+    req: &Json,
+    policy: &RetryPolicy,
+) -> Result<Vec<Json>, ClientError> {
     let mut last: Option<ClientError> = None;
     for attempt in 0..policy.attempts.max(1) {
-        let outcome = Client::connect(socket).and_then(|mut c| c.request(req));
+        let outcome = Client::connect_to(endpoint).and_then(|mut c| c.request(req));
         match outcome {
             Ok(lines) => {
                 // A terminal `busy`/`timeout` error is retryable; other

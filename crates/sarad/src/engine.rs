@@ -5,7 +5,7 @@
 //! ## Key derivation
 //!
 //! ```text
-//! compile_key = H(domain, program_canon, options_canon, chip_name)
+//! compile_key = H(domain, program_canon, options_canon, system_canon)
 //! place_key   = H(domain, compile_key, pnr_seed)
 //! sim_key     = H(domain, place_key, scheduler)
 //! ```
@@ -13,7 +13,15 @@
 //! Any change to any field of the request tuple changes exactly the
 //! stage keys downstream of it: a new PnR seed reuses the compile
 //! artifact but re-places; a scheduler change reuses the placement but
-//! re-simulates.
+//! re-simulates. The system canon ([`plasticine_arch::SystemSpec::canon`]) is
+//! field-complete over the *whole* topology — chip geometry, unit
+//! capabilities, DRAM technology, chip count, grid shape, and every
+//! link parameter — so two configurations that happen to share a
+//! display name can never alias in the cache (`tests/cache.rs` checks
+//! each field individually). Multi-chip requests run the sharded
+//! pipeline: the place artifact carries the shard plan alongside the
+//! routed graph, and the sim stage runs the linked multi-chip
+//! simulation.
 //!
 //! ## Cache layers
 //!
@@ -54,11 +62,12 @@
 use crate::store::{Store, StoreFaults, StoreRead};
 use plasticine_sim::{SimConfig, SimOutcome};
 use sara_core::artifact::{
-    options_canon, program_canon, vudfg_from_json, vudfg_json, StableHasher,
+    compile_key, shard_plan_from_json, shard_plan_json, vudfg_from_json, vudfg_json, StableHasher,
 };
 use sara_core::compile::{compile, Compiled};
 use sara_core::profile::StallReason;
 use sara_core::report::bottleneck_summary;
+use sara_core::shard::ShardPlan;
 use sara_core::vudfg::Vudfg;
 use sara_dse::{estimate, EvalPoint, Evaluator, KnobConfig};
 use sara_util::Json;
@@ -159,20 +168,23 @@ pub struct StageKeys {
 
 /// Derive the stage keys for a knob configuration and scheduler.
 ///
+/// The compile key is [`sara_core::artifact::compile_key`]: it hashes
+/// the *field-complete* [`plasticine_arch::SystemSpec::canon`] of the target (with any
+/// link-knob overrides applied), never just a display name — so cached
+/// artifacts cannot alias across topologies that differ in chip count,
+/// grid shape, link latency/bandwidth/FIFO depth, or any per-chip
+/// capability.
+///
 /// # Errors
 ///
-/// When the knobs name an unknown chip or cannot build a program.
+/// When the knobs name an unknown chip/system or cannot build a
+/// program.
 pub fn stage_keys(knobs: &KnobConfig, scheduler: Scheduler) -> Result<StageKeys, String> {
     let program = knobs.build_program()?;
-    let chip = knobs.chip_spec()?;
+    let system = knobs.system_spec()?;
+    let compile = compile_key(&program, &knobs.compiler_options(), &system);
     let mut h = StableHasher::new();
-    h.str("sarad-compile-v1")
-        .str(&program_canon(&program))
-        .str(&options_canon(&knobs.compiler_options()))
-        .str(&chip.name());
-    let compile = h.hex();
-    let mut h = StableHasher::new();
-    h.str("sarad-place-v1").str(&compile).u64(knobs.pnr_seed);
+    h.str("sarad-place-v2").str(&compile).u64(knobs.pnr_seed);
     let place = h.hex();
     let mut h = StableHasher::new();
     h.str("sarad-sim-v1").str(&place).str(scheduler.name());
@@ -301,8 +313,38 @@ pub fn no_progress() -> impl FnMut(&str, &str) {
     |_: &str, _: &str| {}
 }
 
+/// A placement artifact: the routed graph plus, for multi-chip systems,
+/// the shard plan the linked simulation needs to model chip crossings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placed {
+    /// The placed-and-routed VUDFG (crossing streams carry their link
+    /// latencies and widened FIFO depths for multi-chip systems).
+    pub vudfg: Vudfg,
+    /// Where every unit lives; `None` for single-chip placements.
+    pub plan: Option<ShardPlan>,
+}
+
+impl Placed {
+    fn to_json(&self) -> Json {
+        let doc = Json::object().set("vudfg", vudfg_json(&self.vudfg));
+        match &self.plan {
+            Some(p) => doc.set("plan", shard_plan_json(p)),
+            None => doc,
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Placed, String> {
+        let vudfg = vudfg_from_json(v.get("vudfg").ok_or("place artifact: missing vudfg")?)?;
+        let plan = match v.get("plan") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(shard_plan_from_json(p)?),
+        };
+        Ok(Placed { vudfg, plan })
+    }
+}
+
 type CompileEntry = Result<Arc<Compiled>, String>;
-type PlaceEntry = Result<Arc<Vudfg>, String>;
+type PlaceEntry = Result<Arc<Placed>, String>;
 type SimEntry = Result<SimArtifact, String>;
 
 /// The cached pipeline engine shared by the socket server and the
@@ -413,8 +455,10 @@ impl Engine {
     }
 
     /// Compile stage: lowered VUDFG + reports, keyed by
-    /// (program, options, chip). Failures are cached as errors so a
-    /// hopeless point never compiles twice.
+    /// (program, options, system). Compilation itself is chip-local —
+    /// sharding happens at placement — but the key covers the full
+    /// topology so downstream stages can never alias. Failures are
+    /// cached as errors so a hopeless point never compiles twice.
     ///
     /// # Errors
     ///
@@ -459,9 +503,9 @@ impl Engine {
         let entry: CompileEntry = (|| {
             self.apply_stage_delay();
             let program = knobs.build_program()?;
-            let chip = knobs.chip_spec()?;
+            let system = knobs.system_spec()?;
             Stats::bump(&self.stats.compiles_run);
-            let compiled = compile(&program, &chip, &knobs.compiler_options())
+            let compiled = compile(&program, &system.chip, &knobs.compiler_options())
                 .map_err(|e| format!("compile: {e}"))?;
             // Artifact of record: the lowered graph, content-addressed.
             let payload = Json::object()
@@ -480,9 +524,10 @@ impl Engine {
         entry
     }
 
-    /// Place stage: PnR'd VUDFG keyed by (compile_key, pnr_seed).
-    /// Served from memory, then from the verified disk store, then
-    /// recomputed (via the compile stage).
+    /// Place stage: PnR'd VUDFG (plus the shard plan for multi-chip
+    /// systems) keyed by (compile_key, pnr_seed). Served from memory,
+    /// then from the verified disk store, then recomputed (via the
+    /// compile stage).
     ///
     /// # Errors
     ///
@@ -494,7 +539,7 @@ impl Engine {
         keys: &StageKeys,
         deadline: Deadline,
         progress: Progress,
-    ) -> Result<Arc<Vudfg>, String> {
+    ) -> Result<Arc<Placed>, String> {
         if let Some(entry) = self.placed.lock().expect("place cache poisoned").get(&keys.place) {
             Stats::bump(&self.stats.place_hits);
             progress("place", "hit");
@@ -513,8 +558,8 @@ impl Engine {
         // without recompiling or re-placing.
         match self.store.load("place", &keys.place) {
             StoreRead::Hit(payload) => {
-                if let Ok(g) = vudfg_from_json(&payload) {
-                    let entry: PlaceEntry = Ok(Arc::new(g));
+                if let Ok(p) = Placed::from_json(&payload) {
+                    let entry: PlaceEntry = Ok(Arc::new(p));
                     Stats::bump(&self.stats.place_hits);
                     Stats::bump(&self.stats.disk_hits);
                     progress("place", "disk-hit");
@@ -549,14 +594,24 @@ impl Engine {
                 Stats::bump(&self.stats.timeouts);
                 return Err(e);
             }
-            let chip = knobs.chip_spec()?;
+            let system = knobs.system_spec()?;
             let mut g = compiled.vudfg.clone();
             self.apply_stage_delay();
             Stats::bump(&self.stats.pnrs_run);
-            sara_pnr::place_and_route(&mut g, &compiled.assignment, &chip, knobs.pnr_seed)
-                .map_err(|e| format!("pnr: {e}"))?;
-            self.save_or_degrade("place", &keys.place, &vudfg_json(&g));
-            Ok(Arc::new(g))
+            // `place_and_route_system` delegates to the single-chip
+            // placer (same seed, bit-identical) when `count <= 1`; the
+            // plan is only kept when the linked simulation needs it.
+            let pnr = sara_pnr::place_and_route_system(
+                &mut g,
+                &compiled.assignment,
+                &system,
+                knobs.pnr_seed,
+            )
+            .map_err(|e| format!("pnr: {e}"))?;
+            let plan = (system.count > 1).then_some(pnr.plan);
+            let placed = Placed { vudfg: g, plan };
+            self.save_or_degrade("place", &keys.place, &placed.to_json());
+            Ok(Arc::new(placed))
         })();
         if let Err(e) = &entry {
             // A timeout inside the nested compile stage must not be
@@ -629,16 +684,24 @@ impl Engine {
         Stats::bump(&self.stats.sim_misses);
         progress("sim", "miss");
         let entry: SimEntry = (|| {
-            let g = self.place_stage(knobs, keys, deadline, progress)?;
+            let placed = self.place_stage(knobs, keys, deadline, progress)?;
             if let Err(e) = deadline.check("sim") {
                 Stats::bump(&self.stats.timeouts);
                 return Err(e);
             }
-            let chip = knobs.chip_spec()?;
+            let system = knobs.system_spec()?;
             self.apply_stage_delay();
             Stats::bump(&self.stats.sims_run);
-            let out = plasticine_sim::simulate(&g, &chip, &scheduler.config())
-                .map_err(|e| format!("sim: {e}"))?;
+            let out = match &placed.plan {
+                Some(plan) => plasticine_sim::simulate_system(
+                    &placed.vudfg,
+                    &system,
+                    plan,
+                    &scheduler.config(),
+                ),
+                None => plasticine_sim::simulate(&placed.vudfg, &system.chip, &scheduler.config()),
+            }
+            .map_err(|e| format!("sim: {e}"))?;
             let art = SimArtifact::from_outcome(&out)?;
             self.save_or_degrade("sim", &keys.sim, &art.to_json());
             Ok(art)
@@ -710,8 +773,10 @@ impl CachedEval {
 impl Evaluator for CachedEval {
     fn evaluate(&self, knobs: &KnobConfig) -> Result<EvalPoint, String> {
         // Same contract as `LocalEval`: setup failures are `Err`, a
-        // compile failure is an infeasible point.
-        let chip = knobs.chip_spec()?;
+        // compile failure is an infeasible point, and multi-chip points
+        // are feasibility-checked against the system's aggregate
+        // capacity.
+        let system = knobs.system_spec()?;
         let program = knobs.build_program()?;
         let keys = stage_keys(knobs, Scheduler::Active)?;
         let mut sink = no_progress();
@@ -719,9 +784,9 @@ impl Evaluator for CachedEval {
             Ok(compiled) => {
                 let r = compiled.report;
                 Ok(EvalPoint {
-                    estimate: Some(estimate(&program, &compiled, &chip)),
+                    estimate: Some(estimate(&program, &compiled, &system.chip)),
                     report: Some(r),
-                    feasible: chip.can_fit(r.pcus as u32, r.pmus as u32, r.ags as u32),
+                    feasible: system.can_fit(r.pcus as u32, r.pmus as u32, r.ags as u32),
                     knobs: knobs.clone(),
                     simulated: None,
                     dram_blocked_frac: None,

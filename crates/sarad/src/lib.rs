@@ -19,18 +19,21 @@
 //!   content hash checked at read time: corruption is detected and
 //!   recomputed, never served.
 //! * [`server`] / [`client`] — newline-delimited JSON over a Unix
-//!   domain socket, a bounded connection queue with typed
-//!   backpressure rejection, per-stage progress events, and a stats
-//!   report (`sarac --server` / `sarac --connect` wire these into the
-//!   compiler driver).
+//!   domain socket or TCP ([`net`] holds the transport abstraction;
+//!   an endpoint containing `':'` is a `host:port` address), a bounded
+//!   connection queue with typed backpressure rejection, per-stage
+//!   progress events, and a stats report (`sarac --server` /
+//!   `sarac --connect` wire these into the compiler driver).
 
 pub mod chaos;
 pub mod client;
 pub mod engine;
+pub mod net;
 pub mod server;
 pub mod store;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use engine::{stage_keys, CachedEval, Deadline, Engine, Scheduler, SimArtifact, StageKeys};
-pub use server::{serve, serve_with, ServerOptions};
+pub use net::{Conn, Endpoint, Listener};
+pub use server::{serve, serve_on, serve_with, ServerOptions};
 pub use store::{Store, StoreFaults, StoreRead};

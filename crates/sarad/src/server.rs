@@ -1,5 +1,6 @@
 //! The socket front end: newline-delimited JSON over a Unix domain
-//! socket, a bounded connection queue feeding a worker pool, and typed
+//! socket or TCP (see [`crate::net`] for the endpoint spelling rule),
+//! a bounded connection queue feeding a worker pool, and typed
 //! backpressure rejection when the queue is full.
 //!
 //! ## Protocol
@@ -25,19 +26,22 @@
 //! so an immediate retry resumes from the last finished stage).
 
 use crate::engine::{stage_keys, CachedEval, Deadline, Engine, Scheduler, TIMEOUT_PREFIX};
+use crate::net::{Conn, Endpoint, Listener};
 use sara_dse::{autotune_with, speedup, KnobConfig, SearchOptions};
 use sara_util::pool::{JobQueue, PushError};
 use sara_util::Json;
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
-    /// Unix socket path (any stale file is replaced).
+    /// Listen endpoint spelling: a Unix socket path (any stale file is
+    /// replaced), or a `host:port` TCP address — any value containing
+    /// `':'` is TCP (see [`Endpoint::parse`]).
     pub socket: PathBuf,
     /// Worker threads draining the connection queue.
     pub workers: usize,
@@ -50,6 +54,15 @@ pub struct ServerOptions {
     /// the store evicts cheapest-to-recompute artifacts first and never
     /// exceeds the ceiling.
     pub cache_budget: Option<u64>,
+}
+
+impl ServerOptions {
+    /// The configured listen endpoint: the `socket` field interpreted
+    /// under the one spelling rule (`':'` → TCP `host:port`, else a
+    /// Unix path).
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::parse(&self.socket.to_string_lossy())
+    }
 }
 
 impl Default for ServerOptions {
@@ -80,16 +93,28 @@ pub fn serve(opts: &ServerOptions) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// When the socket cannot be bound.
+/// When the endpoint cannot be bound.
 pub fn serve_with(opts: &ServerOptions, engine: Arc<Engine>) -> Result<(), String> {
-    if let Some(parent) = opts.socket.parent() {
-        std::fs::create_dir_all(parent)
-            .map_err(|e| format!("cannot create socket dir {}: {e}", parent.display()))?;
-    }
-    let _ = std::fs::remove_file(&opts.socket);
-    let listener = UnixListener::bind(&opts.socket)
-        .map_err(|e| format!("cannot bind {}: {e}", opts.socket.display()))?;
-    let queue: Arc<JobQueue<UnixStream>> = Arc::new(JobQueue::bounded(opts.queue.max(1)));
+    let listener = Listener::bind(&opts.endpoint())?;
+    serve_on(listener, opts, engine)
+}
+
+/// [`serve_with`] over an already-bound listener — the entry point for
+/// callers that bind an ephemeral TCP port (`host:0`) and need to read
+/// the real one back (via [`Listener::local_endpoint`]) before serving.
+///
+/// # Errors
+///
+/// Currently infallible (the signature reserves the error channel).
+pub fn serve_on(
+    listener: Listener,
+    opts: &ServerOptions,
+    engine: Arc<Engine>,
+) -> Result<(), String> {
+    // The *bound* endpoint, not the requested spelling: a shutdown
+    // self-connection over TCP must hit the resolved port.
+    let local = listener.local_endpoint();
+    let queue: Arc<JobQueue<Conn>> = Arc::new(JobQueue::bounded(opts.queue.max(1)));
     let stop = Arc::new(AtomicBool::new(false));
 
     let workers: Vec<_> = (0..opts.workers.max(1))
@@ -97,16 +122,17 @@ pub fn serve_with(opts: &ServerOptions, engine: Arc<Engine>) -> Result<(), Strin
             let queue = Arc::clone(&queue);
             let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
-            let socket = opts.socket.clone();
+            let local = local.clone();
             std::thread::spawn(move || {
                 while let Some(stream) = queue.pop() {
-                    handle_connection(stream, &engine, &stop, &socket);
+                    handle_connection(stream, &engine, &stop, &local);
                 }
             })
         })
         .collect();
 
-    for conn in listener.incoming() {
+    loop {
+        let conn = listener.accept();
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -132,11 +158,11 @@ pub fn serve_with(opts: &ServerOptions, engine: Arc<Engine>) -> Result<(), Strin
     for w in workers {
         let _ = w.join();
     }
-    let _ = std::fs::remove_file(&opts.socket);
+    listener.close();
     Ok(())
 }
 
-fn write_line(stream: &mut UnixStream, doc: &Json) {
+fn write_line(stream: &mut impl Write, doc: &Json) {
     let mut text = doc.pretty().replace('\n', " ");
     text.push('\n');
     let _ = stream.write_all(text.as_bytes());
@@ -154,12 +180,7 @@ fn error_line(msg: &str) -> Json {
     }
 }
 
-fn handle_connection(
-    stream: UnixStream,
-    engine: &Arc<Engine>,
-    stop: &Arc<AtomicBool>,
-    socket: &Path,
-) {
+fn handle_connection(stream: Conn, engine: &Arc<Engine>, stop: &Arc<AtomicBool>, local: &Endpoint) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut out = stream;
     let reader = BufReader::new(read_half);
@@ -194,7 +215,7 @@ fn handle_connection(
                 write_line(&mut out, &Json::object().set("ok", true).set("stopping", true));
                 // The accept loop is blocked in `accept()`; a self-
                 // connection wakes it so it can observe the stop flag.
-                let _ = UnixStream::connect(socket);
+                let _ = Conn::connect(local);
                 return;
             }
             other => write_line(&mut out, &error_line(&format!("unknown op {other:?}"))),
@@ -218,7 +239,7 @@ fn request_knobs(req: &Json) -> Result<KnobConfig, String> {
     KnobConfig::default_for(&w, chip, seed)
 }
 
-fn handle_run(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
+fn handle_run(req: &Json, engine: &Arc<Engine>, out: &mut Conn) {
     let scheduler =
         match Scheduler::parse(req.get("scheduler").and_then(Json::as_str).unwrap_or("active")) {
             Ok(s) => s,
@@ -269,7 +290,7 @@ fn handle_run(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
     }
 }
 
-fn handle_autotune(req: &Json, engine: &Arc<Engine>, out: &mut UnixStream) {
+fn handle_autotune(req: &Json, engine: &Arc<Engine>, out: &mut Conn) {
     let Some(workload) = req.get("workload").and_then(Json::as_str) else {
         return write_line(out, &error_line("autotune: missing \"workload\""));
     };

@@ -11,7 +11,7 @@
 
 use plasticine_arch::ChipSpec;
 use sara_dse::{autotune_with, KnobConfig, SearchOptions};
-use sarad::engine::no_progress;
+use sarad::engine::{no_progress, Deadline};
 use sarad::{stage_keys, CachedEval, Engine, Scheduler};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -109,6 +109,108 @@ fn any_single_key_field_change_is_a_miss() {
     assert_eq!(dense_keys.compile, base_keys.compile);
     assert_eq!(dense_keys.place, base_keys.place);
     assert_ne!(dense_keys.sim, base_keys.sim);
+}
+
+#[test]
+fn every_topology_field_invalidates_the_compile_key() {
+    // Knob-reachable topology changes: system name (count, chip kind)
+    // and the link overrides. Each must produce a distinct compile key
+    // from the others — a cached artifact can never alias across
+    // topologies.
+    let base = knobs_for("dotprod", "2x8x8", 7);
+    let base_keys = stage_keys(&base, Scheduler::Active).unwrap();
+
+    let more_chips = knobs_for("dotprod", "4x8x8", 7);
+    let other_chip_kind = knobs_for("dotprod", "2x16x8", 7);
+    let single = knobs_for("dotprod", "8x8", 7);
+    let mut slow_link = base.clone();
+    slow_link.link_latency = Some(80);
+    let mut wide_link = base.clone();
+    wide_link.link_bandwidth = Some(8);
+
+    let mut seen = vec![("base", base_keys.compile.clone())];
+    for (what, k) in [
+        ("count", &more_chips),
+        ("chip kind", &other_chip_kind),
+        ("single-chip", &single),
+        ("link latency", &slow_link),
+        ("link bandwidth", &wide_link),
+    ] {
+        let keys = stage_keys(k, Scheduler::Active).unwrap();
+        for (prev, key) in &seen {
+            assert_ne!(&keys.compile, key, "{what} must not alias {prev}");
+        }
+        seen.push((what, keys.compile));
+    }
+
+    // Fields no knob reaches (grid shape, link FIFO depth, per-chip
+    // capabilities) still flow into the key through the field-complete
+    // system canon.
+    let program = base.build_program().unwrap();
+    let opts = base.compiler_options();
+    let sys = base.system_spec().unwrap();
+    let base_key = sara_core::artifact::compile_key(&program, &opts, &sys);
+    assert_eq!(base_key, base_keys.compile, "stage_keys must use the canonical compile key");
+    let mut deep = sys.clone();
+    deep.link.fifo_depth += 1;
+    let mut tall = sys.clone();
+    tall.grid_cols = 1;
+    let mut hot = sys.clone();
+    hot.chip.hop_latency += 1;
+    for (what, s) in [("link.fifo_depth", &deep), ("grid_cols", &tall), ("chip.hop_latency", &hot)]
+    {
+        assert_ne!(
+            sara_core::artifact::compile_key(&program, &opts, s),
+            base_key,
+            "{what} must change the compile key"
+        );
+    }
+}
+
+#[test]
+fn multi_chip_requests_run_replay_and_match_direct_simulation() {
+    let dir = tmp_dir("multichip");
+    let knobs = knobs_for("dotprod", "2x8x8", 7);
+
+    // Cold run through the engine.
+    let (art, placed) = {
+        let engine = Engine::open(&dir).unwrap();
+        let mut sink = no_progress();
+        let (keys, art) = engine.run(&knobs, Scheduler::Active, &mut sink).unwrap();
+        let placed = engine.place_stage(&knobs, &keys, Deadline::none(), &mut sink).unwrap();
+        (art, placed)
+    };
+    let plan = placed.plan.as_ref().expect("multi-chip placement must carry its shard plan");
+    assert_eq!(plan.count, 2);
+
+    // Bit-identity against a fresh, cacheless multi-chip pipeline.
+    let system = knobs.system_spec().unwrap();
+    let opts = knobs.compiler_options();
+    let mut compiled =
+        sara_core::compile::compile(&knobs.build_program().unwrap(), &system.chip, &opts).unwrap();
+    let pnr =
+        sara_pnr::place_and_route_system(&mut compiled.vudfg, &compiled.assignment, &system, 7)
+            .unwrap();
+    let fresh = plasticine_sim::simulate_system(
+        &compiled.vudfg,
+        &system,
+        &pnr.plan,
+        &plasticine_sim::SimConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(art.cycles, fresh.cycles, "cached multi-chip cycles != fresh");
+    assert_eq!(art.firings, fresh.stats.firings, "cached multi-chip firings != fresh");
+    assert_eq!(*plan, pnr.plan, "cached shard plan != fresh");
+
+    // A fresh engine (same disk store) replays the placement — plan
+    // included — without recompiling or re-placing.
+    let engine = Engine::open(&dir).unwrap();
+    let mut sink = no_progress();
+    let keys = stage_keys(&knobs, Scheduler::Active).unwrap();
+    let replayed = engine.place_stage(&knobs, &keys, Deadline::none(), &mut sink).unwrap();
+    assert_eq!(*replayed, *placed, "disk replay must reproduce the placed artifact exactly");
+    assert_eq!(engine.stats.compiles_run.load(Ordering::Relaxed), 0, "no recompile");
+    assert_eq!(engine.stats.pnrs_run.load(Ordering::Relaxed), 0, "no re-place");
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! with a typed rejection, and shutdown is clean.
 
 use sara_util::Json;
-use sarad::{Client, Engine, ServerOptions};
+use sarad::{Client, ClientError, Endpoint, Engine, Listener, RetryPolicy, ServerOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -32,18 +32,14 @@ fn start_server(
     };
     let _ = std::fs::remove_dir_all(&opts.cache_dir);
     let engine = Arc::new(Engine::open(&opts.cache_dir).unwrap());
+    // Bind before spawning: a returned helper is immediately connectable
+    // (no exists() poll, which a stale socket file could fool).
+    let listener = Listener::bind(&opts.endpoint()).unwrap();
     let handle = {
         let opts = opts.clone();
         let engine = Arc::clone(&engine);
-        std::thread::spawn(move || sarad::serve_with(&opts, engine).unwrap())
+        std::thread::spawn(move || sarad::serve_on(listener, &opts, engine).unwrap())
     };
-    // Wait for the socket to come up.
-    for _ in 0..100 {
-        if opts.socket.exists() {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
     (opts, engine, handle)
 }
 
@@ -256,6 +252,83 @@ fn truncated_and_garbage_mid_response_are_typed_client_errors() {
 
     fake.join().unwrap();
     let _ = std::fs::remove_file(&sock);
+}
+
+#[test]
+fn tcp_transport_serves_the_full_protocol_end_to_end() {
+    // Bind an ephemeral TCP port, serve on it, and run the protocol —
+    // ping, a cached compile+sim, stats, shutdown — over the resolved
+    // `host:port` endpoint. Same wire format, different transport.
+    let opts = ServerOptions {
+        socket: PathBuf::from("127.0.0.1:0"), // interpreted as TCP by the spelling rule
+        cache_dir: tmp("tcp-cache"),
+        workers: 2,
+        queue: 16,
+        cache_budget: None,
+    };
+    let _ = std::fs::remove_dir_all(&opts.cache_dir);
+    assert_eq!(opts.endpoint(), Endpoint::parse("127.0.0.1:0"));
+    let listener = Listener::bind(&opts.endpoint()).unwrap();
+    let endpoint = listener.local_endpoint(); // port 0 resolved to the real port
+    let engine = Arc::new(Engine::open(&opts.cache_dir).unwrap());
+    let serve = {
+        let opts = opts.clone();
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || sarad::serve_on(listener, &opts, engine).unwrap())
+    };
+
+    let mut client = Client::connect_to(&endpoint).unwrap();
+    let pong = client.call(&Json::object().set("op", "ping")).unwrap();
+    assert_eq!(pong.get("service").and_then(Json::as_str), Some("sarad"));
+
+    let req = Json::object().set("op", "run").set("workload", "dotprod").set("pnr_seed", 7);
+    let done = client.call(&req).unwrap();
+    let cycles = done.get("cycles").and_then(Json::as_u64).unwrap();
+    assert!(cycles > 0);
+    // The repeat over TCP hits the same content-addressed cache.
+    let done2 = client.call(&req).unwrap();
+    assert_eq!(done2.get("cycles").and_then(Json::as_u64), Some(cycles));
+    assert_eq!(engine.stats.sims_run.load(Ordering::Relaxed), 1);
+
+    // Shutdown must wake the TCP accept loop (self-connect) and return.
+    client.shutdown().unwrap();
+    serve.join().unwrap();
+}
+
+#[test]
+fn tcp_connect_refused_is_retryable_and_backs_off() {
+    // Bind-then-drop an ephemeral port: connecting to it afterwards is
+    // deterministically refused (nothing else can grab it fast enough to
+    // matter in practice).
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        Endpoint::Tcp(l.local_addr().unwrap().to_string())
+    };
+
+    // A refused TCP connect is a typed, retryable Connect error.
+    let e = Client::connect_to(&dead).unwrap_err();
+    assert_eq!(e.code(), "connect", "{e}");
+    assert!(e.retryable(), "connection refused must be retryable");
+    assert!(matches!(e, ClientError::Connect(_)));
+
+    // connect_to_with_retry exhausts its attempts with jittered backoff:
+    // three attempts means two deterministic sleeps, so the elapsed time
+    // is bounded below by delay(0) + delay(1).
+    let policy = RetryPolicy { attempts: 3, base_ms: 30, max_ms: 200, seed: 7 };
+    let floor = policy.delay(0) + policy.delay(1);
+    let start = std::time::Instant::now();
+    let e = Client::connect_to_with_retry(&dead, &policy).unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(e.code(), "connect", "{e}");
+    assert!(
+        elapsed >= floor,
+        "retry must back off between attempts: elapsed {elapsed:?} < floor {floor:?}"
+    );
+
+    // The same refused endpoint through the request-level retry wrapper.
+    let req = Json::object().set("op", "ping");
+    let e = sarad::client::run_with_retry_to(&dead, &req, &RetryPolicy::none()).unwrap_err();
+    assert_eq!(e.code(), "connect", "{e}");
 }
 
 #[test]

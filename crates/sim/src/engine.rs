@@ -211,16 +211,16 @@ impl SimOutcome {
 /// default, in which case every hook below compiles down to a skipped
 /// branch and the simulation is bit-identical to the pre-robustness
 /// engine.
-struct Robust {
-    inj: Option<Injector>,
-    san: Option<Sanitizer>,
-    retry_timeout: u64,
-    max_retries: u32,
+pub(crate) struct Robust {
+    pub(crate) inj: Option<Injector>,
+    pub(crate) san: Option<Sanitizer>,
+    pub(crate) retry_timeout: u64,
+    pub(crate) max_retries: u32,
 }
 
 impl Robust {
     /// Run end-of-cycle invariant checks (sanitize mode).
-    fn sanitize_cycle(
+    pub(crate) fn sanitize_cycle(
         &mut self,
         now: u64,
         streams: &[StreamRt],
@@ -247,7 +247,7 @@ impl Robust {
 
     /// Fault mode: reissue overdue DRAM requests; typed error when a run
     /// exhausts its budget. Returns the number of reissues (progress).
-    fn poll_ag_retries(
+    pub(crate) fn poll_ag_retries(
         &mut self,
         now: u64,
         units: &mut Units,
@@ -276,7 +276,7 @@ impl Robust {
     }
 
     /// Earliest future cycle the retry poller must run at (fault mode).
-    fn next_retry_deadline(&self, units: &Units) -> Option<u64> {
+    pub(crate) fn next_retry_deadline(&self, units: &Units) -> Option<u64> {
         self.inj.as_ref()?;
         units.ags.iter().filter_map(|a| a.next_retry_deadline(self.retry_timeout)).min()
     }
@@ -284,7 +284,7 @@ impl Robust {
 
 /// Build the deadlock error: run the watchdog's wait-for analysis and
 /// append its rendering to the legacy stall/backpressure diagnostic.
-fn deadlock_error(
+pub(crate) fn deadlock_error(
     g: &Vudfg,
     units: &Units,
     streams: &[StreamRt],
@@ -296,15 +296,10 @@ fn deadlock_error(
     SimError::Deadlock { cycle, diagnostic, report: Box::new(report) }
 }
 
-/// Simulate a compiled (and ideally placed-and-routed) VUDFG.
-///
-/// # Errors
-///
-/// Deadlock, timeout, or a unit fault (see [`SimError`]).
-pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcome, SimError> {
-    // ---- streams ----
-    let mut streams: Vec<StreamRt> = g
-        .streams
+/// Runtime stream state, one per stream spec (token streams start with
+/// their initial CMMC credits queued).
+pub(crate) fn build_streams(g: &Vudfg) -> Vec<StreamRt> {
+    g.streams
         .iter()
         .map(|s| {
             let init = match s.kind {
@@ -313,22 +308,24 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
             };
             StreamRt::new(s.latency, s.depth, init)
         })
-        .collect();
+        .collect()
+}
 
-    // ---- DRAM image ----
+/// The flat DRAM word image, with every tensor's init copied in at its
+/// base address.
+pub(crate) fn build_image(g: &Vudfg) -> Vec<Elem> {
     let total_words = g.drams.iter().map(|d| (d.base / 4) as usize + d.words).max().unwrap_or(0);
     let mut image: Vec<Elem> = vec![Elem::F64(0.0); total_words];
     for d in &g.drams {
         let b = (d.base / 4) as usize;
         image[b..b + d.words].copy_from_slice(&d.init);
     }
-    let mut dram = match &cfg.dram_override {
-        Some(c) => DramSim::with_cfg(c.clone()),
-        None => DramSim::new(chip.dram),
-    };
+    image
+}
 
-    // ---- units (struct-of-arrays: a tag vector plus dense per-kind
-    // vectors, each filled in unit-index order) ----
+/// Runtime unit state (struct-of-arrays: a tag vector plus dense
+/// per-kind vectors, each filled in unit-index order).
+pub(crate) fn build_units(g: &Vudfg) -> Units {
     let mut units = Units::default();
     for (i, u) in g.units.iter().enumerate() {
         let tag = match &u.kind {
@@ -380,24 +377,75 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         };
         units.kind.push(tag);
     }
+    units
+}
 
-    // ---- packet arena (payload storage for every in-flight packet) ----
-    let mut arena = PacketArena::new();
-
-    // Streams that must drain before the program can be considered
-    // finished: anything feeding a passive unit (VMU, AG, crossbar, sync).
-    // Streams into compute units may retain trailing epoch markers or
-    // unused credits after the consumer completes; token streams retain
-    // their initial credits.
-    let must_drain: Vec<bool> = g
-        .streams
+/// Streams that must drain before the program can be considered
+/// finished: anything feeding a passive unit (VMU, AG, crossbar, sync).
+/// Streams into compute units may retain trailing epoch markers or
+/// unused credits after the consumer completes; token streams retain
+/// their initial credits.
+pub(crate) fn build_must_drain(g: &Vudfg) -> Vec<bool> {
+    g.streams
         .iter()
         .map(|s| {
             let token = matches!(s.kind, StreamKind::Token { .. });
             let dst_vcu = matches!(g.unit(s.dst).kind, UnitKind::Vcu(_));
             !token && !dst_vcu
         })
-        .collect();
+        .collect()
+}
+
+/// Final outcome assembly shared by the single- and multi-chip paths:
+/// per-tensor DRAM slices plus aggregate statistics.
+pub(crate) fn collect_outcome(
+    g: &Vudfg,
+    now: u64,
+    image: &[Elem],
+    units: &Units,
+    dram_stats: DramStats,
+    profile: Option<SimProfile>,
+) -> SimOutcome {
+    let mut dram_final = HashMap::new();
+    for d in &g.drams {
+        let b = (d.base / 4) as usize;
+        dram_final.insert(d.mem, image[b..b + d.words].to_vec());
+    }
+    let mut stats = SimStats { dram: dram_stats, ..SimStats::default() };
+    let compute_units = units.vcus.len() as u64;
+    for v in &units.vcus {
+        stats.firings += v.firings;
+        stats.unit_firings.insert(v.label.clone(), v.firings);
+    }
+    for a in &units.ags {
+        stats.ag_bytes += a.bytes;
+    }
+    stats.utilization = if now > 0 && compute_units > 0 {
+        stats.firings as f64 / (now as f64 * compute_units as f64)
+    } else {
+        0.0
+    };
+    SimOutcome { cycles: now, dram_final, stats, profile }
+}
+
+/// Simulate a compiled (and ideally placed-and-routed) VUDFG.
+///
+/// # Errors
+///
+/// Deadlock, timeout, or a unit fault (see [`SimError`]).
+pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcome, SimError> {
+    let mut streams = build_streams(g);
+    let mut image = build_image(g);
+    let mut dram = match &cfg.dram_override {
+        Some(c) => DramSim::with_cfg(c.clone()),
+        None => DramSim::new(chip.dram),
+    };
+    let mut units = build_units(g);
+
+    // ---- packet arena (payload storage for every in-flight packet) ----
+    let mut arena = PacketArena::new();
+
+    let must_drain = build_must_drain(g);
 
     // ---- robustness layer ----
     let inj = match cfg.faults.as_ref() {
@@ -446,33 +494,12 @@ pub fn simulate(g: &Vudfg, chip: &ChipSpec, cfg: &SimConfig) -> Result<SimOutcom
         )?
     };
     let profile = prof.map(|p| p.finish(now, &streams));
-
-    // ---- extraction ----
-    let mut dram_final = HashMap::new();
-    for d in &g.drams {
-        let b = (d.base / 4) as usize;
-        dram_final.insert(d.mem, image[b..b + d.words].to_vec());
-    }
-    let mut stats = SimStats { dram: dram.stats(), ..SimStats::default() };
-    let compute_units = units.vcus.len() as u64;
-    for v in &units.vcus {
-        stats.firings += v.firings;
-        stats.unit_firings.insert(v.label.clone(), v.firings);
-    }
-    for a in &units.ags {
-        stats.ag_bytes += a.bytes;
-    }
-    stats.utilization = if now > 0 && compute_units > 0 {
-        stats.firings as f64 / (now as f64 * compute_units as f64)
-    } else {
-        0.0
-    };
-    Ok(SimOutcome { cycles: now, dram_final, stats, profile })
+    Ok(collect_outcome(g, now, &image, &units, dram.stats(), profile))
 }
 
 /// Step one unit; on stepper error, wrap into a [`SimError::Fault`].
 #[allow(clippy::too_many_arguments)]
-fn step_unit(
+pub(crate) fn step_unit(
     units: &mut Units,
     i: usize,
     now: u64,
@@ -495,7 +522,7 @@ fn step_unit(
 /// the retry path are absorbed; an unknown response is a sanitizer
 /// violation when sanitizing, silently dropped otherwise (pre-existing
 /// behavior).
-fn deliver_response(
+pub(crate) fn deliver_response(
     now: u64,
     r: &Response,
     units: &mut Units,

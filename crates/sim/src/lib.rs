@@ -17,6 +17,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod multichip;
 pub mod packet;
 pub mod profile;
 pub mod sanitize;
@@ -26,6 +27,7 @@ pub mod watchdog;
 
 pub use engine::{simulate, SimConfig, SimError, SimOutcome, SimStats};
 pub use fault::{seeded_plan, Fault, FaultKind, FaultPlan};
+pub use multichip::simulate_system;
 pub use packet::{PacketArena, PacketRef};
 pub use sara_core::profile::SimProfile;
 pub use sara_core::robust::{InvariantKind, SanitizerReport, WatchdogReport};

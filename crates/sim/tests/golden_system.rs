@@ -1,0 +1,46 @@
+//! Degenerate-system bit-identity: running every registry workload
+//! through the *system* pipeline (`place_and_route_system` +
+//! `simulate_system`) on a 1-chip [`SystemSpec`] must reproduce the
+//! single-chip pipeline exactly — same cycle count under both
+//! schedulers, same final DRAM image. The 1-chip system is
+//! definitionally its chip, so any divergence is a bug in the
+//! system-path plumbing, never a legitimate timing change.
+
+use plasticine_arch::{ChipSpec, SystemSpec};
+use plasticine_sim::{simulate, simulate_system, SimConfig};
+use sara_core::compile::{compile, CompilerOptions};
+use sara_pnr::{place_and_route, place_and_route_system};
+
+#[test]
+fn one_chip_system_is_bit_identical_to_the_single_chip_path() {
+    let chip = ChipSpec::small_8x8();
+    let system = SystemSpec::single(chip.clone());
+    let mut bad = Vec::new();
+    for w in sara_workloads::all_small() {
+        let name = w.name;
+        let mut single = compile(&w.program, &chip, &CompilerOptions::default()).expect(name);
+        place_and_route(&mut single.vudfg, &single.assignment, &chip, 7).expect(name);
+
+        let mut sys = compile(&w.program, &chip, &CompilerOptions::default()).expect(name);
+        let pnr = place_and_route_system(&mut sys.vudfg, &sys.assignment, &system, 7).expect(name);
+
+        for (sched, cfg) in [("active", SimConfig::default()), ("dense", SimConfig::dense())] {
+            let want = simulate(&single.vudfg, &chip, &cfg).expect(name);
+            let got = simulate_system(&sys.vudfg, &system, &pnr.plan, &cfg).expect(name);
+            if got.cycles != want.cycles {
+                bad.push(format!(
+                    "{name} ({sched}): system path {} cycles, single-chip {}",
+                    got.cycles, want.cycles
+                ));
+            }
+            if got.dram_final != want.dram_final {
+                bad.push(format!("{name} ({sched}): final DRAM images differ"));
+            }
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "1-chip system path diverged from the single-chip path:\n{}",
+        bad.join("\n")
+    );
+}

@@ -22,6 +22,11 @@
 #                    (two fixed seeds): fault-injected store, byte budget,
 #                    crash restarts, transport abuse. Any panic, hang, or
 #                    corrupt artifact served fails verification.
+#   --multichip      additionally run the multi-chip scale-out gate (smoke
+#                    scale): the 1-vs-4-chip sweep over the embarrassingly
+#                    parallel workloads plus one full sarac --system run.
+#                    Any of them failing to beat its 1-chip baseline fails
+#                    verification — what the CI multichip-smoke job runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +35,7 @@ fuzz_budget=0
 faults=0
 bench=0
 chaos=0
+multichip=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
@@ -42,7 +48,8 @@ while [[ $# -gt 0 ]]; do
     --faults) faults=1 ;;
     --bench) bench=1 ;;
     --chaos) chaos=1 ;;
-    *) echo "usage: $0 [--quick] [--fuzz-budget N] [--faults] [--bench] [--chaos]" >&2; exit 2 ;;
+    --multichip) multichip=1 ;;
+    *) echo "usage: $0 [--quick] [--fuzz-budget N] [--faults] [--bench] [--chaos] [--multichip]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -72,6 +79,14 @@ run_chaos() {
   fi
 }
 
+run_multichip() {
+  if [[ "$multichip" == 1 ]]; then
+    echo "== multichip (smoke scale, scale-out gate)"
+    SARA_BENCH_SMOKE=1 SARA_BENCH_RESULTS_DIR="${SARA_BENCH_RESULTS_DIR:-multichip-artifacts}"       cargo run --release -q -p sara-bench --bin multichip
+    cargo run --release -q -p sara-bench --bin sarac -- gemm --system 4x8x8 --simulate
+  fi
+}
+
 run_bench() {
   if [[ "$bench" == 1 ]]; then
     echo "== simperf (smoke scale, gated on committed baseline)"
@@ -97,6 +112,7 @@ if [[ "$quick" == 1 ]]; then
   run_faults
   run_bench
   run_chaos
+  run_multichip
 
   echo "verify (quick): OK"
   exit 0
@@ -118,5 +134,6 @@ run_fuzz
 run_faults
 run_bench
 run_chaos
+run_multichip
 
 echo "verify: OK"
